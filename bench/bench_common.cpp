@@ -1,0 +1,96 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace mtlscope::bench {
+
+BenchOptions BenchOptions::parse(int argc, char** argv,
+                                 double default_cert_scale,
+                                 double default_conn_scale) {
+  BenchOptions options;
+  options.cert_scale = default_cert_scale;
+  options.conn_scale = default_conn_scale;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--cert-scale=", 13) == 0) {
+      options.cert_scale = std::atof(arg + 13);
+    } else if (std::strncmp(arg, "--conn-scale=", 13) == 0) {
+      options.conn_scale = std::atof(arg + 13);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    }
+  }
+  return options;
+}
+
+namespace {
+
+core::PipelineConfig make_config(const gen::TraceGenerator& generator) {
+  auto config = core::PipelineConfig::campus_defaults();
+  config.ct = &generator.ct_database();
+  return config;
+}
+
+}  // namespace
+
+CampusRun::CampusRun(gen::CampusModel model)
+    : generator_(std::move(model)), pipeline_(make_config(generator_)) {}
+
+void CampusRun::run() {
+  generator_.generate([this](const tls::TlsConnection& conn) {
+    pipeline_.feed(conn);
+  });
+  pipeline_.finalize();
+}
+
+void print_header(const std::string& experiment,
+                  const BenchOptions& options) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("model: cert_scale=1:%g conn_scale=1:%g seed=%llu\n",
+              options.cert_scale, options.conn_scale,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("================================================================\n");
+}
+
+void print_footer(const CampusRun& run) {
+  const auto& totals = run.generator().stats();
+  std::printf(
+      "\n[run: %zu connections generated, %zu mutual, %zu certificates "
+      "minted]\n",
+      totals.connections, totals.mutual_connections,
+      totals.certificates_minted);
+}
+
+void keep_only_clusters(gen::CampusModel& model,
+                        std::initializer_list<const char*> prefixes) {
+  std::vector<gen::TrafficCluster> kept;
+  for (auto& cluster : model.clusters) {
+    for (const char* prefix : prefixes) {
+      if (cluster.name.rfind(prefix, 0) == 0) {
+        kept.push_back(std::move(cluster));
+        break;
+      }
+    }
+  }
+  model.clusters = std::move(kept);
+  model.background_connections = 0;
+  model.interception.connections = 0;
+  model.interception.certificates = 0;
+}
+
+std::string paper_vs(double paper_pct, double measured_pct) {
+  return "paper " + core::format_double(paper_pct, 2) + "% / measured " +
+         core::format_double(measured_pct, 2) + "%";
+}
+
+std::string paper_vs_count(double paper, double measured) {
+  return "paper " + core::format_count(static_cast<std::uint64_t>(paper)) +
+         " / measured " +
+         core::format_count(static_cast<std::uint64_t>(measured));
+}
+
+}  // namespace mtlscope::bench

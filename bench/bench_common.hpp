@@ -1,0 +1,61 @@
+// Shared harness for the repro_* binaries: builds the calibrated campus
+// model, streams it through the measurement pipeline, and provides the
+// paper-vs-measured printing conventions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/core/report.hpp"
+#include "mtlscope/gen/generator.hpp"
+
+namespace mtlscope::bench {
+
+struct BenchOptions {
+  double cert_scale;
+  double conn_scale;
+  std::uint64_t seed = 20240504;
+
+  /// Parses --cert-scale= / --conn-scale= / --seed= overrides.
+  static BenchOptions parse(int argc, char** argv, double default_cert_scale,
+                            double default_conn_scale);
+};
+
+/// Owns the generator and the pipeline with a consistent configuration
+/// (campus defaults + the generator's CT database). Register observers on
+/// `pipeline` before calling run().
+class CampusRun {
+ public:
+  explicit CampusRun(gen::CampusModel model);
+
+  core::Pipeline& pipeline() { return pipeline_; }
+  const gen::TraceGenerator& generator() const { return generator_; }
+
+  /// Streams the whole trace through the pipeline.
+  void run();
+
+ private:
+  gen::TraceGenerator generator_;
+  core::Pipeline pipeline_;
+};
+
+/// Prints the standard bench header: experiment id, model sizes.
+void print_header(const std::string& experiment, const BenchOptions& options);
+
+/// Prints a closing line with totals from the run.
+void print_footer(const CampusRun& run);
+
+/// Restricts a model to clusters whose name starts with any of the given
+/// prefixes, and drops the background / interception volume. Used by
+/// benches that analyze one traffic slice (e.g. Table 3 is inbound-only)
+/// so they can afford low connection scales.
+void keep_only_clusters(gen::CampusModel& model,
+                        std::initializer_list<const char*> prefixes);
+
+/// "paper 38.45% / measured 37.9%" convenience.
+std::string paper_vs(double paper_pct, double measured_pct);
+std::string paper_vs_count(double paper, double measured);
+
+}  // namespace mtlscope::bench

@@ -1,0 +1,76 @@
+// Microbenchmarks: domain extraction, information-type classification,
+// NER-lite, randomness detection.
+#include <benchmark/benchmark.h>
+
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/textclass/domain.hpp"
+#include "mtlscope/textclass/ner.hpp"
+#include "mtlscope/textclass/randomness.hpp"
+
+using namespace mtlscope::textclass;
+
+namespace {
+
+const char* kSamples[] = {
+    "www.example.com",  "1.2.3.4",
+    "12:34:56:AB:CD:EF", "sip:4021@voip.example.com",
+    "alice@example.com", "hd7gr",
+    "John Smith",        "WebRTC",
+    "localhost",         "a81f34c2",
+    "123e4567-e89b-12d3-a456-426614174000",
+    "Hybrid Runbook Worker", "Internet Widgits Pty Ltd",
+    "ec2-3-85-1-2.compute-1.amazonaws.com",
+};
+
+void BM_DomainExtract(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DomainExtractor::instance().extract(kSamples[i++ % 14]));
+  }
+}
+BENCHMARK(BM_DomainExtract);
+
+void BM_ClassifyValue(benchmark::State& state) {
+  ClassifyContext ctx;
+  ctx.campus_issuer = true;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_value(kSamples[i++ % 14], ctx));
+  }
+}
+BENCHMARK(BM_ClassifyValue);
+
+void BM_PersonalName(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_personal_name(kSamples[i++ % 14]));
+  }
+}
+BENCHMARK(BM_PersonalName);
+
+void BM_OrgProduct(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_org_or_product(kSamples[i++ % 14]));
+  }
+}
+BENCHMARK(BM_OrgProduct);
+
+void BM_TrigramCosine(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        trigram_cosine("Honeywell International Inc", "honeywell intl inc"));
+  }
+}
+BENCHMARK(BM_TrigramCosine);
+
+void BM_RandomnessShape(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classify_shape(kSamples[i++ % 14]));
+  }
+}
+BENCHMARK(BM_RandomnessShape);
+
+}  // namespace

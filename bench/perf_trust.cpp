@@ -1,0 +1,95 @@
+// Microbenchmarks: trust classification, chain validation, issuer
+// categorization — the hot path of the enrichment pipeline.
+#include <benchmark/benchmark.h>
+
+#include "mtlscope/core/issuer_category.hpp"
+#include "mtlscope/trust/public_cas.hpp"
+#include "mtlscope/trust/store.hpp"
+#include "mtlscope/x509/builder.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+x509::Certificate public_leaf() {
+  x509::DistinguishedName dn;
+  dn.add_cn("leaf.example.com");
+  return trust::public_pki().find("lets-encrypt")->intermediate.issue(
+      x509::CertificateBuilder()
+          .serial_from_label("perf-pub")
+          .subject(dn)
+          .validity(0, 86'400LL * 398)
+          .public_key(crypto::TsigKey::derive("perf-pub").key));
+}
+
+x509::Certificate private_leaf() {
+  x509::DistinguishedName ca_dn;
+  ca_dn.add_org("Perf Private Org").add_cn("Perf Private CA");
+  static const auto ca =
+      trust::CertificateAuthority::make_root(ca_dn, 0, 86'400LL * 10'000);
+  x509::DistinguishedName dn;
+  dn.add_cn("device-17");
+  return ca.issue(x509::CertificateBuilder()
+                      .serial_from_label("perf-priv")
+                      .subject(dn)
+                      .validity(0, 86'400LL * 398)
+                      .public_key(crypto::TsigKey::derive("perf-priv").key));
+}
+
+void BM_ClassifyPublic(benchmark::State& state) {
+  const auto evaluator = trust::make_default_evaluator();
+  const auto leaf = public_leaf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.classify(leaf));
+  }
+}
+BENCHMARK(BM_ClassifyPublic);
+
+void BM_ClassifyPrivate(benchmark::State& state) {
+  const auto evaluator = trust::make_default_evaluator();
+  const auto leaf = private_leaf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.classify(leaf));
+  }
+}
+BENCHMARK(BM_ClassifyPrivate);
+
+void BM_ValidateFullChain(benchmark::State& state) {
+  const auto evaluator = trust::make_default_evaluator();
+  const auto* le = trust::public_pki().find("lets-encrypt");
+  const std::vector<x509::Certificate> chain = {
+      public_leaf(), le->intermediate.certificate(), le->root.certificate()};
+  const auto now = util::to_unix({2023, 6, 1, 0, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.validate(chain, now));
+  }
+}
+BENCHMARK(BM_ValidateFullChain);
+
+void BM_CategorizeIssuer(benchmark::State& state) {
+  const core::IssuerCategorizer categorizer(
+      {"Internet Widgits Pty Ltd", "Default Company Ltd", "Unspecified",
+       "Acme Co"});
+  const x509::DistinguishedName issuers[] = {
+      [] { x509::DistinguishedName d; d.add_org("Blue Ridge University"); return d; }(),
+      [] { x509::DistinguishedName d; d.add_org("Honeywell International Inc"); return d; }(),
+      [] { x509::DistinguishedName d; d.add_org("Internet Widgits Pty Ltd"); return d; }(),
+      [] { x509::DistinguishedName d; d.add_cn("ca-a81f34"); return d; }(),
+      [] { x509::DistinguishedName d; d.add_org("Quasar Nebular Dynamics"); return d; }(),
+  };
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        categorizer.categorize(issuers[i++ % std::size(issuers)], false));
+  }
+}
+BENCHMARK(BM_CategorizeIssuer);
+
+void BM_MakeDefaultEvaluator(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trust::make_default_evaluator());
+  }
+}
+BENCHMARK(BM_MakeDefaultEvaluator);
+
+}  // namespace

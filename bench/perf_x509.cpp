@@ -1,0 +1,77 @@
+// Microbenchmarks: certificate build/sign, DER parse, fingerprinting.
+#include <benchmark/benchmark.h>
+
+#include "mtlscope/trust/public_cas.hpp"
+#include "mtlscope/x509/builder.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+x509::Certificate sample_cert() {
+  const auto* ca = trust::public_pki().find("lets-encrypt");
+  x509::DistinguishedName dn;
+  dn.add_org("Example Org").add_cn("bench.example.com");
+  return ca->intermediate.issue(
+      x509::CertificateBuilder()
+          .serial_from_label("bench")
+          .subject(dn)
+          .validity(0, 86'400LL * 365)
+          .public_key(crypto::TsigKey::derive("bench-key").key)
+          .add_san_dns("bench.example.com")
+          .add_san_dns("alt.example.com")
+          .add_eku(asn1::oids::eku_server_auth()));
+}
+
+void BM_CertificateBuildAndSign(benchmark::State& state) {
+  const auto* ca = trust::public_pki().find("digicert");
+  x509::DistinguishedName dn;
+  dn.add_org("Example Org").add_cn("bench.example.com");
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto cert = ca->intermediate.issue(
+        x509::CertificateBuilder()
+            .serial_from_label("bench" + std::to_string(i++))
+            .subject(dn)
+            .validity(0, 86'400LL * 365)
+            .public_key(crypto::TsigKey::derive("bench-key").key)
+            .add_san_dns("bench.example.com"));
+    benchmark::DoNotOptimize(cert);
+  }
+}
+BENCHMARK(BM_CertificateBuildAndSign);
+
+void BM_CertificateParse(benchmark::State& state) {
+  const auto cert = sample_cert();
+  for (auto _ : state) {
+    auto parsed = x509::parse_certificate(cert.der);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cert.der.size()));
+}
+BENCHMARK(BM_CertificateParse);
+
+void BM_Fingerprint(benchmark::State& state) {
+  const auto cert = sample_cert();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.fingerprint());
+  }
+}
+BENCHMARK(BM_Fingerprint);
+
+void BM_DnRoundTrip(benchmark::State& state) {
+  x509::DistinguishedName dn;
+  dn.add_country("US")
+      .add_org("Example, Inc.")
+      .add_org_unit("Platform")
+      .add_cn("service.example.com");
+  for (auto _ : state) {
+    const auto parsed = x509::DistinguishedName::from_string(dn.to_string());
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_DnRoundTrip);
+
+}  // namespace

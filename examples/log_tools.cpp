@@ -1,0 +1,136 @@
+// log_tools: round-trip mtlscope through the filesystem.
+//
+//   ./build/examples/log_tools export DIR   write ssl.log + x509.log for a
+//                                           scaled synthetic campus trace
+//   ./build/examples/log_tools report DIR   run the measurement pipeline
+//                                           over DIR/ssl.log + DIR/x509.log
+//
+// `report` works on ANY logs in the supported schema — point it at your own
+// Zeek output (the x509.log needs the fields listed in zeek/log_io.hpp; a
+// cert_der column is used when present, otherwise the parsed fields are).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/report.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+int export_logs(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  gen::TraceGenerator generator(gen::paper_model(2'000, 200'000));
+  zeek::Dataset dataset;
+  generator.generate([&dataset](const tls::TlsConnection& conn) {
+    dataset.add_connection(conn);
+  });
+
+  {
+    std::ofstream ssl(dir / "ssl.log");
+    zeek::write_ssl_log(ssl, dataset.ssl());
+  }
+  {
+    std::ofstream x509(dir / "x509.log");
+    zeek::write_x509_log(x509, dataset);
+  }
+  std::printf("wrote %s connections to %s/ssl.log\n",
+              core::format_count(dataset.connection_count()).c_str(),
+              dir.c_str());
+  std::printf("wrote %s certificates to %s/x509.log\n",
+              core::format_count(dataset.certificate_count()).c_str(),
+              dir.c_str());
+  return 0;
+}
+
+int report(const std::filesystem::path& dir) {
+  std::ifstream ssl_in(dir / "ssl.log");
+  std::ifstream x509_in(dir / "x509.log");
+  if (!ssl_in || !x509_in) {
+    std::fprintf(stderr, "need %s/ssl.log and %s/x509.log\n", dir.c_str(),
+                 dir.c_str());
+    return 1;
+  }
+  zeek::LogParseError error;
+  const auto dataset = zeek::parse_dataset(ssl_in, x509_in, &error);
+  if (!dataset) {
+    std::fprintf(stderr, "parse error (line %zu): %s\n", error.line,
+                 error.message.c_str());
+    return 1;
+  }
+
+  core::Pipeline pipeline(core::PipelineConfig::campus_defaults());
+  core::PrevalenceAnalyzer prevalence;
+  core::ServicePortAnalyzer ports;
+  pipeline.add_observer([&](const core::EnrichedConnection& c) {
+    prevalence.observe(c);
+    ports.observe(c);
+  });
+  for (const auto& [fuid, record] : dataset->x509()) {
+    pipeline.add_certificate(record);
+  }
+  for (const auto& record : dataset->ssl()) {
+    pipeline.add_connection(record);
+  }
+  pipeline.finalize();
+
+  const auto& totals = pipeline.totals();
+  std::printf("connections: %s   mutual: %s (%s)   certificates: %s\n",
+              core::format_count(totals.connections).c_str(),
+              core::format_count(totals.mutual).c_str(),
+              core::format_percent(static_cast<double>(totals.mutual),
+                                   static_cast<double>(totals.connections))
+                  .c_str(),
+              core::format_count(pipeline.certificates().size()).c_str());
+
+  std::printf("\ntop mutual-TLS services:\n");
+  core::TextTable table({"Dir", "Port", "Share", "Service"});
+  for (const auto dir_kind :
+       {core::Direction::kInbound, core::Direction::kOutbound}) {
+    for (const auto& s : ports.top(dir_kind, true, 3)) {
+      table.add_row({dir_kind == core::Direction::kInbound ? "in" : "out",
+                     s.port_label, core::format_double(s.share, 1) + "%",
+                     s.service});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto inventory = core::analyze_cert_inventory(pipeline);
+  std::printf("\ncertificates in mutual TLS: %s of %s (%s)\n",
+              core::format_count(inventory.total.mutual).c_str(),
+              core::format_count(inventory.total.total).c_str(),
+              core::format_double(inventory.total.mutual_pct(), 1).c_str());
+
+  const auto info =
+      core::analyze_info_types(pipeline, core::CertScope::kMutual);
+  const auto& cpriv = info.cells[1][1];
+  std::printf("sensitive client CNs: %s personal names, %s user accounts\n",
+              core::format_count(cpriv.cn[static_cast<std::size_t>(
+                                     textclass::InfoType::kPersonalName)])
+                  .c_str(),
+              core::format_count(cpriv.cn[static_cast<std::size_t>(
+                                     textclass::InfoType::kUserAccount)])
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "export") == 0) {
+    return export_logs(argv[2]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "report") == 0) {
+    return report(argv[2]);
+  }
+  std::fprintf(stderr,
+               "usage: %s export DIR   (write synthetic ssl.log/x509.log)\n"
+               "       %s report DIR   (analyze DIR/ssl.log + DIR/x509.log)\n",
+               argv[0], argv[0]);
+  return 2;
+}

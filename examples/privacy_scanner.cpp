@@ -1,0 +1,151 @@
+// privacy_scanner: scan a Zeek x509.log for sensitive information in
+// certificate CN/SAN fields — the paper's Section-6 analysis as a tool.
+//
+// Usage:
+//   ./build/examples/privacy_scanner path/to/x509.log
+//   ./build/examples/privacy_scanner --demo     (generate a synthetic log)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "mtlscope/core/redaction.hpp"
+#include "mtlscope/core/report.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/x509/name.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+bool is_sensitive(textclass::InfoType type) {
+  switch (type) {
+    case textclass::InfoType::kPersonalName:
+    case textclass::InfoType::kUserAccount:
+    case textclass::InfoType::kEmail:
+    case textclass::InfoType::kMac:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string x509_text;
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") != 0) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    x509_text = buffer.str();
+  } else {
+    std::printf("(demo mode: generating a synthetic campus x509.log)\n\n");
+    gen::TraceGenerator generator(gen::paper_model(2'000, 500'000));
+    zeek::Dataset dataset;
+    generator.generate([&dataset](const tls::TlsConnection& conn) {
+      dataset.add_connection(conn);
+    });
+    x509_text = zeek::x509_log_to_string(dataset);
+  }
+
+  std::istringstream in(x509_text);
+  zeek::LogParseError error;
+  const auto records = zeek::parse_x509_log(in, &error);
+  if (!records) {
+    std::fprintf(stderr, "x509.log parse error (line %zu): %s\n", error.line,
+                 error.message.c_str());
+    return 1;
+  }
+
+  std::map<textclass::InfoType, std::size_t> histogram;
+  std::size_t sensitive = 0;
+  std::size_t shown = 0;
+  std::printf("scanning %zu certificates…\n\n", records->size());
+  for (const auto& record : *records) {
+    const auto subject = x509::DistinguishedName::from_string(record.subject);
+    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
+    if (!subject) continue;
+    const auto cn = subject->common_name();
+    if (!cn || cn->empty()) continue;
+
+    textclass::ClassifyContext ctx;
+    std::string issuer_text;
+    if (issuer) {
+      if (const auto org = issuer->organization()) {
+        issuer_text = std::string(*org);
+      }
+      ctx.campus_issuer =
+          issuer_text.find("University") != std::string::npos;
+    }
+    ctx.issuer = issuer_text;
+
+    const auto type = textclass::classify_value(*cn, ctx);
+    ++histogram[type];
+    if (is_sensitive(type)) {
+      ++sensitive;
+      if (shown < 12) {
+        ++shown;
+        std::printf("  [%-13s] CN=\"%s\"  issuer=\"%s\"\n",
+                    textclass::info_type_name(type),
+                    std::string(*cn).c_str(), issuer_text.c_str());
+      }
+    }
+  }
+  if (sensitive > shown) {
+    std::printf("  … and %zu more\n", sensitive - shown);
+  }
+
+  std::printf("\nCN information types:\n");
+  core::TextTable table({"Type", "Certificates", "Share"});
+  for (const auto& [type, count] : histogram) {
+    table.add_row({textclass::info_type_name(type),
+                   core::format_count(count),
+                   core::format_percent(static_cast<double>(count),
+                                        static_cast<double>(records->size()))});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\n%zu certificates (%s) expose sensitive information in their CN.\n"
+      "Certificates travel unencrypted in TLS <= 1.2 handshakes: anyone on "
+      "the path can read these values (paper §6.3.7).\n",
+      sensitive,
+      core::format_percent(static_cast<double>(sensitive),
+                           static_cast<double>(records->size()))
+          .c_str());
+
+  // Remediation demo (§7): re-issue one exposed certificate with its
+  // identity pseudonymized.
+  if (sensitive > 0) {
+    x509::DistinguishedName demo_dn;
+    demo_dn.add_org("Example Org").add_cn("John Smith");
+    x509::DistinguishedName ca_dn;
+    ca_dn.add_org("Privacy Demo CA Org").add_cn("Privacy Demo CA");
+    const auto demo_ca = trust::CertificateAuthority::make_root(
+        ca_dn, 0, util::to_unix({2040, 1, 1, 0, 0, 0}));
+    const auto exposed = demo_ca.issue(
+        x509::CertificateBuilder()
+            .serial_from_label("demo")
+            .subject(demo_dn)
+            .validity(0, util::to_unix({2030, 1, 1, 0, 0, 0}))
+            .public_key(crypto::TsigKey::derive("demo-user").key));
+    const auto key = crypto::TsigKey::derive("org pseudonym secret");
+    const auto redacted = core::redact_certificate(exposed, demo_ca, key);
+    std::printf(
+        "\nremediation (core::redact_certificate):\n"
+        "  before: %s\n  after:  %s\n"
+        "The pseudonym is HMAC-derived: stable across renewals for "
+        "authorization,\nmeaningless to the network.\n",
+        exposed.subject.to_string().c_str(),
+        redacted.subject.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,180 @@
+// DER (Distinguished Encoding Rules) writer and reader.
+//
+// Only the subset of ASN.1 needed by X.509 is implemented: definite-length
+// TLVs, universal tags up to GeneralizedTime, and context-specific tags.
+// The reader rejects indefinite lengths and non-minimal length encodings,
+// as DER requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mtlscope/asn1/oid.hpp"
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::asn1 {
+
+enum class TagClass : std::uint8_t {
+  kUniversal = 0,
+  kApplication = 1,
+  kContextSpecific = 2,
+  kPrivate = 3,
+};
+
+/// Universal tag numbers used by X.509.
+namespace tags {
+inline constexpr std::uint32_t kBoolean = 1;
+inline constexpr std::uint32_t kInteger = 2;
+inline constexpr std::uint32_t kBitString = 3;
+inline constexpr std::uint32_t kOctetString = 4;
+inline constexpr std::uint32_t kNull = 5;
+inline constexpr std::uint32_t kOid = 6;
+inline constexpr std::uint32_t kUtf8String = 12;
+inline constexpr std::uint32_t kSequence = 16;
+inline constexpr std::uint32_t kSet = 17;
+inline constexpr std::uint32_t kPrintableString = 19;
+inline constexpr std::uint32_t kTeletexString = 20;
+inline constexpr std::uint32_t kIa5String = 22;
+inline constexpr std::uint32_t kUtcTime = 23;
+inline constexpr std::uint32_t kGeneralizedTime = 24;
+}  // namespace tags
+
+struct Tag {
+  TagClass cls = TagClass::kUniversal;
+  bool constructed = false;
+  std::uint32_t number = 0;
+
+  static Tag universal(std::uint32_t n, bool constructed = false) {
+    return {TagClass::kUniversal, constructed, n};
+  }
+  static Tag context(std::uint32_t n, bool constructed) {
+    return {TagClass::kContextSpecific, constructed, n};
+  }
+  static Tag sequence() { return universal(tags::kSequence, true); }
+  static Tag set() { return universal(tags::kSet, true); }
+
+  bool is_universal(std::uint32_t n) const {
+    return cls == TagClass::kUniversal && number == n;
+  }
+  bool is_context(std::uint32_t n) const {
+    return cls == TagClass::kContextSpecific && number == n;
+  }
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+};
+
+/// Thrown by DerReader on malformed input.
+class DerError : public std::runtime_error {
+ public:
+  explicit DerError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serializes DER. Nested structures are written through a callback so the
+/// length octets can be computed after the content:
+///
+///   DerWriter w;
+///   w.sequence([&](DerWriter& s) { s.integer(2); s.oid(some_oid); });
+class DerWriter {
+ public:
+  using BuildFn = std::function<void(DerWriter&)>;
+
+  /// Appends a complete TLV with the given content.
+  void tlv(Tag tag, std::span<const std::uint8_t> content);
+
+  /// Appends pre-encoded DER verbatim.
+  void raw(std::span<const std::uint8_t> der);
+
+  void boolean(bool v);
+  /// Two's-complement INTEGER from a native integer.
+  void integer(std::int64_t v);
+  /// INTEGER from a big-endian unsigned magnitude; inserts the leading zero
+  /// octet required when the high bit is set. An empty span encodes 0.
+  void integer_unsigned(std::span<const std::uint8_t> magnitude);
+  void null();
+  void oid(const Oid& oid);
+  void octet_string(std::span<const std::uint8_t> bytes);
+  /// BIT STRING with zero unused bits (sufficient for X.509 payloads).
+  void bit_string(std::span<const std::uint8_t> bytes);
+  void utf8_string(std::string_view s);
+  void printable_string(std::string_view s);
+  void ia5_string(std::string_view s);
+
+  /// Writes a validity timestamp: UTCTime for years in [1950, 2050),
+  /// GeneralizedTime otherwise — matching RFC 5280 §4.1.2.5 plus the
+  /// out-of-range years the paper observed (1849, 2157).
+  void time(util::UnixSeconds ts);
+
+  void sequence(const BuildFn& build);
+  void set(const BuildFn& build);
+  void constructed(Tag tag, const BuildFn& build);
+  /// Context-specific primitive TLV, e.g. GeneralName [2] dNSName.
+  void context_primitive(std::uint32_t n,
+                         std::span<const std::uint8_t> content);
+  void context_primitive(std::uint32_t n, std::string_view content);
+
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+
+ private:
+  void write_tag(Tag tag);
+  void write_length(std::size_t len);
+
+  std::vector<std::uint8_t> out_;
+};
+
+/// One decoded TLV.
+struct DerValue {
+  Tag tag;
+  std::span<const std::uint8_t> content;  // value octets
+  std::span<const std::uint8_t> full;     // tag + length + value octets
+
+  /// Content interpreted as text (no charset validation beyond ASCII/UTF-8
+  /// pass-through, mirroring how Zeek logs subject strings).
+  std::string_view text() const {
+    return {reinterpret_cast<const char*>(content.data()), content.size()};
+  }
+
+  DerValue expect(Tag t, const char* what) const;
+
+  // Typed decoders; each throws DerError if the tag or encoding mismatches.
+  bool as_boolean() const;
+  std::int64_t as_integer() const;
+  /// INTEGER content octets as stored (two's complement, minimal).
+  std::span<const std::uint8_t> integer_bytes() const;
+  Oid as_oid() const;
+  std::span<const std::uint8_t> as_bit_string() const;  // strips unused-bits octet
+  util::UnixSeconds as_time() const;
+};
+
+/// Sequential reader over a DER byte range. Does not own the bytes.
+class DerReader {
+ public:
+  explicit DerReader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit DerReader(const DerValue& v) : data_(v.content) {}
+
+  bool empty() const { return pos_ >= data_.size(); }
+
+  /// Reads the next TLV; throws DerError at end of input or on malformed
+  /// tag/length.
+  DerValue read();
+
+  /// Reads the next TLV and checks its tag.
+  DerValue read(Tag expected, const char* what);
+
+  /// Peeks at the next TLV's tag without consuming (nullopt at end).
+  std::optional<Tag> peek_tag() const;
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mtlscope::asn1

@@ -1,0 +1,71 @@
+// ASN.1 OBJECT IDENTIFIER value type plus the OID constants used by X.509.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtlscope::asn1 {
+
+/// An OBJECT IDENTIFIER as a sequence of arcs. Value type with full
+/// ordering so it can key std::map.
+class Oid {
+ public:
+  Oid() = default;
+  Oid(std::initializer_list<std::uint32_t> arcs) : arcs_(arcs) {}
+  explicit Oid(std::vector<std::uint32_t> arcs) : arcs_(std::move(arcs)) {}
+
+  /// Parses dotted-decimal ("2.5.4.3"). Returns nullopt on malformed input
+  /// or fewer than two arcs.
+  static std::optional<Oid> parse(std::string_view dotted);
+
+  const std::vector<std::uint32_t>& arcs() const { return arcs_; }
+  bool empty() const { return arcs_.empty(); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Oid&, const Oid&) = default;
+  friend auto operator<=>(const Oid&, const Oid&) = default;
+
+ private:
+  std::vector<std::uint32_t> arcs_;
+};
+
+/// Well-known OIDs. Functions (not globals) to avoid static-init-order
+/// concerns; each returns a reference to a function-local constant.
+namespace oids {
+
+// X.520 attribute types (DN components).
+const Oid& common_name();             // 2.5.4.3
+const Oid& serial_number_attr();      // 2.5.4.5
+const Oid& country_name();            // 2.5.4.6
+const Oid& locality_name();           // 2.5.4.7
+const Oid& state_or_province_name();  // 2.5.4.8
+const Oid& organization_name();       // 2.5.4.10
+const Oid& organizational_unit();     // 2.5.4.11
+const Oid& email_address();           // 1.2.840.113549.1.9.1 (PKCS#9)
+
+// Certificate extensions.
+const Oid& subject_alt_name();        // 2.5.29.17
+const Oid& basic_constraints();       // 2.5.29.19
+const Oid& key_usage();               // 2.5.29.15
+const Oid& ext_key_usage();           // 2.5.29.37
+const Oid& subject_key_id();          // 2.5.29.14
+const Oid& authority_key_id();        // 2.5.29.35
+
+// Extended key usage purposes.
+const Oid& eku_server_auth();         // 1.3.6.1.5.5.7.3.1
+const Oid& eku_client_auth();         // 1.3.6.1.5.5.7.3.2
+
+// Algorithms. tsig uses a private-enterprise arc; the RSA OIDs exist so the
+// generator can label 1024-bit "RSA" keys as the paper describes.
+const Oid& alg_tsig();                // 1.3.6.1.4.1.57264.1.1 (private arc)
+const Oid& alg_rsa_encryption();      // 1.2.840.113549.1.1.1
+const Oid& alg_sha256_with_rsa();     // 1.2.840.113549.1.1.11
+
+}  // namespace oids
+
+}  // namespace mtlscope::asn1

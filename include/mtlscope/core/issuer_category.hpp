@@ -1,0 +1,44 @@
+// Issuer categorization (§4.2 "Methodology"): Public, or one of the
+// fuzzy-matched private categories.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtlscope/trust/store.hpp"
+#include "mtlscope/x509/name.hpp"
+
+namespace mtlscope::core {
+
+enum class IssuerCategory : std::uint8_t {
+  kPublic,
+  kPrivateCorporation,
+  kPrivateEducation,
+  kPrivateGovernment,
+  kPrivateWebHosting,
+  kPrivateDummy,
+  kPrivateOthers,
+  kPrivateMissingIssuer,
+};
+
+constexpr std::size_t kIssuerCategoryCount = 8;
+
+const char* issuer_category_name(IssuerCategory c);
+
+class IssuerCategorizer {
+ public:
+  /// `dummy_orgs`: software/protocol default organization strings
+  /// ("Internet Widgits Pty Ltd", …).
+  explicit IssuerCategorizer(std::vector<std::string> dummy_orgs);
+
+  /// Categorizes an issuer DN. `is_public` is the trust-store decision
+  /// (Public beats all private categories).
+  IssuerCategory categorize(const x509::DistinguishedName& issuer,
+                            bool is_public) const;
+
+ private:
+  std::vector<std::string> dummy_orgs_;
+};
+
+}  // namespace mtlscope::core

@@ -1,0 +1,205 @@
+// The measurement pipeline: consumes Zeek-schema records (or raw
+// TlsConnections), performs the paper's §3.2 enrichment — interception
+// filtering, mutual-TLS identification, server/client role labeling,
+// public/private classification, direction inference, issuer
+// categorization, server association — and exposes per-connection
+// enriched views plus a per-certificate fact registry for the
+// population-level analyses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mtlscope/ctlog/ct_database.hpp"
+#include "mtlscope/core/issuer_category.hpp"
+#include "mtlscope/gen/model.hpp"
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/tls/connection.hpp"
+#include "mtlscope/trust/store.hpp"
+#include "mtlscope/zeek/records.hpp"
+
+namespace mtlscope::core {
+
+using gen::Direction;
+using gen::ServerAssociation;
+
+/// Decoded, classified facts about one unique certificate, plus usage
+/// aggregates accumulated as connections stream through.
+struct CertFacts {
+  // Parsed fields.
+  std::string fuid;
+  int version = 3;
+  int key_bits = 0;
+  std::string serial_hex;
+  std::string subject_cn;
+  std::string issuer_org;
+  std::string issuer_cn;
+  std::string issuer_dn;
+  x509::Validity validity;
+  std::vector<std::string> san_dns;
+  int san_email_count = 0;
+  int san_uri_count = 0;
+  int san_ip_count = 0;
+
+  // Classification (§3.2, §6.1).
+  trust::IssuerClass issuer_class = trust::IssuerClass::kPrivate;
+  IssuerCategory issuer_category = IssuerCategory::kPrivateOthers;
+  bool campus_issuer = false;
+  textclass::InfoType cn_type = textclass::InfoType::kUnidentified;
+  std::vector<textclass::InfoType> san_dns_types;
+  bool flagged_interception = false;
+
+  // Usage aggregates.
+  bool used_as_server = false;
+  bool used_as_client = false;
+  bool used_in_mutual = false;
+  bool seen_inbound = false;
+  bool seen_outbound = false;
+  /// Used as client in an outbound connection that carried an SNI — the
+  /// population §4.2.2's missing-issuer percentage is computed over.
+  bool seen_outbound_with_sni = false;
+  bool client_use_while_expired = false;
+  std::uint64_t connection_count = 0;
+  util::UnixSeconds first_seen = std::numeric_limits<std::int64_t>::max();
+  util::UnixSeconds last_seen = std::numeric_limits<std::int64_t>::min();
+  /// /24 networks of the endpoint that presented this certificate, split
+  /// by role (Table 6).
+  std::set<std::uint32_t> server_subnets;
+  std::set<std::uint32_t> client_subnets;
+  /// Representative context: first SLD / server association observed.
+  std::string context_sld;
+  ServerAssociation context_assoc = ServerAssociation::kNone;
+
+  bool has_cn() const { return !subject_cn.empty(); }
+  bool has_san_dns() const { return !san_dns.empty(); }
+  /// Duration of activity in days (§5 definition).
+  double activity_days() const {
+    if (connection_count == 0) return 0;
+    return static_cast<double>(last_seen - first_seen) / 86'400.0;
+  }
+};
+
+/// One enriched connection, handed to registered observers.
+struct EnrichedConnection {
+  const zeek::SslRecord* ssl = nullptr;
+  util::UnixSeconds ts = 0;
+  Direction direction = Direction::kInbound;
+  bool established = false;
+  bool mutual = false;
+  const CertFacts* server_leaf = nullptr;  // null when absent (TLS 1.3 …)
+  const CertFacts* client_leaf = nullptr;
+  std::string sni;          // raw SNI (may be empty)
+  std::string resolved_host;  // SNI, or CN/SAN fallback (§4.2)
+  std::string sld;          // registrable domain of resolved_host, or ""
+  std::string tld;          // public suffix, or ""
+  ServerAssociation assoc = ServerAssociation::kNone;
+};
+
+struct PipelineConfig {
+  std::vector<net::Subnet> university_subnets;
+  std::vector<std::string> campus_issuer_orgs;
+  std::vector<std::string> dummy_issuer_orgs;
+  /// Host-suffix → association rules, checked in order against the
+  /// resolved host, then against the SLD.
+  std::vector<std::pair<std::string, ServerAssociation>> association_rules;
+  const ctlog::CtDatabase* ct = nullptr;  // optional
+  /// How many distinct CT-mismatching domains confirm an interception
+  /// issuer (the stand-in for the paper's manual investigation). 1 =
+  /// trust every mismatch; higher = more conservative.
+  std::size_t interception_domain_threshold = 3;
+  /// Reference "now" for expiry checks on certificates whose use we
+  /// observe (each connection uses its own timestamp; this is only the
+  /// fallback for population-level summaries).
+  util::UnixSeconds study_start = 0;
+  util::UnixSeconds study_end = 0;
+
+  /// The configuration matching the synthetic campus in gen::paper_model.
+  static PipelineConfig campus_defaults();
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineConfig config);
+
+  using Observer = std::function<void(const EnrichedConnection&)>;
+  void add_observer(Observer observer);
+
+  /// Registers a certificate row (idempotent per fuid). The DER is
+  /// re-parsed when present; otherwise the logged fields are used.
+  void add_certificate(const zeek::X509Record& record);
+
+  /// Processes one connection: enrichment, interception filtering, usage
+  /// accounting, observer dispatch. Connections whose server leaf is an
+  /// interception certificate are excluded (counted, not dispatched).
+  void add_connection(const zeek::SslRecord& record);
+
+  /// Convenience: converts a simulated connection to Zeek records and
+  /// feeds both logs.
+  void feed(const tls::TlsConnection& conn);
+
+  /// Marks every certificate issued by a confirmed interception issuer.
+  /// Call once after the stream ends, before certificate-level analyses.
+  void finalize();
+
+  /// The certificate registry, keyed by fuid.
+  const std::map<std::string, CertFacts>& certificates() const {
+    return certs_;
+  }
+
+  // Interception-filter results (§3.2.1).
+  const std::set<std::string>& interception_issuers() const {
+    return interception_issuers_;
+  }
+  std::size_t interception_excluded_connections() const {
+    return excluded_connections_;
+  }
+  std::size_t interception_flagged_certificates() const;
+
+  struct Totals {
+    std::uint64_t connections = 0;
+    std::uint64_t established = 0;
+    std::uint64_t rejected_handshakes = 0;  // not established → excluded
+    std::uint64_t mutual = 0;
+    std::uint64_t inbound = 0;
+    std::uint64_t outbound = 0;
+    std::uint64_t tls13 = 0;
+  };
+  const Totals& totals() const { return totals_; }
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  CertFacts make_facts(const zeek::X509Record& record) const;
+  IssuerCategory categorize_cached(const x509::DistinguishedName& issuer,
+                                   const std::string& issuer_dn,
+                                   bool is_public) const;
+  Direction infer_direction(const zeek::SslRecord& record) const;
+  ServerAssociation associate(const std::string& host,
+                              const std::string& sld) const;
+  bool is_university_address(const net::IpAddress& addr) const;
+
+  PipelineConfig config_;
+  trust::TrustEvaluator trust_;
+  IssuerCategorizer categorizer_;
+  /// Issuer-DN → category memo: categorization includes gazetteer cosine
+  /// matching (§4.2 fuzzy matching), which is expensive, while distinct
+  /// issuers number in the hundreds against millions of certificates.
+  mutable std::map<std::string, IssuerCategory> category_cache_;
+  std::vector<Observer> observers_;
+  std::map<std::string, CertFacts> certs_;
+  std::set<std::string> interception_issuers_;
+  /// Candidate interception issuers: CT-mismatching issuer → distinct
+  /// SLDs observed. Confirmed once the issuer re-signs enough different
+  /// domains (the stand-in for the paper's manual investigation).
+  std::map<std::string, std::set<std::string>> interception_candidates_;
+  std::size_t excluded_connections_ = 0;
+  Totals totals_;
+};
+
+}  // namespace mtlscope::core

@@ -1,0 +1,51 @@
+// Privacy remediation (paper §7 "Enhancing privacy of client
+// certificates"): client certificates should carry only what
+// authentication needs. This module audits a certificate for the
+// §6 information types that expose the holder, and can re-issue it with
+// sensitive fields replaced by stable pseudonyms — HMAC-based, so the
+// relying party can still correlate a device across renewals without the
+// network learning who it is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mtlscope/crypto/tsig.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::core {
+
+struct PrivacyFinding {
+  enum class Field : std::uint8_t { kSubjectCn, kSanDns, kSanEmail };
+  Field field = Field::kSubjectCn;
+  std::string value;
+  textclass::InfoType type = textclass::InfoType::kUnidentified;
+};
+
+/// Information types that identify a person or device owner on the wire.
+bool is_sensitive_info(textclass::InfoType type);
+
+/// Audits the CN/SAN contents of one certificate.
+std::vector<PrivacyFinding> audit_certificate(
+    const x509::Certificate& cert,
+    const textclass::ClassifyContext& context = {});
+
+/// Re-issues `cert` under `issuer` with every sensitive CN/SAN value
+/// replaced by a pseudonym derived from HMAC(pseudonym_key, value):
+/// deterministic (the same subject maps to the same pseudonym, so
+/// authorization lists keep working) yet unlinkable to the identity
+/// without the key. Non-sensitive values, validity, serial and key
+/// material are preserved.
+x509::Certificate redact_certificate(
+    const x509::Certificate& cert,
+    const trust::CertificateAuthority& issuer,
+    const crypto::TsigKey& pseudonym_key,
+    const textclass::ClassifyContext& context = {});
+
+/// The pseudonym used by redact_certificate ("anon-" + 16 hex chars).
+std::string pseudonym_for(const crypto::TsigKey& pseudonym_key,
+                          std::string_view value);
+
+}  // namespace mtlscope::core

@@ -1,0 +1,32 @@
+// Hex and Base64 codecs used for fingerprints, serial numbers, and the
+// Zeek-log representation of binary fields.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtlscope::crypto {
+
+/// Lower-case hex encoding ("deadbeef").
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Upper-case hex encoding ("DEADBEEF") — X.509 serial numbers are
+/// conventionally rendered upper-case.
+std::string to_hex_upper(std::span<const std::uint8_t> data);
+
+/// Decodes hex (either case). Returns nullopt on odd length or a non-hex
+/// character.
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Standard Base64 with padding (RFC 4648 §4).
+std::string to_base64(std::span<const std::uint8_t> data);
+
+/// Decodes Base64; tolerates missing padding. Returns nullopt on any
+/// character outside the alphabet.
+std::optional<std::vector<std::uint8_t>> from_base64(std::string_view b64);
+
+}  // namespace mtlscope::crypto

@@ -1,0 +1,42 @@
+// tsig — the toy deterministic signature scheme used by the simulated PKI.
+//
+// The paper's measurement pipeline never verifies cryptographic signatures:
+// its trust decisions are issuer / trust-store lookups (§3.2.1). To still
+// exercise a complete sign → embed → parse → verify code path without an
+// RSA/ECDSA bignum stack, certificates in this reproduction are signed with
+// tsig: the "public key" carried in SubjectPublicKeyInfo doubles as the MAC
+// key and a signature is HMAC-SHA256(key, tbs). This provides *integrity
+// checking* for our simulated chains, not real authentication; DESIGN.md
+// records the substitution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mtlscope/crypto/sha256.hpp"
+
+namespace mtlscope::crypto {
+
+struct TsigKey {
+  std::vector<std::uint8_t> key;  // also the encoded public key bytes
+
+  /// Derives a key deterministically from a seed label (e.g. a CA name),
+  /// so a CA regenerated in another process signs identically.
+  static TsigKey derive(std::string_view label, std::size_t key_bits = 2048);
+
+  /// Size of the key in bits (the generator uses 1024-bit keys for the
+  /// paper's weak-key findings, 2048+ elsewhere).
+  std::size_t bits() const { return key.size() * 8; }
+};
+
+/// Signs `tbs` with `key`. Deterministic.
+std::vector<std::uint8_t> tsig_sign(const TsigKey& key,
+                                    std::span<const std::uint8_t> tbs);
+
+/// Verifies a tsig signature against the signer's public key bytes.
+bool tsig_verify(std::span<const std::uint8_t> public_key,
+                 std::span<const std::uint8_t> tbs,
+                 std::span<const std::uint8_t> signature);
+
+}  // namespace mtlscope::crypto

@@ -1,0 +1,63 @@
+// Turns a CampusModel into a stream of TlsConnections (with real DER
+// certificates attached) plus the side artifacts the pipeline needs: the
+// CT database and the campus-CA name list.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mtlscope/crypto/rng.hpp"
+#include "mtlscope/ctlog/ct_database.hpp"
+#include "mtlscope/gen/model.hpp"
+#include "mtlscope/tls/connection.hpp"
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/zeek/records.hpp"
+
+namespace mtlscope::gen {
+
+class TraceGenerator {
+ public:
+  using Sink = std::function<void(const tls::TlsConnection&)>;
+
+  explicit TraceGenerator(CampusModel model);
+  ~TraceGenerator();
+
+  TraceGenerator(const TraceGenerator&) = delete;
+  TraceGenerator& operator=(const TraceGenerator&) = delete;
+
+  /// Generates the whole trace, invoking `sink` once per connection.
+  /// Deterministic for a fixed model (including seed). May be called once.
+  void generate(const Sink& sink);
+
+  /// Convenience: generates into an in-memory Zeek dataset.
+  zeek::Dataset generate_dataset();
+
+  /// The CT database populated during generation (legitimate public
+  /// issuances only) — input to the interception filter.
+  const ctlog::CtDatabase& ct_database() const { return ct_; }
+
+  /// Issuer-organization names of the university's CAs — input to the
+  /// pipeline's user-account classification and issuer categorization.
+  static std::vector<std::string> campus_issuer_names();
+
+  /// The organization names the model uses for dummy issuers.
+  static std::vector<std::string> dummy_issuer_names();
+
+  struct Stats {
+    std::size_t connections = 0;
+    std::size_t mutual_connections = 0;
+    std::size_t certificates_minted = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  ctlog::CtDatabase ct_;
+  Stats stats_;
+};
+
+}  // namespace mtlscope::gen

@@ -1,0 +1,220 @@
+// The synthetic campus model: a data-driven description of the traffic and
+// certificate populations whose parameters come from the paper's published
+// statistics. The generator (generator.hpp) turns this model into Zeek-style
+// connection/certificate streams; the analysis pipeline then re-derives the
+// paper's tables from those streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::gen {
+
+enum class Direction : std::uint8_t { kInbound, kOutbound };
+
+/// Inbound server association categories (§4.2, Table 3).
+enum class ServerAssociation : std::uint8_t {
+  kUniversityHealth,
+  kUniversityServer,
+  kUniversityVpn,
+  kLocalOrganization,
+  kThirdPartyService,
+  kGlobus,
+  kUnknown,
+  kNone,  // outbound clusters
+};
+
+/// How the issuer of a cohort's certificates is minted.
+enum class IssuerKind : std::uint8_t {
+  kPublicCa,        // one of the PublicPki CAs (issuer_ref = label)
+  kPrivateOrg,      // private CA with organization name issuer_ref
+  kCampus,          // one of the university's CAs (Private - Education)
+  kMissingIssuer,   // issuer DN carries no organization (empty or CN-only)
+  kDummy,           // issuer_ref = dummy organization string
+  kSelfSigned,      // subject == issuer, self-signed
+  /// A private hosting sub-CA chained under a public intermediate: the
+  /// leaf's direct issuer is NOT in any trust store, but its chain is —
+  /// exercising the paper's chain-level public classification (§3.2.1).
+  kHostingSubCa,
+};
+
+/// CN / SAN-DNS content kinds — the generative counterparts of the
+/// paper's Table-8 information types plus its named special cases.
+enum class CnContent : std::uint8_t {
+  kEmpty,
+  kServiceDomain,    // the cluster's SLD itself
+  kHostUnderDomain,  // "<token>.<SLD>"
+  kEmailServiceDomain,  // "smtp<N>.<SLD>" etc. (Table 8 client/public note)
+  kWebRtc,           // "WebRTC" or "WebRTC-<hex>"
+  kTwilio,
+  kHangouts,
+  kOrgName,          // the issuing organization's name
+  kCompanyName,      // random company from the lexicon
+  kProductName,      // random product from the lexicon
+  kPersonalName,     // "<Given> <Family>" from the lexicon
+  kUserAccount,      // campus user-id shape
+  kSipAddress,
+  kEmailAddress,
+  kIpAddress,
+  kMacAddress,
+  kLocalhost,
+  kRandomHex8,
+  kRandomHex32,
+  kUuid,
+  kRandomOther,      // random alnum of misc length
+  kNonRandomToken,   // "__transfer__", "Dtls", "hmpp", …
+  kFixed,            // CertSpec::fixed_cn
+};
+
+/// Weighted distribution over CN contents.
+using CnDistribution = std::vector<std::pair<CnContent, double>>;
+
+struct ValiditySpec {
+  /// Mean validity period in days; each cert draws in [0.5x, 1.5x].
+  double typical_days = 398;
+  /// When set, every certificate gets exactly these timestamps (used for
+  /// the incorrect-date cohorts: notBefore year 2019 / notAfter 1849…).
+  bool fixed_dates = false;
+  util::UnixSeconds not_before = 0;
+  util::UnixSeconds not_after = 0;
+  /// When > 0, certificates are already expired: not_after falls this
+  /// many days before the study start (±25%), for the Figure-5 cohorts.
+  double expired_days_before_study = 0;
+};
+
+struct SerialSpec {
+  /// Empty → unique serial per certificate. Otherwise the fixed hex value
+  /// every certificate in the cohort shares ("00", "01", "024680", "03E8").
+  std::string fixed_hex;
+};
+
+/// One homogeneous certificate population.
+struct CertSpec {
+  std::size_t count = 0;
+  IssuerKind issuer_kind = IssuerKind::kPrivateOrg;
+  /// Public-CA label, private organization name, or dummy org, depending
+  /// on issuer_kind.
+  std::string issuer_ref;
+  /// Overrides the issuing CA's CN for private orgs (Globus Online issues
+  /// under the CN "FXP DCAU Cert").
+  std::string issuer_cn;
+  CnDistribution cn;
+  std::string fixed_cn;  // for CnContent::kFixed
+  /// Probability that a certificate carries a SAN-DNS entry; its content
+  /// distribution follows san_cn when non-empty, else mirrors `cn`.
+  double san_dns_probability = 0.0;
+  CnDistribution san_cn;
+  /// Probabilities for the other SAN types (§6.1.2: mostly unused).
+  double san_email_probability = 0.0;
+  double san_ip_probability = 0.0;
+  double san_uri_probability = 0.0;
+  ValiditySpec validity;
+  SerialSpec serial;
+  int version = 3;
+  int key_bits = 2048;
+};
+
+/// Monthly traffic shaping over the 23-month study window.
+enum class MonthlyProfile : std::uint8_t {
+  kFlat,
+  kGrowing,         // linear x1 → x1.8 (overall mTLS adoption, Fig 1)
+  kHealthSurge,     // doubles from 2023-10 onward (university health)
+  kVanishesOct23,   // drops to zero from 2023-10 (Rapid7 topology change)
+};
+
+enum class SharingMode : std::uint8_t {
+  kNone,
+  /// Both endpoints of each connection present the *same* certificate
+  /// (Table 5). The server_certs population is used for both ends.
+  kSameCertBothEnds,
+  /// Certificates alternate between server and client roles across
+  /// *different* connections (Table 6 / §5.2.2).
+  kCrossConnection,
+};
+
+/// One traffic cluster: a service context plus its certificate
+/// populations and connection volume. Clusters map 1:1 onto the rows of
+/// the paper's tables (Table 3 server associations, Table 2 services,
+/// Table 4/5 special issuers, …).
+struct TrafficCluster {
+  std::string name;
+  Direction direction = Direction::kInbound;
+  ServerAssociation assoc = ServerAssociation::kNone;
+  /// Registrable domain of the service ("apple.com"); empty → no SNI and
+  /// no CT entry. The generator appends host labels per connection.
+  std::string sld;
+  /// Overrides the SNI literally when set (Globus's "FXP DCAU Cert").
+  std::string sni_override;
+  bool sni_absent = false;
+  std::vector<std::pair<std::uint16_t, double>> ports = {{443, 1.0}};
+  bool mutual = true;
+  CertSpec server_certs;
+  CertSpec client_certs;   // ignored when !mutual or sharing==kSameCert…
+  SharingMode sharing = SharingMode::kNone;
+  std::size_t connections = 0;  // scaled connection volume
+  std::size_t client_ips = 1;   // distinct client addresses
+  /// Number of /24 subnets client addresses are spread over (Table 6);
+  /// 0 → derived from client_ips.
+  std::size_t client_subnets = 0;
+  /// Number of distinct server addresses / /24 subnets (Table 6's
+  /// server-side spread for cross-connection-shared certificates).
+  std::size_t server_ips = 1;
+  std::size_t server_subnets = 1;
+  /// When true, connections carry a client chain but no server chain —
+  /// the paper's "client certificates present without any server
+  /// certificate", attributed to university tunneling (§3.2.2).
+  bool tunnel_client_only = false;
+  MonthlyProfile profile = MonthlyProfile::kFlat;
+  double tls13_fraction = 0.0;
+  /// Observation window: 0 → the whole study. Otherwise connections are
+  /// confined to the first `activity_days` days (duration-of-activity
+  /// control for Tables 5/10-12 and Fig 3/5).
+  double activity_days = 0.0;
+  /// Server certificates re-issued every N days (Globus's 14-day cycle);
+  /// 0 → no re-issuance.
+  double reissue_days = 0.0;
+  /// When true the server actually validates client certificates and
+  /// rejects expired ones (the handshake fails). The paper's striking
+  /// finding is that most servers do NOT; this models the exceptions.
+  bool server_validates_clients = false;
+};
+
+/// Interception model (§3.2.1): a set of proxy CAs re-signing traffic to
+/// popular public domains.
+struct InterceptionSpec {
+  std::size_t proxy_issuers = 8;
+  std::size_t domains = 40;
+  std::size_t connections = 0;
+  std::size_t certificates = 0;
+};
+
+struct CampusModel {
+  std::uint64_t seed = 20240504;
+  util::UnixSeconds study_start = 0;  // filled by paper_model()
+  util::UnixSeconds study_end = 0;
+  std::vector<TrafficCluster> clusters;
+  InterceptionSpec interception;
+  /// Pure-connection volume with no visible certificates: the TLS 1.3
+  /// population and the plain HTTPS background that forms Fig 1's
+  /// denominator.
+  std::size_t background_connections = 0;
+  double background_mutualess_tls13_fraction = 0.4086;
+};
+
+/// Builds the paper-calibrated model.
+///
+/// `cert_scale` divides the paper's unique-certificate counts;
+/// `conn_scale` divides its connection counts. Defaults keep a full run
+/// in the low hundreds of thousands of connections — large enough for
+/// every shape in the paper to be measurable, small enough for CI.
+CampusModel paper_model(double cert_scale = 100.0,
+                        double conn_scale = 50'000.0);
+
+const char* direction_name(Direction d);
+const char* association_name(ServerAssociation a);
+
+}  // namespace mtlscope::gen

@@ -1,0 +1,78 @@
+// IPv4/IPv6 address and CIDR-subnet value types.
+//
+// The paper uses IP addresses for: direction inference (university subnets
+// vs external), client-count estimation, and the Table-6 analysis grouping
+// certificate appearances by /24 subnet.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mtlscope::net {
+
+/// An IPv4 or IPv6 address. Value type, totally ordered (v4 sorts before
+/// v6 of equal prefix via the family discriminant).
+class IpAddress {
+ public:
+  enum class Family : std::uint8_t { kV4, kV6 };
+
+  IpAddress() = default;
+
+  static IpAddress v4(std::uint32_t host_order);
+  static IpAddress v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d);
+  static IpAddress v6(const std::array<std::uint8_t, 16>& bytes);
+
+  /// Parses dotted-quad IPv4 or RFC-4291 IPv6 (with `::` compression).
+  static std::optional<IpAddress> parse(std::string_view s);
+
+  Family family() const { return family_; }
+  bool is_v4() const { return family_ == Family::kV4; }
+
+  /// IPv4 value in host order. Precondition: is_v4().
+  std::uint32_t v4_value() const;
+  const std::array<std::uint8_t, 16>& v6_bytes() const { return bytes_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const IpAddress&, const IpAddress&) = default;
+  friend std::strong_ordering operator<=>(const IpAddress&,
+                                          const IpAddress&) = default;
+
+ private:
+  Family family_ = Family::kV4;
+  // v4 stored in the first four bytes, network order.
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// A CIDR block, e.g. 128.143.0.0/16.
+class Subnet {
+ public:
+  Subnet() = default;
+  Subnet(IpAddress base, int prefix_len);
+
+  /// Parses "a.b.c.d/len" (or v6 equivalent).
+  static std::optional<Subnet> parse(std::string_view s);
+
+  bool contains(const IpAddress& addr) const;
+  const IpAddress& base() const { return base_; }
+  int prefix_len() const { return prefix_len_; }
+  std::string to_string() const;
+
+  friend bool operator==(const Subnet&, const Subnet&) = default;
+  friend std::strong_ordering operator<=>(const Subnet&,
+                                          const Subnet&) = default;
+
+ private:
+  IpAddress base_;  // stored with host bits zeroed
+  int prefix_len_ = 0;
+};
+
+/// The /24 (or /120 for v6) block containing `addr` — the unit of Table 6.
+Subnet slash24_of(const IpAddress& addr);
+
+}  // namespace mtlscope::net

@@ -1,0 +1,28 @@
+// Port → service naming, mirroring the paper's use of the IANA registry
+// plus the corporate services it identified by hand (Table 2 footnotes).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mtlscope::net {
+
+struct ServiceInfo {
+  std::string_view name;      // short label, e.g. "HTTPS"
+  std::string_view provider;  // "" for IANA-registered protocols
+};
+
+/// Looks up the service for a TCP port the way the paper does: IANA
+/// registry first, then the manually-identified corporate services
+/// (FileWave 20017, Globus 50000-51000, Outset Medical 9093, Splunk 9997,
+/// DvTel 33854, miscellaneous 3128).
+std::optional<ServiceInfo> lookup_service(std::uint16_t port);
+
+/// Display label in the paper's style: "HTTPS", "Corp. - FileWave",
+/// "Univ. - Unknown" (for unknown ports on university servers), or
+/// "Unknown".
+std::string service_label(std::uint16_t port, bool university_server);
+
+}  // namespace mtlscope::net

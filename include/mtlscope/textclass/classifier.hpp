@@ -1,0 +1,47 @@
+// The combined CN/SAN information-type classifier of §6.1.1.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mtlscope::textclass {
+
+/// The paper's ten information types (Table 8 rows).
+enum class InfoType : std::uint8_t {
+  kDomain,
+  kIp,
+  kMac,
+  kSip,
+  kEmail,
+  kUserAccount,
+  kPersonalName,
+  kOrgProduct,
+  kLocalhost,
+  kUnidentified,
+};
+
+constexpr std::size_t kInfoTypeCount = 10;
+
+const char* info_type_name(InfoType type);
+
+/// Issuer context, because two types are issuer-conditional: user
+/// accounts must come from a campus-managed CA (§6.1.1), and Table 9
+/// attributes random strings to recognizable issuers.
+struct ClassifyContext {
+  /// Issuer organization (or CN when the organization is absent).
+  std::string_view issuer;
+  /// True when the issuer is one of the university's CAs.
+  bool campus_issuer = false;
+  /// Disables the NER-lite stage (personal names, org/product) — used by
+  /// the classifier ablation to quantify what the model-assisted stage
+  /// adds over pure format matching.
+  bool enable_ner = true;
+};
+
+/// Classifies one CN or SAN value. Matching order mirrors the paper:
+/// format-specific regex types first (localhost, IP, MAC, SIP, email,
+/// domain, user account), then NER (personal name, org/product), then
+/// unidentified.
+InfoType classify_value(std::string_view value, const ClassifyContext& ctx);
+
+}  // namespace mtlscope::textclass

@@ -1,0 +1,49 @@
+// Domain extraction equivalent to Python tldextract over an embedded
+// Public Suffix List subset (ICANN section). Used for the paper's TLD/SLD
+// categorization of SNI and SAN values (§4.2) and the "Domain" information
+// type in Table 8.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mtlscope::textclass {
+
+struct DomainParts {
+  std::string subdomain;  // "www.mail" in www.mail.example.co.uk
+  std::string domain;     // "example"
+  std::string suffix;     // "co.uk"
+
+  /// "example.co.uk" — what the paper calls the SLD.
+  std::string registrable() const;
+};
+
+class DomainExtractor {
+ public:
+  /// The shared extractor over the embedded PSL subset.
+  static const DomainExtractor& instance();
+
+  /// Splits a hostname. Returns nullopt when the name has no known public
+  /// suffix or is not a syntactically plausible hostname (tldextract
+  /// yields an empty suffix in that case; we signal it explicitly).
+  std::optional<DomainParts> extract(std::string_view host) const;
+
+  /// True when `host` is a syntactically valid DNS name ending in a known
+  /// public suffix with a registrable label — the paper's criterion for
+  /// the "Domain" info type. Accepts one leading wildcard label ("*.x.com").
+  bool is_domain_name(std::string_view host) const;
+
+  bool known_suffix(std::string_view suffix) const;
+
+ private:
+  DomainExtractor();
+};
+
+/// Registrable domain ("SLD" in the paper), or "" when not a domain.
+std::string sld_of(std::string_view host);
+
+/// Public suffix ("TLD" in the paper's outbound grouping), or "".
+std::string tld_of(std::string_view host);
+
+}  // namespace mtlscope::textclass

@@ -1,0 +1,24 @@
+// Shared word lists: given names, family names, company names, product
+// names. The NER-lite recognizers consult them (standing in for spaCy's
+// trained model + the Kaggle company datasets the paper used), and the
+// trace generator draws from them so the synthetic CN/SAN population is
+// classifiable the same way the authors' data was.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace mtlscope::textclass::lexicon {
+
+std::span<const std::string_view> given_names();
+std::span<const std::string_view> family_names();
+/// Company names as they appear in issuer/CN strings ("Splunk Inc.",
+/// "Honeywell International Inc", …).
+std::span<const std::string_view> company_names();
+/// Product/platform strings observed in CNs ("WebRTC", "twilio",
+/// "hangouts", "Android Keystore", "Hybrid Runbook Worker", …).
+std::span<const std::string_view> product_names();
+/// Corporate legal-suffix tokens ("inc", "ltd", "llc", …).
+std::span<const std::string_view> legal_suffixes();
+
+}  // namespace mtlscope::textclass::lexicon

@@ -1,0 +1,30 @@
+// Format matchers for the regex-detectable information types of §6.1.1.
+#pragma once
+
+#include <string_view>
+
+namespace mtlscope::textclass {
+
+/// Dotted-quad IPv4 or RFC-4291 IPv6 literal.
+bool is_ip_literal(std::string_view s);
+
+/// MAC address in colon/hyphen-separated ("12:34:56:AB:CD:EF") or bare
+/// 12-hex-digit form.
+bool is_mac_address(std::string_view s);
+
+/// SIP address: "sip:" or "sips:" scheme prefix.
+bool is_sip_address(std::string_view s);
+
+/// Email: local@domain with a plausible domain part.
+bool is_email_address(std::string_view s);
+
+/// 'localhost' / '*.localdomain' style values.
+bool is_localhost(std::string_view s);
+
+/// The campus user-ID format (the paper's "User account" type): 2-3
+/// lower-case letters, 1-2 digits, then 1-3 more lower-case letters —
+/// e.g. "hd7gr", "ys3kz", "abc12xyz". Issuer context is checked by the
+/// classifier, not here.
+bool is_campus_user_id(std::string_view s);
+
+}  // namespace mtlscope::textclass

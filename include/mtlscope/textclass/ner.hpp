@@ -1,0 +1,30 @@
+// NER-lite: personal-name and organization/product recognition.
+//
+// Stands in for the paper's spaCy en_core_web_trf pipeline plus
+// company-name cosine-similarity matching (§6.1.1). Deterministic:
+// gazetteers (lexicon.hpp) + shape heuristics + character-trigram cosine
+// similarity against the company list.
+#pragma once
+
+#include <string_view>
+
+namespace mtlscope::textclass {
+
+/// Personal-name recognition over CN-style strings. Accepts
+/// "First Last", "First M. Last", "Last, First", and "first.last"
+/// when both parts are gazetteer names.
+bool is_personal_name(std::string_view s);
+
+/// Organization/product recognition: gazetteer hit, legal-suffix token
+/// ("... Inc", "... Pty Ltd"), or trigram cosine similarity >= 0.9
+/// against a known company name (the paper's threshold).
+bool is_org_or_product(std::string_view s);
+
+/// Cosine similarity between character-trigram frequency vectors of the
+/// two strings (case-folded). Exposed for tests and the Table-9 analysis.
+double trigram_cosine(std::string_view a, std::string_view b);
+
+/// Highest trigram similarity between `s` and any lexicon company name.
+double best_company_similarity(std::string_view s);
+
+}  // namespace mtlscope::textclass

@@ -1,0 +1,34 @@
+// Random-string analysis for the "Unidentified" information type
+// (Table 9): non-random vs random, issuer-recognizable, and the paper's
+// string-length buckets (8 / 32 / 36, where 36 = UUID format).
+#pragma once
+
+#include <string_view>
+
+namespace mtlscope::textclass {
+
+enum class StringShape : std::uint8_t {
+  kNonRandom,
+  kRandomLen8,
+  kRandomLen32,
+  kRandomLen36,   // UUID-shaped
+  kRandomOther,
+};
+
+/// UUID format: 8-4-4-4-12 hex with hyphens.
+bool is_uuid(std::string_view s);
+
+/// Pure-hex string of the given minimum length.
+bool is_hex_string(std::string_view s);
+
+/// Heuristic: does this look like machine-generated randomness (hash,
+/// UUID, token) rather than human-chosen text? Uses character-class mix,
+/// vowel ratio, digit interleaving, and bigram improbability.
+bool looks_random(std::string_view s);
+
+/// Buckets `s` for Table 9.
+StringShape classify_shape(std::string_view s);
+
+const char* shape_name(StringShape shape);
+
+}  // namespace mtlscope::textclass

@@ -1,0 +1,61 @@
+// TLS connection model: what a passive monitor at the network border can
+// see of one TLS session. This is the unit the whole pipeline measures.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/util/time.hpp"
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::tls {
+
+enum class TlsVersion : std::uint8_t {
+  kTls10,
+  kTls11,
+  kTls12,
+  kTls13,
+};
+
+std::string_view version_name(TlsVersion v);
+std::optional<TlsVersion> version_from_name(std::string_view name);
+
+struct Endpoint {
+  net::IpAddress addr;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// One observed TLS connection. Certificate chains are leaf-first.
+/// For TLS 1.3 both chains are empty: certificates are encrypted and the
+/// monitor cannot see them (paper §3.3).
+struct TlsConnection {
+  std::string uid;  // Zeek-style connection uid
+  util::UnixSeconds timestamp = 0;
+  Endpoint client;
+  Endpoint server;
+  TlsVersion version = TlsVersion::kTls12;
+  std::string sni;  // empty when the ClientHello carried no SNI
+  bool established = false;
+
+  std::vector<x509::Certificate> server_chain;
+  std::vector<x509::Certificate> client_chain;
+
+  /// The paper's mutual-TLS criterion (§3.2.1): both chains present.
+  bool is_mutual() const {
+    return !server_chain.empty() && !client_chain.empty();
+  }
+
+  const x509::Certificate* server_leaf() const {
+    return server_chain.empty() ? nullptr : &server_chain.front();
+  }
+  const x509::Certificate* client_leaf() const {
+    return client_chain.empty() ? nullptr : &client_chain.front();
+  }
+};
+
+}  // namespace mtlscope::tls

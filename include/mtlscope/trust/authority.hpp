@@ -1,0 +1,45 @@
+// A certificate authority in the simulated PKI: a DN plus a tsig key,
+// able to issue leaf and intermediate certificates.
+#pragma once
+
+#include <string>
+
+#include "mtlscope/crypto/tsig.hpp"
+#include "mtlscope/x509/builder.hpp"
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::trust {
+
+class CertificateAuthority {
+ public:
+  /// Creates a self-signed root CA. The key is derived from the DN string,
+  /// so the same authority reconstructed elsewhere issues byte-identical
+  /// certificates.
+  static CertificateAuthority make_root(x509::DistinguishedName dn,
+                                        util::UnixSeconds not_before,
+                                        util::UnixSeconds not_after);
+
+  /// Creates an intermediate CA signed by `parent`.
+  static CertificateAuthority make_intermediate(
+      const CertificateAuthority& parent, x509::DistinguishedName dn,
+      util::UnixSeconds not_before, util::UnixSeconds not_after);
+
+  /// Signs a prepared leaf builder. The builder's issuer becomes this CA's
+  /// DN. (Misconfigured leaves — dummy serials, wrong dates — are expressed
+  /// on the builder before calling this.)
+  x509::Certificate issue(const x509::CertificateBuilder& builder) const;
+
+  const x509::DistinguishedName& dn() const { return dn_; }
+  const x509::Certificate& certificate() const { return cert_; }
+  const crypto::TsigKey& key() const { return key_; }
+
+ private:
+  CertificateAuthority(x509::DistinguishedName dn, crypto::TsigKey key,
+                       x509::Certificate cert);
+
+  x509::DistinguishedName dn_;
+  crypto::TsigKey key_;
+  x509::Certificate cert_;
+};
+
+}  // namespace mtlscope::trust

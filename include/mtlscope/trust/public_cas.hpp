@@ -1,0 +1,46 @@
+// The reproduction's synthetic public PKI: root and intermediate CAs named
+// after the issuers the paper reports (Let's Encrypt, DigiCert, Sectigo,
+// GoDaddy, IdenTrust, Apple, Microsoft, FNMT-RCM, …). Substitutes for the
+// real Apple/Microsoft/NSS/CCADB stores, which we cannot embed.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/trust/store.hpp"
+
+namespace mtlscope::trust {
+
+/// One public CA hierarchy: a root plus the intermediate that actually
+/// issues leaves (mirroring how Let's Encrypt R3 hangs off ISRG Root X1).
+struct PublicCa {
+  std::string label;  // short id used by the generator, e.g. "lets-encrypt"
+  CertificateAuthority root;
+  CertificateAuthority intermediate;
+};
+
+/// The full synthetic public PKI, built deterministically.
+class PublicPki {
+ public:
+  PublicPki();
+
+  const std::vector<PublicCa>& cas() const { return cas_; }
+  /// Lookup by label; returns nullptr if unknown.
+  const PublicCa* find(std::string_view label) const;
+
+  /// Builds the four paper trust stores over this PKI. Each store gets a
+  /// (deliberately overlapping) subset, as in reality; the union covers
+  /// all of them.
+  std::vector<TrustStore> make_stores() const;
+
+ private:
+  std::vector<PublicCa> cas_;
+};
+
+/// Shared instance — building the PKI signs ~30 certificates, so callers
+/// (generator, benches, tests) reuse one.
+const PublicPki& public_pki();
+
+}  // namespace mtlscope::trust

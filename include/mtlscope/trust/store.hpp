@@ -1,0 +1,88 @@
+// Trust stores and the public/private CA classification used throughout
+// the paper (§2.1, §3.2.1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::trust {
+
+/// One named root store (e.g. "Mozilla NSS"). Holds trusted CA
+/// certificates and recognizes trust either by CA subject DN or by the
+/// issuer-organization name (the paper also accepts issuer-organization
+/// membership in CCADB, §4.2 "Methodology").
+class TrustStore {
+ public:
+  explicit TrustStore(std::string name) : name_(std::move(name)) {}
+
+  void add_ca(const x509::Certificate& ca_cert);
+  /// Registers an organization name as trusted without a certificate
+  /// (CCADB records issuer organizations, not only certificates).
+  void add_organization(std::string org);
+
+  bool contains_subject(const x509::DistinguishedName& dn) const;
+  bool contains_organization(std::string_view org) const;
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return subjects_.size() + organizations_.size(); }
+
+ private:
+  std::string name_;
+  std::set<std::string> subjects_;       // DN string form
+  std::set<std::string, std::less<>> organizations_;
+};
+
+enum class IssuerClass : std::uint8_t {
+  kPublic,   // chains to (or issuer listed in) a major root store / CCADB
+  kPrivate,  // everything else, including self-signed
+};
+
+enum class ChainStatus : std::uint8_t {
+  kValid,
+  kExpired,
+  kUntrustedRoot,
+  kBadSignature,
+  kEmptyChain,
+};
+
+/// Union over the four stores the paper consults: Apple, Microsoft,
+/// Mozilla NSS, CCADB.
+class TrustEvaluator {
+ public:
+  void add_store(TrustStore store);
+
+  /// Paper rule: a certificate is public-CA-issued when its root or
+  /// intermediate certificate, or its issuer (DN or organization), is in
+  /// at least one store. `chain` is leaf-first with any intermediates
+  /// following, as captured from the TLS handshake.
+  IssuerClass classify(const x509::Certificate& leaf,
+                       const std::vector<x509::Certificate>& chain = {}) const;
+
+  /// Full chain validation (used by the quickstart example and the
+  /// validation tests; the measurement pipeline itself only classifies).
+  /// `chain` is leaf-first; validation walks issuer links, checks tsig
+  /// signatures where the issuer certificate is present, validity windows
+  /// at `now`, and that the terminating issuer is trusted.
+  ChainStatus validate(const std::vector<x509::Certificate>& chain,
+                       util::UnixSeconds now) const;
+
+  bool is_trusted_issuer(const x509::DistinguishedName& issuer) const;
+
+  const std::vector<TrustStore>& stores() const { return stores_; }
+
+ private:
+  std::vector<TrustStore> stores_;
+};
+
+/// The default evaluator: synthetic Apple / Microsoft / Mozilla NSS /
+/// CCADB stores populated with this reproduction's public CAs
+/// (see public_cas.hpp).
+TrustEvaluator make_default_evaluator();
+
+}  // namespace mtlscope::trust

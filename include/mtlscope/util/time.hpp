@@ -1,0 +1,60 @@
+// Civil-time utilities over an int64 unix-seconds timestamp.
+//
+// The paper's dataset contains certificates dated 1849, 1970 and 2157
+// (§5.3.1), so conversions must be correct over the whole proleptic
+// Gregorian calendar, not just the 1970..2038 range. We use Howard
+// Hinnant's days_from_civil / civil_from_days algorithms.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mtlscope::util {
+
+/// Seconds since 1970-01-01T00:00:00Z. Negative values are valid.
+using UnixSeconds = std::int64_t;
+
+constexpr std::int64_t kSecondsPerDay = 86'400;
+
+struct CivilTime {
+  int year = 1970;   // proleptic Gregorian
+  int month = 1;     // 1..12
+  int day = 1;       // 1..31
+  int hour = 0;      // 0..23
+  int minute = 0;    // 0..59
+  int second = 0;    // 0..59 (no leap seconds)
+
+  friend bool operator==(const CivilTime&, const CivilTime&) = default;
+};
+
+/// Days between 1970-01-01 and y-m-d (Hinnant).
+std::int64_t days_from_civil(int y, int m, int d);
+
+/// Inverse of days_from_civil.
+CivilTime civil_from_days(std::int64_t days);
+
+UnixSeconds to_unix(const CivilTime& ct);
+CivilTime from_unix(UnixSeconds ts);
+
+bool is_leap_year(int y);
+int days_in_month(int y, int m);
+
+/// "2024-03-31T23:59:59Z"
+std::string format_iso8601(UnixSeconds ts);
+
+/// "2024-03-31"
+std::string format_date(UnixSeconds ts);
+
+/// Parses "YYYY-MM-DD" or full ISO-8601 "YYYY-MM-DDTHH:MM:SSZ".
+std::optional<UnixSeconds> parse_iso8601(std::string_view s);
+
+/// Month index since year 0 (year*12 + month-1); used for monthly bucketing
+/// in the Figure-1 time series.
+int month_index(UnixSeconds ts);
+
+/// "2023-10" label for a month index produced by month_index().
+std::string month_label(int month_idx);
+
+}  // namespace mtlscope::util

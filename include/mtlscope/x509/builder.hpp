@@ -1,0 +1,65 @@
+// Certificate builder: assembles and signs DER certificates for the
+// simulated PKI (CAs, leaves, and deliberately misconfigured certificates).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtlscope/crypto/tsig.hpp"
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::x509 {
+
+class CertificateBuilder {
+ public:
+  CertificateBuilder();
+
+  CertificateBuilder& version(int v);  // 1 or 3
+  CertificateBuilder& serial(std::vector<std::uint8_t> bytes);
+  /// Serial from hex ("00", "024680", "03E8"); precondition: valid hex.
+  CertificateBuilder& serial_hex(std::string_view hex);
+  /// Random-looking unique serial derived from a label.
+  CertificateBuilder& serial_from_label(std::string_view label);
+  CertificateBuilder& subject(DistinguishedName dn);
+  CertificateBuilder& validity(util::UnixSeconds not_before,
+                               util::UnixSeconds not_after);
+  CertificateBuilder& public_key(std::vector<std::uint8_t> key);
+  /// Labels the SPKI algorithm; defaults to tsig. The generator sets the
+  /// RSA OID when mimicking the paper's 1024-bit-RSA findings.
+  CertificateBuilder& spki_algorithm(asn1::Oid oid);
+
+  CertificateBuilder& add_san_dns(std::string value);
+  CertificateBuilder& add_san_email(std::string value);
+  CertificateBuilder& add_san_uri(std::string value);
+  CertificateBuilder& add_san_ip(const net::IpAddress& addr);
+  CertificateBuilder& ca(bool is_ca, std::optional<int> path_len = {});
+  CertificateBuilder& key_usage(std::uint16_t bits);
+  CertificateBuilder& add_eku(asn1::Oid oid);
+
+  /// Signs with the issuer's key and returns the complete parsed
+  /// certificate (including its DER encoding). `issuer_dn` becomes the
+  /// issuer field; pass the subject DN and the same key for self-signed.
+  Certificate sign(const DistinguishedName& issuer_dn,
+                   const crypto::TsigKey& issuer_key) const;
+
+  Certificate self_sign(const crypto::TsigKey& key) const;
+
+ private:
+  std::vector<std::uint8_t> encode_tbs(
+      const DistinguishedName& issuer_dn) const;
+
+  int version_ = 3;
+  std::vector<std::uint8_t> serial_{0x01};
+  DistinguishedName subject_;
+  Validity validity_;
+  asn1::Oid spki_algorithm_;
+  std::vector<std::uint8_t> public_key_;
+  std::vector<SanEntry> san_;
+  std::optional<BasicConstraints> basic_constraints_;
+  std::optional<std::uint16_t> key_usage_;
+  std::vector<asn1::Oid> eku_;
+};
+
+}  // namespace mtlscope::x509

@@ -1,0 +1,116 @@
+// Parsed X.509 certificate model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtlscope/asn1/oid.hpp"
+#include "mtlscope/crypto/sha256.hpp"
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/util/time.hpp"
+#include "mtlscope/x509/name.hpp"
+
+namespace mtlscope::x509 {
+
+/// SubjectAltName GeneralName, restricted to the choices the paper
+/// analyzes (§6.1.2): dNSName, rfc822Name, iPAddress, URI. Anything else
+/// parses as kOther with raw bytes rendered as text.
+struct SanEntry {
+  enum class Type : std::uint8_t {
+    kDns,
+    kEmail,
+    kIp,
+    kUri,
+    kOther,
+  };
+  Type type = Type::kDns;
+  std::string value;
+
+  friend bool operator==(const SanEntry&, const SanEntry&) = default;
+};
+
+struct Validity {
+  util::UnixSeconds not_before = 0;
+  util::UnixSeconds not_after = 0;
+
+  /// The paper's §5.3.1 misconfiguration check: notBefore must precede
+  /// notAfter. (One observed certificate has equal timestamps; we treat
+  /// equality as incorrect too, matching the paper's Table 11 footnote.)
+  bool dates_incorrect() const { return not_before >= not_after; }
+
+  /// Validity period in whole days (may be negative for incorrect dates).
+  std::int64_t period_days() const {
+    return (not_after - not_before) / util::kSecondsPerDay;
+  }
+
+  bool contains(util::UnixSeconds t) const {
+    return not_before <= t && t <= not_after;
+  }
+
+  friend bool operator==(const Validity&, const Validity&) = default;
+};
+
+struct BasicConstraints {
+  bool is_ca = false;
+  std::optional<int> path_len;
+
+  friend bool operator==(const BasicConstraints&,
+                         const BasicConstraints&) = default;
+};
+
+/// Key-usage bits (RFC 5280 §4.2.1.3), as a bitmask.
+namespace key_usage {
+inline constexpr std::uint16_t kDigitalSignature = 1 << 0;
+inline constexpr std::uint16_t kKeyEncipherment = 1 << 2;
+inline constexpr std::uint16_t kKeyCertSign = 1 << 5;
+inline constexpr std::uint16_t kCrlSign = 1 << 6;
+}  // namespace key_usage
+
+/// A parsed leaf or CA certificate. Owns its DER encoding; all accessors
+/// are views into decoded fields.
+struct Certificate {
+  int version = 3;  // 1 or 3 (the generator emits v1 for the paper's
+                    // OpenSSL-dummy findings, v3 otherwise)
+  std::vector<std::uint8_t> serial;  // INTEGER content octets
+  asn1::Oid signature_algorithm;
+  DistinguishedName issuer;
+  DistinguishedName subject;
+  Validity validity;
+  asn1::Oid spki_algorithm;
+  std::vector<std::uint8_t> public_key;
+
+  std::optional<BasicConstraints> basic_constraints;
+  std::optional<std::uint16_t> key_usage_bits;
+  std::vector<asn1::Oid> ext_key_usage;
+  std::vector<SanEntry> san;
+
+  std::vector<std::uint8_t> signature;
+  std::vector<std::uint8_t> tbs_der;  // for signature verification
+  std::vector<std::uint8_t> der;      // complete Certificate encoding
+
+  /// Upper-case hex serial, no leading zeros beyond DER minimal form —
+  /// e.g. "00", "01", "024680", "03E8" as the paper prints them.
+  std::string serial_hex() const;
+
+  /// SHA-256 over the full DER — the identity used for "unique
+  /// certificates" and for detecting server/client certificate sharing.
+  crypto::Sha256::Digest fingerprint() const;
+  std::string fingerprint_hex() const;
+
+  /// Key size in bits (the paper flags 1024-bit keys per NIST SP 800-57).
+  std::size_t key_bits() const { return public_key.size() * 8; }
+
+  bool is_self_issued() const { return issuer == subject; }
+
+  bool expired_at(util::UnixSeconds t) const { return t > validity.not_after; }
+
+  /// All SAN values of dNSName type (the paper's "SAN DNS").
+  std::vector<std::string> san_dns() const;
+
+  bool allows_server_auth() const;
+  bool allows_client_auth() const;
+};
+
+}  // namespace mtlscope::x509

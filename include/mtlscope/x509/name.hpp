@@ -1,0 +1,64 @@
+// X.501 DistinguishedName (RDNSequence) model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mtlscope/asn1/oid.hpp"
+
+namespace mtlscope::x509 {
+
+/// A single AttributeTypeAndValue. We model each RDN as holding exactly one
+/// attribute (multi-valued RDNs are vanishingly rare and the paper's
+/// analysis never depends on them).
+struct NameAttribute {
+  asn1::Oid type;
+  std::string value;
+
+  friend bool operator==(const NameAttribute&, const NameAttribute&) = default;
+  friend auto operator<=>(const NameAttribute&, const NameAttribute&) = default;
+};
+
+/// Ordered sequence of attributes, root-most first, as in the encoding.
+class DistinguishedName {
+ public:
+  DistinguishedName() = default;
+  explicit DistinguishedName(std::vector<NameAttribute> attrs)
+      : attrs_(std::move(attrs)) {}
+
+  /// Fluent construction used by the builder and the trace generator.
+  DistinguishedName& add(const asn1::Oid& type, std::string value);
+  DistinguishedName& add_cn(std::string value);
+  DistinguishedName& add_org(std::string value);
+  DistinguishedName& add_org_unit(std::string value);
+  DistinguishedName& add_country(std::string value);
+
+  const std::vector<NameAttribute>& attributes() const { return attrs_; }
+  bool empty() const { return attrs_.empty(); }
+
+  /// First value of the given attribute type, if present.
+  std::optional<std::string_view> find(const asn1::Oid& type) const;
+  std::optional<std::string_view> common_name() const;
+  std::optional<std::string_view> organization() const;
+
+  /// RFC 2253-style rendering ("CN=foo,O=bar,C=US"); unknown attribute
+  /// types render as dotted OIDs. This matches Zeek's subject strings
+  /// closely enough for the log layer.
+  std::string to_string() const;
+
+  /// Parses the to_string() format back. Commas inside values may be
+  /// escaped with a backslash. Returns nullopt on malformed input.
+  static std::optional<DistinguishedName> from_string(std::string_view s);
+
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
+  friend auto operator<=>(const DistinguishedName&,
+                          const DistinguishedName&) = default;
+
+ private:
+  std::vector<NameAttribute> attrs_;
+};
+
+}  // namespace mtlscope::x509

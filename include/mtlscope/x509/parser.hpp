@@ -1,0 +1,27 @@
+// DER → Certificate parser.
+#pragma once
+
+#include <span>
+#include <string>
+#include <variant>
+
+#include "mtlscope/x509/certificate.hpp"
+
+namespace mtlscope::x509 {
+
+struct ParseError {
+  std::string message;
+};
+
+using ParseResult = std::variant<Certificate, ParseError>;
+
+/// Parses a DER-encoded Certificate. Never throws: malformed input is
+/// reported as ParseError, since certificates cross a trust boundary.
+ParseResult parse_certificate(std::span<const std::uint8_t> der);
+
+/// Convenience for call sites that treat failure as absence.
+inline const Certificate* get_certificate(const ParseResult& r) {
+  return std::get_if<Certificate>(&r);
+}
+
+}  // namespace mtlscope::x509

@@ -1,0 +1,41 @@
+// Zeek ASCII log format (TSV with #-prefixed metadata) writer and parser
+// for ssl.log and x509.log.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtlscope/zeek/records.hpp"
+
+namespace mtlscope::zeek {
+
+void write_ssl_log(std::ostream& out, const std::vector<SslRecord>& records);
+void write_x509_log(std::ostream& out, const Dataset& dataset);
+
+struct LogParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parses a Zeek ssl.log. Unknown fields are ignored; required fields
+/// missing from the #fields header is an error.
+std::optional<std::vector<SslRecord>> parse_ssl_log(
+    std::istream& in, LogParseError* error = nullptr);
+
+std::optional<std::vector<X509Record>> parse_x509_log(
+    std::istream& in, LogParseError* error = nullptr);
+
+/// Serializes a whole dataset to a directory-less pair of strings (used by
+/// tests and by the examples that persist logs to disk).
+std::string ssl_log_to_string(const std::vector<SslRecord>& records);
+std::string x509_log_to_string(const Dataset& dataset);
+
+/// Round-trips a dataset through the ASCII format: parse both logs and
+/// reassemble. Returns nullopt on parse failure.
+std::optional<Dataset> parse_dataset(std::istream& ssl_in,
+                                     std::istream& x509_in,
+                                     LogParseError* error = nullptr);
+
+}  // namespace mtlscope::zeek

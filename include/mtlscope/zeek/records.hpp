@@ -1,0 +1,86 @@
+// Zeek-schema records: ssl.log and x509.log rows, and the in-memory
+// Dataset that joins them by certificate file id (fuid) — the same join
+// the paper performs (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mtlscope/tls/connection.hpp"
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::zeek {
+
+/// One ssl.log row. Field names follow Zeek's SSL::Info.
+struct SslRecord {
+  util::UnixSeconds ts = 0;
+  std::string uid;
+  std::string orig_h;  // client address
+  std::uint16_t orig_p = 0;
+  std::string resp_h;  // server address
+  std::uint16_t resp_p = 0;
+  std::string version;      // "TLSv12"; empty → unset
+  std::string server_name;  // SNI; empty → unset
+  bool established = false;
+  std::vector<std::string> cert_chain_fuids;         // server chain
+  std::vector<std::string> client_cert_chain_fuids;  // client chain
+
+  bool is_mutual() const {
+    return !cert_chain_fuids.empty() && !client_cert_chain_fuids.empty();
+  }
+};
+
+/// One x509.log row. Zeek logs parsed fields; we additionally carry the
+/// DER (as Zeek can be configured to do), which lets the analysis
+/// pipeline re-parse certificates rather than trusting the log fields.
+struct X509Record {
+  std::string fuid;
+  int version = 0;
+  std::string serial;   // upper-case hex
+  std::string subject;  // DN string form
+  std::string issuer;
+  util::UnixSeconds not_valid_before = 0;
+  util::UnixSeconds not_valid_after = 0;
+  std::string key_alg;
+  int key_length = 0;
+  std::vector<std::string> san_dns;
+  std::vector<std::string> san_email;
+  std::vector<std::string> san_uri;
+  std::vector<std::string> san_ip;
+  std::string cert_der_base64;
+};
+
+/// Computes Zeek-style file id for a certificate ("F" + 17 hex chars of
+/// the SHA-256 fingerprint) — stable across connections, which is what
+/// makes certificate-level dedup work downstream.
+std::string fuid_of(const x509::Certificate& cert);
+
+/// Converts a parsed certificate into its x509.log row.
+X509Record to_x509_record(const x509::Certificate& cert);
+
+/// An ssl.log + x509.log pair over the same capture window.
+class Dataset {
+ public:
+  /// Appends a connection: one ssl row plus x509 rows for any not-yet-seen
+  /// certificates.
+  void add_connection(const tls::TlsConnection& conn);
+
+  const std::vector<SslRecord>& ssl() const { return ssl_; }
+  std::vector<SslRecord>& ssl() { return ssl_; }
+  const std::map<std::string, X509Record>& x509() const { return x509_; }
+
+  const X509Record* find_certificate(const std::string& fuid) const;
+  void add_x509(X509Record record);
+  void add_ssl(SslRecord record) { ssl_.push_back(std::move(record)); }
+
+  std::size_t connection_count() const { return ssl_.size(); }
+  std::size_t certificate_count() const { return x509_.size(); }
+
+ private:
+  std::vector<SslRecord> ssl_;
+  std::map<std::string, X509Record> x509_;
+};
+
+}  // namespace mtlscope::zeek

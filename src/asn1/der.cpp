@@ -1,0 +1,382 @@
+#include "mtlscope/asn1/der.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mtlscope::asn1 {
+
+// ---------------------------------------------------------------------------
+// DerWriter
+
+void DerWriter::write_tag(Tag tag) {
+  std::uint8_t first = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(tag.cls) << 6) |
+      (tag.constructed ? 0x20 : 0x00));
+  if (tag.number < 31) {
+    out_.push_back(first | static_cast<std::uint8_t>(tag.number));
+    return;
+  }
+  out_.push_back(first | 0x1f);
+  // High-tag-number form, base-128 big-endian.
+  std::uint32_t n = tag.number;
+  std::uint8_t stack[5];
+  int count = 0;
+  do {
+    stack[count++] = static_cast<std::uint8_t>(n & 0x7f);
+    n >>= 7;
+  } while (n != 0);
+  for (int i = count - 1; i > 0; --i) {
+    out_.push_back(stack[i] | 0x80);
+  }
+  out_.push_back(stack[0]);
+}
+
+void DerWriter::write_length(std::size_t len) {
+  if (len < 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(len));
+    return;
+  }
+  std::uint8_t bytes[8];
+  int count = 0;
+  std::size_t v = len;
+  while (v != 0) {
+    bytes[count++] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  out_.push_back(static_cast<std::uint8_t>(0x80 | count));
+  for (int i = count - 1; i >= 0; --i) out_.push_back(bytes[i]);
+}
+
+void DerWriter::tlv(Tag tag, std::span<const std::uint8_t> content) {
+  write_tag(tag);
+  write_length(content.size());
+  out_.insert(out_.end(), content.begin(), content.end());
+}
+
+void DerWriter::raw(std::span<const std::uint8_t> der) {
+  out_.insert(out_.end(), der.begin(), der.end());
+}
+
+void DerWriter::boolean(bool v) {
+  const std::uint8_t content = v ? 0xff : 0x00;
+  tlv(Tag::universal(tags::kBoolean), {&content, 1});
+}
+
+void DerWriter::integer(std::int64_t v) {
+  // Minimal two's-complement encoding.
+  std::uint8_t bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >>
+                                         (56 - 8 * i));
+  }
+  int start = 0;
+  while (start < 7) {
+    const bool redundant_zero =
+        bytes[start] == 0x00 && (bytes[start + 1] & 0x80) == 0;
+    const bool redundant_ff =
+        bytes[start] == 0xff && (bytes[start + 1] & 0x80) != 0;
+    if (!redundant_zero && !redundant_ff) break;
+    ++start;
+  }
+  tlv(Tag::universal(tags::kInteger),
+      {bytes + start, static_cast<std::size_t>(8 - start)});
+}
+
+void DerWriter::integer_unsigned(std::span<const std::uint8_t> magnitude) {
+  // Strip leading zeros, then re-add one if the high bit is set.
+  std::size_t start = 0;
+  while (start + 1 < magnitude.size() && magnitude[start] == 0) ++start;
+  std::vector<std::uint8_t> content;
+  if (magnitude.empty()) {
+    content.push_back(0);
+  } else {
+    if (magnitude[start] & 0x80) content.push_back(0);
+    content.insert(content.end(), magnitude.begin() + static_cast<long>(start),
+                   magnitude.end());
+  }
+  tlv(Tag::universal(tags::kInteger), content);
+}
+
+void DerWriter::null() { tlv(Tag::universal(tags::kNull), {}); }
+
+void DerWriter::oid(const Oid& oid) {
+  const auto& arcs = oid.arcs();
+  if (arcs.size() < 2) throw DerError("OID needs at least two arcs");
+  std::vector<std::uint8_t> content;
+  const auto push_base128 = [&content](std::uint64_t v) {
+    std::uint8_t stack[10];
+    int count = 0;
+    do {
+      stack[count++] = static_cast<std::uint8_t>(v & 0x7f);
+      v >>= 7;
+    } while (v != 0);
+    for (int i = count - 1; i > 0; --i) content.push_back(stack[i] | 0x80);
+    content.push_back(stack[0]);
+  };
+  push_base128(std::uint64_t{arcs[0]} * 40 + arcs[1]);
+  for (std::size_t i = 2; i < arcs.size(); ++i) push_base128(arcs[i]);
+  tlv(Tag::universal(tags::kOid), content);
+}
+
+void DerWriter::octet_string(std::span<const std::uint8_t> bytes) {
+  tlv(Tag::universal(tags::kOctetString), bytes);
+}
+
+void DerWriter::bit_string(std::span<const std::uint8_t> bytes) {
+  std::vector<std::uint8_t> content;
+  content.reserve(bytes.size() + 1);
+  content.push_back(0);  // unused bits
+  content.insert(content.end(), bytes.begin(), bytes.end());
+  tlv(Tag::universal(tags::kBitString), content);
+}
+
+namespace {
+std::span<const std::uint8_t> as_bytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+}  // namespace
+
+void DerWriter::utf8_string(std::string_view s) {
+  tlv(Tag::universal(tags::kUtf8String), as_bytes(s));
+}
+
+void DerWriter::printable_string(std::string_view s) {
+  tlv(Tag::universal(tags::kPrintableString), as_bytes(s));
+}
+
+void DerWriter::ia5_string(std::string_view s) {
+  tlv(Tag::universal(tags::kIa5String), as_bytes(s));
+}
+
+void DerWriter::time(util::UnixSeconds ts) {
+  const util::CivilTime ct = util::from_unix(ts);
+  char buf[24];
+  if (ct.year >= 1950 && ct.year < 2050) {
+    std::snprintf(buf, sizeof(buf), "%02d%02d%02d%02d%02d%02dZ",
+                  ct.year % 100, ct.month, ct.day, ct.hour, ct.minute,
+                  ct.second);
+    tlv(Tag::universal(tags::kUtcTime), as_bytes(buf));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02dZ", ct.year,
+                  ct.month, ct.day, ct.hour, ct.minute, ct.second);
+    tlv(Tag::universal(tags::kGeneralizedTime), as_bytes(buf));
+  }
+}
+
+void DerWriter::constructed(Tag tag, const BuildFn& build) {
+  DerWriter inner;
+  build(inner);
+  Tag t = tag;
+  t.constructed = true;
+  tlv(t, inner.bytes());
+}
+
+void DerWriter::sequence(const BuildFn& build) {
+  constructed(Tag::sequence(), build);
+}
+
+void DerWriter::set(const BuildFn& build) { constructed(Tag::set(), build); }
+
+void DerWriter::context_primitive(std::uint32_t n,
+                                  std::span<const std::uint8_t> content) {
+  tlv(Tag::context(n, false), content);
+}
+
+void DerWriter::context_primitive(std::uint32_t n, std::string_view content) {
+  context_primitive(n, as_bytes(content));
+}
+
+// ---------------------------------------------------------------------------
+// DerValue
+
+DerValue DerValue::expect(Tag t, const char* what) const {
+  if (tag != t) {
+    throw DerError(std::string("unexpected tag for ") + what);
+  }
+  return *this;
+}
+
+bool DerValue::as_boolean() const {
+  if (!tag.is_universal(tags::kBoolean) || content.size() != 1) {
+    throw DerError("not a BOOLEAN");
+  }
+  return content[0] != 0;
+}
+
+std::int64_t DerValue::as_integer() const {
+  if (!tag.is_universal(tags::kInteger) || content.empty() ||
+      content.size() > 8) {
+    throw DerError("not a small INTEGER");
+  }
+  std::int64_t v = (content[0] & 0x80) ? -1 : 0;
+  for (const std::uint8_t b : content) {
+    v = (v << 8) | static_cast<std::int64_t>(b);
+  }
+  return v;
+}
+
+std::span<const std::uint8_t> DerValue::integer_bytes() const {
+  if (!tag.is_universal(tags::kInteger) || content.empty()) {
+    throw DerError("not an INTEGER");
+  }
+  return content;
+}
+
+Oid DerValue::as_oid() const {
+  if (!tag.is_universal(tags::kOid) || content.empty()) {
+    throw DerError("not an OID");
+  }
+  std::vector<std::uint32_t> arcs;
+  std::uint64_t acc = 0;
+  bool in_arc = false;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const std::uint8_t b = content[i];
+    if (!in_arc && b == 0x80) throw DerError("non-minimal OID arc");
+    acc = (acc << 7) | (b & 0x7f);
+    if (acc > 0xffffffffULL) throw DerError("OID arc overflow");
+    in_arc = true;
+    if ((b & 0x80) == 0) {
+      if (arcs.empty()) {
+        // First encoded value combines the first two arcs.
+        if (acc < 40) {
+          arcs.push_back(0);
+          arcs.push_back(static_cast<std::uint32_t>(acc));
+        } else if (acc < 80) {
+          arcs.push_back(1);
+          arcs.push_back(static_cast<std::uint32_t>(acc - 40));
+        } else {
+          arcs.push_back(2);
+          arcs.push_back(static_cast<std::uint32_t>(acc - 80));
+        }
+      } else {
+        arcs.push_back(static_cast<std::uint32_t>(acc));
+      }
+      acc = 0;
+      in_arc = false;
+    }
+  }
+  if (in_arc) throw DerError("truncated OID arc");
+  return Oid(std::move(arcs));
+}
+
+std::span<const std::uint8_t> DerValue::as_bit_string() const {
+  if (!tag.is_universal(tags::kBitString) || content.empty()) {
+    throw DerError("not a BIT STRING");
+  }
+  if (content[0] != 0) {
+    throw DerError("BIT STRING with unused bits unsupported");
+  }
+  return content.subspan(1);
+}
+
+namespace {
+int two_digits(std::span<const std::uint8_t> s, std::size_t pos) {
+  const char a = static_cast<char>(s[pos]);
+  const char b = static_cast<char>(s[pos + 1]);
+  if (a < '0' || a > '9' || b < '0' || b > '9') {
+    throw DerError("non-digit in time");
+  }
+  return (a - '0') * 10 + (b - '0');
+}
+}  // namespace
+
+util::UnixSeconds DerValue::as_time() const {
+  util::CivilTime ct;
+  std::size_t pos = 0;
+  if (tag.is_universal(tags::kUtcTime)) {
+    if (content.size() != 13 || content.back() != 'Z') {
+      throw DerError("malformed UTCTime");
+    }
+    const int yy = two_digits(content, 0);
+    ct.year = yy >= 50 ? 1900 + yy : 2000 + yy;
+    pos = 2;
+  } else if (tag.is_universal(tags::kGeneralizedTime)) {
+    if (content.size() != 15 || content.back() != 'Z') {
+      throw DerError("malformed GeneralizedTime");
+    }
+    ct.year = two_digits(content, 0) * 100 + two_digits(content, 2);
+    pos = 4;
+  } else {
+    throw DerError("not a time value");
+  }
+  ct.month = two_digits(content, pos);
+  ct.day = two_digits(content, pos + 2);
+  ct.hour = two_digits(content, pos + 4);
+  ct.minute = two_digits(content, pos + 6);
+  ct.second = two_digits(content, pos + 8);
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 ||
+      ct.day > util::days_in_month(ct.year, ct.month) || ct.hour > 23 ||
+      ct.minute > 59 || ct.second > 59) {
+    throw DerError("out-of-range time component");
+  }
+  return util::to_unix(ct);
+}
+
+// ---------------------------------------------------------------------------
+// DerReader
+
+DerValue DerReader::read() {
+  const std::size_t start = pos_;
+  if (pos_ >= data_.size()) throw DerError("read past end of DER input");
+
+  const std::uint8_t first = data_[pos_++];
+  Tag tag;
+  tag.cls = static_cast<TagClass>(first >> 6);
+  tag.constructed = (first & 0x20) != 0;
+  if ((first & 0x1f) != 0x1f) {
+    tag.number = first & 0x1f;
+  } else {
+    std::uint32_t n = 0;
+    int count = 0;
+    while (true) {
+      if (pos_ >= data_.size()) throw DerError("truncated high tag number");
+      const std::uint8_t b = data_[pos_++];
+      if (++count > 5) throw DerError("tag number overflow");
+      n = (n << 7) | (b & 0x7f);
+      if ((b & 0x80) == 0) break;
+    }
+    if (n < 31) throw DerError("non-minimal high tag number");
+    tag.number = n;
+  }
+
+  if (pos_ >= data_.size()) throw DerError("missing length octet");
+  const std::uint8_t len0 = data_[pos_++];
+  std::size_t length = 0;
+  if (len0 < 0x80) {
+    length = len0;
+  } else if (len0 == 0x80) {
+    throw DerError("indefinite length is not DER");
+  } else {
+    const int num = len0 & 0x7f;
+    if (num > 8) throw DerError("length too large");
+    for (int i = 0; i < num; ++i) {
+      if (pos_ >= data_.size()) throw DerError("truncated length");
+      length = (length << 8) | data_[pos_++];
+    }
+    if (length < 0x80) throw DerError("non-minimal length encoding");
+  }
+
+  if (length > data_.size() - pos_) throw DerError("value exceeds input");
+  DerValue v;
+  v.tag = tag;
+  v.content = data_.subspan(pos_, length);
+  pos_ += length;
+  v.full = data_.subspan(start, pos_ - start);
+  return v;
+}
+
+DerValue DerReader::read(Tag expected, const char* what) {
+  return read().expect(expected, what);
+}
+
+std::optional<Tag> DerReader::peek_tag() const {
+  if (empty()) return std::nullopt;
+  DerReader copy = *this;
+  try {
+    return copy.read().tag;
+  } catch (const DerError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace mtlscope::asn1

@@ -1,0 +1,70 @@
+#include "mtlscope/asn1/oid.hpp"
+
+namespace mtlscope::asn1 {
+
+std::optional<Oid> Oid::parse(std::string_view dotted) {
+  std::vector<std::uint32_t> arcs;
+  std::uint64_t current = 0;
+  bool have_digit = false;
+  for (const char c : dotted) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint64_t>(c - '0');
+      if (current > 0xffffffffULL) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit) return std::nullopt;
+      arcs.push_back(static_cast<std::uint32_t>(current));
+      current = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit) return std::nullopt;
+  arcs.push_back(static_cast<std::uint32_t>(current));
+  if (arcs.size() < 2) return std::nullopt;
+  if (arcs[0] > 2 || (arcs[0] < 2 && arcs[1] > 39)) return std::nullopt;
+  return Oid(std::move(arcs));
+}
+
+std::string Oid::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < arcs_.size(); ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(arcs_[i]);
+  }
+  return out;
+}
+
+namespace oids {
+
+#define MTLSCOPE_DEFINE_OID(name, ...)          \
+  const Oid& name() {                           \
+    static const Oid oid{__VA_ARGS__};          \
+    return oid;                                 \
+  }
+
+MTLSCOPE_DEFINE_OID(common_name, 2, 5, 4, 3)
+MTLSCOPE_DEFINE_OID(serial_number_attr, 2, 5, 4, 5)
+MTLSCOPE_DEFINE_OID(country_name, 2, 5, 4, 6)
+MTLSCOPE_DEFINE_OID(locality_name, 2, 5, 4, 7)
+MTLSCOPE_DEFINE_OID(state_or_province_name, 2, 5, 4, 8)
+MTLSCOPE_DEFINE_OID(organization_name, 2, 5, 4, 10)
+MTLSCOPE_DEFINE_OID(organizational_unit, 2, 5, 4, 11)
+MTLSCOPE_DEFINE_OID(email_address, 1, 2, 840, 113549, 1, 9, 1)
+MTLSCOPE_DEFINE_OID(subject_alt_name, 2, 5, 29, 17)
+MTLSCOPE_DEFINE_OID(basic_constraints, 2, 5, 29, 19)
+MTLSCOPE_DEFINE_OID(key_usage, 2, 5, 29, 15)
+MTLSCOPE_DEFINE_OID(ext_key_usage, 2, 5, 29, 37)
+MTLSCOPE_DEFINE_OID(subject_key_id, 2, 5, 29, 14)
+MTLSCOPE_DEFINE_OID(authority_key_id, 2, 5, 29, 35)
+MTLSCOPE_DEFINE_OID(eku_server_auth, 1, 3, 6, 1, 5, 5, 7, 3, 1)
+MTLSCOPE_DEFINE_OID(eku_client_auth, 1, 3, 6, 1, 5, 5, 7, 3, 2)
+MTLSCOPE_DEFINE_OID(alg_tsig, 1, 3, 6, 1, 4, 1, 57264, 1, 1)
+MTLSCOPE_DEFINE_OID(alg_rsa_encryption, 1, 2, 840, 113549, 1, 1, 1)
+MTLSCOPE_DEFINE_OID(alg_sha256_with_rsa, 1, 2, 840, 113549, 1, 1, 11)
+
+#undef MTLSCOPE_DEFINE_OID
+
+}  // namespace oids
+}  // namespace mtlscope::asn1

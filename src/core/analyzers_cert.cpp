@@ -1,0 +1,446 @@
+// Certificate-population analyzers (Table 1, Figures 4-5, Tables 7-9,
+// 13-14). These run over Pipeline::certificates() after the stream ends.
+#include <algorithm>
+#include <cmath>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/textclass/domain.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+}  // namespace
+
+// --- Table 1 ---------------------------------------------------------------------
+
+CertInventoryResult analyze_cert_inventory(const Pipeline& pipeline) {
+  CertInventoryResult r;
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (facts.flagged_interception) continue;
+    if (facts.connection_count == 0) continue;
+    const bool is_public = facts.issuer_class == trust::IssuerClass::kPublic;
+    ++r.total.total;
+    if (facts.used_in_mutual) ++r.total.mutual;
+    if (facts.used_as_server) {
+      ++r.server.total;
+      auto& sub = is_public ? r.server_public : r.server_private;
+      ++sub.total;
+      if (facts.used_in_mutual) {
+        ++r.server.mutual;
+        ++sub.mutual;
+      }
+    }
+    if (facts.used_as_client) {
+      ++r.client.total;
+      auto& sub = is_public ? r.client_public : r.client_private;
+      ++sub.total;
+      if (facts.used_in_mutual) {
+        ++r.client.mutual;
+        ++sub.mutual;
+      }
+    }
+  }
+  return r;
+}
+
+// --- Figure 4 ----------------------------------------------------------------------
+
+ValidityResult analyze_validity(const Pipeline& pipeline) {
+  ValidityResult r;
+  static constexpr struct {
+    const char* label;
+    std::int64_t lo, hi;
+  } kBuckets[] = {
+      {"< 30 d", 0, 30},          {"30-90 d", 30, 90},
+      {"90-398 d", 90, 398},      {"398-825 d", 398, 825},
+      {"825-3650 d", 825, 3650},  {"3650-10000 d", 3650, 10'000},
+      {"10000-40000 d", 10'000, 40'000},
+      {"> 40000 d", 40'000, 10'000'000},
+  };
+  r.histogram.resize(std::size(kBuckets));
+  for (std::size_t i = 0; i < std::size(kBuckets); ++i) {
+    r.histogram[i].label = kBuckets[i].label;
+  }
+
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (!facts.used_as_client || !facts.used_in_mutual) continue;
+    if (facts.validity.dates_incorrect()) continue;  // §5.3.2 exclusion
+    const std::int64_t days = facts.validity.period_days();
+    for (std::size_t i = 0; i < std::size(kBuckets); ++i) {
+      if (days >= kBuckets[i].lo && days < kBuckets[i].hi) {
+        ++r.histogram[i].count;
+        break;
+      }
+    }
+    if (days >= 10'000 && days <= 40'000) {
+      ++r.long_valid_total;
+      switch (facts.issuer_category) {
+        case IssuerCategory::kPublic:
+          ++r.long_valid_public;
+          break;
+        case IssuerCategory::kPrivateMissingIssuer:
+          ++r.long_valid_missing;
+          break;
+        case IssuerCategory::kPrivateCorporation:
+          ++r.long_valid_corporate;
+          break;
+        case IssuerCategory::kPrivateDummy:
+          ++r.long_valid_dummy;
+          break;
+        default:
+          break;
+      }
+      const std::string tld = facts.context_sld.empty()
+                                  ? "(missing SNI)"
+                                  : textclass::tld_of(facts.context_sld);
+      ++r.long_valid_tlds[tld.empty() ? "(missing SNI)" : tld];
+    }
+    if (days > r.max_validity_days) {
+      r.max_validity_days = days;
+      r.max_validity_sld = facts.context_sld;
+    }
+  }
+  return r;
+}
+
+// --- Figure 5 -----------------------------------------------------------------------
+
+ExpiredCertResult analyze_expired(const Pipeline& pipeline) {
+  ExpiredCertResult r;
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (!facts.used_as_client || !facts.client_use_while_expired) continue;
+    if (facts.validity.dates_incorrect()) continue;
+    ExpiredCertResult::CertPoint point;
+    point.days_expired_at_first_use =
+        static_cast<double>(facts.first_seen - facts.validity.not_after) /
+        86'400.0;
+    if (point.days_expired_at_first_use < 0) {
+      point.days_expired_at_first_use = 0;  // expired mid-study
+    }
+    point.activity_days = facts.activity_days();
+    point.public_issuer =
+        facts.issuer_class == trust::IssuerClass::kPublic;
+    if (facts.seen_inbound) {
+      r.inbound.push_back(point);
+      if (facts.context_assoc != ServerAssociation::kNone) {
+        r.inbound_assoc_conns[facts.context_assoc] += facts.connection_count;
+      }
+    }
+    if (facts.seen_outbound) {
+      r.outbound.push_back(point);
+      if (point.days_expired_at_first_use >= 700) {
+        ++r.outbound_over_1000d;
+        if (facts.issuer_org.find("Apple") != std::string::npos ||
+            facts.issuer_org.find("Microsoft") != std::string::npos) {
+          ++r.outbound_over_1000d_apple_ms;
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// --- Tables 7 / 13a / 14a -------------------------------------------------------------
+
+UtilizationResult analyze_utilization(const Pipeline& pipeline,
+                                      CertScope scope) {
+  UtilizationResult r;
+  const auto tally = [](UtilizationResult::Row& row, const CertFacts& facts) {
+    ++row.total;
+    if (facts.has_cn()) ++row.cn;
+    if (facts.has_san_dns()) ++row.san_dns;
+  };
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (facts.flagged_interception || facts.connection_count == 0) continue;
+    const bool is_public = facts.issuer_class == trust::IssuerClass::kPublic;
+    const bool shared = facts.used_as_server && facts.used_as_client;
+
+    if (scope == CertScope::kShared) {
+      if (!shared || !facts.used_in_mutual) continue;
+      tally(r.all, facts);
+      tally(is_public ? r.pub : r.priv, facts);
+      continue;
+    }
+    if (scope == CertScope::kNonMutual) {
+      if (facts.used_in_mutual || !facts.used_as_server) continue;
+      tally(r.all, facts);
+      tally(is_public ? r.pub : r.priv, facts);
+      continue;
+    }
+    // kMutual — Table 7's split by role.
+    if (!facts.used_in_mutual) continue;
+    tally(r.all, facts);
+    tally(is_public ? r.pub : r.priv, facts);
+    if (facts.used_as_server) {
+      tally(r.server, facts);
+      tally(is_public ? r.server_pub : r.server_priv, facts);
+    }
+    if (facts.used_as_client) {
+      tally(r.client, facts);
+      tally(is_public ? r.client_pub : r.client_priv, facts);
+    }
+  }
+  return r;
+}
+
+// --- Tables 8 / 13b / 14b ----------------------------------------------------------------
+
+InfoTypeResult analyze_info_types(const Pipeline& pipeline, CertScope scope) {
+  InfoTypeResult r;
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (facts.flagged_interception || facts.connection_count == 0) continue;
+    const bool shared = facts.used_as_server && facts.used_as_client;
+    const std::size_t cls =
+        facts.issuer_class == trust::IssuerClass::kPublic ? 0u : 1u;
+
+    std::vector<std::size_t> roles;  // 0 server, 1 client
+    switch (scope) {
+      case CertScope::kMutual:
+        if (!facts.used_in_mutual || shared) break;  // §6.3: shared excluded
+        if (facts.used_as_server) roles.push_back(0);
+        if (facts.used_as_client) roles.push_back(1);
+        break;
+      case CertScope::kShared:
+        if (shared && facts.used_in_mutual) roles.push_back(0);
+        break;
+      case CertScope::kNonMutual:
+        if (!facts.used_in_mutual && facts.used_as_server) roles.push_back(0);
+        break;
+    }
+    for (const std::size_t role : roles) {
+      auto& cell = r.cells[role][cls];
+      if (facts.has_cn()) {
+        ++cell.cn_total;
+        ++cell.cn[static_cast<std::size_t>(facts.cn_type)];
+      }
+      if (facts.has_san_dns()) {
+        ++cell.san_total;
+        // A SAN can contain multiple types; count each type once per cert
+        // (Table 8 note: percentages may exceed 100%).
+        std::array<bool, textclass::kInfoTypeCount> seen{};
+        for (const auto type : facts.san_dns_types) {
+          const auto idx = static_cast<std::size_t>(type);
+          if (!seen[idx]) {
+            seen[idx] = true;
+            ++cell.san[idx];
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+// --- Extension: renewal hygiene -----------------------------------------------------------
+
+RenewalResult analyze_renewals(const Pipeline& pipeline) {
+  // Renewal chain key: issuer DN + subject CN. Certificates without a CN
+  // cannot be chained this way.
+  struct Entry {
+    util::UnixSeconds not_before;
+    util::UnixSeconds not_after;
+  };
+  std::map<std::string, std::vector<Entry>> chains;
+  std::map<std::string, std::pair<std::uint64_t, std::vector<double>>>
+      issuer_stats;  // issuer → (chains, cadences)
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (!facts.has_cn() || facts.flagged_interception) continue;
+    if (facts.connection_count == 0) continue;
+    if (facts.validity.dates_incorrect()) continue;
+    chains[facts.issuer_dn + "|" + facts.subject_cn].push_back(
+        {facts.validity.not_before, facts.validity.not_after});
+  }
+
+  RenewalResult r;
+  for (auto& [key, entries] : chains) {
+    if (entries.size() < 2) continue;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.not_before < b.not_before;
+              });
+    // Identities that were re-issued in the same batch collapse to one
+    // entry; what remains is the temporal renewal sequence.
+    entries.erase(std::unique(entries.begin(), entries.end(),
+                              [](const Entry& a, const Entry& b) {
+                                return a.not_before == b.not_before;
+                              }),
+                  entries.end());
+    if (entries.size() < 2) {
+      ++r.cn_reuse_groups;
+      continue;
+    }
+
+    // A renewal chain is *sequential*: each certificate takes over from
+    // the previous one. Groups dominated by overlapping windows are CN
+    // reuse (generic names shared by unrelated certificates).
+    std::uint64_t seamless = 0, overlap = 0, gap = 0;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      const double meet =
+          static_cast<double>(entries[i].not_before -
+                              entries[i - 1].not_after) /
+          86'400.0;
+      if (meet > 1.0) {
+        ++gap;
+      } else if (meet < -1.0) {
+        ++overlap;
+      } else {
+        ++seamless;
+      }
+    }
+    if (overlap > seamless + gap) {
+      ++r.cn_reuse_groups;
+      continue;
+    }
+
+    ++r.chains;
+    r.certificates_in_chains += entries.size();
+    r.longest_chain = std::max(r.longest_chain, entries.size());
+    r.seamless += seamless;
+    r.overlap += overlap;
+    r.gap += gap;
+
+    const std::string issuer = key.substr(0, key.find('|'));
+    auto& [issuer_chains, cadences] = issuer_stats[issuer];
+    ++issuer_chains;
+    for (std::size_t i = 1; i < entries.size(); ++i) {
+      cadences.push_back(
+          static_cast<double>(entries[i].not_before -
+                              entries[i - 1].not_before) /
+          86'400.0);
+    }
+  }
+
+  for (auto& [issuer, stats] : issuer_stats) {
+    auto& [chain_count, cadences] = stats;
+    RenewalResult::IssuerRow row;
+    // Strip the DN back to its organization (or CN) for display.
+    const auto dn = x509::DistinguishedName::from_string(issuer);
+    if (dn) {
+      if (const auto org = dn->organization()) {
+        row.issuer = std::string(*org);
+      } else if (const auto cn = dn->common_name()) {
+        row.issuer = std::string(*cn);
+      }
+    }
+    if (row.issuer.empty()) row.issuer = issuer;
+    row.chains = chain_count;
+    if (!cadences.empty()) {
+      std::sort(cadences.begin(), cadences.end());
+      row.median_cadence_days = cadences[cadences.size() / 2];
+    }
+    r.top_issuers.push_back(std::move(row));
+  }
+  std::sort(r.top_issuers.begin(), r.top_issuers.end(),
+            [](const RenewalResult::IssuerRow& a,
+               const RenewalResult::IssuerRow& b) {
+              return a.chains > b.chains;
+            });
+  return r;
+}
+
+// --- Extension: client-certificate trackability -----------------------------------------
+
+TrackingResult analyze_tracking(const Pipeline& pipeline) {
+  TrackingResult r;
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (!facts.used_as_client || facts.flagged_interception) continue;
+    ++r.client_certs;
+    if (facts.connection_count > 1) ++r.reused;
+    if (facts.client_subnets.size() >= 2) ++r.cross_network;
+    const double days = facts.activity_days();
+    if (days >= 7) ++r.week_plus;
+    if (days >= 30) ++r.month_plus;
+    if (days >= 180) {
+      ++r.half_year_plus;
+      const bool pii = facts.cn_type == textclass::InfoType::kPersonalName ||
+                       facts.cn_type == textclass::InfoType::kUserAccount ||
+                       facts.cn_type == textclass::InfoType::kEmail ||
+                       facts.cn_type == textclass::InfoType::kMac;
+      if (pii) ++r.long_lived_with_pii;
+    }
+    TrackingResult::Top top;
+    top.fuid = fuid;
+    top.issuer = facts.issuer_org.empty() ? facts.issuer_cn : facts.issuer_org;
+    top.activity_days = days;
+    top.subnets = facts.client_subnets.size();
+    top.connections = facts.connection_count;
+    r.most_trackable.push_back(std::move(top));
+  }
+  std::sort(r.most_trackable.begin(), r.most_trackable.end(),
+            [](const TrackingResult::Top& a, const TrackingResult::Top& b) {
+              return a.activity_days * static_cast<double>(a.subnets + 1) >
+                     b.activity_days * static_cast<double>(b.subnets + 1);
+            });
+  if (r.most_trackable.size() > 10) r.most_trackable.resize(10);
+  return r;
+}
+
+// --- Table 9 ---------------------------------------------------------------------------
+
+UnidentifiedResult analyze_unidentified(const Pipeline& pipeline) {
+  UnidentifiedResult r;
+  const auto recognizable_issuer = [](const CertFacts& facts) {
+    // Table 9 "by issuer": the random string is attributable through a
+    // distinctive issuer (Azure Sphere, Apple device CA, campus CAs, or
+    // any issuer CN carrying a random-looking discriminator).
+    if (facts.campus_issuer) return true;
+    if (facts.issuer_cn.find("Azure Sphere") != std::string::npos) return true;
+    if (facts.issuer_cn.find("Apple iPhone Device") != std::string::npos) {
+      return true;
+    }
+    return false;
+  };
+  const auto tally = [&](UnidentifiedResult::Column& col,
+                         const CertFacts& facts, std::string_view value) {
+    ++col.total;
+    const auto shape = textclass::classify_shape(value);
+    if (shape == textclass::StringShape::kNonRandom) {
+      ++col.non_random;
+      return;
+    }
+    if (recognizable_issuer(facts)) ++col.by_issuer;
+    switch (shape) {
+      case textclass::StringShape::kRandomLen8:
+        ++col.len8;
+        break;
+      case textclass::StringShape::kRandomLen32:
+        ++col.len32;
+        break;
+      case textclass::StringShape::kRandomLen36:
+        ++col.len36;
+        break;
+      default:
+        ++col.other_random;
+        break;
+    }
+  };
+
+  for (const auto& [fuid, facts] : pipeline.certificates()) {
+    if (facts.flagged_interception || !facts.used_in_mutual) continue;
+    const bool shared = facts.used_as_server && facts.used_as_client;
+    if (shared) continue;
+    const bool is_public = facts.issuer_class == trust::IssuerClass::kPublic;
+
+    if (facts.has_cn() &&
+        facts.cn_type == textclass::InfoType::kUnidentified) {
+      if (facts.used_as_server && !is_public) {
+        tally(r.server_private_cn, facts, facts.subject_cn);
+      }
+      if (facts.used_as_client) {
+        tally(is_public ? r.client_public_cn : r.client_private_cn, facts,
+              facts.subject_cn);
+      }
+    }
+    if (facts.used_as_client && !is_public) {
+      for (std::size_t i = 0; i < facts.san_dns.size(); ++i) {
+        if (facts.san_dns_types[i] == textclass::InfoType::kUnidentified) {
+          tally(r.client_private_san, facts, facts.san_dns[i]);
+          break;  // one tally per certificate
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace mtlscope::core

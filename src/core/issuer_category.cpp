@@ -1,0 +1,92 @@
+#include "mtlscope/core/issuer_category.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "mtlscope/textclass/ner.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool contains_any(const std::string& haystack,
+                  std::initializer_list<const char*> needles) {
+  for (const char* n : needles) {
+    if (haystack.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* issuer_category_name(IssuerCategory c) {
+  switch (c) {
+    case IssuerCategory::kPublic:
+      return "Public";
+    case IssuerCategory::kPrivateCorporation:
+      return "Private - Corporation";
+    case IssuerCategory::kPrivateEducation:
+      return "Private - Education";
+    case IssuerCategory::kPrivateGovernment:
+      return "Private - Government";
+    case IssuerCategory::kPrivateWebHosting:
+      return "Private - WebHosting";
+    case IssuerCategory::kPrivateDummy:
+      return "Private - Dummy";
+    case IssuerCategory::kPrivateOthers:
+      return "Private - Others";
+    case IssuerCategory::kPrivateMissingIssuer:
+      return "Private - MissingIssuer";
+  }
+  return "?";
+}
+
+IssuerCategorizer::IssuerCategorizer(std::vector<std::string> dummy_orgs)
+    : dummy_orgs_(std::move(dummy_orgs)) {
+  for (auto& org : dummy_orgs_) org = to_lower(org);
+}
+
+IssuerCategory IssuerCategorizer::categorize(
+    const x509::DistinguishedName& issuer, bool is_public) const {
+  if (is_public) return IssuerCategory::kPublic;
+
+  const auto org_view = issuer.organization();
+  if (!org_view || org_view->empty()) {
+    return IssuerCategory::kPrivateMissingIssuer;
+  }
+  const std::string org = to_lower(*org_view);
+
+  for (const auto& dummy : dummy_orgs_) {
+    if (org == dummy) return IssuerCategory::kPrivateDummy;
+  }
+
+  if (contains_any(org, {"university", "college", "school", "academy",
+                         "campus", "institute of technology"})) {
+    return IssuerCategory::kPrivateEducation;
+  }
+  if (contains_any(org, {"government", "federal", "ministry", "municipal",
+                         "county of", "state of", "u.s. ", "gpo"})) {
+    return IssuerCategory::kPrivateGovernment;
+  }
+  if (contains_any(org, {"hosting", "cpanel", "plesk", "webhost",
+                         "datacenter", "colocation"})) {
+    return IssuerCategory::kPrivateWebHosting;
+  }
+
+  // Corporations: gazetteer / legal-suffix / cosine-similarity match — the
+  // paper's fuzzy matching plus manual validation (§4.2).
+  if (textclass::is_org_or_product(org)) {
+    return IssuerCategory::kPrivateCorporation;
+  }
+
+  return IssuerCategory::kPrivateOthers;
+}
+
+}  // namespace mtlscope::core

@@ -1,0 +1,394 @@
+#include "mtlscope/core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/textclass/domain.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+namespace mtlscope::core {
+
+PipelineConfig PipelineConfig::campus_defaults() {
+  PipelineConfig config;
+  config.university_subnets = {*net::Subnet::parse("128.143.0.0/16"),
+                               *net::Subnet::parse("10.0.0.0/8")};
+  config.campus_issuer_orgs = {"Blue Ridge University"};
+  config.dummy_issuer_orgs = {"Internet Widgits Pty Ltd", "Default Company Ltd",
+                              "Unspecified", "Acme Co"};
+  config.association_rules = {
+      {"brhealth.org", ServerAssociation::kUniversityHealth},
+      {"vpn.brexample.edu", ServerAssociation::kUniversityVpn},
+      {"brexample.edu", ServerAssociation::kUniversityServer},
+      {"localmed.org", ServerAssociation::kLocalOrganization},
+      {"globus.org", ServerAssociation::kGlobus},
+      {"tablodash.com", ServerAssociation::kThirdPartyService},
+      {"thirdparty-hosting.com", ServerAssociation::kThirdPartyService},
+  };
+  config.study_start = util::to_unix({2022, 5, 1, 0, 0, 0});
+  config.study_end = util::to_unix({2024, 4, 1, 0, 0, 0});
+  return config;
+}
+
+Pipeline::Pipeline(PipelineConfig config)
+    : config_(std::move(config)),
+      trust_(trust::make_default_evaluator()),
+      categorizer_(config_.dummy_issuer_orgs) {}
+
+void Pipeline::add_observer(Observer observer) {
+  observers_.push_back(std::move(observer));
+}
+
+IssuerCategory Pipeline::categorize_cached(
+    const x509::DistinguishedName& issuer, const std::string& issuer_dn,
+    bool is_public) const {
+  // The public/private split is part of the key: Table 13's shared certs
+  // can surface the same DN string under either classification.
+  const std::string key = (is_public ? "P|" : "p|") + issuer_dn;
+  const auto it = category_cache_.find(key);
+  if (it != category_cache_.end()) return it->second;
+  const auto category = categorizer_.categorize(issuer, is_public);
+  category_cache_.emplace(key, category);
+  return category;
+}
+
+CertFacts Pipeline::make_facts(const zeek::X509Record& record) const {
+  CertFacts facts;
+  facts.fuid = record.fuid;
+
+  // Prefer re-parsing the DER (trust the bytes, not the log fields).
+  bool parsed = false;
+  if (!record.cert_der_base64.empty()) {
+    if (const auto der = crypto::from_base64(record.cert_der_base64)) {
+      const auto result = x509::parse_certificate(*der);
+      if (const auto* cert = x509::get_certificate(result)) {
+        facts.version = cert->version;
+        facts.key_bits = static_cast<int>(cert->key_bits());
+        facts.serial_hex = cert->serial_hex();
+        if (const auto cn = cert->subject.common_name()) {
+          facts.subject_cn = std::string(*cn);
+        }
+        if (const auto org = cert->issuer.organization()) {
+          facts.issuer_org = std::string(*org);
+        }
+        if (const auto cn = cert->issuer.common_name()) {
+          facts.issuer_cn = std::string(*cn);
+        }
+        facts.issuer_dn = cert->issuer.to_string();
+        facts.validity = cert->validity;
+        for (const auto& entry : cert->san) {
+          switch (entry.type) {
+            case x509::SanEntry::Type::kDns:
+              facts.san_dns.push_back(entry.value);
+              break;
+            case x509::SanEntry::Type::kEmail:
+              ++facts.san_email_count;
+              break;
+            case x509::SanEntry::Type::kUri:
+              ++facts.san_uri_count;
+              break;
+            case x509::SanEntry::Type::kIp:
+              ++facts.san_ip_count;
+              break;
+            case x509::SanEntry::Type::kOther:
+              break;
+          }
+        }
+        facts.issuer_class =
+            trust_.classify(*cert) == trust::IssuerClass::kPublic
+                ? trust::IssuerClass::kPublic
+                : trust::IssuerClass::kPrivate;
+        facts.issuer_category = categorize_cached(
+            cert->issuer, facts.issuer_dn,
+            facts.issuer_class == trust::IssuerClass::kPublic);
+        parsed = true;
+      }
+    }
+  }
+  if (!parsed) {
+    // Fall back to the logged fields (real Zeek deployments often do not
+    // retain the DER).
+    facts.version = record.version;
+    facts.key_bits = record.key_length;
+    facts.serial_hex = record.serial;
+    const auto subject = x509::DistinguishedName::from_string(record.subject);
+    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
+    if (subject) {
+      if (const auto cn = subject->common_name()) {
+        facts.subject_cn = std::string(*cn);
+      }
+    }
+    if (issuer) {
+      if (const auto org = issuer->organization()) {
+        facts.issuer_org = std::string(*org);
+      }
+      if (const auto cn = issuer->common_name()) {
+        facts.issuer_cn = std::string(*cn);
+      }
+      facts.issuer_dn = issuer->to_string();
+      facts.issuer_class = trust_.is_trusted_issuer(*issuer)
+                               ? trust::IssuerClass::kPublic
+                               : trust::IssuerClass::kPrivate;
+      facts.issuer_category = categorize_cached(
+          *issuer, facts.issuer_dn,
+          facts.issuer_class == trust::IssuerClass::kPublic);
+    } else {
+      facts.issuer_class = trust::IssuerClass::kPrivate;
+      facts.issuer_category = IssuerCategory::kPrivateMissingIssuer;
+    }
+    facts.validity = {record.not_valid_before, record.not_valid_after};
+    facts.san_dns = record.san_dns;
+    facts.san_email_count = static_cast<int>(record.san_email.size());
+    facts.san_uri_count = static_cast<int>(record.san_uri.size());
+    facts.san_ip_count = static_cast<int>(record.san_ip.size());
+  }
+
+  for (const auto& org : config_.campus_issuer_orgs) {
+    if (facts.issuer_org == org) facts.campus_issuer = true;
+  }
+
+  // CN / SAN information-type classification (§6.1).
+  textclass::ClassifyContext ctx;
+  ctx.issuer = facts.issuer_org.empty() ? facts.issuer_cn : facts.issuer_org;
+  ctx.campus_issuer = facts.campus_issuer;
+  if (!facts.subject_cn.empty()) {
+    facts.cn_type = textclass::classify_value(facts.subject_cn, ctx);
+  }
+  facts.san_dns_types.reserve(facts.san_dns.size());
+  for (const auto& value : facts.san_dns) {
+    facts.san_dns_types.push_back(textclass::classify_value(value, ctx));
+  }
+  return facts;
+}
+
+void Pipeline::add_certificate(const zeek::X509Record& record) {
+  if (certs_.contains(record.fuid)) return;
+  certs_.emplace(record.fuid, make_facts(record));
+}
+
+bool Pipeline::is_university_address(const net::IpAddress& addr) const {
+  for (const auto& subnet : config_.university_subnets) {
+    if (subnet.contains(addr)) return true;
+  }
+  return false;
+}
+
+Direction Pipeline::infer_direction(const zeek::SslRecord& record) const {
+  const auto resp = net::IpAddress::parse(record.resp_h);
+  if (resp && is_university_address(*resp)) return Direction::kInbound;
+  return Direction::kOutbound;
+}
+
+ServerAssociation Pipeline::associate(const std::string& host,
+                                      const std::string& sld) const {
+  const auto suffix_match = [](const std::string& value,
+                               const std::string& suffix) {
+    if (value.size() < suffix.size()) return false;
+    if (value.size() == suffix.size()) return value == suffix;
+    return value.compare(value.size() - suffix.size(), suffix.size(),
+                         suffix) == 0 &&
+           value[value.size() - suffix.size() - 1] == '.';
+  };
+  for (const auto& [suffix, assoc] : config_.association_rules) {
+    if (!host.empty() && suffix_match(host, suffix)) return assoc;
+  }
+  for (const auto& [suffix, assoc] : config_.association_rules) {
+    if (!sld.empty() && suffix_match(sld, suffix)) return assoc;
+  }
+  return ServerAssociation::kUnknown;
+}
+
+void Pipeline::add_connection(const zeek::SslRecord& record) {
+  // §3.2.1: "our analysis is conducted using established TLS connections".
+  // Failed handshakes (e.g. a strict server rejecting an expired client
+  // certificate) are tallied and dropped.
+  if (!record.established) {
+    ++totals_.rejected_handshakes;
+    return;
+  }
+  EnrichedConnection conn;
+  conn.ssl = &record;
+  conn.ts = record.ts;
+  conn.established = record.established;
+  conn.direction = infer_direction(record);
+  conn.sni = record.server_name;
+
+  const auto find_cert = [this](const std::vector<std::string>& fuids)
+      -> CertFacts* {
+    if (fuids.empty()) return nullptr;
+    const auto it = certs_.find(fuids.front());
+    return it == certs_.end() ? nullptr : &it->second;
+  };
+  CertFacts* server_leaf = find_cert(record.cert_chain_fuids);
+  CertFacts* client_leaf = find_cert(record.client_cert_chain_fuids);
+
+  // Chain-level classification (§3.2.1): a leaf is public-CA-issued when
+  // its root OR INTERMEDIATE is in a trust store. The leaf's own facts are
+  // computed in isolation; upgrade it when a chain member is public.
+  const auto upgrade_by_chain = [this](CertFacts* leaf,
+                                       const std::vector<std::string>& fuids) {
+    if (leaf == nullptr || leaf->issuer_class == trust::IssuerClass::kPublic) {
+      return;
+    }
+    for (std::size_t i = 1; i < fuids.size(); ++i) {
+      const auto it = certs_.find(fuids[i]);
+      if (it != certs_.end() &&
+          it->second.issuer_class == trust::IssuerClass::kPublic) {
+        leaf->issuer_class = trust::IssuerClass::kPublic;
+        leaf->issuer_category = IssuerCategory::kPublic;
+        return;
+      }
+    }
+  };
+  upgrade_by_chain(server_leaf, record.cert_chain_fuids);
+  upgrade_by_chain(client_leaf, record.client_cert_chain_fuids);
+
+  conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
+
+  // Host resolution (§4.2): SNI first, then SAN DNS / CN of the leaves.
+  conn.resolved_host = conn.sni;
+  if (conn.resolved_host.empty()) {
+    for (const CertFacts* leaf : {server_leaf, client_leaf}) {
+      if (leaf == nullptr) continue;
+      if (!leaf->san_dns.empty()) {
+        conn.resolved_host = leaf->san_dns.front();
+        break;
+      }
+      if (leaf->cn_type == textclass::InfoType::kDomain) {
+        conn.resolved_host = leaf->subject_cn;
+        break;
+      }
+    }
+  }
+  conn.sld = textclass::sld_of(conn.resolved_host);
+  conn.tld = textclass::tld_of(conn.resolved_host);
+  conn.assoc = conn.direction == Direction::kInbound
+                   ? associate(conn.resolved_host, conn.sld)
+                   : ServerAssociation::kNone;
+
+  // Interception filter (§3.2.1): server leaf with an untrusted issuer
+  // whose SNI domain has a *different* issuer on record in CT.
+  if (server_leaf != nullptr && config_.ct != nullptr) {
+    bool exclude = interception_issuers_.contains(server_leaf->issuer_dn);
+    if (!exclude &&
+        server_leaf->issuer_class == trust::IssuerClass::kPrivate &&
+        !conn.sld.empty() && config_.ct->has_domain(conn.sld)) {
+      const auto* issuers = config_.ct->issuers_for(conn.sld);
+      if (issuers != nullptr && !issuers->contains(server_leaf->issuer_dn)) {
+        // CT disagrees about this domain's issuer. One-off disagreements
+        // happen legitimately (shared or misconfigured certs on popular
+        // domains); an issuer re-signing several *different* CT-logged
+        // domains is an interception proxy. This threshold stands in for
+        // the paper's manual investigation of mismatches (§3.2.1).
+        auto& domains = interception_candidates_[server_leaf->issuer_dn];
+        domains.insert(conn.sld);
+        if (domains.size() >= config_.interception_domain_threshold) {
+          interception_issuers_.insert(server_leaf->issuer_dn);
+          exclude = true;
+        }
+      }
+    }
+    if (exclude) {
+      server_leaf->flagged_interception = true;
+      ++excluded_connections_;
+      return;  // excluded from all analyses
+    }
+  }
+
+  ++totals_.connections;
+  if (record.established) ++totals_.established;
+  if (conn.mutual) ++totals_.mutual;
+  if (conn.direction == Direction::kInbound) {
+    ++totals_.inbound;
+  } else {
+    ++totals_.outbound;
+  }
+  if (record.version == "TLSv13") ++totals_.tls13;
+
+  // Usage accounting on both leaves.
+  const auto update = [&](CertFacts* facts, bool as_server) {
+    if (facts == nullptr) return;
+    ++facts->connection_count;
+    facts->used_as_server |= as_server;
+    facts->used_as_client |= !as_server;
+    facts->used_in_mutual |= conn.mutual;
+    facts->seen_inbound |= conn.direction == Direction::kInbound;
+    facts->seen_outbound |= conn.direction == Direction::kOutbound;
+    facts->first_seen = std::min(facts->first_seen, conn.ts);
+    facts->last_seen = std::max(facts->last_seen, conn.ts);
+    if (!as_server && conn.ts > facts->validity.not_after) {
+      facts->client_use_while_expired = true;
+    }
+    if (!as_server && conn.direction == Direction::kOutbound &&
+        !conn.sni.empty()) {
+      facts->seen_outbound_with_sni = true;
+    }
+    const auto endpoint = net::IpAddress::parse(
+        as_server ? record.resp_h : record.orig_h);
+    if (endpoint && endpoint->is_v4()) {
+      const std::uint32_t key = endpoint->v4_value() & 0xffffff00u;
+      (as_server ? facts->server_subnets : facts->client_subnets).insert(key);
+    }
+    if (facts->context_sld.empty() && !conn.sld.empty()) {
+      facts->context_sld = conn.sld;
+    }
+    if (facts->context_assoc == ServerAssociation::kNone &&
+        conn.direction == Direction::kInbound) {
+      facts->context_assoc = conn.assoc;
+    }
+  };
+  update(server_leaf, true);
+  update(client_leaf, false);
+
+  conn.server_leaf = server_leaf;
+  conn.client_leaf = client_leaf;
+  for (const auto& observer : observers_) observer(conn);
+}
+
+void Pipeline::feed(const tls::TlsConnection& conn) {
+  for (const auto& cert : conn.server_chain) {
+    const std::string fuid = zeek::fuid_of(cert);
+    if (!certs_.contains(fuid)) add_certificate(zeek::to_x509_record(cert));
+  }
+  for (const auto& cert : conn.client_chain) {
+    const std::string fuid = zeek::fuid_of(cert);
+    if (!certs_.contains(fuid)) add_certificate(zeek::to_x509_record(cert));
+  }
+  zeek::SslRecord record;
+  record.ts = conn.timestamp;
+  record.uid = conn.uid;
+  record.orig_h = conn.client.addr.to_string();
+  record.orig_p = conn.client.port;
+  record.resp_h = conn.server.addr.to_string();
+  record.resp_p = conn.server.port;
+  record.version = std::string(tls::version_name(conn.version));
+  record.server_name = conn.sni;
+  record.established = conn.established;
+  for (const auto& cert : conn.server_chain) {
+    record.cert_chain_fuids.push_back(zeek::fuid_of(cert));
+  }
+  for (const auto& cert : conn.client_chain) {
+    record.client_cert_chain_fuids.push_back(zeek::fuid_of(cert));
+  }
+  add_connection(record);
+}
+
+void Pipeline::finalize() {
+  for (auto& [fuid, facts] : certs_) {
+    if (interception_issuers_.contains(facts.issuer_dn)) {
+      facts.flagged_interception = true;
+    }
+  }
+}
+
+std::size_t Pipeline::interception_flagged_certificates() const {
+  std::size_t count = 0;
+  for (const auto& [fuid, facts] : certs_) {
+    if (facts.flagged_interception ||
+        interception_issuers_.contains(facts.issuer_dn)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mtlscope::core

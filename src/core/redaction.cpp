@@ -1,0 +1,127 @@
+#include "mtlscope/core/redaction.hpp"
+
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/x509/builder.hpp"
+
+namespace mtlscope::core {
+
+bool is_sensitive_info(textclass::InfoType type) {
+  switch (type) {
+    case textclass::InfoType::kPersonalName:
+    case textclass::InfoType::kUserAccount:
+    case textclass::InfoType::kEmail:
+    case textclass::InfoType::kMac:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<PrivacyFinding> audit_certificate(
+    const x509::Certificate& cert,
+    const textclass::ClassifyContext& context) {
+  std::vector<PrivacyFinding> findings;
+  if (const auto cn = cert.subject.common_name(); cn && !cn->empty()) {
+    const auto type = textclass::classify_value(*cn, context);
+    if (is_sensitive_info(type)) {
+      findings.push_back({PrivacyFinding::Field::kSubjectCn,
+                          std::string(*cn), type});
+    }
+  }
+  for (const auto& entry : cert.san) {
+    switch (entry.type) {
+      case x509::SanEntry::Type::kDns: {
+        const auto type = textclass::classify_value(entry.value, context);
+        if (is_sensitive_info(type)) {
+          findings.push_back({PrivacyFinding::Field::kSanDns, entry.value,
+                              type});
+        }
+        break;
+      }
+      case x509::SanEntry::Type::kEmail:
+        // Email SANs identify the holder by definition.
+        findings.push_back({PrivacyFinding::Field::kSanEmail, entry.value,
+                            textclass::InfoType::kEmail});
+        break;
+      default:
+        break;
+    }
+  }
+  return findings;
+}
+
+std::string pseudonym_for(const crypto::TsigKey& pseudonym_key,
+                          std::string_view value) {
+  const auto mac = crypto::hmac_sha256(
+      pseudonym_key.key,
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(value.data()), value.size()));
+  return "anon-" +
+         crypto::to_hex(std::span<const std::uint8_t>(mac.data(), 8));
+}
+
+x509::Certificate redact_certificate(
+    const x509::Certificate& cert,
+    const trust::CertificateAuthority& issuer,
+    const crypto::TsigKey& pseudonym_key,
+    const textclass::ClassifyContext& context) {
+  x509::CertificateBuilder builder;
+  builder.version(cert.version)
+      .serial(cert.serial)
+      .validity(cert.validity.not_before, cert.validity.not_after)
+      .public_key(cert.public_key)
+      .spki_algorithm(cert.spki_algorithm);
+
+  // Subject: keep non-sensitive attributes, pseudonymize the rest.
+  x509::DistinguishedName subject;
+  for (const auto& attr : cert.subject.attributes()) {
+    if (attr.type == asn1::oids::common_name() ||
+        attr.type == asn1::oids::email_address()) {
+      const auto type = textclass::classify_value(attr.value, context);
+      if (is_sensitive_info(type) ||
+          attr.type == asn1::oids::email_address()) {
+        subject.add(asn1::oids::common_name(),
+                    pseudonym_for(pseudonym_key, attr.value));
+        continue;
+      }
+    }
+    subject.add(attr.type, attr.value);
+  }
+  builder.subject(subject);
+
+  for (const auto& entry : cert.san) {
+    switch (entry.type) {
+      case x509::SanEntry::Type::kDns: {
+        const auto type = textclass::classify_value(entry.value, context);
+        builder.add_san_dns(is_sensitive_info(type)
+                                ? pseudonym_for(pseudonym_key, entry.value)
+                                : entry.value);
+        break;
+      }
+      case x509::SanEntry::Type::kEmail:
+        // Dropped entirely: an email address has no anonymous form that
+        // still satisfies the SAN rfc822Name type.
+        break;
+      case x509::SanEntry::Type::kUri:
+        builder.add_san_uri(entry.value);
+        break;
+      case x509::SanEntry::Type::kIp:
+        if (const auto addr = net::IpAddress::parse(entry.value)) {
+          builder.add_san_ip(*addr);
+        }
+        break;
+      case x509::SanEntry::Type::kOther:
+        break;
+    }
+  }
+
+  if (cert.basic_constraints) {
+    builder.ca(cert.basic_constraints->is_ca, cert.basic_constraints->path_len);
+  }
+  if (cert.key_usage_bits) builder.key_usage(*cert.key_usage_bits);
+  for (const auto& oid : cert.ext_key_usage) builder.add_eku(oid);
+
+  return issuer.issue(builder);
+}
+
+}  // namespace mtlscope::core

@@ -1,0 +1,110 @@
+#include "mtlscope/crypto/encoding.hpp"
+
+#include <array>
+
+namespace mtlscope::crypto {
+namespace {
+
+std::string hex_impl(std::span<const std::uint8_t> data, const char* digits) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (const std::uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+constexpr std::string_view kB64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  return hex_impl(data, "0123456789abcdef");
+}
+
+std::string to_hex_upper(std::span<const std::uint8_t> data) {
+  return hex_impl(data, "0123456789ABCDEF");
+}
+
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_value(hex[i]);
+    const int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string to_base64(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    const std::uint32_t n = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8) |
+                            std::uint32_t{data[i + 2]};
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 6) & 0x3f]);
+    out.push_back(kB64Alphabet[n & 0x3f]);
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = std::uint32_t{data[i]} << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.append("==");
+  } else if (rem == 2) {
+    const std::uint32_t n =
+        (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 12) & 0x3f]);
+    out.push_back(kB64Alphabet[(n >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<std::vector<std::uint8_t>> from_base64(std::string_view b64) {
+  // Strip trailing padding.
+  while (!b64.empty() && b64.back() == '=') b64.remove_suffix(1);
+  std::vector<std::uint8_t> out;
+  out.reserve(b64.size() * 3 / 4);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (const char c : b64) {
+    const int v = b64_value(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> bits));
+    }
+  }
+  return out;
+}
+
+}  // namespace mtlscope::crypto

@@ -1,0 +1,94 @@
+#include "mtlscope/crypto/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace mtlscope::crypto {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  // Lemire's method with rejection for exact uniformity.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(below(range));
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (const double w : weights) total += w;
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::string Rng::alnum(std::size_t n) {
+  static constexpr std::string_view kChars =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out(n, '\0');
+  for (auto& c : out) c = kChars[below(kChars.size())];
+  return out;
+}
+
+std::string Rng::hex(std::size_t n) {
+  static constexpr std::string_view kChars = "0123456789abcdef";
+  std::string out(n, '\0');
+  for (auto& c : out) c = kChars[below(kChars.size())];
+  return out;
+}
+
+std::string Rng::uuid() {
+  return hex(8) + "-" + hex(4) + "-" + hex(4) + "-" + hex(4) + "-" + hex(12);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t sm = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(sm));
+}
+
+}  // namespace mtlscope::crypto

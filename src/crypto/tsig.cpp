@@ -1,0 +1,39 @@
+#include "mtlscope/crypto/tsig.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace mtlscope::crypto {
+
+TsigKey TsigKey::derive(std::string_view label, std::size_t key_bits) {
+  TsigKey out;
+  const std::size_t n = key_bits / 8;
+  out.key.reserve(n);
+  std::uint32_t counter = 0;
+  while (out.key.size() < n) {
+    Sha256 h;
+    h.update(label);
+    const std::string suffix = "#" + std::to_string(counter++);
+    h.update(suffix);
+    const auto d = h.finish();
+    const std::size_t take = std::min(d.size(), n - out.key.size());
+    out.key.insert(out.key.end(), d.begin(), d.begin() + take);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> tsig_sign(const TsigKey& key,
+                                    std::span<const std::uint8_t> tbs) {
+  const auto mac = hmac_sha256(key.key, tbs);
+  return {mac.begin(), mac.end()};
+}
+
+bool tsig_verify(std::span<const std::uint8_t> public_key,
+                 std::span<const std::uint8_t> tbs,
+                 std::span<const std::uint8_t> signature) {
+  const auto mac = hmac_sha256(public_key, tbs);
+  return signature.size() == mac.size() &&
+         std::equal(mac.begin(), mac.end(), signature.begin());
+}
+
+}  // namespace mtlscope::crypto

@@ -1,0 +1,1048 @@
+#include "mtlscope/gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "mtlscope/textclass/lexicon.hpp"
+#include "mtlscope/tls/handshake.hpp"
+#include "mtlscope/trust/public_cas.hpp"
+#include "mtlscope/x509/builder.hpp"
+
+namespace mtlscope::gen {
+
+using crypto::Rng;
+using util::UnixSeconds;
+
+namespace {
+
+constexpr double kDaySeconds = 86'400.0;
+
+std::string campus_org() { return "Blue Ridge University"; }
+
+}  // namespace
+
+const char* direction_name(Direction d) {
+  return d == Direction::kInbound ? "inbound" : "outbound";
+}
+
+const char* association_name(ServerAssociation a) {
+  switch (a) {
+    case ServerAssociation::kUniversityHealth:
+      return "University Health";
+    case ServerAssociation::kUniversityServer:
+      return "University Server";
+    case ServerAssociation::kUniversityVpn:
+      return "University VPN";
+    case ServerAssociation::kLocalOrganization:
+      return "Local Organization";
+    case ServerAssociation::kThirdPartyService:
+      return "Third Party Services";
+    case ServerAssociation::kGlobus:
+      return "Globus";
+    case ServerAssociation::kUnknown:
+      return "Unknown";
+    case ServerAssociation::kNone:
+      return "-";
+  }
+  return "?";
+}
+
+class TraceGenerator::Impl {
+ public:
+  Impl(CampusModel model, ctlog::CtDatabase& ct, Stats& stats)
+      : model_(std::move(model)), ct_(ct), stats_(stats), rng_(model_.seed) {}
+
+  void generate(const Sink& sink) {
+    for (auto& cluster : model_.clusters) {
+      emit_cluster(cluster, sink);
+    }
+    emit_interception(sink);
+    emit_background(sink);
+  }
+
+ private:
+  // --- CA management -------------------------------------------------------
+
+  const trust::CertificateAuthority& private_ca(const std::string& org,
+                                                const std::string& cn = {}) {
+    const std::string key = org + "|" + cn;
+    auto it = private_cas_.find(key);
+    if (it == private_cas_.end()) {
+      x509::DistinguishedName dn;
+      dn.add_org(org).add_cn(cn.empty() ? org + " CA" : cn);
+      it = private_cas_
+               .emplace(key, trust::CertificateAuthority::make_root(
+                                 dn, util::to_unix({2015, 1, 1, 0, 0, 0}),
+                                 util::to_unix({2045, 1, 1, 0, 0, 0})))
+               .first;
+    }
+    return it->second;
+  }
+
+  const trust::CertificateAuthority& campus_ca(std::size_t which) {
+    static constexpr const char* kCnSuffix[] = {"User CA", "Device CA",
+                                                "Health System CA"};
+    const std::size_t idx = which % std::size(kCnSuffix);
+    const std::string key = "campus" + std::to_string(idx);
+    auto it = private_cas_.find(key);
+    if (it == private_cas_.end()) {
+      x509::DistinguishedName dn;
+      dn.add_org(campus_org())
+          .add_cn(campus_org() + " " + kCnSuffix[idx]);
+      it = private_cas_
+               .emplace(key, trust::CertificateAuthority::make_root(
+                                 dn, util::to_unix({2015, 1, 1, 0, 0, 0}),
+                                 util::to_unix({2045, 1, 1, 0, 0, 0})))
+               .first;
+    }
+    return it->second;
+  }
+
+  const trust::CertificateAuthority& missing_issuer_ca(
+      const std::string& cluster_name) {
+    const std::string key = "missing:" + cluster_name;
+    auto it = private_cas_.find(key);
+    if (it == private_cas_.end()) {
+      // Issuer DN with no organization — the paper's
+      // "Private - MissingIssuer" category.
+      x509::DistinguishedName dn;
+      Rng local(rng_.fork(std::hash<std::string>{}(key)));
+      dn.add_cn("ca-" + local.hex(6));
+      it = private_cas_
+               .emplace(key, trust::CertificateAuthority::make_root(
+                                 dn, 0, util::to_unix({2045, 1, 1, 0, 0, 0})))
+               .first;
+    }
+    return it->second;
+  }
+
+  const trust::CertificateAuthority& hosting_subca() {
+    if (!hosting_subca_) {
+      x509::DistinguishedName dn;
+      dn.add_org("Example Hosting").add_cn("Example Hosting Issuing CA");
+      hosting_subca_ = std::make_unique<trust::CertificateAuthority>(
+          trust::CertificateAuthority::make_intermediate(
+              trust::public_pki().find("digicert")->intermediate, dn,
+              util::to_unix({2018, 1, 1, 0, 0, 0}),
+              util::to_unix({2038, 1, 1, 0, 0, 0})));
+    }
+    return *hosting_subca_;
+  }
+
+  const trust::CertificateAuthority& dummy_ca(const std::string& org) {
+    const std::string key = "dummy:" + org;
+    auto it = private_cas_.find(key);
+    if (it == private_cas_.end()) {
+      // OpenSSL-style default DN.
+      x509::DistinguishedName dn;
+      dn.add_country("AU")
+          .add(asn1::oids::state_or_province_name(), "Some-State")
+          .add_org(org);
+      it = private_cas_
+               .emplace(key, trust::CertificateAuthority::make_root(
+                                 dn, 0, util::to_unix({2045, 1, 1, 0, 0, 0})))
+               .first;
+    }
+    return it->second;
+  }
+
+  // --- Content generation ---------------------------------------------------
+
+  std::string pick(std::span<const std::string_view> list, Rng& rng) {
+    return std::string(list[rng.below(list.size())]);
+  }
+
+  std::string title_case(std::string s) {
+    bool start = true;
+    for (auto& c : s) {
+      if (start && c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+      start = (c == ' ' || c == '-');
+    }
+    return s;
+  }
+
+  std::string make_cn(CnContent kind, const TrafficCluster& cluster,
+                      const CertSpec& spec, Rng& rng) {
+    namespace lex = textclass::lexicon;
+    switch (kind) {
+      case CnContent::kEmpty:
+        return {};
+      case CnContent::kServiceDomain:
+        return cluster.sld.empty() ? "service.internal.example" : cluster.sld;
+      case CnContent::kHostUnderDomain: {
+        const std::string base =
+            cluster.sld.empty() ? "example.com" : cluster.sld;
+        return "host-" + rng.alnum(5) + "." + base;
+      }
+      case CnContent::kEmailServiceDomain: {
+        static constexpr const char* kPrefix[] = {"smtp", "mx", "mta", "mail"};
+        const std::string base =
+            cluster.sld.empty() ? "example.com" : cluster.sld;
+        return std::string(kPrefix[rng.below(4)]) +
+               std::to_string(rng.below(20)) + "." + base;
+      }
+      case CnContent::kWebRtc:
+        return rng.chance(0.5) ? "WebRTC" : "WebRTC-" + rng.hex(6);
+      case CnContent::kTwilio:
+        return "twilio";
+      case CnContent::kHangouts:
+        return "hangouts";
+      case CnContent::kOrgName:
+        // Fall back to a gazetteer company when the issuer has no usable
+        // organization string (campus / self-signed cohorts).
+        return spec.issuer_ref.empty()
+                   ? title_case(pick(lex::company_names(), rng))
+                   : spec.issuer_ref;
+      case CnContent::kCompanyName:
+        return title_case(pick(lex::company_names(), rng));
+      case CnContent::kProductName:
+        return title_case(pick(lex::product_names(), rng));
+      case CnContent::kPersonalName:
+        return title_case(pick(lex::given_names(), rng)) + " " +
+               title_case(pick(lex::family_names(), rng));
+      case CnContent::kUserAccount: {
+        // 2 letters + 1 digit + 2 letters, the campus shape.
+        std::string out;
+        static constexpr std::string_view kAlpha = "abcdefghijklmnopqrstuvwxyz";
+        out += kAlpha[rng.below(26)];
+        out += kAlpha[rng.below(26)];
+        out += static_cast<char>('0' + rng.below(10));
+        out += kAlpha[rng.below(26)];
+        out += kAlpha[rng.below(26)];
+        return out;
+      }
+      case CnContent::kSipAddress:
+        return "sip:" + std::to_string(1000 + rng.below(9000)) + "@voip." +
+               (cluster.sld.empty() ? "example.com" : cluster.sld);
+      case CnContent::kEmailAddress:
+        return pick(lex::given_names(), rng) + "." +
+               pick(lex::family_names(), rng) + "@" +
+               (cluster.sld.empty() ? "example.com" : cluster.sld);
+      case CnContent::kIpAddress:
+        return net::IpAddress::v4(static_cast<std::uint8_t>(rng.below(223) + 1),
+                                  static_cast<std::uint8_t>(rng.below(256)),
+                                  static_cast<std::uint8_t>(rng.below(256)),
+                                  static_cast<std::uint8_t>(rng.below(256)))
+            .to_string();
+      case CnContent::kMacAddress: {
+        std::string mac;
+        for (int i = 0; i < 6; ++i) {
+          if (i) mac += ":";
+          static constexpr std::string_view kHex = "0123456789ABCDEF";
+          mac += kHex[rng.below(16)];
+          mac += kHex[rng.below(16)];
+        }
+        return mac;
+      }
+      case CnContent::kLocalhost:
+        return rng.chance(0.5) ? "localhost" : "host" + std::to_string(rng.below(100)) + ".localdomain";
+      case CnContent::kRandomHex8:
+        return rng.hex(8);
+      case CnContent::kRandomHex32:
+        return rng.hex(32);
+      case CnContent::kUuid:
+        return rng.uuid();
+      case CnContent::kRandomOther: {
+        static constexpr std::string_view kChars =
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHJKLMNPQRSTUVWXYZ0123456789";
+        std::string out;
+        const std::size_t n = 10 + rng.below(14);
+        for (std::size_t i = 0; i < n; ++i) out += kChars[rng.below(kChars.size())];
+        return out;
+      }
+      case CnContent::kNonRandomToken: {
+        static constexpr const char* kTokens[] = {
+            "__transfer__", "Dtls", "hmpp", "default", "device", "gateway",
+            "testcert", "appliance"};
+        return kTokens[rng.below(std::size(kTokens))];
+      }
+      case CnContent::kFixed:
+        return spec.fixed_cn;
+    }
+    return {};
+  }
+
+  CnContent sample_cn(const CnDistribution& dist, Rng& rng) {
+    if (dist.empty()) return CnContent::kEmpty;
+    double total = 0;
+    for (const auto& [kind, w] : dist) total += w;
+    double r = rng.uniform() * total;
+    for (const auto& [kind, w] : dist) {
+      r -= w;
+      if (r < 0) return kind;
+    }
+    return dist.back().first;
+  }
+
+  // --- Certificate minting ---------------------------------------------------
+
+  struct MintedCert {
+    x509::Certificate cert;
+  };
+
+  const trust::CertificateAuthority& issuer_for(const TrafficCluster& cluster,
+                                                const CertSpec& spec,
+                                                std::size_t index) {
+    switch (spec.issuer_kind) {
+      case IssuerKind::kPublicCa: {
+        const auto& pki = trust::public_pki();
+        if (!spec.issuer_ref.empty()) {
+          const auto* ca = pki.find(spec.issuer_ref);
+          if (ca == nullptr) {
+            throw std::invalid_argument("unknown public CA label: " +
+                                        spec.issuer_ref);
+          }
+          return ca->intermediate;
+        }
+        // Rotate through the general-purpose web CAs.
+        static constexpr const char* kWebCas[] = {
+            "lets-encrypt", "digicert", "sectigo", "godaddy", "amazon",
+            "globalsign", "entrust"};
+        return pki.find(kWebCas[index % std::size(kWebCas)])->intermediate;
+      }
+      case IssuerKind::kPrivateOrg:
+        return private_ca(spec.issuer_ref, spec.issuer_cn);
+      case IssuerKind::kCampus:
+        return campus_ca(index);
+      case IssuerKind::kMissingIssuer:
+        return missing_issuer_ca(cluster.name);
+      case IssuerKind::kDummy:
+        return dummy_ca(spec.issuer_ref);
+      case IssuerKind::kHostingSubCa:
+        return hosting_subca();
+      case IssuerKind::kSelfSigned:
+        // handled by mint(): not reached.
+        return private_ca("self");
+    }
+    return private_ca("unreachable");
+  }
+
+  x509::Certificate mint(const TrafficCluster& cluster, const CertSpec& spec,
+                         std::size_t index, Rng& rng,
+                         UnixSeconds window_start = 0,
+                         UnixSeconds window_end = 0,
+                         bool server_role = true,
+                         const std::string* cn_override = nullptr) {
+    x509::CertificateBuilder builder;
+    builder.version(spec.version);
+
+    // Serial.
+    const std::string unique_label =
+        cluster.name + "/" + std::to_string(index) + "/" + rng.hex(8);
+    if (spec.serial.fixed_hex.empty()) {
+      builder.serial_from_label(unique_label);
+    } else {
+      builder.serial_hex(spec.serial.fixed_hex);
+    }
+
+    // Validity.
+    UnixSeconds nb, na;
+    if (spec.validity.fixed_dates) {
+      nb = spec.validity.not_before;
+      na = spec.validity.not_after;
+    } else if (window_end > window_start) {
+      nb = window_start;
+      na = window_end;
+    } else if (spec.validity.expired_days_before_study > 0) {
+      const double gap =
+          spec.validity.expired_days_before_study * (0.75 + rng.uniform() * 0.5);
+      na = model_.study_start - static_cast<UnixSeconds>(gap * kDaySeconds);
+      nb = na - static_cast<UnixSeconds>(spec.validity.typical_days *
+                                         kDaySeconds);
+    } else {
+      const double days =
+          spec.validity.typical_days * (0.5 + rng.uniform());
+      nb = model_.study_start -
+           static_cast<UnixSeconds>(rng.uniform() * 0.4 * days * kDaySeconds);
+      na = nb + static_cast<UnixSeconds>(days * kDaySeconds);
+    }
+    builder.validity(nb, na);
+
+    // Subject.
+    const CnContent cn_kind = sample_cn(spec.cn, rng);
+    const std::string cn = cn_override != nullptr
+                               ? *cn_override
+                               : make_cn(cn_kind, cluster, spec, rng);
+    x509::DistinguishedName subject;
+    if (!cn.empty()) subject.add_cn(cn);
+    builder.subject(subject);
+
+    // SANs.
+    if (rng.chance(spec.san_dns_probability)) {
+      const auto& dist = spec.san_cn.empty() ? spec.cn : spec.san_cn;
+      builder.add_san_dns(make_cn(sample_cn(dist, rng), cluster, spec, rng));
+    }
+    if (rng.chance(spec.san_email_probability)) {
+      builder.add_san_email(
+          make_cn(CnContent::kEmailAddress, cluster, spec, rng));
+    }
+    if (rng.chance(spec.san_ip_probability)) {
+      builder.add_san_ip(*net::IpAddress::parse(
+          make_cn(CnContent::kIpAddress, cluster, spec, rng)));
+    }
+    if (rng.chance(spec.san_uri_probability)) {
+      builder.add_san_uri("https://" +
+                          (cluster.sld.empty() ? "example.com" : cluster.sld) +
+                          "/" + rng.alnum(6));
+    }
+
+    // Key.
+    const auto key =
+        crypto::TsigKey::derive("key:" + unique_label,
+                                static_cast<std::size_t>(spec.key_bits));
+    builder.public_key(key.key);
+    if (spec.key_bits == 1024) {
+      builder.spki_algorithm(asn1::oids::alg_rsa_encryption());
+    }
+
+    ++stats_.certificates_minted;
+    if (spec.issuer_kind == IssuerKind::kSelfSigned) {
+      x509::DistinguishedName self_dn = subject;
+      if (self_dn.empty()) self_dn.add_cn("self-" + rng.hex(6));
+      builder.subject(self_dn);
+      return builder.self_sign(key);
+    }
+    const auto& ca = issuer_for(cluster, spec, index);
+    auto cert = ca.issue(builder);
+
+    // Legitimate public *server* issuances are visible in CT (crt.sh in
+    // the paper). Client certificates are not domain-bound, so logging
+    // them would poison the interception filter.
+    if (server_role && !cluster.sld.empty() &&
+        (spec.issuer_kind == IssuerKind::kPublicCa ||
+         spec.issuer_kind == IssuerKind::kHostingSubCa)) {
+      ct_.log_certificate(cluster.sld, cert.issuer);
+    }
+    return cert;
+  }
+
+  // --- Address pools -----------------------------------------------------------
+
+  std::vector<net::IpAddress> make_client_pool(const TrafficCluster& cluster,
+                                               Rng& rng) {
+    std::vector<net::IpAddress> pool;
+    const std::size_t n = std::max<std::size_t>(1, cluster.client_ips);
+    std::size_t subnets = cluster.client_subnets;
+    if (subnets == 0) subnets = std::max<std::size_t>(1, n / 12);
+    pool.reserve(n);
+    std::vector<std::uint32_t> subnet_bases;
+    for (std::size_t s = 0; s < subnets; ++s) {
+      std::uint32_t base;
+      if (cluster.direction == Direction::kOutbound) {
+        // Internal (NATed) clients: 10.0.0.0/8 and 128.143.0.0/16.
+        base = rng.chance(0.7)
+                   ? (0x0a000000u | (static_cast<std::uint32_t>(rng.below(65536)) << 8))
+                   : (0x808f0000u | (static_cast<std::uint32_t>(rng.below(256)) << 8));
+      } else {
+        // External clients anywhere in unicast space.
+        base = ((static_cast<std::uint32_t>(rng.below(223) + 1) << 24) |
+                (static_cast<std::uint32_t>(rng.below(65536)) << 8));
+      }
+      subnet_bases.push_back(base & 0xffffff00u);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t base = subnet_bases[i % subnet_bases.size()];
+      pool.push_back(net::IpAddress::v4(
+          base | static_cast<std::uint32_t>(1 + rng.below(254))));
+    }
+    return pool;
+  }
+
+  net::IpAddress make_server_ip(const TrafficCluster& cluster, Rng& rng) {
+    if (cluster.direction == Direction::kInbound) {
+      // University-hosted server.
+      return net::IpAddress::v4(
+          0x808f0000u | static_cast<std::uint32_t>(rng.below(65536)));
+    }
+    return net::IpAddress::v4(
+        (static_cast<std::uint32_t>(rng.below(223) + 1) << 24) |
+        static_cast<std::uint32_t>(rng.below(1u << 24)));
+  }
+
+  std::vector<net::IpAddress> make_server_pool(const TrafficCluster& cluster,
+                                               Rng& rng) {
+    const std::size_t n = std::max<std::size_t>(1, cluster.server_ips);
+    const std::size_t subnets =
+        std::max<std::size_t>(1, cluster.server_subnets);
+    std::vector<std::uint32_t> bases;
+    bases.reserve(subnets);
+    for (std::size_t s = 0; s < subnets; ++s) {
+      const auto ip = make_server_ip(cluster, rng);
+      bases.push_back(ip.v4_value() & 0xffffff00u);
+    }
+    std::vector<net::IpAddress> pool;
+    pool.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.push_back(net::IpAddress::v4(
+          bases[i % bases.size()] |
+          static_cast<std::uint32_t>(1 + rng.below(254))));
+    }
+    return pool;
+  }
+
+  // --- Time shaping ---------------------------------------------------------------
+
+  std::vector<double> month_weights(MonthlyProfile profile,
+                                    int first_month, int month_count) {
+    std::vector<double> w(static_cast<std::size_t>(month_count), 1.0);
+    const int oct23 = 2023 * 12 + 9;  // month_index of 2023-10
+    for (int m = 0; m < month_count; ++m) {
+      const int idx = first_month + m;
+      const double progress =
+          month_count <= 1 ? 0.0
+                           : static_cast<double>(m) /
+                                 static_cast<double>(month_count - 1);
+      switch (profile) {
+        case MonthlyProfile::kFlat:
+          break;
+        case MonthlyProfile::kGrowing:
+          w[static_cast<std::size_t>(m)] = 1.0 + 2.4 * progress;
+          break;
+        case MonthlyProfile::kHealthSurge:
+          w[static_cast<std::size_t>(m)] =
+              (1.0 + 1.0 * progress) * (idx >= oct23 ? 2.0 : 1.0);
+          break;
+        case MonthlyProfile::kVanishesOct23:
+          w[static_cast<std::size_t>(m)] = idx >= oct23 ? 0.0 : 1.0;
+          break;
+      }
+    }
+    return w;
+  }
+
+  UnixSeconds sample_timestamp(const TrafficCluster& cluster, Rng& rng,
+                               const std::vector<double>& weights,
+                               int first_month) {
+    UnixSeconds window_end = model_.study_end;
+    if (cluster.activity_days > 0) {
+      window_end = std::min(
+          window_end,
+          model_.study_start +
+              static_cast<UnixSeconds>(cluster.activity_days * kDaySeconds));
+    }
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::size_t m = rng.weighted(weights);
+      const int month_idx = first_month + static_cast<int>(m);
+      const util::CivilTime start{month_idx / 12, month_idx % 12 + 1, 1, 0, 0, 0};
+      const UnixSeconds month_start = util::to_unix(start);
+      const UnixSeconds month_seconds =
+          static_cast<UnixSeconds>(
+              util::days_in_month(start.year, start.month)) *
+          util::kSecondsPerDay;
+      const UnixSeconds ts =
+          month_start + static_cast<UnixSeconds>(rng.below(
+                            static_cast<std::uint64_t>(month_seconds)));
+      if (ts >= model_.study_start && ts < window_end) return ts;
+    }
+    return model_.study_start;
+  }
+
+  // --- Cluster emission ----------------------------------------------------------
+
+  void emit_connection(const Sink& sink, const TrafficCluster& cluster,
+                       UnixSeconds ts, const net::IpAddress& client_ip,
+                       std::uint16_t port, const net::IpAddress& server_ip,
+                       const x509::Certificate* server_cert,
+                       const x509::Certificate* client_cert, bool tls13,
+                       Rng& rng,
+                       const x509::Certificate* server_intermediate = nullptr) {
+    tls::ClientProfile client;
+    client.endpoint = {client_ip,
+                       static_cast<std::uint16_t>(32768 + rng.below(28000))};
+    client.max_version =
+        tls13 ? tls::TlsVersion::kTls13 : tls::TlsVersion::kTls12;
+    if (!cluster.sni_override.empty()) {
+      client.sni = cluster.sni_override;
+    } else if (!cluster.sni_absent && !cluster.sld.empty()) {
+      client.sni = cluster.sld;
+    }
+    if (client_cert != nullptr) client.chain = {*client_cert};
+
+    tls::ServerProfile server;
+    server.endpoint = {server_ip, port};
+    server.max_version =
+        tls13 ? tls::TlsVersion::kTls13 : tls::TlsVersion::kTls12;
+    server.validate_client_certificate = cluster.server_validates_clients;
+    if (server_cert != nullptr) {
+      server.chain = {*server_cert};
+      // Real servers send their intermediate; the paper's classification
+      // accepts chain-level trust-store membership (§3.2.1).
+      if (server_intermediate != nullptr) {
+        server.chain.push_back(*server_intermediate);
+      }
+    }
+    server.request_client_certificate = client_cert != nullptr;
+
+    tls::HandshakeOptions options;
+    options.uid = "C" + std::to_string(++uid_counter_) + rng.alnum(6);
+    options.timestamp = ts;
+    options.validation_time = ts;
+
+    const auto conn = tls::simulate_handshake(client, server, options);
+    ++stats_.connections;
+    if (conn.is_mutual()) ++stats_.mutual_connections;
+    sink(conn);
+  }
+
+  std::uint16_t sample_port(const TrafficCluster& cluster, Rng& rng) {
+    double total = 0;
+    for (const auto& [port, w] : cluster.ports) total += w;
+    double r = rng.uniform() * total;
+    for (const auto& [port, w] : cluster.ports) {
+      r -= w;
+      if (r < 0) return port;
+    }
+    return cluster.ports.empty() ? 443 : cluster.ports.back().first;
+  }
+
+  // A certificate population plus its time-slotting. Short-lived
+  // certificates (Globus's 14-day cycle, ephemeral WebRTC/DTLS certs) are
+  // minted per time slot so every connection presents a certificate that
+  // is actually valid at the connection's timestamp.
+  struct Population {
+    std::vector<x509::Certificate> certs;
+    double slot_days = 0;  // 0 => certificates span the whole study
+    std::size_t slots = 1;
+  };
+
+  double cluster_window_days(const TrafficCluster& cluster) const {
+    return cluster.activity_days > 0
+               ? cluster.activity_days
+               : static_cast<double>(model_.study_end - model_.study_start) /
+                     kDaySeconds;
+  }
+
+  Population mint_population(const TrafficCluster& cluster,
+                             const CertSpec& spec, std::size_t count,
+                             bool server_role, Rng& rng) {
+    Population population;
+    const double window_days = cluster_window_days(cluster);
+    double slot_days = cluster.reissue_days;
+    if (slot_days == 0 && !spec.validity.fixed_dates &&
+        spec.validity.expired_days_before_study == 0 &&
+        spec.validity.typical_days * 1.3 < window_days) {
+      // Short-lived certificates must rotate or late connections would
+      // present long-expired leaves, polluting the §5.3.3 analysis.
+      slot_days = spec.validity.typical_days;
+    }
+    if (slot_days > 0) {
+      population.slot_days = slot_days;
+      population.slots = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(window_days / slot_days)));
+      // Every slot needs at least one certificate, or late connections
+      // would present a leaf that expired in an earlier slot.
+      count = std::max(count, population.slots);
+    }
+    // Rotating populations model re-issuance: the *identity* (subject CN)
+    // persists across slots, as a real device keeps its name through
+    // certificate renewals. Identity k owns certificates i with
+    // i / slots == k (slot-major layout).
+    std::vector<std::string> identities;
+    if (population.slots > 1) {
+      const std::size_t n = (count + population.slots - 1) / population.slots;
+      identities.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        identities.push_back(
+            make_cn(sample_cn(spec.cn, rng), cluster, spec, rng));
+      }
+    }
+    population.certs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (population.slot_days > 0) {
+        const std::size_t slot = i % population.slots;
+        const UnixSeconds ws =
+            model_.study_start +
+            static_cast<UnixSeconds>(slot * slot_days * kDaySeconds);
+        const UnixSeconds we =
+            ws + static_cast<UnixSeconds>(slot_days * kDaySeconds);
+        const std::string* cn = identities.empty()
+                                    ? nullptr
+                                    : &identities[i / population.slots];
+        population.certs.push_back(
+            mint(cluster, spec, i, rng, ws, we, server_role, cn));
+      } else {
+        population.certs.push_back(
+            mint(cluster, spec, i, rng, 0, 0, server_role));
+      }
+    }
+    return population;
+  }
+
+  /// Picks the certificate presented at time `ts`: slot-matched for
+  /// rotating populations, round-robin otherwise.
+  const x509::Certificate* pick_cert(const Population& population,
+                                     UnixSeconds ts, std::size_t c,
+                                     Rng& rng) const {
+    if (population.certs.empty()) return nullptr;
+    if (population.slot_days == 0) {
+      return &population.certs[c % population.certs.size()];
+    }
+    const std::size_t slot = std::min<std::size_t>(
+        population.slots - 1,
+        static_cast<std::size_t>(
+            static_cast<double>(ts - model_.study_start) /
+            (population.slot_days * kDaySeconds)));
+    // Certificates are laid out slot-major (i % slots == slot).
+    std::size_t idx = slot;
+    if (population.certs.size() > population.slots) {
+      const std::size_t per_slot =
+          population.certs.size() / population.slots;
+      idx = slot + population.slots * rng.below(per_slot);
+    }
+    return &population.certs[std::min(idx, population.certs.size() - 1)];
+  }
+
+  /// The intermediate a public-CA server certificate chains through, or
+  /// nullptr (private CAs typically send leaf-only chains in the data).
+  const x509::Certificate* server_intermediate_for(const CertSpec& spec,
+                                                   std::size_t index) {
+    if (spec.issuer_kind == IssuerKind::kHostingSubCa) {
+      return &hosting_subca().certificate();
+    }
+    if (spec.issuer_kind != IssuerKind::kPublicCa) return nullptr;
+    const auto& pki = trust::public_pki();
+    if (!spec.issuer_ref.empty()) {
+      const auto* ca = pki.find(spec.issuer_ref);
+      return ca == nullptr ? nullptr : &ca->intermediate.certificate();
+    }
+    static constexpr const char* kWebCas[] = {
+        "lets-encrypt", "digicert", "sectigo", "godaddy", "amazon",
+        "globalsign", "entrust"};
+    return &pki.find(kWebCas[index % std::size(kWebCas)])
+                ->intermediate.certificate();
+  }
+
+  void emit_cluster(const TrafficCluster& cluster, const Sink& sink) {
+    Rng rng = rng_.fork(std::hash<std::string>{}(cluster.name));
+
+    const int first_month = util::month_index(model_.study_start);
+    const int month_count =
+        util::month_index(model_.study_end - 1) - first_month + 1;
+    const auto weights = month_weights(cluster.profile, first_month,
+                                       month_count);
+
+    // Mint certificate populations.
+    std::size_t server_count =
+        std::max<std::size_t>(cluster.mutual || cluster.server_certs.count > 0
+                                  ? 1
+                                  : 0,
+                              cluster.server_certs.count);
+    if (cluster.tunnel_client_only) server_count = 0;
+    const Population servers =
+        mint_population(cluster, cluster.server_certs, server_count,
+                        /*server_role=*/true, rng);
+
+    Population clients;
+    if (cluster.mutual && cluster.sharing != SharingMode::kSameCertBothEnds) {
+      const std::size_t client_count =
+          std::max<std::size_t>(1, cluster.client_certs.count);
+      clients = mint_population(cluster, cluster.client_certs, client_count,
+                                /*server_role=*/false, rng);
+    }
+    const std::vector<x509::Certificate>& server_certs = servers.certs;
+    const std::vector<x509::Certificate>& client_certs = clients.certs;
+
+    const auto client_pool = make_client_pool(cluster, rng);
+    const auto server_pool = make_server_pool(cluster, rng);
+
+    // Connection volume: at least one connection per certificate so the
+    // population is fully observable in the logs.
+    const std::size_t min_conns =
+        std::max(server_certs.size(), client_certs.size());
+    const std::size_t total_conns = std::max(cluster.connections, min_conns);
+
+    for (std::size_t c = 0; c < total_conns; ++c) {
+      UnixSeconds ts;
+      if (c == 0) {
+        ts = model_.study_start + 3600;  // pin activity start
+      } else if (c == 1 && cluster.activity_days > 0) {
+        ts = model_.study_start +
+             static_cast<UnixSeconds>(cluster.activity_days * kDaySeconds) -
+             3600;  // pin activity end
+      } else if (c == 1) {
+        ts = model_.study_end - 3600;
+      } else {
+        ts = sample_timestamp(cluster, rng, weights, first_month);
+      }
+
+      const x509::Certificate* server_cert = pick_cert(servers, ts, c, rng);
+
+      const x509::Certificate* client_cert = nullptr;
+      if (cluster.mutual) {
+        if (cluster.sharing == SharingMode::kSameCertBothEnds) {
+          client_cert = server_cert;
+        } else {
+          client_cert = pick_cert(clients, ts, c, rng);
+        }
+      }
+
+      // Cross-connection sharing: the same certificate population appears
+      // on alternating sides of different connections.
+      if (cluster.sharing == SharingMode::kCrossConnection &&
+          !server_certs.empty() && !client_certs.empty()) {
+        // Alternate each certificate between the server role (even
+        // connections) and the client role (odd connections). The pair
+        // index c/2 decouples cert selection from connection parity so
+        // every certificate sees both roles.
+        const std::size_t si = (c / 2) % server_certs.size();
+        const std::size_t ci = (c / 2) % client_certs.size();
+        if (c % 2 == 0) {
+          server_cert = &server_certs[si];
+          client_cert = &client_certs[ci];
+        } else {
+          client_cert = &server_certs[si];
+          server_cert = &client_certs[ci];
+        }
+      }
+
+      // TLS 1.3 hides certificates; the first pass over the population
+      // (one connection per certificate) must stay visible or scaled-down
+      // runs would silently lose unique certificates.
+      const bool tls13 =
+          c >= min_conns && rng.chance(cluster.tls13_fraction);
+      // Cross-sharing clusters need clients spread over the whole subnet
+      // pool (Table 6); round-robin would alias with the role parity.
+      const auto& client_ip =
+          cluster.sharing == SharingMode::kCrossConnection
+              ? client_pool[rng.below(client_pool.size())]
+              : client_pool[c % client_pool.size()];
+      // Version-skewed server selection (§3.3): TLS 1.3 endpoints are a
+      // distinct, smaller sub-population, not a uniform slice.
+      std::size_t server_idx;
+      if (cluster.tls13_fraction > 0 && server_pool.size() >= 4) {
+        const std::size_t t13 = server_pool.size() / 4;
+        server_idx = tls13 ? rng.below(t13)
+                           : t13 * 9 / 10 +
+                                 rng.below(server_pool.size() - t13 * 9 / 10);
+      } else {
+        server_idx = rng.below(server_pool.size());
+      }
+      const auto& server_ip = server_pool[server_idx];
+      const x509::Certificate* intermediate = nullptr;
+      if (server_cert != nullptr && !server_certs.empty() &&
+          server_cert >= server_certs.data() &&
+          server_cert < server_certs.data() + server_certs.size()) {
+        intermediate = server_intermediate_for(
+            cluster.server_certs,
+            static_cast<std::size_t>(server_cert - server_certs.data()));
+      }
+      emit_connection(sink, cluster, ts, client_ip, sample_port(cluster, rng),
+                      server_ip, cluster.tunnel_client_only ? nullptr
+                                                            : server_cert,
+                      client_cert, tls13, rng, intermediate);
+    }
+  }
+
+  // --- Interception ---------------------------------------------------------------
+
+  void emit_interception(const Sink& sink) {
+    const auto& spec = model_.interception;
+    if (spec.connections == 0 && spec.certificates == 0) return;
+    Rng rng = rng_.fork(0x1ce);
+
+    // Popular public domains with legitimate CT records.
+    std::vector<std::string> domains;
+    std::vector<x509::DistinguishedName> true_issuers;
+    const auto& pki = trust::public_pki();
+    for (std::size_t d = 0; d < spec.domains; ++d) {
+      const std::string domain = "cdn-site" + std::to_string(d) + ".com";
+      const auto& ca = pki.cas()[d % pki.cas().size()].intermediate;
+      ct_.log_certificate(domain, ca.dn());
+      domains.push_back(domain);
+      true_issuers.push_back(ca.dn());
+    }
+
+    // Proxy CAs re-sign those domains.
+    std::vector<const trust::CertificateAuthority*> proxies;
+    static constexpr const char* kProxyNames[] = {
+        "BlueShield ProxySG CA",     "ZTrust Inspection Root",
+        "Campus AV Gateway CA",      "NetFilter SSL Inspector",
+        "SecureWeb MITM Root",       "EndpointGuard TLS Proxy",
+        "CorpNet Inspection CA",     "PacketShield Interceptor"};
+    for (std::size_t p = 0; p < spec.proxy_issuers; ++p) {
+      proxies.push_back(
+          &private_ca(kProxyNames[p % std::size(kProxyNames)] +
+                      (p >= std::size(kProxyNames)
+                           ? " " + std::to_string(p)
+                           : "")));
+    }
+
+    // Unique interception certificates: proxy × domain × client batch.
+    TrafficCluster pseudo;
+    pseudo.name = "interception";
+    pseudo.direction = Direction::kOutbound;
+    const std::size_t cert_count = std::max<std::size_t>(
+        spec.certificates, proxies.size() * domains.size());
+    std::vector<x509::Certificate> certs;
+    std::vector<std::size_t> cert_domain;
+    certs.reserve(cert_count);
+    for (std::size_t i = 0; i < cert_count; ++i) {
+      const std::size_t d = i % domains.size();
+      const auto& proxy = *proxies[i % proxies.size()];
+      CertSpec spec_cert;
+      spec_cert.cn = {{CnContent::kFixed, 1.0}};
+      spec_cert.fixed_cn = domains[d];
+      spec_cert.validity.typical_days = 30;
+      pseudo.sld = domains[d];
+      x509::CertificateBuilder b;
+      b.serial_from_label("icept:" + std::to_string(i))
+          .subject(x509::DistinguishedName().add_cn(domains[d]))
+          .validity(model_.study_start - 86400 * 30,
+                    model_.study_end + 86400 * 365)
+          .public_key(crypto::TsigKey::derive("ik" + std::to_string(i)).key)
+          .add_san_dns(domains[d]);
+      certs.push_back(proxy.issue(b));
+      cert_domain.push_back(d);
+      ++stats_.certificates_minted;
+    }
+
+    const std::size_t conns = std::max(spec.connections, certs.size());
+    const int first_month = util::month_index(model_.study_start);
+    const int month_count =
+        util::month_index(model_.study_end - 1) - first_month + 1;
+    const auto weights =
+        month_weights(MonthlyProfile::kFlat, first_month, month_count);
+    TrafficCluster shape;
+    shape.name = "interception";
+    shape.direction = Direction::kOutbound;
+    shape.client_ips = std::max<std::size_t>(20, conns / 300);
+    const auto client_pool = make_client_pool(shape, rng);
+    for (std::size_t c = 0; c < conns; ++c) {
+      const std::size_t i = c % certs.size();
+      shape.sld = domains[cert_domain[i]];
+      const auto ts = sample_timestamp(shape, rng, weights, first_month);
+      emit_connection(sink, shape, ts, client_pool[c % client_pool.size()],
+                      443, make_server_ip(shape, rng), &certs[i], nullptr,
+                      false, rng);
+    }
+  }
+
+  // --- Background (certificate-less volume) -----------------------------------------
+
+  void emit_background(const Sink& sink) {
+    if (model_.background_connections == 0) return;
+    Rng rng = rng_.fork(0xb6);
+
+    // A small pool of ordinary public-CA server certs for the visible
+    // (pre-1.3) share of background traffic.
+    TrafficCluster shape;
+    shape.name = "background";
+    shape.direction = Direction::kOutbound;
+    shape.sld = "popular-site.com";
+    CertSpec spec;
+    spec.count = 24;
+    spec.issuer_kind = IssuerKind::kPublicCa;
+    spec.cn = {{CnContent::kHostUnderDomain, 1.0}};
+    spec.san_dns_probability = 1.0;
+    std::vector<x509::Certificate> pool;
+    for (std::size_t i = 0; i < spec.count; ++i) {
+      // Background certs must cover the whole study window: connections
+      // are sampled across all 23 months.
+      pool.push_back(mint(shape, spec, i, rng,
+                          model_.study_start - 30 * 86'400,
+                          model_.study_end + 30 * 86'400));
+    }
+
+    const int first_month = util::month_index(model_.study_start);
+    const int month_count =
+        util::month_index(model_.study_end - 1) - first_month + 1;
+    const auto weights =
+        month_weights(MonthlyProfile::kFlat, first_month, month_count);
+    // Background browsing spans many clients and many destination
+    // servers; pool sizes scale with the volume so IP-level statistics
+    // (§3.3) stay meaningful.
+    shape.client_ips = std::max<std::size_t>(
+        60, model_.background_connections / 150);
+    shape.client_subnets = std::max<std::size_t>(8, shape.client_ips / 10);
+    const auto client_pool = make_client_pool(shape, rng);
+    std::vector<net::IpAddress> bg_servers;
+    bg_servers.reserve(
+        std::max<std::size_t>(40, model_.background_connections / 400));
+    for (std::size_t i = 0;
+         i < std::max<std::size_t>(40, model_.background_connections / 400);
+         ++i) {
+      bg_servers.push_back(make_server_ip(shape, rng));
+    }
+
+    // Endpoint populations are version-skewed, not uniform: §3.3 reports
+    // TLS 1.3 on 40.86% of connections but only 25.35% / 32.23% of server
+    // / client IPs. Model that by giving 1.3 its own endpoint ranges with
+    // a small overlap.
+    const std::size_t tls13_clients = client_pool.size() * 32 / 100;
+    const std::size_t tls13_servers = bg_servers.size() * 25 / 100;
+
+    for (std::size_t c = 0; c < model_.background_connections; ++c) {
+      const bool inbound = rng.chance(0.35);
+      shape.direction = inbound ? Direction::kInbound : Direction::kOutbound;
+      const bool tls13 =
+          rng.chance(model_.background_mutualess_tls13_fraction);
+      const auto ts = sample_timestamp(shape, rng, weights, first_month);
+      // Port mix follows the paper's non-mutual Table-2 columns.
+      std::uint16_t port = 443;
+      const double r = rng.uniform();
+      if (inbound) {
+        if (r > 0.8518 && r <= 0.8753) port = 25;
+        else if (r > 0.8753 && r <= 0.8979) port = 33854;
+        else if (r > 0.8979 && r <= 0.9201) port = 8443;
+        else if (r > 0.9201 && r <= 0.9399) port = 52730;
+        else if (r > 0.9399) port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+      } else {
+        if (r > 0.9915 && r <= 0.9959) port = 993;
+        else if (r > 0.9959 && r <= 0.9964) port = 8883;
+        else if (r > 0.9964 && r <= 0.9968) port = 25;
+        else if (r > 0.9968 && r <= 0.9971) port = 3128;
+        else if (r > 0.9971) port = static_cast<std::uint16_t>(1024 + rng.below(60000));
+      }
+      const auto& bg_client =
+          tls13 ? client_pool[rng.below(std::max<std::size_t>(
+                      1, tls13_clients))]
+                : client_pool[tls13_clients * 9 / 10 +
+                              c % (client_pool.size() -
+                                   tls13_clients * 9 / 10)];
+      const auto& bg_server =
+          tls13 ? bg_servers[rng.below(std::max<std::size_t>(
+                      1, tls13_servers))]
+                : bg_servers[tls13_servers * 9 / 10 +
+                             rng.below(bg_servers.size() -
+                                       tls13_servers * 9 / 10)];
+      emit_connection(sink, shape, ts, bg_client, port, bg_server,
+                      tls13 ? nullptr : &pool[c % pool.size()], nullptr,
+                      tls13, rng);
+    }
+  }
+
+  CampusModel model_;
+  ctlog::CtDatabase& ct_;
+  Stats& stats_;
+  Rng rng_;
+  std::map<std::string, trust::CertificateAuthority> private_cas_;
+  std::unique_ptr<trust::CertificateAuthority> hosting_subca_;
+  std::uint64_t uid_counter_ = 0;
+};
+
+TraceGenerator::TraceGenerator(CampusModel model)
+    : impl_(std::make_unique<Impl>(std::move(model), ct_, stats_)) {}
+
+TraceGenerator::~TraceGenerator() = default;
+
+void TraceGenerator::generate(const Sink& sink) { impl_->generate(sink); }
+
+zeek::Dataset TraceGenerator::generate_dataset() {
+  zeek::Dataset dataset;
+  generate([&dataset](const tls::TlsConnection& conn) {
+    dataset.add_connection(conn);
+  });
+  return dataset;
+}
+
+std::vector<std::string> TraceGenerator::campus_issuer_names() {
+  return {campus_org()};
+}
+
+std::vector<std::string> TraceGenerator::dummy_issuer_names() {
+  return {"Internet Widgits Pty Ltd", "Default Company Ltd", "Unspecified",
+          "Acme Co"};
+}
+
+}  // namespace mtlscope::gen

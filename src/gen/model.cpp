@@ -1,0 +1,1588 @@
+// paper_model(): the calibration of the synthetic campus to the paper's
+// published statistics. Every constant in this file traces to a number in
+// the paper; section/table references are cited inline.
+#include "mtlscope/gen/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtlscope::gen {
+namespace {
+
+/// Scales a paper count, keeping at least `floor_at`.
+std::size_t scaled(double paper_count, double scale,
+                   std::size_t floor_at = 1) {
+  return std::max<std::size_t>(
+      floor_at, static_cast<std::size_t>(std::llround(paper_count / scale)));
+}
+
+util::UnixSeconds ts(int y, int m, int d) {
+  return util::to_unix({y, m, d, 0, 0, 0});
+}
+
+// CN distributions reused across clusters.
+
+CnDistribution domain_cn() { return {{CnContent::kHostUnderDomain, 1.0}}; }
+
+}  // namespace
+
+CampusModel paper_model(double cert_scale, double conn_scale) {
+  CampusModel model;
+  model.study_start = ts(2022, 5, 1);   // §3.1: May 1st 2022 …
+  model.study_end = ts(2024, 4, 1);     // … to March 31st 2024.
+
+  const auto S = [cert_scale](double count, std::size_t floor_at = 1) {
+    return scaled(count, cert_scale, floor_at);
+  };
+  const auto C = [conn_scale](double count, std::size_t floor_at = 1) {
+    return scaled(count, conn_scale, floor_at);
+  };
+  // Client-IP pools scale with the certificate scale (they bound memory
+  // the same way certificate counts do).
+  const auto P = [cert_scale](double count, std::size_t floor_at = 1) {
+    return scaled(count, cert_scale, floor_at);
+  };
+
+  // Connection-volume anchors. §4.1 / Fig 1: 1.2B mutual connections over
+  // the study; we split 55% inbound / 45% outbound so that the inbound
+  // side carries the health-system surge the paper describes.
+  const double kMutualConns = 1.2e9;
+  const double kInboundMutual = kMutualConns * 0.55;
+  const double kOutboundMutual = kMutualConns * 0.45;
+
+  auto& cl = model.clusters;
+
+  // ==========================================================================
+  // INBOUND (Table 3 server associations; Table 2 inbound-mutual ports)
+  // ==========================================================================
+
+  {
+    // University Health — 64.91% of inbound mutual connections, 41.10% of
+    // clients; client certs Private-Education 99.96%. Carries the FileWave
+    // (20017) and Outset Medical (9093) device-management ports and the
+    // Oct–Dec 2023 surge (Fig 1).
+    TrafficCluster c;
+    c.name = "in-health";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityHealth;
+    c.sld = "brhealth.org";
+    c.ports = {{443, 0.555}, {20017, 0.383}, {636, 0.03}, {9093, 0.004},
+               {993, 0.028}};
+    c.connections = C(kInboundMutual * 0.6491);
+    c.client_ips = P(41'100);
+    c.profile = MonthlyProfile::kHealthSurge;
+    c.server_certs.count = S(400'000);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 0.004;
+    c.server_certs.san_cn = {{CnContent::kHostUnderDomain, 0.877},
+                             {CnContent::kCompanyName, 0.079},
+                             {CnContent::kLocalhost, 0.0074},
+                             {CnContent::kIpAddress, 0.0068},
+                             {CnContent::kRandomHex8, 0.0297}};
+    c.client_certs.count = S(90'000);
+    c.client_certs.issuer_kind = IssuerKind::kCampus;
+    c.client_certs.cn = {{CnContent::kUuid, 0.40},
+                         {CnContent::kRandomHex32, 0.22},
+                         {CnContent::kOrgName, 0.20},
+                         {CnContent::kPersonalName, 0.12},
+                         {CnContent::kUserAccount, 0.05},
+                         {CnContent::kMacAddress, 0.0005},
+                         {CnContent::kLocalhost, 0.0015}};
+    c.client_certs.validity.typical_days = 365;
+    c.client_certs.san_dns_probability = 0.014;
+    c.client_certs.san_cn = {{CnContent::kRandomHex32, 0.52},
+                             {CnContent::kHostUnderDomain, 0.20},
+                             {CnContent::kPersonalName, 0.13},
+                             {CnContent::kCompanyName, 0.15}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // University Health: the 0.94% of clients presenting public-CA certs.
+    TrafficCluster c;
+    c.name = "in-health-public";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityHealth;
+    c.sld = "brhealth.org";
+    c.connections = C(kInboundMutual * 0.003);
+    c.client_ips = P(400);
+    c.server_certs.count = S(2'000);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(700, 2);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.cn = domain_cn();
+    c.client_certs.san_dns_probability = 0.10;
+    cl.push_back(std::move(c));
+  }
+  {
+    // University Server — 30.55% of inbound mutual connections; client
+    // certs 95.84% Private-MissingIssuer (§4.2.1's MITM concern).
+    TrafficCluster c;
+    c.name = "in-univ-server";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityServer;
+    c.sld = "brexample.edu";
+    c.ports = {{443, 0.81}, {636, 0.14}, {993, 0.05}};
+    c.connections = C(kInboundMutual * 0.3055);
+    c.client_ips = P(5'000);
+    c.profile = MonthlyProfile::kGrowing;
+    c.server_certs.count = S(200'000);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(40'000);
+    c.client_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.client_certs.cn = {{CnContent::kRandomHex32, 0.45},
+                         {CnContent::kRandomHex8, 0.25},
+                         {CnContent::kRandomOther, 0.15},
+                         {CnContent::kNonRandomToken, 0.15}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // The small public-CA client share (3.70%) on university servers.
+    TrafficCluster c;
+    c.name = "in-univ-server-public";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityServer;
+    c.sld = "brexample.edu";
+    c.connections = C(kInboundMutual * 0.011);
+    c.client_ips = P(190);
+    c.server_certs.count = S(2'000);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(300, 2);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.cn = domain_cn();
+    c.client_certs.san_dns_probability = 0.10;
+    cl.push_back(std::move(c));
+  }
+  {
+    // University VPN — 0.30% of connections but 14.73% of clients; client
+    // certificates are campus-issued user certs with personal names.
+    TrafficCluster c;
+    c.name = "in-vpn";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityVpn;
+    c.sld = "vpn.brexample.edu";
+    c.connections = C(kInboundMutual * 0.0030);
+    c.client_ips = P(14'730);
+    c.server_certs.count = S(200);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(38'000);
+    c.client_certs.issuer_kind = IssuerKind::kCampus;
+    c.client_certs.cn = {{CnContent::kPersonalName, 0.62},
+                         {CnContent::kUserAccount, 0.33},
+                         {CnContent::kEmailAddress, 0.025},
+                         {CnContent::kSipAddress, 0.025}};
+    c.client_certs.san_dns_probability = 0.02;
+    c.client_certs.san_cn = {{CnContent::kPersonalName, 0.6},
+                             {CnContent::kRandomHex8, 0.4}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Local Organization — 2.53% of connections; clients 96.62% public.
+    TrafficCluster c;
+    c.name = "in-local-org";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kLocalOrganization;
+    c.sld = "localmed.org";
+    c.connections = C(kInboundMutual * 0.0253);
+    c.client_ips = P(2'126, 40);
+    c.server_certs.count = S(4'000);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Local Medical Alliance";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(3'500, 6);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.cn = domain_cn();
+    c.client_certs.san_dns_probability = 0.08;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Local Organization, corporate-issued client certs (1.32%) — also
+    // hosts the 01/02/03 dummy-serial collisions of §5.1.2.
+    for (const char* serial : {"01", "02", "03"}) {
+      TrafficCluster c;
+      c.name = std::string("in-local-serial-") + serial;
+      c.direction = Direction::kInbound;
+      c.assoc = ServerAssociation::kLocalOrganization;
+      c.sld = "localmed.org";
+      c.connections = C(kInboundMutual * 0.0005);
+      c.client_ips = P(30, 2);
+      c.server_certs.count = S(60, 2);
+      c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.server_certs.issuer_ref = "Local Device Works";
+      c.server_certs.cn = domain_cn();
+      c.server_certs.serial.fixed_hex = serial;
+      c.server_certs.validity.typical_days = 14;
+      c.client_certs.count = S(60, 2);
+      c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.client_certs.issuer_ref = "Local Device Works";
+      c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+      c.client_certs.serial.fixed_hex = serial;
+      c.client_certs.validity.typical_days = 14;
+      cl.push_back(std::move(c));
+    }
+  }
+  {
+    // ViptelaClient — every certificate, client- or server-side, carries
+    // serial 024680 (§5.1.2); short validity (<15 days).
+    TrafficCluster c;
+    c.name = "in-viptela";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kLocalOrganization;
+    c.sld = "sdwan.localmed.org";
+    c.connections = C(kInboundMutual * 0.0004);
+    c.client_ips = P(60, 2);
+    c.server_certs.count = S(300, 3);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "ViptelaClient";
+    c.server_certs.cn = {{CnContent::kUuid, 1.0}};
+    c.server_certs.serial.fixed_hex = "024680";
+    c.server_certs.validity.typical_days = 12;
+    c.client_certs.count = S(300, 3);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "ViptelaClient";
+    c.client_certs.cn = {{CnContent::kUuid, 1.0}};
+    c.client_certs.serial.fixed_hex = "024680";
+    c.client_certs.validity.typical_days = 12;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Table 4 (In.): dummy-issuer client certificates against Local
+    // Organization servers — 21 clients, 95 connections.
+    TrafficCluster c;
+    c.name = "in-dummy-clients";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kLocalOrganization;
+    c.sld = "localmed.org";
+    c.connections = std::max<std::size_t>(C(95, 8), 8);
+    c.client_ips = P(21, 3);
+    c.server_certs.count = 2;
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Local Medical Alliance";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = 21;
+    c.client_certs.issuer_kind = IssuerKind::kDummy;
+    c.client_certs.issuer_ref = "Internet Widgits Pty Ltd";
+    c.client_certs.cn = {{CnContent::kNonRandomToken, 0.6},
+                         {CnContent::kLocalhost, 0.4}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Table 4 (In.): 'Unspecified' dummy-issuer clients across university
+    // servers — 452 clients, 566,996 connections; 13 of the certificates
+    // use 1024-bit RSA keys (§5.1.1, NIST SP 800-57 violation).
+    TrafficCluster c;
+    c.name = "in-unspecified-clients";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityServer;
+    c.sld = "brexample.edu";
+    c.connections = C(566'996, 60);
+    c.client_ips = P(452, 8);
+    c.server_certs.count = S(450, 4);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = 439;
+    c.client_certs.issuer_kind = IssuerKind::kDummy;
+    c.client_certs.issuer_ref = "Unspecified";
+    c.client_certs.cn = {{CnContent::kNonRandomToken, 0.7},
+                         {CnContent::kRandomHex8, 0.3}};
+    cl.push_back(std::move(c));
+
+    TrafficCluster weak = cl.back();
+    weak.name = "in-unspecified-weak-keys";
+    weak.connections = 83;
+    weak.client_ips = 13;
+    weak.client_certs.count = 13;
+    weak.client_certs.key_bits = 1024;
+    weak.server_certs.count = 4;
+    cl.push_back(std::move(weak));
+  }
+  {
+    // OpenSSL-dummy clients with certificate version 1.0 — 3 certificates,
+    // 154 connection tuples (§5.1.1).
+    TrafficCluster c;
+    c.name = "in-widgits-v1";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kLocalOrganization;
+    c.sld = "localmed.org";
+    c.connections = 154;
+    c.client_ips = 3;
+    c.server_certs.count = 2;
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Local Medical Alliance";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = 3;
+    c.client_certs.issuer_kind = IssuerKind::kDummy;
+    c.client_certs.issuer_ref = "Internet Widgits Pty Ltd";
+    c.client_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+    c.client_certs.version = 1;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Third Party Services — 0.31% of inbound connections; client issuers
+    // Private-Others 47.95%, Public 37.25%.
+    TrafficCluster c;
+    c.name = "in-third-party";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kThirdPartyService;
+    c.sld = "thirdparty-hosting.com";
+    c.connections = C(kInboundMutual * 0.0031);
+    c.client_ips = P(234);
+    c.server_certs.count = S(2'000);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Managed Hosting Partners";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(3'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Kestrel Data Systems";
+    c.client_certs.cn = {{CnContent::kRandomOther, 0.6},
+                         {CnContent::kCompanyName, 0.4}};
+    cl.push_back(std::move(c));
+
+    TrafficCluster pub = cl.back();
+    pub.name = "in-third-party-public";
+    pub.connections = C(kInboundMutual * 0.0024);
+    pub.client_ips = P(146);
+    pub.client_certs = CertSpec{};
+    pub.client_certs.count = S(500, 2);
+    pub.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    pub.client_certs.cn = domain_cn();
+    pub.client_certs.san_dns_probability = 0.10;
+    cl.push_back(std::move(pub));
+  }
+  {
+    // Globus server association (globus.org SLD) — 0.06% of connections.
+    TrafficCluster c;
+    c.name = "in-globus-assoc";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kGlobus;
+    c.sld = "globus.org";
+    c.ports = {{50000, 0.5}, {50500, 0.3}, {51000, 0.2}};
+    c.connections = C(kInboundMutual * 0.0006);
+    c.client_ips = 6;
+    c.server_certs.count = S(300, 2);
+    c.server_certs.issuer_kind = IssuerKind::kCampus;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = S(500, 3);
+    c.client_certs.issuer_kind = IssuerKind::kCampus;
+    c.client_certs.cn = {{CnContent::kUserAccount, 0.9},
+                         {CnContent::kRandomHex8, 0.1}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // The Globus FXP/DCAU population (§5.1.2, Table 5): serial 00, issuer
+    // 'Globus Online' with issuer CN 'FXP DCAU Cert', 14-day validity,
+    // the SAME certificate presented by both endpoints, SNI literally
+    // "FXP DCAU Cert" (hence an Unknown server association), 7.49M
+    // inbound connections, 798 clients, 38,9xx certificates.
+    TrafficCluster c;
+    c.name = "in-globus-shared";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUnknown;
+    c.sni_override = "FXP DCAU Cert";
+    c.ports = {{50000, 0.4}, {50017, 0.3}, {50900, 0.3}};
+    c.connections = C(7.49e6, 400);
+    c.client_ips = P(798, 12);
+    c.sharing = SharingMode::kSameCertBothEnds;
+    c.reissue_days = 14;
+    c.server_certs.count = S(38'928, 50);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Globus Online";
+    c.server_certs.issuer_cn = "FXP DCAU Cert";
+    c.server_certs.serial.fixed_hex = "00";
+    c.server_certs.cn = {{CnContent::kNonRandomToken, 0.50},
+                         {CnContent::kRandomHex8, 0.45},
+                         {CnContent::kRandomOther, 0.05}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Other serial-00 colliding issuers (6 distinct issuers total incl.
+    // Globus, §5.1.2).
+    for (int k = 0; k < 5; ++k) {
+      TrafficCluster c;
+      c.name = "in-serial00-" + std::to_string(k);
+      c.direction = Direction::kInbound;
+      c.assoc = ServerAssociation::kLocalOrganization;
+      c.sld = "localmed.org";
+      c.connections = C(kInboundMutual * 0.0001);
+      c.client_ips = P(66, 2);
+      c.server_certs.count = S(120, 2);
+      c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.server_certs.issuer_ref = "Device Fleet CA " + std::to_string(k);
+      c.server_certs.cn = domain_cn();
+      c.server_certs.serial.fixed_hex = "00";
+      c.server_certs.validity.typical_days = 13;
+      c.client_certs = c.server_certs;
+      c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+      cl.push_back(std::move(c));
+    }
+  }
+  {
+    // Inbound Unknown (missing SNI) — 1.34% of connections but 36.58% of
+    // clients; client certs 87.34% Private-MissingIssuer.
+    TrafficCluster c;
+    c.name = "in-unknown";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUnknown;
+    c.sni_absent = true;
+    c.ports = {{443, 0.85}, {52730, 0.1}, {8443, 0.05}};
+    c.connections = C(kInboundMutual * 0.0021);
+    c.client_ips = P(35'782);
+    c.server_certs.count = S(80'000);
+    c.server_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.server_certs.cn = {{CnContent::kRandomHex32, 0.5},
+                         {CnContent::kRandomHex8, 0.3},
+                         {CnContent::kNonRandomToken, 0.2}};
+    c.client_certs.count = S(30'000);
+    c.client_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.client_certs.cn = {{CnContent::kRandomHex32, 0.45},
+                         {CnContent::kUuid, 0.25},
+                         {CnContent::kRandomHex8, 0.15},
+                         {CnContent::kNonRandomToken, 0.15}};
+    cl.push_back(std::move(c));
+
+    TrafficCluster other = cl.back();
+    other.name = "in-unknown-others";
+    other.connections = C(kInboundMutual * 0.0003);
+    other.client_ips = P(5'000);
+    other.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    other.client_certs.issuer_ref = "Meridian Apparatus";
+    other.client_certs.count = S(6'000);
+    cl.push_back(std::move(other));
+  }
+  {
+    // Inbound expired client certificates (Fig 5a): University VPN
+    // 45.83%, Local Organization 32.79%, Third Party 15.38%.
+    struct ExpiredRow {
+      const char* name;
+      ServerAssociation assoc;
+      const char* sld;
+      double share;
+    };
+    const ExpiredRow rows[] = {
+        {"in-expired-vpn", ServerAssociation::kUniversityVpn,
+         "vpn.brexample.edu", 0.4583},
+        {"in-expired-local", ServerAssociation::kLocalOrganization,
+         "localmed.org", 0.3279},
+        {"in-expired-third", ServerAssociation::kThirdPartyService,
+         "thirdparty-hosting.com", 0.1538},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = Direction::kInbound;
+      c.assoc = row.assoc;
+      c.sld = row.sld;
+      c.connections = C(2e6 * row.share, 30);
+      c.client_ips = P(900 * row.share, 4);
+      c.server_certs.count = S(200 * row.share, 2);
+      c.server_certs.issuer_kind = IssuerKind::kCampus;
+      c.server_certs.cn = domain_cn();
+      c.client_certs.count = S(1'000 * row.share, 8);
+      c.client_certs.issuer_kind =
+          row.assoc == ServerAssociation::kUniversityVpn
+              ? IssuerKind::kCampus
+              : IssuerKind::kPrivateOrg;
+      c.client_certs.issuer_ref = "Local Medical Alliance";
+      c.client_certs.cn = {{CnContent::kPersonalName, 0.3},
+                           {CnContent::kRandomHex32, 0.4},
+                           {CnContent::kOrgName, 0.3}};
+      // Broadly-distributed expiry: up to ~2 years before the study.
+      c.client_certs.validity.expired_days_before_study = 350;
+      cl.push_back(std::move(c));
+    }
+  }
+
+  // ==========================================================================
+  // OUTBOUND (Fig 2 flows; Table 2 outbound-mutual ports)
+  // ==========================================================================
+
+  {
+    // amazonaws.com — 28.51% of outbound mutual SLDs; public server
+    // certificates; clients overwhelmingly private, a large share with no
+    // issuer organization at all (37.84% across outbound, §4.2.2).
+    TrafficCluster c;
+    c.name = "out-aws-missing";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sld = "amazonaws.com";
+    c.connections = C(kOutboundMutual * 0.2851 * 0.75);
+    c.client_ips = P(9'000);
+    c.server_ips = 40;
+    c.server_subnets = 16;
+    c.server_certs.count = S(6'000);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.issuer_ref = "amazon";
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(80'000);
+    c.client_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.client_certs.cn = {{CnContent::kProductName, 0.45},
+                         {CnContent::kRandomHex32, 0.30},
+                         {CnContent::kUuid, 0.25}};
+    cl.push_back(std::move(c));
+
+    TrafficCluster corp = cl.back();
+    corp.name = "out-aws-corp";
+    corp.connections = C(kOutboundMutual * 0.2851 * 0.25);
+    corp.client_certs = CertSpec{};
+    corp.client_certs.count = S(30'000);
+    corp.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    corp.client_certs.issuer_ref = "Nimbus Devices Inc";
+    corp.client_certs.cn = {{CnContent::kUuid, 0.15},
+                            {CnContent::kCompanyName, 0.45},
+                            {CnContent::kProductName, 0.4}};
+    cl.push_back(std::move(corp));
+  }
+  {
+    // rapid7.com — 27.44%; disappears from October 2023 (Fig 1 dip).
+    TrafficCluster c;
+    c.name = "out-rapid7";
+    c.direction = Direction::kOutbound;
+    c.sld = "rapid7.com";
+    c.connections = C(kOutboundMutual * 0.2744);
+    c.client_ips = P(7'000);
+    c.server_ips = 16;
+    c.server_subnets = 6;
+    c.profile = MonthlyProfile::kVanishesOct23;
+    c.server_certs.count = S(500);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.issuer_ref = "digicert";
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(25'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Rapid7 LLC";
+    c.client_certs.cn = {{CnContent::kUuid, 0.7}, {CnContent::kRandomHex32, 0.3}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // gpcloudservice.com — 13.33%.
+    TrafficCluster c;
+    c.name = "out-gpcloud";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sld = "gpcloudservice.com";
+    c.connections = C(kOutboundMutual * 0.1333);
+    c.client_ips = P(3'000);
+    c.server_ips = 10;
+    c.server_subnets = 4;
+    c.server_certs.count = S(300);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(12'000);
+    c.client_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.client_certs.cn = {{CnContent::kRandomHex32, 0.6},
+                         {CnContent::kProductName, 0.4}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // MQTT over TLS (8883) — 3.69% of outbound mutual: IoT fleets.
+    TrafficCluster c;
+    c.name = "out-mqtt";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sld = "iot-bridge.net";
+    c.ports = {{8883, 1.0}};
+    c.connections = C(kOutboundMutual * 0.0369);
+    c.client_ips = P(2'000);
+    c.server_ips = 6;
+    c.server_subnets = 3;
+    c.server_certs.count = S(300);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(15'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Fireboard Labs";
+    c.client_certs.cn = {{CnContent::kMacAddress, 0.008},
+                         {CnContent::kUuid, 0.25},
+                         {CnContent::kProductName, 0.742}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // SMTP (25) 3.38% and SMTPS (465) 3.32%: mail relays with public
+    // client certificates whose CNs are email-service hostnames — the
+    // Table-8 "client/public CA domain" population (38% smtp/mx/mta/mail).
+    TrafficCluster c;
+    c.name = "out-smtp";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sld = "mailrelay.com";
+    c.ports = {{25, 0.505}, {465, 0.495}};
+    c.connections = C(kOutboundMutual * 0.0670);
+    c.client_ips = P(600);
+    c.server_certs.count = S(1'500);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = {{CnContent::kEmailServiceDomain, 1.0}};
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(1'210, 4);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.cn = {{CnContent::kEmailServiceDomain, 1.0}};
+    c.client_certs.san_dns_probability = 0.60;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Cisco Webex client certificates (24% of client/public domains).
+    TrafficCluster c;
+    c.name = "out-webex";
+    c.direction = Direction::kOutbound;
+    c.sld = "webex.com";
+    c.connections = C(kOutboundMutual * 0.004);
+    c.client_ips = P(500);
+    c.server_certs.count = S(200);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(760, 3);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.cn = domain_cn();
+    c.client_certs.san_dns_probability = 0.50;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Splunk forwarders (9997) — 1.48% of outbound mutual.
+    TrafficCluster c;
+    c.name = "out-splunk";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sld = "splunkcloud.com";
+    c.ports = {{9997, 1.0}};
+    c.connections = C(kOutboundMutual * 0.0148);
+    c.client_ips = P(900);
+    c.server_certs.count = S(150);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(5'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Splunk";
+    c.client_certs.cn = {{CnContent::kProductName, 0.75},
+                         {CnContent::kRandomHex32, 0.25}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Microsoft Azure: 'Hybrid Runbook Worker' CNs (99% of client/public
+    // Org-Product) plus Azure Sphere random-CN certificates (46% of
+    // client/public Unidentified, Table 9 "by issuer").
+    TrafficCluster c;
+    c.name = "out-azure-runbook";
+    c.direction = Direction::kOutbound;
+    c.sld = "azure.com";
+    c.connections = C(kOutboundMutual * 0.006);
+    c.client_ips = P(500);
+    c.server_certs.count = S(300);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.issuer_ref = "microsoft";
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(5'603, 6);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.issuer_ref = "microsoft";
+    c.client_certs.cn = {{CnContent::kFixed, 0.99},
+                         {CnContent::kCompanyName, 0.01}};
+    c.client_certs.fixed_cn = "Hybrid Runbook Worker";
+    cl.push_back(std::move(c));
+
+    TrafficCluster sphere = cl.back();
+    sphere.name = "out-azure-sphere";
+    sphere.sld = "azuresphere.net";
+    sphere.connections = C(kOutboundMutual * 0.004);
+    sphere.client_certs = CertSpec{};
+    sphere.client_certs.count = S(6'162, 8);
+    sphere.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    sphere.client_certs.issuer_ref = "azure-sphere";
+    sphere.client_certs.cn = {{CnContent::kRandomHex32, 0.6},
+                              {CnContent::kUuid, 0.4}};
+    cl.push_back(std::move(sphere));
+  }
+  {
+    // Apple device certificates with UUID CNs (10% of client/public
+    // Unidentified, issuer CN 'Apple iPhone Device CA').
+    TrafficCluster c;
+    c.name = "out-apple-device";
+    c.direction = Direction::kOutbound;
+    c.sld = "apple.com";
+    c.connections = C(kOutboundMutual * 0.004);
+    c.client_ips = P(900);
+    c.server_certs.count = S(300);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.issuer_ref = "apple";
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(1'340, 4);
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.issuer_ref = "apple-device";
+    c.client_certs.cn = {{CnContent::kUuid, 1.0}};
+    cl.push_back(std::move(c));
+
+    // The remaining public-client unidentified mass: UUID CNs with
+    // assorted public issuers.
+    TrafficCluster misc = cl.back();
+    misc.name = "out-public-uuid-misc";
+    misc.sld = "deviceapi.com";
+    misc.client_certs = CertSpec{};
+    misc.client_certs.count = S(5'895, 6);
+    misc.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    misc.client_certs.cn = {{CnContent::kUuid, 0.95},
+                            {CnContent::kPersonalName, 0.023},
+                            {CnContent::kEmailAddress, 0.0004},
+                            {CnContent::kLocalhost, 0.0002},
+                            {CnContent::kIpAddress, 0.0002},
+                            {CnContent::kCompanyName, 0.0262}};
+    cl.push_back(std::move(misc));
+  }
+  {
+    // WebRTC/DTLS ephemeral certificates: the bulk of the paper's unique
+    // certificates — self-signed, CN 'WebRTC' (or twilio / hangouts),
+    // missing SNI, both sides private (Table 8's dominant Org/Product).
+    TrafficCluster c;
+    c.name = "out-webrtc";
+    c.profile = MonthlyProfile::kGrowing;
+    c.direction = Direction::kOutbound;
+    c.sni_absent = true;
+    c.ports = {{443, 0.7}, {8443, 0.3}};
+    c.connections = C(kOutboundMutual * 0.01);
+    c.client_ips = P(12'000);
+    c.server_certs.count = S(1'580'000);
+    c.server_certs.issuer_kind = IssuerKind::kSelfSigned;
+    c.server_certs.cn = {{CnContent::kWebRtc, 0.88},
+                         {CnContent::kTwilio, 0.06},
+                         {CnContent::kHangouts, 0.035},
+                         {CnContent::kSipAddress, 0.025}};
+    c.server_certs.validity.typical_days = 30;
+    c.client_certs.count = S(2'920'000);
+    c.client_certs.issuer_kind = IssuerKind::kSelfSigned;
+    c.client_certs.cn = {{CnContent::kWebRtc, 0.975},
+                         {CnContent::kTwilio, 0.013},
+                         {CnContent::kHangouts, 0.012}};
+    c.client_certs.validity.typical_days = 30;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Private-corporate device certificates: Lenovo / Android Keystore
+    // (the non-WebRTC 1.3% of client Org/Product, §6.3.4).
+    TrafficCluster c;
+    c.name = "out-device-products";
+    c.direction = Direction::kOutbound;
+    c.sld = "device-telemetry.com";
+    c.connections = C(kOutboundMutual * 0.005);
+    c.client_ips = P(2'500);
+    c.server_certs.count = S(400);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(39'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Lenovo";
+    c.client_certs.cn = {{CnContent::kProductName, 0.55},
+                         {CnContent::kCompanyName, 0.35},
+                         {CnContent::kMacAddress, 0.003},
+                         {CnContent::kRandomOther, 0.097}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // SIP/VoIP client certificates (Table 8 client SIP type) and
+    // remaining private-client mass: emails, domains, localhost.
+    TrafficCluster c;
+    c.name = "out-voip";
+    c.direction = Direction::kOutbound;
+    c.sld = "sip-trunk.net";
+    c.ports = {{5061, 1.0}};
+    c.connections = C(kOutboundMutual * 0.002);
+    c.client_ips = P(300);
+    c.server_certs.count = S(200);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Voice Systems Intl";
+    c.server_certs.cn = {{CnContent::kSipAddress, 0.9},
+                         {CnContent::kHostUnderDomain, 0.1}};
+    c.client_certs.count = S(9'000);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Voice Systems Intl";
+    c.client_certs.cn = {{CnContent::kSipAddress, 0.20},
+                         {CnContent::kEmailAddress, 0.10},
+                         {CnContent::kHostUnderDomain, 0.585},
+                         {CnContent::kIpAddress, 0.0015},
+                         {CnContent::kLocalhost, 0.015},
+                         {CnContent::kPersonalName, 0.0985}};
+    c.client_certs.san_dns_probability = 0.04;
+    c.client_certs.san_email_probability = 0.002;
+    cl.push_back(std::move(c));
+  }
+  {
+    // Personal-name client certificates issued by non-campus private CAs
+    // (7% of the 43,539, §6.3.4).
+    TrafficCluster c;
+    c.name = "out-personal-other";
+    c.direction = Direction::kOutbound;
+    c.sld = "collab-platform.com";
+    c.connections = C(kOutboundMutual * 0.001);
+    c.client_ips = P(1'500);
+    c.server_certs.count = S(150);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(3'048, 4);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Meridian Apparatus";
+    c.client_certs.cn = {{CnContent::kPersonalName, 1.0}};
+    c.client_certs.san_dns_probability = 0.35;
+    c.client_certs.san_cn = {{CnContent::kPersonalName, 0.7},
+                             {CnContent::kRandomHex8, 0.3}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // GuardiCore (§5.1.2): all client certs serial 01, all server certs
+    // serial 03E8, >2-year validity, 904 connections with no SNI,
+    // persistent across the whole study.
+    TrafficCluster c;
+    c.name = "out-guardicore";
+    c.direction = Direction::kOutbound;
+    c.sni_absent = true;
+    c.connections = C(904, 90);
+    c.client_ips = P(40, 6);
+    c.server_certs.count = 43;
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "GuardiCore";
+    c.server_certs.serial.fixed_hex = "03E8";
+    c.server_certs.cn = {{CnContent::kRandomHex32, 1.0}};
+    c.server_certs.validity.typical_days = 900;
+    c.client_certs.count = 57;
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "GuardiCore";
+    c.client_certs.serial.fixed_hex = "01";
+    c.client_certs.cn = {{CnContent::kRandomHex32, 1.0}};
+    c.client_certs.validity.typical_days = 900;
+    cl.push_back(std::move(c));
+  }
+
+  {
+    // Hosted web services whose certificates come from a private hosting
+    // sub-CA chained under DigiCert: public by the paper's chain rule,
+    // private by direct-issuer lookup (§3.2.1's "or intermediate").
+    TrafficCluster c;
+    c.name = "out-subca-hosting";
+    c.direction = Direction::kOutbound;
+    c.sld = "hosted-shops.com";
+    c.connections = C(kOutboundMutual * 0.002);
+    c.client_ips = P(400);
+    c.server_certs.count = S(3'000, 4);
+    c.server_certs.issuer_kind = IssuerKind::kHostingSubCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(4'000, 4);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Kestrel Data Systems";
+    c.client_certs.cn = {{CnContent::kRandomHex32, 0.7},
+                         {CnContent::kProductName, 0.3}};
+    cl.push_back(std::move(c));
+  }
+
+  // --- Table 4 (Out.) dummy issuers -----------------------------------------
+
+  {
+    TrafficCluster c;
+    c.name = "out-widgits-clients";
+    c.direction = Direction::kOutbound;
+    c.sld = "widgit-devices.com";
+    c.connections = C(69'069, 80);
+    c.client_ips = P(73, 6);
+    c.server_certs.count = 6;
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = 73;
+    c.client_certs.issuer_kind = IssuerKind::kDummy;
+    c.client_certs.issuer_ref = "Internet Widgits Pty Ltd";
+    c.client_certs.cn = {{CnContent::kNonRandomToken, 0.5},
+                         {CnContent::kLocalhost, 0.5}};
+    cl.push_back(std::move(c));
+  }
+  {
+    TrafficCluster c;
+    c.name = "out-default-clients";
+    c.direction = Direction::kOutbound;
+    c.sld = "cn-devices.cn";
+    c.connections = 17;
+    c.client_ips = 2;
+    c.server_certs.count = 2;
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = 2;
+    c.client_certs.issuer_kind = IssuerKind::kDummy;
+    c.client_certs.issuer_ref = "Default Company Ltd";
+    c.client_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Dummy-issuer *server* certificates in outbound mutual TLS.
+    TrafficCluster c;
+    c.name = "out-widgits-servers";
+    c.direction = Direction::kOutbound;
+    c.sld = "widgit-services.io";
+    c.connections = C(3'689, 120);
+    c.client_ips = 80;
+    c.server_certs.count = S(511, 28);
+    c.server_certs.issuer_kind = IssuerKind::kDummy;
+    c.server_certs.issuer_ref = "Internet Widgits Pty Ltd";
+    c.server_certs.cn = {{CnContent::kNonRandomToken, 0.6},
+                         {CnContent::kLocalhost, 0.4}};
+    c.client_certs.count = S(600, 20);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Widgit Operators";
+    c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+    cl.push_back(std::move(c));
+  }
+  {
+    TrafficCluster c;
+    c.name = "out-default-servers";
+    c.direction = Direction::kOutbound;
+    c.sld = "shenzhen-platform.cn";
+    c.connections = C(331, 40);
+    c.client_ips = 20;
+    c.server_certs.count = S(147, 10);
+    c.server_certs.issuer_kind = IssuerKind::kDummy;
+    c.server_certs.issuer_ref = "Default Company Ltd";
+    c.server_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+    c.client_certs.count = S(160, 8);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Shenzhen Platform Co";
+    c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+    cl.push_back(std::move(c));
+  }
+  {
+    TrafficCluster c;
+    c.name = "out-acme-servers";
+    c.direction = Direction::kOutbound;
+    c.sld = "acme-widgets.com";
+    c.connections = 26;
+    c.client_ips = 4;
+    c.server_certs.count = S(20, 4);
+    c.server_certs.issuer_kind = IssuerKind::kDummy;
+    c.server_certs.issuer_ref = "Acme Co";
+    c.server_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+    c.client_certs.count = 4;
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Acme Operators";
+    c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Table 10: dummy issuers at BOTH endpoints ('Internet Widgits Pty
+    // Ltd' for client and server) — fireboard.io (9 clients, 618 days),
+    // amazonaws.com (7, 17), missing SNI (1, 1).
+    struct BothRow {
+      const char* name;
+      const char* sld;
+      bool sni_absent;
+      std::size_t clients;
+      double days;
+    };
+    const BothRow rows[] = {
+        {"out-dummy-both-fireboard", "fireboard.io", false, 9, 618},
+        {"out-dummy-both-aws", "amazonaws.com", false, 7, 17},
+        {"out-dummy-both-nosni", "", true, 1, 1},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = Direction::kOutbound;
+      c.sld = row.sld;
+      c.sni_absent = row.sni_absent;
+      c.connections = std::max<std::size_t>(row.clients * 4, 2);
+      c.client_ips = row.clients;
+      c.activity_days = row.days;
+      c.server_certs.count = std::max<std::size_t>(1, row.clients / 3);
+      c.server_certs.issuer_kind = IssuerKind::kDummy;
+      c.server_certs.issuer_ref = "Internet Widgits Pty Ltd";
+      c.server_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+      c.client_certs.count = row.clients;
+      c.client_certs.issuer_kind = IssuerKind::kDummy;
+      c.client_certs.issuer_ref = "Internet Widgits Pty Ltd";
+      c.client_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+      cl.push_back(std::move(c));
+    }
+  }
+
+  // --- §5.3.1 / Appendix C: incorrect dates ----------------------------------
+
+  {
+    struct WrongDateRow {
+      const char* name;
+      const char* sld;
+      bool sni_absent;
+      Direction dir;
+      const char* issuer;
+      int nb_year, nb_month, nb_day;
+      int na_year, na_month, na_day;
+      bool server_side_too;   // both endpoints wrong (Table 12)
+      std::size_t clients;
+      double days;
+    };
+    const WrongDateRow rows[] = {
+        {"in-rcgen", "", true, Direction::kInbound, "rcgen",
+         1975, 1, 1, 1757, 6, 1, false, 2, 42},
+        {"out-idrive-both", "idrive.com", false, Direction::kOutbound,
+         "IDrive Inc Certificate Authority", 2019, 8, 2, 1849, 10, 24, true,
+         718, 701},
+        {"out-idrive-clients", "idrive.com", false, Direction::kOutbound,
+         "IDrive Inc Certificate Authority", 2019, 8, 2, 1849, 10, 24, false,
+         2'169, 701},
+        {"out-clouddevice-a", "clouddevice.io", false, Direction::kOutbound,
+         "Honeywell International Inc", 2021, 3, 1, 1815, 6, 1, false, 1'599,
+         701},
+        {"out-clouddevice-b", "clouddevice.io", false, Direction::kOutbound,
+         "Honeywell International Inc", 2023, 2, 1, 1815, 6, 1, false, 46,
+         258},
+        {"out-alarmnet-a", "alarmnet.com", false, Direction::kOutbound,
+         "Honeywell International Inc", 2021, 3, 1, 1815, 6, 1, false, 1'864,
+         696},
+        {"out-alarmnet-b", "alarmnet.com", false, Direction::kOutbound,
+         "Honeywell International Inc", 2023, 2, 1, 1815, 6, 1, false, 70,
+         252},
+        {"out-sds-both", "", true, Direction::kOutbound, "SDS",
+         1970, 1, 1, 1831, 11, 22, true, 17, 474},
+        {"out-ayoba", "ayoba.me", false, Direction::kOutbound,
+         "OpenPGP to X.509 Bridge", 2022, 3, 5, 2022, 3, 5, false, 15, 147},
+        {"out-ibackup", "ibackup.com", false, Direction::kOutbound,
+         "IDrive Inc Certificate Authority", 2019, 8, 2, 1849, 10, 24, false,
+         4, 311},
+        {"out-crestron", "crestron.io", false, Direction::kOutbound,
+         "Crestron Electronics Inc", 2020, 6, 1, 1816, 2, 1, false, 3, 1},
+        {"out-icelink", "", true, Direction::kOutbound, "IceLink",
+         2048, 1, 1, 1996, 1, 1, false, 1, 1},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = row.dir;
+      c.assoc = row.dir == Direction::kInbound
+                    ? ServerAssociation::kUnknown
+                    : ServerAssociation::kNone;
+      c.sld = row.sld;
+      c.sni_absent = row.sni_absent;
+      c.client_ips = P(row.clients, std::min<std::size_t>(row.clients, 2));
+      c.connections = std::max<std::size_t>(
+          C(row.clients * 250.0), std::max<std::size_t>(2, c.client_ips));
+      c.activity_days = row.days;
+      c.client_certs.count = P(row.clients, std::min<std::size_t>(row.clients, 2));
+      c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.client_certs.issuer_ref = row.issuer;
+      c.client_certs.cn = {{CnContent::kRandomHex32, 0.6},
+                           {CnContent::kProductName, 0.4}};
+      c.client_certs.validity.fixed_dates = true;
+      c.client_certs.validity.not_before =
+          ts(row.nb_year, row.nb_month, row.nb_day);
+      c.client_certs.validity.not_after =
+          ts(row.na_year, row.na_month, row.na_day);
+      c.server_certs.count = std::max<std::size_t>(1, row.clients / 40);
+      c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.server_certs.issuer_ref = row.issuer;
+      c.server_certs.cn = row.sld[0] ? domain_cn()
+                                     : CnDistribution{{CnContent::kRandomHex32,
+                                                       1.0}};
+      if (row.server_side_too) {
+        c.server_certs.validity = c.client_certs.validity;
+        // idrive's server dates differ slightly from the client's.
+        if (std::string(row.name) == "out-idrive-both") {
+          c.server_certs.validity.not_before = ts(2020, 7, 3);
+          c.server_certs.validity.not_after = ts(1850, 9, 25);
+        }
+      }
+      cl.push_back(std::move(c));
+    }
+  }
+  {
+    // media-server: incorrect dates on the SERVER side (2157 → 2023).
+    TrafficCluster c;
+    c.name = "out-media-server";
+    c.direction = Direction::kOutbound;
+    c.sni_absent = true;
+    c.connections = 12;
+    c.client_ips = 2;
+    c.activity_days = 106;
+    c.server_certs.count = 1;
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "media-server";
+    c.server_certs.cn = {{CnContent::kNonRandomToken, 1.0}};
+    c.server_certs.validity.fixed_dates = true;
+    c.server_certs.validity.not_before = ts(2157, 1, 1);
+    c.server_certs.validity.not_after = ts(2023, 5, 1);
+    c.client_certs.count = 2;
+    c.client_certs.issuer_kind = IssuerKind::kMissingIssuer;
+    c.client_certs.cn = {{CnContent::kRandomHex8, 1.0}};
+    cl.push_back(std::move(c));
+  }
+
+  // --- §5.2.1 / Table 5: same certificate at both endpoints ------------------
+
+  {
+    struct SharedRow {
+      const char* name;
+      const char* sld;
+      bool sni_absent;
+      Direction dir;
+      IssuerKind kind;
+      const char* issuer;   // org or public-CA label
+      std::size_t clients;
+      double days;
+      std::uint16_t port;
+    };
+    const SharedRow rows[] = {
+        {"in-tablo-shared", "tablodash.com", false, Direction::kInbound,
+         IssuerKind::kPrivateOrg, "Outset Medical", 4'403, 700, 9093},
+        {"out-globus-shared", "", true, Direction::kOutbound,
+         IssuerKind::kPrivateOrg, "Globus Online", 105, 699, 50010},
+        {"out-psych-shared", "psych.org", false, Direction::kOutbound,
+         IssuerKind::kPrivateOrg, "American Psychiatric Association", 10, 424,
+         443},
+        {"out-splunk-shared", "splunkcloud.com", false, Direction::kOutbound,
+         IssuerKind::kPrivateOrg, "Splunk", 4, 114, 9997},
+        {"out-leidos-shared", "leidos.com", false, Direction::kOutbound,
+         IssuerKind::kPublicCa, "identrust", 52, 554, 443},
+        {"out-acr-shared", "acr.org", false, Direction::kOutbound,
+         IssuerKind::kPublicCa, "godaddy", 24, 364, 443},
+        {"out-sapns2-shared", "sapns2.com", false, Direction::kOutbound,
+         IssuerKind::kPublicCa, "godaddy", 1, 5, 443},
+        {"out-bluetriton-shared", "bluetriton.com", false,
+         Direction::kOutbound, IssuerKind::kPublicCa, "geotrust", 1, 1, 443},
+        {"out-gpo-shared", "gpo.gov", false, Direction::kOutbound,
+         IssuerKind::kPublicCa, "digicert-ev", 1, 1, 443},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = row.dir;
+      c.assoc = row.dir == Direction::kInbound
+                    ? ServerAssociation::kThirdPartyService
+                    : ServerAssociation::kNone;
+      c.sld = row.sld;
+      c.sni_absent = row.sni_absent;
+      c.ports = {{row.port, 1.0}};
+      c.sharing = SharingMode::kSameCertBothEnds;
+      c.client_ips = P(row.clients, std::min<std::size_t>(row.clients, 3));
+      c.connections = std::max<std::size_t>(c.client_ips * 3,
+                                            C(row.clients * 300.0));
+      c.activity_days = row.days;
+      c.server_certs.count =
+          row.name == std::string("out-globus-shared")
+              ? S(8'260, 30)
+              : std::max<std::size_t>(1, S(row.clients * 1.2));
+      c.server_certs.issuer_kind = row.kind;
+      c.server_certs.issuer_ref = row.issuer;
+      if (row.kind == IssuerKind::kPrivateOrg &&
+          std::string(row.issuer) == "Globus Online") {
+        c.server_certs.issuer_cn = "FXP DCAU Cert";
+        c.server_certs.serial.fixed_hex = "00";
+        c.reissue_days = 14;
+      }
+      c.server_certs.cn =
+          row.kind == IssuerKind::kPublicCa
+              ? domain_cn()
+              : CnDistribution{{CnContent::kNonRandomToken, 0.55},
+                               {CnContent::kRandomHex8, 0.37},
+                               {CnContent::kSipAddress, 0.03},
+                               {CnContent::kWebRtc, 0.05}};
+      if (row.kind == IssuerKind::kPublicCa) {
+        c.server_certs.san_dns_probability = 1.0;
+      }
+      cl.push_back(std::move(c));
+    }
+  }
+  {
+    // The WebRTC/hangouts share of the shared-certificate population
+    // (Table 13: 11% Org/Product; 64.1% WebRTC, 27.6% hangouts).
+    TrafficCluster c;
+    c.name = "out-rtc-shared";
+    c.direction = Direction::kOutbound;
+    c.sni_absent = true;
+    c.sharing = SharingMode::kSameCertBothEnds;
+    c.connections = C(4.8e6);  // bulk of the paper's 5.93M outbound shared
+    c.client_ips = P(1'000);
+    c.server_certs.count = S(7'849, 12);
+    c.server_certs.issuer_kind = IssuerKind::kSelfSigned;
+    c.server_certs.cn = {{CnContent::kWebRtc, 0.641},
+                         {CnContent::kHangouts, 0.276},
+                         {CnContent::kCompanyName, 0.083}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // §5.2.2 / Table 6: certificates alternating between server and
+    // client roles across connections. Four spread buckets approximate
+    // the paper's /24-subnet quantiles (Server 1/1/7/217, Client
+    // 1/2/43/1851).
+    struct CrossRow {
+      const char* name;
+      double cert_share;
+      std::size_t client_subnets;
+      std::size_t server_subnets;
+    };
+    const CrossRow rows[] = {
+        {"out-cross-a", 0.74, 1, 1},
+        {"out-cross-b", 0.20, 5, 2},
+        {"out-cross-c", 0.05, 43, 7},
+        {"out-cross-d", 0.01, 2'200, 230},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = Direction::kOutbound;
+      c.sld = "shared-certs.net";
+      // Keep the subnet-spread machinery out of the SNI-based analyses
+      // (Fig 2 shares); these connections are a vanishing share of real
+      // traffic but must be dense here to exercise Table 6.
+      c.sni_absent = true;
+      c.sharing = SharingMode::kCrossConnection;
+      const std::size_t certs =
+          std::max<std::size_t>(2, S(1'611 * row.cert_share, 2));
+      c.server_certs.count = certs;
+      c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+      c.server_certs.issuer_ref = "";  // rotates; LE-heavy below
+      c.server_certs.cn = domain_cn();
+      c.server_certs.san_dns_probability = 1.0;
+      // Cross-shared certificates persist across the whole study (their
+      // role alternation is decoupled from time slots).
+      c.server_certs.validity.fixed_dates = true;
+      c.server_certs.validity.not_before = ts(2022, 4, 1);
+      c.server_certs.validity.not_after = ts(2024, 5, 1);
+      c.client_certs.count = std::max<std::size_t>(2, certs / 2);
+      c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+      c.client_certs.cn = domain_cn();
+      c.client_certs.san_dns_probability = 1.0;
+      c.client_certs.validity = c.server_certs.validity;
+      c.client_subnets = row.client_subnets;
+      c.client_ips = std::max<std::size_t>(row.client_subnets * 3, 6);
+      c.server_subnets = row.server_subnets;
+      c.server_ips = std::max<std::size_t>(row.server_subnets * 2, 3);
+      c.connections = std::max<std::size_t>(
+          certs * std::max<std::size_t>(row.client_subnets,
+                                        row.server_subnets) * 3,
+          certs * 4);
+      cl.push_back(std::move(c));
+    }
+  }
+
+  // --- §5.3.2: extreme validity periods --------------------------------------
+
+  {
+    struct LongRow {
+      const char* name;
+      const char* sld;
+      bool sni_absent;
+      IssuerKind kind;
+      const char* issuer;
+      double share;  // of the 7,911
+    };
+    const LongRow rows[] = {
+        {"out-longvalid-missing-com", "longlived-devices.com", false,
+         IssuerKind::kMissingIssuer, "", 0.24},
+        {"out-longvalid-corp-net", "iot-fleet.net", false,
+         IssuerKind::kPrivateOrg, "Perennial Systems Inc", 0.36},
+        {"out-longvalid-nosni", "", true, IssuerKind::kMissingIssuer, "",
+         0.26},
+        {"out-longvalid-dummy", "forever-certs.com", false,
+         IssuerKind::kDummy, "Internet Widgits Pty Ltd", 0.076},
+        {"out-longvalid-public", "venerable.com", false,
+         IssuerKind::kPublicCa, "", 0.0063},
+        {"out-longvalid-others", "antiquated.net", false,
+         IssuerKind::kPrivateOrg, "Quasar Nebular Dynamics", 0.068},
+    };
+    for (const auto& row : rows) {
+      TrafficCluster c;
+      c.name = row.name;
+      c.direction = Direction::kOutbound;
+      c.sld = row.sld;
+      c.sni_absent = row.sni_absent;
+      c.connections = C(kOutboundMutual * 0.0002 * row.share * 50, 4);
+      c.client_ips = P(7'911 * row.share, 2);
+      c.server_certs.count = std::max<std::size_t>(1, S(40 * row.share));
+      c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+      c.server_certs.issuer_ref = "Perennial Systems Inc";
+      c.server_certs.cn =
+          row.sni_absent ? CnDistribution{{CnContent::kRandomHex32, 1.0}}
+                         : domain_cn();
+      c.client_certs.count = std::max<std::size_t>(2, S(7'911 * row.share));
+      c.client_certs.issuer_kind = row.kind;
+      c.client_certs.issuer_ref = row.issuer;
+      c.client_certs.cn = {{CnContent::kUuid, 0.5},
+                           {CnContent::kProductName, 0.5}};
+      c.client_certs.validity.typical_days = 25'000;  // draws 12.5k–37.5k
+      cl.push_back(std::move(c));
+    }
+    // The single 83,432-day (~228-year) certificate, tmdxdev.com.
+    TrafficCluster c;
+    c.name = "out-tmdx";
+    c.direction = Direction::kOutbound;
+    c.sld = "tmdxdev.com";
+    c.connections = 8;
+    c.client_ips = 1;
+    c.server_certs.count = 1;
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "TMDX Development";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = 1;
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "TMDX Development";
+    c.client_certs.cn = {{CnContent::kProductName, 1.0}};
+    c.client_certs.validity.fixed_dates = true;
+    c.client_certs.validity.not_before = ts(2020, 1, 6);
+    c.client_certs.validity.not_after =
+        ts(2020, 1, 6) + 83'432LL * util::kSecondsPerDay;
+    cl.push_back(std::move(c));
+  }
+
+  // --- §5.3.3 / Fig 5b: expired client certificates, outbound ----------------
+
+  {
+    // The Apple cluster: 337 certificates expired ~1,000 days, issuer
+    // Apple, servers under apple.com.
+    TrafficCluster c;
+    c.name = "out-expired-apple";
+    c.direction = Direction::kOutbound;
+    c.sld = "apple.com";
+    c.connections = C(3e5, 80);
+    c.client_ips = P(337, 8);
+    c.server_certs.count = S(120, 2);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.issuer_ref = "apple";
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = std::max<std::size_t>(4, S(337));
+    c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.client_certs.issuer_ref = "apple-device";
+    c.client_certs.cn = {{CnContent::kUuid, 1.0}};
+    c.client_certs.validity.expired_days_before_study = 1'000;
+    cl.push_back(std::move(c));
+  }
+  {
+    // The two Microsoft certificates (azure.com / azure-automation.net).
+    for (const char* sld : {"azure.com", "azure-automation.net"}) {
+      TrafficCluster c;
+      c.name = std::string("out-expired-ms-") + sld;
+      c.direction = Direction::kOutbound;
+      c.sld = sld;
+      c.connections = 20;
+      c.client_ips = 1;
+      c.server_certs.count = 1;
+      c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+      c.server_certs.issuer_ref = "microsoft";
+      c.server_certs.cn = domain_cn();
+      c.server_certs.san_dns_probability = 1.0;
+      c.client_certs.count = 1;
+      c.client_certs.issuer_kind = IssuerKind::kPublicCa;
+      c.client_certs.issuer_ref = "microsoft";
+      c.client_certs.cn = {{CnContent::kUuid, 1.0}};
+      c.client_certs.validity.expired_days_before_study = 1'000;
+      cl.push_back(std::move(c));
+    }
+  }
+  {
+    // Broad private-issuer expired scatter (Fig 5b's non-cluster mass).
+    TrafficCluster c;
+    c.name = "out-expired-scatter";
+    c.direction = Direction::kOutbound;
+    c.sld = "legacy-agents.com";
+    c.connections = C(2e5, 40);
+    c.client_ips = P(460, 6);
+    c.server_certs.count = S(80, 2);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Legacy Agent Systems";
+    c.server_certs.cn = domain_cn();
+    c.client_certs.count = std::max<std::size_t>(6, S(460));
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Legacy Agent Systems";
+    c.client_certs.cn = {{CnContent::kRandomHex32, 0.7},
+                         {CnContent::kProductName, 0.3}};
+    c.client_certs.validity.expired_days_before_study = 250;
+    cl.push_back(std::move(c));
+  }
+
+  {
+    // A strict outbound service that actually validates client certs: the
+    // expired ones among them fail the handshake — the behaviour the
+    // paper notes is the exception, not the rule.
+    TrafficCluster c;
+    c.name = "out-strict-validator";
+    c.direction = Direction::kOutbound;
+    c.sld = "strict-api.net";
+    c.server_validates_clients = true;
+    c.connections = C(kOutboundMutual * 0.0005, 20);
+    c.client_ips = P(200, 4);
+    c.server_certs.count = S(100, 2);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    c.client_certs.count = S(1'500, 6);
+    c.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.client_certs.issuer_ref = "Kestrel Data Systems";
+    c.client_certs.cn = {{CnContent::kUuid, 1.0}};
+    cl.push_back(std::move(c));
+
+    // …and the clients that kept using expired certificates against it:
+    // every one of these handshakes fails (totals.rejected_handshakes).
+    TrafficCluster rejected = cl.back();
+    rejected.name = "out-strict-rejected";
+    rejected.connections = C(kOutboundMutual * 0.0001, 10);
+    rejected.client_ips = P(40, 2);
+    rejected.client_certs = CertSpec{};
+    rejected.client_certs.count = S(300, 4);
+    rejected.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    rejected.client_certs.issuer_ref = "Kestrel Data Systems";
+    rejected.client_certs.cn = {{CnContent::kUuid, 1.0}};
+    rejected.client_certs.validity.expired_days_before_study = 120;
+    cl.push_back(std::move(rejected));
+  }
+
+  // ==========================================================================
+  // NON-MUTUAL TLS (Table 1 totals; Table 14)
+  // ==========================================================================
+
+  {
+    // Public-CA server certificates outside mutual TLS — the majority of
+    // all unique certificates (≈3.17M).
+    TrafficCluster c;
+    c.name = "nm-public-servers";
+    c.direction = Direction::kOutbound;
+    c.sld = "public-web.com";
+    c.mutual = false;
+    c.connections = C(8e9, 1);  // bulk HTTPS browsing
+    c.tls13_fraction = 0.45;
+    c.client_ips = P(20'000);
+    c.server_ips = 600;
+    c.server_subnets = 200;
+    c.server_certs.count = S(3'167'000);
+    c.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    c.server_certs.cn = domain_cn();
+    c.server_certs.san_dns_probability = 1.0;
+    cl.push_back(std::move(c));
+
+    // A sliver of public server certs with IP CNs / unidentified
+    // (Table 14b public column).
+    TrafficCluster ip = cl.back();
+    ip.name = "nm-public-servers-ip";
+    ip.connections = C(1e6, 2);
+    ip.server_certs = CertSpec{};
+    ip.server_certs.count = S(560, 2);
+    ip.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    ip.server_certs.cn = {{CnContent::kIpAddress, 0.67},
+                          {CnContent::kRandomOther, 0.32},
+                          {CnContent::kPersonalName, 0.005},
+                          {CnContent::kLocalhost, 0.061}};
+    cl.push_back(std::move(ip));
+
+    // FNMT-RCM: public-CA server certs whose CNs defeat classification
+    // (§6.3.1 — "all unidentifiable CNs have FNMT-RCM as issuer org").
+    TrafficCluster fnmt = cl.back();
+    fnmt.name = "nm-fnmt";
+    fnmt.sld = "sede-fnmt.es";
+    fnmt.connections = C(1e5, 2);
+    fnmt.server_certs = CertSpec{};
+    fnmt.server_certs.count = 3;
+    fnmt.server_certs.issuer_kind = IssuerKind::kPublicCa;
+    fnmt.server_certs.issuer_ref = "fnmt";
+    fnmt.server_certs.cn = {{CnContent::kRandomOther, 1.0}};
+    fnmt.mutual = true;  // these 3 appear in mutual TLS (Table 8 server/public)
+    fnmt.client_certs.count = 3;
+    fnmt.client_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    fnmt.client_certs.issuer_ref = "Meridian Apparatus";
+    fnmt.client_certs.cn = {{CnContent::kRandomHex32, 1.0}};
+    cl.push_back(std::move(fnmt));
+  }
+  {
+    // Private-CA server certificates outside mutual TLS (Table 14b
+    // private column: domains 13.27%, org 73.56%, unidentified 11.02% —
+    // 39% of those non-random tokens like 'hmpp' / 'Dtls').
+    TrafficCluster c;
+    c.name = "nm-private-servers";
+    c.direction = Direction::kInbound;
+    c.sld = "brexample.edu";
+    c.mutual = false;
+    c.ports = {{443, 0.80}, {25, 0.06}, {33854, 0.06}, {8443, 0.05},
+               {52730, 0.03}};
+    c.connections = C(4e8, 1);
+    c.tls13_fraction = 0.40;
+    c.client_ips = P(9'000);
+    c.server_ips = 120;
+    c.server_subnets = 40;
+    c.server_certs.count = S(471'774);
+    c.server_certs.issuer_kind = IssuerKind::kPrivateOrg;
+    c.server_certs.issuer_ref = "Assorted Appliances";
+    c.server_certs.cn = {{CnContent::kHostUnderDomain, 0.1327},
+                         {CnContent::kCompanyName, 0.7356},
+                         {CnContent::kNonRandomToken, 0.043},
+                         {CnContent::kRandomHex8, 0.035},
+                         {CnContent::kRandomHex32, 0.032},
+                         {CnContent::kSipAddress, 0.0121},
+                         {CnContent::kIpAddress, 0.005},
+                         {CnContent::kLocalhost, 0.0029},
+                         {CnContent::kPersonalName, 0.0011},
+                         {CnContent::kUserAccount, 0.0004}};
+    c.server_certs.san_dns_probability = 0.1054;
+    c.server_certs.san_cn = {{CnContent::kHostUnderDomain, 0.7196},
+                             {CnContent::kRandomHex8, 0.20},
+                             {CnContent::kIpAddress, 0.0126},
+                             {CnContent::kLocalhost, 0.0107},
+                             {CnContent::kCompanyName, 0.025},
+                             {CnContent::kRandomHex32, 0.0321}};
+    cl.push_back(std::move(c));
+  }
+  {
+    // Client certificates presented with NO server certificate — the
+    // paper's "university tunneling" population (5.66% of client certs).
+    TrafficCluster c;
+    c.name = "nm-tunnel-clients";
+    c.direction = Direction::kInbound;
+    c.assoc = ServerAssociation::kUniversityServer;
+    c.sni_absent = true;
+    c.tunnel_client_only = true;
+    c.connections = C(1e7, 10);
+    c.client_ips = P(4'000);
+    c.client_certs.count = S(198'142);
+    c.client_certs.issuer_kind = IssuerKind::kCampus;
+    c.client_certs.cn = {{CnContent::kUserAccount, 0.3},
+                         {CnContent::kPersonalName, 0.2},
+                         {CnContent::kUuid, 0.5}};
+    cl.push_back(std::move(c));
+
+    // The non-mutual share of *public*-CA client certificates (Table 1:
+    // 12.82% of public client certs appear outside mutual TLS).
+    TrafficCluster pub = cl.back();
+    pub.name = "nm-tunnel-clients-public";
+    pub.connections = C(4e5, 4);
+    pub.client_ips = P(600);
+    pub.client_certs = CertSpec{};
+    pub.client_certs.count = S(3'334, 2);
+    pub.client_certs.issuer_kind = IssuerKind::kPublicCa;
+    pub.client_certs.cn = domain_cn();
+    pub.client_certs.san_dns_probability = 0.30;
+    cl.push_back(std::move(pub));
+  }
+
+  // ==========================================================================
+  // Interception (§3.2.1) and background volume
+  // ==========================================================================
+
+  model.interception.proxy_issuers = 8;
+  model.interception.domains = 60;
+  model.interception.certificates = S(871'993 / 1.3);
+  model.interception.connections = C(2e8, 200);
+
+  // Background certificate-less volume: sized so that mutual TLS lands in
+  // the paper's low-single-digit percentage of all TLS connections.
+  double mutual_estimate = 0;
+  for (const auto& cluster : model.clusters) {
+    if (cluster.mutual && !cluster.tunnel_client_only) {
+      mutual_estimate += static_cast<double>(cluster.connections);
+    }
+  }
+  model.background_connections =
+      static_cast<std::size_t>(mutual_estimate * 8.0);
+
+  return model;
+}
+
+}  // namespace mtlscope::gen

@@ -1,0 +1,247 @@
+#include "mtlscope/net/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace mtlscope::net {
+
+IpAddress IpAddress::v4(std::uint32_t host_order) {
+  IpAddress a;
+  a.family_ = Family::kV4;
+  a.bytes_[0] = static_cast<std::uint8_t>(host_order >> 24);
+  a.bytes_[1] = static_cast<std::uint8_t>(host_order >> 16);
+  a.bytes_[2] = static_cast<std::uint8_t>(host_order >> 8);
+  a.bytes_[3] = static_cast<std::uint8_t>(host_order);
+  return a;
+}
+
+IpAddress IpAddress::v4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) {
+  return v4((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+            (std::uint32_t{c} << 8) | std::uint32_t{d});
+}
+
+IpAddress IpAddress::v6(const std::array<std::uint8_t, 16>& bytes) {
+  IpAddress a;
+  a.family_ = Family::kV6;
+  a.bytes_ = bytes;
+  return a;
+}
+
+std::uint32_t IpAddress::v4_value() const {
+  return (std::uint32_t{bytes_[0]} << 24) | (std::uint32_t{bytes_[1]} << 16) |
+         (std::uint32_t{bytes_[2]} << 8) | std::uint32_t{bytes_[3]};
+}
+
+namespace {
+
+std::optional<std::uint32_t> parse_v4_value(std::string_view s) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t end = pos;
+    while (end < s.size() && s[end] != '.') ++end;
+    const std::string_view part = s.substr(pos, end - pos);
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    unsigned octet = 0;
+    const auto [p, ec] =
+        std::from_chars(part.data(), part.data() + part.size(), octet);
+    if (ec != std::errc{} || p != part.data() + part.size() || octet > 255) {
+      return std::nullopt;
+    }
+    value = (value << 8) | octet;
+    if (++octets > 4) return std::nullopt;
+    if (end == s.size()) break;
+    pos = end + 1;
+    if (pos > s.size()) return std::nullopt;
+  }
+  if (octets != 4) return std::nullopt;
+  return value;
+}
+
+std::optional<std::array<std::uint8_t, 16>> parse_v6_bytes(
+    std::string_view s) {
+  // Split on "::" if present.
+  std::vector<std::uint16_t> head;
+  std::vector<std::uint16_t> tail;
+  bool seen_gap = false;
+
+  const auto parse_groups = [](std::string_view part,
+                               std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (pos <= part.size()) {
+      std::size_t end = pos;
+      while (end < part.size() && part[end] != ':') ++end;
+      const std::string_view group = part.substr(pos, end - pos);
+      if (group.empty() || group.size() > 4) return false;
+      unsigned v = 0;
+      const auto [p, ec] = std::from_chars(
+          group.data(), group.data() + group.size(), v, 16);
+      if (ec != std::errc{} || p != group.data() + group.size()) return false;
+      out.push_back(static_cast<std::uint16_t>(v));
+      if (end == part.size()) break;
+      pos = end + 1;
+    }
+    return true;
+  };
+
+  const std::size_t gap = s.find("::");
+  if (gap != std::string_view::npos) {
+    seen_gap = true;
+    if (!parse_groups(s.substr(0, gap), head)) return std::nullopt;
+    if (!parse_groups(s.substr(gap + 2), tail)) return std::nullopt;
+    if (s.find("::", gap + 1) != std::string_view::npos) return std::nullopt;
+  } else {
+    if (!parse_groups(s, head)) return std::nullopt;
+  }
+
+  const std::size_t total = head.size() + tail.size();
+  if ((seen_gap && total >= 8) || (!seen_gap && total != 8)) {
+    return std::nullopt;
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  std::size_t i = 0;
+  for (const std::uint16_t g : head) {
+    bytes[i++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(g);
+  }
+  i = 16 - tail.size() * 2;
+  for (const std::uint16_t g : tail) {
+    bytes[i++] = static_cast<std::uint8_t>(g >> 8);
+    bytes[i++] = static_cast<std::uint8_t>(g);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::optional<IpAddress> IpAddress::parse(std::string_view s) {
+  if (s.find(':') != std::string_view::npos) {
+    const auto bytes = parse_v6_bytes(s);
+    if (!bytes) return std::nullopt;
+    return IpAddress::v6(*bytes);
+  }
+  const auto value = parse_v4_value(s);
+  if (!value) return std::nullopt;
+  return IpAddress::v4(*value);
+}
+
+std::string IpAddress::to_string() const {
+  char buf[64];
+  if (family_ == Family::kV4) {
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", bytes_[0], bytes_[1],
+                  bytes_[2], bytes_[3]);
+    return buf;
+  }
+  // Canonical v6: longest zero run compressed.
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>((bytes_[2 * i] << 8) |
+                                           bytes_[2 * i + 1]);
+  }
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ":";
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Subnet::Subnet(IpAddress base, int prefix_len) : prefix_len_(prefix_len) {
+  // Zero host bits for canonical form.
+  const int max_bits = base.is_v4() ? 32 : 128;
+  if (prefix_len_ < 0) prefix_len_ = 0;
+  if (prefix_len_ > max_bits) prefix_len_ = max_bits;
+  if (base.is_v4()) {
+    const std::uint32_t mask =
+        prefix_len_ == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len_);
+    base_ = IpAddress::v4(base.v4_value() & mask);
+  } else {
+    auto bytes = base.v6_bytes();
+    for (int bit = prefix_len_; bit < 128; ++bit) {
+      bytes[static_cast<std::size_t>(bit / 8)] &=
+          static_cast<std::uint8_t>(~(0x80 >> (bit % 8)));
+    }
+    base_ = IpAddress::v6(bytes);
+  }
+}
+
+std::optional<Subnet> Subnet::parse(std::string_view s) {
+  const std::size_t slash = s.rfind('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = IpAddress::parse(s.substr(0, slash));
+  if (!base) return std::nullopt;
+  const std::string_view len_part = s.substr(slash + 1);
+  int len = 0;
+  const auto [p, ec] =
+      std::from_chars(len_part.data(), len_part.data() + len_part.size(), len);
+  if (ec != std::errc{} || p != len_part.data() + len_part.size()) {
+    return std::nullopt;
+  }
+  const int max_bits = base->is_v4() ? 32 : 128;
+  if (len < 0 || len > max_bits) return std::nullopt;
+  return Subnet(*base, len);
+}
+
+bool Subnet::contains(const IpAddress& addr) const {
+  if (addr.family() != base_.family()) return false;
+  if (base_.is_v4()) {
+    const std::uint32_t mask =
+        prefix_len_ == 0 ? 0 : ~std::uint32_t{0} << (32 - prefix_len_);
+    return (addr.v4_value() & mask) == base_.v4_value();
+  }
+  const auto& a = addr.v6_bytes();
+  const auto& b = base_.v6_bytes();
+  int bits = prefix_len_;
+  for (int i = 0; i < 16 && bits > 0; ++i, bits -= 8) {
+    if (bits >= 8) {
+      if (a[static_cast<std::size_t>(i)] != b[static_cast<std::size_t>(i)]) {
+        return false;
+      }
+    } else {
+      const std::uint8_t mask =
+          static_cast<std::uint8_t>(0xff << (8 - bits));
+      if ((a[static_cast<std::size_t>(i)] & mask) !=
+          (b[static_cast<std::size_t>(i)] & mask)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string Subnet::to_string() const {
+  return base_.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+Subnet slash24_of(const IpAddress& addr) {
+  return Subnet(addr, addr.is_v4() ? 24 : 120);
+}
+
+}  // namespace mtlscope::net

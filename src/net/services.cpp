@@ -1,0 +1,65 @@
+#include "mtlscope/net/services.hpp"
+
+namespace mtlscope::net {
+namespace {
+
+struct PortEntry {
+  std::uint16_t port;
+  ServiceInfo info;
+};
+
+// IANA-registered TLS-bearing services observed in the paper, plus common
+// registry entries for realism in unknown-port analysis.
+constexpr PortEntry kIanaPorts[] = {
+    {25, {"SMTP", ""}},
+    {443, {"HTTPS", ""}},
+    {465, {"SMTPS", ""}},
+    {563, {"NNTPS", ""}},
+    {587, {"SMTP Submission", ""}},
+    {636, {"LDAPS", ""}},
+    {853, {"DNS over TLS", ""}},
+    {989, {"FTPS Data", ""}},
+    {990, {"FTPS", ""}},
+    {993, {"IMAPS", ""}},
+    {995, {"POP3S", ""}},
+    {5061, {"SIPS", ""}},
+    {5223, {"XMPP over TLS", ""}},
+    {6514, {"Syslog over TLS", ""}},
+    {8443, {"HTTPS", ""}},
+    {8883, {"MQTT over TLS", ""}},
+};
+
+// Services the paper attributes to specific companies (Table 2 footnotes).
+constexpr PortEntry kCorpPorts[] = {
+    {3128, {"Miscellaneous", "Corp."}},
+    {9093, {"Outset Medical", "Corp."}},
+    {9997, {"Splunk", "Corp."}},
+    {20017, {"FileWave", "Corp."}},
+    {33854, {"DvTel", "Corp."}},
+};
+
+}  // namespace
+
+std::optional<ServiceInfo> lookup_service(std::uint16_t port) {
+  for (const auto& e : kIanaPorts) {
+    if (e.port == port) return e.info;
+  }
+  for (const auto& e : kCorpPorts) {
+    if (e.port == port) return e.info;
+  }
+  if (port >= 50000 && port <= 51000) {
+    return ServiceInfo{"Globus", "Corp."};
+  }
+  return std::nullopt;
+}
+
+std::string service_label(std::uint16_t port, bool university_server) {
+  const auto info = lookup_service(port);
+  if (info) {
+    if (info->provider.empty()) return std::string(info->name);
+    return std::string(info->provider) + " - " + std::string(info->name);
+  }
+  return university_server ? "Univ. - Unknown" : "Unknown";
+}
+
+}  // namespace mtlscope::net

@@ -1,0 +1,54 @@
+#include "mtlscope/textclass/classifier.hpp"
+
+#include "mtlscope/textclass/domain.hpp"
+#include "mtlscope/textclass/matchers.hpp"
+#include "mtlscope/textclass/ner.hpp"
+
+namespace mtlscope::textclass {
+
+const char* info_type_name(InfoType type) {
+  switch (type) {
+    case InfoType::kDomain:
+      return "Domain";
+    case InfoType::kIp:
+      return "IP";
+    case InfoType::kMac:
+      return "MAC";
+    case InfoType::kSip:
+      return "SIP";
+    case InfoType::kEmail:
+      return "Email";
+    case InfoType::kUserAccount:
+      return "User account";
+    case InfoType::kPersonalName:
+      return "Personal name";
+    case InfoType::kOrgProduct:
+      return "Org/Product";
+    case InfoType::kLocalhost:
+      return "Localhost";
+    case InfoType::kUnidentified:
+      return "Unidentified";
+  }
+  return "?";
+}
+
+InfoType classify_value(std::string_view value, const ClassifyContext& ctx) {
+  if (is_localhost(value)) return InfoType::kLocalhost;
+  if (is_ip_literal(value)) return InfoType::kIp;
+  if (is_mac_address(value)) return InfoType::kMac;
+  if (is_sip_address(value)) return InfoType::kSip;
+  if (is_email_address(value)) return InfoType::kEmail;
+  if (DomainExtractor::instance().is_domain_name(value)) {
+    return InfoType::kDomain;
+  }
+  if (ctx.campus_issuer && is_campus_user_id(value)) {
+    return InfoType::kUserAccount;
+  }
+  if (ctx.enable_ner) {
+    if (is_personal_name(value)) return InfoType::kPersonalName;
+    if (is_org_or_product(value)) return InfoType::kOrgProduct;
+  }
+  return InfoType::kUnidentified;
+}
+
+}  // namespace mtlscope::textclass

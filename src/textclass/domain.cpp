@@ -1,0 +1,144 @@
+#include "mtlscope/textclass/domain.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <vector>
+
+namespace mtlscope::textclass {
+namespace {
+
+// ICANN public-suffix subset: every suffix that appears in the paper's
+// tables (com, edu, org, gov, net, io, me, cn, co, top, education) plus
+// the common single- and multi-label suffixes needed for realistic
+// extraction. A full PSL is ~9000 entries; the analysis only requires
+// that lookups agree with tldextract on the population we process.
+const std::set<std::string, std::less<>>& suffix_set() {
+  static const std::set<std::string, std::less<>> suffixes = {
+      // Generic.
+      "com", "net", "org", "edu", "gov", "mil", "int", "info", "biz",
+      "name", "pro", "io", "me", "co", "top", "xyz", "site", "online",
+      "dev", "app", "cloud", "ai", "tv", "cc", "ws", "education",
+      // Country-code.
+      "us", "uk", "de", "fr", "jp", "cn", "ru", "nl", "au", "ca", "es",
+      "it", "br", "in", "kr", "se", "no", "fi", "dk", "ch", "at", "be",
+      "pl", "cz", "gr", "pt", "ie", "il", "mx", "ar", "cl", "za", "nz",
+      "sg", "hk", "tw", "my", "th", "id", "ph", "vn", "tr", "sa", "ae",
+      "eu",
+      // Multi-label.
+      "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk", "com.au", "net.au",
+      "org.au", "edu.au", "com.cn", "net.cn", "org.cn", "edu.cn",
+      "gov.cn", "ac.cn", "co.jp", "ac.jp", "ne.jp", "or.jp", "go.jp",
+      "com.br", "org.br", "co.kr", "ac.kr", "co.in", "ac.in", "co.za",
+      "com.mx", "com.ar", "com.tr", "com.sg", "com.hk", "com.tw",
+  };
+  return suffixes;
+}
+
+bool valid_label(std::string_view label) {
+  if (label.empty() || label.size() > 63) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  return std::all_of(label.begin(), label.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '-' || c == '_';
+  });
+}
+
+std::vector<std::string_view> split_labels(std::string_view host) {
+  std::vector<std::string_view> labels;
+  std::size_t pos = 0;
+  while (pos <= host.size()) {
+    const std::size_t dot = host.find('.', pos);
+    if (dot == std::string_view::npos) {
+      labels.push_back(host.substr(pos));
+      break;
+    }
+    labels.push_back(host.substr(pos, dot - pos));
+    pos = dot + 1;
+  }
+  return labels;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string join(const std::vector<std::string_view>& labels,
+                 std::size_t first, std::size_t last) {
+  std::string out;
+  for (std::size_t i = first; i < last; ++i) {
+    if (!out.empty()) out.push_back('.');
+    out += labels[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DomainParts::registrable() const {
+  if (domain.empty()) return {};
+  return domain + "." + suffix;
+}
+
+DomainExtractor::DomainExtractor() = default;
+
+const DomainExtractor& DomainExtractor::instance() {
+  static const DomainExtractor extractor;
+  return extractor;
+}
+
+bool DomainExtractor::known_suffix(std::string_view suffix) const {
+  return suffix_set().contains(to_lower(suffix));
+}
+
+std::optional<DomainParts> DomainExtractor::extract(
+    std::string_view host) const {
+  if (host.empty() || host.size() > 253) return std::nullopt;
+  if (host.back() == '.') host.remove_suffix(1);  // trailing root dot
+  const std::string lowered = to_lower(host);
+  auto labels = split_labels(lowered);
+  if (labels.size() < 2) return std::nullopt;
+
+  std::size_t start = 0;
+  if (labels[0] == "*") start = 1;  // wildcard certificates
+  for (std::size_t i = start; i < labels.size(); ++i) {
+    if (!valid_label(labels[i])) return std::nullopt;
+  }
+
+  // Longest matching suffix wins (PSL semantics).
+  std::size_t suffix_start = labels.size();
+  for (std::size_t i = start; i < labels.size(); ++i) {
+    const std::string candidate = join(labels, i, labels.size());
+    if (suffix_set().contains(candidate)) {
+      suffix_start = i;
+      break;
+    }
+  }
+  if (suffix_start == labels.size()) return std::nullopt;  // unknown suffix
+  if (suffix_start <= start) return std::nullopt;  // bare suffix, no domain
+
+  DomainParts parts;
+  parts.suffix = join(labels, suffix_start, labels.size());
+  parts.domain = std::string(labels[suffix_start - 1]);
+  parts.subdomain = join(labels, start, suffix_start - 1);
+  return parts;
+}
+
+bool DomainExtractor::is_domain_name(std::string_view host) const {
+  return extract(host).has_value();
+}
+
+std::string sld_of(std::string_view host) {
+  const auto parts = DomainExtractor::instance().extract(host);
+  return parts ? parts->registrable() : std::string{};
+}
+
+std::string tld_of(std::string_view host) {
+  const auto parts = DomainExtractor::instance().extract(host);
+  return parts ? parts->suffix : std::string{};
+}
+
+}  // namespace mtlscope::textclass

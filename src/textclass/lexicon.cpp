@@ -1,0 +1,118 @@
+#include "mtlscope/textclass/lexicon.hpp"
+
+#include <array>
+
+namespace mtlscope::textclass::lexicon {
+namespace {
+
+constexpr std::string_view kGivenNames[] = {
+    "james",    "mary",      "robert",   "patricia", "john",     "jennifer",
+    "michael",  "linda",     "david",    "elizabeth","william",  "barbara",
+    "richard",  "susan",     "joseph",   "jessica",  "thomas",   "sarah",
+    "charles",  "karen",     "christopher", "lisa",  "daniel",   "nancy",
+    "matthew",  "betty",     "anthony",  "margaret", "mark",     "sandra",
+    "donald",   "ashley",    "steven",   "kimberly", "paul",     "emily",
+    "andrew",   "donna",     "joshua",   "michelle", "kenneth",  "carol",
+    "kevin",    "amanda",    "brian",    "dorothy",  "george",   "melissa",
+    "timothy",  "deborah",   "ronald",   "stephanie","edward",   "rebecca",
+    "jason",    "sharon",    "jeffrey",  "laura",    "ryan",     "cynthia",
+    "jacob",    "kathleen",  "gary",     "amy",      "nicholas", "angela",
+    "eric",     "shirley",   "jonathan", "anna",     "stephen",  "brenda",
+    "larry",    "pamela",    "justin",   "emma",     "scott",    "nicole",
+    "brandon",  "helen",     "benjamin", "samantha", "samuel",   "katherine",
+    "gregory",  "christine", "alexander","debra",    "patrick",  "rachel",
+    "frank",    "carolyn",   "raymond",  "janet",    "jack",     "maria",
+    "dennis",   "olivia",    "jerry",    "heather",  "tyler",    "diane",
+    "aaron",    "julie",     "jose",     "joyce",    "adam",     "victoria",
+    "nathan",   "ruth",      "henry",    "virginia", "zachary",  "lauren",
+    "douglas",  "kelly",     "peter",    "christina","kyle",     "joan",
+    "noah",     "evelyn",    "ethan",    "judith",   "jeremy",   "andrea",
+    "walter",   "hannah",    "christian","megan",    "keith",    "alice",
+    "roger",    "jacqueline","terry",    "gloria",   "austin",   "teresa",
+    "sean",     "sara",      "gerald",   "janice",   "carl",     "julia",
+    "hyeonmin", "yixin",     "hongying", "yizhe",    "guancheng","wei",
+    "ming",     "hao",       "xin",      "yan",      "juan",     "carlos",
+    "luis",     "ana",       "sofia",    "diego",    "priya",    "raj",
+    "amit",     "ananya",    "hiroshi",  "yuki",     "kenji",    "fatima",
+    "omar",     "ali",       "aisha",    "ivan",     "olga",     "dmitri",
+};
+
+constexpr std::string_view kFamilyNames[] = {
+    "smith",    "johnson",  "williams", "brown",    "jones",    "garcia",
+    "miller",   "davis",    "rodriguez","martinez", "hernandez","lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",   "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",    "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez",  "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",     "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",   "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",   "campbell", "mitchell",
+    "carter",   "roberts",  "gomez",    "phillips", "evans",    "turner",
+    "diaz",     "parker",   "cruz",     "edwards",  "collins",  "reyes",
+    "stewart",  "morris",   "morales",  "murphy",   "cook",     "rogers",
+    "gutierrez","ortiz",    "morgan",   "cooper",   "peterson", "bailey",
+    "reed",     "kelly",    "howard",   "ramos",    "kim",      "cox",
+    "ward",     "richardson","watson",  "brooks",   "chavez",   "wood",
+    "james",    "bennett",  "gray",     "mendoza",  "ruiz",     "hughes",
+    "price",    "alvarez",  "castillo", "sanders",  "patel",    "myers",
+    "long",     "ross",     "foster",   "jimenez",  "dong",     "zhang",
+    "wang",     "li",       "chen",     "liu",      "yang",     "huang",
+    "sun",      "zhao",     "wu",       "zhou",     "xu",       "du",
+    "tu",       "tanaka",   "suzuki",   "sato",     "yamamoto", "singh",
+    "kumar",    "sharma",   "gupta",    "khan",     "ahmed",    "hassan",
+    "ivanov",   "petrov",   "kowalski", "novak",    "mueller",  "schmidt",
+};
+
+constexpr std::string_view kCompanyNames[] = {
+    "internet widgits pty ltd", "default company ltd", "acme co",
+    "unspecified", "globus online", "guardicore", "viptelaclient",
+    "outset medical", "splunk", "splunk inc", "filewave",
+    "honeywell international inc", "idrive inc", "crestron electronics inc",
+    "rapid7", "rapid7 llc", "amazon web services", "amazon", "mixpanel",
+    "american psychiatric association", "leidos", "bluetriton",
+    "microsoft corporation", "microsoft", "apple inc", "apple",
+    "cisco systems", "cisco", "webex", "lenovo", "samsung", "at&t",
+    "red hat", "dell technologies", "hewlett packard enterprise",
+    "ibm", "oracle", "google llc", "google", "meta platforms",
+    "intel corporation", "nvidia", "vmware", "citrix", "palo alto networks",
+    "fortinet", "crowdstrike", "zscaler", "okta", "datadog", "twilio",
+    "dvtel", "axis communications", "bosch security systems",
+    "johnson controls", "siemens", "schneider electric", "ge healthcare",
+    "philips healthcare", "medtronic", "baxter international",
+    "fresenius medical care", "epic systems", "cerner", "athenahealth",
+    "zoom video communications", "slack technologies", "dropbox", "box",
+    "salesforce", "workday", "servicenow", "atlassian", "github",
+    "gitlab", "docker", "hashicorp", "mongodb", "elastic", "confluent",
+    "sds", "rcgen", "icelink", "media-server", "openpgp to x.509 bridge",
+    "fireboard labs", "tablo", "nutonian", "verizon", "comcast",
+    "t-mobile", "sprint", "qualcomm", "broadcom", "texas instruments",
+    "analog devices", "honeywell", "raytheon", "lockheed martin",
+    "northrop grumman", "boeing", "airbus", "general dynamics",
+};
+
+constexpr std::string_view kProductNames[] = {
+    "webrtc", "twilio", "hangouts", "android keystore",
+    "hybrid runbook worker", "azure sphere", "iphone", "ipad", "macbook",
+    "thinkpad", "thinkcentre", "surface", "galaxy", "pixel", "chromecast",
+    "firestick", "roku", "appletv", "echo dot", "kindle", "playstation",
+    "xbox", "nintendo switch", "raspberry pi", "arduino", "tessie",
+    "filewave booster", "globus connect", "splunk forwarder",
+    "viptela vedge", "crestron touchpanel",
+    "tablo dvr", "fireboard thermometer", "outset tablo",
+};
+
+constexpr std::string_view kLegalSuffixes[] = {
+    "inc", "inc.", "ltd", "ltd.", "llc", "llc.", "corp", "corp.",
+    "corporation", "co", "co.", "gmbh", "s.a.", "pty", "plc", "ag",
+    "bv", "nv", "oy", "ab", "srl", "spa", "kk", "company", "limited",
+    "incorporated", "association", "foundation", "institute",
+};
+
+}  // namespace
+
+std::span<const std::string_view> given_names() { return kGivenNames; }
+std::span<const std::string_view> family_names() { return kFamilyNames; }
+std::span<const std::string_view> company_names() { return kCompanyNames; }
+std::span<const std::string_view> product_names() { return kProductNames; }
+std::span<const std::string_view> legal_suffixes() { return kLegalSuffixes; }
+
+}  // namespace mtlscope::textclass::lexicon

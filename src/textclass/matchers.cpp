@@ -1,0 +1,115 @@
+#include "mtlscope/textclass/matchers.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/textclass/domain.hpp"
+
+namespace mtlscope::textclass {
+namespace {
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+bool starts_with_nocase(std::string_view s, std::string_view prefix) {
+  if (s.size() < prefix.size()) return false;
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(s[i])) != prefix[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_ip_literal(std::string_view s) {
+  return net::IpAddress::parse(s).has_value();
+}
+
+bool is_mac_address(std::string_view s) {
+  if (s.size() == 17 && (s[2] == ':' || s[2] == '-')) {
+    const char sep = s[2];
+    for (std::size_t i = 0; i < 17; ++i) {
+      if (i % 3 == 2) {
+        if (s[i] != sep) return false;
+      } else if (!is_hex_digit(s[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  if (s.size() == 12) {
+    // Bare hex form must contain at least one letter, otherwise a
+    // 12-digit number would match.
+    bool has_alpha = false;
+    for (const char c : s) {
+      if (!is_hex_digit(c)) return false;
+      has_alpha |= !std::isdigit(static_cast<unsigned char>(c));
+    }
+    return has_alpha;
+  }
+  return false;
+}
+
+bool is_sip_address(std::string_view s) {
+  return (starts_with_nocase(s, "sip:") && s.size() > 4) ||
+         (starts_with_nocase(s, "sips:") && s.size() > 5);
+}
+
+bool is_email_address(std::string_view s) {
+  const std::size_t at = s.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= s.size()) {
+    return false;
+  }
+  if (s.find('@', at + 1) != std::string_view::npos) return false;
+  const std::string_view local = s.substr(0, at);
+  const std::string_view domain = s.substr(at + 1);
+  if (local.find(' ') != std::string_view::npos) return false;
+  // The domain part must at least look DNS-ish (the paper's regex only
+  // requires the '@'; we additionally require a dot to cut noise).
+  return domain.find('.') != std::string_view::npos &&
+         domain.find(' ') == std::string_view::npos;
+}
+
+bool is_localhost(std::string_view s) {
+  std::string lowered(s);
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "localhost" || lowered == "localdomain") return true;
+  const auto ends_with = [&lowered](std::string_view suffix) {
+    return lowered.size() >= suffix.size() &&
+           lowered.compare(lowered.size() - suffix.size(), suffix.size(),
+                           suffix) == 0;
+  };
+  return ends_with(".localhost") || ends_with(".localdomain") ||
+         lowered.rfind("localhost.", 0) == 0;
+}
+
+bool is_campus_user_id(std::string_view s) {
+  if (s.size() < 4 || s.size() > 8) return false;
+  std::size_t i = 0;
+  std::size_t leading_alpha = 0;
+  while (i < s.size() && s[i] >= 'a' && s[i] <= 'z') {
+    ++i;
+    ++leading_alpha;
+  }
+  if (leading_alpha < 2 || leading_alpha > 3) return false;
+  std::size_t digits = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    ++i;
+    ++digits;
+  }
+  if (digits < 1 || digits > 2) return false;
+  std::size_t trailing_alpha = 0;
+  while (i < s.size() && s[i] >= 'a' && s[i] <= 'z') {
+    ++i;
+    ++trailing_alpha;
+  }
+  return i == s.size() && trailing_alpha <= 3;
+}
+
+}  // namespace mtlscope::textclass

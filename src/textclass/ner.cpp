@@ -1,0 +1,151 @@
+#include "mtlscope/textclass/ner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mtlscope/textclass/lexicon.hpp"
+
+namespace mtlscope::textclass {
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '\'' ||
+        c == '&') {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+const std::set<std::string_view>& given_name_set() {
+  static const std::set<std::string_view> s(lexicon::given_names().begin(),
+                                            lexicon::given_names().end());
+  return s;
+}
+
+const std::set<std::string_view>& family_name_set() {
+  static const std::set<std::string_view> s(lexicon::family_names().begin(),
+                                            lexicon::family_names().end());
+  return s;
+}
+
+const std::set<std::string_view>& legal_suffix_set() {
+  static const std::set<std::string_view> s(lexicon::legal_suffixes().begin(),
+                                            lexicon::legal_suffixes().end());
+  return s;
+}
+
+bool is_initial(const std::string& token) {
+  return token.size() == 1 &&
+         std::isalpha(static_cast<unsigned char>(token[0]));
+}
+
+}  // namespace
+
+bool is_personal_name(std::string_view s) {
+  if (s.size() > 64) return false;
+  auto tokens = tokenize(s);
+  // "Last, First" → reorder.
+  const std::size_t comma = s.find(',');
+  if (comma != std::string_view::npos && tokens.size() == 2) {
+    std::swap(tokens[0], tokens[1]);
+  }
+  if (tokens.size() == 2) {
+    return given_name_set().contains(tokens[0]) &&
+           family_name_set().contains(tokens[1]);
+  }
+  if (tokens.size() == 3) {
+    // "First M. Last" or "First Middle Last".
+    return given_name_set().contains(tokens[0]) &&
+           (is_initial(tokens[1]) || given_name_set().contains(tokens[1])) &&
+           family_name_set().contains(tokens[2]);
+  }
+  return false;
+}
+
+double trigram_cosine(std::string_view a, std::string_view b) {
+  const auto grams = [](std::string_view s) {
+    std::map<std::string, double> out;
+    const std::string padded = "  " + to_lower(s) + "  ";
+    for (std::size_t i = 0; i + 3 <= padded.size(); ++i) {
+      out[padded.substr(i, 3)] += 1.0;
+    }
+    return out;
+  };
+  const auto ga = grams(a);
+  const auto gb = grams(b);
+  if (ga.empty() || gb.empty()) return 0.0;
+  double dot = 0, na = 0, nb = 0;
+  for (const auto& [g, v] : ga) {
+    na += v * v;
+    const auto it = gb.find(g);
+    if (it != gb.end()) dot += v * it->second;
+  }
+  for (const auto& [g, v] : gb) nb += v * v;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double best_company_similarity(std::string_view s) {
+  double best = 0.0;
+  for (const auto& company : lexicon::company_names()) {
+    best = std::max(best, trigram_cosine(s, company));
+    if (best >= 1.0) break;
+  }
+  return best;
+}
+
+bool is_org_or_product(std::string_view s) {
+  if (s.empty() || s.size() > 128) return false;
+  const std::string lowered = to_lower(s);
+
+  // Exact gazetteer hits (companies and products).
+  for (const auto& company : lexicon::company_names()) {
+    if (lowered == company) return true;
+  }
+  for (const auto& product : lexicon::product_names()) {
+    if (lowered == product) return true;
+  }
+
+  // Substring product hits: "WebRTC-2f81ab" style CNs are common.
+  for (const auto& product : lexicon::product_names()) {
+    if (product.size() >= 5 && lowered.find(product) != std::string::npos) {
+      return true;
+    }
+  }
+
+  const auto tokens = tokenize(lowered);
+  if (tokens.empty()) return false;
+
+  // Legal suffix ("Fireboard Labs Inc"): last token is a legal form and
+  // there is at least one other alphabetic token.
+  if (tokens.size() >= 2 && legal_suffix_set().contains(tokens.back())) {
+    return true;
+  }
+
+  // Cosine similarity against the company gazetteer (threshold 0.9, as
+  // in the paper's methodology).
+  return best_company_similarity(lowered) >= 0.9;
+}
+
+}  // namespace mtlscope::textclass

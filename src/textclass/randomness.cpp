@@ -1,0 +1,125 @@
+#include "mtlscope/textclass/randomness.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace mtlscope::textclass {
+namespace {
+
+bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+bool is_vowel(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'a':
+    case 'e':
+    case 'i':
+    case 'o':
+    case 'u':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool is_uuid(std::string_view s) {
+  if (s.size() != 36) return false;
+  for (std::size_t i = 0; i < 36; ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (!is_hex_digit(s[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_hex_string(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), is_hex_digit);
+}
+
+bool looks_random(std::string_view s) {
+  if (s.size() < 6) return false;
+  if (is_uuid(s)) return true;
+  if (is_hex_string(s) && s.size() >= 8) {
+    // Pure hex of hash-like length is random unless it's all digits of a
+    // short length (could be a phone number or serial label).
+    const bool has_letter = std::any_of(s.begin(), s.end(), [](char c) {
+      return !std::isdigit(static_cast<unsigned char>(c));
+    });
+    if (has_letter || s.size() >= 16) return true;
+  }
+
+  // Heuristic scoring for mixed strings.
+  std::size_t letters = 0, digits = 0, vowels = 0, transitions = 0;
+  char prev_class = '?';
+  for (const char c : s) {
+    char cls;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+      cls = 'd';
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      ++letters;
+      if (is_vowel(c)) ++vowels;
+      cls = 'a';
+    } else {
+      cls = 's';
+    }
+    if (prev_class != '?' && cls != prev_class) ++transitions;
+    prev_class = cls;
+  }
+
+  const double n = static_cast<double>(s.size());
+  const double digit_ratio = static_cast<double>(digits) / n;
+  const double vowel_ratio =
+      letters == 0 ? 0.0 : static_cast<double>(vowels) / letters;
+  const double transition_ratio = static_cast<double>(transitions) / n;
+
+  // Human-readable identifiers ("fileserver", "mail-gateway-01",
+  // "__transfer__") have high vowel ratios and few class transitions;
+  // tokens like "x7Qf9zB2kL" interleave classes and starve vowels.
+  int score = 0;
+  if (letters > 0 && vowel_ratio < 0.2) ++score;
+  if (digit_ratio > 0.3 && letters > 0) ++score;
+  if (transition_ratio > 0.45) ++score;
+  if (letters >= 8 && vowel_ratio < 0.28 && digit_ratio > 0.0) ++score;
+  return score >= 2;
+}
+
+StringShape classify_shape(std::string_view s) {
+  if (!looks_random(s)) return StringShape::kNonRandom;
+  if (is_uuid(s)) return StringShape::kRandomLen36;
+  switch (s.size()) {
+    case 8:
+      return StringShape::kRandomLen8;
+    case 32:
+      return StringShape::kRandomLen32;
+    case 36:
+      return StringShape::kRandomLen36;
+    default:
+      return StringShape::kRandomOther;
+  }
+}
+
+const char* shape_name(StringShape shape) {
+  switch (shape) {
+    case StringShape::kNonRandom:
+      return "non-random";
+    case StringShape::kRandomLen8:
+      return "random strlen=8";
+    case StringShape::kRandomLen32:
+      return "random strlen=32";
+    case StringShape::kRandomLen36:
+      return "random strlen=36";
+    case StringShape::kRandomOther:
+      return "random other";
+  }
+  return "?";
+}
+
+}  // namespace mtlscope::textclass

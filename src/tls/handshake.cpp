@@ -1,0 +1,62 @@
+#include "mtlscope/tls/handshake.hpp"
+
+#include <algorithm>
+
+namespace mtlscope::tls {
+
+std::string_view version_name(TlsVersion v) {
+  switch (v) {
+    case TlsVersion::kTls10:
+      return "TLSv10";
+    case TlsVersion::kTls11:
+      return "TLSv11";
+    case TlsVersion::kTls12:
+      return "TLSv12";
+    case TlsVersion::kTls13:
+      return "TLSv13";
+  }
+  return "unknown";
+}
+
+std::optional<TlsVersion> version_from_name(std::string_view name) {
+  if (name == "TLSv10") return TlsVersion::kTls10;
+  if (name == "TLSv11") return TlsVersion::kTls11;
+  if (name == "TLSv12") return TlsVersion::kTls12;
+  if (name == "TLSv13") return TlsVersion::kTls13;
+  return std::nullopt;
+}
+
+TlsConnection simulate_handshake(const ClientProfile& client,
+                                 const ServerProfile& server,
+                                 const HandshakeOptions& options) {
+  TlsConnection conn;
+  conn.uid = options.uid;
+  conn.timestamp = options.timestamp;
+  conn.client = client.endpoint;
+  conn.server = server.endpoint;
+  conn.sni = client.sni.value_or("");
+  conn.version = std::min(client.max_version, server.max_version);
+  conn.established = true;
+
+  // The monitor's certificate visibility ends at TLS 1.3: the handshake
+  // encrypts Certificate messages after ServerHello.
+  const bool certificates_visible = conn.version != TlsVersion::kTls13;
+
+  const bool client_sends_chain =
+      server.request_client_certificate && !client.chain.empty();
+
+  if (server.validate_client_certificate && client_sends_chain) {
+    const auto& leaf = client.chain.front();
+    if (!leaf.validity.contains(options.validation_time)) {
+      conn.established = false;
+    }
+  }
+
+  if (certificates_visible) {
+    conn.server_chain = server.chain;
+    if (client_sends_chain) conn.client_chain = client.chain;
+  }
+  return conn;
+}
+
+}  // namespace mtlscope::tls

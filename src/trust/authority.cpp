@@ -1,0 +1,49 @@
+#include "mtlscope/trust/authority.hpp"
+
+namespace mtlscope::trust {
+
+CertificateAuthority::CertificateAuthority(x509::DistinguishedName dn,
+                                           crypto::TsigKey key,
+                                           x509::Certificate cert)
+    : dn_(std::move(dn)), key_(std::move(key)), cert_(std::move(cert)) {}
+
+CertificateAuthority CertificateAuthority::make_root(
+    x509::DistinguishedName dn, util::UnixSeconds not_before,
+    util::UnixSeconds not_after) {
+  auto key = crypto::TsigKey::derive(dn.to_string());
+  const x509::Certificate cert =
+      x509::CertificateBuilder()
+          .serial_from_label("root:" + dn.to_string())
+          .subject(dn)
+          .validity(not_before, not_after)
+          .public_key(key.key)
+          .ca(true)
+          .key_usage(x509::key_usage::kKeyCertSign |
+                     x509::key_usage::kCrlSign)
+          .self_sign(key);
+  return CertificateAuthority(std::move(dn), std::move(key), cert);
+}
+
+CertificateAuthority CertificateAuthority::make_intermediate(
+    const CertificateAuthority& parent, x509::DistinguishedName dn,
+    util::UnixSeconds not_before, util::UnixSeconds not_after) {
+  auto key = crypto::TsigKey::derive(dn.to_string());
+  const x509::Certificate cert =
+      x509::CertificateBuilder()
+          .serial_from_label("int:" + dn.to_string())
+          .subject(dn)
+          .validity(not_before, not_after)
+          .public_key(key.key)
+          .ca(true, 0)
+          .key_usage(x509::key_usage::kKeyCertSign |
+                     x509::key_usage::kCrlSign)
+          .sign(parent.dn(), parent.key());
+  return CertificateAuthority(std::move(dn), std::move(key), cert);
+}
+
+x509::Certificate CertificateAuthority::issue(
+    const x509::CertificateBuilder& builder) const {
+  return builder.sign(dn_, key_);
+}
+
+}  // namespace mtlscope::trust

@@ -1,0 +1,121 @@
+#include "mtlscope/trust/public_cas.hpp"
+
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::trust {
+namespace {
+
+using util::to_unix;
+
+struct CaSpec {
+  const char* label;
+  const char* root_org;
+  const char* root_cn;
+  const char* int_org;   // organization on the issuing intermediate
+  const char* int_cn;
+};
+
+// Every public issuer named anywhere in the paper, plus a few common CAs
+// for background realism.
+constexpr CaSpec kSpecs[] = {
+    {"lets-encrypt", "Internet Security Research Group", "ISRG Root X1",
+     "Let's Encrypt", "R3"},
+    {"digicert", "DigiCert Inc", "DigiCert Global Root CA", "DigiCert Inc",
+     "DigiCert TLS RSA SHA256 2020 CA1"},
+    {"digicert-ev", "DigiCert Inc", "DigiCert High Assurance EV Root CA",
+     "DigiCert Inc", "DigiCert SHA2 Extended Validation Server CA"},
+    {"geotrust", "DigiCert Inc", "DigiCert Global Root G2", "DigiCert Inc",
+     "GeoTrust TLS RSA CA G1"},
+    {"sectigo", "Sectigo Limited", "Sectigo AAA Certificate Services",
+     "Sectigo Limited", "Sectigo RSA Domain Validation Secure Server CA"},
+    {"godaddy", "GoDaddy.com, Inc.", "Go Daddy Root Certificate Authority - G2",
+     "GoDaddy.com, Inc.", "GoDaddy Secure Certificate Authority - G2"},
+    {"identrust", "IdenTrust", "IdenTrust Commercial Root CA 1", "IdenTrust",
+     "TrustID Server CA O1"},
+    {"apple", "Apple Inc.", "Apple Root CA", "Apple Inc.",
+     "Apple Public Server RSA CA 12 - G1"},
+    {"apple-device", "Apple Inc.", "Apple Root CA", "Apple Inc.",
+     "Apple iPhone Device CA"},
+    {"microsoft", "Microsoft Corporation", "Microsoft RSA Root CA 2017",
+     "Microsoft Corporation", "Microsoft Azure TLS Issuing CA 01"},
+    {"azure-sphere", "Microsoft Corporation", "Microsoft RSA Root CA 2017",
+     "Microsoft Corporation", "Microsoft Azure Sphere Issuer 7f2ab1"},
+    {"amazon", "Amazon", "Amazon Root CA 1", "Amazon", "Amazon RSA 2048 M02"},
+    {"fnmt", "FNMT-RCM", "AC RAIZ FNMT-RCM", "FNMT-RCM",
+     "AC Componentes Informaticos"},
+    {"entrust", "Entrust, Inc.", "Entrust Root Certification Authority - G2",
+     "Entrust, Inc.", "Entrust Certification Authority - L1K"},
+    {"globalsign", "GlobalSign nv-sa", "GlobalSign Root CA", "GlobalSign nv-sa",
+     "GlobalSign RSA OV SSL CA 2018"},
+};
+
+}  // namespace
+
+PublicPki::PublicPki() {
+  const auto root_nb = to_unix({2000, 1, 1, 0, 0, 0});
+  const auto root_na = to_unix({2040, 1, 1, 0, 0, 0});
+  const auto int_nb = to_unix({2015, 1, 1, 0, 0, 0});
+  const auto int_na = to_unix({2035, 1, 1, 0, 0, 0});
+  cas_.reserve(std::size(kSpecs));
+  for (const auto& spec : kSpecs) {
+    x509::DistinguishedName root_dn;
+    root_dn.add_country("US").add_org(spec.root_org).add_cn(spec.root_cn);
+    auto root = CertificateAuthority::make_root(root_dn, root_nb, root_na);
+
+    x509::DistinguishedName int_dn;
+    int_dn.add_country("US").add_org(spec.int_org).add_cn(spec.int_cn);
+    auto intermediate = CertificateAuthority::make_intermediate(
+        root, int_dn, int_nb, int_na);
+
+    cas_.push_back(PublicCa{spec.label, std::move(root),
+                            std::move(intermediate)});
+  }
+}
+
+const PublicCa* PublicPki::find(std::string_view label) const {
+  for (const auto& ca : cas_) {
+    if (ca.label == label) return &ca;
+  }
+  return nullptr;
+}
+
+std::vector<TrustStore> PublicPki::make_stores() const {
+  TrustStore apple("Apple");
+  TrustStore microsoft("Microsoft");
+  TrustStore nss("Mozilla NSS");
+  TrustStore ccadb("CCADB");
+  // The real stores overlap heavily; model that by putting every root in
+  // NSS and CCADB and subsets in the vendor stores. Intermediates are
+  // registered too: the paper accepts intermediate-level membership.
+  for (const auto& ca : cas_) {
+    nss.add_ca(ca.root.certificate());
+    ccadb.add_ca(ca.root.certificate());
+    ccadb.add_ca(ca.intermediate.certificate());
+    if (const auto org = ca.root.dn().organization()) {
+      ccadb.add_organization(std::string(*org));
+    }
+    if (ca.label == "apple" || ca.label == "apple-device" ||
+        ca.label == "digicert" || ca.label == "sectigo" ||
+        ca.label == "lets-encrypt") {
+      apple.add_ca(ca.root.certificate());
+    }
+    if (ca.label == "microsoft" || ca.label == "azure-sphere" ||
+        ca.label == "digicert" || ca.label == "godaddy" ||
+        ca.label == "entrust") {
+      microsoft.add_ca(ca.root.certificate());
+    }
+  }
+  std::vector<TrustStore> stores;
+  stores.push_back(std::move(apple));
+  stores.push_back(std::move(microsoft));
+  stores.push_back(std::move(nss));
+  stores.push_back(std::move(ccadb));
+  return stores;
+}
+
+const PublicPki& public_pki() {
+  static const PublicPki pki;
+  return pki;
+}
+
+}  // namespace mtlscope::trust

@@ -1,0 +1,93 @@
+#include "mtlscope/trust/store.hpp"
+
+#include "mtlscope/crypto/tsig.hpp"
+#include "mtlscope/trust/public_cas.hpp"
+
+namespace mtlscope::trust {
+
+void TrustStore::add_ca(const x509::Certificate& ca_cert) {
+  subjects_.insert(ca_cert.subject.to_string());
+  if (const auto org = ca_cert.subject.organization()) {
+    organizations_.insert(std::string(*org));
+  }
+}
+
+void TrustStore::add_organization(std::string org) {
+  organizations_.insert(std::move(org));
+}
+
+bool TrustStore::contains_subject(const x509::DistinguishedName& dn) const {
+  return subjects_.contains(dn.to_string());
+}
+
+bool TrustStore::contains_organization(std::string_view org) const {
+  return organizations_.find(org) != organizations_.end();
+}
+
+void TrustEvaluator::add_store(TrustStore store) {
+  stores_.push_back(std::move(store));
+}
+
+bool TrustEvaluator::is_trusted_issuer(
+    const x509::DistinguishedName& issuer) const {
+  for (const auto& store : stores_) {
+    if (store.contains_subject(issuer)) return true;
+    if (const auto org = issuer.organization();
+        org && store.contains_organization(*org)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+IssuerClass TrustEvaluator::classify(
+    const x509::Certificate& leaf,
+    const std::vector<x509::Certificate>& chain) const {
+  if (is_trusted_issuer(leaf.issuer)) return IssuerClass::kPublic;
+  for (const auto& cert : chain) {
+    if (is_trusted_issuer(cert.subject) || is_trusted_issuer(cert.issuer)) {
+      return IssuerClass::kPublic;
+    }
+  }
+  return IssuerClass::kPrivate;
+}
+
+ChainStatus TrustEvaluator::validate(
+    const std::vector<x509::Certificate>& chain,
+    util::UnixSeconds now) const {
+  if (chain.empty()) return ChainStatus::kEmptyChain;
+  for (const auto& cert : chain) {
+    if (!cert.validity.contains(now)) return ChainStatus::kExpired;
+  }
+  // Walk issuer links: each certificate's signature must verify against
+  // the next certificate's key when that issuer is present in the chain.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const auto& cert = chain[i];
+    const auto& issuer = chain[i + 1];
+    if (cert.issuer != issuer.subject) return ChainStatus::kUntrustedRoot;
+    if (!crypto::tsig_verify(issuer.public_key, cert.tbs_der,
+                             cert.signature)) {
+      return ChainStatus::kBadSignature;
+    }
+  }
+  const auto& last = chain.back();
+  if (last.is_self_issued()) {
+    if (!crypto::tsig_verify(last.public_key, last.tbs_der, last.signature)) {
+      return ChainStatus::kBadSignature;
+    }
+    if (!is_trusted_issuer(last.subject)) return ChainStatus::kUntrustedRoot;
+    return ChainStatus::kValid;
+  }
+  if (!is_trusted_issuer(last.issuer)) return ChainStatus::kUntrustedRoot;
+  return ChainStatus::kValid;
+}
+
+TrustEvaluator make_default_evaluator() {
+  TrustEvaluator evaluator;
+  for (auto& store : public_pki().make_stores()) {
+    evaluator.add_store(std::move(store));
+  }
+  return evaluator;
+}
+
+}  // namespace mtlscope::trust

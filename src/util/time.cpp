@@ -1,0 +1,133 @@
+#include "mtlscope/util/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace mtlscope::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);        // [0,399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;                                 // [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;       // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilTime civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  CivilTime ct;
+  ct.year = static_cast<int>(y + (m <= 2));
+  ct.month = static_cast<int>(m);
+  ct.day = static_cast<int>(d);
+  return ct;
+}
+
+UnixSeconds to_unix(const CivilTime& ct) {
+  return days_from_civil(ct.year, ct.month, ct.day) * kSecondsPerDay +
+         ct.hour * 3600 + ct.minute * 60 + ct.second;
+}
+
+CivilTime from_unix(UnixSeconds ts) {
+  std::int64_t days = ts / kSecondsPerDay;
+  std::int64_t rem = ts % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    days -= 1;
+  }
+  CivilTime ct = civil_from_days(days);
+  ct.hour = static_cast<int>(rem / 3600);
+  ct.minute = static_cast<int>((rem % 3600) / 60);
+  ct.second = static_cast<int>(rem % 60);
+  return ct;
+}
+
+bool is_leap_year(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int days_in_month(int y, int m) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap_year(y)) return 29;
+  return kDays[static_cast<std::size_t>(m - 1)];
+}
+
+std::string format_iso8601(UnixSeconds ts) {
+  const CivilTime ct = from_unix(ts);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02dZ", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::string format_date(UnixSeconds ts) {
+  const CivilTime ct = from_unix(ts);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ct.year, ct.month, ct.day);
+  return buf;
+}
+
+namespace {
+
+bool parse_int(std::string_view s, std::size_t pos, std::size_t len,
+               int& out) {
+  if (pos + len > s.size()) return false;
+  int v = 0;
+  for (std::size_t i = pos; i < pos + len; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::optional<UnixSeconds> parse_iso8601(std::string_view s) {
+  CivilTime ct;
+  if (!parse_int(s, 0, 4, ct.year) || s.size() < 10 || s[4] != '-' ||
+      s[7] != '-' || !parse_int(s, 5, 2, ct.month) ||
+      !parse_int(s, 8, 2, ct.day)) {
+    return std::nullopt;
+  }
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 ||
+      ct.day > days_in_month(ct.year, ct.month)) {
+    return std::nullopt;
+  }
+  if (s.size() == 10) return to_unix(ct);
+  if (s.size() < 19 || s[10] != 'T' || s[13] != ':' || s[16] != ':' ||
+      !parse_int(s, 11, 2, ct.hour) || !parse_int(s, 14, 2, ct.minute) ||
+      !parse_int(s, 17, 2, ct.second)) {
+    return std::nullopt;
+  }
+  if (ct.hour > 23 || ct.minute > 59 || ct.second > 59) return std::nullopt;
+  if (s.size() == 20 && s[19] != 'Z') return std::nullopt;
+  if (s.size() > 20) return std::nullopt;
+  return to_unix(ct);
+}
+
+int month_index(UnixSeconds ts) {
+  const CivilTime ct = from_unix(ts);
+  return ct.year * 12 + (ct.month - 1);
+}
+
+std::string month_label(int month_idx) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", month_idx / 12,
+                month_idx % 12 + 1);
+  return buf;
+}
+
+}  // namespace mtlscope::util

@@ -1,0 +1,280 @@
+#include "mtlscope/x509/builder.hpp"
+
+#include <stdexcept>
+
+#include "mtlscope/asn1/der.hpp"
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+namespace mtlscope::x509 {
+
+using asn1::DerWriter;
+using asn1::Tag;
+namespace tags = asn1::tags;
+
+CertificateBuilder::CertificateBuilder()
+    : spki_algorithm_(asn1::oids::alg_tsig()) {}
+
+CertificateBuilder& CertificateBuilder::version(int v) {
+  version_ = v;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::serial(
+    std::vector<std::uint8_t> bytes) {
+  serial_ = std::move(bytes);
+  if (serial_.empty()) serial_.push_back(0);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::serial_hex(std::string_view hex) {
+  auto bytes = crypto::from_hex(hex);
+  if (!bytes) throw std::invalid_argument("serial_hex: invalid hex");
+  return serial(std::move(*bytes));
+}
+
+CertificateBuilder& CertificateBuilder::serial_from_label(
+    std::string_view label) {
+  const auto digest = crypto::Sha256::hash(label);
+  // 16-byte positive serial, conventional for modern CAs.
+  std::vector<std::uint8_t> bytes(digest.begin(), digest.begin() + 16);
+  bytes[0] &= 0x7f;
+  if (bytes[0] == 0) bytes[0] = 0x4a;
+  return serial(std::move(bytes));
+}
+
+CertificateBuilder& CertificateBuilder::subject(DistinguishedName dn) {
+  subject_ = std::move(dn);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::validity(util::UnixSeconds not_before,
+                                                 util::UnixSeconds not_after) {
+  validity_ = {not_before, not_after};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::public_key(
+    std::vector<std::uint8_t> key) {
+  public_key_ = std::move(key);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::spki_algorithm(asn1::Oid oid) {
+  spki_algorithm_ = std::move(oid);
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_san_dns(std::string value) {
+  san_.push_back({SanEntry::Type::kDns, std::move(value)});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_san_email(std::string value) {
+  san_.push_back({SanEntry::Type::kEmail, std::move(value)});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_san_uri(std::string value) {
+  san_.push_back({SanEntry::Type::kUri, std::move(value)});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_san_ip(
+    const net::IpAddress& addr) {
+  san_.push_back({SanEntry::Type::kIp, addr.to_string()});
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::ca(bool is_ca,
+                                           std::optional<int> path_len) {
+  basic_constraints_ = BasicConstraints{is_ca, path_len};
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::key_usage(std::uint16_t bits) {
+  key_usage_ = bits;
+  return *this;
+}
+
+CertificateBuilder& CertificateBuilder::add_eku(asn1::Oid oid) {
+  eku_.push_back(std::move(oid));
+  return *this;
+}
+
+namespace {
+
+void write_name(DerWriter& w, const DistinguishedName& dn) {
+  w.sequence([&dn](DerWriter& name) {
+    for (const auto& attr : dn.attributes()) {
+      name.set([&attr](DerWriter& rdn) {
+        rdn.sequence([&attr](DerWriter& atv) {
+          atv.oid(attr.type);
+          atv.utf8_string(attr.value);
+        });
+      });
+    }
+  });
+}
+
+void write_algorithm(DerWriter& w, const asn1::Oid& alg) {
+  w.sequence([&alg](DerWriter& seq) {
+    seq.oid(alg);
+    seq.null();
+  });
+}
+
+void write_extension(DerWriter& exts, const asn1::Oid& id, bool critical,
+                     const DerWriter::BuildFn& payload) {
+  exts.sequence([&](DerWriter& ext) {
+    ext.oid(id);
+    if (critical) ext.boolean(true);
+    DerWriter inner;
+    payload(inner);
+    ext.octet_string(inner.bytes());
+  });
+}
+
+void write_san(DerWriter& exts, const std::vector<SanEntry>& san) {
+  write_extension(
+      exts, asn1::oids::subject_alt_name(), false, [&san](DerWriter& v) {
+        v.sequence([&san](DerWriter& names) {
+          for (const auto& entry : san) {
+            switch (entry.type) {
+              case SanEntry::Type::kEmail:
+                names.context_primitive(1, entry.value);
+                break;
+              case SanEntry::Type::kDns:
+                names.context_primitive(2, entry.value);
+                break;
+              case SanEntry::Type::kUri:
+                names.context_primitive(6, entry.value);
+                break;
+              case SanEntry::Type::kIp: {
+                const auto addr = net::IpAddress::parse(entry.value);
+                if (!addr) {
+                  throw std::invalid_argument("SAN IP not parseable: " +
+                                              entry.value);
+                }
+                if (addr->is_v4()) {
+                  const std::uint32_t v = addr->v4_value();
+                  const std::uint8_t bytes[4] = {
+                      static_cast<std::uint8_t>(v >> 24),
+                      static_cast<std::uint8_t>(v >> 16),
+                      static_cast<std::uint8_t>(v >> 8),
+                      static_cast<std::uint8_t>(v)};
+                  names.context_primitive(7, std::span(bytes, 4));
+                } else {
+                  names.context_primitive(
+                      7, std::span(addr->v6_bytes().data(), 16));
+                }
+                break;
+              }
+              case SanEntry::Type::kOther:
+                names.context_primitive(0, entry.value);
+                break;
+            }
+          }
+        });
+      });
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> CertificateBuilder::encode_tbs(
+    const DistinguishedName& issuer_dn) const {
+  DerWriter w;
+  w.sequence([&, this](DerWriter& tbs) {
+    if (version_ >= 3) {
+      tbs.constructed(Tag::context(0, true),
+                      [this](DerWriter& v) { v.integer(version_ - 1); });
+    }
+    tbs.integer_unsigned(serial_);
+    write_algorithm(tbs, asn1::oids::alg_tsig());
+    write_name(tbs, issuer_dn);
+    tbs.sequence([this](DerWriter& validity) {
+      validity.time(validity_.not_before);
+      validity.time(validity_.not_after);
+    });
+    write_name(tbs, subject_);
+    tbs.sequence([this](DerWriter& spki) {
+      write_algorithm(spki, spki_algorithm_);
+      spki.bit_string(public_key_);
+    });
+    if (version_ >= 3 &&
+        (basic_constraints_ || key_usage_ || !eku_.empty() || !san_.empty())) {
+      tbs.constructed(Tag::context(3, true), [this](DerWriter& wrap) {
+        wrap.sequence([this](DerWriter& exts) {
+          if (basic_constraints_) {
+            write_extension(exts, asn1::oids::basic_constraints(), true,
+                            [this](DerWriter& v) {
+                              v.sequence([this](DerWriter& bc) {
+                                if (basic_constraints_->is_ca) {
+                                  bc.boolean(true);
+                                }
+                                if (basic_constraints_->path_len) {
+                                  bc.integer(*basic_constraints_->path_len);
+                                }
+                              });
+                            });
+          }
+          if (key_usage_) {
+            write_extension(exts, asn1::oids::key_usage(), true,
+                            [this](DerWriter& v) {
+                              // Two octets, bit 0 = MSB of first octet.
+                              std::uint8_t bytes[2] = {0, 0};
+                              for (int bit = 0; bit < 16; ++bit) {
+                                if (*key_usage_ & (1u << bit)) {
+                                  bytes[bit / 8] |= static_cast<std::uint8_t>(
+                                      0x80 >> (bit % 8));
+                                }
+                              }
+                              const std::size_t len =
+                                  bytes[1] != 0 ? 2 : 1;
+                              v.bit_string(std::span(bytes, len));
+                            });
+          }
+          if (!eku_.empty()) {
+            write_extension(exts, asn1::oids::ext_key_usage(), false,
+                            [this](DerWriter& v) {
+                              v.sequence([this](DerWriter& list) {
+                                for (const auto& oid : eku_) list.oid(oid);
+                              });
+                            });
+          }
+          if (!san_.empty()) write_san(exts, san_);
+        });
+      });
+    }
+  });
+  return w.take();
+}
+
+Certificate CertificateBuilder::sign(const DistinguishedName& issuer_dn,
+                                     const crypto::TsigKey& issuer_key) const {
+  const std::vector<std::uint8_t> tbs = encode_tbs(issuer_dn);
+  const std::vector<std::uint8_t> sig = crypto::tsig_sign(issuer_key, tbs);
+
+  DerWriter w;
+  w.sequence([&](DerWriter& cert) {
+    cert.raw(tbs);
+    write_algorithm(cert, asn1::oids::alg_tsig());
+    cert.bit_string(sig);
+  });
+
+  auto result = parse_certificate(w.bytes());
+  const Certificate* cert = get_certificate(result);
+  if (cert == nullptr) {
+    // A builder-produced encoding failing our own parser is a programming
+    // error, not an input error.
+    throw std::logic_error("builder produced unparseable certificate: " +
+                           std::get<ParseError>(result).message);
+  }
+  return *cert;
+}
+
+Certificate CertificateBuilder::self_sign(const crypto::TsigKey& key) const {
+  return sign(subject_, key);
+}
+
+}  // namespace mtlscope::x509

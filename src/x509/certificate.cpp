@@ -1,0 +1,45 @@
+#include "mtlscope/x509/certificate.hpp"
+
+#include "mtlscope/crypto/encoding.hpp"
+
+namespace mtlscope::x509 {
+
+std::string Certificate::serial_hex() const {
+  if (serial.empty()) return "00";
+  return crypto::to_hex_upper(serial);
+}
+
+crypto::Sha256::Digest Certificate::fingerprint() const {
+  return crypto::Sha256::hash(der);
+}
+
+std::string Certificate::fingerprint_hex() const {
+  const auto d = fingerprint();
+  return crypto::to_hex(d);
+}
+
+std::vector<std::string> Certificate::san_dns() const {
+  std::vector<std::string> out;
+  for (const auto& entry : san) {
+    if (entry.type == SanEntry::Type::kDns) out.push_back(entry.value);
+  }
+  return out;
+}
+
+bool Certificate::allows_server_auth() const {
+  if (ext_key_usage.empty()) return true;  // no EKU → unrestricted
+  for (const auto& oid : ext_key_usage) {
+    if (oid == asn1::oids::eku_server_auth()) return true;
+  }
+  return false;
+}
+
+bool Certificate::allows_client_auth() const {
+  if (ext_key_usage.empty()) return true;
+  for (const auto& oid : ext_key_usage) {
+    if (oid == asn1::oids::eku_client_auth()) return true;
+  }
+  return false;
+}
+
+}  // namespace mtlscope::x509

@@ -1,0 +1,118 @@
+#include "mtlscope/x509/name.hpp"
+
+namespace mtlscope::x509 {
+namespace {
+
+struct ShortName {
+  const asn1::Oid& (*oid)();
+  std::string_view label;
+};
+
+const ShortName kShortNames[] = {
+    {asn1::oids::common_name, "CN"},
+    {asn1::oids::organization_name, "O"},
+    {asn1::oids::organizational_unit, "OU"},
+    {asn1::oids::country_name, "C"},
+    {asn1::oids::locality_name, "L"},
+    {asn1::oids::state_or_province_name, "ST"},
+    {asn1::oids::email_address, "emailAddress"},
+    {asn1::oids::serial_number_attr, "serialNumber"},
+};
+
+std::string type_label(const asn1::Oid& type) {
+  for (const auto& s : kShortNames) {
+    if (s.oid() == type) return std::string(s.label);
+  }
+  return type.to_string();
+}
+
+std::optional<asn1::Oid> label_type(std::string_view label) {
+  for (const auto& s : kShortNames) {
+    if (s.label == label) return s.oid();
+  }
+  return asn1::Oid::parse(label);
+}
+
+}  // namespace
+
+DistinguishedName& DistinguishedName::add(const asn1::Oid& type,
+                                          std::string value) {
+  attrs_.push_back({type, std::move(value)});
+  return *this;
+}
+
+DistinguishedName& DistinguishedName::add_cn(std::string value) {
+  return add(asn1::oids::common_name(), std::move(value));
+}
+
+DistinguishedName& DistinguishedName::add_org(std::string value) {
+  return add(asn1::oids::organization_name(), std::move(value));
+}
+
+DistinguishedName& DistinguishedName::add_org_unit(std::string value) {
+  return add(asn1::oids::organizational_unit(), std::move(value));
+}
+
+DistinguishedName& DistinguishedName::add_country(std::string value) {
+  return add(asn1::oids::country_name(), std::move(value));
+}
+
+std::optional<std::string_view> DistinguishedName::find(
+    const asn1::Oid& type) const {
+  for (const auto& attr : attrs_) {
+    if (attr.type == type) return attr.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> DistinguishedName::common_name() const {
+  return find(asn1::oids::common_name());
+}
+
+std::optional<std::string_view> DistinguishedName::organization() const {
+  return find(asn1::oids::organization_name());
+}
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  for (const auto& attr : attrs_) {
+    if (!out.empty()) out.push_back(',');
+    out += type_label(attr.type);
+    out.push_back('=');
+    for (const char c : attr.value) {
+      if (c == ',' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::optional<DistinguishedName> DistinguishedName::from_string(
+    std::string_view s) {
+  DistinguishedName dn;
+  if (s.empty()) return dn;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t eq = s.find('=', pos);
+    if (eq == std::string_view::npos) return std::nullopt;
+    const auto type = label_type(s.substr(pos, eq - pos));
+    if (!type) return std::nullopt;
+    std::string value;
+    std::size_t i = eq + 1;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        value.push_back(s[++i]);
+      } else if (s[i] == ',') {
+        break;
+      } else {
+        value.push_back(s[i]);
+      }
+    }
+    dn.add(*type, std::move(value));
+    if (i >= s.size()) break;
+    pos = i + 1;
+  }
+  return dn;
+}
+
+}  // namespace mtlscope::x509

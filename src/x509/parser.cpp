@@ -1,0 +1,256 @@
+#include "mtlscope/x509/parser.hpp"
+
+#include <array>
+
+#include "mtlscope/asn1/der.hpp"
+
+namespace mtlscope::x509 {
+namespace {
+
+using asn1::DerError;
+using asn1::DerReader;
+using asn1::DerValue;
+using asn1::Tag;
+namespace tags = asn1::tags;
+
+bool is_string_tag(const Tag& t) {
+  return t.is_universal(tags::kUtf8String) ||
+         t.is_universal(tags::kPrintableString) ||
+         t.is_universal(tags::kIa5String) ||
+         t.is_universal(tags::kTeletexString);
+}
+
+DistinguishedName parse_name(const DerValue& name_seq) {
+  DistinguishedName dn;
+  DerReader rdns(name_seq);
+  while (!rdns.empty()) {
+    const DerValue rdn = rdns.read(Tag::set(), "RDN");
+    DerReader atvs(rdn);
+    while (!atvs.empty()) {
+      const DerValue atv = atvs.read(Tag::sequence(), "AttributeTypeAndValue");
+      DerReader fields(atv);
+      const asn1::Oid type = fields.read().as_oid();
+      const DerValue value = fields.read();
+      if (!is_string_tag(value.tag)) {
+        throw DerError("unsupported attribute value type");
+      }
+      dn.add(type, std::string(value.text()));
+    }
+  }
+  return dn;
+}
+
+std::string format_san_ip(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() == 4) {
+    return net::IpAddress::v4(bytes[0], bytes[1], bytes[2], bytes[3])
+        .to_string();
+  }
+  if (bytes.size() == 16) {
+    std::array<std::uint8_t, 16> arr;
+    std::copy(bytes.begin(), bytes.end(), arr.begin());
+    return net::IpAddress::v6(arr).to_string();
+  }
+  throw DerError("SAN iPAddress with invalid length");
+}
+
+std::vector<SanEntry> parse_san(const DerValue& extn_value) {
+  std::vector<SanEntry> out;
+  DerReader outer(extn_value);
+  const DerValue names = outer.read(Tag::sequence(), "GeneralNames");
+  DerReader items(names);
+  while (!items.empty()) {
+    const DerValue gn = items.read();
+    if (gn.tag.cls != asn1::TagClass::kContextSpecific) {
+      throw DerError("GeneralName with non-context tag");
+    }
+    SanEntry entry;
+    switch (gn.tag.number) {
+      case 1:
+        entry.type = SanEntry::Type::kEmail;
+        entry.value = std::string(gn.text());
+        break;
+      case 2:
+        entry.type = SanEntry::Type::kDns;
+        entry.value = std::string(gn.text());
+        break;
+      case 6:
+        entry.type = SanEntry::Type::kUri;
+        entry.value = std::string(gn.text());
+        break;
+      case 7:
+        entry.type = SanEntry::Type::kIp;
+        entry.value = format_san_ip(gn.content);
+        break;
+      default:
+        entry.type = SanEntry::Type::kOther;
+        entry.value = std::string(gn.text());
+        break;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+BasicConstraints parse_basic_constraints(const DerValue& extn_value) {
+  BasicConstraints bc;
+  DerReader outer(extn_value);
+  const DerValue seq = outer.read(Tag::sequence(), "BasicConstraints");
+  DerReader fields(seq);
+  if (!fields.empty()) {
+    const auto tag = fields.peek_tag();
+    if (tag && tag->is_universal(tags::kBoolean)) {
+      bc.is_ca = fields.read().as_boolean();
+    }
+  }
+  if (!fields.empty()) {
+    bc.path_len = static_cast<int>(fields.read().as_integer());
+  }
+  return bc;
+}
+
+std::uint16_t parse_key_usage(const DerValue& extn_value) {
+  DerReader outer(extn_value);
+  const DerValue bits = outer.read();
+  if (!bits.tag.is_universal(tags::kBitString) || bits.content.empty()) {
+    throw DerError("KeyUsage not a BIT STRING");
+  }
+  // content[0] = unused bits; following octets are the bit string,
+  // bit 0 = MSB of first octet.
+  std::uint16_t mask = 0;
+  for (std::size_t i = 1; i < bits.content.size() && i <= 2; ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      if (bits.content[i] & (0x80 >> bit)) {
+        mask |= static_cast<std::uint16_t>(1u << ((i - 1) * 8 + bit));
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<asn1::Oid> parse_eku(const DerValue& extn_value) {
+  std::vector<asn1::Oid> out;
+  DerReader outer(extn_value);
+  const DerValue seq = outer.read(Tag::sequence(), "ExtKeyUsage");
+  DerReader items(seq);
+  while (!items.empty()) out.push_back(items.read().as_oid());
+  return out;
+}
+
+void parse_extensions(const DerValue& exts_explicit, Certificate& cert) {
+  DerReader outer(exts_explicit);
+  const DerValue exts = outer.read(Tag::sequence(), "Extensions");
+  DerReader items(exts);
+  while (!items.empty()) {
+    const DerValue ext = items.read(Tag::sequence(), "Extension");
+    DerReader fields(ext);
+    const asn1::Oid id = fields.read().as_oid();
+    DerValue value = fields.read();
+    if (value.tag.is_universal(tags::kBoolean)) {
+      value = fields.read();  // skip `critical`
+    }
+    if (!value.tag.is_universal(tags::kOctetString)) {
+      throw DerError("Extension value not an OCTET STRING");
+    }
+    const DerValue inner{Tag::universal(tags::kOctetString), value.content,
+                         value.full};
+    if (id == asn1::oids::subject_alt_name()) {
+      cert.san = parse_san(inner);
+    } else if (id == asn1::oids::basic_constraints()) {
+      cert.basic_constraints = parse_basic_constraints(inner);
+    } else if (id == asn1::oids::key_usage()) {
+      cert.key_usage_bits = parse_key_usage(inner);
+    } else if (id == asn1::oids::ext_key_usage()) {
+      cert.ext_key_usage = parse_eku(inner);
+    }
+    // Unknown extensions are retained only via cert.der.
+  }
+}
+
+Certificate parse_impl(std::span<const std::uint8_t> der) {
+  Certificate cert;
+  cert.der.assign(der.begin(), der.end());
+
+  DerReader top(der);
+  const DerValue outer = top.read(Tag::sequence(), "Certificate");
+  if (!top.empty()) throw DerError("trailing bytes after Certificate");
+
+  DerReader cert_fields(outer);
+  const DerValue tbs = cert_fields.read(Tag::sequence(), "TBSCertificate");
+  cert.tbs_der.assign(tbs.full.begin(), tbs.full.end());
+
+  DerReader tbs_fields(tbs);
+  // version [0] EXPLICIT, DEFAULT v1
+  cert.version = 1;
+  {
+    const auto tag = tbs_fields.peek_tag();
+    if (tag && tag->is_context(0)) {
+      const DerValue version_explicit = tbs_fields.read();
+      DerReader v(version_explicit);
+      cert.version = static_cast<int>(v.read().as_integer()) + 1;
+    }
+  }
+  {
+    const DerValue serial = tbs_fields.read();
+    const auto bytes = serial.integer_bytes();
+    cert.serial.assign(bytes.begin(), bytes.end());
+    // Normalize: DER may carry a leading 0x00 for sign; drop it for the
+    // conventional hex rendering unless the serial is literally zero.
+    if (cert.serial.size() > 1 && cert.serial[0] == 0x00) {
+      cert.serial.erase(cert.serial.begin());
+    }
+  }
+  {
+    const DerValue alg = tbs_fields.read(Tag::sequence(), "signature alg");
+    DerReader alg_fields(alg);
+    cert.signature_algorithm = alg_fields.read().as_oid();
+  }
+  cert.issuer = parse_name(tbs_fields.read(Tag::sequence(), "issuer"));
+  {
+    const DerValue validity = tbs_fields.read(Tag::sequence(), "validity");
+    DerReader v(validity);
+    cert.validity.not_before = v.read().as_time();
+    cert.validity.not_after = v.read().as_time();
+  }
+  cert.subject = parse_name(tbs_fields.read(Tag::sequence(), "subject"));
+  {
+    const DerValue spki = tbs_fields.read(Tag::sequence(), "SPKI");
+    DerReader spki_fields(spki);
+    const DerValue alg = spki_fields.read(Tag::sequence(), "SPKI alg");
+    DerReader alg_fields(alg);
+    cert.spki_algorithm = alg_fields.read().as_oid();
+    const auto key = spki_fields.read().as_bit_string();
+    cert.public_key.assign(key.begin(), key.end());
+  }
+  while (!tbs_fields.empty()) {
+    const DerValue field = tbs_fields.read();
+    if (field.tag.is_context(3)) {
+      parse_extensions(field, cert);
+    }
+    // [1]/[2] issuer/subjectUniqueID: skipped.
+  }
+
+  {
+    const DerValue alg = cert_fields.read(Tag::sequence(), "outer sig alg");
+    DerReader alg_fields(alg);
+    const asn1::Oid outer_alg = alg_fields.read().as_oid();
+    if (outer_alg != cert.signature_algorithm) {
+      throw DerError("signature algorithm mismatch between TBS and outer");
+    }
+  }
+  const auto sig = cert_fields.read().as_bit_string();
+  cert.signature.assign(sig.begin(), sig.end());
+  if (!cert_fields.empty()) throw DerError("trailing fields in Certificate");
+  return cert;
+}
+
+}  // namespace
+
+ParseResult parse_certificate(std::span<const std::uint8_t> der) {
+  try {
+    return parse_impl(der);
+  } catch (const DerError& e) {
+    return ParseError{e.what()};
+  }
+}
+
+}  // namespace mtlscope::x509

@@ -1,0 +1,373 @@
+#include "mtlscope/zeek/log_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace mtlscope::zeek {
+namespace {
+
+constexpr char kSep = '\t';
+constexpr std::string_view kUnset = "-";
+constexpr std::string_view kEmptySet = "(empty)";
+
+// Zeek escapes separator bytes inside values; we need the comma (set
+// separator) and tab.
+std::string escape_field(std::string_view v, bool in_set) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      // The backslash itself must be escaped or literal "\x09" text in a
+      // value would collide with the tab escape on the way back.
+      out += "\\x5c";
+    } else if (c == '\t') {
+      out += "\\x09";
+    } else if (c == '\n') {
+      out += "\\x0a";
+    } else if (in_set && c == ',') {
+      out += "\\x2c";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == '\\' && i + 3 < v.size() && v[i + 1] == 'x') {
+      const auto hex_digit = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex_digit(v[i + 2]);
+      const int lo = hex_digit(v[i + 3]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 3;
+        continue;
+      }
+    }
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+std::string format_scalar(std::string_view v) {
+  if (v.empty()) return std::string(kUnset);
+  return escape_field(v, false);
+}
+
+std::string format_vector(const std::vector<std::string>& values) {
+  if (values.empty()) return std::string(kEmptySet);
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out.push_back(',');
+    out += escape_field(values[i], true);
+  }
+  return out;
+}
+
+std::string format_time(util::UnixSeconds ts) {
+  return std::to_string(ts) + ".000000";
+}
+
+void write_header(std::ostream& out, std::string_view path,
+                  std::string_view fields, std::string_view types) {
+  out << "#separator \\x09\n"
+      << "#set_separator\t,\n"
+      << "#empty_field\t(empty)\n"
+      << "#unset_field\t-\n"
+      << "#path\t" << path << "\n"
+      << "#fields\t" << fields << "\n"
+      << "#types\t" << types << "\n";
+}
+
+std::vector<std::string> split(std::string_view line, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t next = line.find(sep, pos);
+    if (next == std::string_view::npos) {
+      out.emplace_back(line.substr(pos));
+      break;
+    }
+    out.emplace_back(line.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::vector<std::string> parse_vector(std::string_view field) {
+  std::vector<std::string> out;
+  if (field == kUnset || field == kEmptySet || field.empty()) return out;
+  for (const auto& part : split(field, ',')) {
+    out.push_back(unescape_field(part));
+  }
+  return out;
+}
+
+std::string parse_scalar(std::string_view field) {
+  if (field == kUnset) return {};
+  return unescape_field(field);
+}
+
+std::optional<util::UnixSeconds> parse_time(std::string_view field) {
+  const std::size_t dot = field.find('.');
+  const std::string_view secs =
+      dot == std::string_view::npos ? field : field.substr(0, dot);
+  util::UnixSeconds v = 0;
+  const auto [p, ec] = std::from_chars(secs.data(), secs.data() + secs.size(), v);
+  if (ec != std::errc{} || p != secs.data() + secs.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<int> parse_int(std::string_view field) {
+  if (field == kUnset) return 0;
+  int v = 0;
+  const auto [p, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), v);
+  if (ec != std::errc{} || p != field.data() + field.size()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Reads header + rows, returning the column map and data lines.
+struct RawLog {
+  std::map<std::string, std::size_t> columns;
+  std::vector<std::vector<std::string>> rows;
+};
+
+std::optional<RawLog> read_raw(std::istream& in, LogParseError* error) {
+  RawLog raw;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (line.rfind("#fields\t", 0) == 0) {
+        const auto names = split(std::string_view(line).substr(8), '\t');
+        for (std::size_t i = 0; i < names.size(); ++i) {
+          raw.columns[names[i]] = i;
+        }
+      }
+      continue;
+    }
+    auto fields = split(line, kSep);
+    if (!raw.columns.empty() && fields.size() != raw.columns.size()) {
+      if (error) *error = {line_no, "field count mismatch"};
+      return std::nullopt;
+    }
+    raw.rows.push_back(std::move(fields));
+  }
+  if (raw.columns.empty()) {
+    if (error) *error = {0, "missing #fields header"};
+    return std::nullopt;
+  }
+  return raw;
+}
+
+class RowView {
+ public:
+  RowView(const RawLog& raw, const std::vector<std::string>& row)
+      : raw_(raw), row_(row) {}
+
+  std::optional<std::string_view> get(std::string_view name) const {
+    const auto it = raw_.columns.find(std::string(name));
+    if (it == raw_.columns.end()) return std::nullopt;
+    return std::string_view(row_[it->second]);
+  }
+
+ private:
+  const RawLog& raw_;
+  const std::vector<std::string>& row_;
+};
+
+}  // namespace
+
+void write_ssl_log(std::ostream& out, const std::vector<SslRecord>& records) {
+  write_header(out, "ssl",
+               "ts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tversion"
+               "\tserver_name\testablished\tcert_chain_fuids"
+               "\tclient_cert_chain_fuids",
+               "time\tstring\taddr\tport\taddr\tport\tstring\tstring\tbool"
+               "\tvector[string]\tvector[string]");
+  for (const auto& r : records) {
+    out << format_time(r.ts) << kSep << format_scalar(r.uid) << kSep
+        << format_scalar(r.orig_h) << kSep << r.orig_p << kSep
+        << format_scalar(r.resp_h) << kSep << r.resp_p << kSep
+        << format_scalar(r.version) << kSep << format_scalar(r.server_name)
+        << kSep << (r.established ? "T" : "F") << kSep
+        << format_vector(r.cert_chain_fuids) << kSep
+        << format_vector(r.client_cert_chain_fuids) << "\n";
+  }
+}
+
+void write_x509_log(std::ostream& out, const Dataset& dataset) {
+  write_header(
+      out, "x509",
+      "fuid\tcertificate.version\tcertificate.serial\tcertificate.subject"
+      "\tcertificate.issuer\tcertificate.not_valid_before"
+      "\tcertificate.not_valid_after\tcertificate.key_alg"
+      "\tcertificate.key_length\tsan.dns\tsan.email\tsan.uri\tsan.ip"
+      "\tcert_der",
+      "string\tcount\tstring\tstring\tstring\ttime\ttime\tstring\tcount"
+      "\tvector[string]\tvector[string]\tvector[string]\tvector[string]"
+      "\tstring");
+  for (const auto& [fuid, r] : dataset.x509()) {
+    out << format_scalar(fuid) << kSep << r.version << kSep
+        << format_scalar(r.serial) << kSep << format_scalar(r.subject) << kSep
+        << format_scalar(r.issuer) << kSep << format_time(r.not_valid_before)
+        << kSep << format_time(r.not_valid_after) << kSep
+        << format_scalar(r.key_alg) << kSep << r.key_length << kSep
+        << format_vector(r.san_dns) << kSep << format_vector(r.san_email)
+        << kSep << format_vector(r.san_uri) << kSep
+        << format_vector(r.san_ip) << kSep
+        << format_scalar(r.cert_der_base64) << "\n";
+  }
+}
+
+std::optional<std::vector<SslRecord>> parse_ssl_log(std::istream& in,
+                                                    LogParseError* error) {
+  const auto raw = read_raw(in, error);
+  if (!raw) return std::nullopt;
+  for (const char* required :
+       {"ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p"}) {
+    if (!raw->columns.contains(required)) {
+      if (error) *error = {0, std::string("missing field ") + required};
+      return std::nullopt;
+    }
+  }
+  std::vector<SslRecord> out;
+  out.reserve(raw->rows.size());
+  for (std::size_t i = 0; i < raw->rows.size(); ++i) {
+    const RowView row(*raw, raw->rows[i]);
+    SslRecord r;
+    const auto ts = parse_time(*row.get("ts"));
+    const auto orig_p = parse_int(*row.get("id.orig_p"));
+    const auto resp_p = parse_int(*row.get("id.resp_p"));
+    if (!ts || !orig_p || !resp_p) {
+      if (error) *error = {i + 1, "bad numeric field"};
+      return std::nullopt;
+    }
+    r.ts = *ts;
+    r.uid = parse_scalar(*row.get("uid"));
+    r.orig_h = parse_scalar(*row.get("id.orig_h"));
+    r.orig_p = static_cast<std::uint16_t>(*orig_p);
+    r.resp_h = parse_scalar(*row.get("id.resp_h"));
+    r.resp_p = static_cast<std::uint16_t>(*resp_p);
+    if (const auto v = row.get("version")) r.version = parse_scalar(*v);
+    if (const auto v = row.get("server_name")) r.server_name = parse_scalar(*v);
+    if (const auto v = row.get("established")) r.established = (*v == "T");
+    if (const auto v = row.get("cert_chain_fuids")) {
+      r.cert_chain_fuids = parse_vector(*v);
+    }
+    if (const auto v = row.get("client_cert_chain_fuids")) {
+      r.client_cert_chain_fuids = parse_vector(*v);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::optional<std::vector<X509Record>> parse_x509_log(std::istream& in,
+                                                      LogParseError* error) {
+  const auto raw = read_raw(in, error);
+  if (!raw) return std::nullopt;
+  if (!raw->columns.contains("fuid")) {
+    if (error) *error = {0, "missing field fuid"};
+    return std::nullopt;
+  }
+  std::vector<X509Record> out;
+  out.reserve(raw->rows.size());
+  for (std::size_t i = 0; i < raw->rows.size(); ++i) {
+    const RowView row(*raw, raw->rows[i]);
+    X509Record r;
+    r.fuid = parse_scalar(*row.get("fuid"));
+    if (const auto v = row.get("certificate.version")) {
+      const auto n = parse_int(*v);
+      if (!n) {
+        if (error) *error = {i + 1, "bad certificate.version"};
+        return std::nullopt;
+      }
+      r.version = *n;
+    }
+    if (const auto v = row.get("certificate.serial")) r.serial = parse_scalar(*v);
+    if (const auto v = row.get("certificate.subject")) {
+      r.subject = parse_scalar(*v);
+    }
+    if (const auto v = row.get("certificate.issuer")) r.issuer = parse_scalar(*v);
+    if (const auto v = row.get("certificate.not_valid_before")) {
+      const auto t = parse_time(*v);
+      if (!t) {
+        if (error) *error = {i + 1, "bad not_valid_before"};
+        return std::nullopt;
+      }
+      r.not_valid_before = *t;
+    }
+    if (const auto v = row.get("certificate.not_valid_after")) {
+      const auto t = parse_time(*v);
+      if (!t) {
+        if (error) *error = {i + 1, "bad not_valid_after"};
+        return std::nullopt;
+      }
+      r.not_valid_after = *t;
+    }
+    if (const auto v = row.get("certificate.key_alg")) {
+      r.key_alg = parse_scalar(*v);
+    }
+    if (const auto v = row.get("certificate.key_length")) {
+      const auto n = parse_int(*v);
+      if (!n) {
+        if (error) *error = {i + 1, "bad key_length"};
+        return std::nullopt;
+      }
+      r.key_length = *n;
+    }
+    if (const auto v = row.get("san.dns")) r.san_dns = parse_vector(*v);
+    if (const auto v = row.get("san.email")) r.san_email = parse_vector(*v);
+    if (const auto v = row.get("san.uri")) r.san_uri = parse_vector(*v);
+    if (const auto v = row.get("san.ip")) r.san_ip = parse_vector(*v);
+    if (const auto v = row.get("cert_der")) {
+      r.cert_der_base64 = parse_scalar(*v);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string ssl_log_to_string(const std::vector<SslRecord>& records) {
+  std::ostringstream out;
+  write_ssl_log(out, records);
+  return out.str();
+}
+
+std::string x509_log_to_string(const Dataset& dataset) {
+  std::ostringstream out;
+  write_x509_log(out, dataset);
+  return out.str();
+}
+
+std::optional<Dataset> parse_dataset(std::istream& ssl_in,
+                                     std::istream& x509_in,
+                                     LogParseError* error) {
+  auto ssl = parse_ssl_log(ssl_in, error);
+  if (!ssl) return std::nullopt;
+  auto x509 = parse_x509_log(x509_in, error);
+  if (!x509) return std::nullopt;
+  Dataset dataset;
+  for (auto& record : *x509) dataset.add_x509(std::move(record));
+  for (auto& record : *ssl) dataset.add_ssl(std::move(record));
+  return dataset;
+}
+
+}  // namespace mtlscope::zeek

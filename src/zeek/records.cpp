@@ -1,0 +1,80 @@
+#include "mtlscope/zeek/records.hpp"
+
+#include "mtlscope/crypto/encoding.hpp"
+
+namespace mtlscope::zeek {
+
+std::string fuid_of(const x509::Certificate& cert) {
+  const std::string hex = cert.fingerprint_hex();
+  return "F" + hex.substr(0, 17);
+}
+
+X509Record to_x509_record(const x509::Certificate& cert) {
+  X509Record rec;
+  rec.fuid = fuid_of(cert);
+  rec.version = cert.version;
+  rec.serial = cert.serial_hex();
+  rec.subject = cert.subject.to_string();
+  rec.issuer = cert.issuer.to_string();
+  rec.not_valid_before = cert.validity.not_before;
+  rec.not_valid_after = cert.validity.not_after;
+  rec.key_alg = cert.spki_algorithm == asn1::oids::alg_rsa_encryption()
+                    ? "rsaEncryption"
+                    : cert.spki_algorithm.to_string();
+  rec.key_length = static_cast<int>(cert.key_bits());
+  for (const auto& entry : cert.san) {
+    switch (entry.type) {
+      case x509::SanEntry::Type::kDns:
+        rec.san_dns.push_back(entry.value);
+        break;
+      case x509::SanEntry::Type::kEmail:
+        rec.san_email.push_back(entry.value);
+        break;
+      case x509::SanEntry::Type::kUri:
+        rec.san_uri.push_back(entry.value);
+        break;
+      case x509::SanEntry::Type::kIp:
+        rec.san_ip.push_back(entry.value);
+        break;
+      case x509::SanEntry::Type::kOther:
+        break;
+    }
+  }
+  rec.cert_der_base64 = crypto::to_base64(cert.der);
+  return rec;
+}
+
+void Dataset::add_connection(const tls::TlsConnection& conn) {
+  SslRecord rec;
+  rec.ts = conn.timestamp;
+  rec.uid = conn.uid;
+  rec.orig_h = conn.client.addr.to_string();
+  rec.orig_p = conn.client.port;
+  rec.resp_h = conn.server.addr.to_string();
+  rec.resp_p = conn.server.port;
+  rec.version = std::string(tls::version_name(conn.version));
+  rec.server_name = conn.sni;
+  rec.established = conn.established;
+  for (const auto& cert : conn.server_chain) {
+    const std::string fuid = fuid_of(cert);
+    rec.cert_chain_fuids.push_back(fuid);
+    if (!x509_.contains(fuid)) x509_.emplace(fuid, to_x509_record(cert));
+  }
+  for (const auto& cert : conn.client_chain) {
+    const std::string fuid = fuid_of(cert);
+    rec.client_cert_chain_fuids.push_back(fuid);
+    if (!x509_.contains(fuid)) x509_.emplace(fuid, to_x509_record(cert));
+  }
+  ssl_.push_back(std::move(rec));
+}
+
+const X509Record* Dataset::find_certificate(const std::string& fuid) const {
+  const auto it = x509_.find(fuid);
+  return it == x509_.end() ? nullptr : &it->second;
+}
+
+void Dataset::add_x509(X509Record record) {
+  x509_.emplace(record.fuid, std::move(record));
+}
+
+}  // namespace mtlscope::zeek

@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/report.hpp"
+#include "mtlscope/tls/handshake.hpp"
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/trust/public_cas.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+using util::to_unix;
+
+const trust::CertificateAuthority& test_ca() {
+  static const auto ca = [] {
+    x509::DistinguishedName dn;
+    dn.add_org("Analyzer Test Org").add_cn("Analyzer Test CA");
+    return trust::CertificateAuthority::make_root(
+        dn, 0, to_unix({2040, 1, 1, 0, 0, 0}));
+  }();
+  return ca;
+}
+
+x509::Certificate make_cert(
+    const std::string& cn, const std::string& serial_hex = "",
+    util::UnixSeconds nb = to_unix({2022, 6, 1, 0, 0, 0}),
+    util::UnixSeconds na = to_unix({2024, 6, 1, 0, 0, 0})) {
+  x509::DistinguishedName dn;
+  dn.add_cn(cn);
+  x509::CertificateBuilder builder;
+  builder.subject(dn).validity(nb, na).public_key(
+      crypto::TsigKey::derive("at:" + cn).key);
+  if (serial_hex.empty()) {
+    builder.serial_from_label("at:" + cn);
+  } else {
+    builder.serial_hex(serial_hex);
+  }
+  return test_ca().issue(builder);
+}
+
+struct Harness {
+  Pipeline pipeline{PipelineConfig::campus_defaults()};
+
+  void feed(const std::string& client_ip, const std::string& server_ip,
+            const x509::Certificate* server_cert,
+            const x509::Certificate* client_cert, const std::string& sni,
+            util::UnixSeconds ts, std::uint16_t port = 443) {
+    tls::ClientProfile client;
+    client.endpoint = {*net::IpAddress::parse(client_ip), 50000};
+    if (!sni.empty()) client.sni = sni;
+    if (client_cert != nullptr) client.chain = {*client_cert};
+    tls::ServerProfile server;
+    server.endpoint = {*net::IpAddress::parse(server_ip), port};
+    if (server_cert != nullptr) server.chain = {*server_cert};
+    server.request_client_certificate = client_cert != nullptr;
+    pipeline.feed(tls::simulate_handshake(client, server, {"Ch", ts, ts}));
+  }
+};
+
+const util::UnixSeconds kT1 = to_unix({2022, 7, 1, 0, 0, 0});
+const util::UnixSeconds kT2 = to_unix({2023, 7, 1, 0, 0, 0});
+
+TEST(PrevalenceAnalyzer, MonthlyBuckets) {
+  Harness h;
+  PrevalenceAnalyzer prevalence;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { prevalence.observe(c); });
+  const auto server = make_cert("prev-server");
+  const auto client = make_cert("prev-client");
+  h.feed("10.0.0.1", "198.51.100.1", &server, &client, "a.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &server, nullptr, "a.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &server, &client, "a.example.com", kT2);
+  const auto series = prevalence.series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].total, 2u);
+  EXPECT_EQ(series[0].mutual, 1u);
+  EXPECT_NEAR(series[0].mutual_pct(), 50.0, 1e-9);
+  EXPECT_EQ(series[1].total, 1u);
+  EXPECT_EQ(series[1].mutual_outbound, 1u);
+  EXPECT_EQ(util::month_label(series[0].month_index), "2022-07");
+}
+
+TEST(ServicePortAnalyzer, QuadrantsAndGlobusRange) {
+  Harness h;
+  ServicePortAnalyzer ports;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { ports.observe(c); });
+  const auto server = make_cert("port-server");
+  const auto client = make_cert("port-client");
+  for (int i = 0; i < 6; ++i) {
+    h.feed("203.0.113.9", "128.143.1.1", &server, &client, "x.brexample.edu",
+           kT1, 443);
+  }
+  h.feed("203.0.113.9", "128.143.1.1", &server, &client, "x.brexample.edu",
+         kT1, 50123);
+  h.feed("203.0.113.9", "128.143.1.1", &server, &client, "x.brexample.edu",
+         kT1, 50999);
+  h.feed("10.0.0.1", "198.51.100.1", &server, nullptr, "y.example.com", kT1,
+         443);
+  const auto in_mutual = ports.top(Direction::kInbound, true);
+  ASSERT_GE(in_mutual.size(), 2u);
+  EXPECT_EQ(in_mutual[0].port_label, "443");
+  EXPECT_NEAR(in_mutual[0].share, 75.0, 1e-9);
+  EXPECT_EQ(in_mutual[1].port_label, "50000-51000");
+  EXPECT_EQ(in_mutual[1].service, "Corp. - Globus");
+  const auto out_non = ports.top(Direction::kOutbound, false);
+  ASSERT_EQ(out_non.size(), 1u);
+  EXPECT_EQ(out_non[0].connections, 1u);
+}
+
+TEST(DummyIssuerAnalyzer, DetectsDummyClientAndServer) {
+  Harness h;
+  DummyIssuerAnalyzer dummies;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { dummies.observe(c); });
+
+  x509::DistinguishedName widgits_dn;
+  widgits_dn.add_country("AU").add_org("Internet Widgits Pty Ltd");
+  const auto widgits = trust::CertificateAuthority::make_root(
+      widgits_dn, 0, to_unix({2040, 1, 1, 0, 0, 0}));
+  x509::DistinguishedName leaf_dn;
+  leaf_dn.add_cn("testcert");
+  const auto dummy_leaf =
+      widgits.issue(x509::CertificateBuilder()
+                        .serial_hex("00")
+                        .subject(leaf_dn)
+                        .validity(0, to_unix({2030, 1, 1, 0, 0, 0}))
+                        .public_key(crypto::TsigKey::derive("dl").key));
+  const auto normal = make_cert("normal-server");
+
+  // Dummy client against a normal server, outbound.
+  h.feed("10.0.0.1", "198.51.100.1", &normal, &dummy_leaf, "svc.example.com",
+         kT1);
+  // Dummy on BOTH ends.
+  h.feed("10.0.0.2", "198.51.100.2", &dummy_leaf, &dummy_leaf,
+         "fireboard.io", kT1);
+
+  const auto rows = dummies.rows();
+  ASSERT_GE(rows.size(), 2u);
+  bool client_row = false, server_row = false;
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.dummy_org, "Internet Widgits Pty Ltd");
+    client_row |= row.client_side;
+    server_row |= !row.client_side;
+  }
+  EXPECT_TRUE(client_row);
+  EXPECT_TRUE(server_row);
+
+  const auto both = dummies.both_ends_rows();
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0].sld, "fireboard.io");
+  EXPECT_EQ(both[0].client_org, "Internet Widgits Pty Ltd");
+}
+
+TEST(SerialCollisionAnalyzer, GroupsByIssuerAndSerial) {
+  Harness h;
+  SerialCollisionAnalyzer serials;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { serials.observe(c); });
+  const auto s1 = make_cert("serial-a", "00");
+  const auto s2 = make_cert("serial-b", "00");
+  const auto c1 = make_cert("serial-c", "00");
+  h.feed("10.0.0.1", "198.51.100.1", &s1, &c1, "a.example.com", kT1);
+  h.feed("10.0.0.2", "198.51.100.1", &s2, &c1, "a.example.com", kT1);
+  const auto groups = serials.collision_groups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].serial, "00");
+  EXPECT_EQ(groups[0].server_certs.size(), 2u);
+  EXPECT_EQ(groups[0].client_certs.size(), 1u);
+  EXPECT_EQ(groups[0].clients.size(), 2u);
+  EXPECT_EQ(serials.involved_clients(Direction::kOutbound), 2u);
+  EXPECT_EQ(serials.involved_clients(Direction::kInbound), 0u);
+}
+
+TEST(SerialCollisionAnalyzer, UniqueSerialsIgnored) {
+  Harness h;
+  SerialCollisionAnalyzer serials;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { serials.observe(c); });
+  const auto s1 = make_cert("uniq-a");  // 16-byte random serial
+  const auto s2 = make_cert("uniq-b");
+  h.feed("10.0.0.1", "198.51.100.1", &s1, &s2, "a.example.com", kT1);
+  EXPECT_TRUE(serials.collision_groups().empty());
+}
+
+TEST(SharedCertAnalyzer, SameConnectionDetection) {
+  Harness h;
+  SharedCertAnalyzer shared;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { shared.observe(c); });
+  const auto cert = make_cert("shared-one");
+  const auto other = make_cert("shared-other");
+  h.feed("10.0.0.1", "198.51.100.1", &cert, &cert, "dup.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &cert, &cert, "dup.example.com", kT2);
+  h.feed("10.0.0.1", "198.51.100.1", &cert, &other, "dup.example.com", kT1);
+  const auto rows = shared.same_connection_rows();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].sld, "example.com");
+  EXPECT_EQ(rows[0].connections, 2u);
+  EXPECT_NEAR(rows[0].duration_days(), 365.0, 1.0);
+  EXPECT_EQ(shared.same_connection_conns(Direction::kOutbound), 2u);
+}
+
+TEST(SharedCertAnalyzer, SubnetQuantilesExcludeSameConn) {
+  Harness h;
+  SharedCertAnalyzer shared;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { shared.observe(c); });
+  const auto cross = make_cert("cross-cert");
+  const auto partner = make_cert("cross-partner");
+  const auto same = make_cert("same-cert");
+  // cross-cert: server in one conn, client in another (distinct conns).
+  h.feed("10.0.0.1", "198.51.100.1", &cross, &partner, "a.example.com", kT1);
+  h.feed("10.1.0.1", "198.51.100.2", &partner, &cross, "a.example.com", kT1);
+  h.feed("10.2.0.1", "198.51.100.2", &partner, &cross, "a.example.com", kT1);
+  // same-cert: both ends of one conn → excluded from Table 6.
+  h.feed("10.0.0.9", "198.51.100.9", &same, &same, "b.example.com", kT1);
+  const auto q = shared.subnet_quantiles(h.pipeline);
+  EXPECT_EQ(q.cross_shared_certs, 2u);  // cross-cert and partner
+  EXPECT_GE(q.client[3], 2u);           // cross used from two /24s as client
+}
+
+TEST(IncorrectDateAnalyzer, DetectsAndGroups) {
+  Harness h;
+  IncorrectDateAnalyzer dates;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { dates.observe(c); });
+  const auto wrong_client = make_cert("idrive-client", "",
+                                      to_unix({2019, 8, 2, 0, 0, 0}),
+                                      to_unix({1849, 10, 24, 0, 0, 0}));
+  const auto wrong_server = make_cert("idrive-server", "",
+                                      to_unix({2020, 7, 3, 0, 0, 0}),
+                                      to_unix({1850, 9, 25, 0, 0, 0}));
+  const auto normal = make_cert("normal");
+  h.feed("10.0.0.1", "198.51.100.1", &wrong_server, &wrong_client,
+         "idrive.com", kT1);
+  h.feed("10.0.0.2", "198.51.100.1", &normal, &wrong_client, "idrive.com",
+         kT2);
+  const auto rows = dates.rows();
+  ASSERT_EQ(rows.size(), 2u);  // client row and server row
+  const auto both = dates.both_ends_rows();
+  ASSERT_EQ(both.size(), 1u);
+  EXPECT_EQ(both[0].sld, "idrive.com");
+  EXPECT_EQ(both[0].clients.size(), 1u);
+  bool found_client_row = false;
+  for (const auto& row : rows) {
+    if (row.client_side) {
+      found_client_row = true;
+      EXPECT_EQ(row.clients.size(), 2u);
+      EXPECT_EQ(util::from_unix(row.not_after).year, 1849);
+    }
+  }
+  EXPECT_TRUE(found_client_row);
+}
+
+TEST(CertInventory, CountsRolesAndMutual) {
+  Harness h;
+  const auto server = make_cert("inv-server");
+  const auto client = make_cert("inv-client");
+  const auto lonely = make_cert("inv-nonmutual");
+  h.feed("10.0.0.1", "198.51.100.1", &server, &client, "a.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &lonely, nullptr, "b.example.com", kT1);
+  const auto result = analyze_cert_inventory(h.pipeline);
+  EXPECT_EQ(result.total.total, 3u);
+  EXPECT_EQ(result.total.mutual, 2u);
+  EXPECT_EQ(result.server.total, 2u);
+  EXPECT_EQ(result.client.total, 1u);
+  EXPECT_EQ(result.client_private.total, 1u);
+  EXPECT_EQ(result.client_private.mutual, 1u);
+  EXPECT_NEAR(result.server.mutual_pct(), 50.0, 1e-9);
+}
+
+TEST(Utilization, ScopesAreDisjoint) {
+  Harness h;
+  const auto server = make_cert("ut-server");
+  const auto client = make_cert("ut-client");
+  const auto shared_cert = make_cert("ut-shared");
+  const auto nonmutual = make_cert("ut-nonmutual");
+  h.feed("10.0.0.1", "198.51.100.1", &server, &client, "a.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &shared_cert, &shared_cert,
+         "b.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &nonmutual, nullptr, "c.example.com",
+         kT1);
+  const auto mutual = analyze_utilization(h.pipeline, CertScope::kMutual);
+  const auto shared = analyze_utilization(h.pipeline, CertScope::kShared);
+  const auto nonmut = analyze_utilization(h.pipeline, CertScope::kNonMutual);
+  EXPECT_EQ(mutual.all.total, 3u);  // server, client, shared (all mutual)
+  EXPECT_EQ(shared.all.total, 1u);
+  EXPECT_EQ(nonmut.all.total, 1u);
+  EXPECT_EQ(mutual.all.cn, 3u);  // every cert here has a CN
+}
+
+TEST(InfoTypes, SharedExcludedFromMutualScope) {
+  Harness h;
+  const auto server = make_cert("it-server");
+  const auto client = make_cert("it-client");
+  const auto shared_cert = make_cert("it-shared");
+  h.feed("10.0.0.1", "198.51.100.1", &server, &client, "a.example.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &shared_cert, &shared_cert,
+         "b.example.com", kT1);
+  const auto mutual = analyze_info_types(h.pipeline, CertScope::kMutual);
+  const auto shared = analyze_info_types(h.pipeline, CertScope::kShared);
+  // Mutual scope: one server CN + one client CN; shared cert not counted.
+  EXPECT_EQ(mutual.cells[0][1].cn_total, 1u);
+  EXPECT_EQ(mutual.cells[1][1].cn_total, 1u);
+  EXPECT_EQ(shared.cells[0][1].cn_total, 1u);
+}
+
+TEST(ExpiredAnalyzer, ComputesDaysExpiredAndActivity) {
+  Harness h;
+  const auto server = make_cert("ex-server");
+  const auto expired = make_cert("ex-client", "", to_unix({2020, 1, 1, 0, 0, 0}),
+                                 to_unix({2022, 1, 1, 0, 0, 0}));
+  h.feed("10.0.0.1", "198.51.100.1", &server, &expired, "apple.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &server, &expired, "apple.com", kT2);
+  const auto result = analyze_expired(h.pipeline);
+  ASSERT_EQ(result.outbound.size(), 1u);
+  EXPECT_TRUE(result.inbound.empty());
+  EXPECT_NEAR(result.outbound[0].days_expired_at_first_use, 181.0, 1.5);
+  EXPECT_NEAR(result.outbound[0].activity_days, 365.0, 1.0);
+}
+
+TEST(OutboundFlow, FlowsAndStatistics) {
+  Harness h;
+  OutboundFlowAnalyzer flows;
+  h.pipeline.add_observer(
+      [&](const EnrichedConnection& c) { flows.observe(c); });
+  const auto pub_server = [] {
+    x509::DistinguishedName dn;
+    dn.add_cn("pub.example.com");
+    return trust::public_pki().find("amazon")->intermediate.issue(
+        x509::CertificateBuilder()
+            .serial_from_label("flow-pub")
+            .subject(dn)
+            .validity(to_unix({2022, 6, 1, 0, 0, 0}),
+                      to_unix({2024, 6, 1, 0, 0, 0}))
+            .public_key(crypto::TsigKey::derive("flow-pub").key)
+            .add_san_dns("pub.example.com"));
+  }();
+  const auto client = make_cert("flow-client");
+  // 3 outbound mutual conns with SNI, 1 without, 1 inbound (ignored).
+  h.feed("10.0.0.1", "198.51.100.1", &pub_server, &client,
+         "svc.amazonaws.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &pub_server, &client,
+         "svc.amazonaws.com", kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &pub_server, &client, "api.rapid7.com",
+         kT1);
+  h.feed("10.0.0.1", "198.51.100.1", &pub_server, &client, "", kT1);
+  h.feed("203.0.113.9", "128.143.1.1", &pub_server, &client,
+         "x.brexample.edu", kT1);
+
+  const auto slds = flows.top_slds(5);
+  ASSERT_EQ(slds.size(), 2u);
+  EXPECT_EQ(slds[0].first, "amazonaws.com");
+  EXPECT_NEAR(slds[0].second, 66.67, 0.1);
+  EXPECT_EQ(slds[1].first, "rapid7.com");
+
+  const auto top = flows.top_flows();
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].tld, "com");
+  EXPECT_EQ(top[0].server_class, trust::IssuerClass::kPublic);
+  // The private client issuer has no known organization category match.
+  EXPECT_NE(top[0].client_category, IssuerCategory::kPublic);
+}
+
+TEST(Tracking, RanksPersistentIdentifiers) {
+  Harness h;
+  const auto server = make_cert("trk-server");
+  const auto sticky = make_cert("trk-sticky");   // reused, cross-network
+  const auto oneoff = make_cert("trk-oneoff");
+  h.feed("10.0.1.1", "198.51.100.1", &server, &sticky, "a.example.com", kT1);
+  h.feed("10.0.2.1", "198.51.100.1", &server, &sticky, "a.example.com", kT2);
+  h.feed("10.0.3.1", "198.51.100.1", &server, &oneoff, "a.example.com", kT1);
+  const auto result = analyze_tracking(h.pipeline);
+  EXPECT_EQ(result.client_certs, 2u);
+  EXPECT_EQ(result.reused, 1u);
+  EXPECT_EQ(result.cross_network, 1u);
+  EXPECT_EQ(result.half_year_plus, 1u);  // kT1..kT2 is a year
+  ASSERT_FALSE(result.most_trackable.empty());
+  EXPECT_EQ(result.most_trackable[0].connections, 2u);
+  EXPECT_EQ(result.most_trackable[0].subnets, 2u);
+}
+
+TEST(Tracking, PiiLongLivedWorstCase) {
+  Harness h;
+  const auto server = make_cert("trk2-server");
+  const auto named = make_cert("John Smith");
+  h.feed("10.0.1.1", "198.51.100.1", &server, &named, "a.example.com", kT1);
+  h.feed("10.0.1.1", "198.51.100.1", &server, &named, "a.example.com", kT2);
+  const auto result = analyze_tracking(h.pipeline);
+  EXPECT_EQ(result.long_lived_with_pii, 1u);
+}
+
+TEST(Renewal, DetectsSequentialChains) {
+  Harness h;
+  const auto server = make_cert("rn-server");
+  // Device "printer-7" renewed three times, back to back.
+  const auto g1 = make_cert("printer-7", "", to_unix({2022, 6, 1, 0, 0, 0}),
+                            to_unix({2022, 12, 1, 0, 0, 0}));
+  // Same CN/issuer but different keys → different fingerprints: vary the
+  // serial label through the CN-based key derivation by reusing make_cert
+  // with identical CN needs distinct certs; build manually:
+  const auto renew = [&](const char* label, util::UnixSeconds nb,
+                         util::UnixSeconds na) {
+    x509::DistinguishedName dn;
+    dn.add_cn("printer-7");
+    return test_ca().issue(x509::CertificateBuilder()
+                               .serial_from_label(label)
+                               .subject(dn)
+                               .validity(nb, na)
+                               .public_key(
+                                   crypto::TsigKey::derive(label).key));
+  };
+  const auto g2 = renew("rn-2", to_unix({2022, 12, 1, 0, 0, 0}),
+                        to_unix({2023, 6, 1, 0, 0, 0}));
+  const auto g3 = renew("rn-3", to_unix({2023, 6, 15, 0, 0, 0}),  // 14d gap
+                        to_unix({2023, 12, 1, 0, 0, 0}));
+  h.feed("10.0.0.1", "198.51.100.1", &server, &g1, "a.example.com",
+         to_unix({2022, 7, 1, 0, 0, 0}));
+  h.feed("10.0.0.1", "198.51.100.1", &server, &g2, "a.example.com",
+         to_unix({2023, 1, 1, 0, 0, 0}));
+  h.feed("10.0.0.1", "198.51.100.1", &server, &g3, "a.example.com",
+         to_unix({2023, 7, 1, 0, 0, 0}));
+  const auto result = analyze_renewals(h.pipeline);
+  EXPECT_EQ(result.chains, 1u);
+  EXPECT_EQ(result.certificates_in_chains, 3u);
+  EXPECT_EQ(result.seamless, 1u);
+  EXPECT_EQ(result.gap, 1u);
+  ASSERT_FALSE(result.top_issuers.empty());
+  EXPECT_EQ(result.top_issuers[0].issuer, "Analyzer Test Org");
+}
+
+TEST(Renewal, GenericCnReuseIsNotARenewal) {
+  Harness h;
+  const auto server = make_cert("rr-server");
+  // Two unrelated certs named "WebRTC" with heavily overlapping windows.
+  const auto make_webrtc = [&](const char* label) {
+    x509::DistinguishedName dn;
+    dn.add_cn("WebRTC");
+    return test_ca().issue(x509::CertificateBuilder()
+                               .serial_from_label(label)
+                               .subject(dn)
+                               .validity(to_unix({2022, 6, 1, 0, 0, 0}) +
+                                             (label[2] - '0') * 86'400,
+                                         to_unix({2024, 6, 1, 0, 0, 0}))
+                               .public_key(
+                                   crypto::TsigKey::derive(label).key));
+  };
+  const auto w1 = make_webrtc("rr1");
+  const auto w2 = make_webrtc("rr2");
+  h.feed("10.0.0.1", "198.51.100.1", &server, &w1, "a.example.com", kT1);
+  h.feed("10.0.0.2", "198.51.100.1", &server, &w2, "a.example.com", kT1);
+  const auto result = analyze_renewals(h.pipeline);
+  EXPECT_EQ(result.chains, 0u);
+  EXPECT_EQ(result.cn_reuse_groups, 1u);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable table({"A", "Long header"});
+  table.add_row({"x", "1"});
+  table.add_row({"yyyy", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("A     Long header"), std::string::npos);
+  EXPECT_NE(out.find("yyyy  22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(1, 4), "25.00%");
+  EXPECT_EQ(format_percent(1, 0), "-");
+}
+
+}  // namespace
+}  // namespace mtlscope::core

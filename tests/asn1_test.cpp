@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/asn1/der.hpp"
+#include "mtlscope/asn1/oid.hpp"
+
+namespace mtlscope::asn1 {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (const int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+// --- Oid ---------------------------------------------------------------------
+
+TEST(Oid, ParseAndToString) {
+  const auto oid = Oid::parse("2.5.4.3");
+  ASSERT_TRUE(oid.has_value());
+  EXPECT_EQ(oid->to_string(), "2.5.4.3");
+  EXPECT_EQ(*oid, oids::common_name());
+}
+
+TEST(Oid, ParseRejectsMalformed) {
+  EXPECT_FALSE(Oid::parse("").has_value());
+  EXPECT_FALSE(Oid::parse("1").has_value());       // needs two arcs
+  EXPECT_FALSE(Oid::parse("1.").has_value());
+  EXPECT_FALSE(Oid::parse(".1.2").has_value());
+  EXPECT_FALSE(Oid::parse("1..2").has_value());
+  EXPECT_FALSE(Oid::parse("1.2x").has_value());
+  EXPECT_FALSE(Oid::parse("3.1").has_value());     // first arc <= 2
+  EXPECT_FALSE(Oid::parse("1.40").has_value());    // second arc <= 39
+}
+
+TEST(Oid, Ordering) {
+  EXPECT_LT(Oid({2, 5, 4, 3}), Oid({2, 5, 4, 10}));
+  EXPECT_LT(Oid({1, 2}), Oid({2, 5}));
+}
+
+// --- Writer/Reader round-trips -------------------------------------------------
+
+TEST(Der, IntegerKnownEncodings) {
+  DerWriter w;
+  w.integer(0);
+  EXPECT_EQ(w.bytes(), bytes({0x02, 0x01, 0x00}));
+
+  DerWriter w2;
+  w2.integer(127);
+  EXPECT_EQ(w2.bytes(), bytes({0x02, 0x01, 0x7f}));
+
+  DerWriter w3;
+  w3.integer(128);
+  EXPECT_EQ(w3.bytes(), bytes({0x02, 0x02, 0x00, 0x80}));
+
+  DerWriter w4;
+  w4.integer(-1);
+  EXPECT_EQ(w4.bytes(), bytes({0x02, 0x01, 0xff}));
+
+  DerWriter w5;
+  w5.integer(-129);
+  EXPECT_EQ(w5.bytes(), bytes({0x02, 0x02, 0xff, 0x7f}));
+}
+
+class DerIntegerRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DerIntegerRoundTrip, RoundTrips) {
+  DerWriter w;
+  w.integer(GetParam());
+  DerReader r(w.bytes());
+  EXPECT_EQ(r.read().as_integer(), GetParam());
+  EXPECT_TRUE(r.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, DerIntegerRoundTrip,
+    ::testing::Values(0, 1, -1, 127, 128, 255, 256, -128, -129, 65535,
+                      -65536, 0x7fffffffLL, -0x80000000LL,
+                      0x7fffffffffffffffLL,
+                      -0x7fffffffffffffffLL - 1));
+
+TEST(Der, IntegerUnsignedAddsSignOctet) {
+  DerWriter w;
+  const auto magnitude = bytes({0x80});
+  w.integer_unsigned(magnitude);
+  EXPECT_EQ(w.bytes(), bytes({0x02, 0x02, 0x00, 0x80}));
+}
+
+TEST(Der, IntegerUnsignedStripsLeadingZeros) {
+  DerWriter w;
+  const auto magnitude = bytes({0x00, 0x00, 0x01});
+  w.integer_unsigned(magnitude);
+  EXPECT_EQ(w.bytes(), bytes({0x02, 0x01, 0x01}));
+}
+
+TEST(Der, IntegerUnsignedZero) {
+  DerWriter w;
+  w.integer_unsigned({});
+  EXPECT_EQ(w.bytes(), bytes({0x02, 0x01, 0x00}));
+}
+
+TEST(Der, BooleanRoundTrip) {
+  DerWriter w;
+  w.boolean(true);
+  w.boolean(false);
+  DerReader r(w.bytes());
+  EXPECT_TRUE(r.read().as_boolean());
+  EXPECT_FALSE(r.read().as_boolean());
+}
+
+TEST(Der, OidKnownEncoding) {
+  DerWriter w;
+  w.oid(oids::common_name());  // 2.5.4.3
+  EXPECT_EQ(w.bytes(), bytes({0x06, 0x03, 0x55, 0x04, 0x03}));
+}
+
+class DerOidRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DerOidRoundTrip, RoundTrips) {
+  const auto oid = Oid::parse(GetParam());
+  ASSERT_TRUE(oid.has_value());
+  DerWriter w;
+  w.oid(*oid);
+  DerReader r(w.bytes());
+  EXPECT_EQ(r.read().as_oid(), *oid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, DerOidRoundTrip,
+                         ::testing::Values("2.5.4.3", "1.2.840.113549.1.1.11",
+                                           "1.3.6.1.4.1.57264.1.1", "0.9",
+                                           "2.999.4294967295",
+                                           "1.0.8571.2"));
+
+TEST(Der, StringsRoundTrip) {
+  DerWriter w;
+  w.utf8_string("héllo");
+  w.printable_string("Example CA");
+  w.ia5_string("smtp.example.com");
+  DerReader r(w.bytes());
+  EXPECT_EQ(r.read().text(), "héllo");
+  EXPECT_EQ(r.read().text(), "Example CA");
+  EXPECT_EQ(r.read().text(), "smtp.example.com");
+}
+
+TEST(Der, OctetAndBitString) {
+  const auto payload = bytes({0xde, 0xad, 0xbe, 0xef});
+  DerWriter w;
+  w.octet_string(payload);
+  w.bit_string(payload);
+  DerReader r(w.bytes());
+  const auto octets = r.read();
+  EXPECT_TRUE(octets.tag.is_universal(tags::kOctetString));
+  EXPECT_EQ(std::vector<std::uint8_t>(octets.content.begin(),
+                                      octets.content.end()),
+            payload);
+  const auto bits = r.read().as_bit_string();
+  EXPECT_EQ(std::vector<std::uint8_t>(bits.begin(), bits.end()), payload);
+}
+
+TEST(Der, NestedSequences) {
+  DerWriter w;
+  w.sequence([](DerWriter& outer) {
+    outer.integer(1);
+    outer.sequence([](DerWriter& inner) { inner.integer(2); });
+  });
+  DerReader r(w.bytes());
+  const auto seq = r.read(Tag::sequence(), "outer");
+  DerReader inner(seq);
+  EXPECT_EQ(inner.read().as_integer(), 1);
+  const auto nested = inner.read(Tag::sequence(), "inner");
+  DerReader nested_r(nested);
+  EXPECT_EQ(nested_r.read().as_integer(), 2);
+}
+
+TEST(Der, LongLengthEncoding) {
+  // > 127 bytes of content forces the long length form.
+  std::vector<std::uint8_t> payload(300, 0x41);
+  DerWriter w;
+  w.octet_string(payload);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[1], 0x82);  // two length octets
+  EXPECT_EQ(w.bytes()[2], 0x01);
+  EXPECT_EQ(w.bytes()[3], 0x2c);
+  DerReader r(w.bytes());
+  EXPECT_EQ(r.read().content.size(), 300u);
+}
+
+TEST(Der, HighTagNumber) {
+  DerWriter w;
+  w.tlv(Tag::context(1234, false), bytes({0x01}));
+  DerReader r(w.bytes());
+  const auto v = r.read();
+  EXPECT_TRUE(v.tag.is_context(1234));
+  EXPECT_EQ(v.content.size(), 1u);
+}
+
+TEST(Der, ContextPrimitive) {
+  DerWriter w;
+  w.context_primitive(2, std::string_view("example.com"));
+  DerReader r(w.bytes());
+  const auto v = r.read();
+  EXPECT_TRUE(v.tag.is_context(2));
+  EXPECT_FALSE(v.tag.constructed);
+  EXPECT_EQ(v.text(), "example.com");
+}
+
+// --- Time encodings ----------------------------------------------------------
+
+TEST(DerTime, UtcTimeWindow) {
+  DerWriter w;
+  w.time(util::to_unix({2024, 3, 31, 12, 30, 45}));
+  DerReader r(w.bytes());
+  const auto v = r.read();
+  EXPECT_TRUE(v.tag.is_universal(tags::kUtcTime));
+  EXPECT_EQ(v.text(), "240331123045Z");
+  EXPECT_EQ(v.as_time(), util::to_unix({2024, 3, 31, 12, 30, 45}));
+}
+
+TEST(DerTime, UtcTimeFiftyBoundary) {
+  // YY >= 50 means 19YY.
+  DerWriter w;
+  w.time(util::to_unix({1950, 1, 1, 0, 0, 0}));
+  DerReader r(w.bytes());
+  EXPECT_EQ(r.read().as_time(), util::to_unix({1950, 1, 1, 0, 0, 0}));
+}
+
+TEST(DerTime, GeneralizedTimeForExoticYears) {
+  for (const int year : {1849, 1831, 1970 - 200, 2157, 2285}) {
+    DerWriter w;
+    const auto ts = util::to_unix({year, 6, 15, 1, 2, 3});
+    w.time(ts);
+    DerReader r(w.bytes());
+    const auto v = r.read();
+    EXPECT_TRUE(v.tag.is_universal(tags::kGeneralizedTime)) << year;
+    EXPECT_EQ(v.as_time(), ts) << year;
+  }
+}
+
+TEST(DerTime, Epoch1970IsUtcTime) {
+  DerWriter w;
+  w.time(0);
+  DerReader r(w.bytes());
+  const auto v = r.read();
+  EXPECT_TRUE(v.tag.is_universal(tags::kUtcTime));
+  EXPECT_EQ(v.as_time(), 0);
+}
+
+// --- Reader robustness --------------------------------------------------------
+
+TEST(DerReader, RejectsTruncatedValue) {
+  const auto data = bytes({0x02, 0x05, 0x01});
+  DerReader r(data);
+  EXPECT_THROW(r.read(), DerError);
+}
+
+TEST(DerReader, RejectsIndefiniteLength) {
+  const auto data = bytes({0x30, 0x80, 0x00, 0x00});
+  DerReader r(data);
+  EXPECT_THROW(r.read(), DerError);
+}
+
+TEST(DerReader, RejectsNonMinimalLength) {
+  // Length 3 encoded with the long form.
+  const auto data = bytes({0x04, 0x81, 0x03, 0x01, 0x02, 0x03});
+  DerReader r(data);
+  EXPECT_THROW(r.read(), DerError);
+}
+
+TEST(DerReader, RejectsEmptyInput) {
+  DerReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.empty());
+  EXPECT_THROW(r.read(), DerError);
+  EXPECT_FALSE(r.peek_tag().has_value());
+}
+
+TEST(DerReader, RejectsNonMinimalOidArc) {
+  // 0x80 leading byte in an arc is forbidden.
+  const auto data = bytes({0x06, 0x03, 0x55, 0x80, 0x03});
+  DerReader r(data);
+  EXPECT_THROW(r.read().as_oid(), DerError);
+}
+
+TEST(DerReader, PeekDoesNotConsume) {
+  DerWriter w;
+  w.integer(7);
+  DerReader r(w.bytes());
+  ASSERT_TRUE(r.peek_tag().has_value());
+  EXPECT_TRUE(r.peek_tag()->is_universal(tags::kInteger));
+  EXPECT_EQ(r.read().as_integer(), 7);
+}
+
+TEST(DerReader, FullSpanCoversWholeTlv) {
+  DerWriter w;
+  w.integer(7);
+  w.integer(8);
+  DerReader r(w.bytes());
+  const auto first = r.read();
+  EXPECT_EQ(first.full.size(), 3u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(DerValue, TypeMismatchesThrow) {
+  DerWriter w;
+  w.integer(1);
+  DerReader r(w.bytes());
+  const auto v = r.read();
+  EXPECT_THROW(v.as_boolean(), DerError);
+  EXPECT_THROW(v.as_oid(), DerError);
+  EXPECT_THROW(v.as_bit_string(), DerError);
+  EXPECT_THROW(v.as_time(), DerError);
+}
+
+}  // namespace
+}  // namespace mtlscope::asn1

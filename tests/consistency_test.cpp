@@ -1,0 +1,163 @@
+// Generator ↔ classifier consistency: every CN-content kind the trace
+// generator can emit must be classified by the textclass pipeline as the
+// information type it was calibrated to represent. This is what makes the
+// Table-8 reproduction meaningful: the analysis must *recover* the
+// population mix, not receive it.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/trust/store.hpp"
+
+namespace mtlscope {
+namespace {
+
+using textclass::InfoType;
+
+/// Generates a focused single-cluster trace whose client CNs all come from
+/// one content kind, then measures what the classifier calls them.
+std::map<InfoType, int> classify_cohort(gen::CnContent kind,
+                                        bool campus_issuer) {
+  gen::CampusModel model;
+  model.study_start = util::to_unix({2022, 5, 1, 0, 0, 0});
+  model.study_end = util::to_unix({2024, 4, 1, 0, 0, 0});
+  gen::TrafficCluster cluster;
+  cluster.name = "consistency";
+  cluster.direction = gen::Direction::kOutbound;
+  cluster.sld = "consistency-test.com";
+  cluster.connections = 200;
+  cluster.client_ips = 20;
+  cluster.server_certs.count = 2;
+  cluster.server_certs.issuer_kind = gen::IssuerKind::kPublicCa;
+  cluster.server_certs.cn = {{gen::CnContent::kHostUnderDomain, 1.0}};
+  cluster.client_certs.count = 200;
+  cluster.client_certs.issuer_kind = campus_issuer
+                                         ? gen::IssuerKind::kCampus
+                                         : gen::IssuerKind::kPrivateOrg;
+  cluster.client_certs.issuer_ref = "Consistency Test Org";
+  cluster.client_certs.cn = {{kind, 1.0}};
+  model.clusters.push_back(std::move(cluster));
+
+  gen::TraceGenerator generator(std::move(model));
+  std::map<InfoType, int> histogram;
+  generator.generate([&](const tls::TlsConnection& conn) {
+    const auto* leaf = conn.client_leaf();
+    if (leaf == nullptr) return;
+    const auto cn = leaf->subject.common_name();
+    if (!cn || cn->empty()) return;
+    textclass::ClassifyContext ctx;
+    ctx.campus_issuer = campus_issuer;
+    ++histogram[textclass::classify_value(*cn, ctx)];
+  });
+  return histogram;
+}
+
+/// Fraction of the cohort classified as `expected`.
+double share_of(const std::map<InfoType, int>& histogram, InfoType expected) {
+  int total = 0, hit = 0;
+  for (const auto& [type, count] : histogram) {
+    total += count;
+    if (type == expected) hit += count;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(hit) / static_cast<double>(total);
+}
+
+struct ConsistencyCase {
+  gen::CnContent kind;
+  bool campus;
+  InfoType expected;
+  double min_share;  // classification accuracy floor
+};
+
+class GeneratorClassifierConsistency
+    : public ::testing::TestWithParam<ConsistencyCase> {};
+
+TEST_P(GeneratorClassifierConsistency, CohortClassifiesAsCalibrated) {
+  const auto& c = GetParam();
+  const auto histogram = classify_cohort(c.kind, c.campus);
+  EXPECT_GE(share_of(histogram, c.expected), c.min_share)
+      << "kind " << static_cast<int>(c.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, GeneratorClassifierConsistency,
+    ::testing::Values(
+        ConsistencyCase{gen::CnContent::kHostUnderDomain, false,
+                        InfoType::kDomain, 1.0},
+        ConsistencyCase{gen::CnContent::kEmailServiceDomain, false,
+                        InfoType::kDomain, 1.0},
+        ConsistencyCase{gen::CnContent::kIpAddress, false, InfoType::kIp,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kMacAddress, false, InfoType::kMac,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kSipAddress, false, InfoType::kSip,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kEmailAddress, false,
+                        InfoType::kEmail, 1.0},
+        ConsistencyCase{gen::CnContent::kUserAccount, true,
+                        InfoType::kUserAccount, 1.0},
+        ConsistencyCase{gen::CnContent::kPersonalName, false,
+                        InfoType::kPersonalName, 1.0},
+        ConsistencyCase{gen::CnContent::kWebRtc, false, InfoType::kOrgProduct,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kTwilio, false, InfoType::kOrgProduct,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kHangouts, false,
+                        InfoType::kOrgProduct, 1.0},
+        ConsistencyCase{gen::CnContent::kCompanyName, false,
+                        InfoType::kOrgProduct, 0.95},
+        ConsistencyCase{gen::CnContent::kProductName, false,
+                        InfoType::kOrgProduct, 0.95},
+        ConsistencyCase{gen::CnContent::kLocalhost, false,
+                        InfoType::kLocalhost, 1.0},
+        ConsistencyCase{gen::CnContent::kRandomHex8, false,
+                        InfoType::kUnidentified, 1.0},
+        ConsistencyCase{gen::CnContent::kRandomHex32, false,
+                        InfoType::kUnidentified, 1.0},
+        ConsistencyCase{gen::CnContent::kUuid, false, InfoType::kUnidentified,
+                        1.0},
+        ConsistencyCase{gen::CnContent::kRandomOther, false,
+                        InfoType::kUnidentified, 0.9},
+        ConsistencyCase{gen::CnContent::kNonRandomToken, false,
+                        InfoType::kUnidentified, 0.7}));
+
+TEST(GeneratorClassifier, UserAccountsRequireCampusIssuer) {
+  // Without campus context, the same strings must NOT classify as user
+  // accounts (the paper checks issuer fields for campus CAs, §6.1.1).
+  const auto histogram =
+      classify_cohort(gen::CnContent::kUserAccount, /*campus=*/false);
+  EXPECT_EQ(share_of(histogram, InfoType::kUserAccount), 0.0);
+}
+
+TEST(GeneratorClassifier, IssuerClassificationAgrees) {
+  // Certificates the generator mints as public / private must classify
+  // accordingly through the trust evaluator.
+  const auto evaluator = trust::make_default_evaluator();
+  gen::TraceGenerator generator([] {
+    auto model = gen::paper_model(5'000, 1'000'000);
+    model.background_connections = 0;
+    return model;
+  }());
+  std::size_t checked = 0;
+  generator.generate([&](const tls::TlsConnection& conn) {
+    const auto* leaf = conn.server_leaf();
+    if (leaf == nullptr) return;
+    const auto org = leaf->issuer.organization();
+    if (!org) return;
+    // Spot-check two unambiguous populations.
+    if (*org == "Blue Ridge University") {
+      EXPECT_EQ(evaluator.classify(*leaf), trust::IssuerClass::kPrivate);
+      ++checked;
+    } else if (*org == "Amazon" || *org == "DigiCert Inc") {
+      EXPECT_EQ(evaluator.classify(*leaf), trust::IssuerClass::kPublic);
+      ++checked;
+    }
+  });
+  EXPECT_GT(checked, 50u);
+}
+
+}  // namespace
+}  // namespace mtlscope

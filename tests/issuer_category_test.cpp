@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/core/issuer_category.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+IssuerCategorizer make_categorizer() {
+  return IssuerCategorizer({"Internet Widgits Pty Ltd", "Default Company Ltd",
+                            "Unspecified", "Acme Co"});
+}
+
+x509::DistinguishedName dn_with_org(std::string org) {
+  x509::DistinguishedName dn;
+  dn.add_org(std::move(org)).add_cn("some ca");
+  return dn;
+}
+
+TEST(IssuerCategorizer, PublicBeatsEverything) {
+  const auto categorizer = make_categorizer();
+  // Even a university-named org is Public when the trust stores say so.
+  EXPECT_EQ(categorizer.categorize(dn_with_org("Sample University"), true),
+            IssuerCategory::kPublic);
+}
+
+TEST(IssuerCategorizer, MissingIssuer) {
+  const auto categorizer = make_categorizer();
+  x509::DistinguishedName cn_only;
+  cn_only.add_cn("ca-a81f34");
+  EXPECT_EQ(categorizer.categorize(cn_only, false),
+            IssuerCategory::kPrivateMissingIssuer);
+  EXPECT_EQ(categorizer.categorize({}, false),
+            IssuerCategory::kPrivateMissingIssuer);
+}
+
+struct CategoryCase {
+  const char* org;
+  IssuerCategory expected;
+};
+
+class CategorizerCases : public ::testing::TestWithParam<CategoryCase> {};
+
+TEST_P(CategorizerCases, Categorizes) {
+  const auto categorizer = make_categorizer();
+  EXPECT_EQ(categorizer.categorize(dn_with_org(GetParam().org), false),
+            GetParam().expected)
+      << GetParam().org;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, CategorizerCases,
+    ::testing::Values(
+        CategoryCase{"Internet Widgits Pty Ltd",
+                     IssuerCategory::kPrivateDummy},
+        CategoryCase{"Unspecified", IssuerCategory::kPrivateDummy},
+        CategoryCase{"Acme Co", IssuerCategory::kPrivateDummy},
+        CategoryCase{"Blue Ridge University",
+                     IssuerCategory::kPrivateEducation},
+        CategoryCase{"Ridgetown Community College",
+                     IssuerCategory::kPrivateEducation},
+        CategoryCase{"Lakeside High School", IssuerCategory::kPrivateEducation},
+        CategoryCase{"U.S. Government Publishing Office",
+                     IssuerCategory::kPrivateGovernment},
+        CategoryCase{"Ministry of Transport",
+                     IssuerCategory::kPrivateGovernment},
+        CategoryCase{"SpeedyHosting Solutions",
+                     IssuerCategory::kPrivateWebHosting},
+        CategoryCase{"cPanel Certification Services",
+                     IssuerCategory::kPrivateWebHosting},
+        CategoryCase{"Honeywell International Inc",
+                     IssuerCategory::kPrivateCorporation},
+        CategoryCase{"Splunk Inc", IssuerCategory::kPrivateCorporation},
+        CategoryCase{"GuardiCore", IssuerCategory::kPrivateCorporation},
+        CategoryCase{"Rapid7 LLC", IssuerCategory::kPrivateCorporation},
+        CategoryCase{"Quasar Nebular Dynamics",
+                     IssuerCategory::kPrivateOthers},
+        CategoryCase{"Meridian Apparatus", IssuerCategory::kPrivateOthers}));
+
+TEST(IssuerCategorizer, CaseInsensitiveDummyMatch) {
+  const auto categorizer = make_categorizer();
+  EXPECT_EQ(categorizer.categorize(dn_with_org("internet widgits pty ltd"),
+                                   false),
+            IssuerCategory::kPrivateDummy);
+  EXPECT_EQ(categorizer.categorize(dn_with_org("INTERNET WIDGITS PTY LTD"),
+                                   false),
+            IssuerCategory::kPrivateDummy);
+}
+
+TEST(IssuerCategorizer, NamesAreStable) {
+  // The display names appear in repro output; guard their spelling.
+  EXPECT_STREQ(issuer_category_name(IssuerCategory::kPublic), "Public");
+  EXPECT_STREQ(issuer_category_name(IssuerCategory::kPrivateEducation),
+               "Private - Education");
+  EXPECT_STREQ(issuer_category_name(IssuerCategory::kPrivateMissingIssuer),
+               "Private - MissingIssuer");
+  EXPECT_STREQ(issuer_category_name(IssuerCategory::kPrivateDummy),
+               "Private - Dummy");
+}
+
+}  // namespace
+}  // namespace mtlscope::core

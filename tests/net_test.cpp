@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/net/services.hpp"
+
+namespace mtlscope::net {
+namespace {
+
+TEST(IpAddress, ParseV4) {
+  const auto a = IpAddress::parse("128.143.2.7");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->to_string(), "128.143.2.7");
+  EXPECT_EQ(a->v4_value(), 0x808f0207u);
+}
+
+TEST(IpAddress, ParseV4Rejects) {
+  EXPECT_FALSE(IpAddress::parse("").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.").has_value());
+  EXPECT_FALSE(IpAddress::parse(".1.2.3.4").has_value());
+  EXPECT_FALSE(IpAddress::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::parse("1.2.3.4 ").has_value());
+}
+
+TEST(IpAddress, ParseV6) {
+  const auto a = IpAddress::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(a->is_v4());
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IpAddress, ParseV6Full) {
+  const auto a = IpAddress::parse("2001:0db8:0000:0000:0000:ff00:0042:8329");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "2001:db8::ff00:42:8329");
+}
+
+TEST(IpAddress, ParseV6Loopback) {
+  const auto a = IpAddress::parse("::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "::1");
+}
+
+TEST(IpAddress, ParseV6AllZeros) {
+  const auto a = IpAddress::parse("::");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "::");
+}
+
+TEST(IpAddress, ParseV6Rejects) {
+  EXPECT_FALSE(IpAddress::parse(":::").has_value());
+  EXPECT_FALSE(IpAddress::parse("2001:db8::1::2").has_value());
+  EXPECT_FALSE(IpAddress::parse("2001:db8:1:2:3:4:5:6:7").has_value());
+  EXPECT_FALSE(IpAddress::parse("2001:xyz::1").has_value());
+  EXPECT_FALSE(IpAddress::parse("1:2:3:4:5:6:7").has_value());  // 7 groups, no gap
+}
+
+TEST(IpAddress, V6RoundTripSweep) {
+  const char* cases[] = {"::", "::1", "1::", "fe80::1", "2001:db8::ff00:42:8329",
+                         "1:2:3:4:5:6:7:8", "::ffff:1:2"};
+  for (const char* s : cases) {
+    const auto a = IpAddress::parse(s);
+    ASSERT_TRUE(a.has_value()) << s;
+    const auto b = IpAddress::parse(a->to_string());
+    ASSERT_TRUE(b.has_value()) << s;
+    EXPECT_EQ(*a, *b) << s;
+  }
+}
+
+TEST(IpAddress, Ordering) {
+  const auto a = *IpAddress::parse("10.0.0.1");
+  const auto b = *IpAddress::parse("10.0.0.2");
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, *IpAddress::parse("10.0.0.1"));
+}
+
+TEST(Subnet, ContainsV4) {
+  const auto net = Subnet::parse("128.143.0.0/16");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_TRUE(net->contains(*IpAddress::parse("128.143.255.1")));
+  EXPECT_FALSE(net->contains(*IpAddress::parse("128.144.0.1")));
+  EXPECT_FALSE(net->contains(*IpAddress::parse("2001:db8::1")));
+}
+
+TEST(Subnet, CanonicalizesHostBits) {
+  const Subnet net(*IpAddress::parse("10.1.2.3"), 24);
+  EXPECT_EQ(net.to_string(), "10.1.2.0/24");
+}
+
+TEST(Subnet, ZeroPrefixContainsEverything) {
+  const auto net = Subnet::parse("0.0.0.0/0");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_TRUE(net->contains(*IpAddress::parse("255.255.255.255")));
+}
+
+TEST(Subnet, V6Contains) {
+  const auto net = Subnet::parse("2001:db8::/32");
+  ASSERT_TRUE(net.has_value());
+  EXPECT_TRUE(net->contains(*IpAddress::parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(net->contains(*IpAddress::parse("2001:db9::1")));
+}
+
+TEST(Subnet, ParseRejects) {
+  EXPECT_FALSE(Subnet::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Subnet::parse("10.0.0.0/a").has_value());
+  EXPECT_FALSE(Subnet::parse("2001:db8::/129").has_value());
+}
+
+TEST(Subnet, Slash24Grouping) {
+  const auto a = slash24_of(*IpAddress::parse("192.168.5.17"));
+  const auto b = slash24_of(*IpAddress::parse("192.168.5.200"));
+  const auto c = slash24_of(*IpAddress::parse("192.168.6.17"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.to_string(), "192.168.5.0/24");
+}
+
+TEST(Services, IanaLookups) {
+  EXPECT_EQ(lookup_service(443)->name, "HTTPS");
+  EXPECT_EQ(lookup_service(25)->name, "SMTP");
+  EXPECT_EQ(lookup_service(636)->name, "LDAPS");
+  EXPECT_EQ(lookup_service(8883)->name, "MQTT over TLS");
+  EXPECT_EQ(lookup_service(993)->name, "IMAPS");
+  EXPECT_FALSE(lookup_service(52730).has_value());
+}
+
+TEST(Services, CorporateServices) {
+  EXPECT_EQ(lookup_service(20017)->name, "FileWave");
+  EXPECT_EQ(lookup_service(20017)->provider, "Corp.");
+  EXPECT_EQ(lookup_service(9997)->name, "Splunk");
+  EXPECT_EQ(lookup_service(9093)->name, "Outset Medical");
+  EXPECT_EQ(lookup_service(33854)->name, "DvTel");
+}
+
+TEST(Services, GlobusPortRange) {
+  EXPECT_EQ(lookup_service(50000)->name, "Globus");
+  EXPECT_EQ(lookup_service(50500)->name, "Globus");
+  EXPECT_EQ(lookup_service(51000)->name, "Globus");
+  EXPECT_FALSE(lookup_service(51001).has_value());
+  EXPECT_FALSE(lookup_service(49999).has_value());
+}
+
+TEST(Services, Labels) {
+  EXPECT_EQ(service_label(443, false), "HTTPS");
+  EXPECT_EQ(service_label(20017, true), "Corp. - FileWave");
+  EXPECT_EQ(service_label(52730, true), "Univ. - Unknown");
+  EXPECT_EQ(service_label(52730, false), "Unknown");
+}
+
+}  // namespace
+}  // namespace mtlscope::net

@@ -1,0 +1,320 @@
+// Property-based suites: randomized round-trips and invariants across the
+// encoding layers, driven by the deterministic Rng (seeds are printed by
+// gtest parameterization, so failures are reproducible).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mtlscope/asn1/der.hpp"
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/crypto/rng.hpp"
+#include "mtlscope/net/ip.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/x509/builder.hpp"
+#include "mtlscope/x509/parser.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+namespace mtlscope {
+namespace {
+
+using crypto::Rng;
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// --- Random ASN.1 trees round-trip through the DER writer/reader -----------
+
+struct Asn1Node {
+  enum Kind { kInt, kString, kOctets, kSeq } kind;
+  std::int64_t int_value = 0;
+  std::string text;
+  std::vector<std::uint8_t> bytes;
+  std::vector<Asn1Node> children;
+};
+
+Asn1Node random_tree(Rng& rng, int depth) {
+  Asn1Node node;
+  const auto kind = rng.below(depth > 0 ? 4 : 3);
+  switch (kind) {
+    case 0:
+      node.kind = Asn1Node::kInt;
+      node.int_value = static_cast<std::int64_t>(rng()) >> rng.below(40);
+      break;
+    case 1:
+      node.kind = Asn1Node::kString;
+      node.text = rng.alnum(rng.below(40));
+      break;
+    case 2: {
+      node.kind = Asn1Node::kOctets;
+      node.bytes.resize(rng.below(60));
+      for (auto& b : node.bytes) b = static_cast<std::uint8_t>(rng() & 0xff);
+      break;
+    }
+    default: {
+      node.kind = Asn1Node::kSeq;
+      const std::size_t n = rng.below(4);
+      for (std::size_t i = 0; i < n; ++i) {
+        node.children.push_back(random_tree(rng, depth - 1));
+      }
+      break;
+    }
+  }
+  return node;
+}
+
+void write_tree(asn1::DerWriter& w, const Asn1Node& node) {
+  switch (node.kind) {
+    case Asn1Node::kInt:
+      w.integer(node.int_value);
+      break;
+    case Asn1Node::kString:
+      w.utf8_string(node.text);
+      break;
+    case Asn1Node::kOctets:
+      w.octet_string(node.bytes);
+      break;
+    case Asn1Node::kSeq:
+      w.sequence([&node](asn1::DerWriter& inner) {
+        for (const auto& child : node.children) write_tree(inner, child);
+      });
+      break;
+  }
+}
+
+void check_tree(asn1::DerReader& r, const Asn1Node& node) {
+  const auto value = r.read();
+  switch (node.kind) {
+    case Asn1Node::kInt:
+      EXPECT_EQ(value.as_integer(), node.int_value);
+      break;
+    case Asn1Node::kString:
+      EXPECT_EQ(value.text(), node.text);
+      break;
+    case Asn1Node::kOctets:
+      EXPECT_EQ(std::vector<std::uint8_t>(value.content.begin(),
+                                          value.content.end()),
+                node.bytes);
+      break;
+    case Asn1Node::kSeq: {
+      ASSERT_TRUE(value.tag.is_universal(asn1::tags::kSequence));
+      asn1::DerReader inner(value);
+      for (const auto& child : node.children) check_tree(inner, child);
+      EXPECT_TRUE(inner.empty());
+      break;
+    }
+  }
+}
+
+TEST_P(SeededProperty, DerTreeRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const auto tree = random_tree(rng, 4);
+    asn1::DerWriter w;
+    write_tree(w, tree);
+    asn1::DerReader r(w.bytes());
+    check_tree(r, tree);
+    EXPECT_TRUE(r.empty());
+  }
+}
+
+// --- Random certificates survive build → parse → rebuild --------------------
+
+TEST_P(SeededProperty, CertificateRoundTrip) {
+  Rng rng(GetParam());
+  x509::DistinguishedName ca_dn;
+  ca_dn.add_org("Prop CA " + rng.hex(4)).add_cn("Prop CA");
+  const auto ca = trust::CertificateAuthority::make_root(
+      ca_dn, 0, util::to_unix({2040, 1, 1, 0, 0, 0}));
+
+  for (int i = 0; i < 20; ++i) {
+    x509::CertificateBuilder builder;
+    x509::DistinguishedName dn;
+    if (rng.chance(0.9)) dn.add_cn(rng.alnum(1 + rng.below(30)));
+    if (rng.chance(0.5)) dn.add_org("Org " + rng.alnum(8));
+    if (rng.chance(0.3)) dn.add_country("US");
+    builder.subject(dn);
+    builder.version(rng.chance(0.1) ? 1 : 3);
+    if (rng.chance(0.5)) {
+      builder.serial_hex(rng.chance(0.5) ? "00" : "03E8");
+    } else {
+      builder.serial_from_label(rng.hex(12));
+    }
+    // Validity possibly reversed (the paper's incorrect-date certs) and
+    // possibly in exotic centuries.
+    const auto t1 = util::to_unix(
+        {static_cast<int>(1800 + rng.below(400)), 1 + static_cast<int>(rng.below(12)),
+         1 + static_cast<int>(rng.below(28)), 0, 0, 0});
+    const auto t2 = t1 + (rng.chance(0.8) ? 1 : -1) *
+                             static_cast<std::int64_t>(rng.below(20'000)) *
+                             86'400;
+    builder.validity(t1, t2);
+    builder.public_key(crypto::TsigKey::derive(rng.hex(8),
+                                               rng.chance(0.1) ? 1024 : 2048)
+                           .key);
+    const std::size_t sans = rng.below(4);
+    for (std::size_t s = 0; s < sans; ++s) {
+      builder.add_san_dns(rng.alnum(6) + ".example.com");
+    }
+    const auto cert = ca.issue(builder);
+
+    const auto reparsed = x509::parse_certificate(cert.der);
+    const auto* c2 = x509::get_certificate(reparsed);
+    ASSERT_NE(c2, nullptr);
+    EXPECT_EQ(c2->subject, cert.subject);
+    EXPECT_EQ(c2->issuer, cert.issuer);
+    EXPECT_EQ(c2->serial, cert.serial);
+    EXPECT_EQ(c2->validity, cert.validity);
+    EXPECT_EQ(c2->san, cert.san);
+    EXPECT_EQ(c2->version, cert.version);
+    EXPECT_EQ(c2->der, cert.der);
+    EXPECT_TRUE(crypto::tsig_verify(ca.key().key, c2->tbs_der,
+                                    c2->signature));
+  }
+}
+
+// --- Zeek log escaping survives arbitrary subject strings --------------------
+
+TEST_P(SeededProperty, ZeekLogSurvivesHostileStrings) {
+  Rng rng(GetParam());
+  zeek::Dataset dataset;
+  for (int i = 0; i < 25; ++i) {
+    zeek::X509Record record;
+    record.fuid = "F" + rng.hex(17);
+    // Strings with the separators the format must escape.
+    std::string nasty;
+    for (int k = 0; k < 20; ++k) {
+      switch (rng.below(6)) {
+        case 0: nasty += ','; break;
+        case 1: nasty += '\t'; break;
+        case 2: nasty += '\\'; break;
+        case 3: nasty += "\\x09"; break;
+        default: nasty += rng.alnum(1); break;
+      }
+    }
+    record.subject = "CN=" + nasty;
+    record.san_dns = {nasty, rng.alnum(5)};
+    record.serial = rng.hex(8);
+    dataset.add_x509(record);
+  }
+  std::istringstream in(zeek::x509_log_to_string(dataset));
+  const auto parsed = zeek::parse_x509_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), dataset.certificate_count());
+  for (const auto& record : *parsed) {
+    const auto* original = dataset.find_certificate(record.fuid);
+    ASSERT_NE(original, nullptr);
+    // Vector fields escape commas; they must round-trip exactly.
+    EXPECT_EQ(record.san_dns, original->san_dns);
+    EXPECT_EQ(record.serial, original->serial);
+  }
+}
+
+// --- Classifier invariants -----------------------------------------------------
+
+TEST_P(SeededProperty, ClassifierTotalAndDeterministic) {
+  Rng rng(GetParam());
+  textclass::ClassifyContext ctx;
+  ctx.campus_issuer = rng.chance(0.5);
+  for (int i = 0; i < 300; ++i) {
+    std::string value;
+    switch (rng.below(5)) {
+      case 0: value = rng.alnum(rng.below(50)); break;
+      case 1: value = rng.hex(8 + rng.below(40)); break;
+      case 2: value = rng.uuid(); break;
+      case 3: value = rng.alnum(4) + "." + rng.alnum(4) + ".com"; break;
+      default:
+        for (int k = 0; k < 12; ++k) {
+          value += static_cast<char>(32 + rng.below(95));
+        }
+        break;
+    }
+    if (value.empty()) continue;
+    const auto a = textclass::classify_value(value, ctx);
+    const auto b = textclass::classify_value(value, ctx);
+    EXPECT_EQ(a, b) << value;  // deterministic
+    // NER-off result is either identical or folds into Unidentified.
+    auto no_ner = ctx;
+    no_ner.enable_ner = false;
+    const auto c = textclass::classify_value(value, no_ner);
+    if (a != textclass::InfoType::kPersonalName &&
+        a != textclass::InfoType::kOrgProduct) {
+      EXPECT_EQ(c, a) << value;
+    } else {
+      EXPECT_EQ(c, textclass::InfoType::kUnidentified) << value;
+    }
+  }
+}
+
+// --- Subnet algebra ---------------------------------------------------------------
+
+TEST_P(SeededProperty, SubnetContainsItsMembers) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto addr = net::IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    const int prefix = static_cast<int>(rng.below(33));
+    const net::Subnet subnet(addr, prefix);
+    EXPECT_TRUE(subnet.contains(addr))
+        << subnet.to_string() << " " << addr.to_string();
+    // The canonical base is contained too.
+    EXPECT_TRUE(subnet.contains(subnet.base()));
+    // A /24 grouping is consistent: same /24 => same group.
+    const auto sibling = net::IpAddress::v4(
+        (addr.v4_value() & 0xffffff00u) |
+        static_cast<std::uint32_t>(rng.below(256)));
+    EXPECT_EQ(net::slash24_of(addr), net::slash24_of(sibling));
+  }
+}
+
+TEST_P(SeededProperty, IpStringRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto v4 = net::IpAddress::v4(static_cast<std::uint32_t>(rng()));
+    EXPECT_EQ(net::IpAddress::parse(v4.to_string()), v4);
+    std::array<std::uint8_t, 16> bytes;
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng() & 0xff);
+    const auto v6 = net::IpAddress::v6(bytes);
+    EXPECT_EQ(net::IpAddress::parse(v6.to_string()), v6);
+  }
+}
+
+// --- Encodings ---------------------------------------------------------------------
+
+TEST_P(SeededProperty, HexAndBase64RoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> data(rng.below(200));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 0xff);
+    EXPECT_EQ(crypto::from_hex(crypto::to_hex(data)), data);
+    EXPECT_EQ(crypto::from_base64(crypto::to_base64(data)), data);
+  }
+}
+
+TEST_P(SeededProperty, DnStringRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    x509::DistinguishedName dn;
+    const std::size_t attrs = 1 + rng.below(4);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      std::string value;
+      for (int k = 0; k < 10; ++k) {
+        switch (rng.below(5)) {
+          case 0: value += ','; break;
+          case 1: value += '\\'; break;
+          case 2: value += '='; break;
+          default: value += rng.alnum(1); break;
+        }
+      }
+      dn.add_cn(value);
+    }
+    const auto parsed = x509::DistinguishedName::from_string(dn.to_string());
+    ASSERT_TRUE(parsed.has_value()) << dn.to_string();
+    EXPECT_EQ(*parsed, dn);
+  }
+}
+
+}  // namespace
+}  // namespace mtlscope

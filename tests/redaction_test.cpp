@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/core/redaction.hpp"
+#include "mtlscope/x509/builder.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+using util::to_unix;
+
+const trust::CertificateAuthority& ca() {
+  static const auto authority = [] {
+    x509::DistinguishedName dn;
+    dn.add_org("Redaction Test CA Org").add_cn("Redaction Test CA");
+    return trust::CertificateAuthority::make_root(
+        dn, 0, to_unix({2040, 1, 1, 0, 0, 0}));
+  }();
+  return authority;
+}
+
+x509::Certificate make_user_cert() {
+  x509::DistinguishedName dn;
+  dn.add_org("Example Org").add_cn("John Smith");
+  return ca().issue(x509::CertificateBuilder()
+                        .serial_hex("0A1B2C")
+                        .subject(dn)
+                        .validity(to_unix({2023, 1, 1, 0, 0, 0}),
+                                  to_unix({2024, 1, 1, 0, 0, 0}))
+                        .public_key(crypto::TsigKey::derive("user-key").key)
+                        .add_san_dns("John Smith")
+                        .add_san_dns("device.example.com")
+                        .add_san_email("john.smith@example.com")
+                        .add_eku(asn1::oids::eku_client_auth()));
+}
+
+TEST(Audit, FindsSensitiveFields) {
+  const auto findings = audit_certificate(make_user_cert());
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].field, PrivacyFinding::Field::kSubjectCn);
+  EXPECT_EQ(findings[0].type, textclass::InfoType::kPersonalName);
+  EXPECT_EQ(findings[1].field, PrivacyFinding::Field::kSanDns);
+  EXPECT_EQ(findings[1].value, "John Smith");
+  EXPECT_EQ(findings[2].field, PrivacyFinding::Field::kSanEmail);
+}
+
+TEST(Audit, CleanCertificateHasNoFindings) {
+  x509::DistinguishedName dn;
+  dn.add_cn("device-7f3a.example.com");
+  const auto cert =
+      ca().issue(x509::CertificateBuilder()
+                     .serial_from_label("clean")
+                     .subject(dn)
+                     .validity(0, to_unix({2030, 1, 1, 0, 0, 0}))
+                     .public_key(crypto::TsigKey::derive("clean").key)
+                     .add_san_dns("device-7f3a.example.com"));
+  EXPECT_TRUE(audit_certificate(cert).empty());
+}
+
+TEST(Audit, UserAccountNeedsCampusContext) {
+  x509::DistinguishedName dn;
+  dn.add_cn("hd7gr");
+  const auto cert =
+      ca().issue(x509::CertificateBuilder()
+                     .serial_from_label("acct")
+                     .subject(dn)
+                     .validity(0, 1'000'000)
+                     .public_key(crypto::TsigKey::derive("acct").key));
+  EXPECT_TRUE(audit_certificate(cert).empty());
+  textclass::ClassifyContext campus;
+  campus.campus_issuer = true;
+  const auto findings = audit_certificate(cert, campus);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].type, textclass::InfoType::kUserAccount);
+}
+
+TEST(Redaction, RemovesAllSensitiveInformation) {
+  const auto key = crypto::TsigKey::derive("pseudonym-key");
+  const auto original = make_user_cert();
+  const auto redacted = redact_certificate(original, ca(), key);
+  EXPECT_TRUE(audit_certificate(redacted).empty());
+  // The literal identity is gone from the whole encoding.
+  const std::string der(redacted.der.begin(), redacted.der.end());
+  EXPECT_EQ(der.find("John Smith"), std::string::npos);
+  EXPECT_EQ(der.find("john.smith@example.com"), std::string::npos);
+}
+
+TEST(Redaction, PreservesAuthenticationMaterial) {
+  const auto key = crypto::TsigKey::derive("pseudonym-key");
+  const auto original = make_user_cert();
+  const auto redacted = redact_certificate(original, ca(), key);
+  EXPECT_EQ(redacted.public_key, original.public_key);
+  EXPECT_EQ(redacted.serial, original.serial);
+  EXPECT_EQ(redacted.validity, original.validity);
+  EXPECT_EQ(redacted.ext_key_usage, original.ext_key_usage);
+  EXPECT_EQ(redacted.issuer, original.issuer);
+  // Non-sensitive attributes survive.
+  EXPECT_EQ(redacted.subject.organization(), "Example Org");
+  // Non-sensitive SAN entries survive; the email SAN is dropped.
+  const auto dns = redacted.san_dns();
+  ASSERT_EQ(dns.size(), 2u);
+  EXPECT_EQ(dns[1], "device.example.com");
+  for (const auto& entry : redacted.san) {
+    EXPECT_NE(entry.type, x509::SanEntry::Type::kEmail);
+  }
+}
+
+TEST(Redaction, PseudonymsAreStableAndKeyDependent) {
+  const auto key_a = crypto::TsigKey::derive("key-a");
+  const auto key_b = crypto::TsigKey::derive("key-b");
+  EXPECT_EQ(pseudonym_for(key_a, "John Smith"),
+            pseudonym_for(key_a, "John Smith"));
+  EXPECT_NE(pseudonym_for(key_a, "John Smith"),
+            pseudonym_for(key_a, "Mary Jones"));
+  EXPECT_NE(pseudonym_for(key_a, "John Smith"),
+            pseudonym_for(key_b, "John Smith"));
+  EXPECT_EQ(pseudonym_for(key_a, "x").rfind("anon-", 0), 0u);
+}
+
+TEST(Redaction, StablePseudonymAcrossReissue) {
+  // The relying party can keep authorizing the same subject across
+  // renewals: two redactions of the same identity share the CN.
+  const auto key = crypto::TsigKey::derive("pseudonym-key");
+  const auto first = redact_certificate(make_user_cert(), ca(), key);
+  const auto second = redact_certificate(make_user_cert(), ca(), key);
+  EXPECT_EQ(first.subject.common_name(), second.subject.common_name());
+}
+
+TEST(Redaction, OutputParsesAndVerifies) {
+  const auto key = crypto::TsigKey::derive("pseudonym-key");
+  const auto redacted = redact_certificate(make_user_cert(), ca(), key);
+  const auto reparsed = x509::parse_certificate(redacted.der);
+  ASSERT_NE(x509::get_certificate(reparsed), nullptr);
+  EXPECT_TRUE(crypto::tsig_verify(ca().key().key, redacted.tbs_der,
+                                  redacted.signature));
+}
+
+TEST(Redaction, SensitivityPredicate) {
+  EXPECT_TRUE(is_sensitive_info(textclass::InfoType::kPersonalName));
+  EXPECT_TRUE(is_sensitive_info(textclass::InfoType::kUserAccount));
+  EXPECT_TRUE(is_sensitive_info(textclass::InfoType::kEmail));
+  EXPECT_TRUE(is_sensitive_info(textclass::InfoType::kMac));
+  EXPECT_FALSE(is_sensitive_info(textclass::InfoType::kDomain));
+  EXPECT_FALSE(is_sensitive_info(textclass::InfoType::kOrgProduct));
+  EXPECT_FALSE(is_sensitive_info(textclass::InfoType::kUnidentified));
+}
+
+}  // namespace
+}  // namespace mtlscope::core

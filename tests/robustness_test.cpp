@@ -1,0 +1,164 @@
+// Robustness suites: hostile/degenerate inputs across the parsing layers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mtlscope/asn1/der.hpp"
+#include "mtlscope/crypto/rng.hpp"
+#include "mtlscope/textclass/classifier.hpp"
+#include "mtlscope/x509/parser.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+namespace mtlscope {
+namespace {
+
+// --- Zeek log parser ---------------------------------------------------------
+
+TEST(ZeekRobustness, UnknownColumnsAreIgnored) {
+  std::istringstream in(
+      "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p"
+      "\tfuture_field\tserver_name\n"
+      "#types\ttime\tstring\taddr\tport\taddr\tport\tstring\tstring\n"
+      "100.000000\tC1\t10.0.0.1\t1\t10.0.0.2\t443\twhatever\thost.com\n");
+  const auto parsed = zeek::parse_ssl_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].server_name, "host.com");
+  EXPECT_EQ((*parsed)[0].resp_p, 443);
+}
+
+TEST(ZeekRobustness, ReorderedColumns) {
+  std::istringstream in(
+      "#fields\tuid\tts\tid.resp_p\tid.resp_h\tid.orig_p\tid.orig_h\n"
+      "C9\t42.000000\t8443\t192.0.2.1\t1234\t10.9.9.9\n");
+  const auto parsed = zeek::parse_ssl_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].uid, "C9");
+  EXPECT_EQ((*parsed)[0].ts, 42);
+  EXPECT_EQ((*parsed)[0].resp_p, 8443);
+  EXPECT_EQ((*parsed)[0].orig_h, "10.9.9.9");
+}
+
+TEST(ZeekRobustness, HeaderOnlyLogIsEmpty) {
+  std::istringstream in(
+      "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\n");
+  const auto parsed = zeek::parse_ssl_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(ZeekRobustness, InterleavedCommentsSkipped) {
+  std::istringstream in(
+      "#separator \\x09\n"
+      "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\n"
+      "1.000000\tC1\t10.0.0.1\t1\t10.0.0.2\t2\n"
+      "#close\t2024-03-31-23-59-59\n"
+      "2.000000\tC2\t10.0.0.1\t1\t10.0.0.2\t2\n");
+  const auto parsed = zeek::parse_ssl_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST(ZeekRobustness, MissingRequiredColumnFails) {
+  std::istringstream in(
+      "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\n"
+      "1.000000\tC1\t10.0.0.1\t1\t10.0.0.2\n");
+  zeek::LogParseError error;
+  EXPECT_FALSE(zeek::parse_ssl_log(in, &error).has_value());
+  EXPECT_NE(error.message.find("id.resp_p"), std::string::npos);
+}
+
+TEST(ZeekRobustness, X509MissingDerFallsBackToFields) {
+  std::istringstream in(
+      "#fields\tfuid\tcertificate.serial\tcertificate.subject"
+      "\tcertificate.issuer\n"
+      "F1\t0A\tCN=host.example.com\tO=Some Org\\x2c Inc.,CN=Some CA\n");
+  const auto parsed = zeek::parse_x509_log(in);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].serial, "0A");
+  EXPECT_TRUE((*parsed)[0].cert_der_base64.empty());
+}
+
+// --- DER reader fuzz ----------------------------------------------------------
+
+TEST(DerRobustness, RandomBytesNeverCrash) {
+  crypto::Rng rng(0xfeed);
+  for (int i = 0; i < 2'000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.below(120));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng() & 0xff);
+    asn1::DerReader reader(bytes);
+    try {
+      while (!reader.empty()) {
+        const auto value = reader.read();
+        // Exercise the typed decoders too; they may throw, never crash.
+        try {
+          (void)value.as_integer();
+        } catch (const asn1::DerError&) {
+        }
+        try {
+          (void)value.as_oid();
+        } catch (const asn1::DerError&) {
+        }
+        try {
+          (void)value.as_time();
+        } catch (const asn1::DerError&) {
+        }
+      }
+    } catch (const asn1::DerError&) {
+      // fine: malformed input must raise, not crash
+    }
+  }
+  SUCCEED();
+}
+
+TEST(DerRobustness, RandomBytesNeverParseAsCertificate) {
+  crypto::Rng rng(0xcafe);
+  int parsed_count = 0;
+  for (int i = 0; i < 2'000; ++i) {
+    std::vector<std::uint8_t> bytes(rng.below(300));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng() & 0xff);
+    if (x509::get_certificate(x509::parse_certificate(bytes)) != nullptr) {
+      ++parsed_count;
+    }
+  }
+  EXPECT_EQ(parsed_count, 0);
+}
+
+// --- Classifier hostile inputs ---------------------------------------------------
+
+TEST(ClassifierRobustness, DegenerateStrings) {
+  textclass::ClassifyContext ctx;
+  // None of these may crash; all must return *something*.
+  const char* cases[] = {
+      "",
+      " ",
+      "\t\t\t",
+      "....",
+      "@@@@",
+      "sip:",
+      "a",
+      "\xff\xfe\xfd",                    // invalid UTF-8
+      "=======================",
+      "..............................................................",
+  };
+  for (const char* value : cases) {
+    (void)textclass::classify_value(value, ctx);
+  }
+  SUCCEED();
+}
+
+TEST(ClassifierRobustness, VeryLongStrings) {
+  textclass::ClassifyContext ctx;
+  const std::string long_domain =
+      std::string(300, 'a') + ".example.com";  // over the 253-char DNS limit
+  EXPECT_NE(textclass::classify_value(long_domain, ctx),
+            textclass::InfoType::kDomain);
+  const std::string long_text(10'000, 'x');
+  (void)textclass::classify_value(long_text, ctx);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mtlscope

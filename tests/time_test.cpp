@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::util {
+namespace {
+
+TEST(CivilTime, EpochIsZero) {
+  EXPECT_EQ(to_unix({1970, 1, 1, 0, 0, 0}), 0);
+  EXPECT_EQ(from_unix(0), (CivilTime{1970, 1, 1, 0, 0, 0}));
+}
+
+TEST(CivilTime, KnownTimestamps) {
+  EXPECT_EQ(to_unix({2000, 1, 1, 0, 0, 0}), 946684800);
+  EXPECT_EQ(to_unix({2022, 5, 1, 0, 0, 0}), 1651363200);
+  EXPECT_EQ(to_unix({2024, 3, 31, 23, 59, 59}), 1711929599);
+}
+
+TEST(CivilTime, NegativeTimestamps) {
+  EXPECT_EQ(to_unix({1969, 12, 31, 23, 59, 59}), -1);
+  EXPECT_EQ(from_unix(-1), (CivilTime{1969, 12, 31, 23, 59, 59}));
+}
+
+// The paper's dataset contains certificates dated 1849, 1831, 2157.
+TEST(CivilTime, FarPastAndFuture) {
+  const CivilTime y1849{1849, 10, 24, 12, 0, 0};
+  EXPECT_EQ(from_unix(to_unix(y1849)), y1849);
+  const CivilTime y2157{2157, 6, 1, 0, 0, 0};
+  EXPECT_EQ(from_unix(to_unix(y2157)), y2157);
+  const CivilTime y1831{1831, 11, 22, 0, 0, 0};
+  EXPECT_EQ(from_unix(to_unix(y1831)), y1831);
+  EXPECT_LT(to_unix(y1831), to_unix(y1849));
+  EXPECT_LT(to_unix(y1849), 0);
+}
+
+TEST(CivilTime, RoundTripSweep) {
+  // Every 41 days + offset over ±300 years around the epoch.
+  for (std::int64_t ts = -9'467'280'000; ts < 9'467'280'000;
+       ts += 41 * kSecondsPerDay + 12'345) {
+    EXPECT_EQ(to_unix(from_unix(ts)), ts);
+  }
+}
+
+TEST(CivilTime, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_TRUE(is_leap_year(2024));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2023));
+  EXPECT_EQ(days_in_month(2024, 2), 29);
+  EXPECT_EQ(days_in_month(2023, 2), 28);
+  EXPECT_EQ(days_in_month(2023, 12), 31);
+}
+
+TEST(CivilTime, Feb29RoundTrip) {
+  const CivilTime leap{2024, 2, 29, 23, 59, 59};
+  EXPECT_EQ(from_unix(to_unix(leap)), leap);
+}
+
+TEST(Format, Iso8601) {
+  EXPECT_EQ(format_iso8601(0), "1970-01-01T00:00:00Z");
+  EXPECT_EQ(format_iso8601(1711929599), "2024-03-31T23:59:59Z");
+  EXPECT_EQ(format_date(1651363200), "2022-05-01");
+}
+
+TEST(Parse, Iso8601DateOnly) {
+  EXPECT_EQ(parse_iso8601("2022-05-01"), 1651363200);
+  EXPECT_EQ(parse_iso8601("1970-01-01"), 0);
+}
+
+TEST(Parse, Iso8601Full) {
+  EXPECT_EQ(parse_iso8601("2024-03-31T23:59:59Z"), 1711929599);
+  EXPECT_EQ(parse_iso8601("2024-03-31T23:59:59"), 1711929599);
+}
+
+TEST(Parse, RejectsMalformed) {
+  EXPECT_FALSE(parse_iso8601("").has_value());
+  EXPECT_FALSE(parse_iso8601("2024-13-01").has_value());
+  EXPECT_FALSE(parse_iso8601("2024-02-30").has_value());
+  EXPECT_FALSE(parse_iso8601("2023-02-29").has_value());
+  EXPECT_FALSE(parse_iso8601("2024/01/01").has_value());
+  EXPECT_FALSE(parse_iso8601("2024-01-01T25:00:00Z").has_value());
+  EXPECT_FALSE(parse_iso8601("2024-01-01X00:00:00Z").has_value());
+}
+
+TEST(Parse, FormatParseRoundTrip) {
+  for (std::int64_t ts = -5'000'000'000; ts < 5'000'000'000;
+       ts += 997 * 9973) {
+    EXPECT_EQ(parse_iso8601(format_iso8601(ts)), ts);
+  }
+}
+
+TEST(MonthIndex, BucketsAndLabels) {
+  const auto may_2022 = to_unix({2022, 5, 15, 10, 0, 0});
+  const auto mar_2024 = to_unix({2024, 3, 1, 0, 0, 0});
+  EXPECT_EQ(month_index(may_2022), 2022 * 12 + 4);
+  EXPECT_EQ(month_index(mar_2024) - month_index(may_2022), 22);
+  EXPECT_EQ(month_label(month_index(may_2022)), "2022-05");
+  EXPECT_EQ(month_label(month_index(mar_2024)), "2024-03");
+}
+
+}  // namespace
+}  // namespace mtlscope::util

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/ctlog/ct_database.hpp"
+#include "mtlscope/trust/authority.hpp"
+#include "mtlscope/trust/public_cas.hpp"
+#include "mtlscope/trust/store.hpp"
+#include "mtlscope/util/time.hpp"
+
+namespace mtlscope::trust {
+namespace {
+
+using util::to_unix;
+
+const util::UnixSeconds kNow = to_unix({2023, 6, 1, 0, 0, 0});
+
+x509::Certificate issue_leaf(const CertificateAuthority& ca,
+                             const std::string& cn) {
+  x509::DistinguishedName dn;
+  dn.add_cn(cn);
+  return ca.issue(x509::CertificateBuilder()
+                      .serial_from_label("leaf:" + cn)
+                      .subject(dn)
+                      .validity(to_unix({2023, 1, 1, 0, 0, 0}),
+                                to_unix({2024, 1, 1, 0, 0, 0}))
+                      .public_key(crypto::TsigKey::derive(cn).key));
+}
+
+TEST(PublicPki, BuildsAllCas) {
+  const auto& pki = public_pki();
+  EXPECT_GE(pki.cas().size(), 12u);
+  EXPECT_NE(pki.find("lets-encrypt"), nullptr);
+  EXPECT_NE(pki.find("digicert"), nullptr);
+  EXPECT_NE(pki.find("apple"), nullptr);
+  EXPECT_EQ(pki.find("nonexistent"), nullptr);
+}
+
+TEST(PublicPki, IntermediateChainsToRoot) {
+  const auto* le = public_pki().find("lets-encrypt");
+  ASSERT_NE(le, nullptr);
+  const auto& intermediate = le->intermediate.certificate();
+  EXPECT_EQ(intermediate.issuer, le->root.dn());
+  EXPECT_TRUE(crypto::tsig_verify(le->root.key().key, intermediate.tbs_der,
+                                  intermediate.signature));
+  EXPECT_TRUE(intermediate.basic_constraints.has_value());
+  EXPECT_TRUE(intermediate.basic_constraints->is_ca);
+}
+
+TEST(PublicPki, Deterministic) {
+  // Same PKI reconstructed from scratch issues identical certificates.
+  const PublicPki a;
+  const PublicPki b;
+  ASSERT_EQ(a.cas().size(), b.cas().size());
+  for (std::size_t i = 0; i < a.cas().size(); ++i) {
+    EXPECT_EQ(a.cas()[i].root.certificate().der,
+              b.cas()[i].root.certificate().der);
+    EXPECT_EQ(a.cas()[i].intermediate.certificate().der,
+              b.cas()[i].intermediate.certificate().der);
+  }
+}
+
+TEST(TrustEvaluator, PublicLeafClassifiedPublic) {
+  const auto evaluator = make_default_evaluator();
+  const auto* le = public_pki().find("lets-encrypt");
+  const auto leaf = issue_leaf(le->intermediate, "site.example.com");
+  EXPECT_EQ(evaluator.classify(leaf), IssuerClass::kPublic);
+}
+
+TEST(TrustEvaluator, PrivateLeafClassifiedPrivate) {
+  const auto evaluator = make_default_evaluator();
+  x509::DistinguishedName dn;
+  dn.add_org("Campus Medical CA").add_cn("Campus Medical Issuing CA");
+  const auto ca = CertificateAuthority::make_root(
+      dn, 0, to_unix({2040, 1, 1, 0, 0, 0}));
+  const auto leaf = issue_leaf(ca, "device-17");
+  EXPECT_EQ(evaluator.classify(leaf), IssuerClass::kPrivate);
+}
+
+TEST(TrustEvaluator, SelfSignedIsPrivate) {
+  const auto evaluator = make_default_evaluator();
+  x509::DistinguishedName dn;
+  dn.add_org("Internet Widgits Pty Ltd");
+  const auto key = crypto::TsigKey::derive("widgits");
+  const auto cert = x509::CertificateBuilder()
+                        .serial_hex("00")
+                        .subject(dn)
+                        .validity(0, to_unix({2030, 1, 1, 0, 0, 0}))
+                        .public_key(key.key)
+                        .self_sign(key);
+  EXPECT_EQ(evaluator.classify(cert), IssuerClass::kPrivate);
+}
+
+TEST(TrustEvaluator, IntermediateInChainMakesPublic) {
+  // Leaf issued by an unknown sub-CA whose own issuer is public: the
+  // paper's rule accepts chain membership at any level.
+  const auto evaluator = make_default_evaluator();
+  const auto* dc = public_pki().find("digicert");
+  x509::DistinguishedName sub_dn;
+  sub_dn.add_org("Example Hosting").add_cn("Example Hosting Issuing CA");
+  const auto sub =
+      CertificateAuthority::make_intermediate(dc->intermediate, sub_dn, 0,
+                                              to_unix({2035, 1, 1, 0, 0, 0}));
+  const auto leaf = issue_leaf(sub, "leaf.example.com");
+  EXPECT_EQ(evaluator.classify(leaf), IssuerClass::kPrivate)
+      << "leaf alone does not chain";
+  EXPECT_EQ(evaluator.classify(leaf, {sub.certificate()}),
+            IssuerClass::kPublic)
+      << "with the intermediate present, its issuer is trusted";
+}
+
+TEST(TrustEvaluator, ValidateFullChain) {
+  const auto evaluator = make_default_evaluator();
+  const auto* le = public_pki().find("lets-encrypt");
+  const auto leaf = issue_leaf(le->intermediate, "ok.example.com");
+  const std::vector<x509::Certificate> chain = {
+      leaf, le->intermediate.certificate(), le->root.certificate()};
+  EXPECT_EQ(evaluator.validate(chain, kNow), ChainStatus::kValid);
+}
+
+TEST(TrustEvaluator, ValidateDetectsExpiry) {
+  const auto evaluator = make_default_evaluator();
+  const auto* le = public_pki().find("lets-encrypt");
+  const auto leaf = issue_leaf(le->intermediate, "ok.example.com");
+  const std::vector<x509::Certificate> chain = {
+      leaf, le->intermediate.certificate(), le->root.certificate()};
+  EXPECT_EQ(evaluator.validate(chain, to_unix({2025, 6, 1, 0, 0, 0})),
+            ChainStatus::kExpired);
+}
+
+TEST(TrustEvaluator, ValidateDetectsBrokenLink) {
+  const auto evaluator = make_default_evaluator();
+  const auto* le = public_pki().find("lets-encrypt");
+  const auto* dc = public_pki().find("digicert");
+  const auto leaf = issue_leaf(le->intermediate, "ok.example.com");
+  // Wrong intermediate: issuer DN does not match.
+  const std::vector<x509::Certificate> chain = {
+      leaf, dc->intermediate.certificate()};
+  EXPECT_EQ(evaluator.validate(chain, kNow), ChainStatus::kUntrustedRoot);
+}
+
+TEST(TrustEvaluator, ValidateDetectsBadSignature) {
+  const auto evaluator = make_default_evaluator();
+  const auto* le = public_pki().find("lets-encrypt");
+  auto leaf = issue_leaf(le->intermediate, "ok.example.com");
+  leaf.signature[0] ^= 0xff;
+  const std::vector<x509::Certificate> chain = {
+      leaf, le->intermediate.certificate(), le->root.certificate()};
+  EXPECT_EQ(evaluator.validate(chain, kNow), ChainStatus::kBadSignature);
+}
+
+TEST(TrustEvaluator, ValidateEmptyChain) {
+  const auto evaluator = make_default_evaluator();
+  EXPECT_EQ(evaluator.validate({}, kNow), ChainStatus::kEmptyChain);
+}
+
+TEST(TrustEvaluator, ValidateUntrustedSelfSigned) {
+  const auto evaluator = make_default_evaluator();
+  x509::DistinguishedName dn;
+  dn.add_org("Nobody");
+  const auto key = crypto::TsigKey::derive("nobody");
+  const auto cert = x509::CertificateBuilder()
+                        .serial_hex("01")
+                        .subject(dn)
+                        .validity(0, to_unix({2030, 1, 1, 0, 0, 0}))
+                        .public_key(key.key)
+                        .self_sign(key);
+  EXPECT_EQ(evaluator.validate({cert}, kNow), ChainStatus::kUntrustedRoot);
+}
+
+TEST(TrustStore, OrganizationMembership) {
+  TrustStore store("CCADB");
+  store.add_organization("DigiCert Inc");
+  x509::DistinguishedName issuer;
+  issuer.add_org("DigiCert Inc").add_cn("Some Future DigiCert CA");
+  TrustEvaluator evaluator;
+  evaluator.add_store(std::move(store));
+  EXPECT_TRUE(evaluator.is_trusted_issuer(issuer));
+  x509::DistinguishedName other;
+  other.add_org("Not DigiCert").add_cn("x");
+  EXPECT_FALSE(evaluator.is_trusted_issuer(other));
+}
+
+TEST(CtDatabase, LogAndMatch) {
+  ctlog::CtDatabase db;
+  x509::DistinguishedName le;
+  le.add_org("Let's Encrypt").add_cn("R3");
+  x509::DistinguishedName proxy;
+  proxy.add_org("Corporate Proxy CA");
+  db.log_certificate("example.com", le);
+  EXPECT_TRUE(db.has_domain("example.com"));
+  EXPECT_FALSE(db.has_domain("other.com"));
+  EXPECT_TRUE(db.issuer_matches("example.com", le));
+  EXPECT_FALSE(db.issuer_matches("example.com", proxy));
+  EXPECT_FALSE(db.issuer_matches("other.com", le));
+  ASSERT_NE(db.issuers_for("example.com"), nullptr);
+  EXPECT_EQ(db.issuers_for("example.com")->size(), 1u);
+  EXPECT_EQ(db.issuers_for("other.com"), nullptr);
+}
+
+TEST(CtDatabase, MultipleIssuersPerDomain) {
+  ctlog::CtDatabase db;
+  x509::DistinguishedName a;
+  a.add_org("Let's Encrypt");
+  x509::DistinguishedName b;
+  b.add_org("DigiCert Inc");
+  db.log_certificate("example.com", a);
+  db.log_certificate("example.com", b);
+  EXPECT_TRUE(db.issuer_matches("example.com", a));
+  EXPECT_TRUE(db.issuer_matches("example.com", b));
+  EXPECT_EQ(db.issuers_for("example.com")->size(), 2u);
+  EXPECT_EQ(db.domain_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mtlscope::trust

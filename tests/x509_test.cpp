@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "mtlscope/crypto/tsig.hpp"
+#include "mtlscope/util/time.hpp"
+#include "mtlscope/x509/builder.hpp"
+#include "mtlscope/x509/certificate.hpp"
+#include "mtlscope/x509/name.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+namespace mtlscope::x509 {
+namespace {
+
+using util::to_unix;
+
+crypto::TsigKey test_key() { return crypto::TsigKey::derive("Test CA"); }
+
+DistinguishedName ca_dn() {
+  DistinguishedName dn;
+  dn.add_country("US").add_org("Test CA Org").add_cn("Test CA");
+  return dn;
+}
+
+Certificate make_leaf() {
+  DistinguishedName subject;
+  subject.add_org("Example Org").add_cn("leaf.example.com");
+  return CertificateBuilder()
+      .serial_from_label("leaf-1")
+      .subject(subject)
+      .validity(to_unix({2023, 1, 1, 0, 0, 0}), to_unix({2024, 1, 1, 0, 0, 0}))
+      .public_key(crypto::TsigKey::derive("leaf-key").key)
+      .add_san_dns("leaf.example.com")
+      .add_san_dns("alt.example.com")
+      .add_eku(asn1::oids::eku_server_auth())
+      .sign(ca_dn(), test_key());
+}
+
+// --- DistinguishedName ---------------------------------------------------------
+
+TEST(DistinguishedName, BuildAndQuery) {
+  const auto dn = ca_dn();
+  EXPECT_EQ(dn.common_name(), "Test CA");
+  EXPECT_EQ(dn.organization(), "Test CA Org");
+  EXPECT_EQ(dn.find(asn1::oids::country_name()), "US");
+  EXPECT_FALSE(dn.find(asn1::oids::locality_name()).has_value());
+}
+
+TEST(DistinguishedName, ToStringFormat) {
+  EXPECT_EQ(ca_dn().to_string(), "C=US,O=Test CA Org,CN=Test CA");
+}
+
+TEST(DistinguishedName, FromStringRoundTrip) {
+  const auto parsed = DistinguishedName::from_string(ca_dn().to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ca_dn());
+}
+
+TEST(DistinguishedName, EscapesCommas) {
+  DistinguishedName dn;
+  dn.add_org("Acme, Inc.").add_cn("x");
+  const std::string s = dn.to_string();
+  EXPECT_EQ(s, "O=Acme\\, Inc.,CN=x");
+  const auto parsed = DistinguishedName::from_string(s);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, dn);
+}
+
+TEST(DistinguishedName, FromStringEmpty) {
+  const auto parsed = DistinguishedName::from_string("");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(DistinguishedName, FromStringRejectsNoEquals) {
+  EXPECT_FALSE(DistinguishedName::from_string("garbage").has_value());
+}
+
+TEST(DistinguishedName, UnknownOidRendersAsDotted) {
+  DistinguishedName dn;
+  dn.add(asn1::Oid({2, 5, 4, 12}), "Dr.");  // title
+  EXPECT_EQ(dn.to_string(), "2.5.4.12=Dr.");
+  const auto parsed = DistinguishedName::from_string(dn.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, dn);
+}
+
+// --- Build → parse round trip ----------------------------------------------------
+
+TEST(Certificate, BuildParseRoundTrip) {
+  const Certificate cert = make_leaf();
+  EXPECT_EQ(cert.version, 3);
+  EXPECT_EQ(cert.subject.common_name(), "leaf.example.com");
+  EXPECT_EQ(cert.issuer, ca_dn());
+  EXPECT_EQ(cert.validity.not_before, to_unix({2023, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(cert.validity.not_after, to_unix({2024, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(cert.san_dns(),
+            (std::vector<std::string>{"leaf.example.com", "alt.example.com"}));
+  ASSERT_EQ(cert.ext_key_usage.size(), 1u);
+  EXPECT_EQ(cert.ext_key_usage[0], asn1::oids::eku_server_auth());
+}
+
+TEST(Certificate, ReParseIsIdentical) {
+  const Certificate cert = make_leaf();
+  const auto reparsed = parse_certificate(cert.der);
+  const Certificate* c2 = get_certificate(reparsed);
+  ASSERT_NE(c2, nullptr);
+  EXPECT_EQ(c2->der, cert.der);
+  EXPECT_EQ(c2->subject, cert.subject);
+  EXPECT_EQ(c2->serial, cert.serial);
+  EXPECT_EQ(c2->fingerprint(), cert.fingerprint());
+}
+
+TEST(Certificate, SignatureVerifies) {
+  const Certificate cert = make_leaf();
+  EXPECT_TRUE(crypto::tsig_verify(test_key().key, cert.tbs_der,
+                                  cert.signature));
+  EXPECT_FALSE(crypto::tsig_verify(crypto::TsigKey::derive("other").key,
+                                   cert.tbs_der, cert.signature));
+}
+
+TEST(Certificate, SelfSigned) {
+  DistinguishedName dn;
+  dn.add_org("Internet Widgits Pty Ltd").add_cn("self");
+  const auto key = crypto::TsigKey::derive("self-key");
+  const Certificate cert = CertificateBuilder()
+                               .serial_hex("00")
+                               .subject(dn)
+                               .validity(0, to_unix({2030, 1, 1, 0, 0, 0}))
+                               .public_key(key.key)
+                               .self_sign(key);
+  EXPECT_TRUE(cert.is_self_issued());
+  EXPECT_EQ(cert.serial_hex(), "00");
+  EXPECT_TRUE(crypto::tsig_verify(key.key, cert.tbs_der, cert.signature));
+}
+
+TEST(Certificate, Version1OmitsExtensions) {
+  DistinguishedName dn;
+  dn.add_cn("v1cert");
+  const Certificate cert =
+      CertificateBuilder()
+          .version(1)
+          .serial_hex("01")
+          .subject(dn)
+          .validity(0, 1000000)
+          .public_key({1, 2, 3})
+          .add_san_dns("ignored.example.com")  // dropped: v1 has no extensions
+          .sign(ca_dn(), test_key());
+  EXPECT_EQ(cert.version, 1);
+  EXPECT_TRUE(cert.san.empty());
+}
+
+TEST(Certificate, SerialHexRendering) {
+  DistinguishedName dn;
+  dn.add_cn("s");
+  const auto build = [&dn](std::string_view hex) {
+    return CertificateBuilder()
+        .serial_hex(hex)
+        .subject(dn)
+        .validity(0, 1)
+        .public_key({1})
+        .sign(ca_dn(), test_key());
+  };
+  EXPECT_EQ(build("00").serial_hex(), "00");
+  EXPECT_EQ(build("01").serial_hex(), "01");
+  EXPECT_EQ(build("024680").serial_hex(), "024680");
+  EXPECT_EQ(build("03E8").serial_hex(), "03E8");
+  // High bit set: DER adds a sign octet, rendering strips it back.
+  EXPECT_EQ(build("FF").serial_hex(), "FF");
+}
+
+TEST(Certificate, CaAndKeyUsage) {
+  DistinguishedName dn = ca_dn();
+  const auto key = test_key();
+  const Certificate cert =
+      CertificateBuilder()
+          .serial_from_label("ca")
+          .subject(dn)
+          .validity(0, to_unix({2040, 1, 1, 0, 0, 0}))
+          .public_key(key.key)
+          .ca(true, 1)
+          .key_usage(key_usage::kKeyCertSign | key_usage::kCrlSign)
+          .self_sign(key);
+  ASSERT_TRUE(cert.basic_constraints.has_value());
+  EXPECT_TRUE(cert.basic_constraints->is_ca);
+  EXPECT_EQ(cert.basic_constraints->path_len, 1);
+  ASSERT_TRUE(cert.key_usage_bits.has_value());
+  EXPECT_TRUE(*cert.key_usage_bits & key_usage::kKeyCertSign);
+  EXPECT_TRUE(*cert.key_usage_bits & key_usage::kCrlSign);
+  EXPECT_FALSE(*cert.key_usage_bits & key_usage::kDigitalSignature);
+}
+
+TEST(Certificate, SanTypesRoundTrip) {
+  DistinguishedName dn;
+  dn.add_cn("san-test");
+  const Certificate cert =
+      CertificateBuilder()
+          .serial_from_label("san")
+          .subject(dn)
+          .validity(0, 1)
+          .public_key({1})
+          .add_san_dns("host.example.com")
+          .add_san_email("user@example.com")
+          .add_san_uri("https://example.com/path")
+          .add_san_ip(*net::IpAddress::parse("192.0.2.7"))
+          .add_san_ip(*net::IpAddress::parse("2001:db8::7"))
+          .sign(ca_dn(), test_key());
+  ASSERT_EQ(cert.san.size(), 5u);
+  EXPECT_EQ(cert.san[0], (SanEntry{SanEntry::Type::kDns, "host.example.com"}));
+  EXPECT_EQ(cert.san[1], (SanEntry{SanEntry::Type::kEmail, "user@example.com"}));
+  EXPECT_EQ(cert.san[2],
+            (SanEntry{SanEntry::Type::kUri, "https://example.com/path"}));
+  EXPECT_EQ(cert.san[3], (SanEntry{SanEntry::Type::kIp, "192.0.2.7"}));
+  EXPECT_EQ(cert.san[4], (SanEntry{SanEntry::Type::kIp, "2001:db8::7"}));
+}
+
+// --- The paper's misconfiguration shapes -----------------------------------------
+
+TEST(Certificate, IncorrectDatesRepresentable) {
+  // IDrive-style: notBefore 2019, notAfter 1849 (§5.3.1 / Table 12).
+  DistinguishedName dn;
+  dn.add_org("IDrive Inc Certificate Authority").add_cn("backup-client");
+  const Certificate cert =
+      CertificateBuilder()
+          .serial_from_label("idrive")
+          .subject(dn)
+          .validity(to_unix({2019, 8, 2, 0, 0, 0}),
+                    to_unix({1849, 10, 24, 0, 0, 0}))
+          .public_key({1})
+          .sign(ca_dn(), test_key());
+  EXPECT_TRUE(cert.validity.dates_incorrect());
+  EXPECT_LT(cert.validity.period_days(), 0);
+  EXPECT_EQ(util::from_unix(cert.validity.not_after).year, 1849);
+}
+
+TEST(Certificate, EqualDatesAreIncorrect) {
+  Validity v{100, 100};
+  EXPECT_TRUE(v.dates_incorrect());
+}
+
+TEST(Certificate, ExtremeValidityPeriod) {
+  // The paper found one cert with an 83,432-day (~228-year) validity.
+  const auto nb = to_unix({2020, 1, 1, 0, 0, 0});
+  const auto na = nb + 83'432 * util::kSecondsPerDay;
+  DistinguishedName dn;
+  dn.add_cn("ancient");
+  const Certificate cert = CertificateBuilder()
+                               .serial_from_label("long")
+                               .subject(dn)
+                               .validity(nb, na)
+                               .public_key({1})
+                               .sign(ca_dn(), test_key());
+  EXPECT_EQ(cert.validity.period_days(), 83'432);
+  EXPECT_EQ(util::from_unix(cert.validity.not_after).year, 2248);
+}
+
+TEST(Certificate, ExpiryCheck) {
+  const Certificate cert = make_leaf();
+  EXPECT_FALSE(cert.expired_at(to_unix({2023, 6, 1, 0, 0, 0})));
+  EXPECT_TRUE(cert.expired_at(to_unix({2024, 6, 1, 0, 0, 0})));
+}
+
+TEST(Certificate, EkuGating) {
+  const Certificate server = make_leaf();
+  EXPECT_TRUE(server.allows_server_auth());
+  EXPECT_FALSE(server.allows_client_auth());
+
+  DistinguishedName dn;
+  dn.add_cn("no-eku");
+  const Certificate unrestricted = CertificateBuilder()
+                                       .serial_from_label("u")
+                                       .subject(dn)
+                                       .validity(0, 1)
+                                       .public_key({1})
+                                       .sign(ca_dn(), test_key());
+  EXPECT_TRUE(unrestricted.allows_server_auth());
+  EXPECT_TRUE(unrestricted.allows_client_auth());
+}
+
+TEST(Certificate, KeyBits) {
+  DistinguishedName dn;
+  dn.add_cn("weak");
+  const Certificate cert =
+      CertificateBuilder()
+          .serial_from_label("weak")
+          .subject(dn)
+          .validity(0, 1)
+          .public_key(crypto::TsigKey::derive("weak", 1024).key)
+          .spki_algorithm(asn1::oids::alg_rsa_encryption())
+          .sign(ca_dn(), test_key());
+  EXPECT_EQ(cert.key_bits(), 1024u);
+  EXPECT_EQ(cert.spki_algorithm, asn1::oids::alg_rsa_encryption());
+}
+
+// --- Parser robustness ------------------------------------------------------------
+
+TEST(Parser, RejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(get_certificate(parse_certificate(garbage)), nullptr);
+}
+
+TEST(Parser, RejectsEmpty) {
+  EXPECT_EQ(get_certificate(parse_certificate({})), nullptr);
+}
+
+TEST(Parser, RejectsTruncated) {
+  const Certificate cert = make_leaf();
+  for (const std::size_t keep :
+       {cert.der.size() / 4, cert.der.size() / 2, cert.der.size() - 1}) {
+    const std::span<const std::uint8_t> prefix(cert.der.data(), keep);
+    EXPECT_EQ(get_certificate(parse_certificate(prefix)), nullptr)
+        << "kept " << keep;
+  }
+}
+
+TEST(Parser, RejectsTrailingBytes) {
+  Certificate cert = make_leaf();
+  auto der = cert.der;
+  der.push_back(0x00);
+  EXPECT_EQ(get_certificate(parse_certificate(der)), nullptr);
+}
+
+TEST(Parser, FlippedBytesNeverCrash) {
+  // Property: single-byte corruption either parses to something or fails
+  // cleanly; it must never crash or hang.
+  const Certificate cert = make_leaf();
+  auto der = cert.der;
+  for (std::size_t i = 0; i < der.size(); i += 3) {
+    der[i] ^= 0xff;
+    (void)parse_certificate(der);
+    der[i] ^= 0xff;
+  }
+  SUCCEED();
+}
+
+TEST(Certificate, FingerprintDistinguishesCerts) {
+  const Certificate a = make_leaf();
+  DistinguishedName dn;
+  dn.add_cn("other.example.com");
+  const Certificate b = CertificateBuilder()
+                            .serial_from_label("other")
+                            .subject(dn)
+                            .validity(0, 1)
+                            .public_key({1})
+                            .sign(ca_dn(), test_key());
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint_hex().size(), 64u);
+}
+
+}  // namespace
+}  // namespace mtlscope::x509
