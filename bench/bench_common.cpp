@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,8 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.conn_scale = std::atof(arg + 13);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       options.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = static_cast<std::size_t>(std::atoll(arg + 10));
     }
   }
   return options;
@@ -36,14 +39,32 @@ core::PipelineConfig make_config(const gen::TraceGenerator& generator) {
 
 }  // namespace
 
-CampusRun::CampusRun(gen::CampusModel model)
-    : generator_(std::move(model)), pipeline_(make_config(generator_)) {}
+CampusRun::CampusRun(gen::CampusModel model, std::size_t threads)
+    : generator_(std::move(model)),
+      executor_(make_config(generator_), threads) {}
+
+core::Pipeline& CampusRun::pipeline() {
+  if (!pipeline_) {
+    std::fprintf(stderr,
+                 "CampusRun::pipeline() called before run(); observers must "
+                 "be registered via add_observer()/attach()\n");
+    std::abort();
+  }
+  return *pipeline_;
+}
+
+void CampusRun::add_observer(core::Pipeline::Observer observer) {
+  executor_.add_shared_observer(std::move(observer));
+}
 
 void CampusRun::run() {
-  generator_.generate([this](const tls::TlsConnection& conn) {
-    pipeline_.feed(conn);
-  });
-  pipeline_.finalize();
+  const auto dataset = generator_.generate_dataset();
+  records_ = dataset.connection_count();
+  const auto start = std::chrono::steady_clock::now();
+  pipeline_.emplace(executor_.run(dataset));
+  const auto stop = std::chrono::steady_clock::now();
+  wall_seconds_ =
+      std::chrono::duration<double>(stop - start).count();
 }
 
 void print_header(const std::string& experiment,
@@ -53,6 +74,9 @@ void print_header(const std::string& experiment,
   std::printf("model: cert_scale=1:%g conn_scale=1:%g seed=%llu\n",
               options.cert_scale, options.conn_scale,
               static_cast<unsigned long long>(options.seed));
+  std::printf("threads: %zu%s\n",
+              core::PipelineExecutor::resolve_threads(options.threads),
+              options.threads == 0 ? " (hardware concurrency)" : "");
   std::printf("================================================================\n");
 }
 
@@ -63,6 +87,10 @@ void print_footer(const CampusRun& run) {
       "minted]\n",
       totals.connections, totals.mutual_connections,
       totals.certificates_minted);
+  std::printf("[pipeline: %zu threads, %zu records in %.3f s — %.0f "
+              "records/s]\n",
+              run.shard_count(), run.records_processed(), run.wall_seconds(),
+              run.records_per_second());
 }
 
 void keep_only_clusters(gen::CampusModel& model,

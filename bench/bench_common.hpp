@@ -1,12 +1,13 @@
 // Shared harness for the repro_* binaries: builds the calibrated campus
-// model, streams it through the measurement pipeline, and provides the
-// paper-vs-measured printing conventions.
+// model, runs it through the sharded measurement pipeline, and provides
+// the paper-vs-measured printing conventions.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/core/report.hpp"
 #include "mtlscope/gen/generator.hpp"
@@ -17,34 +18,64 @@ struct BenchOptions {
   double cert_scale;
   double conn_scale;
   std::uint64_t seed = 20240504;
+  /// Worker threads / shards for the PipelineExecutor. 0 → hardware
+  /// concurrency; 1 → serial (single shard, run inline).
+  std::size_t threads = 0;
 
-  /// Parses --cert-scale= / --conn-scale= / --seed= overrides.
+  /// Parses --cert-scale= / --conn-scale= / --seed= / --threads= overrides.
   static BenchOptions parse(int argc, char** argv, double default_cert_scale,
                             double default_conn_scale);
 };
 
-/// Owns the generator and the pipeline with a consistent configuration
-/// (campus defaults + the generator's CT database). Register observers on
-/// `pipeline` before calling run().
+/// Owns the generator and a PipelineExecutor with a consistent
+/// configuration (campus defaults + the generator's CT database).
+/// Register observers (add_observer / attach) before calling run(); the
+/// merged pipeline is available through pipeline() afterwards.
 class CampusRun {
  public:
-  explicit CampusRun(gen::CampusModel model);
+  explicit CampusRun(gen::CampusModel model, std::size_t threads = 0);
 
-  core::Pipeline& pipeline() { return pipeline_; }
+  /// The merged, finalized pipeline. Valid only after run().
+  core::Pipeline& pipeline();
+  const core::PipelineExecutor& executor() const { return executor_; }
   const gen::TraceGenerator& generator() const { return generator_; }
 
-  /// Streams the whole trace through the pipeline.
+  std::size_t shard_count() const { return executor_.shard_count(); }
+
+  /// Shared observer, fired from every shard under a mutex — use for
+  /// ad-hoc commutative accumulators (counters, sets).
+  void add_observer(core::Pipeline::Observer observer);
+
+  /// One analyzer instance per shard; merge with std::move(s).merged()
+  /// after run().
+  template <typename A>
+  void attach(core::Sharded<A>& sharded) {
+    executor_.attach(sharded);
+  }
+
+  /// Generates the trace, then runs the executor over it. The wall-clock
+  /// figures cover the pipeline execution only (not generation).
   void run();
+
+  double wall_seconds() const { return wall_seconds_; }
+  std::size_t records_processed() const { return records_; }
+  double records_per_second() const {
+    return wall_seconds_ <= 0 ? 0
+                              : static_cast<double>(records_) / wall_seconds_;
+  }
 
  private:
   gen::TraceGenerator generator_;
-  core::Pipeline pipeline_;
+  core::PipelineExecutor executor_;
+  std::optional<core::Pipeline> pipeline_;
+  double wall_seconds_ = 0;
+  std::size_t records_ = 0;
 };
 
-/// Prints the standard bench header: experiment id, model sizes.
+/// Prints the standard bench header: experiment id, model sizes, threads.
 void print_header(const std::string& experiment, const BenchOptions& options);
 
-/// Prints a closing line with totals from the run.
+/// Prints a closing line with totals and throughput from the run.
 void print_footer(const CampusRun& run);
 
 /// Restricts a model to clusters whose name starts with any of the given

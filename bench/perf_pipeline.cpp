@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/gen/generator.hpp"
 #include "mtlscope/zeek/log_io.hpp"
@@ -47,6 +48,31 @@ void BM_PipelineEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(conns));
 }
 BENCHMARK(BM_PipelineEndToEnd)->Unit(benchmark::kMillisecond);
+
+// Sharded executor over a pre-generated dataset: the Arg is the shard /
+// worker count, so `--benchmark_filter=Executor` shows the scaling curve
+// against Threads/1 (the inline serial path).
+void BM_PipelineExecutor(benchmark::State& state) {
+  gen::TraceGenerator generator(small_model());
+  const auto dataset = generator.generate_dataset();
+  auto config = core::PipelineConfig::campus_defaults();
+  config.ct = &generator.ct_database();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  std::size_t conns = 0;
+  for (auto _ : state) {
+    core::PipelineExecutor executor(config, threads);
+    auto pipeline = executor.run(dataset);
+    conns += pipeline.totals().connections;
+    benchmark::DoNotOptimize(pipeline.totals());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(conns));
+}
+BENCHMARK(BM_PipelineExecutor)
+    ->Unit(benchmark::kMillisecond)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4);
 
 void BM_ZeekSslSerialize(benchmark::State& state) {
   gen::TraceGenerator generator(small_model());

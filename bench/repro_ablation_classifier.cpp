@@ -20,14 +20,15 @@ int main(int argc, char** argv) {
 
   auto model = gen::paper_model(options.cert_scale, options.conn_scale);
   model.seed = options.seed;
-  bench::CampusRun run(std::move(model));
+  bench::CampusRun run(std::move(model), options.threads);
   run.run();
 
   // Re-classify every CN under both settings.
   std::array<std::uint64_t, textclass::kInfoTypeCount> with_ner{};
   std::array<std::uint64_t, textclass::kInfoTypeCount> without_ner{};
   std::uint64_t total = 0;
-  for (const auto& [fuid, facts] : run.pipeline().certificates()) {
+  for (const core::CertFacts* cert : run.pipeline().certificates_sorted()) {
+    const core::CertFacts& facts = *cert;
     if (!facts.has_cn()) continue;
     ++total;
     textclass::ClassifyContext ctx;

@@ -28,10 +28,8 @@ int main(int argc, char** argv) {
     auto config = core::PipelineConfig::campus_defaults();
     config.ct = &generator.ct_database();
     config.interception_domain_threshold = threshold;
-    core::Pipeline pipeline(std::move(config));
-    generator.generate(
-        [&pipeline](const tls::TlsConnection& conn) { pipeline.feed(conn); });
-    pipeline.finalize();
+    core::PipelineExecutor executor(std::move(config), options.threads);
+    const auto pipeline = executor.run(generator.generate_dataset());
 
     std::size_t true_proxies = 0;
     std::size_t false_positives = 0;

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::erase_if(model.clusters, [](const gen::TrafficCluster& c) {
     return c.name.rfind("out-cross", 0) == 0;
   });
-  bench::CampusRun run(std::move(model));
+  bench::CampusRun run(std::move(model), options.threads);
 
   std::set<std::string> server_ips, client_ips;
   std::set<std::string> tls13_server_ips, tls13_client_ips;
@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
                 inbound_health = 0;
   std::uint64_t outbound_mutual = 0, outbound_email = 0;
 
-  run.pipeline().add_observer([&](const core::EnrichedConnection& c) {
+  run.add_observer([&](const core::EnrichedConnection& c) {
     server_ips.insert(c.ssl->resp_h);
     client_ips.insert(c.ssl->orig_h);
     if (c.ssl->version == "TLSv13") {

@@ -26,13 +26,11 @@ int main(int argc, char** argv) {
   model.background_connections =
       static_cast<std::size_t>(mutual_estimate * 33.0);
 
-  bench::CampusRun run(std::move(model));
-  core::PrevalenceAnalyzer prevalence;
-  run.pipeline().add_observer(
-      [&prevalence](const core::EnrichedConnection& c) {
-        prevalence.observe(c);
-      });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(run.shard_count());
+  run.attach(prevalence_shards);
   run.run();
+  auto prevalence = std::move(prevalence_shards).merged();
 
   const auto series = prevalence.series();
   core::TextTable table(

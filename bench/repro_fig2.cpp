@@ -14,11 +14,11 @@ int main(int argc, char** argv) {
   model.seed = options.seed;
   // Figure 2 covers outbound mutual TLS only.
   bench::keep_only_clusters(model, {"out-"});
-  bench::CampusRun run(std::move(model));
-  core::OutboundFlowAnalyzer flows;
-  run.pipeline().add_observer(
-      [&flows](const core::EnrichedConnection& c) { flows.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::OutboundFlowAnalyzer> flows_shards(run.shard_count());
+  run.attach(flows_shards);
   run.run();
+  auto flows = std::move(flows_shards).merged();
 
   std::printf("\nTop flows (TLD -> server class -> client category):\n");
   core::TextTable table({"TLD", "Server cert", "Client cert issuer",

@@ -19,11 +19,11 @@ int main(int argc, char** argv) {
       model, {"in-rcgen", "out-idrive", "out-clouddevice", "out-alarmnet",
               "out-sds", "out-ayoba", "out-ibackup", "out-crestron",
               "out-icelink", "out-media-server"});
-  bench::CampusRun run(std::move(model));
-  core::IncorrectDateAnalyzer dates;
-  run.pipeline().add_observer(
-      [&dates](const core::EnrichedConnection& c) { dates.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::IncorrectDateAnalyzer> dates_shards(run.shard_count());
+  run.attach(dates_shards);
   run.run();
+  auto dates = std::move(dates_shards).merged();
 
   core::TextTable table({"SLD", "Side", "Issuer", "Validity (nb, na)",
                          "Clients", "Duration (days)"});

@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
       model, {"in-globus-shared", "out-globus-shared", "out-guardicore",
               "in-viptela", "in-serial00", "in-local-serial", "in-local-org",
               "out-aws-corp"});
-  bench::CampusRun run(std::move(model));
-  core::SerialCollisionAnalyzer serials;
-  run.pipeline().add_observer(
-      [&serials](const core::EnrichedConnection& c) { serials.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::SerialCollisionAnalyzer> serials_shards(run.shard_count());
+  run.attach(serials_shards);
   run.run();
+  auto serials = std::move(serials_shards).merged();
 
   const auto groups = serials.collision_groups();
   core::TextTable table({"Dir", "Issuer", "Serial", "Server certs",

@@ -31,11 +31,11 @@ int main(int argc, char** argv) {
 
   auto model = gen::paper_model(options.cert_scale, options.conn_scale);
   model.seed = options.seed;
-  bench::CampusRun run(std::move(model));
-  core::ServicePortAnalyzer ports;
-  run.pipeline().add_observer(
-      [&ports](const core::EnrichedConnection& c) { ports.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::ServicePortAnalyzer> ports_shards(run.shard_count());
+  run.attach(ports_shards);
   run.run();
+  auto ports = std::move(ports_shards).merged();
 
   print_quadrant(ports, core::Direction::kInbound, true,
                  "443 63.60% | 20017 24.89% | 636 6.36% | 50000-51000 1.17% "

@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
   // Table 3 covers inbound mutual TLS only; dropping the other slices
   // lets a low connection scale run quickly without coverage distortion.
   bench::keep_only_clusters(model, {"in-"});
-  bench::CampusRun run(std::move(model));
-  core::InboundAssociationAnalyzer assoc;
-  run.pipeline().add_observer(
-      [&assoc](const core::EnrichedConnection& c) { assoc.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::InboundAssociationAnalyzer> assoc_shards(run.shard_count());
+  run.attach(assoc_shards);
   run.run();
+  auto assoc = std::move(assoc_shards).merged();
 
   struct PaperRow {
     core::ServerAssociation assoc;

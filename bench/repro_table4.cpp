@@ -16,11 +16,11 @@ int main(int argc, char** argv) {
       model, {"in-dummy", "in-unspecified", "in-widgits", "out-widgits",
               "out-default", "out-acme", "out-dummy-both", "out-longvalid-dummy",
               "in-local-org", "out-aws-corp"});
-  bench::CampusRun run(std::move(model));
-  core::DummyIssuerAnalyzer dummies;
-  run.pipeline().add_observer(
-      [&dummies](const core::EnrichedConnection& c) { dummies.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::DummyIssuerAnalyzer> dummies_shards(run.shard_count());
+  run.attach(dummies_shards);
   run.run();
+  auto dummies = std::move(dummies_shards).merged();
 
   std::printf("\nTable 4 — certificates with dummy issuers:\n");
   core::TextTable table({"Dir", "Side", "Dummy issuer org", "Server groups",

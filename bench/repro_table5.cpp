@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
               "out-psych", "out-splunk-shared", "out-leidos", "out-acr",
               "out-sapns2", "out-bluetriton", "out-gpo", "out-rtc-shared",
               "out-aws", "in-health"});
-  bench::CampusRun run(std::move(model));
-  core::SharedCertAnalyzer shared;
-  run.pipeline().add_observer(
-      [&shared](const core::EnrichedConnection& c) { shared.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
+  run.attach(shared_shards);
   run.run();
+  auto shared = std::move(shared_shards).merged();
 
   struct PaperRow {
     const char* sld;

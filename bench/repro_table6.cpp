@@ -17,11 +17,11 @@ int main(int argc, char** argv) {
   // Table 6 concerns only the cross-connection-shared population; slicing
   // to it allows running at full certificate fidelity (cert_scale 1).
   bench::keep_only_clusters(model, {"out-cross"});
-  bench::CampusRun run(std::move(model));
-  core::SharedCertAnalyzer shared;
-  run.pipeline().add_observer(
-      [&shared](const core::EnrichedConnection& c) { shared.observe(c); });
+  bench::CampusRun run(std::move(model), options.threads);
+  core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
+  run.attach(shared_shards);
   run.run();
+  auto shared = std::move(shared_shards).merged();
 
   const auto q = shared.subnet_quantiles(run.pipeline());
   std::printf("\ncross-connection shared certificates: %zu (paper 1,611 / "

@@ -4,11 +4,13 @@
 // collisions, shared certificates, expired client certificates).
 //
 // Usage: ./build/examples/campus_audit [--cert-scale=N] [--conn-scale=N]
+//                                      [--threads=N]
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
 
 #include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/report.hpp"
 #include "mtlscope/gen/generator.hpp"
 
@@ -16,11 +18,14 @@ using namespace mtlscope;
 
 int main(int argc, char** argv) {
   double cert_scale = 500, conn_scale = 50'000;
+  std::size_t threads = 0;  // 0 → hardware concurrency
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--cert-scale=", 13) == 0) {
       cert_scale = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--conn-scale=", 13) == 0) {
       conn_scale = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
     }
   }
 
@@ -31,24 +36,30 @@ int main(int argc, char** argv) {
   gen::TraceGenerator generator(gen::paper_model(cert_scale, conn_scale));
   auto config = core::PipelineConfig::campus_defaults();
   config.ct = &generator.ct_database();
-  core::Pipeline pipeline(std::move(config));
+  core::PipelineExecutor executor(std::move(config), threads);
+  std::printf("pipeline workers: %zu\n\n", executor.shard_count());
 
-  core::PrevalenceAnalyzer prevalence;
-  core::ServicePortAnalyzer ports;
-  core::DummyIssuerAnalyzer dummies;
-  core::SerialCollisionAnalyzer serials;
-  core::SharedCertAnalyzer shared;
-  pipeline.add_observer([&](const core::EnrichedConnection& c) {
-    prevalence.observe(c);
-    ports.observe(c);
-    dummies.observe(c);
-    serials.observe(c);
-    shared.observe(c);
-  });
+  // One analyzer instance per shard; merged after the run.
+  core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(
+      executor.shard_count());
+  core::Sharded<core::ServicePortAnalyzer> ports_shards(executor.shard_count());
+  core::Sharded<core::DummyIssuerAnalyzer> dummies_shards(
+      executor.shard_count());
+  core::Sharded<core::SerialCollisionAnalyzer> serials_shards(
+      executor.shard_count());
+  core::Sharded<core::SharedCertAnalyzer> shared_shards(executor.shard_count());
+  executor.attach(prevalence_shards);
+  executor.attach(ports_shards);
+  executor.attach(dummies_shards);
+  executor.attach(serials_shards);
+  executor.attach(shared_shards);
 
-  generator.generate(
-      [&pipeline](const tls::TlsConnection& conn) { pipeline.feed(conn); });
-  pipeline.finalize();
+  const auto pipeline = executor.run(generator.generate_dataset());
+  auto prevalence = std::move(prevalence_shards).merged();
+  auto ports = std::move(ports_shards).merged();
+  auto dummies = std::move(dummies_shards).merged();
+  auto serials = std::move(serials_shards).merged();
+  auto shared = std::move(shared_shards).merged();
 
   // --- Traffic overview -----------------------------------------------------
   const auto& totals = pipeline.totals();

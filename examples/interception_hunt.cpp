@@ -6,7 +6,9 @@
 // domains while leaving legitimate private CAs (which never appear in CT)
 // alone.
 #include <cstdio>
+#include <vector>
 
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/ctlog/ct_database.hpp"
 #include "mtlscope/tls/handshake.hpp"
@@ -76,23 +78,27 @@ int main() {
 
   auto config = core::PipelineConfig::campus_defaults();
   config.ct = &ct;
-  core::Pipeline pipeline(std::move(config));
 
   int conn_id = 0;
+  std::vector<tls::TlsConnection> trace;
   // Intercepted browsing: proxy-signed certs for CT-known domains.
   for (int round = 0; round < 2; ++round) {
     for (const char* domain : kDomains) {
-      pipeline.feed(browse(
+      trace.push_back(browse(
           issue_for_domain(proxy, domain,
                            std::string("proxy:") + domain),
           domain, conn_id++));
     }
   }
   // Legitimate internal service: private CA, domain unknown to CT.
-  pipeline.feed(browse(
+  trace.push_back(browse(
       issue_for_domain(internal_ca, "intranet.quickstart-labs.com",
                        "internal:intranet"),
       "intranet.quickstart-labs.com", conn_id++));
+
+  // Path 1: the legacy streaming pipeline, fed connection by connection.
+  core::Pipeline pipeline(config);
+  for (const auto& conn : trace) pipeline.feed(conn);
   pipeline.finalize();
 
   std::printf("interception issuers detected: %zu\n",
@@ -113,5 +119,19 @@ int main() {
   }
   std::printf("legitimate internal CA left alone: %s\n",
               internal_flagged ? "NO (bug!)" : "yes");
-  return internal_flagged ? 1 : 0;
+
+  // Path 2: the sharded executor over the Zeek-log view of the same trace.
+  // Interception confirmation there is a whole-stream pre-pass, so the
+  // verdict must agree with the streaming hunt regardless of shard count.
+  zeek::Dataset dataset;
+  for (const auto& conn : trace) dataset.add_connection(conn);
+  core::PipelineExecutor executor(config, 4);
+  const auto sharded = executor.run(dataset);
+  const bool agree =
+      sharded.interception_issuers() == pipeline.interception_issuers() &&
+      sharded.interception_excluded_connections() ==
+          pipeline.interception_excluded_connections();
+  std::printf("sharded executor (4 workers) agrees: %s\n",
+              agree ? "yes" : "NO (bug!)");
+  return (internal_flagged || !agree) ? 1 : 0;
 }

@@ -9,12 +9,15 @@
 // Zeek output (the x509.log needs the fields listed in zeek/log_io.hpp; a
 // cert_der column is used when present, otherwise the parsed fields are).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/report.hpp"
 #include "mtlscope/gen/generator.hpp"
 #include "mtlscope/zeek/log_io.hpp"
@@ -48,7 +51,7 @@ int export_logs(const std::filesystem::path& dir) {
   return 0;
 }
 
-int report(const std::filesystem::path& dir) {
+int report(const std::filesystem::path& dir, std::size_t threads) {
   std::ifstream ssl_in(dir / "ssl.log");
   std::ifstream x509_in(dir / "x509.log");
   if (!ssl_in || !x509_in) {
@@ -56,28 +59,32 @@ int report(const std::filesystem::path& dir) {
                  dir.c_str());
     return 1;
   }
+  std::ostringstream ssl_text, x509_text;
+  ssl_text << ssl_in.rdbuf();
+  x509_text << x509_in.rdbuf();
+
+  // run_logs() chunk-splits both logs, parses the chunks in parallel, and
+  // runs one pipeline shard per worker; results are identical for any
+  // --threads value.
+  core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(),
+                                  threads);
+  core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(
+      executor.shard_count());
+  core::Sharded<core::ServicePortAnalyzer> ports_shards(executor.shard_count());
+  executor.attach(prevalence_shards);
+  executor.attach(ports_shards);
+
   zeek::LogParseError error;
-  const auto dataset = zeek::parse_dataset(ssl_in, x509_in, &error);
-  if (!dataset) {
+  const auto parsed = executor.run_logs(ssl_text.str(), x509_text.str(),
+                                        &error);
+  if (!parsed) {
     std::fprintf(stderr, "parse error (line %zu): %s\n", error.line,
                  error.message.c_str());
     return 1;
   }
-
-  core::Pipeline pipeline(core::PipelineConfig::campus_defaults());
-  core::PrevalenceAnalyzer prevalence;
-  core::ServicePortAnalyzer ports;
-  pipeline.add_observer([&](const core::EnrichedConnection& c) {
-    prevalence.observe(c);
-    ports.observe(c);
-  });
-  for (const auto& [fuid, record] : dataset->x509()) {
-    pipeline.add_certificate(record);
-  }
-  for (const auto& record : dataset->ssl()) {
-    pipeline.add_connection(record);
-  }
-  pipeline.finalize();
+  const core::Pipeline& pipeline = *parsed;
+  auto prevalence = std::move(prevalence_shards).merged();
+  auto ports = std::move(ports_shards).merged();
 
   const auto& totals = pipeline.totals();
   std::printf("connections: %s   mutual: %s (%s)   certificates: %s\n",
@@ -87,6 +94,13 @@ int report(const std::filesystem::path& dir) {
                                    static_cast<double>(totals.connections))
                   .c_str(),
               core::format_count(pipeline.certificates().size()).c_str());
+
+  const auto series = prevalence.series();
+  if (series.size() >= 2) {
+    std::printf("mutual-TLS adoption: %.2f%% (first month) -> %.2f%% (last "
+                "month)\n",
+                series.front().mutual_pct(), series.back().mutual_pct());
+  }
 
   std::printf("\ntop mutual-TLS services:\n");
   core::TextTable table({"Dir", "Port", "Share", "Service"});
@@ -122,15 +136,22 @@ int report(const std::filesystem::path& dir) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::size_t threads = 0;  // 0 → hardware concurrency
+  for (int i = 3; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    }
+  }
   if (argc >= 3 && std::strcmp(argv[1], "export") == 0) {
     return export_logs(argv[2]);
   }
   if (argc >= 3 && std::strcmp(argv[1], "report") == 0) {
-    return report(argv[2]);
+    return report(argv[2], threads);
   }
   std::fprintf(stderr,
                "usage: %s export DIR   (write synthetic ssl.log/x509.log)\n"
-               "       %s report DIR   (analyze DIR/ssl.log + DIR/x509.log)\n",
+               "       %s report DIR [--threads=N]   (analyze DIR/ssl.log + "
+               "DIR/x509.log)\n",
                argv[0], argv[0]);
   return 2;
 }

@@ -2,14 +2,17 @@
 // certificate CN/SAN fields — the paper's Section-6 analysis as a tool.
 //
 // Usage:
-//   ./build/examples/privacy_scanner path/to/x509.log
+//   ./build/examples/privacy_scanner path/to/x509.log [--threads=N]
 //   ./build/examples/privacy_scanner --demo     (generate a synthetic log)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "mtlscope/core/redaction.hpp"
 #include "mtlscope/core/report.hpp"
@@ -34,11 +37,67 @@ bool is_sensitive(textclass::InfoType type) {
   }
 }
 
+/// One sensitive hit, kept in record order for deterministic printing.
+struct Finding {
+  textclass::InfoType type;
+  std::string cn;
+  std::string issuer;
+};
+
+/// Per-worker scan state; merged in worker order after the join, so the
+/// output is identical for any thread count.
+struct ScanShard {
+  std::map<textclass::InfoType, std::size_t> histogram;
+  std::vector<Finding> findings;
+};
+
+ScanShard scan_range(const std::vector<zeek::X509Record>& records,
+                     std::size_t begin, std::size_t end) {
+  ScanShard shard;
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& record = records[i];
+    const auto subject = x509::DistinguishedName::from_string(record.subject);
+    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
+    if (!subject) continue;
+    const auto cn = subject->common_name();
+    if (!cn || cn->empty()) continue;
+
+    textclass::ClassifyContext ctx;
+    std::string issuer_text;
+    if (issuer) {
+      if (const auto org = issuer->organization()) {
+        issuer_text = std::string(*org);
+      }
+      ctx.campus_issuer =
+          issuer_text.find("University") != std::string::npos;
+    }
+    ctx.issuer = issuer_text;
+
+    const auto type = textclass::classify_value(*cn, ctx);
+    ++shard.histogram[type];
+    if (is_sensitive(type)) {
+      shard.findings.push_back({type, std::string(*cn), issuer_text});
+    }
+  }
+  return shard;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string x509_text;
-  if (argc >= 2 && std::strcmp(argv[1], "--demo") != 0) {
+  std::size_t threads = 0;  // 0 → hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    }
+  }
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--demo") != 0 &&
+      std::strncmp(argv[1], "--threads=", 10) != 0) {
     std::ifstream in(argv[1]);
     if (!in) {
       std::fprintf(stderr, "cannot open %s\n", argv[1]);
@@ -66,38 +125,41 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  std::printf("scanning %zu certificates with %zu worker(s)…\n\n",
+              records->size(), threads);
+
+  // Classification is per-record, so the scan shards cleanly: contiguous
+  // record ranges, one histogram per worker, merged in worker order.
+  std::vector<ScanShard> shards(threads);
+  if (threads <= 1) {
+    shards[0] = scan_range(*records, 0, records->size());
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t begin = records->size() * t / threads;
+      const std::size_t end = records->size() * (t + 1) / threads;
+      workers.emplace_back([&shards, &records, t, begin, end] {
+        shards[t] = scan_range(*records, begin, end);
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+
   std::map<textclass::InfoType, std::size_t> histogram;
   std::size_t sensitive = 0;
   std::size_t shown = 0;
-  std::printf("scanning %zu certificates…\n\n", records->size());
-  for (const auto& record : *records) {
-    const auto subject = x509::DistinguishedName::from_string(record.subject);
-    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
-    if (!subject) continue;
-    const auto cn = subject->common_name();
-    if (!cn || cn->empty()) continue;
-
-    textclass::ClassifyContext ctx;
-    std::string issuer_text;
-    if (issuer) {
-      if (const auto org = issuer->organization()) {
-        issuer_text = std::string(*org);
-      }
-      ctx.campus_issuer =
-          issuer_text.find("University") != std::string::npos;
+  for (const auto& shard : shards) {
+    for (const auto& [type, count] : shard.histogram) {
+      histogram[type] += count;
     }
-    ctx.issuer = issuer_text;
-
-    const auto type = textclass::classify_value(*cn, ctx);
-    ++histogram[type];
-    if (is_sensitive(type)) {
-      ++sensitive;
-      if (shown < 12) {
-        ++shown;
-        std::printf("  [%-13s] CN=\"%s\"  issuer=\"%s\"\n",
-                    textclass::info_type_name(type),
-                    std::string(*cn).c_str(), issuer_text.c_str());
-      }
+    sensitive += shard.findings.size();
+    for (const auto& finding : shard.findings) {
+      if (shown >= 12) break;
+      ++shown;
+      std::printf("  [%-13s] CN=\"%s\"  issuer=\"%s\"\n",
+                  textclass::info_type_name(finding.type),
+                  finding.cn.c_str(), finding.issuer.c_str());
     }
   }
   if (sensitive > shown) {

@@ -7,8 +7,8 @@
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
-#include <sstream>
 
+#include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/tls/handshake.hpp"
 #include "mtlscope/trust/authority.hpp"
@@ -88,20 +88,12 @@ int main() {
   const std::string ssl_log = zeek::ssl_log_to_string(dataset.ssl());
   std::printf("\nssl.log:\n%s", ssl_log.c_str());
 
-  // --- 4. Measurement pipeline over the parsed logs. ----------------------
-  std::istringstream ssl_in(ssl_log);
-  std::istringstream x509_in(zeek::x509_log_to_string(dataset));
-  const auto parsed = zeek::parse_dataset(ssl_in, x509_in);
-  if (!parsed) {
-    std::printf("log parse failed\n");
-    return 1;
-  }
-
-  core::Pipeline pipeline(core::PipelineConfig::campus_defaults());
-  for (const auto& [fuid, record] : parsed->x509()) {
-    pipeline.add_certificate(record);
-  }
-  pipeline.add_observer([](const core::EnrichedConnection& enriched) {
+  // --- 4. Measurement pipeline over the logs (sharded executor). ----------
+  // run_logs() splits both logs into per-worker chunks, parses them in
+  // parallel, and merges the shard pipelines deterministically — the same
+  // entry point the repro_* binaries use for full-scale traces.
+  core::PipelineExecutor executor(core::PipelineConfig::campus_defaults());
+  executor.add_shared_observer([](const core::EnrichedConnection& enriched) {
     std::printf(
         "\npipeline: direction=%s mutual=%s sld=%s client-CN-type=%s "
         "client-issuer=%s\n",
@@ -115,8 +107,11 @@ int main() {
             ? core::issuer_category_name(enriched.client_leaf->issuer_category)
             : "-");
   });
-  for (const auto& record : parsed->ssl()) {
-    pipeline.add_connection(record);
+  const auto pipeline =
+      executor.run_logs(ssl_log, zeek::x509_log_to_string(dataset));
+  if (!pipeline) {
+    std::printf("log parse failed\n");
+    return 1;
   }
 
   std::printf("\nThe client certificate exposed a personal name on the wire "

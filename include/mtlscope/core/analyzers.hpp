@@ -1,8 +1,11 @@
 // One analyzer per paper table/figure. Connection-level analyzers expose
-// observe(const EnrichedConnection&) and are registered on the Pipeline;
-// certificate-population analyzers read Pipeline::certificates() after the
-// stream ends. Each returns a structured result; repro_* binaries render
-// them next to the paper's numbers.
+// the uniform Analyzer interface — observe(const EnrichedConnection&) to
+// accumulate, merge(Analyzer&&) to fold a later shard's state in, and a
+// typed result — and are registered on the Pipeline (or attached per shard
+// through the PipelineExecutor); certificate-population analyzers read
+// Pipeline::certificates_sorted() after the stream ends. Each returns a
+// structured result; repro_* binaries render them next to the paper's
+// numbers.
 #pragma once
 
 #include <array>
@@ -11,12 +14,47 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/textclass/randomness.hpp"
 
 namespace mtlscope::core {
+
+/// The uniform connection-analyzer shape: per-record accumulation plus
+/// shard-order merging. Every analyzer state below is built from counters,
+/// sets, and min/max watermarks, so merging shards in stream order
+/// reproduces the serial state exactly.
+template <typename A>
+concept ConnectionAnalyzer = requires(A a, A b, const EnrichedConnection& c) {
+  a.observe(c);
+  a.merge(std::move(b));
+};
+
+/// K independent instances of one analyzer, one per shard, merged in shard
+/// order once the stream ends. Deliberately not thread-safe per instance:
+/// each shard owns exactly one slot.
+template <typename A>
+class Sharded {
+ public:
+  explicit Sharded(std::size_t shards) : shards_(shards ? shards : 1) {}
+
+  std::size_t size() const { return shards_.size(); }
+  A& shard(std::size_t i) { return shards_[i]; }
+
+  /// Folds all shards into the first, in shard order, and returns it.
+  A merged() && {
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+      shards_[0].merge(std::move(shards_[i]));
+    }
+    shards_.resize(1);
+    return std::move(shards_[0]);
+  }
+
+ private:
+  std::vector<A> shards_;
+};
 
 // ---------------------------------------------------------------------------
 // Table 1 — unique certificates by role / CA class / mutual usage.
@@ -42,6 +80,7 @@ CertInventoryResult analyze_cert_inventory(const Pipeline& pipeline);
 class PrevalenceAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(PrevalenceAnalyzer&& other);
 
   struct MonthPoint {
     int month_index = 0;
@@ -67,6 +106,7 @@ class PrevalenceAnalyzer {
 class ServicePortAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(ServicePortAnalyzer&& other);
 
   struct PortShare {
     std::string port_label;  // "443" or "50000-51000"
@@ -90,6 +130,7 @@ class ServicePortAnalyzer {
 class InboundAssociationAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(InboundAssociationAnalyzer&& other);
 
   struct Row {
     ServerAssociation assoc;
@@ -119,6 +160,7 @@ class InboundAssociationAnalyzer {
 class OutboundFlowAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(OutboundFlowAnalyzer&& other);
 
   struct Flow {
     std::string tld;
@@ -154,6 +196,7 @@ class OutboundFlowAnalyzer {
 class DummyIssuerAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(DummyIssuerAnalyzer&& other);
 
   struct Row {
     Direction direction;
@@ -207,6 +250,7 @@ class DummyIssuerAnalyzer {
 class SerialCollisionAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(SerialCollisionAnalyzer&& other);
 
   struct Group {
     std::string issuer_org;  // or issuer CN when org missing
@@ -236,6 +280,7 @@ class SerialCollisionAnalyzer {
 class SharedCertAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(SharedCertAnalyzer&& other);
 
   struct SameConnRow {
     std::string sld;  // empty → missing SNI
@@ -277,6 +322,7 @@ class SharedCertAnalyzer {
 class IncorrectDateAnalyzer {
  public:
   void observe(const EnrichedConnection& conn);
+  void merge(IncorrectDateAnalyzer&& other);
 
   struct Row {
     std::string sld;  // empty → missing SNI

@@ -1,0 +1,59 @@
+// The stateless-per-record enrichment core, extracted from the pipeline
+// so that shard-local pipelines can share one immutable instance: direction
+// inference, SLD/TLD resolution, server association, certificate fact
+// construction, and issuer categorization behind a thread-safe memo.
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "mtlscope/core/pipeline.hpp"
+
+namespace mtlscope::core {
+
+/// Every method is safe to call concurrently: the only mutable state is
+/// the issuer-category memo, which is guarded by a shared mutex (and whose
+/// entries are pure functions of the key, so racing shards compute
+/// identical values).
+class Enricher {
+ public:
+  explicit Enricher(PipelineConfig config);
+
+  const PipelineConfig& config() const { return config_; }
+  const trust::TrustEvaluator& trust() const { return trust_; }
+
+  /// Builds the decoded + classified half of a CertFacts (usage aggregates
+  /// stay zero). Prefers re-parsing the DER over the logged fields.
+  CertFacts make_facts(const zeek::X509Record& record) const;
+
+  /// Issuer-DN → category memo: categorization includes gazetteer cosine
+  /// matching (§4.2 fuzzy matching), which is expensive, while distinct
+  /// issuers number in the hundreds against millions of certificates.
+  IssuerCategory categorize_cached(const x509::DistinguishedName& issuer,
+                                   const std::string& issuer_dn,
+                                   bool is_public) const;
+
+  Direction infer_direction(const zeek::SslRecord& record) const;
+  ServerAssociation associate(const std::string& host,
+                              const std::string& sld) const;
+  bool is_university_address(const net::IpAddress& addr) const;
+
+  /// Fills the record-derived fields of an EnrichedConnection: direction,
+  /// SNI, resolved host (§4.2 fallback through the leaves' SAN/CN), SLD,
+  /// TLD, association, and the mutual flag. Usage accounting and observer
+  /// dispatch remain the pipeline's job.
+  EnrichedConnection enrich(const zeek::SslRecord& record,
+                            const CertFacts* server_leaf,
+                            const CertFacts* client_leaf) const;
+
+ private:
+  PipelineConfig config_;
+  trust::TrustEvaluator trust_;
+  IssuerCategorizer categorizer_;
+  mutable std::shared_mutex cache_mutex_;
+  mutable std::unordered_map<std::string, IssuerCategory> category_cache_;
+};
+
+}  // namespace mtlscope::core

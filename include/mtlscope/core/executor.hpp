@@ -1,0 +1,101 @@
+// PipelineExecutor: partition-then-merge execution of the measurement
+// pipeline (the shape Internet-scale TLS measurement studies use to reach
+// billions of records). A trace — an in-memory Zeek dataset or an
+// ssl.log/x509.log text pair — is split into K contiguous shards; one
+// shard-local Pipeline runs per worker thread (std::thread, no external
+// dependencies); shard states merge deterministically in shard order, so
+// the result is bit-identical to the serial run for any K.
+//
+// Execution phases:
+//   A  certificate registry: CertFacts for every x509 row, built in
+//      parallel over row ranges against the shared Enricher (thread-safe
+//      issuer-category memo).
+//   B  chain upgrades: whole-stream pass marking leaves public when any
+//      connection carries a public intermediate for them (§3.2.1) —
+//      monotonic, so a single pre-pass equals the streaming fixpoint.
+//   C  interception pre-pass (when CT is configured): shard-local
+//      candidate maps (issuer → distinct CT-mismatching SLDs) merged by
+//      set union; issuers at or above the confirmation threshold form the
+//      frozen confirmed set. Exclusion therefore applies to *all* of a
+//      confirmed issuer's connections regardless of stream position —
+//      the order-independent semantics finalize() reconciles the
+//      streaming pipeline toward.
+//   D  shard run: K prepared-mode Pipelines over contiguous ssl slices,
+//      per-shard observers attached.
+//   E  merge: shard registries, totals, and analyzer states fold into one
+//      Pipeline in shard order; finalize() flags interception certs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+namespace mtlscope::core {
+
+class PipelineExecutor {
+ public:
+  using Observer = Pipeline::Observer;
+  /// Builds one observer per shard (analyzer states stay thread-local).
+  using ObserverFactory = std::function<Observer(std::size_t shard)>;
+
+  /// `threads` = 0 → hardware concurrency. Shard count equals the thread
+  /// count; threads == 1 runs everything inline on the caller's thread.
+  explicit PipelineExecutor(PipelineConfig config, std::size_t threads = 0);
+
+  /// 0 → std::thread::hardware_concurrency() (≥ 1).
+  static std::size_t resolve_threads(std::size_t requested);
+  std::size_t shard_count() const { return threads_; }
+
+  /// Per-shard observers: the factory runs once per shard; each returned
+  /// observer only ever fires on its own shard's thread.
+  void add_observer_factory(ObserverFactory factory);
+
+  /// Shared observer: one callable fired from every shard, serialized by a
+  /// mutex. Connections arrive shard-interleaved, so only commutative
+  /// accumulators (counters, sets, min/max) observe deterministically.
+  void add_shared_observer(Observer observer);
+
+  /// Attaches one analyzer instance per shard; merge with
+  /// std::move(sharded).merged() after run(). `sharded` must outlive the
+  /// run and have size() == shard_count().
+  template <typename A>
+    requires ConnectionAnalyzer<A>
+  void attach(Sharded<A>& sharded) {
+    add_observer_factory([&sharded](std::size_t shard) {
+      return [analyzer = &sharded.shard(shard)](
+                 const EnrichedConnection& conn) { analyzer->observe(conn); };
+    });
+  }
+
+  /// Runs the five phases over an in-memory dataset and returns the merged,
+  /// finalized pipeline.
+  Pipeline run(const zeek::Dataset& dataset);
+  Pipeline run(const std::vector<zeek::SslRecord>& ssl,
+               const std::map<std::string, zeek::X509Record>& x509);
+
+  /// File-driven entry: splits both logs at record boundaries
+  /// (zeek::split_log_text), parses the chunks in parallel, then runs.
+  /// Returns nullopt (with `error` filled) on a parse failure.
+  std::optional<Pipeline> run_logs(const std::string& ssl_text,
+                                   const std::string& x509_text,
+                                   zeek::LogParseError* error = nullptr);
+
+  const PipelineConfig& config() const;
+
+ private:
+  PipelineConfig config_;
+  std::size_t threads_;
+  std::vector<ObserverFactory> factories_;
+  std::vector<Observer> shared_observers_;
+  std::mutex shared_mutex_;
+};
+
+}  // namespace mtlscope::core

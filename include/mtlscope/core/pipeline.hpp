@@ -5,15 +5,26 @@
 // categorization, server association — and exposes per-connection
 // enriched views plus a per-certificate fact registry for the
 // population-level analyses.
+//
+// Two modes of operation:
+//  * streaming (legacy): one Pipeline owns its Enricher and builds every
+//    state — certificate registry, interception candidates — as records
+//    arrive. This is the single-threaded path.
+//  * prepared (sharded): the PipelineExecutor builds the certificate
+//    registry and the confirmed-interception set in pre-passes, then runs
+//    one Pipeline per shard against that shared read-only state; shard
+//    pipelines are combined with merge(). See core/executor.hpp.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "mtlscope/ctlog/ct_database.hpp"
@@ -29,6 +40,8 @@ namespace mtlscope::core {
 
 using gen::Direction;
 using gen::ServerAssociation;
+
+class Enricher;
 
 /// Decoded, classified facts about one unique certificate, plus usage
 /// aggregates accumulated as connections stream through.
@@ -84,6 +97,13 @@ struct CertFacts {
     if (connection_count == 0) return 0;
     return static_cast<double>(last_seen - first_seen) / 86'400.0;
   }
+
+  /// Folds another shard's usage aggregates for the same certificate into
+  /// this one. Merging shards in stream (shard) order reproduces the
+  /// serial aggregates exactly: counters add, booleans OR, first/last
+  /// take min/max, subnet sets union, and the representative context
+  /// fields keep the first non-empty value in merge order.
+  void merge(const CertFacts& other);
 };
 
 /// One enriched connection, handed to registered observers.
@@ -126,7 +146,28 @@ struct PipelineConfig {
 
 class Pipeline {
  public:
+  /// Hot-path registry: fuid-keyed hash map. Analyzers that need ordered
+  /// iteration sort at result time (see certificates_sorted()).
+  using CertMap = std::unordered_map<std::string, CertFacts>;
+
+  /// Streaming mode: the pipeline owns its enrichment core and discovers
+  /// interception issuers as the stream progresses.
   explicit Pipeline(PipelineConfig config);
+
+  /// Shared read-only state for one shard of a partitioned run, built by
+  /// the PipelineExecutor's pre-passes.
+  struct Prepared {
+    std::shared_ptr<const Enricher> enricher;
+    /// Fully built certificate registry (chain-upgrades applied). Shards
+    /// copy an entry on first use and accumulate usage locally.
+    std::shared_ptr<const CertMap> base_certificates;
+    /// Interception issuers confirmed over the whole stream; exclusion in
+    /// prepared mode is a frozen-set membership test.
+    std::shared_ptr<const std::set<std::string>> interception_issuers;
+  };
+  /// Prepared (shard) mode: enrichment state is shared and immutable;
+  /// this pipeline only accumulates shard-local usage and analyzer input.
+  explicit Pipeline(Prepared prepared);
 
   using Observer = std::function<void(const EnrichedConnection&)>;
   void add_observer(Observer observer);
@@ -144,14 +185,26 @@ class Pipeline {
   /// feeds both logs.
   void feed(const tls::TlsConnection& conn);
 
-  /// Marks every certificate issued by a confirmed interception issuer.
-  /// Call once after the stream ends, before certificate-level analyses.
+  /// Marks every certificate issued by a confirmed interception issuer,
+  /// and reconciles Totals: streaming mode confirms issuers mid-stream,
+  /// so connections seen before confirmation were counted; finalize()
+  /// moves them to the excluded tally, making the accounting independent
+  /// of stream order. Call once after the stream ends, before
+  /// certificate-level analyses.
   void finalize();
 
-  /// The certificate registry, keyed by fuid.
-  const std::map<std::string, CertFacts>& certificates() const {
-    return certs_;
-  }
+  /// Folds a later shard into this pipeline: certificate usage aggregates,
+  /// totals, interception state. Merge shards in stream order; observers
+  /// are not merged (shard observers are the executor's concern).
+  void merge(Pipeline&& other);
+
+  /// The certificate registry, keyed by fuid (unordered).
+  const CertMap& certificates() const { return certs_; }
+
+  /// The registry in fuid order — deterministic iteration for the
+  /// certificate-population analyzers (ties in their sorts and max-
+  /// tracking resolve identically on every run and every shard count).
+  std::vector<const CertFacts*> certificates_sorted() const;
 
   // Interception-filter results (§3.2.1).
   const std::set<std::string>& interception_issuers() const {
@@ -172,32 +225,40 @@ class Pipeline {
     std::uint64_t tls13 = 0;
   };
   const Totals& totals() const { return totals_; }
-  const PipelineConfig& config() const { return config_; }
+  const PipelineConfig& config() const;
+  const Enricher& enricher() const { return *enricher_; }
+
+  /// Executor hooks (also used by the merge tests): install the
+  /// whole-stream interception state on the merged result.
+  void set_interception_issuers(std::set<std::string> issuers) {
+    interception_issuers_ = std::move(issuers);
+  }
+  /// Copies base-registry entries this pipeline never touched, so the
+  /// merged result exposes the full certificate population (zero-usage
+  /// certificates included, as the streaming pipeline would).
+  void backfill_certificates(const CertMap& base);
 
  private:
-  CertFacts make_facts(const zeek::X509Record& record) const;
-  IssuerCategory categorize_cached(const x509::DistinguishedName& issuer,
-                                   const std::string& issuer_dn,
-                                   bool is_public) const;
-  Direction infer_direction(const zeek::SslRecord& record) const;
-  ServerAssociation associate(const std::string& host,
-                              const std::string& sld) const;
-  bool is_university_address(const net::IpAddress& addr) const;
+  const CertFacts* find_base(const std::string& fuid) const;
+  CertFacts* local_cert(const std::string& fuid);
 
-  PipelineConfig config_;
-  trust::TrustEvaluator trust_;
-  IssuerCategorizer categorizer_;
-  /// Issuer-DN → category memo: categorization includes gazetteer cosine
-  /// matching (§4.2 fuzzy matching), which is expensive, while distinct
-  /// issuers number in the hundreds against millions of certificates.
-  mutable std::map<std::string, IssuerCategory> category_cache_;
+  std::shared_ptr<const Enricher> enricher_;
+  // Prepared-mode shared state (null in streaming mode).
+  std::shared_ptr<const CertMap> base_certs_;
+  std::shared_ptr<const std::set<std::string>> frozen_issuers_;
+  bool prepared_ = false;
+
   std::vector<Observer> observers_;
-  std::map<std::string, CertFacts> certs_;
+  CertMap certs_;
   std::set<std::string> interception_issuers_;
   /// Candidate interception issuers: CT-mismatching issuer → distinct
   /// SLDs observed. Confirmed once the issuer re-signs enough different
   /// domains (the stand-in for the paper's manual investigation).
   std::map<std::string, std::set<std::string>> interception_candidates_;
+  /// Streaming-mode reconciliation ledger: Totals contributions of counted
+  /// connections, per server-leaf issuer DN, so finalize() can un-count
+  /// connections of issuers confirmed after they streamed past.
+  std::unordered_map<std::string, Totals> pending_by_issuer_;
   std::size_t excluded_connections_ = 0;
   Totals totals_;
 };

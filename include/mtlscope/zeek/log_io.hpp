@@ -38,4 +38,13 @@ std::optional<Dataset> parse_dataset(std::istream& ssl_in,
                                      std::istream& x509_in,
                                      LogParseError* error = nullptr);
 
+/// Splits a Zeek ASCII log into `chunks` standalone logs at record (line)
+/// boundaries: the leading #-metadata header block is replicated onto
+/// every chunk so each parses independently (parallel file-driven runs).
+/// Data rows keep their order, so concatenating the parsed chunks
+/// reproduces the serial parse exactly. Never returns fewer than one
+/// chunk; trailing chunks may be header-only when rows run out.
+std::vector<std::string> split_log_text(const std::string& text,
+                                        std::size_t chunks);
+
 }  // namespace mtlscope::zeek

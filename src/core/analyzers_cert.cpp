@@ -15,7 +15,8 @@ namespace {
 
 CertInventoryResult analyze_cert_inventory(const Pipeline& pipeline) {
   CertInventoryResult r;
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (facts.flagged_interception) continue;
     if (facts.connection_count == 0) continue;
     const bool is_public = facts.issuer_class == trust::IssuerClass::kPublic;
@@ -62,7 +63,8 @@ ValidityResult analyze_validity(const Pipeline& pipeline) {
     r.histogram[i].label = kBuckets[i].label;
   }
 
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (!facts.used_as_client || !facts.used_in_mutual) continue;
     if (facts.validity.dates_incorrect()) continue;  // §5.3.2 exclusion
     const std::int64_t days = facts.validity.period_days();
@@ -107,7 +109,8 @@ ValidityResult analyze_validity(const Pipeline& pipeline) {
 
 ExpiredCertResult analyze_expired(const Pipeline& pipeline) {
   ExpiredCertResult r;
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (!facts.used_as_client || !facts.client_use_while_expired) continue;
     if (facts.validity.dates_incorrect()) continue;
     ExpiredCertResult::CertPoint point;
@@ -150,7 +153,8 @@ UtilizationResult analyze_utilization(const Pipeline& pipeline,
     if (facts.has_cn()) ++row.cn;
     if (facts.has_san_dns()) ++row.san_dns;
   };
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (facts.flagged_interception || facts.connection_count == 0) continue;
     const bool is_public = facts.issuer_class == trust::IssuerClass::kPublic;
     const bool shared = facts.used_as_server && facts.used_as_client;
@@ -187,7 +191,8 @@ UtilizationResult analyze_utilization(const Pipeline& pipeline,
 
 InfoTypeResult analyze_info_types(const Pipeline& pipeline, CertScope scope) {
   InfoTypeResult r;
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (facts.flagged_interception || facts.connection_count == 0) continue;
     const bool shared = facts.used_as_server && facts.used_as_client;
     const std::size_t cls =
@@ -243,7 +248,8 @@ RenewalResult analyze_renewals(const Pipeline& pipeline) {
   std::map<std::string, std::vector<Entry>> chains;
   std::map<std::string, std::pair<std::uint64_t, std::vector<double>>>
       issuer_stats;  // issuer → (chains, cadences)
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (!facts.has_cn() || facts.flagged_interception) continue;
     if (facts.connection_count == 0) continue;
     if (facts.validity.dates_incorrect()) continue;
@@ -342,7 +348,8 @@ RenewalResult analyze_renewals(const Pipeline& pipeline) {
 
 TrackingResult analyze_tracking(const Pipeline& pipeline) {
   TrackingResult r;
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (!facts.used_as_client || facts.flagged_interception) continue;
     ++r.client_certs;
     if (facts.connection_count > 1) ++r.reused;
@@ -359,7 +366,7 @@ TrackingResult analyze_tracking(const Pipeline& pipeline) {
       if (pii) ++r.long_lived_with_pii;
     }
     TrackingResult::Top top;
-    top.fuid = fuid;
+    top.fuid = facts.fuid;
     top.issuer = facts.issuer_org.empty() ? facts.issuer_cn : facts.issuer_org;
     top.activity_days = days;
     top.subnets = facts.client_subnets.size();
@@ -415,7 +422,8 @@ UnidentifiedResult analyze_unidentified(const Pipeline& pipeline) {
     }
   };
 
-  for (const auto& [fuid, facts] : pipeline.certificates()) {
+  for (const CertFacts* cert : pipeline.certificates_sorted()) {
+    const CertFacts& facts = *cert;
     if (facts.flagged_interception || !facts.used_in_mutual) continue;
     const bool shared = facts.used_as_server && facts.used_as_client;
     if (shared) continue;

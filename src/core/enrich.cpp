@@ -1,0 +1,210 @@
+#include "mtlscope/core/enrich.hpp"
+
+#include <mutex>
+
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/textclass/domain.hpp"
+#include "mtlscope/x509/parser.hpp"
+
+namespace mtlscope::core {
+
+Enricher::Enricher(PipelineConfig config)
+    : config_(std::move(config)),
+      trust_(trust::make_default_evaluator()),
+      categorizer_(config_.dummy_issuer_orgs) {}
+
+IssuerCategory Enricher::categorize_cached(
+    const x509::DistinguishedName& issuer, const std::string& issuer_dn,
+    bool is_public) const {
+  // The public/private split is part of the key: Table 13's shared certs
+  // can surface the same DN string under either classification.
+  const std::string key = (is_public ? "P|" : "p|") + issuer_dn;
+  {
+    std::shared_lock lock(cache_mutex_);
+    const auto it = category_cache_.find(key);
+    if (it != category_cache_.end()) return it->second;
+  }
+  const auto category = categorizer_.categorize(issuer, is_public);
+  std::unique_lock lock(cache_mutex_);
+  category_cache_.emplace(key, category);
+  return category;
+}
+
+CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
+  CertFacts facts;
+  facts.fuid = record.fuid;
+
+  // Prefer re-parsing the DER (trust the bytes, not the log fields).
+  bool parsed = false;
+  if (!record.cert_der_base64.empty()) {
+    if (const auto der = crypto::from_base64(record.cert_der_base64)) {
+      const auto result = x509::parse_certificate(*der);
+      if (const auto* cert = x509::get_certificate(result)) {
+        facts.version = cert->version;
+        facts.key_bits = static_cast<int>(cert->key_bits());
+        facts.serial_hex = cert->serial_hex();
+        if (const auto cn = cert->subject.common_name()) {
+          facts.subject_cn = std::string(*cn);
+        }
+        if (const auto org = cert->issuer.organization()) {
+          facts.issuer_org = std::string(*org);
+        }
+        if (const auto cn = cert->issuer.common_name()) {
+          facts.issuer_cn = std::string(*cn);
+        }
+        facts.issuer_dn = cert->issuer.to_string();
+        facts.validity = cert->validity;
+        for (const auto& entry : cert->san) {
+          switch (entry.type) {
+            case x509::SanEntry::Type::kDns:
+              facts.san_dns.push_back(entry.value);
+              break;
+            case x509::SanEntry::Type::kEmail:
+              ++facts.san_email_count;
+              break;
+            case x509::SanEntry::Type::kUri:
+              ++facts.san_uri_count;
+              break;
+            case x509::SanEntry::Type::kIp:
+              ++facts.san_ip_count;
+              break;
+            case x509::SanEntry::Type::kOther:
+              break;
+          }
+        }
+        facts.issuer_class =
+            trust_.classify(*cert) == trust::IssuerClass::kPublic
+                ? trust::IssuerClass::kPublic
+                : trust::IssuerClass::kPrivate;
+        facts.issuer_category = categorize_cached(
+            cert->issuer, facts.issuer_dn,
+            facts.issuer_class == trust::IssuerClass::kPublic);
+        parsed = true;
+      }
+    }
+  }
+  if (!parsed) {
+    // Fall back to the logged fields (real Zeek deployments often do not
+    // retain the DER).
+    facts.version = record.version;
+    facts.key_bits = record.key_length;
+    facts.serial_hex = record.serial;
+    const auto subject = x509::DistinguishedName::from_string(record.subject);
+    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
+    if (subject) {
+      if (const auto cn = subject->common_name()) {
+        facts.subject_cn = std::string(*cn);
+      }
+    }
+    if (issuer) {
+      if (const auto org = issuer->organization()) {
+        facts.issuer_org = std::string(*org);
+      }
+      if (const auto cn = issuer->common_name()) {
+        facts.issuer_cn = std::string(*cn);
+      }
+      facts.issuer_dn = issuer->to_string();
+      facts.issuer_class = trust_.is_trusted_issuer(*issuer)
+                               ? trust::IssuerClass::kPublic
+                               : trust::IssuerClass::kPrivate;
+      facts.issuer_category = categorize_cached(
+          *issuer, facts.issuer_dn,
+          facts.issuer_class == trust::IssuerClass::kPublic);
+    } else {
+      facts.issuer_class = trust::IssuerClass::kPrivate;
+      facts.issuer_category = IssuerCategory::kPrivateMissingIssuer;
+    }
+    facts.validity = {record.not_valid_before, record.not_valid_after};
+    facts.san_dns = record.san_dns;
+    facts.san_email_count = static_cast<int>(record.san_email.size());
+    facts.san_uri_count = static_cast<int>(record.san_uri.size());
+    facts.san_ip_count = static_cast<int>(record.san_ip.size());
+  }
+
+  for (const auto& org : config_.campus_issuer_orgs) {
+    if (facts.issuer_org == org) facts.campus_issuer = true;
+  }
+
+  // CN / SAN information-type classification (§6.1).
+  textclass::ClassifyContext ctx;
+  ctx.issuer = facts.issuer_org.empty() ? facts.issuer_cn : facts.issuer_org;
+  ctx.campus_issuer = facts.campus_issuer;
+  if (!facts.subject_cn.empty()) {
+    facts.cn_type = textclass::classify_value(facts.subject_cn, ctx);
+  }
+  facts.san_dns_types.reserve(facts.san_dns.size());
+  for (const auto& value : facts.san_dns) {
+    facts.san_dns_types.push_back(textclass::classify_value(value, ctx));
+  }
+  return facts;
+}
+
+bool Enricher::is_university_address(const net::IpAddress& addr) const {
+  for (const auto& subnet : config_.university_subnets) {
+    if (subnet.contains(addr)) return true;
+  }
+  return false;
+}
+
+Direction Enricher::infer_direction(const zeek::SslRecord& record) const {
+  const auto resp = net::IpAddress::parse(record.resp_h);
+  if (resp && is_university_address(*resp)) return Direction::kInbound;
+  return Direction::kOutbound;
+}
+
+ServerAssociation Enricher::associate(const std::string& host,
+                                      const std::string& sld) const {
+  const auto suffix_match = [](const std::string& value,
+                               const std::string& suffix) {
+    if (value.size() < suffix.size()) return false;
+    if (value.size() == suffix.size()) return value == suffix;
+    return value.compare(value.size() - suffix.size(), suffix.size(),
+                         suffix) == 0 &&
+           value[value.size() - suffix.size() - 1] == '.';
+  };
+  for (const auto& [suffix, assoc] : config_.association_rules) {
+    if (!host.empty() && suffix_match(host, suffix)) return assoc;
+  }
+  for (const auto& [suffix, assoc] : config_.association_rules) {
+    if (!sld.empty() && suffix_match(sld, suffix)) return assoc;
+  }
+  return ServerAssociation::kUnknown;
+}
+
+EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
+                                    const CertFacts* server_leaf,
+                                    const CertFacts* client_leaf) const {
+  EnrichedConnection conn;
+  conn.ssl = &record;
+  conn.ts = record.ts;
+  conn.established = record.established;
+  conn.direction = infer_direction(record);
+  conn.sni = record.server_name;
+  conn.server_leaf = server_leaf;
+  conn.client_leaf = client_leaf;
+  conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
+
+  // Host resolution (§4.2): SNI first, then SAN DNS / CN of the leaves.
+  conn.resolved_host = conn.sni;
+  if (conn.resolved_host.empty()) {
+    for (const CertFacts* leaf : {server_leaf, client_leaf}) {
+      if (leaf == nullptr) continue;
+      if (!leaf->san_dns.empty()) {
+        conn.resolved_host = leaf->san_dns.front();
+        break;
+      }
+      if (leaf->cn_type == textclass::InfoType::kDomain) {
+        conn.resolved_host = leaf->subject_cn;
+        break;
+      }
+    }
+  }
+  conn.sld = textclass::sld_of(conn.resolved_host);
+  conn.tld = textclass::tld_of(conn.resolved_host);
+  conn.assoc = conn.direction == Direction::kInbound
+                   ? associate(conn.resolved_host, conn.sld)
+                   : ServerAssociation::kNone;
+  return conn;
+}
+
+}  // namespace mtlscope::core

@@ -1,0 +1,252 @@
+#include "mtlscope/core/executor.hpp"
+
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "mtlscope/core/enrich.hpp"
+
+namespace mtlscope::core {
+namespace {
+
+/// Runs fn(shard, begin, end) over K contiguous, balanced ranges of [0, n).
+/// K == 1 stays inline on the caller's thread (the exact serial path).
+template <typename Fn>
+void parallel_ranges(std::size_t n, std::size_t k, const Fn& fn) {
+  if (k <= 1) {
+    fn(std::size_t{0}, std::size_t{0}, n);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    const std::size_t begin = n * t / k;
+    const std::size_t end = n * (t + 1) / k;
+    workers.emplace_back([&fn, t, begin, end] { fn(t, begin, end); });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+const CertFacts* find_facts(const Pipeline::CertMap& certs,
+                            const std::vector<std::string>& fuids) {
+  if (fuids.empty()) return nullptr;
+  const auto it = certs.find(fuids.front());
+  return it == certs.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+PipelineExecutor::PipelineExecutor(PipelineConfig config, std::size_t threads)
+    : config_(std::move(config)), threads_(resolve_threads(threads)) {}
+
+std::size_t PipelineExecutor::resolve_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void PipelineExecutor::add_observer_factory(ObserverFactory factory) {
+  factories_.push_back(std::move(factory));
+}
+
+void PipelineExecutor::add_shared_observer(Observer observer) {
+  shared_observers_.push_back(std::move(observer));
+}
+
+const PipelineConfig& PipelineExecutor::config() const { return config_; }
+
+Pipeline PipelineExecutor::run(const zeek::Dataset& dataset) {
+  return run(dataset.ssl(), dataset.x509());
+}
+
+Pipeline PipelineExecutor::run(
+    const std::vector<zeek::SslRecord>& ssl,
+    const std::map<std::string, zeek::X509Record>& x509) {
+  const auto enricher = std::make_shared<const Enricher>(config_);
+  const std::size_t k = threads_;
+
+  // --- Phase A: certificate registry, built in parallel row ranges. ---
+  std::vector<const zeek::X509Record*> rows;
+  rows.reserve(x509.size());
+  for (const auto& [fuid, record] : x509) rows.push_back(&record);
+
+  auto base = std::make_shared<Pipeline::CertMap>();
+  base->reserve(rows.size());
+  {
+    std::vector<std::vector<CertFacts>> built(k);
+    parallel_ranges(rows.size(), k,
+                    [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+                      auto& out = built[shard];
+                      out.reserve(end - begin);
+                      for (std::size_t i = begin; i < end; ++i) {
+                        out.push_back(enricher->make_facts(*rows[i]));
+                      }
+                    });
+    for (auto& chunk : built) {
+      for (auto& facts : chunk) {
+        std::string fuid = facts.fuid;
+        base->emplace(std::move(fuid), std::move(facts));
+      }
+    }
+  }
+
+  // --- Phase B: chain-level public upgrades (§3.2.1), whole stream. ---
+  // Upgrading is monotonic (private → public, never back), so one pass
+  // over every established connection's chains reaches the same fixpoint
+  // the streaming pipeline converges to — without the stream-position
+  // dependence of upgrading mid-run.
+  {
+    const auto upgrade = [&base](const std::vector<std::string>& fuids) {
+      if (fuids.size() < 2) return;  // no intermediates to inherit from
+      const auto leaf_it = base->find(fuids.front());
+      if (leaf_it == base->end() ||
+          leaf_it->second.issuer_class == trust::IssuerClass::kPublic) {
+        return;
+      }
+      for (std::size_t i = 1; i < fuids.size(); ++i) {
+        const auto it = base->find(fuids[i]);
+        if (it != base->end() &&
+            it->second.issuer_class == trust::IssuerClass::kPublic) {
+          leaf_it->second.issuer_class = trust::IssuerClass::kPublic;
+          leaf_it->second.issuer_category = IssuerCategory::kPublic;
+          return;
+        }
+      }
+    };
+    for (const auto& record : ssl) {
+      if (!record.established) continue;
+      upgrade(record.cert_chain_fuids);
+      upgrade(record.client_cert_chain_fuids);
+    }
+  }
+
+  // --- Phase C: interception pre-pass (when CT is configured). ---
+  // Shard-local candidate maps merge by set union; confirmation compares
+  // the union against the threshold, so the confirmed set is exactly the
+  // set a serial stream (in any order) would eventually confirm.
+  auto confirmed = std::make_shared<std::set<std::string>>();
+  if (config_.ct != nullptr) {
+    std::vector<std::map<std::string, std::set<std::string>>> local(k);
+    parallel_ranges(
+        ssl.size(), k,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& candidates = local[shard];
+          for (std::size_t i = begin; i < end; ++i) {
+            const zeek::SslRecord& record = ssl[i];
+            if (!record.established) continue;
+            const CertFacts* server_leaf =
+                find_facts(*base, record.cert_chain_fuids);
+            if (server_leaf == nullptr ||
+                server_leaf->issuer_class != trust::IssuerClass::kPrivate) {
+              continue;
+            }
+            const CertFacts* client_leaf =
+                find_facts(*base, record.client_cert_chain_fuids);
+            const EnrichedConnection conn =
+                enricher->enrich(record, server_leaf, client_leaf);
+            if (conn.sld.empty() || !config_.ct->has_domain(conn.sld)) {
+              continue;
+            }
+            const auto* issuers = config_.ct->issuers_for(conn.sld);
+            if (issuers != nullptr &&
+                !issuers->contains(server_leaf->issuer_dn)) {
+              candidates[server_leaf->issuer_dn].insert(conn.sld);
+            }
+          }
+        });
+    std::map<std::string, std::set<std::string>> merged;
+    for (auto& candidates : local) {
+      for (auto& [issuer, domains] : candidates) {
+        merged[issuer].insert(domains.begin(), domains.end());
+      }
+    }
+    for (const auto& [issuer, domains] : merged) {
+      if (domains.size() >= config_.interception_domain_threshold) {
+        confirmed->insert(issuer);
+      }
+    }
+  }
+
+  // --- Phase D: one prepared-mode pipeline per shard. ---
+  const Pipeline::Prepared prepared{enricher, base, confirmed};
+  std::vector<Pipeline> shards;
+  shards.reserve(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    shards.emplace_back(prepared);
+    for (const auto& factory : factories_) {
+      shards[t].add_observer(factory(t));
+    }
+    for (auto& observer : shared_observers_) {
+      shards[t].add_observer([this, &observer](const EnrichedConnection& c) {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        observer(c);
+      });
+    }
+  }
+  parallel_ranges(ssl.size(), k,
+                  [&](std::size_t shard, std::size_t begin, std::size_t end) {
+                    Pipeline& pipeline = shards[shard];
+                    for (std::size_t i = begin; i < end; ++i) {
+                      pipeline.add_connection(ssl[i]);
+                    }
+                  });
+
+  // --- Phase E: deterministic merge in shard order. ---
+  Pipeline result(prepared);
+  for (auto& shard : shards) result.merge(std::move(shard));
+  result.set_interception_issuers(*confirmed);
+  result.backfill_certificates(*base);
+  result.finalize();
+  return result;
+}
+
+std::optional<Pipeline> PipelineExecutor::run_logs(
+    const std::string& ssl_text, const std::string& x509_text,
+    zeek::LogParseError* error) {
+  const std::size_t k = threads_;
+  const auto ssl_chunks = zeek::split_log_text(ssl_text, k);
+  const auto x509_chunks = zeek::split_log_text(x509_text, k);
+
+  std::vector<std::optional<std::vector<zeek::SslRecord>>> ssl_parsed(k);
+  std::vector<std::optional<std::vector<zeek::X509Record>>> x509_parsed(k);
+  std::vector<zeek::LogParseError> errors(2 * k);
+  parallel_ranges(k, k, [&](std::size_t shard, std::size_t begin,
+                            std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::istringstream ssl_in(ssl_chunks[i]);
+      ssl_parsed[i] = zeek::parse_ssl_log(ssl_in, &errors[2 * i]);
+      std::istringstream x509_in(x509_chunks[i]);
+      x509_parsed[i] = zeek::parse_x509_log(x509_in, &errors[2 * i + 1]);
+    }
+  });
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!ssl_parsed[i] || !x509_parsed[i]) {
+      // Line numbers are chunk-relative once k > 1; say so.
+      if (error != nullptr) {
+        *error = !ssl_parsed[i] ? errors[2 * i] : errors[2 * i + 1];
+        if (k > 1) {
+          error->message += " (in parallel chunk " + std::to_string(i + 1) +
+                            " of " + std::to_string(k) +
+                            "; line number is chunk-relative)";
+        }
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::vector<zeek::SslRecord> ssl;
+  std::map<std::string, zeek::X509Record> x509;
+  for (auto& chunk : ssl_parsed) {
+    for (auto& record : *chunk) ssl.push_back(std::move(record));
+  }
+  for (auto& chunk : x509_parsed) {
+    for (auto& record : *chunk) {
+      std::string fuid = record.fuid;
+      x509.emplace(std::move(fuid), std::move(record));
+    }
+  }
+  return run(ssl, x509);
+}
+
+}  // namespace mtlscope::core

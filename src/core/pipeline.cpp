@@ -2,9 +2,7 @@
 
 #include <algorithm>
 
-#include "mtlscope/crypto/encoding.hpp"
-#include "mtlscope/textclass/domain.hpp"
-#include "mtlscope/x509/parser.hpp"
+#include "mtlscope/core/enrich.hpp"
 
 namespace mtlscope::core {
 
@@ -29,172 +27,79 @@ PipelineConfig PipelineConfig::campus_defaults() {
   return config;
 }
 
+void CertFacts::merge(const CertFacts& other) {
+  // Chain upgrades are monotonic (private → public); a shard that saw the
+  // upgrade wins. Identical certificates otherwise share all parsed and
+  // classification fields, so only usage aggregates need folding.
+  if (other.issuer_class == trust::IssuerClass::kPublic &&
+      issuer_class != trust::IssuerClass::kPublic) {
+    issuer_class = trust::IssuerClass::kPublic;
+    issuer_category = other.issuer_category;
+  }
+  flagged_interception |= other.flagged_interception;
+  used_as_server |= other.used_as_server;
+  used_as_client |= other.used_as_client;
+  used_in_mutual |= other.used_in_mutual;
+  seen_inbound |= other.seen_inbound;
+  seen_outbound |= other.seen_outbound;
+  seen_outbound_with_sni |= other.seen_outbound_with_sni;
+  client_use_while_expired |= other.client_use_while_expired;
+  connection_count += other.connection_count;
+  first_seen = std::min(first_seen, other.first_seen);
+  last_seen = std::max(last_seen, other.last_seen);
+  server_subnets.insert(other.server_subnets.begin(),
+                        other.server_subnets.end());
+  client_subnets.insert(other.client_subnets.begin(),
+                        other.client_subnets.end());
+  // "First observed" context: this pipeline precedes `other` in stream
+  // order, so its value wins when present.
+  if (context_sld.empty()) context_sld = other.context_sld;
+  if (context_assoc == ServerAssociation::kNone) {
+    context_assoc = other.context_assoc;
+  }
+}
+
 Pipeline::Pipeline(PipelineConfig config)
-    : config_(std::move(config)),
-      trust_(trust::make_default_evaluator()),
-      categorizer_(config_.dummy_issuer_orgs) {}
+    : enricher_(std::make_shared<Enricher>(std::move(config))) {}
+
+Pipeline::Pipeline(Prepared prepared)
+    : enricher_(std::move(prepared.enricher)),
+      base_certs_(std::move(prepared.base_certificates)),
+      frozen_issuers_(std::move(prepared.interception_issuers)),
+      prepared_(true) {}
+
+const PipelineConfig& Pipeline::config() const { return enricher_->config(); }
 
 void Pipeline::add_observer(Observer observer) {
   observers_.push_back(std::move(observer));
 }
 
-IssuerCategory Pipeline::categorize_cached(
-    const x509::DistinguishedName& issuer, const std::string& issuer_dn,
-    bool is_public) const {
-  // The public/private split is part of the key: Table 13's shared certs
-  // can surface the same DN string under either classification.
-  const std::string key = (is_public ? "P|" : "p|") + issuer_dn;
-  const auto it = category_cache_.find(key);
-  if (it != category_cache_.end()) return it->second;
-  const auto category = categorizer_.categorize(issuer, is_public);
-  category_cache_.emplace(key, category);
-  return category;
-}
-
-CertFacts Pipeline::make_facts(const zeek::X509Record& record) const {
-  CertFacts facts;
-  facts.fuid = record.fuid;
-
-  // Prefer re-parsing the DER (trust the bytes, not the log fields).
-  bool parsed = false;
-  if (!record.cert_der_base64.empty()) {
-    if (const auto der = crypto::from_base64(record.cert_der_base64)) {
-      const auto result = x509::parse_certificate(*der);
-      if (const auto* cert = x509::get_certificate(result)) {
-        facts.version = cert->version;
-        facts.key_bits = static_cast<int>(cert->key_bits());
-        facts.serial_hex = cert->serial_hex();
-        if (const auto cn = cert->subject.common_name()) {
-          facts.subject_cn = std::string(*cn);
-        }
-        if (const auto org = cert->issuer.organization()) {
-          facts.issuer_org = std::string(*org);
-        }
-        if (const auto cn = cert->issuer.common_name()) {
-          facts.issuer_cn = std::string(*cn);
-        }
-        facts.issuer_dn = cert->issuer.to_string();
-        facts.validity = cert->validity;
-        for (const auto& entry : cert->san) {
-          switch (entry.type) {
-            case x509::SanEntry::Type::kDns:
-              facts.san_dns.push_back(entry.value);
-              break;
-            case x509::SanEntry::Type::kEmail:
-              ++facts.san_email_count;
-              break;
-            case x509::SanEntry::Type::kUri:
-              ++facts.san_uri_count;
-              break;
-            case x509::SanEntry::Type::kIp:
-              ++facts.san_ip_count;
-              break;
-            case x509::SanEntry::Type::kOther:
-              break;
-          }
-        }
-        facts.issuer_class =
-            trust_.classify(*cert) == trust::IssuerClass::kPublic
-                ? trust::IssuerClass::kPublic
-                : trust::IssuerClass::kPrivate;
-        facts.issuer_category = categorize_cached(
-            cert->issuer, facts.issuer_dn,
-            facts.issuer_class == trust::IssuerClass::kPublic);
-        parsed = true;
-      }
-    }
-  }
-  if (!parsed) {
-    // Fall back to the logged fields (real Zeek deployments often do not
-    // retain the DER).
-    facts.version = record.version;
-    facts.key_bits = record.key_length;
-    facts.serial_hex = record.serial;
-    const auto subject = x509::DistinguishedName::from_string(record.subject);
-    const auto issuer = x509::DistinguishedName::from_string(record.issuer);
-    if (subject) {
-      if (const auto cn = subject->common_name()) {
-        facts.subject_cn = std::string(*cn);
-      }
-    }
-    if (issuer) {
-      if (const auto org = issuer->organization()) {
-        facts.issuer_org = std::string(*org);
-      }
-      if (const auto cn = issuer->common_name()) {
-        facts.issuer_cn = std::string(*cn);
-      }
-      facts.issuer_dn = issuer->to_string();
-      facts.issuer_class = trust_.is_trusted_issuer(*issuer)
-                               ? trust::IssuerClass::kPublic
-                               : trust::IssuerClass::kPrivate;
-      facts.issuer_category = categorize_cached(
-          *issuer, facts.issuer_dn,
-          facts.issuer_class == trust::IssuerClass::kPublic);
-    } else {
-      facts.issuer_class = trust::IssuerClass::kPrivate;
-      facts.issuer_category = IssuerCategory::kPrivateMissingIssuer;
-    }
-    facts.validity = {record.not_valid_before, record.not_valid_after};
-    facts.san_dns = record.san_dns;
-    facts.san_email_count = static_cast<int>(record.san_email.size());
-    facts.san_uri_count = static_cast<int>(record.san_uri.size());
-    facts.san_ip_count = static_cast<int>(record.san_ip.size());
-  }
-
-  for (const auto& org : config_.campus_issuer_orgs) {
-    if (facts.issuer_org == org) facts.campus_issuer = true;
-  }
-
-  // CN / SAN information-type classification (§6.1).
-  textclass::ClassifyContext ctx;
-  ctx.issuer = facts.issuer_org.empty() ? facts.issuer_cn : facts.issuer_org;
-  ctx.campus_issuer = facts.campus_issuer;
-  if (!facts.subject_cn.empty()) {
-    facts.cn_type = textclass::classify_value(facts.subject_cn, ctx);
-  }
-  facts.san_dns_types.reserve(facts.san_dns.size());
-  for (const auto& value : facts.san_dns) {
-    facts.san_dns_types.push_back(textclass::classify_value(value, ctx));
-  }
-  return facts;
-}
-
 void Pipeline::add_certificate(const zeek::X509Record& record) {
   if (certs_.contains(record.fuid)) return;
-  certs_.emplace(record.fuid, make_facts(record));
+  if (prepared_ && base_certs_ != nullptr &&
+      base_certs_->contains(record.fuid)) {
+    return;  // the shared registry already carries this certificate
+  }
+  certs_.emplace(record.fuid, enricher_->make_facts(record));
 }
 
-bool Pipeline::is_university_address(const net::IpAddress& addr) const {
-  for (const auto& subnet : config_.university_subnets) {
-    if (subnet.contains(addr)) return true;
-  }
-  return false;
+const CertFacts* Pipeline::find_base(const std::string& fuid) const {
+  if (base_certs_ == nullptr) return nullptr;
+  const auto it = base_certs_->find(fuid);
+  return it == base_certs_->end() ? nullptr : &it->second;
 }
 
-Direction Pipeline::infer_direction(const zeek::SslRecord& record) const {
-  const auto resp = net::IpAddress::parse(record.resp_h);
-  if (resp && is_university_address(*resp)) return Direction::kInbound;
-  return Direction::kOutbound;
-}
-
-ServerAssociation Pipeline::associate(const std::string& host,
-                                      const std::string& sld) const {
-  const auto suffix_match = [](const std::string& value,
-                               const std::string& suffix) {
-    if (value.size() < suffix.size()) return false;
-    if (value.size() == suffix.size()) return value == suffix;
-    return value.compare(value.size() - suffix.size(), suffix.size(),
-                         suffix) == 0 &&
-           value[value.size() - suffix.size() - 1] == '.';
-  };
-  for (const auto& [suffix, assoc] : config_.association_rules) {
-    if (!host.empty() && suffix_match(host, suffix)) return assoc;
+CertFacts* Pipeline::local_cert(const std::string& fuid) {
+  const auto it = certs_.find(fuid);
+  if (it != certs_.end()) return &it->second;
+  if (prepared_) {
+    // Copy-on-first-use from the shared registry: the copy starts with
+    // zero usage, which this shard then accumulates locally.
+    if (const CertFacts* base = find_base(fuid)) {
+      return &certs_.emplace(fuid, *base).first->second;
+    }
   }
-  for (const auto& [suffix, assoc] : config_.association_rules) {
-    if (!sld.empty() && suffix_match(sld, suffix)) return assoc;
-  }
-  return ServerAssociation::kUnknown;
+  return nullptr;
 }
 
 void Pipeline::add_connection(const zeek::SslRecord& record) {
@@ -205,74 +110,57 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
     ++totals_.rejected_handshakes;
     return;
   }
-  EnrichedConnection conn;
-  conn.ssl = &record;
-  conn.ts = record.ts;
-  conn.established = record.established;
-  conn.direction = infer_direction(record);
-  conn.sni = record.server_name;
 
   const auto find_cert = [this](const std::vector<std::string>& fuids)
       -> CertFacts* {
     if (fuids.empty()) return nullptr;
-    const auto it = certs_.find(fuids.front());
-    return it == certs_.end() ? nullptr : &it->second;
+    return local_cert(fuids.front());
   };
   CertFacts* server_leaf = find_cert(record.cert_chain_fuids);
   CertFacts* client_leaf = find_cert(record.client_cert_chain_fuids);
 
   // Chain-level classification (§3.2.1): a leaf is public-CA-issued when
   // its root OR INTERMEDIATE is in a trust store. The leaf's own facts are
-  // computed in isolation; upgrade it when a chain member is public.
-  const auto upgrade_by_chain = [this](CertFacts* leaf,
-                                       const std::vector<std::string>& fuids) {
-    if (leaf == nullptr || leaf->issuer_class == trust::IssuerClass::kPublic) {
-      return;
-    }
-    for (std::size_t i = 1; i < fuids.size(); ++i) {
-      const auto it = certs_.find(fuids[i]);
-      if (it != certs_.end() &&
-          it->second.issuer_class == trust::IssuerClass::kPublic) {
-        leaf->issuer_class = trust::IssuerClass::kPublic;
-        leaf->issuer_category = IssuerCategory::kPublic;
-        return;
-      }
-    }
-  };
-  upgrade_by_chain(server_leaf, record.cert_chain_fuids);
-  upgrade_by_chain(client_leaf, record.client_cert_chain_fuids);
-
-  conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
-
-  // Host resolution (§4.2): SNI first, then SAN DNS / CN of the leaves.
-  conn.resolved_host = conn.sni;
-  if (conn.resolved_host.empty()) {
-    for (const CertFacts* leaf : {server_leaf, client_leaf}) {
-      if (leaf == nullptr) continue;
-      if (!leaf->san_dns.empty()) {
-        conn.resolved_host = leaf->san_dns.front();
-        break;
-      }
-      if (leaf->cn_type == textclass::InfoType::kDomain) {
-        conn.resolved_host = leaf->subject_cn;
-        break;
-      }
-    }
+  // computed in isolation; upgrade it when a chain member is public. In
+  // prepared mode the executor applied this over the whole stream already.
+  if (!prepared_) {
+    const auto upgrade_by_chain =
+        [this](CertFacts* leaf, const std::vector<std::string>& fuids) {
+          if (leaf == nullptr ||
+              leaf->issuer_class == trust::IssuerClass::kPublic) {
+            return;
+          }
+          for (std::size_t i = 1; i < fuids.size(); ++i) {
+            const auto it = certs_.find(fuids[i]);
+            if (it != certs_.end() &&
+                it->second.issuer_class == trust::IssuerClass::kPublic) {
+              leaf->issuer_class = trust::IssuerClass::kPublic;
+              leaf->issuer_category = IssuerCategory::kPublic;
+              return;
+            }
+          }
+        };
+    upgrade_by_chain(server_leaf, record.cert_chain_fuids);
+    upgrade_by_chain(client_leaf, record.client_cert_chain_fuids);
   }
-  conn.sld = textclass::sld_of(conn.resolved_host);
-  conn.tld = textclass::tld_of(conn.resolved_host);
-  conn.assoc = conn.direction == Direction::kInbound
-                   ? associate(conn.resolved_host, conn.sld)
-                   : ServerAssociation::kNone;
+
+  EnrichedConnection conn = enricher_->enrich(record, server_leaf, client_leaf);
 
   // Interception filter (§3.2.1): server leaf with an untrusted issuer
   // whose SNI domain has a *different* issuer on record in CT.
-  if (server_leaf != nullptr && config_.ct != nullptr) {
+  if (prepared_) {
+    if (server_leaf != nullptr && frozen_issuers_ != nullptr &&
+        frozen_issuers_->contains(server_leaf->issuer_dn)) {
+      server_leaf->flagged_interception = true;
+      ++excluded_connections_;
+      return;  // excluded from all analyses
+    }
+  } else if (server_leaf != nullptr && config().ct != nullptr) {
     bool exclude = interception_issuers_.contains(server_leaf->issuer_dn);
     if (!exclude &&
         server_leaf->issuer_class == trust::IssuerClass::kPrivate &&
-        !conn.sld.empty() && config_.ct->has_domain(conn.sld)) {
-      const auto* issuers = config_.ct->issuers_for(conn.sld);
+        !conn.sld.empty() && config().ct->has_domain(conn.sld)) {
+      const auto* issuers = config().ct->issuers_for(conn.sld);
       if (issuers != nullptr && !issuers->contains(server_leaf->issuer_dn)) {
         // CT disagrees about this domain's issuer. One-off disagreements
         // happen legitimately (shared or misconfigured certs on popular
@@ -281,7 +169,7 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
         // the paper's manual investigation of mismatches (§3.2.1).
         auto& domains = interception_candidates_[server_leaf->issuer_dn];
         domains.insert(conn.sld);
-        if (domains.size() >= config_.interception_domain_threshold) {
+        if (domains.size() >= config().interception_domain_threshold) {
           interception_issuers_.insert(server_leaf->issuer_dn);
           exclude = true;
         }
@@ -303,6 +191,23 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
     ++totals_.outbound;
   }
   if (record.version == "TLSv13") ++totals_.tls13;
+
+  // Streaming-mode ledger: if this connection's server-leaf issuer is
+  // confirmed as an interception issuer later in the stream, finalize()
+  // un-counts it, so the Totals match what a stream in any order (or the
+  // executor's whole-stream pre-pass) would produce.
+  if (!prepared_ && server_leaf != nullptr && config().ct != nullptr) {
+    Totals& pending = pending_by_issuer_[server_leaf->issuer_dn];
+    ++pending.connections;
+    ++pending.established;
+    if (conn.mutual) ++pending.mutual;
+    if (conn.direction == Direction::kInbound) {
+      ++pending.inbound;
+    } else {
+      ++pending.outbound;
+    }
+    if (record.version == "TLSv13") ++pending.tls13;
+  }
 
   // Usage accounting on both leaves.
   const auto update = [&](CertFacts* facts, bool as_server) {
@@ -378,6 +283,75 @@ void Pipeline::finalize() {
       facts.flagged_interception = true;
     }
   }
+  // Reconcile Totals (streaming mode): connections counted before their
+  // issuer was confirmed move to the excluded tally. Erasing the ledger
+  // entry makes finalize() idempotent.
+  for (const auto& issuer : interception_issuers_) {
+    const auto it = pending_by_issuer_.find(issuer);
+    if (it == pending_by_issuer_.end()) continue;
+    const Totals& pending = it->second;
+    totals_.connections -= pending.connections;
+    totals_.established -= pending.established;
+    totals_.mutual -= pending.mutual;
+    totals_.inbound -= pending.inbound;
+    totals_.outbound -= pending.outbound;
+    totals_.tls13 -= pending.tls13;
+    excluded_connections_ += pending.connections;
+    pending_by_issuer_.erase(it);
+  }
+}
+
+void Pipeline::merge(Pipeline&& other) {
+  for (auto& [fuid, facts] : other.certs_) {
+    const auto it = certs_.find(fuid);
+    if (it == certs_.end()) {
+      certs_.emplace(fuid, std::move(facts));
+    } else {
+      it->second.merge(facts);
+    }
+  }
+  other.certs_.clear();
+
+  totals_.connections += other.totals_.connections;
+  totals_.established += other.totals_.established;
+  totals_.rejected_handshakes += other.totals_.rejected_handshakes;
+  totals_.mutual += other.totals_.mutual;
+  totals_.inbound += other.totals_.inbound;
+  totals_.outbound += other.totals_.outbound;
+  totals_.tls13 += other.totals_.tls13;
+  excluded_connections_ += other.excluded_connections_;
+
+  interception_issuers_.insert(other.interception_issuers_.begin(),
+                               other.interception_issuers_.end());
+  for (auto& [issuer, domains] : other.interception_candidates_) {
+    interception_candidates_[issuer].insert(domains.begin(), domains.end());
+  }
+  for (const auto& [issuer, pending] : other.pending_by_issuer_) {
+    Totals& mine = pending_by_issuer_[issuer];
+    mine.connections += pending.connections;
+    mine.established += pending.established;
+    mine.mutual += pending.mutual;
+    mine.inbound += pending.inbound;
+    mine.outbound += pending.outbound;
+    mine.tls13 += pending.tls13;
+  }
+}
+
+void Pipeline::backfill_certificates(const CertMap& base) {
+  for (const auto& [fuid, facts] : base) {
+    if (!certs_.contains(fuid)) certs_.emplace(fuid, facts);
+  }
+}
+
+std::vector<const CertFacts*> Pipeline::certificates_sorted() const {
+  std::vector<const CertFacts*> sorted;
+  sorted.reserve(certs_.size());
+  for (const auto& [fuid, facts] : certs_) sorted.push_back(&facts);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CertFacts* a, const CertFacts* b) {
+              return a->fuid < b->fuid;
+            });
+  return sorted;
 }
 
 std::size_t Pipeline::interception_flagged_certificates() const {

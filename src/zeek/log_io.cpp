@@ -370,4 +370,45 @@ std::optional<Dataset> parse_dataset(std::istream& ssl_in,
   return dataset;
 }
 
+std::vector<std::string> split_log_text(const std::string& text,
+                                        std::size_t chunks) {
+  if (chunks == 0) chunks = 1;
+  // Line spans (without the trailing newline).
+  std::vector<std::pair<std::size_t, std::size_t>> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    lines.emplace_back(pos, eol - pos);
+    pos = eol + 1;
+  }
+
+  // The metadata header is the leading run of '#' lines; the writer only
+  // emits it at the top, and the parser ignores later '#' lines anyway.
+  std::string header;
+  std::size_t first_row = 0;
+  while (first_row < lines.size() &&
+         lines[first_row].second > 0 &&
+         text[lines[first_row].first] == '#') {
+    header.append(text, lines[first_row].first, lines[first_row].second);
+    header.push_back('\n');
+    ++first_row;
+  }
+
+  const std::size_t rows = lines.size() - first_row;
+  std::vector<std::string> out;
+  out.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = first_row + rows * c / chunks;
+    const std::size_t end = first_row + rows * (c + 1) / chunks;
+    std::string chunk = header;
+    for (std::size_t i = begin; i < end; ++i) {
+      chunk.append(text, lines[i].first, lines[i].second);
+      chunk.push_back('\n');
+    }
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
 }  // namespace mtlscope::zeek
