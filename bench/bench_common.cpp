@@ -4,9 +4,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 namespace mtlscope::bench {
+
+std::size_t BenchOptions::chunk_bytes() const {
+  const double bytes = chunk_mb * 1024.0 * 1024.0;
+  if (bytes < 1.0) return 1;
+  return static_cast<std::size_t>(bytes);
+}
+
+ingest::IngestOptions BenchOptions::ingest_options() const {
+  ingest::IngestOptions options;
+  options.chunk_bytes = chunk_bytes();
+  options.force_buffered = force_buffered;
+  return options;
+}
 
 BenchOptions BenchOptions::parse(int argc, char** argv,
                                  double default_cert_scale,
@@ -24,24 +39,64 @@ BenchOptions BenchOptions::parse(int argc, char** argv,
       options.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
       options.threads = static_cast<std::size_t>(std::atoll(arg + 10));
+    } else if (std::strncmp(arg, "--ssl-log=", 10) == 0) {
+      options.ssl_log = arg + 10;
+    } else if (std::strncmp(arg, "--x509-log=", 11) == 0) {
+      options.x509_log = arg + 11;
+    } else if (std::strncmp(arg, "--chunk-mb=", 11) == 0) {
+      options.chunk_mb = std::atof(arg + 11);
+    } else if (std::strcmp(arg, "--in-memory") == 0) {
+      options.in_memory = true;
+    } else if (std::strcmp(arg, "--force-buffered") == 0) {
+      options.force_buffered = true;
+    } else if (std::strcmp(arg, "--stable-output") == 0) {
+      options.stable_output = true;
     }
+  }
+  if (options.ssl_log.empty() != options.x509_log.empty()) {
+    std::fprintf(stderr,
+                 "file mode needs both --ssl-log= and --x509-log=\n");
+    std::exit(2);
   }
   return options;
 }
 
 namespace {
 
-core::PipelineConfig make_config(const gen::TraceGenerator& generator) {
+core::PipelineConfig make_config(const gen::TraceGenerator& generator,
+                                 const BenchOptions& options) {
   auto config = core::PipelineConfig::campus_defaults();
-  config.ct = &generator.ct_database();
+  // File mode analyzes foreign logs: no synthetic CT database applies.
+  if (!options.file_mode()) config.ct = &generator.ct_database();
   return config;
+}
+
+BenchOptions with_threads(std::size_t threads) {
+  BenchOptions options;
+  options.threads = threads;
+  return options;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
 }
 
 }  // namespace
 
 CampusRun::CampusRun(gen::CampusModel model, std::size_t threads)
+    : CampusRun(std::move(model), with_threads(threads)) {}
+
+CampusRun::CampusRun(gen::CampusModel model, const BenchOptions& options)
     : generator_(std::move(model)),
-      executor_(make_config(generator_), threads) {}
+      options_(options),
+      executor_(make_config(generator_, options_), options_.threads) {}
 
 core::Pipeline& CampusRun::pipeline() {
   if (!pipeline_) {
@@ -58,6 +113,10 @@ void CampusRun::add_observer(core::Pipeline::Observer observer) {
 }
 
 void CampusRun::run() {
+  if (options_.file_mode()) {
+    run_files();
+    return;
+  }
   const auto dataset = generator_.generate_dataset();
   records_ = dataset.connection_count();
   const auto start = std::chrono::steady_clock::now();
@@ -67,26 +126,65 @@ void CampusRun::run() {
       std::chrono::duration<double>(stop - start).count();
 }
 
+void CampusRun::run_files() {
+  const auto start = std::chrono::steady_clock::now();
+  if (options_.in_memory) {
+    const std::string ssl_text = slurp(options_.ssl_log);
+    const std::string x509_text = slurp(options_.x509_log);
+    zeek::LogParseError error;
+    auto result = executor_.run_logs(ssl_text, x509_text, &error);
+    if (!result) {
+      std::fprintf(stderr, "parse failed: %s\n", error.message.c_str());
+      std::exit(1);
+    }
+    pipeline_ = std::move(result);
+  } else {
+    ingest::IngestError error;
+    auto result = executor_.run_log_files(options_.ssl_log, options_.x509_log,
+                                          &error, options_.ingest_options());
+    if (!result) {
+      std::fprintf(stderr, "ingest failed: %s\n", error.to_string().c_str());
+      std::exit(1);
+    }
+    pipeline_ = std::move(result);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  records_ = static_cast<std::size_t>(pipeline_->totals().connections);
+  wall_seconds_ = std::chrono::duration<double>(stop - start).count();
+}
+
 void print_header(const std::string& experiment,
                   const BenchOptions& options) {
   std::printf("================================================================\n");
   std::printf("%s\n", experiment.c_str());
-  std::printf("model: cert_scale=1:%g conn_scale=1:%g seed=%llu\n",
-              options.cert_scale, options.conn_scale,
-              static_cast<unsigned long long>(options.seed));
-  std::printf("threads: %zu%s\n",
-              core::PipelineExecutor::resolve_threads(options.threads),
-              options.threads == 0 ? " (hardware concurrency)" : "");
+  if (options.file_mode()) {
+    std::printf("input: %s + %s\n", options.ssl_log.c_str(),
+                options.x509_log.c_str());
+  } else {
+    std::printf("model: cert_scale=1:%g conn_scale=1:%g seed=%llu\n",
+                options.cert_scale, options.conn_scale,
+                static_cast<unsigned long long>(options.seed));
+  }
+  if (!options.stable_output) {
+    std::printf("threads: %zu%s\n",
+                core::PipelineExecutor::resolve_threads(options.threads),
+                options.threads == 0 ? " (hardware concurrency)" : "");
+  }
   std::printf("================================================================\n");
 }
 
 void print_footer(const CampusRun& run) {
-  const auto& totals = run.generator().stats();
-  std::printf(
-      "\n[run: %zu connections generated, %zu mutual, %zu certificates "
-      "minted]\n",
-      totals.connections, totals.mutual_connections,
-      totals.certificates_minted);
+  if (run.options().stable_output) return;
+  if (run.options().file_mode()) {
+    std::printf("\n");
+  } else {
+    const auto& totals = run.generator().stats();
+    std::printf(
+        "\n[run: %zu connections generated, %zu mutual, %zu certificates "
+        "minted]\n",
+        totals.connections, totals.mutual_connections,
+        totals.certificates_minted);
+  }
   std::printf("[pipeline: %zu threads, %zu records in %.3f s — %.0f "
               "records/s]\n",
               run.shard_count(), run.records_processed(), run.wall_seconds(),

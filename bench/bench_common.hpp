@@ -15,25 +15,52 @@
 namespace mtlscope::bench {
 
 struct BenchOptions {
-  double cert_scale;
-  double conn_scale;
+  double cert_scale = 1;
+  double conn_scale = 1;
   std::uint64_t seed = 20240504;
   /// Worker threads / shards for the PipelineExecutor. 0 → hardware
   /// concurrency; 1 → serial (single shard, run inline).
   std::size_t threads = 0;
 
-  /// Parses --cert-scale= / --conn-scale= / --seed= / --threads= overrides.
+  /// File mode (--ssl-log= and --x509-log= both set): analyze on-disk
+  /// Zeek logs through the streaming ingest layer instead of generating
+  /// a synthetic trace. No CT database is attached in file mode.
+  std::string ssl_log;
+  std::string x509_log;
+  /// Streaming chunk size in MiB; fractions work (--chunk-mb=0.0625 is
+  /// 64 KiB). Results are byte-identical for every value.
+  double chunk_mb = 1.0;
+  /// File mode only: slurp both files into RAM and run the in-memory
+  /// path (run_logs) instead of streaming — the RSS fixture's baseline.
+  bool in_memory = false;
+  /// File mode only: skip mmap, exercise the pread fallback.
+  bool force_buffered = false;
+  /// Suppress volatile output (thread count, timing footer) so runs with
+  /// different thread counts / chunk sizes / input modes diff cleanly.
+  bool stable_output = false;
+
+  bool file_mode() const { return !ssl_log.empty(); }
+  std::size_t chunk_bytes() const;
+  ingest::IngestOptions ingest_options() const;
+
+  /// Parses --cert-scale= / --conn-scale= / --seed= / --threads= plus the
+  /// file-mode flags --ssl-log= / --x509-log= / --chunk-mb= /
+  /// --in-memory / --force-buffered / --stable-output.
   static BenchOptions parse(int argc, char** argv, double default_cert_scale,
                             double default_conn_scale);
 };
 
 /// Owns the generator and a PipelineExecutor with a consistent
-/// configuration (campus defaults + the generator's CT database).
-/// Register observers (add_observer / attach) before calling run(); the
-/// merged pipeline is available through pipeline() afterwards.
+/// configuration (campus defaults + the generator's CT database, or no
+/// CT in file mode). Register observers (add_observer / attach) before
+/// calling run(); the merged pipeline is available through pipeline()
+/// afterwards.
 class CampusRun {
  public:
   explicit CampusRun(gen::CampusModel model, std::size_t threads = 0);
+  /// File-mode aware: when options.file_mode(), run() streams (or, with
+  /// --in-memory, slurps) the given logs instead of generating a trace.
+  CampusRun(gen::CampusModel model, const BenchOptions& options);
 
   /// The merged, finalized pipeline. Valid only after run().
   core::Pipeline& pipeline();
@@ -53,8 +80,10 @@ class CampusRun {
     executor_.attach(sharded);
   }
 
-  /// Generates the trace, then runs the executor over it. The wall-clock
-  /// figures cover the pipeline execution only (not generation).
+  /// Generates the trace (or opens the log files), then runs the
+  /// executor. The wall-clock figures cover the pipeline execution only
+  /// (not generation). File-mode failures print the structured
+  /// IngestError and exit(1).
   void run();
 
   double wall_seconds() const { return wall_seconds_; }
@@ -63,9 +92,13 @@ class CampusRun {
     return wall_seconds_ <= 0 ? 0
                               : static_cast<double>(records_) / wall_seconds_;
   }
+  const BenchOptions& options() const { return options_; }
 
  private:
+  void run_files();
+
   gen::TraceGenerator generator_;
+  BenchOptions options_;
   core::PipelineExecutor executor_;
   std::optional<core::Pipeline> pipeline_;
   double wall_seconds_ = 0;
@@ -73,9 +106,12 @@ class CampusRun {
 };
 
 /// Prints the standard bench header: experiment id, model sizes, threads.
+/// With --stable-output the volatile lines (thread count, input mode) are
+/// suppressed so outputs diff byte-identically across configurations.
 void print_header(const std::string& experiment, const BenchOptions& options);
 
 /// Prints a closing line with totals and throughput from the run.
+/// Suppressed entirely under --stable-output.
 void print_footer(const CampusRun& run);
 
 /// Restricts a model to clusters whose name starts with any of the given

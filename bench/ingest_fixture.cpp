@@ -1,0 +1,62 @@
+// ingest_fixture: writes the on-disk log pair the streaming-ingest CTest
+// fixture runs against (see ingest_rss_check.cpp). Generation runs in its
+// own process so its RAM never pollutes the RSS measurement of the runs
+// under test. Default scale yields a ~100 MB ssl.log.
+//
+// Usage: ingest_fixture OUT_DIR [--conn-scale=N] [--cert-scale=N] [--seed=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+using namespace mtlscope;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s OUT_DIR [--conn-scale=N] [--cert-scale=N]"
+                 " [--seed=N]\n", argv[0]);
+    return 2;
+  }
+  double cert_scale = 2'000;
+  double conn_scale = 25'000;  // ≈ 100 MB of ssl.log (~900k records)
+  std::uint64_t seed = 20240504;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--cert-scale=", 13) == 0) {
+      cert_scale = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--conn-scale=", 13) == 0) {
+      conn_scale = std::atof(argv[i] + 13);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  const std::filesystem::path dir = argv[1];
+  std::filesystem::create_directories(dir);
+
+  auto model = gen::paper_model(cert_scale, conn_scale);
+  model.seed = seed;
+  gen::TraceGenerator generator(std::move(model));
+  const auto dataset = generator.generate_dataset();
+
+  {
+    std::ofstream out(dir / "ssl.log", std::ios::binary);
+    zeek::write_ssl_log(out, dataset.ssl());
+  }
+  {
+    std::ofstream out(dir / "x509.log", std::ios::binary);
+    zeek::write_x509_log(out, dataset);
+  }
+  std::printf("fixture: %zu connections, %zu certificates\n",
+              dataset.connection_count(), dataset.certificate_count());
+  std::printf("  %s (%ju bytes)\n", (dir / "ssl.log").c_str(),
+              static_cast<std::uintmax_t>(
+                  std::filesystem::file_size(dir / "ssl.log")));
+  std::printf("  %s (%ju bytes)\n", (dir / "x509.log").c_str(),
+              static_cast<std::uintmax_t>(
+                  std::filesystem::file_size(dir / "x509.log")));
+  return 0;
+}

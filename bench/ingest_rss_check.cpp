@@ -1,0 +1,179 @@
+// ingest_rss_check: the teeth of the streaming-ingest CTest fixture.
+//
+// Runs repro_table1 over the log pair written by ingest_fixture — once
+// slurped (--in-memory) as the baseline, then streamed for every
+// {threads} x {chunk size} combination in the acceptance matrix — each in
+// a child process whose peak RSS is read back via wait4(). The check
+// fails unless (a) every streamed run's stdout is byte-identical to the
+// baseline's and (b) every streamed run's peak RSS stays under the
+// budget. The in-memory run holds both logs plus every parsed record, so
+// its RSS scales with input size; the streamed runs must not.
+//
+// Usage: ingest_rss_check --fixture-dir=DIR --repro=PATH [--budget-mb=N]
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  std::string output;
+  long max_rss_kb = 0;
+  int exit_code = -1;
+};
+
+/// Fork/exec `repro` with `args`, stdout redirected to `capture_path`;
+/// peak RSS comes from the child's rusage so the parent (and the
+/// generator) never contaminate the measurement.
+RunResult run_child(const std::string& repro,
+                    const std::vector<std::string>& args,
+                    const std::string& capture_path) {
+  RunResult result;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(repro.c_str()));
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return result;
+  }
+  if (pid == 0) {
+    const int fd = open(capture_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+    if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0) _exit(127);
+    close(fd);
+    execv(repro.c_str(), argv.data());
+    _exit(127);
+  }
+
+  int status = 0;
+  struct rusage usage {};
+  if (wait4(pid, &status, 0, &usage) < 0) {
+    std::perror("wait4");
+    return result;
+  }
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  result.max_rss_kb = usage.ru_maxrss;  // KiB on Linux
+
+  std::ifstream in(capture_path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  result.output = std::move(text).str();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fixture_dir, repro;
+  long budget_mb = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fixture-dir=", 14) == 0) {
+      fixture_dir = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--repro=", 8) == 0) {
+      repro = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--budget-mb=", 12) == 0) {
+      budget_mb = std::atol(argv[i] + 12);
+    }
+  }
+  if (fixture_dir.empty() || repro.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --fixture-dir=DIR --repro=PATH [--budget-mb=N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::filesystem::path dir = fixture_dir;
+  const std::string ssl_path = (dir / "ssl.log").string();
+  const std::string x509_path = (dir / "x509.log").string();
+  if (!std::filesystem::exists(ssl_path) ||
+      !std::filesystem::exists(x509_path)) {
+    std::fprintf(stderr, "fixture logs missing under %s (run ingest_fixture)\n",
+                 fixture_dir.c_str());
+    return 2;
+  }
+  const auto ssl_mb =
+      static_cast<double>(std::filesystem::file_size(ssl_path)) / (1 << 20);
+
+  const std::vector<std::string> common = {
+      "--ssl-log=" + ssl_path, "--x509-log=" + x509_path, "--stable-output"};
+
+  // Baseline: slurp both logs, run the in-memory path.
+  auto baseline_args = common;
+  baseline_args.push_back("--in-memory");
+  baseline_args.push_back("--threads=1");
+  const auto baseline =
+      run_child(repro, baseline_args, (dir / "out_baseline.txt").string());
+  if (baseline.exit_code != 0) {
+    std::fprintf(stderr, "FAIL: in-memory baseline exited %d\n",
+                 baseline.exit_code);
+    return 1;
+  }
+  if (baseline.output.empty()) {
+    std::fprintf(stderr, "FAIL: in-memory baseline produced no output\n");
+    return 1;
+  }
+  std::printf("input: %.1f MiB ssl.log; RSS budget: %ld MiB\n", ssl_mb,
+              budget_mb);
+  std::printf("%-34s peak RSS %6.1f MiB\n", "in-memory baseline (threads=1)",
+              static_cast<double>(baseline.max_rss_kb) / 1024);
+
+  // Streamed runs: the acceptance matrix — threads {1,4} x chunk {64K,1M}.
+  struct Config {
+    int threads;
+    const char* chunk_mb;
+  };
+  const Config configs[] = {
+      {1, "0.0625"}, {1, "1"}, {4, "0.0625"}, {4, "1"}};
+  bool failed = false;
+  int index = 0;
+  for (const auto& config : configs) {
+    auto args = common;
+    args.push_back("--threads=" + std::to_string(config.threads));
+    args.push_back(std::string("--chunk-mb=") + config.chunk_mb);
+    const auto capture =
+        (dir / ("out_streamed_" + std::to_string(index++) + ".txt")).string();
+    const auto streamed = run_child(repro, args, capture);
+
+    char label[64];
+    std::snprintf(label, sizeof label, "streamed threads=%d chunk=%s MiB",
+                  config.threads, config.chunk_mb);
+    if (streamed.exit_code != 0) {
+      std::fprintf(stderr, "FAIL: %s exited %d\n", label, streamed.exit_code);
+      failed = true;
+      continue;
+    }
+    const bool identical = streamed.output == baseline.output;
+    const bool within_budget = streamed.max_rss_kb <= budget_mb * 1024;
+    std::printf("%-34s peak RSS %6.1f MiB  output %s\n", label,
+                static_cast<double>(streamed.max_rss_kb) / 1024,
+                identical ? "identical" : "DIFFERS");
+    if (!identical) {
+      std::fprintf(stderr, "FAIL: %s output differs from in-memory baseline\n",
+                   label);
+      failed = true;
+    }
+    if (!within_budget) {
+      std::fprintf(stderr, "FAIL: %s peak RSS %ld KiB exceeds %ld MiB budget\n",
+                   label, streamed.max_rss_kb, budget_mb);
+      failed = true;
+    }
+  }
+
+  if (failed) return 1;
+  std::printf("OK: all streamed runs byte-identical and under the RSS "
+              "budget\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Streaming-ingest microbenches: raw chunker scan rate (MB/s over an
+// mmap'd log), and the full file-driven pipeline — streamed vs slurped —
+// in records per second. The interesting comparison is bytes processed
+// per unit of resident memory: the streamed path holds O(chunk × queue),
+// the in-memory path holds both whole files plus every parsed record.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mtlscope/core/executor.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/ingest/chunker.hpp"
+#include "mtlscope/ingest/source.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+/// One on-disk log pair shared by every benchmark in this binary.
+struct LogFixture {
+  std::string ssl_path;
+  std::string x509_path;
+  std::size_t ssl_bytes = 0;
+  std::size_t records = 0;
+
+  LogFixture() {
+    const auto dir = std::filesystem::temp_directory_path() / "mtlscope_perf";
+    std::filesystem::create_directories(dir);
+    ssl_path = (dir / "ssl.log").string();
+    x509_path = (dir / "x509.log").string();
+
+    gen::TraceGenerator generator(gen::paper_model(2'000, 200'000));
+    const auto dataset = generator.generate_dataset();
+    records = dataset.connection_count();
+    {
+      std::ofstream out(ssl_path, std::ios::binary);
+      zeek::write_ssl_log(out, dataset.ssl());
+    }
+    {
+      std::ofstream out(x509_path, std::ios::binary);
+      zeek::write_x509_log(out, dataset);
+    }
+    ssl_bytes = std::filesystem::file_size(ssl_path);
+  }
+};
+
+const LogFixture& fixture() {
+  static const LogFixture instance;
+  return instance;
+}
+
+/// Raw chunking rate: how fast the reader side alone can walk a log.
+void BM_ChunkerScan(benchmark::State& state) {
+  const auto& logs = fixture();
+  ingest::IngestError error;
+  const auto source = ingest::open_source(logs.ssl_path, &error);
+  if (source == nullptr) {
+    state.SkipWithError(error.to_string().c_str());
+    return;
+  }
+  const auto layout = ingest::detect_log_layout(*source);
+  const auto chunk_bytes = static_cast<std::size_t>(state.range(0));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    ingest::RecordChunker chunker(*source, chunk_bytes, layout.body_begin,
+                                  source->size());
+    ingest::Chunk chunk;
+    std::size_t newlines = 0;
+    while (chunker.next(chunk)) {
+      bytes += chunk.data.size();
+      // Touch every byte so mmap actually faults the pages in.
+      for (const char c : chunk.view()) newlines += (c == '\n');
+      source->release(chunk.offset, chunk.data.size());
+    }
+    benchmark::DoNotOptimize(newlines);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ChunkerScan)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StreamedRun(benchmark::State& state) {
+  const auto& logs = fixture();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(),
+                                    static_cast<std::size_t>(state.range(0)));
+    ingest::IngestError error;
+    const auto result =
+        executor.run_log_files(logs.ssl_path, logs.x509_path, &error);
+    if (!result) {
+      state.SkipWithError(error.to_string().c_str());
+      return;
+    }
+    records += static_cast<std::size_t>(result->totals().connections);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      logs.ssl_bytes * state.iterations()));
+}
+BENCHMARK(BM_StreamedRun)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_InMemoryRun(benchmark::State& state) {
+  const auto& logs = fixture();
+  std::ostringstream ssl_text, x509_text;
+  {
+    std::ifstream ssl(logs.ssl_path, std::ios::binary);
+    std::ifstream x509(logs.x509_path, std::ios::binary);
+    ssl_text << ssl.rdbuf();
+    x509_text << x509.rdbuf();
+  }
+  const std::string ssl = std::move(ssl_text).str();
+  const std::string x509 = std::move(x509_text).str();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(),
+                                    static_cast<std::size_t>(state.range(0)));
+    zeek::LogParseError error;
+    const auto result = executor.run_logs(ssl, x509, &error);
+    if (!result) {
+      state.SkipWithError(error.message.c_str());
+      return;
+    }
+    records += static_cast<std::size_t>(result->totals().connections);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      logs.ssl_bytes * state.iterations()));
+}
+BENCHMARK(BM_InMemoryRun)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace

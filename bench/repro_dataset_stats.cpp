@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   std::erase_if(model.clusters, [](const gen::TrafficCluster& c) {
     return c.name.rfind("out-cross", 0) == 0;
   });
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
 
   std::set<std::string> server_ips, client_ips;
   std::set<std::string> tls13_server_ips, tls13_client_ips;

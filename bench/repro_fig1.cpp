@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   model.background_connections =
       static_cast<std::size_t>(mutual_estimate * 33.0);
 
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(run.shard_count());
   run.attach(prevalence_shards);
   run.run();

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   model.seed = options.seed;
   // Figure 2 covers outbound mutual TLS only.
   bench::keep_only_clusters(model, {"out-"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::OutboundFlowAnalyzer> flows_shards(run.shard_count());
   run.attach(flows_shards);
   run.run();

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       model, {"in-rcgen", "out-idrive", "out-clouddevice", "out-alarmnet",
               "out-sds", "out-ayoba", "out-ibackup", "out-crestron",
               "out-icelink", "out-media-server"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::IncorrectDateAnalyzer> dates_shards(run.shard_count());
   run.attach(dates_shards);
   run.run();

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
       model, {"out-longvalid", "out-tmdx", "in-vpn", "in-health-public",
               "out-mqtt", "out-rapid7", "out-gpcloud", "out-guardicore",
               "in-globus-shared"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   run.run();
 
   const auto result = core::analyze_validity(run.pipeline());

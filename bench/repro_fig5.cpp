@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
   // Only the expired-certificate clusters matter here; the slice lets the
   // bench run at full certificate fidelity (paper-exact counts).
   bench::keep_only_clusters(model, {"in-expired", "out-expired"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   run.run();
 
   const auto result = core::analyze_expired(run.pipeline());

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       model, {"in-globus-shared", "out-globus-shared", "out-guardicore",
               "in-viptela", "in-serial00", "in-local-serial", "in-local-org",
               "out-aws-corp"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::SerialCollisionAnalyzer> serials_shards(run.shard_count());
   run.attach(serials_shards);
   run.run();

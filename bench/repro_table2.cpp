@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
 
   auto model = gen::paper_model(options.cert_scale, options.conn_scale);
   model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::ServicePortAnalyzer> ports_shards(run.shard_count());
   run.attach(ports_shards);
   run.run();

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   // Table 3 covers inbound mutual TLS only; dropping the other slices
   // lets a low connection scale run quickly without coverage distortion.
   bench::keep_only_clusters(model, {"in-"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::InboundAssociationAnalyzer> assoc_shards(run.shard_count());
   run.attach(assoc_shards);
   run.run();

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
       model, {"in-dummy", "in-unspecified", "in-widgits", "out-widgits",
               "out-default", "out-acme", "out-dummy-both", "out-longvalid-dummy",
               "in-local-org", "out-aws-corp"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::DummyIssuerAnalyzer> dummies_shards(run.shard_count());
   run.attach(dummies_shards);
   run.run();

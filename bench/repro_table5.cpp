@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
               "out-psych", "out-splunk-shared", "out-leidos", "out-acr",
               "out-sapns2", "out-bluetriton", "out-gpo", "out-rtc-shared",
               "out-aws", "in-health"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
   run.attach(shared_shards);
   run.run();

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   // Table 6 concerns only the cross-connection-shared population; slicing
   // to it allows running at full certificate fidelity (cert_scale 1).
   bench::keep_only_clusters(model, {"out-cross"});
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
   run.attach(shared_shards);
   run.run();

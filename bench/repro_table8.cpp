@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
 
   auto model = gen::paper_model(options.cert_scale, options.conn_scale);
   model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options.threads);
+  bench::CampusRun run(std::move(model), options);
   run.run();
 
   const auto result =

@@ -1,13 +1,18 @@
-// campus_audit: generate a scaled synthetic campus trace and produce an
-// operator-style mutual-TLS audit report — prevalence, services, issuer
-// mix, and the security findings the paper flags (dummy issuers, serial
-// collisions, shared certificates, expired client certificates).
+// campus_audit: produce an operator-style mutual-TLS audit report —
+// prevalence, services, issuer mix, and the security findings the paper
+// flags (dummy issuers, serial collisions, shared certificates, expired
+// client certificates). By default the input is a scaled synthetic
+// campus trace; point --ssl-log/--x509-log at real Zeek logs to audit
+// those instead (streamed with bounded memory, any file size).
 //
 // Usage: ./build/examples/campus_audit [--cert-scale=N] [--conn-scale=N]
 //                                      [--threads=N]
+//                                      [--ssl-log=F --x509-log=F]
+//                                      [--chunk-mb=M]
 #include <cstdio>
 #include <cstring>
 #include <cstdlib>
+#include <string>
 
 #include "mtlscope/core/analyzers.hpp"
 #include "mtlscope/core/executor.hpp"
@@ -19,6 +24,8 @@ using namespace mtlscope;
 int main(int argc, char** argv) {
   double cert_scale = 500, conn_scale = 50'000;
   std::size_t threads = 0;  // 0 → hardware concurrency
+  std::string ssl_log, x509_log;
+  double chunk_mb = 1.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--cert-scale=", 13) == 0) {
       cert_scale = std::atof(argv[i] + 13);
@@ -26,16 +33,33 @@ int main(int argc, char** argv) {
       conn_scale = std::atof(argv[i] + 13);
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--ssl-log=", 10) == 0) {
+      ssl_log = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--x509-log=", 11) == 0) {
+      x509_log = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--chunk-mb=", 11) == 0) {
+      chunk_mb = std::atof(argv[i] + 11);
     }
   }
+  const bool file_mode = !ssl_log.empty() || !x509_log.empty();
+  if (file_mode && (ssl_log.empty() || x509_log.empty())) {
+    std::fprintf(stderr, "need both --ssl-log= and --x509-log=\n");
+    return 2;
+  }
 
-  std::printf("mtlscope campus audit (synthetic trace 1:%g certs, 1:%g "
-              "connections)\n\n",
-              cert_scale, conn_scale);
+  if (file_mode) {
+    std::printf("mtlscope campus audit (%s + %s, streamed)\n\n",
+                ssl_log.c_str(), x509_log.c_str());
+  } else {
+    std::printf("mtlscope campus audit (synthetic trace 1:%g certs, 1:%g "
+                "connections)\n\n",
+                cert_scale, conn_scale);
+  }
 
   gen::TraceGenerator generator(gen::paper_model(cert_scale, conn_scale));
   auto config = core::PipelineConfig::campus_defaults();
-  config.ct = &generator.ct_database();
+  // The synthetic CT database only describes the synthetic trace.
+  if (!file_mode) config.ct = &generator.ct_database();
   core::PipelineExecutor executor(std::move(config), threads);
   std::printf("pipeline workers: %zu\n\n", executor.shard_count());
 
@@ -54,7 +78,21 @@ int main(int argc, char** argv) {
   executor.attach(serials_shards);
   executor.attach(shared_shards);
 
-  const auto pipeline = executor.run(generator.generate_dataset());
+  std::optional<core::Pipeline> result;
+  if (file_mode) {
+    ingest::IngestOptions ingest_options;
+    ingest_options.chunk_bytes = static_cast<std::size_t>(
+        chunk_mb > 0 ? chunk_mb * 1024 * 1024 : 1);
+    ingest::IngestError error;
+    result = executor.run_log_files(ssl_log, x509_log, &error, ingest_options);
+    if (!result) {
+      std::fprintf(stderr, "ingest error: %s\n", error.to_string().c_str());
+      return 1;
+    }
+  } else {
+    result.emplace(executor.run(generator.generate_dataset()));
+  }
+  const core::Pipeline& pipeline = *result;
   auto prevalence = std::move(prevalence_shards).merged();
   auto ports = std::move(ports_shards).merged();
   auto dummies = std::move(dummies_shards).merged();

@@ -51,36 +51,58 @@ int export_logs(const std::filesystem::path& dir) {
   return 0;
 }
 
-int report(const std::filesystem::path& dir, std::size_t threads) {
-  std::ifstream ssl_in(dir / "ssl.log");
-  std::ifstream x509_in(dir / "x509.log");
-  if (!ssl_in || !x509_in) {
-    std::fprintf(stderr, "need %s/ssl.log and %s/x509.log\n", dir.c_str(),
-                 dir.c_str());
-    return 1;
-  }
-  std::ostringstream ssl_text, x509_text;
-  ssl_text << ssl_in.rdbuf();
-  x509_text << x509_in.rdbuf();
+struct ReportOptions {
+  std::size_t threads = 0;    // 0 → hardware concurrency
+  double chunk_mb = 1.0;      // streaming chunk size (0.0625 = 64 KiB)
+  bool in_memory = false;     // slurp both logs instead of streaming
+};
 
-  // run_logs() chunk-splits both logs, parses the chunks in parallel, and
-  // runs one pipeline shard per worker; results are identical for any
-  // --threads value.
+int report(const std::filesystem::path& dir, const ReportOptions& options) {
+  const std::string ssl_path = (dir / "ssl.log").string();
+  const std::string x509_path = (dir / "x509.log").string();
+
+  // run_log_files() streams both logs through the bounded-memory ingest
+  // layer: mmap + record-aligned chunks + one pipeline shard per worker.
+  // Results are byte-identical for any --threads or --chunk-mb value, and
+  // resident memory stays O(chunk × queue depth) even for logs larger
+  // than RAM.
   core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(),
-                                  threads);
+                                  options.threads);
   core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(
       executor.shard_count());
   core::Sharded<core::ServicePortAnalyzer> ports_shards(executor.shard_count());
   executor.attach(prevalence_shards);
   executor.attach(ports_shards);
 
-  zeek::LogParseError error;
-  const auto parsed = executor.run_logs(ssl_text.str(), x509_text.str(),
-                                        &error);
-  if (!parsed) {
-    std::fprintf(stderr, "parse error (line %zu): %s\n", error.line,
-                 error.message.c_str());
-    return 1;
+  std::optional<core::Pipeline> parsed;
+  if (options.in_memory) {
+    std::ifstream ssl_in(ssl_path, std::ios::binary);
+    std::ifstream x509_in(x509_path, std::ios::binary);
+    if (!ssl_in || !x509_in) {
+      std::fprintf(stderr, "need %s and %s\n", ssl_path.c_str(),
+                   x509_path.c_str());
+      return 1;
+    }
+    std::ostringstream ssl_text, x509_text;
+    ssl_text << ssl_in.rdbuf();
+    x509_text << x509_in.rdbuf();
+    zeek::LogParseError error;
+    parsed = executor.run_logs(ssl_text.str(), x509_text.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", error.message.c_str());
+      return 1;
+    }
+  } else {
+    ingest::IngestOptions ingest_options;
+    ingest_options.chunk_bytes = static_cast<std::size_t>(
+        options.chunk_mb > 0 ? options.chunk_mb * 1024 * 1024 : 1);
+    ingest::IngestError error;
+    parsed = executor.run_log_files(ssl_path, x509_path, &error,
+                                    ingest_options);
+    if (!parsed) {
+      std::fprintf(stderr, "ingest error: %s\n", error.to_string().c_str());
+      return 1;
+    }
   }
   const core::Pipeline& pipeline = *parsed;
   auto prevalence = std::move(prevalence_shards).merged();
@@ -136,22 +158,29 @@ int report(const std::filesystem::path& dir, std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t threads = 0;  // 0 → hardware concurrency
+  ReportOptions options;
   for (int i = 3; i < argc; ++i) {
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+      options.threads = static_cast<std::size_t>(std::atoll(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--chunk-mb=", 11) == 0) {
+      options.chunk_mb = std::atof(argv[i] + 11);
+    } else if (std::strcmp(argv[i], "--in-memory") == 0) {
+      options.in_memory = true;
     }
   }
   if (argc >= 3 && std::strcmp(argv[1], "export") == 0) {
     return export_logs(argv[2]);
   }
   if (argc >= 3 && std::strcmp(argv[1], "report") == 0) {
-    return report(argv[2], threads);
+    return report(argv[2], options);
   }
   std::fprintf(stderr,
                "usage: %s export DIR   (write synthetic ssl.log/x509.log)\n"
-               "       %s report DIR [--threads=N]   (analyze DIR/ssl.log + "
-               "DIR/x509.log)\n",
+               "       %s report DIR [--threads=N] [--chunk-mb=M] "
+               "[--in-memory]\n"
+               "         (analyze DIR/ssl.log + DIR/x509.log; streamed with "
+               "bounded memory\n"
+               "          unless --in-memory)\n",
                argv[0], argv[0]);
   return 2;
 }

@@ -24,6 +24,18 @@
 //      per-shard observers attached.
 //   E  merge: shard registries, totals, and analyzer states fold into one
 //      Pipeline in shard order; finalize() flags interception certs.
+//
+// Two input paths drive the same phases:
+//   * in-memory (run / run_logs): records or log text already resident;
+//   * streaming (run_log_files / run_sources): logs stay on disk. Each
+//     pre-pass is queue-fed — one reader thread cuts the mmap'd file into
+//     record-aligned chunks, K workers parse them, and a bounded reorder
+//     window re-sequences results so order-sensitive phases (A's
+//     first-fuid-wins, B's serial upgrades) see records in exact stream
+//     order. Phase D streams static record-aligned byte ranges, one per
+//     shard. Peak resident memory is O(chunk_bytes × (queue_depth + K))
+//     plus the certificate registry — never O(file size) — and the output
+//     is byte-identical to the in-memory path.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +48,9 @@
 
 #include "mtlscope/core/analyzers.hpp"
 #include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/ingest/chunker.hpp"
+#include "mtlscope/ingest/error.hpp"
+#include "mtlscope/ingest/source.hpp"
 #include "mtlscope/zeek/log_io.hpp"
 
 namespace mtlscope::core {
@@ -81,16 +96,34 @@ class PipelineExecutor {
   Pipeline run(const std::vector<zeek::SslRecord>& ssl,
                const std::map<std::string, zeek::X509Record>& x509);
 
-  /// File-driven entry: splits both logs at record boundaries
-  /// (zeek::split_log_text), parses the chunks in parallel, then runs.
+  /// In-memory log-text entry: wraps both strings in MemorySources and
+  /// runs the streaming engine over them (zero extra copies of the text).
   /// Returns nullopt (with `error` filled) on a parse failure.
   std::optional<Pipeline> run_logs(const std::string& ssl_text,
                                    const std::string& x509_text,
                                    zeek::LogParseError* error = nullptr);
 
+  /// Streaming entry: mmaps (or buffered-reads) both log files and runs
+  /// the phases without ever materializing a file in memory. "-" reads
+  /// stdin (spooled to disk). Output is byte-identical to run_logs() on
+  /// the same bytes for every thread count and chunk size.
+  std::optional<Pipeline> run_log_files(
+      const std::string& ssl_path, const std::string& x509_path,
+      ingest::IngestError* error = nullptr,
+      const ingest::IngestOptions& options = {});
+
+  /// Same engine over already-opened byte sources (tests, custom inputs).
+  std::optional<Pipeline> run_sources(const ingest::Source& ssl,
+                                      const ingest::Source& x509,
+                                      ingest::IngestError* error = nullptr,
+                                      const ingest::IngestOptions& options = {});
+
   const PipelineConfig& config() const;
 
  private:
+  /// K prepared-mode pipelines with per-shard and shared observers wired.
+  std::vector<Pipeline> make_shards(const Pipeline::Prepared& prepared);
+
   PipelineConfig config_;
   std::size_t threads_;
   std::vector<ObserverFactory> factories_;

@@ -1,0 +1,160 @@
+// Backpressured plumbing between the reader thread and the parse
+// workers.
+//
+// ChunkQueue<T>: a bounded MPMC queue. push() blocks while the queue is
+// full — that is the backpressure that keeps a fast reader from racing
+// ahead of slow parsers, bounding resident memory of a streaming pass to
+// O(chunk_bytes × queue_depth) regardless of file size. close() wakes
+// all consumers; pop() returns nullopt once the queue is closed and
+// drained.
+//
+// OrderedCollector<T>: re-sequences results produced out of order by
+// parallel workers. put(seq, value) blocks while `seq` is more than
+// `window` ahead of the next sequence to emit (bounding the reorder
+// buffer); take() hands results back in exact sequence order — the
+// mechanism behind the executor's order-sensitive streaming passes
+// (registry first-wins, chain-upgrade application).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace mtlscope::ingest {
+
+template <typename T>
+class ChunkQueue {
+ public:
+  explicit ChunkQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Blocks until there is room (or the queue is closed). Returns false
+  /// if the queue was closed — the item is dropped, producers should
+  /// stop.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives; nullopt once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wakes every blocked producer and consumer. Items already queued are
+  /// still delivered; further push() calls are refused.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Instantaneous occupancy (tests observe backpressure through this).
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+template <typename T>
+class OrderedCollector {
+ public:
+  explicit OrderedCollector(std::size_t window)
+      : window_(window == 0 ? 1 : window) {}
+
+  /// Hands in the result for `seq`. Blocks while seq >= next + window so
+  /// the reorder buffer stays bounded. Returns false if closed.
+  bool put(std::size_t seq, T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    may_put_.wait(lock,
+                  [this, seq] { return seq < next_ + window_ || closed_; });
+    if (closed_) return false;
+    pending_.emplace(seq, std::move(value));
+    lock.unlock();
+    may_take_.notify_all();
+    return true;
+  }
+
+  /// Producers are done; `total` results exist in all. take() drains the
+  /// remainder then reports end-of-stream.
+  void finish(std::size_t total) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      total_ = total;
+      finished_ = true;
+    }
+    may_take_.notify_all();
+  }
+
+  /// Blocks for the next in-order result; nullopt when all `total`
+  /// results have been taken (or the collector was closed early).
+  std::optional<T> take() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    may_take_.wait(lock, [this] {
+      return closed_ || pending_.count(next_) != 0 ||
+             (finished_ && next_ >= total_);
+    });
+    const auto it = pending_.find(next_);
+    if (it == pending_.end()) return std::nullopt;  // closed or complete
+    T value = std::move(it->second);
+    pending_.erase(it);
+    ++next_;
+    lock.unlock();
+    may_put_.notify_all();
+    return value;
+  }
+
+  /// Aborts the collection (error paths): wakes everyone, refuses new
+  /// results.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    may_put_.notify_all();
+    may_take_.notify_all();
+  }
+
+ private:
+  const std::size_t window_;
+  std::mutex mutex_;
+  std::condition_variable may_put_;
+  std::condition_variable may_take_;
+  std::map<std::size_t, T> pending_;
+  std::size_t next_ = 0;
+  std::size_t total_ = 0;
+  bool finished_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace mtlscope::ingest

@@ -1,0 +1,22 @@
+// Structured error for the streaming ingest layer: every failure names
+// the input file, the byte offset the problem was detected at, and a
+// human-readable reason — so a parse error in chunk 7 of a 40 GB log is
+// actionable without re-running serially.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace mtlscope::ingest {
+
+struct IngestError {
+  std::string file;             // path (or "<memory>" for in-RAM sources)
+  std::size_t byte_offset = 0;  // where in the file the problem starts
+  std::string reason;
+
+  std::string to_string() const {
+    return file + " @ byte " + std::to_string(byte_offset) + ": " + reason;
+  }
+};
+
+}  // namespace mtlscope::ingest

@@ -1,0 +1,86 @@
+// Byte sources for streaming log ingestion.
+//
+// A Source is a random-access, known-size view of one input:
+//   * MemorySource  — wraps a caller-owned buffer (the in-memory run_logs
+//     path routes through this, so RAM-backed and file-backed inputs share
+//     one code path).
+//   * MappedFile    — mmap(2)-backed, zero-copy: fetch() returns views
+//     straight into the mapping, and release() drops consumed pages
+//     (madvise MADV_DONTNEED) so resident memory stays O(chunk), not
+//     O(file), during a sequential pass.
+//   * BufferedFile  — plain pread(2) fallback for filesystems where mmap
+//     fails; fetch() copies into the caller's scratch buffer.
+//
+// Non-seekable inputs (stdin via "-", FIFOs) are spooled to an unlinked
+// temporary file first: the measurement pipeline makes multiple passes
+// over ssl.log, which a pipe cannot replay. The spool costs disk, never
+// RAM.
+//
+// Thread-safety: concurrent fetch()/release() on one Source are safe
+// (mmap reads are const; pread does not move the file offset). Each
+// thread must bring its own scratch buffer.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "mtlscope/ingest/error.hpp"
+
+namespace mtlscope::ingest {
+
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  virtual std::size_t size() const = 0;
+  const std::string& name() const { return name_; }
+
+  /// Returns the bytes [offset, offset+len) — clamped to size(). The view
+  /// is either zero-copy (memory/mmap) or points into `scratch`; it stays
+  /// valid until the next fetch() with the same scratch or a release()
+  /// covering the range.
+  virtual std::string_view fetch(std::size_t offset, std::size_t len,
+                                 std::string& scratch) const = 0;
+
+  /// Hint that [offset, offset+len) has been consumed and will not be
+  /// read again soon. MappedFile drops the resident pages; others no-op.
+  virtual void release(std::size_t offset, std::size_t len) const;
+
+ protected:
+  explicit Source(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Zero-copy source over caller-owned bytes. The buffer must outlive the
+/// source.
+class MemorySource final : public Source {
+ public:
+  explicit MemorySource(std::string_view data,
+                        std::string name = "<memory>")
+      : Source(std::move(name)), data_(data) {}
+
+  std::size_t size() const override { return data_.size(); }
+  std::string_view fetch(std::size_t offset, std::size_t len,
+                         std::string& scratch) const override;
+
+ private:
+  std::string_view data_;
+};
+
+struct SourceOptions {
+  /// Skip mmap and use the pread fallback (tests exercise parity).
+  bool force_buffered = false;
+};
+
+/// Opens `path` as the best available source: mmap for regular files,
+/// pread fallback when mmap is unavailable, and a disk spool for "-"
+/// (stdin) or FIFOs. Returns nullptr with `error` filled on failure.
+std::unique_ptr<Source> open_source(const std::string& path,
+                                    IngestError* error,
+                                    const SourceOptions& options = {});
+
+}  // namespace mtlscope::ingest

@@ -20,7 +20,8 @@ struct LogParseError {
 };
 
 /// Parses a Zeek ssl.log. Unknown fields are ignored; required fields
-/// missing from the #fields header is an error.
+/// missing from the #fields header is an error. CRLF line endings are
+/// tolerated (trailing '\r' is stripped).
 std::optional<std::vector<SslRecord>> parse_ssl_log(
     std::istream& in, LogParseError* error = nullptr);
 
@@ -40,10 +41,12 @@ std::optional<Dataset> parse_dataset(std::istream& ssl_in,
 
 /// Splits a Zeek ASCII log into `chunks` standalone logs at record (line)
 /// boundaries: the leading #-metadata header block is replicated onto
-/// every chunk so each parses independently (parallel file-driven runs).
-/// Data rows keep their order, so concatenating the parsed chunks
-/// reproduces the serial parse exactly. Never returns fewer than one
-/// chunk; trailing chunks may be header-only when rows run out.
+/// every chunk so each parses independently. Data rows keep their order,
+/// so concatenating the parsed chunks reproduces the serial parse
+/// exactly. Never returns fewer than one chunk; trailing chunks may be
+/// header-only when rows run out. Implemented on the mtlscope::ingest
+/// chunker (byte-balanced, record-aligned cuts); the executor streams
+/// chunk views directly and no longer goes through this string API.
 std::vector<std::string> split_log_text(const std::string& text,
                                         std::size_t chunks);
 

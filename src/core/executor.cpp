@@ -1,10 +1,11 @@
 #include "mtlscope/core/executor.hpp"
 
-#include <sstream>
+#include <atomic>
 #include <thread>
 #include <utility>
 
 #include "mtlscope/core/enrich.hpp"
+#include "mtlscope/ingest/chunk_queue.hpp"
 
 namespace mtlscope::core {
 namespace {
@@ -34,6 +35,158 @@ const CertFacts* find_facts(const Pipeline::CertMap& certs,
   return it == certs.end() ? nullptr : &it->second;
 }
 
+/// Phase B's chain-level public upgrade (§3.2.1): the leaf goes public
+/// when any intermediate on the chain already is. Upgrades can chain
+/// through later connections, so callers apply this serially in stream
+/// order.
+void upgrade_chain(Pipeline::CertMap& base,
+                   const std::vector<std::string>& fuids) {
+  if (fuids.size() < 2) return;  // no intermediates to inherit from
+  const auto leaf_it = base.find(fuids.front());
+  if (leaf_it == base.end() ||
+      leaf_it->second.issuer_class == trust::IssuerClass::kPublic) {
+    return;
+  }
+  for (std::size_t i = 1; i < fuids.size(); ++i) {
+    const auto it = base.find(fuids[i]);
+    if (it != base.end() &&
+        it->second.issuer_class == trust::IssuerClass::kPublic) {
+      leaf_it->second.issuer_class = trust::IssuerClass::kPublic;
+      leaf_it->second.issuer_category = IssuerCategory::kPublic;
+      return;
+    }
+  }
+}
+
+void apply_upgrades(Pipeline::CertMap& base, const zeek::SslRecord& record) {
+  if (!record.established) return;
+  upgrade_chain(base, record.cert_chain_fuids);
+  upgrade_chain(base, record.client_cert_chain_fuids);
+}
+
+/// Phase C candidate collection: issuer DN → distinct CT-mismatching SLDs.
+using CandidateMap = std::map<std::string, std::set<std::string>>;
+
+void note_interception_candidate(const PipelineConfig& config,
+                                 const Enricher& enricher,
+                                 const Pipeline::CertMap& base,
+                                 const zeek::SslRecord& record,
+                                 CandidateMap& candidates) {
+  if (!record.established) return;
+  const CertFacts* server_leaf = find_facts(base, record.cert_chain_fuids);
+  if (server_leaf == nullptr ||
+      server_leaf->issuer_class != trust::IssuerClass::kPrivate) {
+    return;
+  }
+  const CertFacts* client_leaf =
+      find_facts(base, record.client_cert_chain_fuids);
+  const EnrichedConnection conn =
+      enricher.enrich(record, server_leaf, client_leaf);
+  if (conn.sld.empty() || !config.ct->has_domain(conn.sld)) return;
+  const auto* issuers = config.ct->issuers_for(conn.sld);
+  if (issuers != nullptr && !issuers->contains(server_leaf->issuer_dn)) {
+    candidates[server_leaf->issuer_dn].insert(conn.sld);
+  }
+}
+
+std::set<std::string> confirm_issuers(const CandidateMap& merged,
+                                      std::size_t threshold) {
+  std::set<std::string> confirmed;
+  for (const auto& [issuer, domains] : merged) {
+    if (domains.size() >= threshold) confirmed.insert(issuer);
+  }
+  return confirmed;
+}
+
+/// Failure slot shared by the streaming workers. The smallest byte offset
+/// wins, so the reported error does not depend on worker scheduling.
+struct EngineError {
+  std::mutex mutex;
+  bool set = false;
+  ingest::IngestError error;
+
+  void record(const std::string& file, std::size_t offset,
+              std::string reason) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (set && error.byte_offset <= offset) return;
+    set = true;
+    error = {file, offset, std::move(reason)};
+  }
+
+  bool failed() {
+    const std::lock_guard<std::mutex> lock(mutex);
+    return set;
+  }
+};
+
+std::string describe_parse_error(const zeek::LogParseError& error) {
+  if (error.line == 0) return error.message;
+  return error.message + " (line " + std::to_string(error.line) +
+         " of the chunk at this offset, header included)";
+}
+
+/// One queue-fed streaming pass over a log body. A reader thread cuts
+/// [layout.body_begin, size) into record-aligned chunks and pushes them
+/// into a bounded queue (backpressure); `k` workers pop, run `map_chunk`
+/// (parse + shard-local work) and hand the result to a bounded reorder
+/// window; the caller's thread folds results back in exact stream order.
+/// Peak memory: O(chunk_bytes × (queue_depth + k)) regardless of file
+/// size. Returns false if any chunk failed (EngineError filled).
+template <typename Result, typename MapFn, typename FoldFn>
+bool stream_pass(const ingest::Source& source,
+                 const ingest::LogLayout& layout, std::size_t k,
+                 const ingest::IngestOptions& options, EngineError& error,
+                 const MapFn& map_chunk, const FoldFn& fold) {
+  const std::size_t depth =
+      options.queue_depth != 0 ? options.queue_depth : 2 * k;
+  ingest::ChunkQueue<ingest::Chunk> queue(depth);
+  // Window ≥ queue + in-flight chunks: the worker holding the next-needed
+  // sequence can always put() without blocking, so the pass cannot wedge.
+  ingest::OrderedCollector<Result> collector(depth + k);
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    ingest::RecordChunker chunker(source, options.chunk_bytes,
+                                  layout.body_begin, source.size());
+    ingest::Chunk chunk;
+    std::size_t produced = 0;
+    while (!stop.load(std::memory_order_relaxed) && chunker.next(chunk)) {
+      if (!queue.push(std::move(chunk))) break;
+      ++produced;
+      chunk = ingest::Chunk{};  // scratch was moved into the queue
+    }
+    queue.close();
+    collector.finish(produced);
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(k);
+  for (std::size_t t = 0; t < k; ++t) {
+    workers.emplace_back([&] {
+      while (auto chunk = queue.pop()) {
+        chunk->rebind();
+        Result result{};
+        if (!map_chunk(*chunk, result)) {
+          // Later chunks already queued still flow through (as empty
+          // results) so the reorder window drains; the run aborts after
+          // the pass with the smallest failing offset.
+          stop.store(true, std::memory_order_relaxed);
+        }
+        source.release(chunk->offset, chunk->data.size());
+        if (!collector.put(chunk->seq, std::move(result))) break;
+      }
+    });
+  }
+
+  while (auto result = collector.take()) {
+    fold(std::move(*result));
+  }
+
+  reader.join();
+  for (auto& worker : workers) worker.join();
+  return !error.failed();
+}
+
 }  // namespace
 
 PipelineExecutor::PipelineExecutor(PipelineConfig config, std::size_t threads)
@@ -54,6 +207,25 @@ void PipelineExecutor::add_shared_observer(Observer observer) {
 }
 
 const PipelineConfig& PipelineExecutor::config() const { return config_; }
+
+std::vector<Pipeline> PipelineExecutor::make_shards(
+    const Pipeline::Prepared& prepared) {
+  std::vector<Pipeline> shards;
+  shards.reserve(threads_);
+  for (std::size_t t = 0; t < threads_; ++t) {
+    shards.emplace_back(prepared);
+    for (const auto& factory : factories_) {
+      shards[t].add_observer(factory(t));
+    }
+    for (auto& observer : shared_observers_) {
+      shards[t].add_observer([this, &observer](const EnrichedConnection& c) {
+        const std::lock_guard<std::mutex> lock(shared_mutex_);
+        observer(c);
+      });
+    }
+  }
+  return shards;
+}
 
 Pipeline PipelineExecutor::run(const zeek::Dataset& dataset) {
   return run(dataset.ssl(), dataset.x509());
@@ -96,30 +268,7 @@ Pipeline PipelineExecutor::run(
   // over every established connection's chains reaches the same fixpoint
   // the streaming pipeline converges to — without the stream-position
   // dependence of upgrading mid-run.
-  {
-    const auto upgrade = [&base](const std::vector<std::string>& fuids) {
-      if (fuids.size() < 2) return;  // no intermediates to inherit from
-      const auto leaf_it = base->find(fuids.front());
-      if (leaf_it == base->end() ||
-          leaf_it->second.issuer_class == trust::IssuerClass::kPublic) {
-        return;
-      }
-      for (std::size_t i = 1; i < fuids.size(); ++i) {
-        const auto it = base->find(fuids[i]);
-        if (it != base->end() &&
-            it->second.issuer_class == trust::IssuerClass::kPublic) {
-          leaf_it->second.issuer_class = trust::IssuerClass::kPublic;
-          leaf_it->second.issuer_category = IssuerCategory::kPublic;
-          return;
-        }
-      }
-    };
-    for (const auto& record : ssl) {
-      if (!record.established) continue;
-      upgrade(record.cert_chain_fuids);
-      upgrade(record.client_cert_chain_fuids);
-    }
-  }
+  for (const auto& record : ssl) apply_upgrades(*base, record);
 
   // --- Phase C: interception pre-pass (when CT is configured). ---
   // Shard-local candidate maps merge by set union; confirmation compares
@@ -127,63 +276,28 @@ Pipeline PipelineExecutor::run(
   // set a serial stream (in any order) would eventually confirm.
   auto confirmed = std::make_shared<std::set<std::string>>();
   if (config_.ct != nullptr) {
-    std::vector<std::map<std::string, std::set<std::string>>> local(k);
-    parallel_ranges(
-        ssl.size(), k,
-        [&](std::size_t shard, std::size_t begin, std::size_t end) {
-          auto& candidates = local[shard];
-          for (std::size_t i = begin; i < end; ++i) {
-            const zeek::SslRecord& record = ssl[i];
-            if (!record.established) continue;
-            const CertFacts* server_leaf =
-                find_facts(*base, record.cert_chain_fuids);
-            if (server_leaf == nullptr ||
-                server_leaf->issuer_class != trust::IssuerClass::kPrivate) {
-              continue;
-            }
-            const CertFacts* client_leaf =
-                find_facts(*base, record.client_cert_chain_fuids);
-            const EnrichedConnection conn =
-                enricher->enrich(record, server_leaf, client_leaf);
-            if (conn.sld.empty() || !config_.ct->has_domain(conn.sld)) {
-              continue;
-            }
-            const auto* issuers = config_.ct->issuers_for(conn.sld);
-            if (issuers != nullptr &&
-                !issuers->contains(server_leaf->issuer_dn)) {
-              candidates[server_leaf->issuer_dn].insert(conn.sld);
-            }
-          }
-        });
-    std::map<std::string, std::set<std::string>> merged;
+    std::vector<CandidateMap> local(k);
+    parallel_ranges(ssl.size(), k,
+                    [&](std::size_t shard, std::size_t begin,
+                        std::size_t end) {
+                      auto& candidates = local[shard];
+                      for (std::size_t i = begin; i < end; ++i) {
+                        note_interception_candidate(config_, *enricher, *base,
+                                                    ssl[i], candidates);
+                      }
+                    });
+    CandidateMap merged;
     for (auto& candidates : local) {
       for (auto& [issuer, domains] : candidates) {
         merged[issuer].insert(domains.begin(), domains.end());
       }
     }
-    for (const auto& [issuer, domains] : merged) {
-      if (domains.size() >= config_.interception_domain_threshold) {
-        confirmed->insert(issuer);
-      }
-    }
+    *confirmed = confirm_issuers(merged, config_.interception_domain_threshold);
   }
 
   // --- Phase D: one prepared-mode pipeline per shard. ---
   const Pipeline::Prepared prepared{enricher, base, confirmed};
-  std::vector<Pipeline> shards;
-  shards.reserve(k);
-  for (std::size_t t = 0; t < k; ++t) {
-    shards.emplace_back(prepared);
-    for (const auto& factory : factories_) {
-      shards[t].add_observer(factory(t));
-    }
-    for (auto& observer : shared_observers_) {
-      shards[t].add_observer([this, &observer](const EnrichedConnection& c) {
-        const std::lock_guard<std::mutex> lock(shared_mutex_);
-        observer(c);
-      });
-    }
-  }
+  std::vector<Pipeline> shards = make_shards(prepared);
   parallel_ranges(ssl.size(), k,
                   [&](std::size_t shard, std::size_t begin, std::size_t end) {
                     Pipeline& pipeline = shards[shard];
@@ -201,52 +315,186 @@ Pipeline PipelineExecutor::run(
   return result;
 }
 
+std::optional<Pipeline> PipelineExecutor::run_sources(
+    const ingest::Source& ssl, const ingest::Source& x509,
+    ingest::IngestError* error, const ingest::IngestOptions& options) {
+  const auto enricher = std::make_shared<const Enricher>(config_);
+  const std::size_t k = threads_;
+  EngineError engine_error;
+
+  const ingest::LogLayout x509_layout = ingest::detect_log_layout(x509);
+  const ingest::LogLayout ssl_layout = ingest::detect_log_layout(ssl);
+
+  // --- Phase A (streaming): parse x509 chunks in parallel, build facts
+  // shard-locally, fold into the registry in stream order (duplicate
+  // fuids: first record wins, exactly as the in-memory path). ---
+  auto base = std::make_shared<Pipeline::CertMap>();
+  using FactsVec = std::vector<CertFacts>;
+  bool ok = stream_pass<FactsVec>(
+      x509, x509_layout, k, options, engine_error,
+      [&](const ingest::Chunk& chunk, FactsVec& out) {
+        ingest::ChunkStream in(x509_layout.header, chunk.view());
+        zeek::LogParseError parse_error;
+        const auto records = zeek::parse_x509_log(in, &parse_error);
+        if (!records) {
+          engine_error.record(x509.name(), chunk.offset,
+                              describe_parse_error(parse_error));
+          return false;
+        }
+        out.reserve(records->size());
+        for (const auto& record : *records) {
+          out.push_back(enricher->make_facts(record));
+        }
+        return true;
+      },
+      [&](FactsVec&& facts) {
+        for (auto& f : facts) {
+          std::string fuid = f.fuid;
+          base->emplace(std::move(fuid), std::move(f));
+        }
+      });
+
+  // --- Phase B (streaming): parse ssl chunks in parallel, apply chain
+  // upgrades serially in stream order on the folding thread. ---
+  using SslVec = std::vector<zeek::SslRecord>;
+  ok = ok && stream_pass<SslVec>(
+                 ssl, ssl_layout, k, options, engine_error,
+                 [&](const ingest::Chunk& chunk, SslVec& out) {
+                   ingest::ChunkStream in(ssl_layout.header, chunk.view());
+                   zeek::LogParseError parse_error;
+                   auto records = zeek::parse_ssl_log(in, &parse_error);
+                   if (!records) {
+                     engine_error.record(ssl.name(), chunk.offset,
+                                         describe_parse_error(parse_error));
+                     return false;
+                   }
+                   out = std::move(*records);
+                   return true;
+                 },
+                 [&](SslVec&& records) {
+                   for (const auto& record : records) {
+                     apply_upgrades(*base, record);
+                   }
+                 });
+
+  // --- Phase C (streaming): chunk-local candidate maps, set-union fold
+  // (order-independent), threshold once at the end. Re-streams ssl; the
+  // registry is complete and read-only from here on. ---
+  auto confirmed = std::make_shared<std::set<std::string>>();
+  if (ok && config_.ct != nullptr) {
+    CandidateMap merged;
+    ok = stream_pass<CandidateMap>(
+        ssl, ssl_layout, k, options, engine_error,
+        [&](const ingest::Chunk& chunk, CandidateMap& out) {
+          ingest::ChunkStream in(ssl_layout.header, chunk.view());
+          zeek::LogParseError parse_error;
+          const auto records = zeek::parse_ssl_log(in, &parse_error);
+          if (!records) {
+            engine_error.record(ssl.name(), chunk.offset,
+                                describe_parse_error(parse_error));
+            return false;
+          }
+          for (const auto& record : *records) {
+            note_interception_candidate(config_, *enricher, *base, record,
+                                        out);
+          }
+          return true;
+        },
+        [&](CandidateMap&& local) {
+          for (auto& [issuer, domains] : local) {
+            merged[issuer].insert(domains.begin(), domains.end());
+          }
+        });
+    *confirmed = confirm_issuers(merged, config_.interception_domain_threshold);
+  }
+
+  // --- Phase D (streaming): static record-aligned byte ranges, one
+  // contiguous range per shard; each worker re-chunks its own range and
+  // feeds its shard pipeline in order. Shard boundaries differ from the
+  // in-memory row split, which is immaterial: the merge is shard-order
+  // deterministic for ANY contiguous partition. ---
+  std::optional<Pipeline> result;
+  if (ok) {
+    const Pipeline::Prepared prepared{enricher, base, confirmed};
+    std::vector<Pipeline> shards = make_shards(prepared);
+    const auto ranges =
+        ingest::shard_record_ranges(ssl, ssl_layout.body_begin, ssl.size(), k);
+    parallel_ranges(
+        k, k, [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
+          for (std::size_t s = begin; s < end; ++s) {
+            ingest::RecordChunker chunker(ssl, options.chunk_bytes,
+                                          ranges[s].first, ranges[s].second);
+            ingest::Chunk chunk;
+            while (chunker.next(chunk)) {
+              ingest::ChunkStream in(ssl_layout.header, chunk.view());
+              zeek::LogParseError parse_error;
+              const auto records = zeek::parse_ssl_log(in, &parse_error);
+              if (!records) {
+                // Unreachable when phases B/C parsed the same bytes, but
+                // an input changing mid-run must not silently drop rows.
+                engine_error.record(ssl.name(), chunk.offset,
+                                    describe_parse_error(parse_error));
+                return;
+              }
+              Pipeline& pipeline = shards[s];
+              for (const auto& record : *records) {
+                pipeline.add_connection(record);
+              }
+              ssl.release(chunk.offset, chunk.data.size());
+            }
+          }
+        });
+
+    if (!engine_error.failed()) {
+      // --- Phase E: deterministic merge in shard order. ---
+      Pipeline merged(prepared);
+      for (auto& shard : shards) merged.merge(std::move(shard));
+      merged.set_interception_issuers(*confirmed);
+      merged.backfill_certificates(*base);
+      merged.finalize();
+      result.emplace(std::move(merged));
+    }
+  }
+
+  if (!result && error != nullptr) {
+    const std::lock_guard<std::mutex> lock(engine_error.mutex);
+    *error = engine_error.error;
+  }
+  return result;
+}
+
+std::optional<Pipeline> PipelineExecutor::run_log_files(
+    const std::string& ssl_path, const std::string& x509_path,
+    ingest::IngestError* error, const ingest::IngestOptions& options) {
+  ingest::SourceOptions source_options;
+  source_options.force_buffered = options.force_buffered;
+  ingest::IngestError open_error;
+  const auto ssl = ingest::open_source(ssl_path, &open_error, source_options);
+  if (ssl == nullptr) {
+    if (error != nullptr) *error = open_error;
+    return std::nullopt;
+  }
+  const auto x509 =
+      ingest::open_source(x509_path, &open_error, source_options);
+  if (x509 == nullptr) {
+    if (error != nullptr) *error = open_error;
+    return std::nullopt;
+  }
+  return run_sources(*ssl, *x509, error, options);
+}
+
 std::optional<Pipeline> PipelineExecutor::run_logs(
     const std::string& ssl_text, const std::string& x509_text,
     zeek::LogParseError* error) {
-  const std::size_t k = threads_;
-  const auto ssl_chunks = zeek::split_log_text(ssl_text, k);
-  const auto x509_chunks = zeek::split_log_text(x509_text, k);
-
-  std::vector<std::optional<std::vector<zeek::SslRecord>>> ssl_parsed(k);
-  std::vector<std::optional<std::vector<zeek::X509Record>>> x509_parsed(k);
-  std::vector<zeek::LogParseError> errors(2 * k);
-  parallel_ranges(k, k, [&](std::size_t shard, std::size_t begin,
-                            std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      std::istringstream ssl_in(ssl_chunks[i]);
-      ssl_parsed[i] = zeek::parse_ssl_log(ssl_in, &errors[2 * i]);
-      std::istringstream x509_in(x509_chunks[i]);
-      x509_parsed[i] = zeek::parse_x509_log(x509_in, &errors[2 * i + 1]);
-    }
-  });
-  for (std::size_t i = 0; i < k; ++i) {
-    if (!ssl_parsed[i] || !x509_parsed[i]) {
-      // Line numbers are chunk-relative once k > 1; say so.
-      if (error != nullptr) {
-        *error = !ssl_parsed[i] ? errors[2 * i] : errors[2 * i + 1];
-        if (k > 1) {
-          error->message += " (in parallel chunk " + std::to_string(i + 1) +
-                            " of " + std::to_string(k) +
-                            "; line number is chunk-relative)";
-        }
-      }
-      return std::nullopt;
-    }
+  const ingest::MemorySource ssl(ssl_text, "<ssl log text>");
+  const ingest::MemorySource x509(x509_text, "<x509 log text>");
+  ingest::IngestError ingest_error;
+  auto result = run_sources(ssl, x509, &ingest_error);
+  if (!result && error != nullptr) {
+    error->line = 0;
+    error->message = ingest_error.to_string();
   }
-
-  std::vector<zeek::SslRecord> ssl;
-  std::map<std::string, zeek::X509Record> x509;
-  for (auto& chunk : ssl_parsed) {
-    for (auto& record : *chunk) ssl.push_back(std::move(record));
-  }
-  for (auto& chunk : x509_parsed) {
-    for (auto& record : *chunk) {
-      std::string fuid = record.fuid;
-      x509.emplace(std::move(fuid), std::move(record));
-    }
-  }
-  return run(ssl, x509);
+  return result;
 }
 
 }  // namespace mtlscope::core

@@ -1,0 +1,208 @@
+#include "mtlscope/ingest/source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace mtlscope::ingest {
+namespace {
+
+void set_error(IngestError* error, const std::string& file,
+               std::size_t offset, std::string reason) {
+  if (error == nullptr) return;
+  error->file = file;
+  error->byte_offset = offset;
+  error->reason = std::move(reason);
+}
+
+std::string errno_string() { return std::strerror(errno); }
+
+/// RAII fd.
+class FileHandle {
+ public:
+  explicit FileHandle(int fd = -1) : fd_(fd) {}
+  ~FileHandle() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  FileHandle(FileHandle&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FileHandle& operator=(FileHandle&& other) noexcept {
+    if (this != &other) {
+      if (fd_ >= 0) ::close(fd_);
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+  int get() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// mmap-backed source: fetch() is zero-copy, release() madvises consumed
+/// pages away so a sequential pass keeps RSS bounded by the chunk window.
+class MappedFile final : public Source {
+ public:
+  MappedFile(std::string name, FileHandle fd, void* map, std::size_t size)
+      : Source(std::move(name)), fd_(std::move(fd)), map_(map), size_(size) {
+    if (map_ != nullptr) {
+      ::madvise(map_, size_, MADV_SEQUENTIAL);
+    }
+  }
+  ~MappedFile() override {
+    if (map_ != nullptr) ::munmap(map_, size_);
+  }
+
+  std::size_t size() const override { return size_; }
+
+  std::string_view fetch(std::size_t offset, std::size_t len,
+                         std::string& scratch) const override {
+    (void)scratch;
+    if (offset >= size_) return {};
+    len = std::min(len, size_ - offset);
+    return {static_cast<const char*>(map_) + offset, len};
+  }
+
+  void release(std::size_t offset, std::size_t len) const override {
+    if (map_ == nullptr || len == 0) return;
+    // Only whole pages strictly inside the range: the pages straddling the
+    // boundaries may still back a neighbouring chunk's view.
+    const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    const std::size_t begin = (offset + page - 1) / page * page;
+    std::size_t end = std::min(offset + len, size_) / page * page;
+    if (end <= begin) return;
+    ::madvise(static_cast<char*>(map_) + begin, end - begin, MADV_DONTNEED);
+  }
+
+ private:
+  FileHandle fd_;
+  void* map_;
+  std::size_t size_;
+};
+
+/// pread-backed fallback: every fetch copies into the caller's scratch.
+class BufferedFile final : public Source {
+ public:
+  BufferedFile(std::string name, FileHandle fd, std::size_t size)
+      : Source(std::move(name)), fd_(std::move(fd)), size_(size) {}
+
+  std::size_t size() const override { return size_; }
+
+  std::string_view fetch(std::size_t offset, std::size_t len,
+                         std::string& scratch) const override {
+    if (offset >= size_) return {};
+    len = std::min(len, size_ - offset);
+    scratch.resize(len);
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::pread(fd_.get(), scratch.data() + got, len - got,
+                                static_cast<off_t>(offset + got));
+      if (n <= 0) break;  // EOF/error: return the short read
+      got += static_cast<std::size_t>(n);
+    }
+    scratch.resize(got);
+    return {scratch.data(), got};
+  }
+
+ private:
+  FileHandle fd_;
+  std::size_t size_;
+};
+
+/// Copies a non-seekable stream (stdin, FIFO) into an unlinked temp file
+/// so the multi-pass pipeline can replay it. Disk-backed, never RAM.
+FileHandle spool_to_tempfile(int in_fd, std::size_t* spooled,
+                             IngestError* error, const std::string& name) {
+  std::FILE* tmp = std::tmpfile();
+  if (tmp == nullptr) {
+    set_error(error, name, 0, "cannot create spool file: " + errno_string());
+    return FileHandle{};
+  }
+  const int tmp_fd = ::dup(::fileno(tmp));
+  std::size_t total = 0;
+  char buf[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(in_fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, name, total, "read failed: " + errno_string());
+      std::fclose(tmp);
+      ::close(tmp_fd);
+      return FileHandle{};
+    }
+    if (n == 0) break;
+    ssize_t written = 0;
+    while (written < n) {
+      const ssize_t w = ::write(tmp_fd, buf + written,
+                                static_cast<std::size_t>(n - written));
+      if (w <= 0) {
+        set_error(error, name, total, "spool write failed: " + errno_string());
+        std::fclose(tmp);
+        ::close(tmp_fd);
+        return FileHandle{};
+      }
+      written += w;
+    }
+    total += static_cast<std::size_t>(n);
+  }
+  std::fclose(tmp);  // tmp_fd keeps the (unlinked) inode alive
+  *spooled = total;
+  return FileHandle(tmp_fd);
+}
+
+}  // namespace
+
+void Source::release(std::size_t, std::size_t) const {}
+
+std::string_view MemorySource::fetch(std::size_t offset, std::size_t len,
+                                     std::string& scratch) const {
+  (void)scratch;
+  if (offset >= data_.size()) return {};
+  return data_.substr(offset, len);
+}
+
+std::unique_ptr<Source> open_source(const std::string& path,
+                                    IngestError* error,
+                                    const SourceOptions& options) {
+  if (path == "-") {
+    std::size_t size = 0;
+    FileHandle fd = spool_to_tempfile(STDIN_FILENO, &size, error, "<stdin>");
+    if (fd.get() < 0) return nullptr;
+    return std::make_unique<BufferedFile>("<stdin>", std::move(fd), size);
+  }
+
+  FileHandle fd(::open(path.c_str(), O_RDONLY));
+  if (fd.get() < 0) {
+    set_error(error, path, 0, "cannot open: " + errno_string());
+    return nullptr;
+  }
+  struct stat st{};
+  if (::fstat(fd.get(), &st) != 0) {
+    set_error(error, path, 0, "cannot stat: " + errno_string());
+    return nullptr;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    // FIFO / character device: spool to disk so the pipeline can re-read.
+    std::size_t size = 0;
+    FileHandle spooled = spool_to_tempfile(fd.get(), &size, error, path);
+    if (spooled.get() < 0) return nullptr;
+    return std::make_unique<BufferedFile>(path, std::move(spooled), size);
+  }
+
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (!options.force_buffered && size > 0) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
+    if (map != MAP_FAILED) {
+      return std::make_unique<MappedFile>(path, std::move(fd), map, size);
+    }
+  }
+  return std::make_unique<BufferedFile>(path, std::move(fd), size);
+}
+
+}  // namespace mtlscope::ingest

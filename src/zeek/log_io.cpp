@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "mtlscope/ingest/chunker.hpp"
+
 namespace mtlscope::zeek {
 namespace {
 
@@ -152,6 +154,8 @@ std::optional<RawLog> read_raw(std::istream& in, LogParseError* error) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    // Tolerate CRLF logs (Windows exports): getline leaves the '\r'.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '#') {
       if (line.rfind("#fields\t", 0) == 0) {
@@ -372,40 +376,22 @@ std::optional<Dataset> parse_dataset(std::istream& ssl_in,
 
 std::vector<std::string> split_log_text(const std::string& text,
                                         std::size_t chunks) {
+  // Thin compatibility wrapper over the ingest chunker: detect the
+  // '#'-metadata header once, cut the body into record-aligned
+  // byte-balanced ranges, and materialize header + range per chunk. The
+  // executor itself no longer copies chunks at all (it streams views);
+  // this keeps the historical string-based API for callers that want it.
   if (chunks == 0) chunks = 1;
-  // Line spans (without the trailing newline).
-  std::vector<std::pair<std::size_t, std::size_t>> lines;
-  std::size_t pos = 0;
-  while (pos < text.size()) {
-    std::size_t eol = text.find('\n', pos);
-    if (eol == std::string::npos) eol = text.size();
-    lines.emplace_back(pos, eol - pos);
-    pos = eol + 1;
-  }
-
-  // The metadata header is the leading run of '#' lines; the writer only
-  // emits it at the top, and the parser ignores later '#' lines anyway.
-  std::string header;
-  std::size_t first_row = 0;
-  while (first_row < lines.size() &&
-         lines[first_row].second > 0 &&
-         text[lines[first_row].first] == '#') {
-    header.append(text, lines[first_row].first, lines[first_row].second);
-    header.push_back('\n');
-    ++first_row;
-  }
-
-  const std::size_t rows = lines.size() - first_row;
+  const ingest::MemorySource source(text);
+  const ingest::LogLayout layout = ingest::detect_log_layout(source);
+  const auto ranges = ingest::shard_record_ranges(source, layout.body_begin,
+                                                  text.size(), chunks);
   std::vector<std::string> out;
   out.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = first_row + rows * c / chunks;
-    const std::size_t end = first_row + rows * (c + 1) / chunks;
-    std::string chunk = header;
-    for (std::size_t i = begin; i < end; ++i) {
-      chunk.append(text, lines[i].first, lines[i].second);
-      chunk.push_back('\n');
-    }
+  for (const auto& [begin, end] : ranges) {
+    std::string chunk = layout.header;
+    chunk.append(text, begin, end - begin);
+    if (!chunk.empty() && chunk.back() != '\n') chunk.push_back('\n');
     out.push_back(std::move(chunk));
   }
   return out;
