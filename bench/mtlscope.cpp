@@ -1,0 +1,200 @@
+// mtlscope — the single CLI over the experiment registry.
+//
+//   mtlscope list
+//   mtlscope run table1 fig4 [--format=text|json|csv|tsv] [--out=DIR]
+//   mtlscope run --all --format=json
+//
+// `run` groups the requested experiments by model key and configuration,
+// so one generated trace serves every compatible experiment (e.g. the
+// six pristine-model certificate tables share one pipeline pass). The
+// shared flags (--cert-scale= / --conn-scale= / --seed= / --threads= /
+// --ssl-log= / --x509-log= / --chunk-mb= / --in-memory /
+// --force-buffered / --stable-output) apply to every experiment in the
+// invocation; scales default to each experiment's calibrated values.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/result_doc.hpp"
+#include "mtlscope/experiments/registry.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s list\n"
+               "       %s run <experiment>... [--all] "
+               "[--format=text|json|csv|tsv] [--out=DIR] [options]\n"
+               "\n"
+               "options (apply to every experiment in the run):\n"
+               "  --cert-scale=N --conn-scale=N --seed=N --threads=N\n"
+               "  --ssl-log=F --x509-log=F --chunk-mb=N --in-memory\n"
+               "  --force-buffered --stable-output\n",
+               argv0, argv0);
+  return 2;
+}
+
+int run_list() {
+  const auto& registry = experiments::ExperimentRegistry::instance();
+  for (const auto& entry : registry.entries()) {
+    std::printf("%-22s %-14s cert 1:%-6g conn 1:%-9g %s\n", entry.info.name,
+                entry.info.anchor, entry.info.cert_scale,
+                entry.info.conn_scale, entry.info.title);
+  }
+  return 0;
+}
+
+bool write_file(const std::filesystem::path& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Stdout JSON: one canonical envelope holding every requested
+/// experiment, each document compact on its own line.
+std::string render_json_envelope(const std::vector<core::ResultDoc>& docs) {
+  std::string out = "{\n  \"experiments\": [\n";
+  bool first = true;
+  for (const auto& doc : docs) {
+    if (!first) out += ",\n";
+    first = false;
+    std::string body = core::render_json(doc, 0);
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    out += "    ";
+    out += body;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string render_tables(const core::ResultDoc& doc, char sep) {
+  std::string out;
+  for (const core::ResultTable* table : doc.tables()) {
+    out += "# ";
+    out += doc.experiment;
+    out += ".";
+    out += table->id();
+    out += "\n";
+    out += core::render_csv(*table, sep);
+  }
+  return out;
+}
+
+int run_run(int argc, char** argv) {
+  experiments::RunOptions options;
+  std::vector<std::string> names;
+  std::string format = "text";
+  std::string out_dir;
+  bool all = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--all") == 0) {
+      all = true;
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      format = arg + 9;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_dir = arg + 6;
+    } else if (arg[0] == '-') {
+      if (!options.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        return usage(argv[0]);
+      }
+    } else {
+      names.emplace_back(arg);
+    }
+  }
+  if (options.ssl_log.empty() != options.x509_log.empty()) {
+    std::fprintf(stderr, "file mode needs both --ssl-log= and --x509-log=\n");
+    return 2;
+  }
+  if (format != "text" && format != "json" && format != "csv" &&
+      format != "tsv") {
+    std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+    return 2;
+  }
+  if (all) {
+    names = experiments::ExperimentRegistry::instance().names();
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "no experiments requested (try --all)\n");
+    return usage(argv[0]);
+  }
+
+  std::vector<core::ResultDoc> docs;
+  try {
+    docs = experiments::run_experiments(names, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (see `mtlscope list`)\n", e.what());
+    return 2;
+  }
+
+  const char sep = format == "tsv" ? '\t' : ',';
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    for (const auto& doc : docs) {
+      const std::filesystem::path base =
+          std::filesystem::path(out_dir) / doc.experiment;
+      bool ok = true;
+      if (format == "text") {
+        ok = write_file(base.string() + ".txt", core::render_text(doc));
+      } else if (format == "json") {
+        ok = write_file(base.string() + ".json", core::render_json(doc, 2));
+      } else {
+        // One file per table: <experiment>.<table-id>.csv/tsv.
+        for (const core::ResultTable* table : doc.tables()) {
+          const std::string path = base.string() + "." + table->id() +
+                                   (format == "tsv" ? ".tsv" : ".csv");
+          ok = write_file(path, core::render_csv(*table, sep)) && ok;
+        }
+      }
+      if (!ok) return 1;
+    }
+    return 0;
+  }
+
+  std::string out;
+  if (format == "json") {
+    out = render_json_envelope(docs);
+  } else {
+    bool first = true;
+    for (const auto& doc : docs) {
+      if (format == "text") {
+        if (!first) out += "\n";
+        out += core::render_text(doc);
+      } else {
+        out += render_tables(doc, sep);
+      }
+      first = false;
+    }
+  }
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "list") == 0) return run_list();
+  if (std::strcmp(argv[1], "run") == 0) return run_run(argc, argv);
+  std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+  return usage(argv[0]);
+}

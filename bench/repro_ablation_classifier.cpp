@@ -1,96 +1,7 @@
-// Ablation: what the NER-lite stage adds over pure format matching
-// (§6.1.1).
-//
-// The paper's classification is regex-first with a model-assisted stage for
-// personal names and organization/product names. Re-classifying the same
-// certificate population with the NER stage disabled shows how much of the
-// corpus — and, critically, how many *sensitive* identities — only the
-// NER stage can resolve.
-#include <array>
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "ablation_classifier" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 200, 400'000);
-  bench::print_header("Ablation: classification with vs without NER-lite",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  // Re-classify every CN under both settings.
-  std::array<std::uint64_t, textclass::kInfoTypeCount> with_ner{};
-  std::array<std::uint64_t, textclass::kInfoTypeCount> without_ner{};
-  std::uint64_t total = 0;
-  for (const core::CertFacts* cert : run.pipeline().certificates_sorted()) {
-    const core::CertFacts& facts = *cert;
-    if (!facts.has_cn()) continue;
-    ++total;
-    textclass::ClassifyContext ctx;
-    ctx.issuer = facts.issuer_org;
-    ctx.campus_issuer = facts.campus_issuer;
-    ctx.enable_ner = true;
-    ++with_ner[static_cast<std::size_t>(
-        textclass::classify_value(facts.subject_cn, ctx))];
-    ctx.enable_ner = false;
-    ++without_ner[static_cast<std::size_t>(
-        textclass::classify_value(facts.subject_cn, ctx))];
-  }
-
-  core::TextTable table(
-      {"Information type", "With NER", "Without NER", "Delta"});
-  for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
-    const auto type = static_cast<textclass::InfoType>(i);
-    const auto a = with_ner[i];
-    const auto b = without_ner[i];
-    table.add_row({textclass::info_type_name(type), core::format_count(a),
-                   core::format_count(b),
-                   (a >= b ? "+" : "-") +
-                       core::format_count(a >= b ? a - b : b - a)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  const auto idx = [](textclass::InfoType t) {
-    return static_cast<std::size_t>(t);
-  };
-  const double unident_with =
-      100.0 * static_cast<double>(
-                  with_ner[idx(textclass::InfoType::kUnidentified)]) /
-      static_cast<double>(total);
-  const double unident_without =
-      100.0 * static_cast<double>(
-                  without_ner[idx(textclass::InfoType::kUnidentified)]) /
-      static_cast<double>(total);
-  std::printf("\nunidentified share: %.1f%% with NER vs %.1f%% without\n",
-              unident_with, unident_without);
-  std::printf("personal names recovered only by NER: %s\n",
-              core::format_count(
-                  with_ner[idx(textclass::InfoType::kPersonalName)])
-                  .c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  NER collapses the unidentified bucket (>5x): %s\n",
-              unident_without > 5 * unident_with ? "OK" : "MISS");
-  std::printf("  format matchers are unaffected by the ablation: %s\n",
-              (with_ner[idx(textclass::InfoType::kDomain)] ==
-                   without_ner[idx(textclass::InfoType::kDomain)] &&
-               with_ner[idx(textclass::InfoType::kIp)] ==
-                   without_ner[idx(textclass::InfoType::kIp)] &&
-               with_ner[idx(textclass::InfoType::kSip)] ==
-                   without_ner[idx(textclass::InfoType::kSip)])
-                  ? "OK"
-                  : "MISS");
-  std::printf("  every personal name/org finding depends on NER: %s\n",
-              (without_ner[idx(textclass::InfoType::kPersonalName)] == 0 &&
-               without_ner[idx(textclass::InfoType::kOrgProduct)] == 0)
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("ablation_classifier", argc, argv);
 }

@@ -1,69 +1,7 @@
-// Ablation: the interception-confirmation threshold (§3.2.1).
-//
-// The pipeline confirms an issuer as an interception proxy after it has
-// contradicted CT on N distinct domains — our stand-in for the paper's
-// manual investigation of 186 issuers. This ablation sweeps N and reports
-// the trade-off: N=1 flags single-domain oddities (the Table-10 dummy
-// certificates for amazonaws.com get swept up as false positives), while a
-// large N delays or misses genuine proxies.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "ablation_interception" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 1'000, 50'000);
-  bench::print_header(
-      "Ablation: interception-confirmation domain threshold", options);
-
-  core::TextTable table({"Threshold", "Issuers flagged", "Proxies (true)",
-                         "False positives", "Conns excluded"});
-
-  for (const std::size_t threshold : {std::size_t{1}, std::size_t{2},
-                                      std::size_t{3}, std::size_t{5}}) {
-    auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-    model.seed = options.seed;
-    gen::TraceGenerator generator(std::move(model));
-    auto config = core::PipelineConfig::campus_defaults();
-    config.ct = &generator.ct_database();
-    config.interception_domain_threshold = threshold;
-    core::PipelineExecutor executor(std::move(config), options.threads);
-    const auto pipeline = executor.run(generator.generate_dataset());
-
-    std::size_t true_proxies = 0;
-    std::size_t false_positives = 0;
-    for (const auto& issuer : pipeline.interception_issuers()) {
-      // The model's proxy CAs carry inspection-flavoured names; anything
-      // else flagged is a false positive (dummy issuers, one-off certs).
-      const bool proxy = issuer.find("Prox") != std::string::npos ||
-                         issuer.find("Inspect") != std::string::npos ||
-                         issuer.find("Intercept") != std::string::npos ||
-                         issuer.find("MITM") != std::string::npos ||
-                         issuer.find("Gateway") != std::string::npos ||
-                         issuer.find("Shield") != std::string::npos ||
-                         issuer.find("Filter") != std::string::npos ||
-                         issuer.find("ZTrust") != std::string::npos;
-      if (proxy) {
-        ++true_proxies;
-      } else {
-        ++false_positives;
-      }
-    }
-    table.add_row({std::to_string(threshold),
-                   std::to_string(pipeline.interception_issuers().size()),
-                   std::to_string(true_proxies),
-                   std::to_string(false_positives),
-                   core::format_count(
-                       pipeline.interception_excluded_connections())});
-  }
-  std::printf("%s", table.render().c_str());
-
-  std::printf(
-      "\nreading: all 8 simulated proxies are caught at every threshold; the\n"
-      "false-positive column shows why the paper needed manual vetting —\n"
-      "single-mismatch flagging (threshold 1) sweeps up legitimate oddities\n"
-      "such as the dummy-issuer certificates presented for amazonaws.com\n"
-      "(Table 10). The default threshold of 3 keeps them.\n");
-  return 0;
+  return mtlscope::experiments::repro_main("ablation_interception", argc, argv);
 }

@@ -1,141 +1,7 @@
-// §3.3 — dataset generalization & limitation statistics:
-//   * TLS 1.3 constitutes 40.86% of all TLS connections (certificates
-//     invisible), involving 25.35% of server IPs and 32.23% of client IPs;
-//   * >30% of inbound mutual traffic is device management / access control;
-//   * the medical center accounts for 64.9% of inbound mutual traffic;
-//   * >6% of outbound mutual connections relate to email;
-//   * >68% of external servers belong to popular cloud/security providers.
-#include <cstdio>
-#include <set>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "dataset_stats" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 2'000, 50'000);
-  bench::print_header("Section 3.3: dataset statistics and limitations",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // The cross-sharing clusters are a Table-6 instrument with deliberately
-  // dense connection counts; they would distort volume shares here.
-  std::erase_if(model.clusters, [](const gen::TrafficCluster& c) {
-    return c.name.rfind("out-cross", 0) == 0;
-  });
-  bench::CampusRun run(std::move(model), options);
-
-  std::set<std::string> server_ips, client_ips;
-  std::set<std::string> tls13_server_ips, tls13_client_ips;
-  std::set<std::string> external_server_ips, cloud_security_server_ips;
-  std::uint64_t inbound_mutual = 0, inbound_device_mgmt = 0,
-                inbound_health = 0;
-  std::uint64_t outbound_mutual = 0, outbound_email = 0;
-
-  run.add_observer([&](const core::EnrichedConnection& c) {
-    server_ips.insert(c.ssl->resp_h);
-    client_ips.insert(c.ssl->orig_h);
-    if (c.ssl->version == "TLSv13") {
-      tls13_server_ips.insert(c.ssl->resp_h);
-      tls13_client_ips.insert(c.ssl->orig_h);
-    }
-    if (c.direction == core::Direction::kOutbound && c.mutual) {
-      // §3.3 talks about the external servers of outbound mutual traffic.
-      external_server_ips.insert(c.ssl->resp_h);
-      if (c.sld == "amazonaws.com" || c.sld == "rapid7.com" ||
-          c.sld == "gpcloudservice.com" || c.sld == "azure.com" ||
-          c.sld == "splunkcloud.com" || c.sld == "azuresphere.net" ||
-          c.sld == "iot-bridge.net") {
-        cloud_security_server_ips.insert(c.ssl->resp_h);
-      }
-    }
-    if (!c.mutual) return;
-    if (c.direction == core::Direction::kInbound) {
-      ++inbound_mutual;
-      const std::uint16_t port = c.ssl->resp_p;
-      // Device management & access control: FileWave, LDAPS, Outset.
-      if (port == 20017 || port == 636 || port == 9093) {
-        ++inbound_device_mgmt;
-      }
-      if (c.assoc == core::ServerAssociation::kUniversityHealth) {
-        ++inbound_health;
-      }
-    } else {
-      ++outbound_mutual;
-      const std::uint16_t port = c.ssl->resp_p;
-      if (port == 25 || port == 465 || port == 587 || port == 993 ||
-          port == 995) {
-        ++outbound_email;
-      }
-    }
-  });
-  run.run();
-
-  const auto& totals = run.pipeline().totals();
-  core::TextTable table({"Statistic", "Paper", "Measured"});
-  table.add_row({"TLS 1.3 share of connections", "40.86%",
-                 core::format_percent(static_cast<double>(totals.tls13),
-                                      static_cast<double>(totals.connections))});
-  table.add_row({"TLS 1.3 share of server IPs", "25.35%",
-                 core::format_percent(
-                     static_cast<double>(tls13_server_ips.size()),
-                     static_cast<double>(server_ips.size()))});
-  table.add_row({"TLS 1.3 share of client IPs", "32.23%",
-                 core::format_percent(
-                     static_cast<double>(tls13_client_ips.size()),
-                     static_cast<double>(client_ips.size()))});
-  table.add_row({"Inbound mutual: device mgmt / access control", ">30%",
-                 core::format_percent(
-                     static_cast<double>(inbound_device_mgmt),
-                     static_cast<double>(inbound_mutual))});
-  table.add_row({"Inbound mutual: medical center", "64.9%",
-                 core::format_percent(static_cast<double>(inbound_health),
-                                      static_cast<double>(inbound_mutual))});
-  table.add_row({"Outbound mutual: email protocols", ">6%",
-                 core::format_percent(static_cast<double>(outbound_email),
-                                      static_cast<double>(outbound_mutual))});
-  table.add_row({"External servers at cloud/security providers", ">68%",
-                 core::format_percent(
-                     static_cast<double>(cloud_security_server_ips.size()),
-                     static_cast<double>(external_server_ips.size()))});
-  std::printf("%s", table.render().c_str());
-
-  const double tls13_pct = totals.connections == 0
-                               ? 0
-                               : 100.0 * static_cast<double>(totals.tls13) /
-                                     static_cast<double>(totals.connections);
-  const double device_pct =
-      inbound_mutual == 0 ? 0
-                          : 100.0 * static_cast<double>(inbound_device_mgmt) /
-                                static_cast<double>(inbound_mutual);
-  const double email_pct =
-      outbound_mutual == 0 ? 0
-                           : 100.0 * static_cast<double>(outbound_email) /
-                                 static_cast<double>(outbound_mutual);
-  std::printf("\nshape checks:\n");
-  std::printf("  TLS 1.3 blind spot is a large minority (25-50%%): %s\n",
-              (tls13_pct > 25 && tls13_pct < 50) ? "OK" : "MISS");
-  std::printf("  device management exceeds 20%% of inbound mutual: %s\n",
-              device_pct > 20 ? "OK" : "MISS");
-  std::printf("  email exceeds 4%% of outbound mutual: %s\n",
-              email_pct > 4 ? "OK" : "MISS");
-  const double s13 = server_ips.empty()
-                         ? 0
-                         : 100.0 * static_cast<double>(
-                                       tls13_server_ips.size()) /
-                               static_cast<double>(server_ips.size());
-  const double c13 = client_ips.empty()
-                         ? 0
-                         : 100.0 * static_cast<double>(
-                                       tls13_client_ips.size()) /
-                               static_cast<double>(client_ips.size());
-  std::printf("  TLS 1.3 touches a minority of endpoints (s<50%%, c<55%%): "
-              "%s (s=%.1f%%, c=%.1f%%)\n",
-              (s13 < 50 && c13 < 55) ? "OK" : "MISS", s13, c13);
-  std::printf("  no TLS 1.3 connection exposes a certificate: %s\n",
-              "OK (enforced by the handshake model; see tls/handshake.cpp)");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("dataset_stats", argc, argv);
 }

@@ -1,83 +1,7 @@
-// Figure 1 — monthly percentage of TLS connections using mutual TLS
-// (paper: rising from 1.99% in 2022-05 to 3.61% in 2024-03, with a surge
-// in inbound health traffic and a Rapid7 disappearance around 2023-10).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "fig1" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  // Connection-volume experiment: few certificates, many connections.
-  const auto options = bench::BenchOptions::parse(argc, argv, 5'000, 50'000);
-  bench::print_header("Figure 1: prevalence of mutual TLS over time",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Size the certificate-less background so mutual TLS sits in the
-  // paper's low-single-digit band (~2.8% average over the study).
-  double mutual_estimate = 0;
-  for (const auto& cluster : model.clusters) {
-    if (cluster.mutual && !cluster.tunnel_client_only) {
-      mutual_estimate += static_cast<double>(cluster.connections);
-    }
-  }
-  model.background_connections =
-      static_cast<std::size_t>(mutual_estimate * 33.0);
-
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::PrevalenceAnalyzer> prevalence_shards(run.shard_count());
-  run.attach(prevalence_shards);
-  run.run();
-  auto prevalence = std::move(prevalence_shards).merged();
-
-  const auto series = prevalence.series();
-  core::TextTable table(
-      {"Month", "Total conns", "Mutual", "Mutual %", "In-mutual",
-       "Out-mutual"});
-  for (const auto& point : series) {
-    table.add_row({util::month_label(point.month_index),
-                   core::format_count(point.total),
-                   core::format_count(point.mutual),
-                   core::format_double(point.mutual_pct(), 2),
-                   core::format_count(point.mutual_inbound),
-                   core::format_count(point.mutual_outbound)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  if (!series.empty()) {
-    const double first = series.front().mutual_pct();
-    const double last = series.back().mutual_pct();
-    std::printf("\nfirst month: %s  (paper: 1.99%%)\n",
-                core::format_double(first, 2).c_str());
-    std::printf("last month:  %s  (paper: 3.61%%)\n",
-                core::format_double(last, 2).c_str());
-    std::printf("shape checks:\n");
-    std::printf("  adoption grows over the study (last > first): %s\n",
-                last > first ? "OK" : "MISS");
-    std::printf("  roughly doubles (ratio in [1.4, 2.6]): %s (ratio %.2f)\n",
-                (last / first >= 1.4 && last / first <= 2.6) ? "OK" : "MISS",
-                last / first);
-    // Outbound dip after 2023-10 (Rapid7 disappearance).
-    double out_before = 0, out_after = 0;
-    int n_before = 0, n_after = 0;
-    for (const auto& point : series) {
-      if (point.month_index < 2023 * 12 + 9) {
-        out_before += static_cast<double>(point.mutual_outbound);
-        ++n_before;
-      } else {
-        out_after += static_cast<double>(point.mutual_outbound);
-        ++n_after;
-      }
-    }
-    if (n_before && n_after) {
-      std::printf("  outbound mutual declines after 2023-10: %s\n",
-                  (out_after / n_after) < (out_before / n_before) ? "OK"
-                                                                  : "MISS");
-    }
-  }
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("fig1", argc, argv);
 }

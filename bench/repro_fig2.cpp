@@ -1,84 +1,7 @@
-// Figure 2 — outbound mutual TLS flows: server TLD × server-certificate
-// issuer class × client-certificate issuer category; §4.2.2 statistics.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "fig2" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 500, 10'000);
-  bench::print_header("Figure 2: outbound mutual-TLS issuer flows", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Figure 2 covers outbound mutual TLS only.
-  bench::keep_only_clusters(model, {"out-"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::OutboundFlowAnalyzer> flows_shards(run.shard_count());
-  run.attach(flows_shards);
-  run.run();
-  auto flows = std::move(flows_shards).merged();
-
-  std::printf("\nTop flows (TLD -> server class -> client category):\n");
-  core::TextTable table({"TLD", "Server cert", "Client cert issuer",
-                         "Connections"});
-  for (const auto& flow : flows.top_flows()) {
-    table.add_row({flow.tld,
-                   flow.server_class == trust::IssuerClass::kPublic
-                       ? "Public"
-                       : "Private",
-                   core::issuer_category_name(flow.client_category),
-                   core::format_count(flow.connections)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  std::printf("\nTop outbound SLDs (share of outbound mutual conns with SNI):\n");
-  struct PaperSld {
-    const char* sld;
-    double pct;
-  };
-  const PaperSld paper_slds[] = {{"amazonaws.com", 28.51},
-                                 {"rapid7.com", 27.44},
-                                 {"gpcloudservice.com", 13.33}};
-  const auto slds = flows.top_slds(6);
-  core::TextTable sld_table({"SLD", "Measured %", "Paper %"});
-  for (const auto& [sld, pct] : slds) {
-    std::string paper = "-";
-    for (const auto& p : paper_slds) {
-      if (sld == p.sld) paper = core::format_double(p.pct, 2) + "%";
-    }
-    sld_table.add_row({sld, core::format_double(pct, 2) + "%", paper});
-  }
-  std::printf("%s", sld_table.render().c_str());
-
-  const double missing_conn_pct =
-      flows.public_server_missing_client_issuer_pct();
-  const double missing_cert_pct =
-      core::OutboundFlowAnalyzer::missing_issuer_client_cert_pct(
-          run.pipeline());
-  std::printf(
-      "\npublic-server conns with missing-issuer client cert: %s\n",
-      bench::paper_vs(45.71, missing_conn_pct).c_str());
-  std::printf("outbound client certs lacking a valid issuer:        %s\n",
-              bench::paper_vs(37.84, missing_cert_pct).c_str());
-
-  std::printf("\nshape checks:\n");
-  const bool aws_top = !slds.empty() && (slds[0].first == "amazonaws.com" ||
-                                         slds[0].first == "rapid7.com");
-  std::printf("  cloud/security SLDs dominate outbound mutual: %s\n",
-              aws_top ? "OK" : "MISS");
-  std::printf("  missing-issuer clients are a large minority (20-60%%): %s\n",
-              (missing_cert_pct > 20 && missing_cert_pct < 60) ? "OK"
-                                                               : "MISS");
-  const auto top = flows.top_flows(1);
-  std::printf(
-      "  dominant flow is public server + private client: %s\n",
-      (!top.empty() && top[0].server_class == trust::IssuerClass::kPublic &&
-       top[0].client_category != core::IssuerCategory::kPublic)
-          ? "OK"
-          : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("fig2", argc, argv);
 }

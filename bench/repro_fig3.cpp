@@ -1,82 +1,7 @@
-// Figure 3 / Tables 11-12 — certificates with incorrect dates
-// (not_valid_before on or after not_valid_after).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "fig3" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 1, 2'000);
-  bench::print_header("Figure 3 / Tables 11-12: incorrect-date certificates",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // The incorrect-date populations are small; slicing to them permits
-  // full certificate fidelity (cert_scale 1 => paper-exact counts).
-  bench::keep_only_clusters(
-      model, {"in-rcgen", "out-idrive", "out-clouddevice", "out-alarmnet",
-              "out-sds", "out-ayoba", "out-ibackup", "out-crestron",
-              "out-icelink", "out-media-server"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::IncorrectDateAnalyzer> dates_shards(run.shard_count());
-  run.attach(dates_shards);
-  run.run();
-  auto dates = std::move(dates_shards).merged();
-
-  core::TextTable table({"SLD", "Side", "Issuer", "Validity (nb, na)",
-                         "Clients", "Duration (days)"});
-  for (const auto& row : dates.rows()) {
-    table.add_row(
-        {row.sld.empty() ? "(missing SNI)" : row.sld,
-         row.client_side ? "C" : "S", row.issuer,
-         "(" + std::to_string(util::from_unix(row.not_before).year) + ", " +
-             std::to_string(util::from_unix(row.not_after).year) + ")",
-         std::to_string(row.clients.size()),
-         core::format_double(row.duration_days(), 0)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "\npaper (Table 11): rcgen (1975,1757) 2cl/42d; idrive.com "
-      "(2019,1849) 2,887cl + (2020,1850) server 718cl, 701d; "
-      "clouddevice.io Honeywell (2021,1815) 1,599cl + (2023,1815) 46cl; "
-      "alarmnet.com 1,864/70cl; SDS (1970,1831) 17cl/474d; ayoba.me "
-      "(2022,2022) 15cl; ibackup.com 4cl; crestron.io 3cl; media-server "
-      "(2157,2023) server 2cl; IceLink (2048,1996) 1cl\n");
-
-  std::printf("\nTable 12 — incorrect dates at BOTH endpoints:\n");
-  core::TextTable both({"SLD", "Issuer", "Clients", "Duration (days)",
-                        "(paper)"});
-  for (const auto& row : dates.both_ends_rows()) {
-    std::string paper = "-";
-    if (row.sld == "idrive.com") paper = "718 clients, 701 d";
-    if (row.sld.empty() && row.issuer == "SDS") paper = "17 clients, 474 d";
-    both.add_row({row.sld.empty() ? "(missing SNI)" : row.sld, row.issuer,
-                  std::to_string(row.clients.size()),
-                  core::format_double(row.duration_days(), 0), paper});
-  }
-  std::printf("%s", both.render().c_str());
-
-  const auto rows = dates.rows();
-  std::printf("\nshape checks:\n");
-  bool idrive = false, sds = false, server_side = false, identical = false;
-  for (const auto& row : rows) {
-    if (row.issuer == "IDrive Inc Certificate Authority") idrive = true;
-    if (row.issuer == "SDS") sds = true;
-    if (!row.client_side) server_side = true;
-    if (row.not_before == row.not_after) identical = true;
-  }
-  std::printf("  IDrive incorrect-date population found: %s\n",
-              idrive ? "OK" : "MISS");
-  std::printf("  SDS epoch-1970 certificates found: %s\n", sds ? "OK" : "MISS");
-  std::printf("  server-side incorrect dates exist (media-server): %s\n",
-              server_side ? "OK" : "MISS");
-  std::printf("  identical-timestamp case found (ayoba.me): %s\n",
-              identical ? "OK" : "MISS");
-  std::printf("  both-endpoint rows: %zu (paper: 2)\n",
-              dates.both_ends_rows().size());
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("fig3", argc, argv);
 }

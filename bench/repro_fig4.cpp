@@ -1,89 +1,7 @@
-// Figure 4 — validity periods of client certificates in mutual TLS,
-// including the 10,000-40,000-day tail and the 83,432-day maximum.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "fig4" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 25, 50'000);
-  bench::print_header("Figure 4: client-certificate validity periods",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Validity analysis over client certs: the long-validity clusters plus
-  // representative normal-validity populations for the histogram body.
-  bench::keep_only_clusters(
-      model, {"out-longvalid", "out-tmdx", "in-vpn", "in-health-public",
-              "out-mqtt", "out-rapid7", "out-gpcloud", "out-guardicore",
-              "in-globus-shared"});
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_validity(run.pipeline());
-
-  std::printf("\nvalidity histogram (client certs in mutual TLS):\n");
-  core::TextTable table({"Bucket", "Certificates"});
-  for (const auto& bucket : result.histogram) {
-    table.add_row({bucket.label, core::format_count(bucket.count)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  const double lv = static_cast<double>(result.long_valid_total);
-  std::printf("\n10,000-40,000-day certificates: %s\n",
-              bench::paper_vs_count(7'911 / options.cert_scale,
-                                    lv).c_str());
-  if (result.long_valid_total > 0) {
-    std::printf("  public issuers:   %s\n",
-                bench::paper_vs(0.63,
-                                100.0 * static_cast<double>(
-                                            result.long_valid_public) / lv)
-                    .c_str());
-    std::printf("  missing issuer:   %s\n",
-                bench::paper_vs(45.73,
-                                100.0 * static_cast<double>(
-                                            result.long_valid_missing) / lv)
-                    .c_str());
-    std::printf("  corporations:     %s\n",
-                bench::paper_vs(37.58,
-                                100.0 * static_cast<double>(
-                                            result.long_valid_corporate) / lv)
-                    .c_str());
-    std::printf("  dummy issuers:    %s\n",
-                bench::paper_vs(7.61,
-                                100.0 * static_cast<double>(
-                                            result.long_valid_dummy) / lv)
-                    .c_str());
-    std::printf("  TLD mix (paper com 32.84%% / net 35.38%% / missing SNI "
-                "28.06%%):\n");
-    for (const auto& [tld, count] : result.long_valid_tlds) {
-      std::printf("    %-14s %s\n", tld.c_str(),
-                  core::format_percent(static_cast<double>(count), lv)
-                      .c_str());
-    }
-  }
-  std::printf("\nmaximum validity: %lld days at %s (paper: 83,432 days, "
-              "tmdxdev.com)\n",
-              static_cast<long long>(result.max_validity_days),
-              result.max_validity_sld.empty() ? "(missing SNI)"
-                                              : result.max_validity_sld.c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  long-validity tail exists (10k-40k days): %s\n",
-              result.long_valid_total > 0 ? "OK" : "MISS");
-  std::printf("  missing-issuer + corporate dominate the tail: %s\n",
-              (result.long_valid_missing + result.long_valid_corporate) >
-                      result.long_valid_total / 2
-                  ? "OK"
-                  : "MISS");
-  std::printf("  maximum validity is the ~228-year tmdxdev.com cert: %s\n",
-              (result.max_validity_days == 83'432 &&
-               result.max_validity_sld == "tmdxdev.com")
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("fig4", argc, argv);
 }

@@ -1,110 +1,7 @@
-// Figure 5 — expired client certificates still completing handshakes:
-// days-expired at first observation vs duration of activity, inbound and
-// outbound, with the Apple/Microsoft ~1,000-day cluster.
-#include <algorithm>
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
-
-namespace {
-
-void print_scatter_summary(const char* label,
-                           const std::vector<core::ExpiredCertResult::CertPoint>&
-                               points) {
-  if (points.empty()) {
-    std::printf("%s: no expired client certificates observed\n", label);
-    return;
-  }
-  std::vector<double> expired;
-  std::vector<double> activity;
-  std::size_t public_count = 0;
-  for (const auto& p : points) {
-    expired.push_back(p.days_expired_at_first_use);
-    activity.push_back(p.activity_days);
-    public_count += p.public_issuer;
-  }
-  std::sort(expired.begin(), expired.end());
-  std::sort(activity.begin(), activity.end());
-  const auto pct = [](const std::vector<double>& v, double p) {
-    return v[static_cast<std::size_t>(p * static_cast<double>(v.size() - 1))];
-  };
-  std::printf(
-      "%s: %zu certs | days-expired p50=%.0f p90=%.0f max=%.0f | "
-      "activity p50=%.0f max=%.0f | public issuers %.1f%%\n",
-      label, points.size(), pct(expired, 0.5), pct(expired, 0.9),
-      expired.back(), pct(activity, 0.5), activity.back(),
-      100.0 * static_cast<double>(public_count) /
-          static_cast<double>(points.size()));
-}
-
-}  // namespace
+// Thin shim: the "fig5" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 1, 250);
-  bench::print_header("Figure 5: expired client certificates in use",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Only the expired-certificate clusters matter here; the slice lets the
-  // bench run at full certificate fidelity (paper-exact counts).
-  bench::keep_only_clusters(model, {"in-expired", "out-expired"});
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_expired(run.pipeline());
-
-  std::printf("\n");
-  print_scatter_summary("inbound ", result.inbound);
-  print_scatter_summary("outbound", result.outbound);
-
-  std::printf("\ninbound expired-cert connections by server association "
-              "(paper: VPN 45.83%% / Local Org 32.79%% / Third Party "
-              "15.38%%):\n");
-  std::uint64_t inbound_total = 0;
-  for (const auto& [assoc, conns] : result.inbound_assoc_conns) {
-    inbound_total += conns;
-  }
-  for (const auto& [assoc, conns] : result.inbound_assoc_conns) {
-    std::printf("  %-22s %s\n", gen::association_name(assoc),
-                core::format_percent(static_cast<double>(conns),
-                                     static_cast<double>(inbound_total))
-                    .c_str());
-  }
-
-  std::printf("\noutbound long-expired cluster:\n");
-  std::printf("  certs expired >~1000 days: %llu\n",
-              static_cast<unsigned long long>(result.outbound_over_1000d));
-  std::printf("  of which Apple/Microsoft:  %llu (%s; paper 42.27%% => 339 "
-              "certs)\n",
-              static_cast<unsigned long long>(
-                  result.outbound_over_1000d_apple_ms),
-              core::format_percent(
-                  static_cast<double>(result.outbound_over_1000d_apple_ms),
-                  static_cast<double>(result.outbound_over_1000d))
-                  .c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  expired client certs observed in BOTH directions: %s\n",
-              (!result.inbound.empty() && !result.outbound.empty()) ? "OK"
-                                                                    : "MISS");
-  const auto vpn =
-      result.inbound_assoc_conns.find(core::ServerAssociation::kUniversityVpn);
-  std::printf("  VPN leads inbound expired-cert connections: %s\n",
-              (vpn != result.inbound_assoc_conns.end() && inbound_total > 0 &&
-               static_cast<double>(vpn->second) /
-                       static_cast<double>(inbound_total) > 0.33)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  Apple/MS dominate the ~1000-day outbound cluster: %s\n",
-              (result.outbound_over_1000d > 0 &&
-               2 * result.outbound_over_1000d_apple_ms >=
-                   result.outbound_over_1000d)
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("fig5", argc, argv);
 }

@@ -1,0 +1,135 @@
+// Golden-file regression harness: runs experiments through the registry
+// (sharing pipeline passes exactly like `mtlscope run --all`) with
+// --stable-output forced on, and byte-compares each text rendering
+// against the checked-in goldens in tests/golden/. Regenerate with
+// --update-golden after an intentional output change.
+//
+//   repro_golden_diff --golden-dir=tests/golden [--experiment=name]...
+//                     [--update-golden] [--threads=N] [--seed=N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/result_doc.hpp"
+#include "mtlscope/experiments/registry.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = std::move(buf).str();
+  return true;
+}
+
+/// Points at the first differing line for a human-readable report.
+void report_diff(const std::string& name, const std::string& expected,
+                 const std::string& actual) {
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line, got_line;
+  std::size_t line = 0;
+  while (true) {
+    ++line;
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    if (!have_want && !have_got) break;
+    if (!have_want || !have_got || want_line != got_line) {
+      std::fprintf(stderr, "%s: first difference at line %zu\n",
+                   name.c_str(), line);
+      std::fprintf(stderr, "  golden: %s\n",
+                   have_want ? want_line.c_str() : "<end of file>");
+      std::fprintf(stderr, "  actual: %s\n",
+                   have_got ? got_line.c_str() : "<end of file>");
+      return;
+    }
+  }
+  std::fprintf(stderr, "%s: outputs differ\n", name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  experiments::RunOptions options;
+  std::string golden_dir;
+  std::vector<std::string> names;
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--golden-dir=", 13) == 0) {
+      golden_dir = arg + 13;
+    } else if (std::strncmp(arg, "--experiment=", 13) == 0) {
+      names.emplace_back(arg + 13);
+    } else if (std::strcmp(arg, "--update-golden") == 0) {
+      update = true;
+    } else if (!options.parse_flag(arg)) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return 2;
+    }
+  }
+  if (golden_dir.empty()) {
+    std::fprintf(stderr, "usage: repro_golden_diff --golden-dir=DIR "
+                         "[--experiment=NAME]... [--update-golden]\n");
+    return 2;
+  }
+  // Goldens are recorded at the default scales with volatile output
+  // (thread counts, timing) suppressed; any thread count must reproduce
+  // them byte-for-byte.
+  options.stable_output = true;
+
+  if (names.empty()) {
+    names = experiments::ExperimentRegistry::instance().names();
+  }
+  std::vector<core::ResultDoc> docs;
+  try {
+    docs = experiments::run_experiments(names, options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  int failures = 0;
+  for (const auto& doc : docs) {
+    const std::string path = golden_dir + "/" + doc.experiment + ".txt";
+    const std::string actual = core::render_text(doc);
+    if (update) {
+      std::ofstream out(path, std::ios::binary);
+      out.write(actual.data(), static_cast<std::streamsize>(actual.size()));
+      out.close();
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("%-22s updated (%zu bytes)\n", doc.experiment.c_str(),
+                  actual.size());
+      continue;
+    }
+    std::string expected;
+    if (!read_file(path, &expected)) {
+      std::fprintf(stderr, "%s: missing golden %s (run --update-golden)\n",
+                   doc.experiment.c_str(), path.c_str());
+      ++failures;
+      continue;
+    }
+    if (expected != actual) {
+      report_diff(doc.experiment, expected, actual);
+      ++failures;
+    } else {
+      std::printf("%-22s OK (%zu bytes)\n", doc.experiment.c_str(),
+                  actual.size());
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d experiment(s) diverged from goldens\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

@@ -1,60 +1,7 @@
-// §3.2.1 — TLS interception filtering: detect proxy issuers by comparing
-// observed server-leaf issuers against CT-logged issuers, then exclude
-// their certificates (paper: 186 issuers, 871,993 certificates = 8.4%).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "interception" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 500, 50'000);
-  bench::print_header("Section 3.2.1: TLS interception filtering", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto& pipeline = run.pipeline();
-  const std::size_t flagged_certs = pipeline.interception_flagged_certificates();
-  const std::size_t total_certs = pipeline.certificates().size();
-
-  std::printf("\ndetected interception issuers: %zu (paper: 186)\n",
-              pipeline.interception_issuers().size());
-  for (const auto& issuer : pipeline.interception_issuers()) {
-    std::printf("  %s\n", issuer.c_str());
-  }
-  std::printf("\nexcluded certificates: %zu of %zu (%s; paper 8.4%%)\n",
-              flagged_certs, total_certs,
-              core::format_percent(static_cast<double>(flagged_certs),
-                                   static_cast<double>(total_certs))
-                  .c_str());
-  std::printf("excluded connections: %zu\n",
-              pipeline.interception_excluded_connections());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  interception issuers detected: %s\n",
-              !pipeline.interception_issuers().empty() ? "OK" : "MISS");
-  std::printf("  every detected issuer is a private CA name: %s\n", "OK");
-  const double pct = total_certs == 0
-                         ? 0
-                         : 100.0 * static_cast<double>(flagged_certs) /
-                               static_cast<double>(total_certs);
-  std::printf("  excluded share in the single-digit band (2-20%%): %s "
-              "(%.1f%%)\n",
-              (pct > 2 && pct < 20) ? "OK" : "MISS", pct);
-  // Legitimate private-CA populations must NOT be swept up: the campus
-  // CAs must survive the filter.
-  bool campus_flagged = false;
-  for (const auto& issuer : pipeline.interception_issuers()) {
-    if (issuer.find("Blue Ridge University") != std::string::npos) {
-      campus_flagged = true;
-    }
-  }
-  std::printf("  campus CAs not misclassified as interceptors: %s\n",
-              campus_flagged ? "MISS" : "OK");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("interception", argc, argv);
 }

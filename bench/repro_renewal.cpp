@@ -1,79 +1,7 @@
-// Extension experiment (not a paper table): renewal hygiene. §7 names
-// revocation/renewal as the operational burden of client certificates;
-// this harness reconstructs renewal chains from the trace and checks that
-// the paper's re-issuance anecdotes (Globus's 14-day cycle) come out of
-// the data rather than the generator's bookkeeping.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "renewal" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 200, 50'000);
-  bench::print_header("Extension: certificate renewal hygiene", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_renewals(run.pipeline());
-
-  std::printf("\nrenewal chains (same issuer + subject): %s\n",
-              core::format_count(result.chains).c_str());
-  std::printf("CN-reuse groups rejected as non-renewals: %s\n",
-              core::format_count(result.cn_reuse_groups).c_str());
-  std::printf("certificates inside chains: %s (longest chain %zu)\n",
-              core::format_count(result.certificates_in_chains).c_str(),
-              result.longest_chain);
-  const double transitions = static_cast<double>(result.seamless +
-                                                 result.overlap + result.gap);
-  std::printf("transitions: seamless %s / overlap %s / coverage gaps %s\n",
-              core::format_percent(static_cast<double>(result.seamless),
-                                   transitions)
-                  .c_str(),
-              core::format_percent(static_cast<double>(result.overlap),
-                                   transitions)
-                  .c_str(),
-              core::format_percent(static_cast<double>(result.gap),
-                                   transitions)
-                  .c_str());
-
-  std::printf("\nissuers by renewal-chain count (top 10 of %zu):\n",
-              result.top_issuers.size());
-  core::TextTable table({"Issuer", "Chains", "Median cadence (days)"});
-  std::size_t shown = 0;
-  for (const auto& row : result.top_issuers) {
-    if (shown++ == 10) break;
-    table.add_row({row.issuer, core::format_count(row.chains),
-                   core::format_double(row.median_cadence_days, 1)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  renewal chains reconstructed from the trace: %s\n",
-              result.chains > 0 ? "OK" : "MISS");
-  const core::RenewalResult::IssuerRow* globus = nullptr;
-  for (const auto& row : result.top_issuers) {
-    if (row.issuer == "Globus Online") globus = &row;
-  }
-  std::printf("  Globus Online re-issuance cycle detected: %s\n",
-              globus != nullptr ? "OK" : "MISS");
-  if (globus != nullptr) {
-    std::printf("  Globus cadence ~14 days (measured %.1f): %s\n",
-                globus->median_cadence_days,
-                (globus->median_cadence_days > 10 &&
-                 globus->median_cadence_days < 20)
-                    ? "OK"
-                    : "MISS");
-  }
-  std::printf("  renewals are mostly seamless (no coverage gaps): %s\n",
-              (transitions > 0 &&
-               static_cast<double>(result.seamless) / transitions > 0.6)
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("renewal", argc, argv);
 }

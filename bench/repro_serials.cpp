@@ -1,88 +1,7 @@
-// §5.1.2 — dummy certificate serial numbers: collisions within issuers.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "serials" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 20, 10'000);
-  bench::print_header("Section 5.1.2: dummy serial-number collisions",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::keep_only_clusters(
-      model, {"in-globus-shared", "out-globus-shared", "out-guardicore",
-              "in-viptela", "in-serial00", "in-local-serial", "in-local-org",
-              "out-aws-corp"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::SerialCollisionAnalyzer> serials_shards(run.shard_count());
-  run.attach(serials_shards);
-  run.run();
-  auto serials = std::move(serials_shards).merged();
-
-  const auto groups = serials.collision_groups();
-  core::TextTable table({"Dir", "Issuer", "Serial", "Server certs",
-                         "Client certs", "Clients", "Conns"});
-  std::size_t shown = 0;
-  for (const auto& g : groups) {
-    if (shown++ == 14) break;
-    table.add_row({g.direction == core::Direction::kInbound ? "In" : "Out",
-                   g.issuer_org, g.serial,
-                   std::to_string(g.server_certs.size()),
-                   std::to_string(g.client_certs.size()),
-                   std::to_string(g.clients.size()),
-                   core::format_count(g.connections)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "paper: Globus Online serial 00 (38,965 client certs / 38,928 server "
-      "certs, 798 clients, 7.49M conns); GuardiCore client=01 server=03E8 "
-      "(57/43 certs, 904 conns); ViptelaClient 024680 on both sides\n");
-
-  std::printf("\ninvolved clients: inbound %llu (paper 1,126 / scale), "
-              "outbound %llu (paper 14,541 / scale)\n",
-              static_cast<unsigned long long>(
-                  serials.involved_clients(core::Direction::kInbound)),
-              static_cast<unsigned long long>(
-                  serials.involved_clients(core::Direction::kOutbound)));
-
-  // Shape checks.
-  const auto find = [&groups](const char* issuer, const char* serial)
-      -> const core::SerialCollisionAnalyzer::Group* {
-    for (const auto& g : groups) {
-      if (g.issuer_org == issuer && g.serial == serial) return &g;
-    }
-    return nullptr;
-  };
-  const auto* globus = find("Globus Online", "00");
-  const auto* gc_client = find("GuardiCore", "01");
-  const auto* gc_server = find("GuardiCore", "03E8");
-  const auto* viptela = find("ViptelaClient", "024680");
-  std::printf("\nshape checks:\n");
-  std::printf("  Globus Online serial-00 collision is the largest: %s\n",
-              (globus != nullptr && !groups.empty() &&
-               groups[0].issuer_org == "Globus Online")
-                  ? "OK"
-                  : "MISS");
-  std::printf("  Globus certs appear on BOTH sides of connections: %s\n",
-              (globus != nullptr && !globus->server_certs.empty() &&
-               !globus->client_certs.empty())
-                  ? "OK"
-                  : "MISS");
-  std::printf("  GuardiCore: clients all 01, servers all 03E8: %s\n",
-              (gc_client != nullptr && gc_server != nullptr &&
-               gc_client->server_certs.empty() &&
-               gc_server->client_certs.empty())
-                  ? "OK"
-                  : "MISS");
-  std::printf("  ViptelaClient: 024680 regardless of side: %s\n",
-              (viptela != nullptr && !viptela->server_certs.empty() &&
-               !viptela->client_certs.empty())
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("serials", argc, argv);
 }

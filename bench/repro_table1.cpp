@@ -1,57 +1,7 @@
-// Table 1 — number of unique certificates by role, CA class, and mutual
-// TLS participation.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table1" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header(
-      "Table 1: unique certificates (total vs used in mutual TLS)", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_cert_inventory(run.pipeline());
-
-  struct PaperRow {
-    const char* label;
-    double paper_pct;
-    const core::CertInventoryResult::Row* measured;
-  };
-  const PaperRow rows[] = {
-      {"Total", 59.43, &result.total},
-      {"Server", 38.45, &result.server},
-      {"  - Public CA", 0.22, &result.server_public},
-      {"  - Private CA", 82.78, &result.server_private},
-      {"Client", 94.34, &result.client},
-      {"  - Public CA", 87.18, &result.client_public},
-      {"  - Private CA", 94.38, &result.client_private},
-  };
-
-  core::TextTable table({"Certificates", "Total", "Mutual", "Measured %",
-                         "Paper %"});
-  for (const auto& row : rows) {
-    table.add_row({row.label, core::format_count(row.measured->total),
-                   core::format_count(row.measured->mutual),
-                   core::format_double(row.measured->mutual_pct(), 2),
-                   core::format_double(row.paper_pct, 2)});
-  }
-  std::printf("%s", table.render().c_str());
-
-  // Shape assertions mirrored from the paper's discussion.
-  std::printf("\nshape checks:\n");
-  std::printf("  private server certs mostly mutual (>50%%): %s\n",
-              result.server_private.mutual_pct() > 50 ? "OK" : "MISS");
-  std::printf("  public server certs rarely mutual (<5%%):   %s\n",
-              result.server_public.mutual_pct() < 5 ? "OK" : "MISS");
-  std::printf("  client certs overwhelmingly mutual (>85%%): %s\n",
-              result.client.mutual_pct() > 85 ? "OK" : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table1", argc, argv);
 }

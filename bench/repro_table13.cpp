@@ -1,90 +1,7 @@
-// Table 13 — CN/SAN utilization and information types of certificates
-// shared by both server and client (§6.3.5).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table13" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header("Table 13: information in shared certificates",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto util =
-      core::analyze_utilization(run.pipeline(), core::CertScope::kShared);
-  std::printf("\nTable 13a — utilization (paper: 67,221 shared certs; CN "
-              "98.41%%, SAN 0.37%%; 99.7%% private):\n");
-  core::TextTable ta({"Certificates", "Total", "CN %", "SAN DNS %"});
-  const auto add = [&ta](const char* label,
-                         const core::UtilizationResult::Row& row) {
-    ta.add_row({label, core::format_count(row.total),
-                core::format_percent(static_cast<double>(row.cn),
-                                     static_cast<double>(row.total)),
-                core::format_percent(static_cast<double>(row.san_dns),
-                                     static_cast<double>(row.total))});
-  };
-  add("Shared certificates", util.all);
-  add("  - Public CA", util.pub);
-  add("  - Private CA", util.priv);
-  std::printf("%s", ta.render().c_str());
-
-  const auto info =
-      core::analyze_info_types(run.pipeline(), core::CertScope::kShared);
-  const auto& pub = info.cells[0][0];
-  const auto& priv = info.cells[0][1];
-  std::printf("\nTable 13b — information types in shared-cert CNs:\n");
-  core::TextTable tb({"Information type", "Public CN %", "(paper)",
-                      "Private CN %", "(paper)"});
-  const double paper_pub[] = {100.0, -1, -1, -1, -1, -1, -1, -1, -1, -1};
-  const double paper_priv[] = {0.10, 0.32, -1, 2.79, -1, -1, 0.00, 11.90,
-                               0.01, 84.88};
-  for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
-    const auto type = static_cast<textclass::InfoType>(i);
-    tb.add_row({textclass::info_type_name(type),
-                core::format_percent(static_cast<double>(pub.cn[i]),
-                                     static_cast<double>(pub.cn_total)),
-                paper_pub[i] < 0 ? "-"
-                                 : core::format_double(paper_pub[i], 2) + "%",
-                core::format_percent(static_cast<double>(priv.cn[i]),
-                                     static_cast<double>(priv.cn_total)),
-                paper_priv[i] < 0
-                    ? "-"
-                    : core::format_double(paper_priv[i], 2) + "%"});
-  }
-  std::printf("%s", tb.render().c_str());
-
-  std::printf("\nshape checks:\n");
-  const double priv_share =
-      util.all.total == 0 ? 0
-                          : static_cast<double>(util.priv.total) /
-                                static_cast<double>(util.all.total);
-  std::printf("  shared certs overwhelmingly private-CA (>85%%): %s\n",
-              priv_share > 0.85 ? "OK" : "MISS");
-  const double unident =
-      priv.cn_total == 0
-          ? 0
-          : static_cast<double>(priv.cn[static_cast<std::size_t>(
-                textclass::InfoType::kUnidentified)]) /
-                static_cast<double>(priv.cn_total);
-  std::printf("  private shared CNs dominated by unidentified strings "
-              "(paper 84.88%%): %s (%.1f%%)\n",
-              unident > 0.5 ? "OK" : "MISS", 100 * unident);
-  const double org =
-      priv.cn_total == 0
-          ? 0
-          : static_cast<double>(priv.cn[static_cast<std::size_t>(
-                textclass::InfoType::kOrgProduct)]) /
-                static_cast<double>(priv.cn_total);
-  std::printf("  Org/Product (WebRTC/hangouts) is the second bucket: %s "
-              "(%.1f%%, paper 11.90%%)\n",
-              (org > 0.03 && org < 0.4) ? "OK" : "MISS", 100 * org);
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table13", argc, argv);
 }

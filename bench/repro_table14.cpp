@@ -1,91 +1,7 @@
-// Table 14 — CN/SAN utilization and information types of server
-// certificates from NON-mutual TLS connections (§6.3.6).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table14" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header("Table 14: certificates from non-mutual TLS", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto util =
-      core::analyze_utilization(run.pipeline(), core::CertScope::kNonMutual);
-  std::printf("\nTable 14a — utilization (paper: CN 99.95%% / SAN 86.96%%; "
-              "public CN 99.98%%/SAN 99.99%%; private CN 99.72%%/SAN "
-              "10.54%%):\n");
-  core::TextTable ta({"Certificates", "Total", "CN %", "SAN DNS %"});
-  const auto add = [&ta](const char* label,
-                         const core::UtilizationResult::Row& row) {
-    ta.add_row({label, core::format_count(row.total),
-                core::format_percent(static_cast<double>(row.cn),
-                                     static_cast<double>(row.total)),
-                core::format_percent(static_cast<double>(row.san_dns),
-                                     static_cast<double>(row.total))});
-  };
-  add("Server certificates", util.all);
-  add("  - Public CA", util.pub);
-  add("  - Private CA", util.priv);
-  std::printf("%s", ta.render().c_str());
-
-  const auto info =
-      core::analyze_info_types(run.pipeline(), core::CertScope::kNonMutual);
-  const auto& pub = info.cells[0][0];
-  const auto& priv = info.cells[0][1];
-  std::printf("\nTable 14b — information types (CN):\n");
-  core::TextTable tb({"Information type", "Public CN %", "(paper)",
-                      "Private CN %", "(paper)"});
-  const double paper_pub[] = {99.98, 0.12, -1, -1, -1, -1, 0.00, 0.00, 0.00,
-                              0.06};
-  const double paper_priv[] = {13.27, 0.50, 0.00, 1.21, 0.00, 0.04, 0.11,
-                               73.56, 0.29, 11.02};
-  for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
-    const auto type = static_cast<textclass::InfoType>(i);
-    tb.add_row({textclass::info_type_name(type),
-                core::format_percent(static_cast<double>(pub.cn[i]),
-                                     static_cast<double>(pub.cn_total)),
-                paper_pub[i] < 0 ? "-"
-                                 : core::format_double(paper_pub[i], 2) + "%",
-                core::format_percent(static_cast<double>(priv.cn[i]),
-                                     static_cast<double>(priv.cn_total)),
-                paper_priv[i] < 0
-                    ? "-"
-                    : core::format_double(paper_priv[i], 2) + "%"});
-  }
-  std::printf("%s", tb.render().c_str());
-
-  std::printf("\nshape checks:\n");
-  const double pub_share =
-      util.all.total == 0 ? 0
-                          : static_cast<double>(util.pub.total) /
-                                static_cast<double>(util.all.total);
-  std::printf("  non-mutual certs predominantly public-CA (paper 85%%): %s "
-              "(%.1f%%)\n",
-              pub_share > 0.6 ? "OK" : "MISS", 100 * pub_share);
-  const double priv_san =
-      util.priv.total == 0 ? 0
-                           : static_cast<double>(util.priv.san_dns) /
-                                 static_cast<double>(util.priv.total);
-  std::printf("  private non-mutual SAN usage ~10%% (vs ~0.4%% mutual): %s "
-              "(%.1f%%)\n",
-              (priv_san > 0.04 && priv_san < 0.25) ? "OK" : "MISS",
-              100 * priv_san);
-  const double priv_org =
-      priv.cn_total == 0
-          ? 0
-          : static_cast<double>(priv.cn[static_cast<std::size_t>(
-                textclass::InfoType::kOrgProduct)]) /
-                static_cast<double>(priv.cn_total);
-  std::printf("  private CNs led by Org/Product (paper 73.56%%): %s "
-              "(%.1f%%)\n",
-              priv_org > 0.5 ? "OK" : "MISS", 100 * priv_org);
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table14", argc, argv);
 }

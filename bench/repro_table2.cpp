@@ -1,75 +1,7 @@
-// Table 2 — prominent services (server ports), in/out × mutual/non-mutual.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
-
-namespace {
-
-void print_quadrant(const core::ServicePortAnalyzer& analyzer,
-                    core::Direction direction, bool mutual,
-                    const char* paper_note) {
-  std::printf("\n%s, %s TLS   [paper top-5: %s]\n",
-              direction == core::Direction::kInbound ? "Inbound" : "Outbound",
-              mutual ? "mutual" : "non-mutual", paper_note);
-  core::TextTable table({"Rank", "Port", "Share", "Service"});
-  int rank = 1;
-  for (const auto& share : analyzer.top(direction, mutual)) {
-    table.add_row({std::to_string(rank++), share.port_label,
-                   core::format_double(share.share, 2) + "%",
-                   share.service});
-  }
-  std::printf("%s", table.render().c_str());
-}
-
-}  // namespace
+// Thin shim: the "table2" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 2'000, 50'000);
-  bench::print_header("Table 2: prominent services by port", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::ServicePortAnalyzer> ports_shards(run.shard_count());
-  run.attach(ports_shards);
-  run.run();
-  auto ports = std::move(ports_shards).merged();
-
-  print_quadrant(ports, core::Direction::kInbound, true,
-                 "443 63.60% | 20017 24.89% | 636 6.36% | 50000-51000 1.17% "
-                 "| 9093 0.26%");
-  print_quadrant(ports, core::Direction::kOutbound, true,
-                 "443 83.17% | 8883 3.69% | 25 3.38% | 465 3.32% | 9997 "
-                 "1.48%");
-  print_quadrant(ports, core::Direction::kInbound, false,
-                 "443 85.18% | 25 2.35% | 33854 2.26% | 8443 2.22% | 52730 "
-                 "1.98%");
-  print_quadrant(ports, core::Direction::kOutbound, false,
-                 "443 99.15% | 993 0.44% | 8883 0.05% | 25 0.04% | 3128 "
-                 "0.03%");
-
-  const auto in_mutual = ports.top(core::Direction::kInbound, true, 1);
-  const auto out_mutual = ports.top(core::Direction::kOutbound, true, 1);
-  std::printf("\nshape checks:\n");
-  std::printf("  HTTPS (443) tops every quadrant: %s\n",
-              (!in_mutual.empty() && in_mutual[0].port_label == "443" &&
-               !out_mutual.empty() && out_mutual[0].port_label == "443")
-                  ? "OK"
-                  : "MISS");
-  bool filewave_second = false;
-  const auto in5 = ports.top(core::Direction::kInbound, true, 2);
-  if (in5.size() >= 2 && in5[1].port_label == "20017") filewave_second = true;
-  std::printf("  FileWave (20017) is the #2 inbound mutual service: %s\n",
-              filewave_second ? "OK" : "MISS");
-  std::printf(
-      "  inbound mutual is less HTTPS-dominated than outbound mutual: %s\n",
-      (!in_mutual.empty() && !out_mutual.empty() &&
-       in_mutual[0].share < out_mutual[0].share)
-          ? "OK"
-          : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table2", argc, argv);
 }

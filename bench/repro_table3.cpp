@@ -1,112 +1,7 @@
-// Table 3 — inbound mutual TLS: server associations, client counts, and
-// client-certificate issuer categories.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table3" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 200, 2'000);
-  bench::print_header(
-      "Table 3: inbound mutual TLS by server association", options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Table 3 covers inbound mutual TLS only; dropping the other slices
-  // lets a low connection scale run quickly without coverage distortion.
-  bench::keep_only_clusters(model, {"in-"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::InboundAssociationAnalyzer> assoc_shards(run.shard_count());
-  run.attach(assoc_shards);
-  run.run();
-  auto assoc = std::move(assoc_shards).merged();
-
-  struct PaperRow {
-    core::ServerAssociation assoc;
-    double conn_pct;
-    double client_pct;
-    const char* primary;
-  };
-  const PaperRow paper[] = {
-      {core::ServerAssociation::kUniversityHealth, 64.91, 41.10,
-       "Private - Education 99.96%"},
-      {core::ServerAssociation::kUniversityServer, 30.55, 5.00,
-       "Private - MissingIssuer 95.84%"},
-      {core::ServerAssociation::kUniversityVpn, 0.30, 14.73,
-       "Private - Education 99.99%"},
-      {core::ServerAssociation::kLocalOrganization, 2.53, 2.20,
-       "Public 96.62%"},
-      {core::ServerAssociation::kThirdPartyService, 0.31, 0.39,
-       "Private - Others 47.95%"},
-      {core::ServerAssociation::kGlobus, 0.06, 0.005,
-       "Private - Education 93.83%"},
-      {core::ServerAssociation::kUnknown, 1.34, 36.58,
-       "Private - MissingIssuer 87.34%"},
-  };
-
-  const auto rows = assoc.rows();
-  const double total_conns = static_cast<double>(assoc.total_connections());
-  const double total_clients = static_cast<double>(assoc.total_clients());
-
-  core::TextTable table({"Server association", "Conns %", "(paper)",
-                         "Clients %", "(paper)", "Measured primary issuer",
-                         "(paper primary)"});
-  for (const auto& p : paper) {
-    const auto it = std::find_if(
-        rows.begin(), rows.end(),
-        [&p](const auto& row) { return row.assoc == p.assoc; });
-    std::string conns = "-", clients = "-", primary = "-";
-    if (it != rows.end()) {
-      conns = core::format_percent(static_cast<double>(it->connections),
-                                   total_conns);
-      clients = core::format_percent(static_cast<double>(it->clients),
-                                     total_clients);
-      if (!it->issuer_shares.empty()) {
-        primary = std::string(core::issuer_category_name(
-                      it->issuer_shares[0].first)) +
-                  " " +
-                  core::format_double(it->issuer_shares[0].second, 2) + "%";
-      }
-    }
-    table.add_row({gen::association_name(p.assoc), conns,
-                   core::format_double(p.conn_pct, 2) + "%", clients,
-                   core::format_double(p.client_pct, 2) + "%", primary,
-                   p.primary});
-  }
-  std::printf("%s", table.render().c_str());
-
-  // Shape checks.
-  const auto find = [&rows](core::ServerAssociation a)
-      -> const core::InboundAssociationAnalyzer::Row* {
-    const auto it = std::find_if(rows.begin(), rows.end(),
-                                 [a](const auto& r) { return r.assoc == a; });
-    return it == rows.end() ? nullptr : &*it;
-  };
-  const auto* health = find(core::ServerAssociation::kUniversityHealth);
-  const auto* vpn = find(core::ServerAssociation::kUniversityVpn);
-  const auto* unknown = find(core::ServerAssociation::kUnknown);
-  std::printf("\nshape checks:\n");
-  std::printf("  health dominates inbound mutual connections: %s\n",
-              (health != nullptr &&
-               static_cast<double>(health->connections) / total_conns > 0.5)
-                  ? "OK"
-                  : "MISS");
-  std::printf(
-      "  VPN: few connections but many clients (client%% >> conn%%): %s\n",
-      (vpn != nullptr &&
-       static_cast<double>(vpn->clients) / total_clients >
-           10 * static_cast<double>(vpn->connections) / total_conns)
-          ? "OK"
-          : "MISS");
-  std::printf(
-      "  unknown-SNI connections driven by missing-issuer clients: %s\n",
-      (unknown != nullptr && !unknown->issuer_shares.empty() &&
-       unknown->issuer_shares[0].first ==
-           core::IssuerCategory::kPrivateMissingIssuer)
-          ? "OK"
-          : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table3", argc, argv);
 }

@@ -1,94 +1,7 @@
-// Table 4 + Table 10 + §5.1.1 — dummy-issuer certificates in mutual TLS.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table4" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 10'000);
-  bench::print_header("Table 4 / Table 10: dummy-issuer certificates",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::keep_only_clusters(
-      model, {"in-dummy", "in-unspecified", "in-widgits", "out-widgits",
-              "out-default", "out-acme", "out-dummy-both", "out-longvalid-dummy",
-              "in-local-org", "out-aws-corp"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::DummyIssuerAnalyzer> dummies_shards(run.shard_count());
-  run.attach(dummies_shards);
-  run.run();
-  auto dummies = std::move(dummies_shards).merged();
-
-  std::printf("\nTable 4 — certificates with dummy issuers:\n");
-  core::TextTable table({"Dir", "Side", "Dummy issuer org", "Server groups",
-                         "Clients", "Conns"});
-  for (const auto& row : dummies.rows()) {
-    std::string groups;
-    std::size_t shown = 0;
-    for (const auto& g : row.server_groups) {
-      if (shown++ == 4) {
-        groups += ",…";
-        break;
-      }
-      if (!groups.empty()) groups += ",";
-      groups += g;
-    }
-    table.add_row({row.direction == core::Direction::kInbound ? "In" : "Out",
-                   row.client_side ? "client" : "server", row.dummy_org,
-                   groups, std::to_string(row.clients.size()),
-                   core::format_count(row.connections)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "paper: In client {Widgits+Default->LocalOrg 21cl/95conns, "
-      "Unspecified 452cl/567k conns}; Out client {Widgits 73cl/69k, "
-      "Default 2cl/17}; Out server {Widgits 511certs/3.7k, Default "
-      "147/331, Acme 20/26}\n");
-
-  std::printf("\nTable 10 — dummy issuers at BOTH endpoints:\n");
-  core::TextTable both({"SLD", "Client org", "Server org", "Clients",
-                        "Duration (days)", "(paper)"});
-  for (const auto& row : dummies.both_ends_rows()) {
-    std::string paper = "-";
-    if (row.sld == "fireboard.io") paper = "9 clients, 618 d";
-    if (row.sld == "amazonaws.com") paper = "7 clients, 17 d";
-    if (row.sld.empty()) paper = "1 client, 1 d";
-    both.add_row({row.sld.empty() ? "(missing SNI)" : row.sld,
-                  row.client_org, row.server_org,
-                  std::to_string(row.clients.size()),
-                  core::format_double(row.duration_days(), 0), paper});
-  }
-  std::printf("%s", both.render().c_str());
-
-  const auto& weak = dummies.weak_params();
-  std::printf("\n§5.1.1 weak parameters among dummy-issuer client certs:\n");
-  std::printf("  X.509 v1 certs: %zu (paper 3), unique tuples %llu (paper "
-              "154)\n",
-              weak.v1_certs.size(),
-              static_cast<unsigned long long>(weak.v1_tuples));
-  std::printf("  1024-bit keys:  %zu (paper 13), unique tuples %llu (paper "
-              "83)\n",
-              weak.weak_key_certs.size(),
-              static_cast<unsigned long long>(weak.weak_key_tuples));
-
-  std::printf("\nshape checks:\n");
-  const auto rows = dummies.rows();
-  bool widgits_everywhere = false;
-  for (const auto& row : rows) {
-    if (row.dummy_org == "Internet Widgits Pty Ltd") widgits_everywhere = true;
-  }
-  std::printf("  'Internet Widgits Pty Ltd' present (OpenSSL default): %s\n",
-              widgits_everywhere ? "OK" : "MISS");
-  std::printf("  both-endpoint dummy rows found: %s\n",
-              dummies.both_ends_rows().size() >= 2 ? "OK" : "MISS");
-  std::printf("  v1 and 1024-bit findings present: %s\n",
-              (!weak.v1_certs.empty() && !weak.weak_key_certs.empty())
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table4", argc, argv);
 }

@@ -1,93 +1,7 @@
-// Table 5 — the same certificate presented by BOTH endpoints of a single
-// connection.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table5" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 50, 10'000);
-  bench::print_header(
-      "Table 5: certificate shared by client and server in one connection",
-      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Same-connection sharing involves a handful of named clusters; the
-  // slice keeps the run fast at a low certificate scale.
-  bench::keep_only_clusters(
-      model, {"in-globus-shared", "in-tablo", "out-globus-shared",
-              "out-psych", "out-splunk-shared", "out-leidos", "out-acr",
-              "out-sapns2", "out-bluetriton", "out-gpo", "out-rtc-shared",
-              "out-aws", "in-health"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
-  run.attach(shared_shards);
-  run.run();
-  auto shared = std::move(shared_shards).merged();
-
-  struct PaperRow {
-    const char* sld;
-    const char* issuer;
-    int clients;
-    int days;
-  };
-  const PaperRow paper[] = {
-      {"(missing SNI)", "Globus Online", 699, 700},
-      {"tablodash.com", "Outset Medical", 4403, 700},
-      {"psych.org", "American Psychiatric Association", 10, 424},
-      {"splunkcloud.com", "Splunk", 4, 114},
-      {"leidos.com", "IdenTrust", 52, 554},
-      {"acr.org", "GoDaddy.com, Inc.", 24, 364},
-      {"gpo.gov", "DigiCert Inc", 1, 1},
-  };
-
-  core::TextTable table({"SLD", "Issuer", "Public?", "Clients",
-                         "Duration (days)", "Conns"});
-  for (const auto& row : shared.same_connection_rows()) {
-    table.add_row({row.sld.empty() ? "(missing SNI)" : row.sld, row.issuer,
-                   row.public_issuer ? "yes" : "no",
-                   std::to_string(row.clients.size()),
-                   core::format_double(row.duration_days(), 0),
-                   core::format_count(row.connections)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\npaper rows (unscaled clients/duration):\n");
-  for (const auto& p : paper) {
-    std::printf("  %-18s %-34s %5d clients, %d days\n", p.sld, p.issuer,
-                p.clients, p.days);
-  }
-  std::printf("paper volume: 7.49M inbound / 5.93M outbound shared-cert "
-              "connections\n");
-  std::printf("measured volume: %s inbound / %s outbound\n",
-              core::format_count(
-                  shared.same_connection_conns(core::Direction::kInbound))
-                  .c_str(),
-              core::format_count(
-                  shared.same_connection_conns(core::Direction::kOutbound))
-                  .c_str());
-
-  const auto rows = shared.same_connection_rows();
-  std::printf("\nshape checks:\n");
-  bool globus = false, tablo = false, public_rows = false;
-  for (const auto& row : rows) {
-    if (row.issuer == "Globus Online") globus = true;
-    if (row.issuer == "Outset Medical") tablo = true;
-    if (row.public_issuer) public_rows = true;
-  }
-  std::printf("  Globus Online same-conn sharing found: %s\n",
-              globus ? "OK" : "MISS");
-  std::printf("  Outset Medical (tablodash.com) sharing found: %s\n",
-              tablo ? "OK" : "MISS");
-  std::printf("  publicly-trusted certs also shared (gray rows): %s\n",
-              public_rows ? "OK" : "MISS");
-  std::printf("  inbound shared volume exceeds outbound: %s\n",
-              shared.same_connection_conns(core::Direction::kInbound) >
-                      shared.same_connection_conns(core::Direction::kOutbound)
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table5", argc, argv);
 }

@@ -1,55 +1,7 @@
-// Table 6 — /24-subnet spread of certificates used as both server and
-// client certificates across different connections (§5.2.2).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table6" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 1, 20'000);
-  bench::print_header(
-      "Table 6: /24 subnets of cross-connection-shared certificates",
-      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  // Table 6 concerns only the cross-connection-shared population; slicing
-  // to it allows running at full certificate fidelity (cert_scale 1).
-  bench::keep_only_clusters(model, {"out-cross"});
-  bench::CampusRun run(std::move(model), options);
-  core::Sharded<core::SharedCertAnalyzer> shared_shards(run.shard_count());
-  run.attach(shared_shards);
-  run.run();
-  auto shared = std::move(shared_shards).merged();
-
-  const auto q = shared.subnet_quantiles(run.pipeline());
-  std::printf("\ncross-connection shared certificates: %zu (paper 1,611 / "
-              "scale)\n\n",
-              q.cross_shared_certs);
-  core::TextTable table({"# /24 subnets", "50th", "75th", "99th", "100th"});
-  table.add_row({"Server (measured)", std::to_string(q.server[0]),
-                 std::to_string(q.server[1]), std::to_string(q.server[2]),
-                 std::to_string(q.server[3])});
-  table.add_row({"Server (paper)", "1", "1", "7", "217"});
-  table.add_row({"Client (measured)", std::to_string(q.client[0]),
-                 std::to_string(q.client[1]), std::to_string(q.client[2]),
-                 std::to_string(q.client[3])});
-  table.add_row({"Client (paper)", "1", "2", "43", "1,851"});
-  std::printf("%s", table.render().c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  medians are 1 subnet on both sides: %s\n",
-              (q.server[0] == 1 && q.client[0] == 1) ? "OK" : "MISS");
-  std::printf("  heavy tail: 100th >> 99th on both sides: %s\n",
-              (q.server[3] > 3 * q.server[2] && q.client[3] > 3 * q.client[2])
-                  ? "OK"
-                  : "MISS");
-  std::printf("  client-side spread exceeds server-side at the tail: %s\n",
-              (q.client[2] >= q.server[2] && q.client[3] > q.server[3])
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table6", argc, argv);
 }

@@ -1,74 +1,7 @@
-// Table 7 — CN / SAN-DNS utilization of certificates in mutual TLS.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "table7" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header("Table 7: CN and SAN utilization (mutual TLS)",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result =
-      core::analyze_utilization(run.pipeline(), core::CertScope::kMutual);
-
-  struct PaperRow {
-    const char* label;
-    const core::UtilizationResult::Row* row;
-    double paper_cn_pct;
-    double paper_san_pct;
-  };
-  const PaperRow rows[] = {
-      {"Server certs", &result.server, 99.78, 0.69},
-      {"  - Public CA", &result.server_pub, 99.99, 99.99},
-      {"  - Private CA", &result.server_priv, 99.78, 0.38},
-      {"Client certs", &result.client, 99.89, 1.26},
-      {"  - Public CA", &result.client_pub, 99.50, 14.92},
-      {"  - Private CA", &result.client_priv, 99.89, 1.17},
-  };
-
-  core::TextTable table({"Certificates", "Total", "CN %", "(paper)",
-                         "SAN DNS %", "(paper)"});
-  for (const auto& r : rows) {
-    table.add_row(
-        {r.label, core::format_count(r.row->total),
-         core::format_percent(static_cast<double>(r.row->cn),
-                              static_cast<double>(r.row->total)),
-         core::format_double(r.paper_cn_pct, 2) + "%",
-         core::format_percent(static_cast<double>(r.row->san_dns),
-                              static_cast<double>(r.row->total)),
-         core::format_double(r.paper_san_pct, 2) + "%"});
-  }
-  std::printf("%s", table.render().c_str());
-
-  const auto pct = [](const core::UtilizationResult::Row& r, bool cn) {
-    return r.total == 0 ? 0.0
-                        : 100.0 * static_cast<double>(cn ? r.cn : r.san_dns) /
-                              static_cast<double>(r.total);
-  };
-  std::printf("\nshape checks:\n");
-  std::printf("  CN near-universal (>99%%) for all groups: %s\n",
-              (pct(result.server, true) > 99 && pct(result.client, true) > 99)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  public-CA servers use SAN universally: %s\n",
-              pct(result.server_pub, false) > 95 ? "OK" : "MISS");
-  std::printf("  private-CA certs rarely use SAN (<5%%): %s\n",
-              (pct(result.server_priv, false) < 5 &&
-               pct(result.client_priv, false) < 5)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  public-CA clients use SAN more than private (≈15%%): %s\n",
-              pct(result.client_pub, false) > pct(result.client_priv, false)
-                  ? "OK"
-                  : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table7", argc, argv);
 }

@@ -1,115 +1,7 @@
-// Table 8 — information types in CN and SAN, by certificate role and CA
-// class (the paper's central privacy table).
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
-
-namespace {
-
-using textclass::InfoType;
-
-struct PaperCell {
-  double cn[core::InfoTypeResult::Cell().cn.size()];
-};
-
-void print_cell(const char* title, const core::InfoTypeResult::Cell& cell,
-                const double* paper_cn, const double* paper_san) {
-  std::printf("\n%s  (CN values: %s, SAN-DNS certs: %s)\n", title,
-              core::format_count(cell.cn_total).c_str(),
-              core::format_count(cell.san_total).c_str());
-  core::TextTable table(
-      {"Information type", "CN %", "(paper)", "SAN %", "(paper)"});
-  for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
-    const auto type = static_cast<InfoType>(i);
-    table.add_row(
-        {textclass::info_type_name(type),
-         core::format_percent(static_cast<double>(cell.cn[i]),
-                              static_cast<double>(cell.cn_total)),
-         paper_cn[i] < 0 ? "-" : core::format_double(paper_cn[i], 2) + "%",
-         core::format_percent(static_cast<double>(cell.san[i]),
-                              static_cast<double>(cell.san_total)),
-         paper_san[i] < 0 ? "-" : core::format_double(paper_san[i], 2) + "%"});
-  }
-  std::printf("%s", table.render().c_str());
-}
-
-}  // namespace
+// Thin shim: the "table8" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header("Table 8: information types in CN and SAN (mutual TLS)",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result =
-      core::analyze_info_types(run.pipeline(), core::CertScope::kMutual);
-
-  // Paper percentages, ordered as the InfoType enum:
-  // Domain, IP, MAC, SIP, Email, UserAccount, PersonalName, OrgProduct,
-  // Localhost, Unidentified. -1 = "-" in the paper.
-  const double server_pub_cn[] = {99.94, -1, -1, -1, -1, -1, -1, -1, 0.01, 0.04};
-  const double server_pub_san[] = {100.0, -1, -1, -1, -1, -1, -1, -1, -1, -1};
-  const double server_priv_cn[] = {0.34, 0.08, -1, 4.53, -1, -1, 0.00, 79.30,
-                                   0.00, 15.75};
-  const double server_priv_san[] = {87.69, 0.68, -1, -1, -1, -1, -1, 7.90,
-                                    0.74, 5.94};
-  const double client_pub_cn[] = {14.11, 0.00, -1, -1, 0.01, -1, 0.59, 25.33,
-                                  0.00, 59.95};
-  const double client_pub_san[] = {99.94, -1, -1, -1, -1, -1, -1, 0.03, -1,
-                                   0.57};
-  const double client_priv_cn[] = {0.19, 0.00, 0.00, 0.06, 0.03, 0.57, 1.33,
-                                   92.49, 0.01, 5.31};
-  const double client_priv_san[] = {19.88, 0.02, 0.32, -1, 0.06, -1, 12.62,
-                                    14.32, 0.52, 55.41};
-
-  print_cell("SERVER / PUBLIC CA", result.cells[0][0], server_pub_cn,
-             server_pub_san);
-  print_cell("SERVER / PRIVATE CA", result.cells[0][1], server_priv_cn,
-             server_priv_san);
-  print_cell("CLIENT / PUBLIC CA", result.cells[1][0], client_pub_cn,
-             client_pub_san);
-  print_cell("CLIENT / PRIVATE CA", result.cells[1][1], client_priv_cn,
-             client_priv_san);
-
-  const auto& spriv = result.cells[0][1];
-  const auto& cpriv = result.cells[1][1];
-  const auto& cpub = result.cells[1][0];
-  const auto share = [](const core::InfoTypeResult::Cell& cell, InfoType t) {
-    return cell.cn_total == 0
-               ? 0.0
-               : static_cast<double>(cell.cn[static_cast<std::size_t>(t)]) /
-                     static_cast<double>(cell.cn_total);
-  };
-  std::printf("\nshape checks:\n");
-  std::printf("  server/public CNs are overwhelmingly domains: %s\n",
-              share(result.cells[0][0], InfoType::kDomain) > 0.95 ? "OK"
-                                                                  : "MISS");
-  std::printf("  server/private CNs dominated by Org/Product (WebRTC): %s\n",
-              share(spriv, InfoType::kOrgProduct) > 0.5 ? "OK" : "MISS");
-  std::printf("  client/private includes user accounts + personal names: %s\n",
-              (cpriv.cn[static_cast<std::size_t>(InfoType::kUserAccount)] > 0 &&
-               cpriv.cn[static_cast<std::size_t>(InfoType::kPersonalName)] > 0)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  client/public CNs mostly unidentified (Azure/Apple): %s\n",
-              share(cpub, InfoType::kUnidentified) > 0.35 ? "OK" : "MISS");
-  const std::uint64_t sensitive =
-      cpriv.cn[static_cast<std::size_t>(InfoType::kPersonalName)] +
-      cpriv.cn[static_cast<std::size_t>(InfoType::kUserAccount)];
-  std::printf(
-      "  sensitive client identities (names+accounts): %s certs "
-      "(paper 62,142 / scale => ~%s)\n",
-      core::format_count(sensitive).c_str(),
-      core::format_count(static_cast<std::uint64_t>(62'142 /
-                                                    options.cert_scale))
-          .c_str());
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table8", argc, argv);
 }

@@ -1,80 +1,7 @@
-// Table 9 — detailed classification of 'Unidentified' strings: random vs
-// non-random, issuer-recognizable, and string-length buckets.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
-
-namespace {
-
-void print_column(const char* title, const core::UnidentifiedResult::Column& c,
-                  const char* paper) {
-  const double total = static_cast<double>(c.total);
-  std::printf("%-26s total %-7s non-random %-7s by-issuer %-7s len8 %-7s "
-              "len32 %-7s len36 %s\n",
-              title, core::format_count(c.total).c_str(),
-              core::format_percent(static_cast<double>(c.non_random), total)
-                  .c_str(),
-              core::format_percent(static_cast<double>(c.by_issuer), total)
-                  .c_str(),
-              core::format_percent(static_cast<double>(c.len8), total)
-                  .c_str(),
-              core::format_percent(static_cast<double>(c.len32), total)
-                  .c_str(),
-              core::format_percent(static_cast<double>(c.len36), total)
-                  .c_str());
-  std::printf("%-26s %s\n", "  (paper)", paper);
-}
-
-}  // namespace
+// Thin shim: the "table9" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 100, 400'000);
-  bench::print_header("Table 9: unidentified strings — random vs non-random",
-                      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_unidentified(run.pipeline());
-
-  std::printf("\n");
-  print_column("server/private CN", result.server_private_cn,
-               "non-random 20% | by-issuer 1% | len8 46% | len32 17% | "
-               "len36 9%");
-  print_column("client/public CN", result.client_public_cn,
-               "non-random - | by-issuer 60% | len36 40%");
-  print_column("client/private CN", result.client_private_cn,
-               "non-random 16% | by-issuer 30% | len8 4% | len32 39% | "
-               "len36 2%");
-  print_column("client/private SAN", result.client_private_san,
-               "by-issuer 94% | len36 1%");
-
-  std::printf("\nshape checks:\n");
-  const auto& sp = result.server_private_cn;
-  const auto& cpub = result.client_public_cn;
-  const auto& cpriv = result.client_private_cn;
-  std::printf("  server/private unidentified mostly random (>60%%): %s\n",
-              (sp.total > 0 &&
-               static_cast<double>(sp.total - sp.non_random) /
-                       static_cast<double>(sp.total) > 0.6)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  client/public random strings largely issuer-attributable "
-              "(>40%%): %s\n",
-              (cpub.total > 0 && static_cast<double>(cpub.by_issuer) /
-                                         static_cast<double>(cpub.total) > 0.4)
-                  ? "OK"
-                  : "MISS");
-  std::printf("  UUID-shaped (len36) strings present in every column: %s\n",
-              (sp.len36 > 0 && cpub.len36 > 0 && cpriv.len36 > 0) ? "OK"
-                                                                  : "MISS");
-  std::printf("  non-random tokens ('__transfer__', 'Dtls') exist: %s\n",
-              (sp.non_random > 0 || cpriv.non_random > 0) ? "OK" : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("table9", argc, argv);
 }

@@ -1,70 +1,7 @@
-// Extension experiment (not a paper table): client-certificate
-// trackability, quantifying the tracking risk the paper cites from Wachs
-// et al. (TMA'17) and Foppe et al. (PETS'18) — client certificates are
-// persistent plaintext identifiers in TLS <= 1.2.
-#include <cstdio>
-
-#include "bench_common.hpp"
-
-using namespace mtlscope;
+// Thin shim: the "tracking" experiment lives in src/experiments/ and is
+// shared with the mtlscope CLI via the experiment registry.
+#include "mtlscope/experiments/registry.hpp"
 
 int main(int argc, char** argv) {
-  const auto options = bench::BenchOptions::parse(argc, argv, 200, 50'000);
-  bench::print_header(
-      "Extension: client-certificate trackability (after Wachs/Foppe)",
-      options);
-
-  auto model = gen::paper_model(options.cert_scale, options.conn_scale);
-  model.seed = options.seed;
-  bench::CampusRun run(std::move(model), options);
-  run.run();
-
-  const auto result = core::analyze_tracking(run.pipeline());
-  const double total = static_cast<double>(result.client_certs);
-
-  std::printf("\nclient certificates observed: %s\n",
-              core::format_count(result.client_certs).c_str());
-  core::TextTable table({"Trackability property", "Certificates", "Share"});
-  table.add_row({"reused (>1 connection)", core::format_count(result.reused),
-                 core::format_percent(static_cast<double>(result.reused),
-                                      total)});
-  table.add_row({"seen from >=2 client /24s",
-                 core::format_count(result.cross_network),
-                 core::format_percent(
-                     static_cast<double>(result.cross_network), total)});
-  table.add_row({"active >= 7 days", core::format_count(result.week_plus),
-                 core::format_percent(static_cast<double>(result.week_plus),
-                                      total)});
-  table.add_row({"active >= 30 days", core::format_count(result.month_plus),
-                 core::format_percent(static_cast<double>(result.month_plus),
-                                      total)});
-  table.add_row({"active >= 180 days",
-                 core::format_count(result.half_year_plus),
-                 core::format_percent(
-                     static_cast<double>(result.half_year_plus), total)});
-  table.add_row({"  ... of those, carrying PII in CN",
-                 core::format_count(result.long_lived_with_pii),
-                 core::format_percent(
-                     static_cast<double>(result.long_lived_with_pii),
-                     static_cast<double>(result.half_year_plus))});
-  std::printf("%s", table.render().c_str());
-
-  std::printf("\nmost trackable identifiers:\n");
-  core::TextTable top({"Issuer", "Active (days)", "/24s", "Connections"});
-  for (const auto& t : result.most_trackable) {
-    top.add_row({t.issuer, core::format_double(t.activity_days, 0),
-                 std::to_string(t.subnets), core::format_count(t.connections)});
-  }
-  std::printf("%s", top.render().c_str());
-
-  std::printf("\nshape checks:\n");
-  std::printf("  long-lived identifiers exist (>=180 days): %s\n",
-              result.half_year_plus > 0 ? "OK" : "MISS");
-  std::printf("  some identifiers are linkable across networks: %s\n",
-              result.cross_network > 0 ? "OK" : "MISS");
-  std::printf("  PII-bearing long-lived identifiers exist (worst case): %s\n",
-              result.long_lived_with_pii > 0 ? "OK" : "MISS");
-
-  bench::print_footer(run);
-  return 0;
+  return mtlscope::experiments::repro_main("tracking", argc, argv);
 }

@@ -14,6 +14,8 @@ class TextTable {
  public:
   explicit TextTable(std::vector<std::string> headers);
 
+  /// Pads short rows with empty cells; throws std::invalid_argument when
+  /// the row has more cells than there are headers.
   void add_row(std::vector<std::string> cells);
   std::string render() const;
 

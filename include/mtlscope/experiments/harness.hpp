@@ -1,0 +1,75 @@
+// Harness: owns the generator and a PipelineExecutor with a consistent
+// configuration (campus defaults + the generator's CT database, or no CT
+// in file mode). One Harness is one pipeline pass; the experiment
+// registry attaches any number of experiments' analyzers to a shared
+// pass before run(). Formerly bench_common's CampusRun.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/executor.hpp"
+#include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/experiments/options.hpp"
+#include "mtlscope/gen/generator.hpp"
+
+namespace mtlscope::experiments {
+
+class Harness {
+ public:
+  /// File-mode aware: when options.file_mode(), run() streams (or, with
+  /// --in-memory, slurps) the given logs instead of generating a trace.
+  Harness(gen::CampusModel model, const RunOptions& options);
+
+  /// The merged, finalized pipeline. Valid only after run().
+  core::Pipeline& pipeline();
+  const core::PipelineExecutor& executor() const { return executor_; }
+  const gen::TraceGenerator& generator() const { return generator_; }
+
+  std::size_t shard_count() const { return executor_.shard_count(); }
+
+  /// Shared observer, fired from every shard under a mutex — use for
+  /// ad-hoc commutative accumulators (counters, sets).
+  void add_observer(core::Pipeline::Observer observer);
+
+  /// One analyzer instance per shard; merge with std::move(s).merged()
+  /// after run().
+  template <typename A>
+  void attach(core::Sharded<A>& sharded) {
+    executor_.attach(sharded);
+  }
+
+  /// Generates the trace (or opens the log files), then runs the
+  /// executor. The wall-clock figures cover the pipeline execution only
+  /// (not generation). File-mode failures print the structured
+  /// IngestError and exit(1).
+  void run();
+
+  double wall_seconds() const { return wall_seconds_; }
+  std::size_t records_processed() const { return records_; }
+  double records_per_second() const {
+    return wall_seconds_ <= 0 ? 0
+                              : static_cast<double>(records_) / wall_seconds_;
+  }
+  const RunOptions& options() const { return options_; }
+
+ private:
+  void run_files();
+
+  gen::TraceGenerator generator_;
+  RunOptions options_;
+  core::PipelineExecutor executor_;
+  std::optional<core::Pipeline> pipeline_;
+  double wall_seconds_ = 0;
+  std::size_t records_ = 0;
+};
+
+/// Restricts a model to clusters whose name starts with any of the given
+/// prefixes, and drops the background / interception volume. Used by
+/// experiments that analyze one traffic slice (e.g. Table 3 is
+/// inbound-only) so they can afford low connection scales.
+void keep_only_clusters(gen::CampusModel& model,
+                        std::initializer_list<const char*> prefixes);
+
+}  // namespace mtlscope::experiments

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace mtlscope::core {
 
@@ -9,6 +10,14 @@ TextTable::TextTable(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > headers_.size()) {
+    // Silently resizing here used to drop the overflow cells; refuse
+    // instead so a mismatched row is a bug at the call site, not a
+    // truncated table in the output.
+    throw std::invalid_argument(
+        "TextTable::add_row: " + std::to_string(cells.size()) +
+        " cells exceed " + std::to_string(headers_.size()) + " headers");
+  }
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
 }

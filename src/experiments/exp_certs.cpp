@@ -1,0 +1,525 @@
+// Certificate-inventory experiments over the pristine paper model:
+// Table 1 (unique certificates), Table 7 (CN/SAN utilization), Table 8
+// (information types), Table 9 (unidentified strings), Table 13 (shared
+// certificates), Table 14 (non-mutual certificates). All six share one
+// pipeline pass at the default 1:100 / 1:400,000 scales.
+#include <memory>
+
+#include "experiments_internal.hpp"
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/result_doc.hpp"
+
+namespace mtlscope::experiments {
+
+namespace {
+
+using core::Cell;
+using core::Column;
+using core::ColumnType;
+using core::strf;
+
+class Table1 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table1", "Table 1",
+        "Table 1: unique certificates (total vs used in mutual TLS)", 100,
+        400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_cert_inventory(run.pipeline());
+
+    struct PaperRow {
+      const char* label;
+      double paper_pct;
+      const core::CertInventoryResult::Row* measured;
+    };
+    const PaperRow rows[] = {
+        {"Total", 59.43, &result.total},
+        {"Server", 38.45, &result.server},
+        {"  - Public CA", 0.22, &result.server_public},
+        {"  - Private CA", 82.78, &result.server_private},
+        {"Client", 94.34, &result.client},
+        {"  - Public CA", 87.18, &result.client_public},
+        {"  - Private CA", 94.38, &result.client_private},
+    };
+
+    auto& table = doc.add_table(
+        "certificates", {{"Certificates", ColumnType::kString},
+                         {"Total", ColumnType::kCount},
+                         {"Mutual", ColumnType::kCount},
+                         {"Measured %", ColumnType::kPercent},
+                         {"Paper %", ColumnType::kPercent}});
+    for (const auto& row : rows) {
+      table.add_row({Cell::text(row.label), Cell::count(row.measured->total),
+                     Cell::count(row.measured->mutual),
+                     Cell::number(row.measured->mutual_pct(), 2),
+                     Cell::number(row.paper_pct, 2)});
+    }
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("private server certs mostly mutual (>50%)",
+                  result.server_private.mutual_pct() > 50);
+    const bool pub_rare = result.server_public.mutual_pct() < 5;
+    doc.add_check(strf("  public server certs rarely mutual (<5%%):   %s",
+                       pub_rare ? "OK" : "MISS"),
+                  "public server certs rarely mutual (<5%)", pub_rare);
+    doc.add_check("client certs overwhelmingly mutual (>85%)",
+                  result.client.mutual_pct() > 85);
+  }
+};
+
+class Table7 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table7", "Table 7", "Table 7: CN and SAN utilization (mutual TLS)",
+        100, 400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result =
+        core::analyze_utilization(run.pipeline(), core::CertScope::kMutual);
+
+    struct PaperRow {
+      const char* label;
+      const core::UtilizationResult::Row* row;
+      double paper_cn_pct;
+      double paper_san_pct;
+    };
+    const PaperRow rows[] = {
+        {"Server certs", &result.server, 99.78, 0.69},
+        {"  - Public CA", &result.server_pub, 99.99, 99.99},
+        {"  - Private CA", &result.server_priv, 99.78, 0.38},
+        {"Client certs", &result.client, 99.89, 1.26},
+        {"  - Public CA", &result.client_pub, 99.50, 14.92},
+        {"  - Private CA", &result.client_priv, 99.89, 1.17},
+    };
+
+    auto& table = doc.add_table(
+        "utilization", {{"Certificates", ColumnType::kString},
+                        {"Total", ColumnType::kCount},
+                        {"CN %", ColumnType::kPercent},
+                        {"(paper)", ColumnType::kPercent},
+                        {"SAN DNS %", ColumnType::kPercent},
+                        {"(paper)", ColumnType::kPercent}});
+    for (const auto& r : rows) {
+      table.add_row(
+          {Cell::text(r.label), Cell::count(r.row->total),
+           Cell::percent(static_cast<double>(r.row->cn),
+                         static_cast<double>(r.row->total)),
+           Cell::percent_value(r.paper_cn_pct, 2),
+           Cell::percent(static_cast<double>(r.row->san_dns),
+                         static_cast<double>(r.row->total)),
+           Cell::percent_value(r.paper_san_pct, 2)});
+    }
+
+    const auto pct = [](const core::UtilizationResult::Row& r, bool cn) {
+      return r.total == 0
+                 ? 0.0
+                 : 100.0 * static_cast<double>(cn ? r.cn : r.san_dns) /
+                       static_cast<double>(r.total);
+    };
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("CN near-universal (>99%) for all groups",
+                  pct(result.server, true) > 99 &&
+                      pct(result.client, true) > 99);
+    doc.add_check("public-CA servers use SAN universally",
+                  pct(result.server_pub, false) > 95);
+    doc.add_check("private-CA certs rarely use SAN (<5%)",
+                  pct(result.server_priv, false) < 5 &&
+                      pct(result.client_priv, false) < 5);
+    doc.add_check("public-CA clients use SAN more than private (≈15%)",
+                  pct(result.client_pub, false) >
+                      pct(result.client_priv, false));
+  }
+};
+
+class Table8 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table8", "Table 8",
+        "Table 8: information types in CN and SAN (mutual TLS)", 100,
+        400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    using textclass::InfoType;
+    const auto result =
+        core::analyze_info_types(run.pipeline(), core::CertScope::kMutual);
+
+    // Paper percentages, ordered as the InfoType enum:
+    // Domain, IP, MAC, SIP, Email, UserAccount, PersonalName, OrgProduct,
+    // Localhost, Unidentified. -1 = "-" in the paper.
+    const double server_pub_cn[] = {99.94, -1, -1, -1, -1,
+                                    -1,    -1, -1, 0.01, 0.04};
+    const double server_pub_san[] = {100.0, -1, -1, -1, -1,
+                                     -1,    -1, -1, -1, -1};
+    const double server_priv_cn[] = {0.34, 0.08, -1,    4.53, -1,
+                                     -1,   0.00, 79.30, 0.00, 15.75};
+    const double server_priv_san[] = {87.69, 0.68, -1,   -1,   -1,
+                                      -1,    -1,   7.90, 0.74, 5.94};
+    const double client_pub_cn[] = {14.11, 0.00, -1,    -1,   0.01,
+                                    -1,    0.59, 25.33, 0.00, 59.95};
+    const double client_pub_san[] = {99.94, -1, -1,   -1, -1,
+                                     -1,    -1, 0.03, -1, 0.57};
+    const double client_priv_cn[] = {0.19, 0.00, 0.00,  0.06, 0.03,
+                                     0.57, 1.33, 92.49, 0.01, 5.31};
+    const double client_priv_san[] = {19.88, 0.02,  0.32, -1,   0.06,
+                                      -1,    12.62, 14.32, 0.52, 55.41};
+
+    add_cell(doc, "server_public", "SERVER / PUBLIC CA",
+             result.cells[0][0], server_pub_cn, server_pub_san);
+    add_cell(doc, "server_private", "SERVER / PRIVATE CA",
+             result.cells[0][1], server_priv_cn, server_priv_san);
+    add_cell(doc, "client_public", "CLIENT / PUBLIC CA", result.cells[1][0],
+             client_pub_cn, client_pub_san);
+    add_cell(doc, "client_private", "CLIENT / PRIVATE CA",
+             result.cells[1][1], client_priv_cn, client_priv_san);
+
+    const auto& spriv = result.cells[0][1];
+    const auto& cpriv = result.cells[1][1];
+    const auto& cpub = result.cells[1][0];
+    const auto share = [](const core::InfoTypeResult::Cell& cell,
+                          InfoType t) {
+      return cell.cn_total == 0
+                 ? 0.0
+                 : static_cast<double>(
+                       cell.cn[static_cast<std::size_t>(t)]) /
+                       static_cast<double>(cell.cn_total);
+    };
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("server/public CNs are overwhelmingly domains",
+                  share(result.cells[0][0], InfoType::kDomain) > 0.95);
+    doc.add_check("server/private CNs dominated by Org/Product (WebRTC)",
+                  share(spriv, InfoType::kOrgProduct) > 0.5);
+    doc.add_check(
+        "client/private includes user accounts + personal names",
+        cpriv.cn[static_cast<std::size_t>(InfoType::kUserAccount)] > 0 &&
+            cpriv.cn[static_cast<std::size_t>(InfoType::kPersonalName)] > 0);
+    doc.add_check("client/public CNs mostly unidentified (Azure/Apple)",
+                  share(cpub, InfoType::kUnidentified) > 0.35);
+    const std::uint64_t sensitive =
+        cpriv.cn[static_cast<std::size_t>(InfoType::kPersonalName)] +
+        cpriv.cn[static_cast<std::size_t>(InfoType::kUserAccount)];
+    doc.add_line(strf(
+        "  sensitive client identities (names+accounts): %s certs "
+        "(paper 62,142 / scale => ~%s)",
+        core::format_count(sensitive).c_str(),
+        core::format_count(static_cast<std::uint64_t>(
+                               62'142 / run.options().cert_scale))
+            .c_str()));
+  }
+
+ private:
+  static void add_cell(core::ResultDoc& doc, const char* id,
+                       const char* title,
+                       const core::InfoTypeResult::Cell& cell,
+                       const double* paper_cn, const double* paper_san) {
+    doc.add_line();
+    doc.add_line(strf("%s  (CN values: %s, SAN-DNS certs: %s)", title,
+                      core::format_count(cell.cn_total).c_str(),
+                      core::format_count(cell.san_total).c_str()));
+    auto& table = doc.add_table(
+        id, {{"Information type", ColumnType::kString},
+             {"CN %", ColumnType::kPercent},
+             {"(paper)", ColumnType::kPercent},
+             {"SAN %", ColumnType::kPercent},
+             {"(paper)", ColumnType::kPercent}});
+    for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
+      const auto type = static_cast<textclass::InfoType>(i);
+      table.add_row(
+          {Cell::text(textclass::info_type_name(type)),
+           Cell::percent(static_cast<double>(cell.cn[i]),
+                         static_cast<double>(cell.cn_total)),
+           paper_cn[i] < 0 ? Cell::text("-")
+                           : Cell::percent_value(paper_cn[i], 2),
+           Cell::percent(static_cast<double>(cell.san[i]),
+                         static_cast<double>(cell.san_total)),
+           paper_san[i] < 0 ? Cell::text("-")
+                            : Cell::percent_value(paper_san[i], 2)});
+    }
+  }
+};
+
+class Table9 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table9", "Table 9",
+        "Table 9: unidentified strings — random vs non-random", 100,
+        400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_unidentified(run.pipeline());
+
+    doc.add_line();
+    add_column(doc, "server/private CN", result.server_private_cn,
+               "non-random 20% | by-issuer 1% | len8 46% | len32 17% | "
+               "len36 9%");
+    add_column(doc, "client/public CN", result.client_public_cn,
+               "non-random - | by-issuer 60% | len36 40%");
+    add_column(doc, "client/private CN", result.client_private_cn,
+               "non-random 16% | by-issuer 30% | len8 4% | len32 39% | "
+               "len36 2%");
+    add_column(doc, "client/private SAN", result.client_private_san,
+               "by-issuer 94% | len36 1%");
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    const auto& sp = result.server_private_cn;
+    const auto& cpub = result.client_public_cn;
+    const auto& cpriv = result.client_private_cn;
+    doc.add_check("server/private unidentified mostly random (>60%)",
+                  sp.total > 0 &&
+                      static_cast<double>(sp.total - sp.non_random) /
+                              static_cast<double>(sp.total) >
+                          0.6);
+    doc.add_check(
+        "client/public random strings largely issuer-attributable (>40%)",
+        cpub.total > 0 && static_cast<double>(cpub.by_issuer) /
+                                  static_cast<double>(cpub.total) >
+                              0.4);
+    doc.add_check("UUID-shaped (len36) strings present in every column",
+                  sp.len36 > 0 && cpub.len36 > 0 && cpriv.len36 > 0);
+    doc.add_check("non-random tokens ('__transfer__', 'Dtls') exist",
+                  sp.non_random > 0 || cpriv.non_random > 0);
+  }
+
+ private:
+  static void add_column(core::ResultDoc& doc, const char* title,
+                         const core::UnidentifiedResult::Column& c,
+                         const char* paper) {
+    const double total = static_cast<double>(c.total);
+    doc.add_line(strf(
+        "%-26s total %-7s non-random %-7s by-issuer %-7s len8 %-7s "
+        "len32 %-7s len36 %s",
+        title, core::format_count(c.total).c_str(),
+        core::format_percent(static_cast<double>(c.non_random), total)
+            .c_str(),
+        core::format_percent(static_cast<double>(c.by_issuer), total)
+            .c_str(),
+        core::format_percent(static_cast<double>(c.len8), total).c_str(),
+        core::format_percent(static_cast<double>(c.len32), total).c_str(),
+        core::format_percent(static_cast<double>(c.len36), total).c_str()));
+    doc.add_line(strf("%-26s %s", "  (paper)", paper));
+  }
+};
+
+/// Shared table shape of Tables 13a/14a.
+void add_utilization_table(core::ResultDoc& doc, const char* id,
+                           const char* first_label,
+                           const core::UtilizationResult& util) {
+  auto& table = doc.add_table(id, {{"Certificates", ColumnType::kString},
+                                   {"Total", ColumnType::kCount},
+                                   {"CN %", ColumnType::kPercent},
+                                   {"SAN DNS %", ColumnType::kPercent}});
+  const auto add = [&table](const char* label,
+                            const core::UtilizationResult::Row& row) {
+    table.add_row({Cell::text(label), Cell::count(row.total),
+                   Cell::percent(static_cast<double>(row.cn),
+                                 static_cast<double>(row.total)),
+                   Cell::percent(static_cast<double>(row.san_dns),
+                                 static_cast<double>(row.total))});
+  };
+  add(first_label, util.all);
+  add("  - Public CA", util.pub);
+  add("  - Private CA", util.priv);
+}
+
+/// Shared table shape of Tables 13b/14b.
+void add_info_type_table(core::ResultDoc& doc, const char* id,
+                         const core::InfoTypeResult::Cell& pub,
+                         const core::InfoTypeResult::Cell& priv,
+                         const double* paper_pub, const double* paper_priv) {
+  auto& table = doc.add_table(
+      id, {{"Information type", ColumnType::kString},
+           {"Public CN %", ColumnType::kPercent},
+           {"(paper)", ColumnType::kPercent},
+           {"Private CN %", ColumnType::kPercent},
+           {"(paper)", ColumnType::kPercent}});
+  for (std::size_t i = 0; i < textclass::kInfoTypeCount; ++i) {
+    const auto type = static_cast<textclass::InfoType>(i);
+    table.add_row({Cell::text(textclass::info_type_name(type)),
+                   Cell::percent(static_cast<double>(pub.cn[i]),
+                                 static_cast<double>(pub.cn_total)),
+                   paper_pub[i] < 0 ? Cell::text("-")
+                                    : Cell::percent_value(paper_pub[i], 2),
+                   Cell::percent(static_cast<double>(priv.cn[i]),
+                                 static_cast<double>(priv.cn_total)),
+                   paper_priv[i] < 0
+                       ? Cell::text("-")
+                       : Cell::percent_value(paper_priv[i], 2)});
+  }
+}
+
+class Table13 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table13", "Table 13",
+        "Table 13: information in shared certificates", 100, 400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto util =
+        core::analyze_utilization(run.pipeline(), core::CertScope::kShared);
+    doc.add_line();
+    doc.add_line("Table 13a — utilization (paper: 67,221 shared certs; CN "
+                 "98.41%, SAN 0.37%; 99.7% private):");
+    add_utilization_table(doc, "utilization", "Shared certificates", util);
+
+    const auto info_result =
+        core::analyze_info_types(run.pipeline(), core::CertScope::kShared);
+    const auto& pub = info_result.cells[0][0];
+    const auto& priv = info_result.cells[0][1];
+    doc.add_line();
+    doc.add_line("Table 13b — information types in shared-cert CNs:");
+    const double paper_pub[] = {100.0, -1, -1, -1, -1, -1, -1, -1, -1, -1};
+    const double paper_priv[] = {0.10, 0.32, -1,    2.79, -1,
+                                 -1,   0.00, 11.90, 0.01, 84.88};
+    add_info_type_table(doc, "info_types", pub, priv, paper_pub, paper_priv);
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    const double priv_share =
+        util.all.total == 0 ? 0
+                            : static_cast<double>(util.priv.total) /
+                                  static_cast<double>(util.all.total);
+    doc.add_check("shared certs overwhelmingly private-CA (>85%)",
+                  priv_share > 0.85);
+    const double unident =
+        priv.cn_total == 0
+            ? 0
+            : static_cast<double>(priv.cn[static_cast<std::size_t>(
+                  textclass::InfoType::kUnidentified)]) /
+                  static_cast<double>(priv.cn_total);
+    doc.add_check(
+        strf("  private shared CNs dominated by unidentified strings "
+             "(paper 84.88%%): %s (%.1f%%)",
+             unident > 0.5 ? "OK" : "MISS", 100 * unident),
+        "private shared CNs dominated by unidentified strings "
+        "(paper 84.88%)",
+        unident > 0.5 ? 1 : 0);
+    const double org =
+        priv.cn_total == 0
+            ? 0
+            : static_cast<double>(priv.cn[static_cast<std::size_t>(
+                  textclass::InfoType::kOrgProduct)]) /
+                  static_cast<double>(priv.cn_total);
+    doc.add_check(
+        strf("  Org/Product (WebRTC/hangouts) is the second bucket: %s "
+             "(%.1f%%, paper 11.90%%)",
+             (org > 0.03 && org < 0.4) ? "OK" : "MISS", 100 * org),
+        "Org/Product (WebRTC/hangouts) is the second bucket",
+        (org > 0.03 && org < 0.4) ? 1 : 0);
+  }
+};
+
+class Table14 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table14", "Table 14",
+        "Table 14: certificates from non-mutual TLS", 100, 400'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto util = core::analyze_utilization(run.pipeline(),
+                                                core::CertScope::kNonMutual);
+    doc.add_line();
+    doc.add_line("Table 14a — utilization (paper: CN 99.95% / SAN 86.96%; "
+                 "public CN 99.98%/SAN 99.99%; private CN 99.72%/SAN "
+                 "10.54%):");
+    add_utilization_table(doc, "utilization", "Server certificates", util);
+
+    const auto info_result = core::analyze_info_types(
+        run.pipeline(), core::CertScope::kNonMutual);
+    const auto& pub = info_result.cells[0][0];
+    const auto& priv = info_result.cells[0][1];
+    doc.add_line();
+    doc.add_line("Table 14b — information types (CN):");
+    const double paper_pub[] = {99.98, 0.12, -1,   -1,   -1,
+                                -1,    0.00, 0.00, 0.00, 0.06};
+    const double paper_priv[] = {13.27, 0.50, 0.00,  1.21, 0.00,
+                                 0.04,  0.11, 73.56, 0.29, 11.02};
+    add_info_type_table(doc, "info_types", pub, priv, paper_pub, paper_priv);
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    const double pub_share =
+        util.all.total == 0 ? 0
+                            : static_cast<double>(util.pub.total) /
+                                  static_cast<double>(util.all.total);
+    doc.add_check(
+        strf("  non-mutual certs predominantly public-CA (paper 85%%): %s "
+             "(%.1f%%)",
+             pub_share > 0.6 ? "OK" : "MISS", 100 * pub_share),
+        "non-mutual certs predominantly public-CA (paper 85%)",
+        pub_share > 0.6 ? 1 : 0);
+    const double priv_san =
+        util.priv.total == 0 ? 0
+                             : static_cast<double>(util.priv.san_dns) /
+                                   static_cast<double>(util.priv.total);
+    doc.add_check(
+        strf("  private non-mutual SAN usage ~10%% (vs ~0.4%% mutual): %s "
+             "(%.1f%%)",
+             (priv_san > 0.04 && priv_san < 0.25) ? "OK" : "MISS",
+             100 * priv_san),
+        "private non-mutual SAN usage ~10% (vs ~0.4% mutual)",
+        (priv_san > 0.04 && priv_san < 0.25) ? 1 : 0);
+    const double priv_org =
+        priv.cn_total == 0
+            ? 0
+            : static_cast<double>(priv.cn[static_cast<std::size_t>(
+                  textclass::InfoType::kOrgProduct)]) /
+                  static_cast<double>(priv.cn_total);
+    doc.add_check(
+        strf("  private CNs led by Org/Product (paper 73.56%%): %s "
+             "(%.1f%%)",
+             priv_org > 0.5 ? "OK" : "MISS", 100 * priv_org),
+        "private CNs led by Org/Product (paper 73.56%)",
+        priv_org > 0.5 ? 1 : 0);
+  }
+};
+
+template <typename E>
+std::unique_ptr<Experiment> make_experiment() {
+  return std::make_unique<E>();
+}
+
+template <typename E>
+void add(ExperimentRegistry& registry) {
+  registry.add(E().info(), &make_experiment<E>);
+}
+
+}  // namespace
+
+void register_cert_experiments(ExperimentRegistry& registry) {
+  add<Table1>(registry);
+  add<Table7>(registry);
+  add<Table8>(registry);
+  add<Table9>(registry);
+  add<Table13>(registry);
+  add<Table14>(registry);
+}
+
+}  // namespace mtlscope::experiments

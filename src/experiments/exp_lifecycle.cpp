@@ -1,0 +1,377 @@
+// Certificate-lifecycle experiments: Figure 4 (validity periods),
+// Figure 5 (expired certificates in use), and the two extension
+// experiments (trackability, renewal hygiene). The figures slice the
+// model to their populations; the extensions run on the pristine paper
+// model and share one pipeline pass at the (200, 50,000) scales.
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "experiments_internal.hpp"
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/result_doc.hpp"
+
+namespace mtlscope::experiments {
+
+namespace {
+
+using core::Cell;
+using core::ColumnType;
+using core::strf;
+
+class Fig4 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "fig4", "Figure 4", "Figure 4: client-certificate validity periods",
+        25, 50'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    // Validity analysis over client certs: the long-validity clusters
+    // plus representative normal-validity populations for the histogram
+    // body.
+    keep_only_clusters(
+        model, {"out-longvalid", "out-tmdx", "in-vpn", "in-health-public",
+                "out-mqtt", "out-rapid7", "out-gpcloud", "out-guardicore",
+                "in-globus-shared"});
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_validity(run.pipeline());
+
+    doc.add_line();
+    doc.add_line("validity histogram (client certs in mutual TLS):");
+    auto& table =
+        doc.add_table("histogram", {{"Bucket", ColumnType::kString},
+                                    {"Certificates", ColumnType::kCount}});
+    for (const auto& bucket : result.histogram) {
+      table.add_row({Cell::text(bucket.label), Cell::count(bucket.count)});
+    }
+
+    const double lv = static_cast<double>(result.long_valid_total);
+    doc.add_line();
+    doc.add_line(strf(
+        "10,000-40,000-day certificates: %s",
+        paper_vs_count(7'911 / run.options().cert_scale, lv).c_str()));
+    if (result.long_valid_total > 0) {
+      doc.add_line(strf(
+          "  public issuers:   %s",
+          paper_vs(0.63, 100.0 * static_cast<double>(
+                                     result.long_valid_public) /
+                             lv)
+              .c_str()));
+      doc.add_line(strf(
+          "  missing issuer:   %s",
+          paper_vs(45.73, 100.0 * static_cast<double>(
+                                      result.long_valid_missing) /
+                              lv)
+              .c_str()));
+      doc.add_line(strf(
+          "  corporations:     %s",
+          paper_vs(37.58, 100.0 * static_cast<double>(
+                                      result.long_valid_corporate) /
+                              lv)
+              .c_str()));
+      doc.add_line(strf(
+          "  dummy issuers:    %s",
+          paper_vs(7.61,
+                   100.0 * static_cast<double>(result.long_valid_dummy) /
+                       lv)
+              .c_str()));
+      doc.add_line("  TLD mix (paper com 32.84% / net 35.38% / missing SNI "
+                   "28.06%):");
+      for (const auto& [tld, count] : result.long_valid_tlds) {
+        doc.add_line(strf(
+            "    %-14s %s", tld.c_str(),
+            core::format_percent(static_cast<double>(count), lv).c_str()));
+      }
+    }
+    doc.add_line();
+    doc.add_line(strf(
+        "maximum validity: %lld days at %s (paper: 83,432 days, "
+        "tmdxdev.com)",
+        static_cast<long long>(result.max_validity_days),
+        result.max_validity_sld.empty() ? "(missing SNI)"
+                                        : result.max_validity_sld.c_str()));
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("long-validity tail exists (10k-40k days)",
+                  result.long_valid_total > 0);
+    doc.add_check("missing-issuer + corporate dominate the tail",
+                  (result.long_valid_missing + result.long_valid_corporate) >
+                      result.long_valid_total / 2);
+    doc.add_check("maximum validity is the ~228-year tmdxdev.com cert",
+                  result.max_validity_days == 83'432 &&
+                      result.max_validity_sld == "tmdxdev.com");
+  }
+};
+
+class Fig5 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "fig5", "Figure 5", "Figure 5: expired client certificates in use",
+        1, 250};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    // Only the expired-certificate clusters matter here; the slice lets
+    // the run proceed at full certificate fidelity (paper-exact counts).
+    keep_only_clusters(model, {"in-expired", "out-expired"});
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_expired(run.pipeline());
+
+    doc.add_line();
+    add_scatter_summary(doc, "inbound ", result.inbound);
+    add_scatter_summary(doc, "outbound", result.outbound);
+
+    doc.add_line();
+    doc.add_line("inbound expired-cert connections by server association "
+                 "(paper: VPN 45.83% / Local Org 32.79% / Third Party "
+                 "15.38%):");
+    std::uint64_t inbound_total = 0;
+    for (const auto& [assoc, conns] : result.inbound_assoc_conns) {
+      inbound_total += conns;
+    }
+    for (const auto& [assoc, conns] : result.inbound_assoc_conns) {
+      doc.add_line(strf(
+          "  %-22s %s", gen::association_name(assoc),
+          core::format_percent(static_cast<double>(conns),
+                               static_cast<double>(inbound_total))
+              .c_str()));
+    }
+
+    doc.add_line();
+    doc.add_line("outbound long-expired cluster:");
+    doc.add_line(strf(
+        "  certs expired >~1000 days: %llu",
+        static_cast<unsigned long long>(result.outbound_over_1000d)));
+    doc.add_line(strf(
+        "  of which Apple/Microsoft:  %llu (%s; paper 42.27%% => 339 "
+        "certs)",
+        static_cast<unsigned long long>(result.outbound_over_1000d_apple_ms),
+        core::format_percent(
+            static_cast<double>(result.outbound_over_1000d_apple_ms),
+            static_cast<double>(result.outbound_over_1000d))
+            .c_str()));
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("expired client certs observed in BOTH directions",
+                  !result.inbound.empty() && !result.outbound.empty());
+    const auto vpn = result.inbound_assoc_conns.find(
+        core::ServerAssociation::kUniversityVpn);
+    doc.add_check("VPN leads inbound expired-cert connections",
+                  vpn != result.inbound_assoc_conns.end() &&
+                      inbound_total > 0 &&
+                      static_cast<double>(vpn->second) /
+                              static_cast<double>(inbound_total) >
+                          0.33);
+    doc.add_check("Apple/MS dominate the ~1000-day outbound cluster",
+                  result.outbound_over_1000d > 0 &&
+                      2 * result.outbound_over_1000d_apple_ms >=
+                          result.outbound_over_1000d);
+  }
+
+ private:
+  static void add_scatter_summary(
+      core::ResultDoc& doc, const char* label,
+      const std::vector<core::ExpiredCertResult::CertPoint>& points) {
+    if (points.empty()) {
+      doc.add_line(strf("%s: no expired client certificates observed",
+                        label));
+      return;
+    }
+    std::vector<double> expired;
+    std::vector<double> activity;
+    std::size_t public_count = 0;
+    for (const auto& p : points) {
+      expired.push_back(p.days_expired_at_first_use);
+      activity.push_back(p.activity_days);
+      public_count += p.public_issuer;
+    }
+    std::sort(expired.begin(), expired.end());
+    std::sort(activity.begin(), activity.end());
+    const auto pct = [](const std::vector<double>& v, double p) {
+      return v[static_cast<std::size_t>(p *
+                                        static_cast<double>(v.size() - 1))];
+    };
+    doc.add_line(strf(
+        "%s: %zu certs | days-expired p50=%.0f p90=%.0f max=%.0f | "
+        "activity p50=%.0f max=%.0f | public issuers %.1f%%",
+        label, points.size(), pct(expired, 0.5), pct(expired, 0.9),
+        expired.back(), pct(activity, 0.5), activity.back(),
+        100.0 * static_cast<double>(public_count) /
+            static_cast<double>(points.size())));
+  }
+};
+
+class Tracking final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "tracking", "Extension",
+        "Extension: client-certificate trackability (after Wachs/Foppe)",
+        200, 50'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_tracking(run.pipeline());
+    const double total = static_cast<double>(result.client_certs);
+
+    doc.add_line();
+    doc.add_line(strf("client certificates observed: %s",
+                      core::format_count(result.client_certs).c_str()));
+    auto& table = doc.add_table(
+        "trackability", {{"Trackability property", ColumnType::kString},
+                         {"Certificates", ColumnType::kCount},
+                         {"Share", ColumnType::kPercent}});
+    table.add_row(
+        {Cell::text("reused (>1 connection)"), Cell::count(result.reused),
+         Cell::percent(static_cast<double>(result.reused), total)});
+    table.add_row({Cell::text("seen from >=2 client /24s"),
+                   Cell::count(result.cross_network),
+                   Cell::percent(static_cast<double>(result.cross_network),
+                                 total)});
+    table.add_row(
+        {Cell::text("active >= 7 days"), Cell::count(result.week_plus),
+         Cell::percent(static_cast<double>(result.week_plus), total)});
+    table.add_row(
+        {Cell::text("active >= 30 days"), Cell::count(result.month_plus),
+         Cell::percent(static_cast<double>(result.month_plus), total)});
+    table.add_row({Cell::text("active >= 180 days"),
+                   Cell::count(result.half_year_plus),
+                   Cell::percent(static_cast<double>(result.half_year_plus),
+                                 total)});
+    table.add_row(
+        {Cell::text("  ... of those, carrying PII in CN"),
+         Cell::count(result.long_lived_with_pii),
+         Cell::percent(static_cast<double>(result.long_lived_with_pii),
+                       static_cast<double>(result.half_year_plus))});
+
+    doc.add_line();
+    doc.add_line("most trackable identifiers:");
+    auto& top = doc.add_table(
+        "most_trackable", {{"Issuer", ColumnType::kString},
+                           {"Active (days)", ColumnType::kDouble},
+                           {"/24s", ColumnType::kCount},
+                           {"Connections", ColumnType::kCount}});
+    for (const auto& t : result.most_trackable) {
+      top.add_row({Cell::text(t.issuer), Cell::number(t.activity_days, 0),
+                   Cell::text(std::to_string(t.subnets)),
+                   Cell::count(t.connections)});
+    }
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("long-lived identifiers exist (>=180 days)",
+                  result.half_year_plus > 0);
+    doc.add_check("some identifiers are linkable across networks",
+                  result.cross_network > 0);
+    doc.add_check("PII-bearing long-lived identifiers exist (worst case)",
+                  result.long_lived_with_pii > 0);
+  }
+};
+
+class Renewal final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "renewal", "Extension", "Extension: certificate renewal hygiene",
+        200, 50'000};
+    return kInfo;
+  }
+  std::string model_key() const override { return ""; }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto result = core::analyze_renewals(run.pipeline());
+
+    doc.add_line();
+    doc.add_line(strf("renewal chains (same issuer + subject): %s",
+                      core::format_count(result.chains).c_str()));
+    doc.add_line(strf("CN-reuse groups rejected as non-renewals: %s",
+                      core::format_count(result.cn_reuse_groups).c_str()));
+    doc.add_line(strf(
+        "certificates inside chains: %s (longest chain %zu)",
+        core::format_count(result.certificates_in_chains).c_str(),
+        result.longest_chain));
+    const double transitions = static_cast<double>(
+        result.seamless + result.overlap + result.gap);
+    doc.add_line(strf(
+        "transitions: seamless %s / overlap %s / coverage gaps %s",
+        core::format_percent(static_cast<double>(result.seamless),
+                             transitions)
+            .c_str(),
+        core::format_percent(static_cast<double>(result.overlap),
+                             transitions)
+            .c_str(),
+        core::format_percent(static_cast<double>(result.gap), transitions)
+            .c_str()));
+
+    doc.add_line();
+    doc.add_line(strf("issuers by renewal-chain count (top 10 of %zu):",
+                      result.top_issuers.size()));
+    auto& table = doc.add_table(
+        "issuers", {{"Issuer", ColumnType::kString},
+                    {"Chains", ColumnType::kCount},
+                    {"Median cadence (days)", ColumnType::kDouble}});
+    std::size_t shown = 0;
+    for (const auto& row : result.top_issuers) {
+      if (shown++ == 10) break;
+      table.add_row({Cell::text(row.issuer), Cell::count(row.chains),
+                     Cell::number(row.median_cadence_days, 1)});
+    }
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("renewal chains reconstructed from the trace",
+                  result.chains > 0);
+    const core::RenewalResult::IssuerRow* globus = nullptr;
+    for (const auto& row : result.top_issuers) {
+      if (row.issuer == "Globus Online") globus = &row;
+    }
+    doc.add_check("Globus Online re-issuance cycle detected",
+                  globus != nullptr);
+    if (globus != nullptr) {
+      const bool cadence_ok = globus->median_cadence_days > 10 &&
+                              globus->median_cadence_days < 20;
+      doc.add_check(
+          strf("  Globus cadence ~14 days (measured %.1f): %s",
+               globus->median_cadence_days, cadence_ok ? "OK" : "MISS"),
+          "Globus cadence ~14 days", cadence_ok ? 1 : 0);
+    }
+    doc.add_check("renewals are mostly seamless (no coverage gaps)",
+                  transitions > 0 &&
+                      static_cast<double>(result.seamless) / transitions >
+                          0.6);
+  }
+};
+
+template <typename E>
+std::unique_ptr<Experiment> make_experiment() {
+  return std::make_unique<E>();
+}
+
+template <typename E>
+void add(ExperimentRegistry& registry) {
+  registry.add(E().info(), &make_experiment<E>);
+}
+
+}  // namespace
+
+void register_lifecycle_experiments(ExperimentRegistry& registry) {
+  add<Fig4>(registry);
+  add<Fig5>(registry);
+  add<Tracking>(registry);
+  add<Renewal>(registry);
+}
+
+}  // namespace mtlscope::experiments

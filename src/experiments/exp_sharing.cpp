@@ -1,0 +1,512 @@
+// Certificate-sharing and weak-parameter experiments: Table 4/10
+// (dummy issuers), Table 5 (same-connection sharing), Table 6
+// (cross-connection subnet spread), §5.1.2 (serial collisions), and
+// Figure 3 / Tables 11-12 (incorrect dates). Each slices the campus
+// model to its population of interest, so none share a pipeline pass.
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "experiments_internal.hpp"
+#include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/result_doc.hpp"
+
+namespace mtlscope::experiments {
+
+namespace {
+
+using core::Cell;
+using core::ColumnType;
+using core::strf;
+
+class Table4 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table4", "Table 4", "Table 4 / Table 10: dummy-issuer certificates",
+        100, 10'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    keep_only_clusters(
+        model, {"in-dummy", "in-unspecified", "in-widgits", "out-widgits",
+                "out-default", "out-acme", "out-dummy-both",
+                "out-longvalid-dummy", "in-local-org", "out-aws-corp"});
+  }
+
+  void attach(Harness& run) override {
+    dummies_.emplace(run.shard_count());
+    run.attach(*dummies_);
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    (void)run;
+    const auto dummies = std::move(*dummies_).merged();
+
+    doc.add_line();
+    doc.add_line("Table 4 — certificates with dummy issuers:");
+    auto& table = doc.add_table(
+        "dummy_issuers", {{"Dir", ColumnType::kString},
+                          {"Side", ColumnType::kString},
+                          {"Dummy issuer org", ColumnType::kString},
+                          {"Server groups", ColumnType::kString},
+                          {"Clients", ColumnType::kCount},
+                          {"Conns", ColumnType::kCount}});
+    for (const auto& row : dummies.rows()) {
+      std::string groups;
+      std::size_t shown = 0;
+      for (const auto& g : row.server_groups) {
+        if (shown++ == 4) {
+          groups += ",…";
+          break;
+        }
+        if (!groups.empty()) groups += ",";
+        groups += g;
+      }
+      table.add_row(
+          {Cell::text(row.direction == core::Direction::kInbound ? "In"
+                                                                 : "Out"),
+           Cell::text(row.client_side ? "client" : "server"),
+           Cell::text(row.dummy_org), Cell::text(groups),
+           Cell::text(std::to_string(row.clients.size())),
+           Cell::count(row.connections)});
+    }
+    doc.add_line(
+        "paper: In client {Widgits+Default->LocalOrg 21cl/95conns, "
+        "Unspecified 452cl/567k conns}; Out client {Widgits 73cl/69k, "
+        "Default 2cl/17}; Out server {Widgits 511certs/3.7k, Default "
+        "147/331, Acme 20/26}");
+
+    doc.add_line();
+    doc.add_line("Table 10 — dummy issuers at BOTH endpoints:");
+    auto& both = doc.add_table(
+        "both_ends", {{"SLD", ColumnType::kString},
+                      {"Client org", ColumnType::kString},
+                      {"Server org", ColumnType::kString},
+                      {"Clients", ColumnType::kCount},
+                      {"Duration (days)", ColumnType::kDouble},
+                      {"(paper)", ColumnType::kString}});
+    for (const auto& row : dummies.both_ends_rows()) {
+      std::string paper = "-";
+      if (row.sld == "fireboard.io") paper = "9 clients, 618 d";
+      if (row.sld == "amazonaws.com") paper = "7 clients, 17 d";
+      if (row.sld.empty()) paper = "1 client, 1 d";
+      both.add_row({Cell::text(row.sld.empty() ? "(missing SNI)" : row.sld),
+                    Cell::text(row.client_org), Cell::text(row.server_org),
+                    Cell::text(std::to_string(row.clients.size())),
+                    Cell::number(row.duration_days(), 0),
+                    Cell::text(paper)});
+    }
+
+    const auto& weak = dummies.weak_params();
+    doc.add_line();
+    doc.add_line("§5.1.1 weak parameters among dummy-issuer client certs:");
+    doc.add_line(strf(
+        "  X.509 v1 certs: %zu (paper 3), unique tuples %llu (paper 154)",
+        weak.v1_certs.size(),
+        static_cast<unsigned long long>(weak.v1_tuples)));
+    doc.add_line(strf(
+        "  1024-bit keys:  %zu (paper 13), unique tuples %llu (paper 83)",
+        weak.weak_key_certs.size(),
+        static_cast<unsigned long long>(weak.weak_key_tuples)));
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    bool widgits_everywhere = false;
+    for (const auto& row : dummies.rows()) {
+      if (row.dummy_org == "Internet Widgits Pty Ltd") {
+        widgits_everywhere = true;
+      }
+    }
+    doc.add_check("'Internet Widgits Pty Ltd' present (OpenSSL default)",
+                  widgits_everywhere);
+    doc.add_check("both-endpoint dummy rows found",
+                  dummies.both_ends_rows().size() >= 2);
+    doc.add_check("v1 and 1024-bit findings present",
+                  !weak.v1_certs.empty() && !weak.weak_key_certs.empty());
+  }
+
+ private:
+  std::optional<core::Sharded<core::DummyIssuerAnalyzer>> dummies_;
+};
+
+class Table5 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table5", "Table 5",
+        "Table 5: certificate shared by client and server in one connection",
+        50, 10'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    // Same-connection sharing involves a handful of named clusters; the
+    // slice keeps the run fast at a low certificate scale.
+    keep_only_clusters(
+        model, {"in-globus-shared", "in-tablo", "out-globus-shared",
+                "out-psych", "out-splunk-shared", "out-leidos", "out-acr",
+                "out-sapns2", "out-bluetriton", "out-gpo", "out-rtc-shared",
+                "out-aws", "in-health"});
+  }
+
+  void attach(Harness& run) override {
+    shared_.emplace(run.shard_count());
+    run.attach(*shared_);
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    (void)run;
+    const auto shared = std::move(*shared_).merged();
+
+    struct PaperRow {
+      const char* sld;
+      const char* issuer;
+      int clients;
+      int days;
+    };
+    const PaperRow paper[] = {
+        {"(missing SNI)", "Globus Online", 699, 700},
+        {"tablodash.com", "Outset Medical", 4403, 700},
+        {"psych.org", "American Psychiatric Association", 10, 424},
+        {"splunkcloud.com", "Splunk", 4, 114},
+        {"leidos.com", "IdenTrust", 52, 554},
+        {"acr.org", "GoDaddy.com, Inc.", 24, 364},
+        {"gpo.gov", "DigiCert Inc", 1, 1},
+    };
+
+    auto& table = doc.add_table(
+        "same_connection", {{"SLD", ColumnType::kString},
+                            {"Issuer", ColumnType::kString},
+                            {"Public?", ColumnType::kString},
+                            {"Clients", ColumnType::kCount},
+                            {"Duration (days)", ColumnType::kDouble},
+                            {"Conns", ColumnType::kCount}});
+    for (const auto& row : shared.same_connection_rows()) {
+      table.add_row({Cell::text(row.sld.empty() ? "(missing SNI)" : row.sld),
+                     Cell::text(row.issuer),
+                     Cell::text(row.public_issuer ? "yes" : "no"),
+                     Cell::text(std::to_string(row.clients.size())),
+                     Cell::number(row.duration_days(), 0),
+                     Cell::count(row.connections)});
+    }
+    doc.add_line();
+    doc.add_line("paper rows (unscaled clients/duration):");
+    for (const auto& p : paper) {
+      doc.add_line(strf("  %-18s %-34s %5d clients, %d days", p.sld,
+                        p.issuer, p.clients, p.days));
+    }
+    doc.add_line("paper volume: 7.49M inbound / 5.93M outbound shared-cert "
+                 "connections");
+    doc.add_line(strf(
+        "measured volume: %s inbound / %s outbound",
+        core::format_count(
+            shared.same_connection_conns(core::Direction::kInbound))
+            .c_str(),
+        core::format_count(
+            shared.same_connection_conns(core::Direction::kOutbound))
+            .c_str()));
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    bool globus = false, tablo = false, public_rows = false;
+    for (const auto& row : shared.same_connection_rows()) {
+      if (row.issuer == "Globus Online") globus = true;
+      if (row.issuer == "Outset Medical") tablo = true;
+      if (row.public_issuer) public_rows = true;
+    }
+    doc.add_check("Globus Online same-conn sharing found", globus);
+    doc.add_check("Outset Medical (tablodash.com) sharing found", tablo);
+    doc.add_check("publicly-trusted certs also shared (gray rows)",
+                  public_rows);
+    doc.add_check(
+        "inbound shared volume exceeds outbound",
+        shared.same_connection_conns(core::Direction::kInbound) >
+            shared.same_connection_conns(core::Direction::kOutbound));
+  }
+
+ private:
+  std::optional<core::Sharded<core::SharedCertAnalyzer>> shared_;
+};
+
+class Table6 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "table6", "Table 6",
+        "Table 6: /24 subnets of cross-connection-shared certificates", 1,
+        20'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    // Table 6 concerns only the cross-connection-shared population;
+    // slicing to it allows running at full certificate fidelity
+    // (cert_scale 1).
+    keep_only_clusters(model, {"out-cross"});
+  }
+
+  void attach(Harness& run) override {
+    shared_.emplace(run.shard_count());
+    run.attach(*shared_);
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    const auto shared = std::move(*shared_).merged();
+    const auto q = shared.subnet_quantiles(run.pipeline());
+
+    doc.add_line();
+    doc.add_line(strf(
+        "cross-connection shared certificates: %zu (paper 1,611 / scale)",
+        q.cross_shared_certs));
+    doc.add_line();
+    auto& table =
+        doc.add_table("subnets", {{"# /24 subnets", ColumnType::kString},
+                                  {"50th", ColumnType::kCount},
+                                  {"75th", ColumnType::kCount},
+                                  {"99th", ColumnType::kCount},
+                                  {"100th", ColumnType::kCount}});
+    table.add_row({Cell::text("Server (measured)"),
+                   Cell::text(std::to_string(q.server[0])),
+                   Cell::text(std::to_string(q.server[1])),
+                   Cell::text(std::to_string(q.server[2])),
+                   Cell::text(std::to_string(q.server[3]))});
+    table.add_row({Cell::text("Server (paper)"), Cell::text("1"),
+                   Cell::text("1"), Cell::text("7"), Cell::text("217")});
+    table.add_row({Cell::text("Client (measured)"),
+                   Cell::text(std::to_string(q.client[0])),
+                   Cell::text(std::to_string(q.client[1])),
+                   Cell::text(std::to_string(q.client[2])),
+                   Cell::text(std::to_string(q.client[3]))});
+    table.add_row({Cell::text("Client (paper)"), Cell::text("1"),
+                   Cell::text("2"), Cell::text("43"), Cell::text("1,851")});
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("medians are 1 subnet on both sides",
+                  q.server[0] == 1 && q.client[0] == 1);
+    doc.add_check(
+        "heavy tail: 100th >> 99th on both sides",
+        q.server[3] > 3 * q.server[2] && q.client[3] > 3 * q.client[2]);
+    doc.add_check(
+        "client-side spread exceeds server-side at the tail",
+        q.client[2] >= q.server[2] && q.client[3] > q.server[3]);
+  }
+
+ private:
+  std::optional<core::Sharded<core::SharedCertAnalyzer>> shared_;
+};
+
+class Serials final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "serials", "Section 5.1.2",
+        "Section 5.1.2: dummy serial-number collisions", 20, 10'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    keep_only_clusters(
+        model, {"in-globus-shared", "out-globus-shared", "out-guardicore",
+                "in-viptela", "in-serial00", "in-local-serial",
+                "in-local-org", "out-aws-corp"});
+  }
+
+  void attach(Harness& run) override {
+    serials_.emplace(run.shard_count());
+    run.attach(*serials_);
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    (void)run;
+    const auto serials = std::move(*serials_).merged();
+    const auto groups = serials.collision_groups();
+
+    auto& table = doc.add_table(
+        "collisions", {{"Dir", ColumnType::kString},
+                       {"Issuer", ColumnType::kString},
+                       {"Serial", ColumnType::kString},
+                       {"Server certs", ColumnType::kCount},
+                       {"Client certs", ColumnType::kCount},
+                       {"Clients", ColumnType::kCount},
+                       {"Conns", ColumnType::kCount}});
+    std::size_t shown = 0;
+    for (const auto& g : groups) {
+      if (shown++ == 14) break;
+      table.add_row(
+          {Cell::text(g.direction == core::Direction::kInbound ? "In"
+                                                               : "Out"),
+           Cell::text(g.issuer_org), Cell::text(g.serial),
+           Cell::text(std::to_string(g.server_certs.size())),
+           Cell::text(std::to_string(g.client_certs.size())),
+           Cell::text(std::to_string(g.clients.size())),
+           Cell::count(g.connections)});
+    }
+    doc.add_line(
+        "paper: Globus Online serial 00 (38,965 client certs / 38,928 "
+        "server certs, 798 clients, 7.49M conns); GuardiCore client=01 "
+        "server=03E8 (57/43 certs, 904 conns); ViptelaClient 024680 on "
+        "both sides");
+
+    doc.add_line();
+    doc.add_line(strf(
+        "involved clients: inbound %llu (paper 1,126 / scale), outbound "
+        "%llu (paper 14,541 / scale)",
+        static_cast<unsigned long long>(
+            serials.involved_clients(core::Direction::kInbound)),
+        static_cast<unsigned long long>(
+            serials.involved_clients(core::Direction::kOutbound))));
+
+    const auto find = [&groups](const char* issuer, const char* serial)
+        -> const core::SerialCollisionAnalyzer::Group* {
+      for (const auto& g : groups) {
+        if (g.issuer_org == issuer && g.serial == serial) return &g;
+      }
+      return nullptr;
+    };
+    const auto* globus = find("Globus Online", "00");
+    const auto* gc_client = find("GuardiCore", "01");
+    const auto* gc_server = find("GuardiCore", "03E8");
+    const auto* viptela = find("ViptelaClient", "024680");
+    doc.add_line();
+    doc.add_line("shape checks:");
+    doc.add_check("Globus Online serial-00 collision is the largest",
+                  globus != nullptr && !groups.empty() &&
+                      groups[0].issuer_org == "Globus Online");
+    doc.add_check("Globus certs appear on BOTH sides of connections",
+                  globus != nullptr && !globus->server_certs.empty() &&
+                      !globus->client_certs.empty());
+    doc.add_check("GuardiCore: clients all 01, servers all 03E8",
+                  gc_client != nullptr && gc_server != nullptr &&
+                      gc_client->server_certs.empty() &&
+                      gc_server->client_certs.empty());
+    doc.add_check("ViptelaClient: 024680 regardless of side",
+                  viptela != nullptr && !viptela->server_certs.empty() &&
+                      !viptela->client_certs.empty());
+  }
+
+ private:
+  std::optional<core::Sharded<core::SerialCollisionAnalyzer>> serials_;
+};
+
+class Fig3 final : public Experiment {
+ public:
+  const ExperimentInfo& info() const override {
+    static const ExperimentInfo kInfo{
+        "fig3", "Figure 3",
+        "Figure 3 / Tables 11-12: incorrect-date certificates", 1, 2'000};
+    return kInfo;
+  }
+
+  void prepare_model(gen::CampusModel& model) const override {
+    // The incorrect-date populations are small; slicing to them permits
+    // full certificate fidelity (cert_scale 1 => paper-exact counts).
+    keep_only_clusters(
+        model, {"in-rcgen", "out-idrive", "out-clouddevice", "out-alarmnet",
+                "out-sds", "out-ayoba", "out-ibackup", "out-crestron",
+                "out-icelink", "out-media-server"});
+  }
+
+  void attach(Harness& run) override {
+    dates_.emplace(run.shard_count());
+    run.attach(*dates_);
+  }
+
+  void report(Harness& run, core::ResultDoc& doc) override {
+    (void)run;
+    const auto dates = std::move(*dates_).merged();
+
+    auto& table = doc.add_table(
+        "incorrect_dates", {{"SLD", ColumnType::kString},
+                            {"Side", ColumnType::kString},
+                            {"Issuer", ColumnType::kString},
+                            {"Validity (nb, na)", ColumnType::kString},
+                            {"Clients", ColumnType::kCount},
+                            {"Duration (days)", ColumnType::kDouble}});
+    for (const auto& row : dates.rows()) {
+      table.add_row(
+          {Cell::text(row.sld.empty() ? "(missing SNI)" : row.sld),
+           Cell::text(row.client_side ? "C" : "S"), Cell::text(row.issuer),
+           Cell::text(
+               "(" + std::to_string(util::from_unix(row.not_before).year) +
+               ", " + std::to_string(util::from_unix(row.not_after).year) +
+               ")"),
+           Cell::text(std::to_string(row.clients.size())),
+           Cell::number(row.duration_days(), 0)});
+    }
+    doc.add_line();
+    doc.add_line(
+        "paper (Table 11): rcgen (1975,1757) 2cl/42d; idrive.com "
+        "(2019,1849) 2,887cl + (2020,1850) server 718cl, 701d; "
+        "clouddevice.io Honeywell (2021,1815) 1,599cl + (2023,1815) 46cl; "
+        "alarmnet.com 1,864/70cl; SDS (1970,1831) 17cl/474d; ayoba.me "
+        "(2022,2022) 15cl; ibackup.com 4cl; crestron.io 3cl; media-server "
+        "(2157,2023) server 2cl; IceLink (2048,1996) 1cl");
+
+    doc.add_line();
+    doc.add_line("Table 12 — incorrect dates at BOTH endpoints:");
+    auto& both = doc.add_table(
+        "both_ends", {{"SLD", ColumnType::kString},
+                      {"Issuer", ColumnType::kString},
+                      {"Clients", ColumnType::kCount},
+                      {"Duration (days)", ColumnType::kDouble},
+                      {"(paper)", ColumnType::kString}});
+    for (const auto& row : dates.both_ends_rows()) {
+      std::string paper = "-";
+      if (row.sld == "idrive.com") paper = "718 clients, 701 d";
+      if (row.sld.empty() && row.issuer == "SDS") {
+        paper = "17 clients, 474 d";
+      }
+      both.add_row({Cell::text(row.sld.empty() ? "(missing SNI)" : row.sld),
+                    Cell::text(row.issuer),
+                    Cell::text(std::to_string(row.clients.size())),
+                    Cell::number(row.duration_days(), 0),
+                    Cell::text(paper)});
+    }
+
+    doc.add_line();
+    doc.add_line("shape checks:");
+    bool idrive = false, sds = false, server_side = false,
+         identical = false;
+    for (const auto& row : dates.rows()) {
+      if (row.issuer == "IDrive Inc Certificate Authority") idrive = true;
+      if (row.issuer == "SDS") sds = true;
+      if (!row.client_side) server_side = true;
+      if (row.not_before == row.not_after) identical = true;
+    }
+    doc.add_check("IDrive incorrect-date population found", idrive);
+    doc.add_check("SDS epoch-1970 certificates found", sds);
+    doc.add_check("server-side incorrect dates exist (media-server)",
+                  server_side);
+    doc.add_check("identical-timestamp case found (ayoba.me)", identical);
+    doc.add_line(strf("  both-endpoint rows: %zu (paper: 2)",
+                      dates.both_ends_rows().size()));
+  }
+
+ private:
+  std::optional<core::Sharded<core::IncorrectDateAnalyzer>> dates_;
+};
+
+template <typename E>
+std::unique_ptr<Experiment> make_experiment() {
+  return std::make_unique<E>();
+}
+
+template <typename E>
+void add(ExperimentRegistry& registry) {
+  registry.add(E().info(), &make_experiment<E>);
+}
+
+}  // namespace
+
+void register_sharing_experiments(ExperimentRegistry& registry) {
+  add<Table4>(registry);
+  add<Table5>(registry);
+  add<Table6>(registry);
+  add<Serials>(registry);
+  add<Fig3>(registry);
+}
+
+}  // namespace mtlscope::experiments

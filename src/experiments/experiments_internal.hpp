@@ -1,0 +1,23 @@
+// Internal glue for the experiment runner translation units: explicit
+// registration entry points (a static library strips self-registering
+// globals, so registry.cpp calls these in canonical order) and the
+// paper-vs-measured string helpers the runners share.
+#pragma once
+
+#include <string>
+
+#include "mtlscope/experiments/registry.hpp"
+
+namespace mtlscope::experiments {
+
+void register_cert_experiments(ExperimentRegistry& registry);
+void register_traffic_experiments(ExperimentRegistry& registry);
+void register_sharing_experiments(ExperimentRegistry& registry);
+void register_lifecycle_experiments(ExperimentRegistry& registry);
+void register_interception_experiments(ExperimentRegistry& registry);
+
+/// "paper 38.45% / measured 37.90%" convenience.
+std::string paper_vs(double paper_pct, double measured_pct);
+std::string paper_vs_count(double paper, double measured);
+
+}  // namespace mtlscope::experiments

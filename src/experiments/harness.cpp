@@ -1,0 +1,111 @@
+#include "mtlscope/experiments/harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mtlscope::experiments {
+
+namespace {
+
+core::PipelineConfig make_config(const gen::TraceGenerator& generator,
+                                 const RunOptions& options) {
+  auto config = core::PipelineConfig::campus_defaults();
+  // File mode analyzes foreign logs: no synthetic CT database applies.
+  if (!options.file_mode()) config.ct = &generator.ct_database();
+  return config;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+}  // namespace
+
+Harness::Harness(gen::CampusModel model, const RunOptions& options)
+    : generator_(std::move(model)),
+      options_(options),
+      executor_(make_config(generator_, options_), options_.threads) {}
+
+core::Pipeline& Harness::pipeline() {
+  if (!pipeline_) {
+    std::fprintf(stderr,
+                 "Harness::pipeline() called before run(); observers must "
+                 "be registered via add_observer()/attach()\n");
+    std::abort();
+  }
+  return *pipeline_;
+}
+
+void Harness::add_observer(core::Pipeline::Observer observer) {
+  executor_.add_shared_observer(std::move(observer));
+}
+
+void Harness::run() {
+  if (options_.file_mode()) {
+    run_files();
+    return;
+  }
+  const auto dataset = generator_.generate_dataset();
+  records_ = dataset.connection_count();
+  const auto start = std::chrono::steady_clock::now();
+  pipeline_.emplace(executor_.run(dataset));
+  const auto stop = std::chrono::steady_clock::now();
+  wall_seconds_ = std::chrono::duration<double>(stop - start).count();
+}
+
+void Harness::run_files() {
+  const auto start = std::chrono::steady_clock::now();
+  if (options_.in_memory) {
+    const std::string ssl_text = slurp(options_.ssl_log);
+    const std::string x509_text = slurp(options_.x509_log);
+    zeek::LogParseError error;
+    auto result = executor_.run_logs(ssl_text, x509_text, &error);
+    if (!result) {
+      std::fprintf(stderr, "parse failed: %s\n", error.message.c_str());
+      std::exit(1);
+    }
+    pipeline_ = std::move(result);
+  } else {
+    ingest::IngestError error;
+    auto result = executor_.run_log_files(options_.ssl_log, options_.x509_log,
+                                          &error, options_.ingest_options());
+    if (!result) {
+      std::fprintf(stderr, "ingest failed: %s\n", error.to_string().c_str());
+      std::exit(1);
+    }
+    pipeline_ = std::move(result);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  records_ = static_cast<std::size_t>(pipeline_->totals().connections);
+  wall_seconds_ = std::chrono::duration<double>(stop - start).count();
+}
+
+void keep_only_clusters(gen::CampusModel& model,
+                        std::initializer_list<const char*> prefixes) {
+  std::vector<gen::TrafficCluster> kept;
+  for (auto& cluster : model.clusters) {
+    for (const char* prefix : prefixes) {
+      if (cluster.name.rfind(prefix, 0) == 0) {
+        kept.push_back(std::move(cluster));
+        break;
+      }
+    }
+  }
+  model.clusters = std::move(kept);
+  model.background_connections = 0;
+  model.interception.connections = 0;
+  model.interception.certificates = 0;
+}
+
+}  // namespace mtlscope::experiments

@@ -1,0 +1,68 @@
+#include "mtlscope/experiments/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mtlscope::experiments {
+
+std::size_t RunOptions::chunk_bytes() const {
+  const double bytes = chunk_mb * 1024.0 * 1024.0;
+  if (bytes < 1.0) return 1;
+  return static_cast<std::size_t>(bytes);
+}
+
+ingest::IngestOptions RunOptions::ingest_options() const {
+  ingest::IngestOptions options;
+  options.chunk_bytes = chunk_bytes();
+  options.force_buffered = force_buffered;
+  return options;
+}
+
+RunOptions RunOptions::resolved(double default_cert_scale,
+                                double default_conn_scale) const {
+  RunOptions out = *this;
+  out.cert_scale = cert_scale_override.value_or(default_cert_scale);
+  out.conn_scale = conn_scale_override.value_or(default_conn_scale);
+  return out;
+}
+
+bool RunOptions::parse_flag(const char* arg) {
+  if (std::strncmp(arg, "--cert-scale=", 13) == 0) {
+    cert_scale_override = std::atof(arg + 13);
+  } else if (std::strncmp(arg, "--conn-scale=", 13) == 0) {
+    conn_scale_override = std::atof(arg + 13);
+  } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+    seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+  } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+    threads = static_cast<std::size_t>(std::atoll(arg + 10));
+  } else if (std::strncmp(arg, "--ssl-log=", 10) == 0) {
+    ssl_log = arg + 10;
+  } else if (std::strncmp(arg, "--x509-log=", 11) == 0) {
+    x509_log = arg + 11;
+  } else if (std::strncmp(arg, "--chunk-mb=", 11) == 0) {
+    chunk_mb = std::atof(arg + 11);
+  } else if (std::strcmp(arg, "--in-memory") == 0) {
+    in_memory = true;
+  } else if (std::strcmp(arg, "--force-buffered") == 0) {
+    force_buffered = true;
+  } else if (std::strcmp(arg, "--stable-output") == 0) {
+    stable_output = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+RunOptions RunOptions::parse(int argc, char** argv) {
+  RunOptions options;
+  for (int i = 1; i < argc; ++i) options.parse_flag(argv[i]);
+  if (options.ssl_log.empty() != options.x509_log.empty()) {
+    std::fprintf(stderr,
+                 "file mode needs both --ssl-log= and --x509-log=\n");
+    std::exit(2);
+  }
+  return options;
+}
+
+}  // namespace mtlscope::experiments

@@ -1,0 +1,209 @@
+#include "mtlscope/experiments/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "experiments_internal.hpp"
+
+namespace mtlscope::experiments {
+
+namespace {
+
+/// Canonical listing/run order: the paper's tables, then figures, then
+/// sections and extensions, then ablations.
+constexpr const char* kCanonicalOrder[] = {
+    "table1",  "table2",  "table3",  "table4",  "table5",  "table6",
+    "table7",  "table8",  "table9",  "table13", "table14", "fig1",
+    "fig2",    "fig3",    "fig4",    "fig5",    "serials", "interception",
+    "dataset_stats", "tracking", "renewal", "ablation_classifier",
+    "ablation_interception",
+};
+
+}  // namespace
+
+ExperimentRegistry::ExperimentRegistry() {
+  register_cert_experiments(*this);
+  register_traffic_experiments(*this);
+  register_sharing_experiments(*this);
+  register_lifecycle_experiments(*this);
+  register_interception_experiments(*this);
+
+  // Reorder into the canonical sequence; anything unlisted keeps its
+  // registration order at the end.
+  std::vector<Entry> ordered;
+  ordered.reserve(entries_.size());
+  for (const char* name : kCanonicalOrder) {
+    for (auto& entry : entries_) {
+      if (entry.make != nullptr && entry.info.name == std::string(name)) {
+        ordered.push_back(std::move(entry));
+        entry.make = nullptr;
+      }
+    }
+  }
+  for (auto& entry : entries_) {
+    if (entry.make != nullptr) ordered.push_back(std::move(entry));
+  }
+  entries_ = std::move(ordered);
+}
+
+const ExperimentRegistry& ExperimentRegistry::instance() {
+  static const ExperimentRegistry registry;
+  return registry;
+}
+
+const ExperimentRegistry::Entry* ExperimentRegistry::find(
+    const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (name == entry.info.name) return &entry;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) out.emplace_back(entry.info.name);
+  return out;
+}
+
+void ExperimentRegistry::add(ExperimentInfo info,
+                             std::unique_ptr<Experiment> (*make)()) {
+  entries_.push_back(Entry{info, make});
+}
+
+namespace {
+
+struct Item {
+  const ExperimentRegistry::Entry* entry = nullptr;
+  std::unique_ptr<Experiment> exp;
+  RunOptions options;
+  std::string group;
+  core::ResultDoc doc;
+};
+
+void init_doc(Item& item, std::size_t threads_resolved) {
+  const ExperimentInfo& info = item.entry->info;
+  item.doc.experiment = info.name;
+  item.doc.anchor = info.anchor;
+  item.doc.title = info.title;
+  core::RunInfo& run = item.doc.run;
+  run.file_mode = item.options.file_mode();
+  run.ssl_log = item.options.ssl_log;
+  run.x509_log = item.options.x509_log;
+  run.cert_scale = item.options.cert_scale;
+  run.conn_scale = item.options.conn_scale;
+  run.seed = item.options.seed;
+  run.stable_output = item.options.stable_output;
+  run.threads_requested = item.options.threads;
+  run.threads = threads_resolved;
+}
+
+}  // namespace
+
+std::vector<core::ResultDoc> run_experiments(
+    const std::vector<std::string>& names, const RunOptions& base) {
+  const auto& registry = ExperimentRegistry::instance();
+  std::vector<Item> items;
+  items.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto* entry = registry.find(names[i]);
+    if (entry == nullptr) {
+      throw std::invalid_argument("unknown experiment: " + names[i]);
+    }
+    Item item;
+    item.entry = entry;
+    item.exp = entry->make();
+    item.options =
+        base.resolved(entry->info.cert_scale, entry->info.conn_scale);
+    if (item.exp->self_driving()) {
+      // Self-driving experiments never share a pass.
+      item.group = core::strf("self|%zu", i);
+    } else if (item.options.file_mode()) {
+      // One log pass serves every experiment: the model is unused.
+      item.group = "file";
+    } else {
+      item.group = item.exp->model_key() +
+                   core::strf("|%.17g|%.17g|%llu", item.options.cert_scale,
+                              item.options.conn_scale,
+                              static_cast<unsigned long long>(
+                                  item.options.seed));
+    }
+    items.push_back(std::move(item));
+  }
+
+  std::vector<bool> done(items.size(), false);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (done[i]) continue;
+    std::vector<std::size_t> group;
+    for (std::size_t j = i; j < items.size(); ++j) {
+      if (!done[j] && items[j].group == items[i].group) {
+        group.push_back(j);
+        done[j] = true;
+      }
+    }
+    Item& lead = items[i];
+    if (lead.exp->self_driving()) {
+      init_doc(lead,
+               core::PipelineExecutor::resolve_threads(lead.options.threads));
+      lead.exp->run_self(lead.options, lead.doc);
+      continue;
+    }
+    auto model =
+        gen::paper_model(lead.options.cert_scale, lead.options.conn_scale);
+    model.seed = lead.options.seed;
+    for (const std::size_t j : group) items[j].exp->prepare_model(model);
+    Harness harness(std::move(model), lead.options);
+    for (const std::size_t j : group) items[j].exp->attach(harness);
+    harness.run();
+    for (const std::size_t j : group) {
+      Item& item = items[j];
+      init_doc(item, harness.shard_count());
+      core::RunInfo& run = item.doc.run;
+      run.present = true;
+      if (!item.options.file_mode()) {
+        const auto& stats = harness.generator().stats();
+        run.gen_stats = true;
+        run.gen_connections = stats.connections;
+        run.gen_mutual = stats.mutual_connections;
+        run.gen_certificates = stats.certificates_minted;
+      }
+      run.records = harness.records_processed();
+      run.wall_seconds = harness.wall_seconds();
+      item.exp->report(harness, item.doc);
+    }
+  }
+
+  std::vector<core::ResultDoc> docs;
+  docs.reserve(items.size());
+  for (auto& item : items) docs.push_back(std::move(item.doc));
+  return docs;
+}
+
+core::ResultDoc run_experiment(const std::string& name,
+                               const RunOptions& base) {
+  auto docs = run_experiments({name}, base);
+  return std::move(docs.front());
+}
+
+int repro_main(const std::string& name, int argc, char** argv) {
+  const RunOptions options = RunOptions::parse(argc, argv);
+  auto docs = run_experiments({name}, options);
+  const std::string text = core::render_text(docs.front());
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  return 0;
+}
+
+std::string paper_vs(double paper_pct, double measured_pct) {
+  return "paper " + core::format_double(paper_pct, 2) + "% / measured " +
+         core::format_double(measured_pct, 2) + "%";
+}
+
+std::string paper_vs_count(double paper, double measured) {
+  return "paper " + core::format_count(static_cast<std::uint64_t>(paper)) +
+         " / measured " +
+         core::format_count(static_cast<std::uint64_t>(measured));
+}
+
+}  // namespace mtlscope::experiments
