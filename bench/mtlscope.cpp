@@ -62,15 +62,18 @@ bool write_file(const std::filesystem::path& path,
   return true;
 }
 
-/// Stdout JSON: one canonical envelope holding every requested
-/// experiment, each document compact on its own line.
-std::string render_json_envelope(const std::vector<core::ResultDoc>& docs) {
+/// Stdout JSON: one envelope holding every requested experiment, each
+/// document compact on its own line. include_perf adds the volatile
+/// "perf" counters per document; --stable-output turns it off so the
+/// envelope stays canonical for golden comparisons.
+std::string render_json_envelope(const std::vector<core::ResultDoc>& docs,
+                                 bool include_perf) {
   std::string out = "{\n  \"experiments\": [\n";
   bool first = true;
   for (const auto& doc : docs) {
     if (!first) out += ",\n";
     first = false;
-    std::string body = core::render_json(doc, 0);
+    std::string body = core::render_json_with_perf(doc, 0, include_perf);
     if (!body.empty() && body.back() == '\n') body.pop_back();
     out += "    ";
     out += body;
@@ -156,7 +159,9 @@ int run_run(int argc, char** argv) {
       if (format == "text") {
         ok = write_file(base.string() + ".txt", core::render_text(doc));
       } else if (format == "json") {
-        ok = write_file(base.string() + ".json", core::render_json(doc, 2));
+        ok = write_file(base.string() + ".json",
+                        core::render_json_with_perf(
+                            doc, 2, /*include_perf=*/!options.stable_output));
       } else {
         // One file per table: <experiment>.<table-id>.csv/tsv.
         for (const core::ResultTable* table : doc.tables()) {
@@ -172,7 +177,8 @@ int run_run(int argc, char** argv) {
 
   std::string out;
   if (format == "json") {
-    out = render_json_envelope(docs);
+    out = render_json_envelope(docs,
+                               /*include_perf=*/!options.stable_output);
   } else {
     bool first = true;
     for (const auto& doc : docs) {

@@ -137,11 +137,23 @@ struct RunInfo {
   std::size_t gen_certificates = 0;
   std::size_t records = 0;
   double wall_seconds = 0;
+  /// Pass-sharing group id from the experiment registry: experiments
+  /// with the same id rode one pipeline pass. Volatile metadata (perf
+  /// envelope only, never canonical JSON or golden text).
+  std::string perf_group;
+  /// Bytes of log input parsed (ssl + x509 file sizes). 0 in synthetic
+  /// mode, where records come from the generator, not a parser.
+  std::uint64_t parse_bytes = 0;
 
   double records_per_second() const {
     return wall_seconds <= 0
                ? 0
                : static_cast<double>(records) / wall_seconds;
+  }
+  double parse_bytes_per_second() const {
+    return wall_seconds <= 0
+               ? 0
+               : static_cast<double>(parse_bytes) / wall_seconds;
   }
 };
 
@@ -177,6 +189,14 @@ std::string render_body_text(const ResultDoc& doc);
 /// Canonical JSON: stable key order, fixed float formatting, no
 /// volatile fields — byte-stable across thread counts and input modes.
 std::string render_json(const ResultDoc& doc, int indent = 0);
+/// Envelope variant: same canonical document, optionally extended with a
+/// non-canonical "perf" object (threads, wall clock, throughput,
+/// pass-sharing group) before "blocks". With include_perf == false this
+/// is byte-identical to render_json(doc, indent); with it true the
+/// output is volatile and must never feed golden files or byte-equality
+/// assertions.
+std::string render_json_with_perf(const ResultDoc& doc, int indent,
+                                  bool include_perf);
 /// One table as CSV (sep ',', RFC-style quoting) or TSV (sep '\t').
 std::string render_csv(const ResultTable& table, char sep = ',');
 

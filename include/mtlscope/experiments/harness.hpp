@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 
 #include "mtlscope/core/analyzers.hpp"
@@ -48,6 +49,8 @@ class Harness {
 
   double wall_seconds() const { return wall_seconds_; }
   std::size_t records_processed() const { return records_; }
+  /// Bytes of Zeek log input parsed (ssl + x509). 0 in synthetic mode.
+  std::uint64_t parse_bytes() const { return parse_bytes_; }
   double records_per_second() const {
     return wall_seconds_ <= 0 ? 0
                               : static_cast<double>(records_) / wall_seconds_;
@@ -63,6 +66,7 @@ class Harness {
   std::optional<core::Pipeline> pipeline_;
   double wall_seconds_ = 0;
   std::size_t records_ = 0;
+  std::uint64_t parse_bytes_ = 0;
 };
 
 /// Restricts a model to clusters whose name starts with any of the given

@@ -20,12 +20,26 @@ struct LogParseError {
 };
 
 /// Parses a Zeek ssl.log. Unknown fields are ignored; required fields
-/// missing from the #fields header is an error. CRLF line endings are
-/// tolerated (trailing '\r' is stripped).
+/// missing from the #fields header is an error, as is a data row
+/// appearing before the #fields line. CRLF line endings are tolerated
+/// (trailing '\r' is stripped). Thin wrapper over the compiled-plan
+/// batch parser in parse_plan.hpp — the istream is slurped once and the
+/// rows are tokenized in place.
 std::optional<std::vector<SslRecord>> parse_ssl_log(
     std::istream& in, LogParseError* error = nullptr);
 
 std::optional<std::vector<X509Record>> parse_x509_log(
+    std::istream& in, LogParseError* error = nullptr);
+
+/// Row-materializing reference parsers: same schema handling and
+/// LogParseError semantics as parse_*_log, but through the historical
+/// vector<std::string>-per-row path (one heap allocation per field).
+/// Kept as the parity oracle for tests and as the baseline that
+/// perf_zeek_parse measures the zero-copy fast path against.
+std::optional<std::vector<SslRecord>> parse_ssl_log_reference(
+    std::istream& in, LogParseError* error = nullptr);
+
+std::optional<std::vector<X509Record>> parse_x509_log_reference(
     std::istream& in, LogParseError* error = nullptr);
 
 /// Serializes a whole dataset to a directory-less pair of strings (used by

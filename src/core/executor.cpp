@@ -6,6 +6,7 @@
 
 #include "mtlscope/core/enrich.hpp"
 #include "mtlscope/ingest/chunk_queue.hpp"
+#include "mtlscope/zeek/parse_plan.hpp"
 
 namespace mtlscope::core {
 namespace {
@@ -123,6 +124,12 @@ std::string describe_parse_error(const zeek::LogParseError& error) {
   if (error.line == 0) return error.message;
   return error.message + " (line " + std::to_string(error.line) +
          " of the chunk at this offset, header included)";
+}
+
+std::size_t header_line_count(const ingest::LogLayout& layout) {
+  std::size_t lines = 0;
+  for (const char c : layout.header) lines += (c == '\n');
+  return lines;
 }
 
 /// One queue-fed streaming pass over a log body. A reader thread cuts
@@ -325,6 +332,17 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
   const ingest::LogLayout x509_layout = ingest::detect_log_layout(x509);
   const ingest::LogLayout ssl_layout = ingest::detect_log_layout(ssl);
 
+  // The column plans are compiled ONCE per source; every chunk then
+  // tokenizes its record-aligned bytes in place (no ChunkStream, no
+  // per-row string materialization). Error line numbers still count the
+  // header lines so reports match the historical chunk-relative numbers.
+  const zeek::X509Plan x509_plan =
+      zeek::X509Plan::compile(zeek::ColumnPlan::from_header(x509_layout.header));
+  const zeek::SslPlan ssl_plan =
+      zeek::SslPlan::compile(zeek::ColumnPlan::from_header(ssl_layout.header));
+  const std::size_t x509_header_lines = header_line_count(x509_layout);
+  const std::size_t ssl_header_lines = header_line_count(ssl_layout);
+
   // --- Phase A (streaming): parse x509 chunks in parallel, build facts
   // shard-locally, fold into the registry in stream order (duplicate
   // fuids: first record wins, exactly as the in-memory path). ---
@@ -333,16 +351,16 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
   bool ok = stream_pass<FactsVec>(
       x509, x509_layout, k, options, engine_error,
       [&](const ingest::Chunk& chunk, FactsVec& out) {
-        ingest::ChunkStream in(x509_layout.header, chunk.view());
+        std::vector<zeek::X509Record> records;
         zeek::LogParseError parse_error;
-        const auto records = zeek::parse_x509_log(in, &parse_error);
-        if (!records) {
+        if (!zeek::parse_x509_records(chunk.view(), x509_plan, records,
+                                      &parse_error, x509_header_lines)) {
           engine_error.record(x509.name(), chunk.offset,
                               describe_parse_error(parse_error));
           return false;
         }
-        out.reserve(records->size());
-        for (const auto& record : *records) {
+        out.reserve(records.size());
+        for (const auto& record : records) {
           out.push_back(enricher->make_facts(record));
         }
         return true;
@@ -360,15 +378,15 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
   ok = ok && stream_pass<SslVec>(
                  ssl, ssl_layout, k, options, engine_error,
                  [&](const ingest::Chunk& chunk, SslVec& out) {
-                   ingest::ChunkStream in(ssl_layout.header, chunk.view());
                    zeek::LogParseError parse_error;
-                   auto records = zeek::parse_ssl_log(in, &parse_error);
-                   if (!records) {
+                   if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, out,
+                                                &parse_error,
+                                                ssl_header_lines)) {
+                     out.clear();  // failed chunks fold as empty results
                      engine_error.record(ssl.name(), chunk.offset,
                                          describe_parse_error(parse_error));
                      return false;
                    }
-                   out = std::move(*records);
                    return true;
                  },
                  [&](SslVec&& records) {
@@ -386,15 +404,15 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
     ok = stream_pass<CandidateMap>(
         ssl, ssl_layout, k, options, engine_error,
         [&](const ingest::Chunk& chunk, CandidateMap& out) {
-          ingest::ChunkStream in(ssl_layout.header, chunk.view());
+          std::vector<zeek::SslRecord> records;
           zeek::LogParseError parse_error;
-          const auto records = zeek::parse_ssl_log(in, &parse_error);
-          if (!records) {
+          if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
+                                       &parse_error, ssl_header_lines)) {
             engine_error.record(ssl.name(), chunk.offset,
                                 describe_parse_error(parse_error));
             return false;
           }
-          for (const auto& record : *records) {
+          for (const auto& record : records) {
             note_interception_candidate(config_, *enricher, *base, record,
                                         out);
           }
@@ -425,11 +443,12 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
             ingest::RecordChunker chunker(ssl, options.chunk_bytes,
                                           ranges[s].first, ranges[s].second);
             ingest::Chunk chunk;
+            std::vector<zeek::SslRecord> records;  // capacity reused
             while (chunker.next(chunk)) {
-              ingest::ChunkStream in(ssl_layout.header, chunk.view());
+              records.clear();
               zeek::LogParseError parse_error;
-              const auto records = zeek::parse_ssl_log(in, &parse_error);
-              if (!records) {
+              if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
+                                           &parse_error, ssl_header_lines)) {
                 // Unreachable when phases B/C parsed the same bytes, but
                 // an input changing mid-run must not silently drop rows.
                 engine_error.record(ssl.name(), chunk.offset,
@@ -437,7 +456,7 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
                 return;
               }
               Pipeline& pipeline = shards[s];
-              for (const auto& record : *records) {
+              for (const auto& record : records) {
                 pipeline.add_connection(record);
               }
               ssl.release(chunk.offset, chunk.data.size());

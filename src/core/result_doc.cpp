@@ -430,6 +430,11 @@ void write_table(JsonWriter& w, const ResultTable& table) {
 }  // namespace
 
 std::string render_json(const ResultDoc& doc, int indent) {
+  return render_json_with_perf(doc, indent, /*include_perf=*/false);
+}
+
+std::string render_json_with_perf(const ResultDoc& doc, int indent,
+                                  bool include_perf) {
   JsonWriter w(indent);
   w.begin_object();
   w.key("experiment");
@@ -471,6 +476,26 @@ std::string render_json(const ResultDoc& doc, int indent) {
     w.value_uint(doc.run.gen_mutual);
     w.key("certificates");
     w.value_uint(doc.run.gen_certificates);
+    w.end_object();
+  }
+  if (include_perf && doc.run.present) {
+    // Volatile run counters. Deliberately outside the canonical surface:
+    // wall clock and throughput differ run to run, and the thread count
+    // differs by flag — none of it may reach golden files.
+    w.key("perf");
+    w.begin_object();
+    w.key("group");
+    w.value_string(doc.run.perf_group);
+    w.key("threads");
+    w.value_uint(doc.run.threads);
+    w.key("wall_seconds");
+    w.value_double(doc.run.wall_seconds, 6);
+    w.key("records_per_second");
+    w.value_double(doc.run.records_per_second(), 0);
+    w.key("parse_bytes");
+    w.value_uint(doc.run.parse_bytes);
+    w.key("parse_bytes_per_second");
+    w.value_double(doc.run.parse_bytes_per_second(), 0);
     w.end_object();
   }
   w.key("blocks");

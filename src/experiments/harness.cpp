@@ -30,6 +30,13 @@ std::string slurp(const std::string& path) {
   return std::move(out).str();
 }
 
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;  // run_log_files reports the open failure itself
+  const auto pos = in.tellg();
+  return pos < 0 ? 0 : static_cast<std::uint64_t>(pos);
+}
+
 }  // namespace
 
 Harness::Harness(gen::CampusModel model, const RunOptions& options)
@@ -69,6 +76,7 @@ void Harness::run_files() {
   if (options_.in_memory) {
     const std::string ssl_text = slurp(options_.ssl_log);
     const std::string x509_text = slurp(options_.x509_log);
+    parse_bytes_ = ssl_text.size() + x509_text.size();
     zeek::LogParseError error;
     auto result = executor_.run_logs(ssl_text, x509_text, &error);
     if (!result) {
@@ -77,6 +85,8 @@ void Harness::run_files() {
     }
     pipeline_ = std::move(result);
   } else {
+    parse_bytes_ =
+        file_size_or_zero(options_.ssl_log) + file_size_or_zero(options_.x509_log);
     ingest::IngestError error;
     auto result = executor_.run_log_files(options_.ssl_log, options_.x509_log,
                                           &error, options_.ingest_options());

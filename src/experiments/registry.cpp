@@ -98,6 +98,7 @@ void init_doc(Item& item, std::size_t threads_resolved) {
   run.stable_output = item.options.stable_output;
   run.threads_requested = item.options.threads;
   run.threads = threads_resolved;
+  run.perf_group = item.group;
 }
 
 }  // namespace
@@ -171,6 +172,7 @@ std::vector<core::ResultDoc> run_experiments(
       }
       run.records = harness.records_processed();
       run.wall_seconds = harness.wall_seconds();
+      run.parse_bytes = harness.parse_bytes();
       item.exp->report(harness, item.doc);
     }
   }

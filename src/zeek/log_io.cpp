@@ -1,8 +1,9 @@
+// Zeek ASCII log writers plus the dataset round-trip and log-splitting
+// helpers. The parsers live in parse_plan.cpp (compiled column plans +
+// zero-copy tokenizer); this file owns the escape/format conventions the
+// writers and the parser's unescaper must agree on.
 #include "mtlscope/zeek/log_io.hpp"
 
-#include <charconv>
-#include <istream>
-#include <map>
 #include <ostream>
 #include <sstream>
 
@@ -38,30 +39,6 @@ std::string escape_field(std::string_view v, bool in_set) {
   return out;
 }
 
-std::string unescape_field(std::string_view v) {
-  std::string out;
-  out.reserve(v.size());
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (v[i] == '\\' && i + 3 < v.size() && v[i + 1] == 'x') {
-      const auto hex_digit = [](char c) -> int {
-        if (c >= '0' && c <= '9') return c - '0';
-        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-        return -1;
-      };
-      const int hi = hex_digit(v[i + 2]);
-      const int lo = hex_digit(v[i + 3]);
-      if (hi >= 0 && lo >= 0) {
-        out.push_back(static_cast<char>((hi << 4) | lo));
-        i += 3;
-        continue;
-      }
-    }
-    out.push_back(v[i]);
-  }
-  return out;
-}
-
 std::string format_scalar(std::string_view v) {
   if (v.empty()) return std::string(kUnset);
   return escape_field(v, false);
@@ -91,110 +68,6 @@ void write_header(std::ostream& out, std::string_view path,
       << "#fields\t" << fields << "\n"
       << "#types\t" << types << "\n";
 }
-
-std::vector<std::string> split(std::string_view line, char sep) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (true) {
-    const std::size_t next = line.find(sep, pos);
-    if (next == std::string_view::npos) {
-      out.emplace_back(line.substr(pos));
-      break;
-    }
-    out.emplace_back(line.substr(pos, next - pos));
-    pos = next + 1;
-  }
-  return out;
-}
-
-std::vector<std::string> parse_vector(std::string_view field) {
-  std::vector<std::string> out;
-  if (field == kUnset || field == kEmptySet || field.empty()) return out;
-  for (const auto& part : split(field, ',')) {
-    out.push_back(unescape_field(part));
-  }
-  return out;
-}
-
-std::string parse_scalar(std::string_view field) {
-  if (field == kUnset) return {};
-  return unescape_field(field);
-}
-
-std::optional<util::UnixSeconds> parse_time(std::string_view field) {
-  const std::size_t dot = field.find('.');
-  const std::string_view secs =
-      dot == std::string_view::npos ? field : field.substr(0, dot);
-  util::UnixSeconds v = 0;
-  const auto [p, ec] = std::from_chars(secs.data(), secs.data() + secs.size(), v);
-  if (ec != std::errc{} || p != secs.data() + secs.size()) return std::nullopt;
-  return v;
-}
-
-std::optional<int> parse_int(std::string_view field) {
-  if (field == kUnset) return 0;
-  int v = 0;
-  const auto [p, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), v);
-  if (ec != std::errc{} || p != field.data() + field.size()) {
-    return std::nullopt;
-  }
-  return v;
-}
-
-/// Reads header + rows, returning the column map and data lines.
-struct RawLog {
-  std::map<std::string, std::size_t> columns;
-  std::vector<std::vector<std::string>> rows;
-};
-
-std::optional<RawLog> read_raw(std::istream& in, LogParseError* error) {
-  RawLog raw;
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    // Tolerate CRLF logs (Windows exports): getline leaves the '\r'.
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    if (line[0] == '#') {
-      if (line.rfind("#fields\t", 0) == 0) {
-        const auto names = split(std::string_view(line).substr(8), '\t');
-        for (std::size_t i = 0; i < names.size(); ++i) {
-          raw.columns[names[i]] = i;
-        }
-      }
-      continue;
-    }
-    auto fields = split(line, kSep);
-    if (!raw.columns.empty() && fields.size() != raw.columns.size()) {
-      if (error) *error = {line_no, "field count mismatch"};
-      return std::nullopt;
-    }
-    raw.rows.push_back(std::move(fields));
-  }
-  if (raw.columns.empty()) {
-    if (error) *error = {0, "missing #fields header"};
-    return std::nullopt;
-  }
-  return raw;
-}
-
-class RowView {
- public:
-  RowView(const RawLog& raw, const std::vector<std::string>& row)
-      : raw_(raw), row_(row) {}
-
-  std::optional<std::string_view> get(std::string_view name) const {
-    const auto it = raw_.columns.find(std::string(name));
-    if (it == raw_.columns.end()) return std::nullopt;
-    return std::string_view(row_[it->second]);
-  }
-
- private:
-  const RawLog& raw_;
-  const std::vector<std::string>& row_;
-};
 
 }  // namespace
 
@@ -238,115 +111,6 @@ void write_x509_log(std::ostream& out, const Dataset& dataset) {
         << format_vector(r.san_ip) << kSep
         << format_scalar(r.cert_der_base64) << "\n";
   }
-}
-
-std::optional<std::vector<SslRecord>> parse_ssl_log(std::istream& in,
-                                                    LogParseError* error) {
-  const auto raw = read_raw(in, error);
-  if (!raw) return std::nullopt;
-  for (const char* required :
-       {"ts", "uid", "id.orig_h", "id.orig_p", "id.resp_h", "id.resp_p"}) {
-    if (!raw->columns.contains(required)) {
-      if (error) *error = {0, std::string("missing field ") + required};
-      return std::nullopt;
-    }
-  }
-  std::vector<SslRecord> out;
-  out.reserve(raw->rows.size());
-  for (std::size_t i = 0; i < raw->rows.size(); ++i) {
-    const RowView row(*raw, raw->rows[i]);
-    SslRecord r;
-    const auto ts = parse_time(*row.get("ts"));
-    const auto orig_p = parse_int(*row.get("id.orig_p"));
-    const auto resp_p = parse_int(*row.get("id.resp_p"));
-    if (!ts || !orig_p || !resp_p) {
-      if (error) *error = {i + 1, "bad numeric field"};
-      return std::nullopt;
-    }
-    r.ts = *ts;
-    r.uid = parse_scalar(*row.get("uid"));
-    r.orig_h = parse_scalar(*row.get("id.orig_h"));
-    r.orig_p = static_cast<std::uint16_t>(*orig_p);
-    r.resp_h = parse_scalar(*row.get("id.resp_h"));
-    r.resp_p = static_cast<std::uint16_t>(*resp_p);
-    if (const auto v = row.get("version")) r.version = parse_scalar(*v);
-    if (const auto v = row.get("server_name")) r.server_name = parse_scalar(*v);
-    if (const auto v = row.get("established")) r.established = (*v == "T");
-    if (const auto v = row.get("cert_chain_fuids")) {
-      r.cert_chain_fuids = parse_vector(*v);
-    }
-    if (const auto v = row.get("client_cert_chain_fuids")) {
-      r.client_cert_chain_fuids = parse_vector(*v);
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
-}
-
-std::optional<std::vector<X509Record>> parse_x509_log(std::istream& in,
-                                                      LogParseError* error) {
-  const auto raw = read_raw(in, error);
-  if (!raw) return std::nullopt;
-  if (!raw->columns.contains("fuid")) {
-    if (error) *error = {0, "missing field fuid"};
-    return std::nullopt;
-  }
-  std::vector<X509Record> out;
-  out.reserve(raw->rows.size());
-  for (std::size_t i = 0; i < raw->rows.size(); ++i) {
-    const RowView row(*raw, raw->rows[i]);
-    X509Record r;
-    r.fuid = parse_scalar(*row.get("fuid"));
-    if (const auto v = row.get("certificate.version")) {
-      const auto n = parse_int(*v);
-      if (!n) {
-        if (error) *error = {i + 1, "bad certificate.version"};
-        return std::nullopt;
-      }
-      r.version = *n;
-    }
-    if (const auto v = row.get("certificate.serial")) r.serial = parse_scalar(*v);
-    if (const auto v = row.get("certificate.subject")) {
-      r.subject = parse_scalar(*v);
-    }
-    if (const auto v = row.get("certificate.issuer")) r.issuer = parse_scalar(*v);
-    if (const auto v = row.get("certificate.not_valid_before")) {
-      const auto t = parse_time(*v);
-      if (!t) {
-        if (error) *error = {i + 1, "bad not_valid_before"};
-        return std::nullopt;
-      }
-      r.not_valid_before = *t;
-    }
-    if (const auto v = row.get("certificate.not_valid_after")) {
-      const auto t = parse_time(*v);
-      if (!t) {
-        if (error) *error = {i + 1, "bad not_valid_after"};
-        return std::nullopt;
-      }
-      r.not_valid_after = *t;
-    }
-    if (const auto v = row.get("certificate.key_alg")) {
-      r.key_alg = parse_scalar(*v);
-    }
-    if (const auto v = row.get("certificate.key_length")) {
-      const auto n = parse_int(*v);
-      if (!n) {
-        if (error) *error = {i + 1, "bad key_length"};
-        return std::nullopt;
-      }
-      r.key_length = *n;
-    }
-    if (const auto v = row.get("san.dns")) r.san_dns = parse_vector(*v);
-    if (const auto v = row.get("san.email")) r.san_email = parse_vector(*v);
-    if (const auto v = row.get("san.uri")) r.san_uri = parse_vector(*v);
-    if (const auto v = row.get("san.ip")) r.san_ip = parse_vector(*v);
-    if (const auto v = row.get("cert_der")) {
-      r.cert_der_base64 = parse_scalar(*v);
-    }
-    out.push_back(std::move(r));
-  }
-  return out;
 }
 
 std::string ssl_log_to_string(const std::vector<SslRecord>& records) {

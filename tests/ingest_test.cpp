@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "mtlscope/ingest/chunker.hpp"
 #include "mtlscope/ingest/source.hpp"
 #include "mtlscope/zeek/log_io.hpp"
+#include "mtlscope/zeek/parse_plan.hpp"
 
 namespace mtlscope {
 namespace {
@@ -510,6 +512,77 @@ TEST_F(IngestTest, SmallQueueDepthStillMatches) {
   ASSERT_TRUE(squeezed.has_value()) << error.to_string();
   expect_same_totals(*squeezed, *reference);
   expect_same_certificates(*squeezed, *reference);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy fast path over ingest chunks (this suite runs under tsan)
+
+TEST_F(IngestTest, FastPathOverChunksMatchesWholeFileParse) {
+  gen::TraceGenerator generator(gen::paper_model(2'000, 2'000'000));
+  const std::string text =
+      zeek::ssl_log_to_string(generator.generate_dataset().ssl());
+  const ingest::MemorySource source(text);
+  const auto layout = ingest::detect_log_layout(source);
+  const zeek::SslPlan plan =
+      zeek::SslPlan::compile(zeek::ColumnPlan::from_header(layout.header));
+  ASSERT_TRUE(plan.valid);
+  ASSERT_EQ(plan.missing, nullptr);
+
+  std::istringstream whole_in(text);
+  const auto whole = zeek::parse_ssl_log(whole_in);
+  ASSERT_TRUE(whole.has_value());
+
+  for (const std::size_t chunk_bytes :
+       {std::size_t{4} << 10, std::size_t{64} << 10, text.size()}) {
+    ingest::RecordChunker chunker(source, chunk_bytes, layout.body_begin,
+                                  text.size());
+    std::vector<zeek::SslRecord> records;
+    ingest::Chunk chunk;
+    while (chunker.next(chunk)) {
+      ASSERT_TRUE(zeek::parse_ssl_records(chunk.view(), plan, records));
+    }
+    ASSERT_EQ(records.size(), whole->size()) << "chunk_bytes=" << chunk_bytes;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      EXPECT_EQ(records[i].uid, (*whole)[i].uid);
+      EXPECT_EQ(records[i].cert_chain_fuids, (*whole)[i].cert_chain_fuids);
+    }
+  }
+}
+
+TEST_F(IngestTest, FastPathSharesOnePlanAcrossThreads) {
+  // One immutable compiled plan read concurrently by every worker — the
+  // sharing pattern the executor uses; tsan checks it stays race-free.
+  gen::TraceGenerator generator(gen::paper_model(2'000, 2'000'000));
+  const std::string text =
+      zeek::ssl_log_to_string(generator.generate_dataset().ssl());
+  const ingest::MemorySource source(text);
+  const auto layout = ingest::detect_log_layout(source);
+  const zeek::SslPlan plan =
+      zeek::SslPlan::compile(zeek::ColumnPlan::from_header(layout.header));
+  ASSERT_EQ(plan.missing, nullptr);
+
+  constexpr std::size_t kWorkers = 4;
+  const auto ranges = ingest::shard_record_ranges(source, layout.body_begin,
+                                                  text.size(), kWorkers);
+  std::vector<std::vector<zeek::SslRecord>> per_worker(kWorkers);
+  std::vector<std::thread> workers;
+  std::string scratch[kWorkers];
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      const auto [begin, end] = ranges[w];
+      const std::string_view body =
+          source.fetch(begin, end - begin, scratch[w]);
+      ASSERT_TRUE(zeek::parse_ssl_records(body, plan, per_worker[w]));
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  std::size_t total = 0;
+  for (const auto& part : per_worker) total += part.size();
+  std::istringstream whole_in(text);
+  const auto whole = zeek::parse_ssl_log(whole_in);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(total, whole->size());
 }
 
 }  // namespace

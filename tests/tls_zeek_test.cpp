@@ -254,10 +254,22 @@ TEST(ZeekLogIo, EscapesCommasInSetValues) {
 }
 
 TEST(ZeekLogIo, ParseRejectsMissingHeader) {
-  std::istringstream in("no header here\n");
+  // Comments only, no #fields line and no data rows.
+  std::istringstream in("#path\tssl\n#types\ttime\n");
   zeek::LogParseError error;
   EXPECT_FALSE(zeek::parse_ssl_log(in, &error).has_value());
   EXPECT_EQ(error.message, "missing #fields header");
+}
+
+TEST(ZeekLogIo, ParseRejectsDataRowBeforeHeader) {
+  // A data row before any #fields line used to be silently buffered (and
+  // mapped by whichever header showed up later); it is now a structured
+  // error pointing at the offending physical line.
+  std::istringstream in("#path\tssl\nno header here\n");
+  zeek::LogParseError error;
+  EXPECT_FALSE(zeek::parse_ssl_log(in, &error).has_value());
+  EXPECT_EQ(error.message, "data row before #fields header");
+  EXPECT_EQ(error.line, 2u);
 }
 
 TEST(ZeekLogIo, ParseRejectsFieldCountMismatch) {
