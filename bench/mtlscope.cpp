@@ -9,8 +9,9 @@
 // six pristine-model certificate tables share one pipeline pass). The
 // shared flags (--cert-scale= / --conn-scale= / --seed= / --threads= /
 // --ssl-log= / --x509-log= / --chunk-mb= / --in-memory /
-// --force-buffered / --stable-output) apply to every experiment in the
-// invocation; scales default to each experiment's calibrated values.
+// --force-buffered / --stable-output / --on-error= / --max-errors= /
+// --max-error-rate=) apply to every experiment in the invocation;
+// scales default to each experiment's calibrated values.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -34,7 +35,8 @@ int usage(const char* argv0) {
                "options (apply to every experiment in the run):\n"
                "  --cert-scale=N --conn-scale=N --seed=N --threads=N\n"
                "  --ssl-log=F --x509-log=F --chunk-mb=N --in-memory\n"
-               "  --force-buffered --stable-output\n",
+               "  --force-buffered --stable-output\n"
+               "  --on-error=abort|skip --max-errors=N --max-error-rate=F\n",
                argv0, argv0);
   return 2;
 }

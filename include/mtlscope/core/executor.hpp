@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "mtlscope/core/analyzers.hpp"
+#include "mtlscope/core/error_ledger.hpp"
 #include "mtlscope/core/pipeline.hpp"
 #include "mtlscope/ingest/chunker.hpp"
 #include "mtlscope/ingest/error.hpp"
@@ -98,10 +99,14 @@ class PipelineExecutor {
 
   /// In-memory log-text entry: wraps both strings in MemorySources and
   /// runs the streaming engine over them (zero extra copies of the text).
-  /// Returns nullopt (with `error` filled) on a parse failure.
+  /// Returns nullopt (with `error` filled) on a parse failure. With
+  /// `options.errors` in skip mode, malformed rows are quarantined into
+  /// `ledger` (when non-null) instead of failing the run.
   std::optional<Pipeline> run_logs(const std::string& ssl_text,
                                    const std::string& x509_text,
-                                   zeek::LogParseError* error = nullptr);
+                                   zeek::LogParseError* error = nullptr,
+                                   const ingest::IngestOptions& options = {},
+                                   ErrorLedger* ledger = nullptr);
 
   /// Streaming entry: mmaps (or buffered-reads) both log files and runs
   /// the phases without ever materializing a file in memory. "-" reads
@@ -110,13 +115,17 @@ class PipelineExecutor {
   std::optional<Pipeline> run_log_files(
       const std::string& ssl_path, const std::string& x509_path,
       ingest::IngestError* error = nullptr,
-      const ingest::IngestOptions& options = {});
+      const ingest::IngestOptions& options = {},
+      ErrorLedger* ledger = nullptr);
 
   /// Same engine over already-opened byte sources (tests, custom inputs).
+  /// `ledger` (optional) receives quarantined records, per-phase counts,
+  /// and I/O degradation events; it is finalized before returning.
   std::optional<Pipeline> run_sources(const ingest::Source& ssl,
                                       const ingest::Source& x509,
                                       ingest::IngestError* error = nullptr,
-                                      const ingest::IngestOptions& options = {});
+                                      const ingest::IngestOptions& options = {},
+                                      ErrorLedger* ledger = nullptr);
 
   const PipelineConfig& config() const;
 

@@ -117,6 +117,37 @@ struct ResultBlock {
   Check check;        // kCheck
 };
 
+/// One quarantined-record sample surfaced in the data-quality block.
+/// Inputs are named by role ("ssl"/"x509"), never by path, and every
+/// field is a pure function of the input bytes — the block is part of
+/// the canonical JSON surface and must stay byte-stable across thread
+/// counts, chunk sizes, and --stable-output.
+struct QuarantineSample {
+  std::string input;  // "ssl" / "x509"
+  std::uint64_t byte_offset = 0;
+  std::uint64_t line = 0;  // absolute physical line, header included
+  std::string reason;
+  std::string digest;  // sha256 hex prefix of the raw row
+};
+
+/// Quarantine totals of a best-effort run (DESIGN §11). `present` is
+/// true only when something was actually quarantined or degraded, so
+/// clean-input runs render identically in every error-policy mode.
+struct DataQualityInfo {
+  bool present = false;
+  std::string policy;  // "skip" / "abort"
+  std::uint64_t rows_ok = 0;
+  std::uint64_t ssl_quarantined = 0;
+  std::uint64_t x509_quarantined = 0;
+  std::uint64_t io_events = 0;
+  std::vector<QuarantineSample> samples;  // capped; smallest offsets kept
+  bool samples_truncated = false;
+
+  std::uint64_t quarantined_total() const {
+    return ssl_quarantined + x509_quarantined;
+  }
+};
+
 /// Scalar run metadata: where the records came from and what the run
 /// cost. Deterministic fields feed the JSON envelope; volatile fields
 /// (threads, wall clock) appear only in non-stable text output.
@@ -144,6 +175,11 @@ struct RunInfo {
   /// Bytes of log input parsed (ssl + x509 file sizes). 0 in synthetic
   /// mode, where records come from the generator, not a parser.
   std::uint64_t parse_bytes = 0;
+  /// Quarantine totals from a best-effort run. Canonical (unlike the
+  /// perf envelope): rendered in JSON and in the text footer — even
+  /// under --stable-output, since its fields are pure functions of the
+  /// input bytes.
+  DataQualityInfo data_quality;
 
   double records_per_second() const {
     return wall_seconds <= 0

@@ -51,6 +51,10 @@ class Harness {
   std::size_t records_processed() const { return records_; }
   /// Bytes of Zeek log input parsed (ssl + x509). 0 in synthetic mode.
   std::uint64_t parse_bytes() const { return parse_bytes_; }
+  /// Quarantine ledger from the run. Pristine in synthetic mode and for
+  /// clean inputs; populated (finalized, deterministic) after a file-mode
+  /// run that skipped records or degraded I/O. See DESIGN §11.
+  const core::ErrorLedger& ledger() const { return ledger_; }
   double records_per_second() const {
     return wall_seconds_ <= 0 ? 0
                               : static_cast<double>(records_) / wall_seconds_;
@@ -67,6 +71,7 @@ class Harness {
   double wall_seconds_ = 0;
   std::size_t records_ = 0;
   std::uint64_t parse_bytes_ = 0;
+  core::ErrorLedger ledger_;
 };
 
 /// Restricts a model to clusters whose name starts with any of the given

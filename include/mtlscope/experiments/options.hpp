@@ -40,7 +40,13 @@ struct RunOptions {
   bool force_buffered = false;
   /// Suppress volatile output (thread count, timing footer) so runs with
   /// different thread counts / chunk sizes / input modes diff cleanly.
+  /// The data-quality footer of a best-effort run still prints — its
+  /// fields are pure functions of the input bytes.
   bool stable_output = false;
+  /// Malformed-record policy (--on-error=abort|skip) and the error
+  /// budget that bounds skip mode (--max-errors=, --max-error-rate=).
+  /// See DESIGN §11.
+  ingest::ErrorPolicy errors;
 
   bool file_mode() const { return !ssl_log.empty(); }
   std::size_t chunk_bytes() const;
@@ -53,9 +59,10 @@ struct RunOptions {
 
   /// Parses the shared flag set (--cert-scale= / --conn-scale= / --seed=
   /// / --threads= / --ssl-log= / --x509-log= / --chunk-mb= / --in-memory
-  /// / --force-buffered / --stable-output); unknown arguments are
-  /// ignored so callers can layer their own flags. Exits(2) when only
-  /// one of the file-mode paths is given.
+  /// / --force-buffered / --stable-output / --on-error= / --max-errors=
+  /// / --max-error-rate=); unknown arguments are ignored so callers can
+  /// layer their own flags. Exits(2) when only one of the file-mode
+  /// paths is given or --on-error= is neither abort nor skip.
   static RunOptions parse(int argc, char** argv);
   /// True when `arg` was consumed as one of the shared flags.
   bool parse_flag(const char* arg);

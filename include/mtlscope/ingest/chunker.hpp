@@ -30,7 +30,9 @@
 namespace mtlscope::ingest {
 
 /// Tuning knobs for the streaming pipeline. Results are byte-identical
-/// for every setting; these trade memory for parallelism only.
+/// for every setting; these trade memory for parallelism only. The one
+/// exception is `errors`, which selects abort-vs-skip semantics — but
+/// within a mode the output is still byte-identical for every tuning.
 struct IngestOptions {
   std::size_t chunk_bytes = std::size_t{1} << 20;  // 1 MiB
   /// Bounded queue depth between the reader thread and the parse
@@ -39,6 +41,8 @@ struct IngestOptions {
   std::size_t queue_depth = 0;
   /// Skip mmap and exercise the pread fallback.
   bool force_buffered = false;
+  /// Abort-vs-skip semantics for malformed records (DESIGN §11).
+  ErrorPolicy errors;
 };
 
 /// The split of a log into its replicated header and the data-row body.

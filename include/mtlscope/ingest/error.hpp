@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace mtlscope::ingest {
@@ -17,6 +18,30 @@ struct IngestError {
   std::string to_string() const {
     return file + " @ byte " + std::to_string(byte_offset) + ": " + reason;
   }
+};
+
+/// What the pipeline does when it meets a malformed record (DESIGN §11).
+///
+///   * kAbort (default): fail the run on the first malformed record with
+///     the historical smallest-offset-wins IngestError.
+///   * kSkip: quarantine the record into the core::ErrorLedger and keep
+///     going — unless the budget below is exceeded, in which case the run
+///     aborts with an "error budget exceeded" IngestError.
+///
+/// The budget fields only apply in kSkip mode. Both default to "no
+/// limit", so plain --on-error=skip never aborts on dirty rows; the
+/// data-quality block reports what was dropped.
+struct ErrorPolicy {
+  enum class Action { kAbort, kSkip };
+
+  Action on_error = Action::kAbort;
+  /// Abort once MORE than this many records are quarantined.
+  std::uint64_t max_errors = UINT64_MAX;
+  /// Abort once quarantined / (quarantined + parsed) exceeds this
+  /// fraction. 1.0 = never (the rate cannot exceed 1).
+  double max_error_rate = 1.0;
+
+  bool skip() const { return on_error == Action::kSkip; }
 };
 
 }  // namespace mtlscope::ingest

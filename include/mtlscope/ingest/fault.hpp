@@ -1,0 +1,84 @@
+// Fault injection for the ingest layer (DESIGN §11): a Source decorator
+// that degrades any inner source deterministically — seeded byte
+// corruption, a simulated mid-stream truncation, transient read failures
+// (absorbed by the shared bounded-backoff retry discipline), and
+// per-fetch latency — plus a row-level log corrupter used by the
+// degradation test suite and the corrupted-fixture CTest.
+//
+// Determinism contract: corruption is a pure function of (seed, absolute
+// byte offset), so the corrupted byte stream is identical no matter how
+// fetches are sized or ordered. That is what lets the degradation tests
+// assert byte-identical skip-mode output across thread counts and chunk
+// sizes over a faulty source.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mtlscope/ingest/source.hpp"
+
+namespace mtlscope::ingest {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per-byte probability of corruption (XOR with a seeded byte). 0 = off.
+  double corrupt_byte_rate = 0;
+  /// Bytes at the start of the stream never corrupted (keep the Zeek
+  /// header intact so corruption tests exercise rows, not schemas).
+  std::size_t protect_prefix = 0;
+  /// Simulated truncation: size() still reports the full length, but
+  /// reads clamp here and the source flags truncation_detected() — the
+  /// same observable state a real mid-stream shrink produces. SIZE_MAX
+  /// disables.
+  std::size_t truncate_at = SIZE_MAX;
+  /// Total transient fetch failures to inject; each one costs the caller
+  /// one bounded-backoff retry (retry_counters().backoff_sleeps) before
+  /// the fetch succeeds.
+  std::size_t fail_fetches = 0;
+  /// Extra latency per fetch, microseconds (delayed-read injection).
+  unsigned delay_us = 0;
+};
+
+/// Wraps any Source and applies a FaultPlan to every fetch. Thread-safe
+/// like its inner source (per-caller scratch; atomic failure budget).
+class FaultInjectingSource final : public Source {
+ public:
+  FaultInjectingSource(const Source& inner, FaultPlan plan);
+
+  std::size_t size() const override;
+  std::string_view fetch(std::size_t offset, std::size_t len,
+                         std::string& scratch) const override;
+  void release(std::size_t offset, std::size_t len) const override;
+
+  /// Transient failures injected so far (each absorbed by one retry).
+  std::uint64_t failures_injected() const {
+    return failures_injected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Source& inner_;
+  FaultPlan plan_;
+  mutable std::atomic<std::size_t> failures_left_;
+  mutable std::atomic<std::uint64_t> failures_injected_{0};
+};
+
+/// True when the byte at `offset` is corrupted under (seed, rate) — the
+/// pure per-byte function FaultInjectingSource applies. Exposed so tests
+/// can predict exactly which bytes a plan flips.
+bool fault_corrupts_byte(std::uint64_t seed, double rate, std::size_t offset);
+
+/// Deterministically corrupts ~`rate` of the data rows of a Zeek log
+/// text (header and '#' lines untouched). Every corrupted row is
+/// guaranteed to fail the record parsers with "field count mismatch":
+/// the kinds rotate between dropping the last field, gluing an extra
+/// field on, and replacing the row with tab-free binary garbage. Row
+/// framing ('\n' positions) is preserved, so chunking is unaffected.
+/// Returns the corrupted text; `*corrupted` (optional) receives the
+/// exact number of rows touched.
+std::string corrupt_log_rows(std::string_view text, std::uint64_t seed,
+                             double rate, std::size_t* corrupted = nullptr);
+
+}  // namespace mtlscope::ingest

@@ -1,0 +1,88 @@
+// Centralized EINTR / short-read retry for every blocking read the
+// ingest layer performs (the pread fetch path and the stdin/FIFO spool
+// loop both drive read_fully). Policy:
+//
+//   * EINTR          — retry immediately, unbounded (the canonical libc
+//                      discipline; a signal storm only slows the read).
+//   * short read     — continue at the new offset (regular files only
+//                      short-read at EOF, but pipes and network
+//                      filesystems short-read routinely).
+//   * EAGAIN/EIO-ish — transient device errors retry with bounded
+//                      exponential backoff (kMaxTransientRetries sleeps,
+//                      ~100 µs doubling to ~12.8 ms), then give up and
+//                      return the short result.
+//
+// Every retry event bumps a global atomic counter so tests (and the
+// fault-injection harness) can assert the path actually ran.
+#pragma once
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+
+namespace mtlscope::ingest {
+
+struct RetryCounters {
+  std::atomic<std::uint64_t> eintr_retries{0};
+  std::atomic<std::uint64_t> short_reads{0};
+  std::atomic<std::uint64_t> backoff_sleeps{0};
+};
+
+/// Process-wide counters; cheap relaxed increments from any thread.
+RetryCounters& retry_counters();
+/// Zeroes the counters (tests only — not synchronized with readers).
+void reset_retry_counters();
+
+/// Transient-error retries before read_fully gives up on a failing fd.
+inline constexpr int kMaxTransientRetries = 8;
+
+/// Sleeps ~100 µs << attempt, capped at kMaxTransientRetries - 1.
+void backoff_sleep(int attempt);
+
+struct ReadOutcome {
+  std::size_t bytes = 0;  // total bytes delivered into buf
+  bool error = false;     // a non-transient errno stopped the read early
+  int err = 0;            // that errno (0 when !error)
+};
+
+/// Drives `op(dst, len, offset)` — a pread/read-shaped callable returning
+/// ssize_t with errno set on -1 — until `len` bytes arrive, EOF (op
+/// returns 0), or a hard error. `offset` advances with the bytes read;
+/// stream-oriented ops simply ignore it.
+template <typename Op>
+ReadOutcome read_fully(const Op& op, char* buf, std::size_t len,
+                       std::size_t offset) {
+  RetryCounters& counters = retry_counters();
+  ReadOutcome out;
+  int transient = 0;
+  while (out.bytes < len) {
+    const ssize_t n = op(buf + out.bytes, len - out.bytes, offset + out.bytes);
+    if (n > 0) {
+      out.bytes += static_cast<std::size_t>(n);
+      if (out.bytes < len) {
+        counters.short_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      transient = 0;
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno == EINTR) {
+      counters.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+        transient < kMaxTransientRetries) {
+      counters.backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(transient++);
+      continue;
+    }
+    out.error = true;
+    out.err = errno;
+    break;
+  }
+  return out;
+}
+
+}  // namespace mtlscope::ingest

@@ -21,7 +21,9 @@
 // thread must bring its own scratch buffer.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -48,11 +50,34 @@ class Source {
   /// read again soon. MappedFile drops the resident pages; others no-op.
   virtual void release(std::size_t offset, std::size_t len) const;
 
+  /// True once a fetch() observed the file shrink below size() (rotation
+  /// or truncation while streaming). Reads past the new end return short
+  /// views instead of faulting, so complete records are salvaged; the
+  /// executor surfaces the event through the error policy.
+  bool truncation_detected() const {
+    return truncated_size_.load(std::memory_order_relaxed) != SIZE_MAX;
+  }
+  /// The size the file had shrunk to when truncation was detected
+  /// (SIZE_MAX when no truncation was seen).
+  std::size_t truncated_size() const {
+    return truncated_size_.load(std::memory_order_relaxed);
+  }
+
  protected:
   explicit Source(std::string name) : name_(std::move(name)) {}
 
+  /// Records the smallest observed post-truncation size (thread-safe,
+  /// called from concurrent fetches).
+  void note_truncation(std::size_t live_size) const {
+    std::size_t seen = truncated_size_.load(std::memory_order_relaxed);
+    while (live_size < seen && !truncated_size_.compare_exchange_weak(
+                                   seen, live_size, std::memory_order_relaxed)) {
+    }
+  }
+
  private:
   std::string name_;
+  mutable std::atomic<std::size_t> truncated_size_{SIZE_MAX};
 };
 
 /// Zero-copy source over caller-owned bytes. The buffer must outlive the

@@ -137,4 +137,62 @@ bool parse_x509_records(std::string_view body, const X509Plan& plan,
                         LogParseError* error = nullptr,
                         std::size_t header_lines = 0);
 
+// --- tolerant (best-effort) variants ----------------------------------------
+
+/// One quarantined data row from a tolerant parse. Every field is a pure
+/// function of the input bytes — no wall times, no host paths — so
+/// quarantine output is byte-stable across threads and chunk sizes.
+struct RowIssue {
+  /// Physical line number, header included, relative to the parsed body
+  /// plus `header_lines` (the stream-order fold rewrites it to an
+  /// absolute file line by adding the prior chunks' line counts).
+  std::size_t line = 0;
+  /// Absolute byte offset of the row's first byte (`base_offset` plus
+  /// the row's position within `body`).
+  std::size_t byte_offset = 0;
+  /// Length of the raw row in bytes (trailing CR/LF excluded).
+  std::size_t raw_length = 0;
+  /// Structured reason, same vocabulary as the strict parser's errors
+  /// ("field count mismatch", "bad numeric field", ...).
+  std::string reason;
+  /// Hex prefix of the SHA-256 of the raw row bytes: identifies the
+  /// quarantined record without copying hostile bytes into reports.
+  std::string digest;
+};
+
+/// What a tolerant parse covered, so callers can merge chunked results.
+struct TolerantStats {
+  std::size_t rows_ok = 0;   ///< records appended to `out`
+  std::size_t rows_bad = 0;  ///< rows quarantined (counted even when
+                             ///< `issues` is null)
+  std::size_t lines = 0;     ///< physical lines walked in `body`
+};
+
+/// Best-effort counterparts of parse_*_records: malformed rows are
+/// appended to `issues` (when non-null) instead of aborting the parse,
+/// and every well-formed row still lands in `out`. Divergence from the
+/// strict path, by design (DESIGN §11): a #fields line inside the body
+/// is never compiled — honouring it would make output depend on how the
+/// input was chunked. With an unusable plan every data row is
+/// quarantined ("data row before #fields header" / "missing field ...");
+/// a rowless body with no plan yields one "missing #fields header"
+/// issue.
+TolerantStats parse_ssl_records_tolerant(std::string_view body,
+                                         const SslPlan& plan,
+                                         std::vector<SslRecord>& out,
+                                         std::vector<RowIssue>* issues,
+                                         std::size_t header_lines = 0,
+                                         std::size_t base_offset = 0);
+
+TolerantStats parse_x509_records_tolerant(std::string_view body,
+                                          const X509Plan& plan,
+                                          std::vector<X509Record>& out,
+                                          std::vector<RowIssue>* issues,
+                                          std::size_t header_lines = 0,
+                                          std::size_t base_offset = 0);
+
+/// Hex prefix (16 chars) of SHA-256(`raw`) — the digest format RowIssue
+/// and the error ledger use for quarantined records.
+std::string quarantine_digest(std::string_view raw);
+
 }  // namespace mtlscope::zeek

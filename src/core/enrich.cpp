@@ -1,5 +1,6 @@
 #include "mtlscope/core/enrich.hpp"
 
+#include <exception>
 #include <mutex>
 
 #include "mtlscope/crypto/encoding.hpp"
@@ -34,9 +35,12 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
   CertFacts facts;
   facts.fuid = record.fuid;
 
-  // Prefer re-parsing the DER (trust the bytes, not the log fields).
+  // Prefer re-parsing the DER (trust the bytes, not the log fields). A
+  // hostile cert body must degrade to the logged-fields fallback, never
+  // throw out of here: make_facts runs on executor worker threads, where
+  // an escaped exception is std::terminate.
   bool parsed = false;
-  if (!record.cert_der_base64.empty()) {
+  if (!record.cert_der_base64.empty()) try {
     if (const auto der = crypto::from_base64(record.cert_der_base64)) {
       const auto result = x509::parse_certificate(*der);
       if (const auto* cert = x509::get_certificate(result)) {
@@ -82,6 +86,11 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
         parsed = true;
       }
     }
+  } catch (const std::exception&) {
+    // Discard whatever the partial parse wrote and take the fallback.
+    facts = CertFacts{};
+    facts.fuid = record.fuid;
+    parsed = false;
   }
   if (!parsed) {
     // Fall back to the logged fields (real Zeek deployments often do not

@@ -1,6 +1,7 @@
 #include "mtlscope/core/executor.hpp"
 
 #include <atomic>
+#include <exception>
 #include <thread>
 #include <utility>
 
@@ -324,10 +325,16 @@ Pipeline PipelineExecutor::run(
 
 std::optional<Pipeline> PipelineExecutor::run_sources(
     const ingest::Source& ssl, const ingest::Source& x509,
-    ingest::IngestError* error, const ingest::IngestOptions& options) {
+    ingest::IngestError* error, const ingest::IngestOptions& options,
+    ErrorLedger* ledger) {
   const auto enricher = std::make_shared<const Enricher>(config_);
   const std::size_t k = threads_;
   EngineError engine_error;
+  const bool skip = options.errors.skip();
+  // Skip mode always accounts through a ledger: budget enforcement needs
+  // the counts even when the caller did not ask for the samples.
+  ErrorLedger local_ledger;
+  ErrorLedger* const led = ledger != nullptr ? ledger : &local_ledger;
 
   const ingest::LogLayout x509_layout = ingest::detect_log_layout(x509);
   const ingest::LogLayout ssl_layout = ingest::detect_log_layout(ssl);
@@ -345,82 +352,186 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
 
   // --- Phase A (streaming): parse x509 chunks in parallel, build facts
   // shard-locally, fold into the registry in stream order (duplicate
-  // fuids: first record wins, exactly as the in-memory path). ---
+  // fuids: first record wins, exactly as the in-memory path). This is the
+  // authoritative x509 pass: in skip mode its fold is the ONLY place x509
+  // quarantine entries are recorded, with chunk-relative issue lines
+  // rewritten to absolute file lines via the running line count. ---
   auto base = std::make_shared<Pipeline::CertMap>();
-  using FactsVec = std::vector<CertFacts>;
-  bool ok = stream_pass<FactsVec>(
+  struct FactsChunk {
+    std::vector<CertFacts> facts;
+    std::vector<zeek::RowIssue> issues;
+    zeek::TolerantStats stats;
+  };
+  std::size_t x509_lines_before = 0;
+  bool ok = stream_pass<FactsChunk>(
       x509, x509_layout, k, options, engine_error,
-      [&](const ingest::Chunk& chunk, FactsVec& out) {
+      [&](const ingest::Chunk& chunk, FactsChunk& out) {
         std::vector<zeek::X509Record> records;
-        zeek::LogParseError parse_error;
-        if (!zeek::parse_x509_records(chunk.view(), x509_plan, records,
-                                      &parse_error, x509_header_lines)) {
-          engine_error.record(x509.name(), chunk.offset,
-                              describe_parse_error(parse_error));
-          return false;
+        if (skip) {
+          out.stats = zeek::parse_x509_records_tolerant(
+              chunk.view(), x509_plan, records, &out.issues,
+              x509_header_lines, chunk.offset);
+        } else {
+          zeek::LogParseError parse_error;
+          if (!zeek::parse_x509_records(chunk.view(), x509_plan, records,
+                                        &parse_error, x509_header_lines)) {
+            engine_error.record(x509.name(), chunk.offset,
+                                describe_parse_error(parse_error));
+            return false;
+          }
         }
-        out.reserve(records.size());
+        out.facts.reserve(records.size());
         for (const auto& record : records) {
-          out.push_back(enricher->make_facts(record));
+          try {
+            out.facts.push_back(enricher->make_facts(record));
+          } catch (const std::exception& e) {
+            // make_facts degrades hostile DER to the logged fields and
+            // should never throw; this guard keeps any regression from
+            // crossing the worker-thread boundary as std::terminate.
+            engine_error.record(
+                x509.name(), chunk.offset,
+                std::string("exception while building certificate facts: ") +
+                    e.what());
+            return false;
+          }
         }
         return true;
       },
-      [&](FactsVec&& facts) {
-        for (auto& f : facts) {
+      [&](FactsChunk&& r) {
+        for (auto& f : r.facts) {
           std::string fuid = f.fuid;
           base->emplace(std::move(fuid), std::move(f));
         }
+        if (skip) {
+          led->count_rows_ok(InputRole::kX509, r.stats.rows_ok);
+          for (auto& issue : r.issues) {
+            led->quarantine(
+                LedgerPhase::kRegistry,
+                {InputRole::kX509, issue.byte_offset,
+                 issue.line == 0 ? 0 : issue.line + x509_lines_before,
+                 issue.raw_length, std::move(issue.reason),
+                 std::move(issue.digest)});
+          }
+        }
+        x509_lines_before += r.stats.lines;
       });
+  if (x509.truncation_detected()) {
+    led->note_io(InputRole::kX509,
+                 "file truncated while streaming; complete records salvaged "
+                 "up to byte " +
+                     std::to_string(x509.truncated_size()));
+  }
+  if (ok && skip) {
+    if (auto violation = led->budget_violation(options.errors)) {
+      engine_error.record(x509.name(), 0, *violation);
+      ok = false;
+    }
+  }
 
   // --- Phase B (streaming): parse ssl chunks in parallel, apply chain
-  // upgrades serially in stream order on the folding thread. ---
-  using SslVec = std::vector<zeek::SslRecord>;
-  ok = ok && stream_pass<SslVec>(
+  // upgrades serially in stream order on the folding thread. This is the
+  // authoritative ssl pass: skip-mode quarantine entries for ssl rows are
+  // recorded here and nowhere else (phases C/D re-parse the same bytes
+  // tolerantly and only bump per-phase counters). ---
+  struct SslChunk {
+    std::vector<zeek::SslRecord> records;
+    std::vector<zeek::RowIssue> issues;
+    zeek::TolerantStats stats;
+  };
+  std::size_t ssl_lines_before = 0;
+  ok = ok && stream_pass<SslChunk>(
                  ssl, ssl_layout, k, options, engine_error,
-                 [&](const ingest::Chunk& chunk, SslVec& out) {
+                 [&](const ingest::Chunk& chunk, SslChunk& out) {
+                   if (skip) {
+                     out.stats = zeek::parse_ssl_records_tolerant(
+                         chunk.view(), ssl_plan, out.records, &out.issues,
+                         ssl_header_lines, chunk.offset);
+                     return true;
+                   }
                    zeek::LogParseError parse_error;
-                   if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, out,
-                                                &parse_error,
+                   if (!zeek::parse_ssl_records(chunk.view(), ssl_plan,
+                                                out.records, &parse_error,
                                                 ssl_header_lines)) {
-                     out.clear();  // failed chunks fold as empty results
+                     out.records.clear();  // failed chunks fold as empty
                      engine_error.record(ssl.name(), chunk.offset,
                                          describe_parse_error(parse_error));
                      return false;
                    }
                    return true;
                  },
-                 [&](SslVec&& records) {
-                   for (const auto& record : records) {
+                 [&](SslChunk&& r) {
+                   for (const auto& record : r.records) {
                      apply_upgrades(*base, record);
                    }
+                   if (skip) {
+                     led->count_rows_ok(InputRole::kSsl, r.stats.rows_ok);
+                     for (auto& issue : r.issues) {
+                       led->quarantine(
+                           LedgerPhase::kUpgrades,
+                           {InputRole::kSsl, issue.byte_offset,
+                            issue.line == 0 ? 0
+                                            : issue.line + ssl_lines_before,
+                            issue.raw_length, std::move(issue.reason),
+                            std::move(issue.digest)});
+                     }
+                   }
+                   ssl_lines_before += r.stats.lines;
                  });
+  if (ssl.truncation_detected()) {
+    led->note_io(InputRole::kSsl,
+                 "file truncated while streaming; complete records salvaged "
+                 "up to byte " +
+                     std::to_string(ssl.truncated_size()));
+  }
+  if (ok && skip) {
+    if (auto violation = led->budget_violation(options.errors)) {
+      engine_error.record(ssl.name(), 0, *violation);
+      ok = false;
+    }
+  }
 
   // --- Phase C (streaming): chunk-local candidate maps, set-union fold
   // (order-independent), threshold once at the end. Re-streams ssl; the
   // registry is complete and read-only from here on. ---
   auto confirmed = std::make_shared<std::set<std::string>>();
   if (ok && config_.ct != nullptr) {
+    struct CandidateChunk {
+      CandidateMap candidates;
+      std::size_t rows_bad = 0;
+    };
     CandidateMap merged;
-    ok = stream_pass<CandidateMap>(
+    ok = stream_pass<CandidateChunk>(
         ssl, ssl_layout, k, options, engine_error,
-        [&](const ingest::Chunk& chunk, CandidateMap& out) {
+        [&](const ingest::Chunk& chunk, CandidateChunk& out) {
           std::vector<zeek::SslRecord> records;
-          zeek::LogParseError parse_error;
-          if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
-                                       &parse_error, ssl_header_lines)) {
-            engine_error.record(ssl.name(), chunk.offset,
-                                describe_parse_error(parse_error));
-            return false;
+          if (skip) {
+            // Non-authoritative re-parse: tolerate the same rows phase B
+            // quarantined (count only — no new ledger entries).
+            const auto stats = zeek::parse_ssl_records_tolerant(
+                chunk.view(), ssl_plan, records, nullptr, ssl_header_lines,
+                chunk.offset);
+            out.rows_bad = stats.rows_bad;
+          } else {
+            zeek::LogParseError parse_error;
+            if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
+                                         &parse_error, ssl_header_lines)) {
+              engine_error.record(ssl.name(), chunk.offset,
+                                  describe_parse_error(parse_error));
+              return false;
+            }
           }
           for (const auto& record : records) {
             note_interception_candidate(config_, *enricher, *base, record,
-                                        out);
+                                        out.candidates);
           }
           return true;
         },
-        [&](CandidateMap&& local) {
-          for (auto& [issuer, domains] : local) {
+        [&](CandidateChunk&& local) {
+          for (auto& [issuer, domains] : local.candidates) {
             merged[issuer].insert(domains.begin(), domains.end());
+          }
+          if (skip) {
+            led->count_phase(LedgerPhase::kInterception, local.rows_bad);
           }
         });
     *confirmed = confirm_issuers(merged, config_.interception_domain_threshold);
@@ -437,6 +548,7 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
     std::vector<Pipeline> shards = make_shards(prepared);
     const auto ranges =
         ingest::shard_record_ranges(ssl, ssl_layout.body_begin, ssl.size(), k);
+    std::vector<std::uint64_t> shard_rows_bad(k, 0);
     parallel_ranges(
         k, k, [&](std::size_t /*shard*/, std::size_t begin, std::size_t end) {
           for (std::size_t s = begin; s < end; ++s) {
@@ -446,14 +558,24 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
             std::vector<zeek::SslRecord> records;  // capacity reused
             while (chunker.next(chunk)) {
               records.clear();
-              zeek::LogParseError parse_error;
-              if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
-                                           &parse_error, ssl_header_lines)) {
-                // Unreachable when phases B/C parsed the same bytes, but
-                // an input changing mid-run must not silently drop rows.
-                engine_error.record(ssl.name(), chunk.offset,
-                                    describe_parse_error(parse_error));
-                return;
+              if (skip) {
+                // Non-authoritative re-parse: skip exactly the rows phase
+                // B quarantined; per-shard counts merge deterministically
+                // below.
+                const auto stats = zeek::parse_ssl_records_tolerant(
+                    chunk.view(), ssl_plan, records, nullptr,
+                    ssl_header_lines, chunk.offset);
+                shard_rows_bad[s] += stats.rows_bad;
+              } else {
+                zeek::LogParseError parse_error;
+                if (!zeek::parse_ssl_records(chunk.view(), ssl_plan, records,
+                                             &parse_error, ssl_header_lines)) {
+                  // Unreachable when phases B/C parsed the same bytes, but
+                  // an input changing mid-run must not silently drop rows.
+                  engine_error.record(ssl.name(), chunk.offset,
+                                      describe_parse_error(parse_error));
+                  return;
+                }
               }
               Pipeline& pipeline = shards[s];
               for (const auto& record : records) {
@@ -463,6 +585,11 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
             }
           }
         });
+    if (skip) {
+      for (const auto bad : shard_rows_bad) {
+        led->count_phase(LedgerPhase::kShardRun, bad);
+      }
+    }
 
     if (!engine_error.failed()) {
       // --- Phase E: deterministic merge in shard order. ---
@@ -475,6 +602,7 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
     }
   }
 
+  led->finalize();
   if (!result && error != nullptr) {
     const std::lock_guard<std::mutex> lock(engine_error.mutex);
     *error = engine_error.error;
@@ -484,7 +612,8 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
 
 std::optional<Pipeline> PipelineExecutor::run_log_files(
     const std::string& ssl_path, const std::string& x509_path,
-    ingest::IngestError* error, const ingest::IngestOptions& options) {
+    ingest::IngestError* error, const ingest::IngestOptions& options,
+    ErrorLedger* ledger) {
   ingest::SourceOptions source_options;
   source_options.force_buffered = options.force_buffered;
   ingest::IngestError open_error;
@@ -499,16 +628,17 @@ std::optional<Pipeline> PipelineExecutor::run_log_files(
     if (error != nullptr) *error = open_error;
     return std::nullopt;
   }
-  return run_sources(*ssl, *x509, error, options);
+  return run_sources(*ssl, *x509, error, options, ledger);
 }
 
 std::optional<Pipeline> PipelineExecutor::run_logs(
     const std::string& ssl_text, const std::string& x509_text,
-    zeek::LogParseError* error) {
+    zeek::LogParseError* error, const ingest::IngestOptions& options,
+    ErrorLedger* ledger) {
   const ingest::MemorySource ssl(ssl_text, "<ssl log text>");
   const ingest::MemorySource x509(x509_text, "<x509 log text>");
   ingest::IngestError ingest_error;
-  auto result = run_sources(ssl, x509, &ingest_error);
+  auto result = run_sources(ssl, x509, &ingest_error, options, ledger);
   if (!result && error != nullptr) {
     error->line = 0;
     error->message = ingest_error.to_string();

@@ -202,9 +202,33 @@ std::string render_banner(const ResultDoc& doc) {
   return out;
 }
 
+/// The data-quality footer line: printed whenever a best-effort run
+/// quarantined anything — including under --stable-output, because every
+/// field is a pure function of the input bytes.
+std::string render_data_quality_line(const DataQualityInfo& dq) {
+  std::string out = strf(
+      "\n[data quality: %llu rows quarantined of %llu parsed (ssl %llu, "
+      "x509 %llu), policy=%s",
+      static_cast<unsigned long long>(dq.quarantined_total()),
+      static_cast<unsigned long long>(dq.quarantined_total() + dq.rows_ok),
+      static_cast<unsigned long long>(dq.ssl_quarantined),
+      static_cast<unsigned long long>(dq.x509_quarantined),
+      dq.policy.c_str());
+  if (dq.io_events > 0) {
+    out += strf(", io_events=%llu",
+                static_cast<unsigned long long>(dq.io_events));
+  }
+  out += "]\n";
+  return out;
+}
+
 std::string render_footer(const ResultDoc& doc) {
-  if (!doc.run.present || doc.run.stable_output) return "";
+  if (!doc.run.present) return "";
   std::string out;
+  if (doc.run.data_quality.present) {
+    out += render_data_quality_line(doc.run.data_quality);
+  }
+  if (doc.run.stable_output) return out;
   if (doc.run.file_mode) {
     out += "\n";
   } else if (doc.run.gen_stats) {
@@ -466,6 +490,47 @@ std::string render_json_with_perf(const ResultDoc& doc, int indent,
   if (doc.run.present) {
     w.key("records");
     w.value_uint(doc.run.records);
+  }
+  if (doc.run.data_quality.present) {
+    // Canonical, not perf: quarantine counts and samples are pure
+    // functions of the input bytes, so they are byte-stable across
+    // thread counts, chunk sizes, and --stable-output.
+    const DataQualityInfo& dq = doc.run.data_quality;
+    w.key("data_quality");
+    w.begin_object();
+    w.key("policy");
+    w.value_string(dq.policy);
+    w.key("rows_ok");
+    w.value_uint(dq.rows_ok);
+    w.key("quarantined");
+    w.begin_object();
+    w.key("ssl");
+    w.value_uint(dq.ssl_quarantined);
+    w.key("x509");
+    w.value_uint(dq.x509_quarantined);
+    w.end_object();
+    w.key("io_events");
+    w.value_uint(dq.io_events);
+    w.key("samples");
+    w.begin_array();
+    for (const auto& sample : dq.samples) {
+      w.begin_object();
+      w.key("input");
+      w.value_string(sample.input);
+      w.key("byte_offset");
+      w.value_uint(sample.byte_offset);
+      w.key("line");
+      w.value_uint(sample.line);
+      w.key("reason");
+      w.value_string(sample.reason);
+      w.key("digest");
+      w.value_string(sample.digest);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("samples_truncated");
+    w.value_bool(dq.samples_truncated);
+    w.end_object();
   }
   if (doc.run.gen_stats) {
     w.key("generated");

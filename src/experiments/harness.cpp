@@ -78,7 +78,8 @@ void Harness::run_files() {
     const std::string x509_text = slurp(options_.x509_log);
     parse_bytes_ = ssl_text.size() + x509_text.size();
     zeek::LogParseError error;
-    auto result = executor_.run_logs(ssl_text, x509_text, &error);
+    auto result = executor_.run_logs(ssl_text, x509_text, &error,
+                                     options_.ingest_options(), &ledger_);
     if (!result) {
       std::fprintf(stderr, "parse failed: %s\n", error.message.c_str());
       std::exit(1);
@@ -89,7 +90,8 @@ void Harness::run_files() {
         file_size_or_zero(options_.ssl_log) + file_size_or_zero(options_.x509_log);
     ingest::IngestError error;
     auto result = executor_.run_log_files(options_.ssl_log, options_.x509_log,
-                                          &error, options_.ingest_options());
+                                          &error, options_.ingest_options(),
+                                          &ledger_);
     if (!result) {
       std::fprintf(stderr, "ingest failed: %s\n", error.to_string().c_str());
       std::exit(1);

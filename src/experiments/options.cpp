@@ -16,6 +16,7 @@ ingest::IngestOptions RunOptions::ingest_options() const {
   ingest::IngestOptions options;
   options.chunk_bytes = chunk_bytes();
   options.force_buffered = force_buffered;
+  options.errors = errors;
   return options;
 }
 
@@ -48,6 +49,21 @@ bool RunOptions::parse_flag(const char* arg) {
     force_buffered = true;
   } else if (std::strcmp(arg, "--stable-output") == 0) {
     stable_output = true;
+  } else if (std::strncmp(arg, "--on-error=", 11) == 0) {
+    const char* value = arg + 11;
+    if (std::strcmp(value, "abort") == 0) {
+      errors.on_error = ingest::ErrorPolicy::Action::kAbort;
+    } else if (std::strcmp(value, "skip") == 0) {
+      errors.on_error = ingest::ErrorPolicy::Action::kSkip;
+    } else {
+      std::fprintf(stderr, "--on-error= takes abort or skip, got %s\n",
+                   value);
+      std::exit(2);
+    }
+  } else if (std::strncmp(arg, "--max-errors=", 13) == 0) {
+    errors.max_errors = static_cast<std::uint64_t>(std::atoll(arg + 13));
+  } else if (std::strncmp(arg, "--max-error-rate=", 17) == 0) {
+    errors.max_error_rate = std::atof(arg + 17);
   } else {
     return false;
   }

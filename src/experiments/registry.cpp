@@ -83,6 +83,33 @@ struct Item {
   core::ResultDoc doc;
 };
 
+/// Lifts the harness ledger into the doc's data-quality block. Present
+/// only when the ledger is not pristine, so clean-input runs render
+/// byte-identically under every --on-error policy (DESIGN §11).
+void fill_data_quality(core::RunInfo& run, const core::ErrorLedger& ledger,
+                       const RunOptions& options) {
+  if (ledger.pristine()) return;
+  core::DataQualityInfo& dq = run.data_quality;
+  dq.present = true;
+  dq.policy = options.errors.skip() ? "skip" : "abort";
+  dq.rows_ok = ledger.rows_ok_total();
+  dq.ssl_quarantined = ledger.quarantined(core::InputRole::kSsl);
+  dq.x509_quarantined = ledger.quarantined(core::InputRole::kX509);
+  dq.io_events = ledger.io_events();
+  constexpr std::size_t kMaxSamples = 8;
+  const auto& entries = ledger.entries();
+  const std::size_t take = std::min(entries.size(), kMaxSamples);
+  dq.samples.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const core::QuarantinedRecord& rec = entries[i];
+    dq.samples.push_back(core::QuarantineSample{
+        core::input_role_name(rec.input), rec.byte_offset, rec.line,
+        rec.reason, rec.digest});
+  }
+  dq.samples_truncated =
+      ledger.samples_truncated() || entries.size() > take;
+}
+
 void init_doc(Item& item, std::size_t threads_resolved) {
   const ExperimentInfo& info = item.entry->info;
   item.doc.experiment = info.name;
@@ -173,6 +200,7 @@ std::vector<core::ResultDoc> run_experiments(
       run.records = harness.records_processed();
       run.wall_seconds = harness.wall_seconds();
       run.parse_bytes = harness.parse_bytes();
+      fill_data_quality(run, harness.ledger(), item.options);
       item.exp->report(harness, item.doc);
     }
   }

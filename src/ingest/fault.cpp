@@ -1,0 +1,162 @@
+#include "mtlscope/ingest/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "mtlscope/ingest/retry.hpp"
+
+namespace mtlscope::ingest {
+namespace {
+
+/// splitmix64 finalizer: one 64-bit hash step with full avalanche, so a
+/// (seed, offset) pair maps to an effectively independent random word.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t byte_hash(std::uint64_t seed, std::size_t offset) {
+  return mix64(seed ^ mix64(static_cast<std::uint64_t>(offset)));
+}
+
+/// True when the top 53 bits of `h`, read as a uniform [0,1) value, fall
+/// under `rate`.
+bool hash_below(std::uint64_t h, double rate) {
+  if (rate <= 0) return false;
+  if (rate >= 1) return true;
+  constexpr double kScale = 1.0 / 9007199254740992.0;  // 2^-53
+  return static_cast<double>(h >> 11) * kScale < rate;
+}
+
+/// Non-zero XOR mask for a corrupted byte (zero would be a no-op flip).
+char corrupt_mask(std::uint64_t h) {
+  auto b = static_cast<unsigned char>(h >> 56);
+  if (b == 0) b = 0xa5;
+  return static_cast<char>(b);
+}
+
+}  // namespace
+
+FaultInjectingSource::FaultInjectingSource(const Source& inner, FaultPlan plan)
+    : Source(inner.name()),
+      inner_(inner),
+      plan_(plan),
+      failures_left_(plan.fail_fetches) {}
+
+std::size_t FaultInjectingSource::size() const { return inner_.size(); }
+
+std::string_view FaultInjectingSource::fetch(std::size_t offset,
+                                             std::size_t len,
+                                             std::string& scratch) const {
+  if (plan_.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
+  }
+  // Transient failures: each one is absorbed here by the same bounded
+  // backoff a real flaky fd would cost read_fully, bumping the shared
+  // retry counters so tests can assert the discipline ran. The fetch
+  // always succeeds eventually — an empty view would silently truncate
+  // the chunker's input instead of modelling a retried read.
+  int attempt = 0;
+  while (attempt < kMaxTransientRetries) {
+    std::size_t left = failures_left_.load(std::memory_order_relaxed);
+    if (left == 0) break;
+    if (!failures_left_.compare_exchange_weak(left, left - 1,
+                                              std::memory_order_relaxed)) {
+      continue;
+    }
+    failures_injected_.fetch_add(1, std::memory_order_relaxed);
+    retry_counters().backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+    backoff_sleep(attempt++);
+  }
+
+  const std::size_t full = inner_.size();
+  if (plan_.truncate_at < full) {
+    // Same observable behaviour as a real mid-stream shrink: reads clamp
+    // at the live end and the source flags truncation once a read hits it.
+    if (offset >= plan_.truncate_at) {
+      note_truncation(plan_.truncate_at);
+      return {};
+    }
+    if (offset + len > plan_.truncate_at) {
+      note_truncation(plan_.truncate_at);
+      len = plan_.truncate_at - offset;
+    }
+  }
+
+  const std::string_view view = inner_.fetch(offset, len, scratch);
+  if (plan_.corrupt_byte_rate <= 0 || view.empty()) return view;
+
+  // Corrupt a private copy (the inner view may be zero-copy into an mmap
+  // we must not write through, or may already live in `scratch`).
+  std::string dirty(view);
+  for (std::size_t i = 0; i < dirty.size(); ++i) {
+    const std::size_t abs = offset + i;
+    if (abs < plan_.protect_prefix) continue;
+    const std::uint64_t h = byte_hash(plan_.seed, abs);
+    if (hash_below(h, plan_.corrupt_byte_rate)) dirty[i] ^= corrupt_mask(h);
+  }
+  scratch = std::move(dirty);
+  return {scratch.data(), scratch.size()};
+}
+
+void FaultInjectingSource::release(std::size_t offset, std::size_t len) const {
+  inner_.release(offset, len);
+}
+
+bool fault_corrupts_byte(std::uint64_t seed, double rate, std::size_t offset) {
+  return hash_below(byte_hash(seed, offset), rate);
+}
+
+std::string corrupt_log_rows(std::string_view text, std::uint64_t seed,
+                             double rate, std::size_t* corrupted) {
+  std::string out(text);
+  std::size_t touched = 0;
+  std::size_t data_row = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t eol = out.find('\n', pos);
+    if (eol == std::string::npos) eol = out.size();
+    std::size_t end = eol;
+    if (end > pos && out[end - 1] == '\r') --end;  // leave CRLF framing alone
+    const std::size_t len = end - pos;
+    if (len > 0 && out[pos] != '#') {
+      // Decide per data-row index, not per byte, so `rate` is an exact
+      // expected fraction of rows independent of row lengths.
+      const std::uint64_t h = byte_hash(seed, data_row);
+      if (hash_below(h, rate)) {
+        ++touched;
+        // All kinds are length-preserving (newline positions never move)
+        // and guaranteed to fail with "field count mismatch" on any
+        // multi-column plan.
+        const unsigned kind = static_cast<unsigned>(h % 3);
+        const std::size_t last_tab = out.rfind('\t', end - 1);
+        const bool has_tab = last_tab != std::string::npos && last_tab >= pos;
+        if (kind == 0 && has_tab) {
+          out[last_tab] = ' ';  // drop a separator: one field too few
+        } else if (kind == 1 && out[pos] != '\t') {
+          out[pos] = '\t';  // add a separator: one field too many
+        } else {
+          // Binary-ish garbage, no tabs or newlines: collapses to a
+          // single field.
+          for (std::size_t i = 0; i < len; ++i) {
+            const std::uint64_t g = byte_hash(seed ^ 0x6761726261676521ULL,
+                                              pos + i);
+            char c = static_cast<char>(0x21 + (g % 0x5e));  // printable
+            if (c == '\t' || c == '#') c = '!';
+            out[pos + i] = c;
+          }
+        }
+      }
+      ++data_row;
+    }
+    if (eol == out.size()) break;
+    pos = eol + 1;
+  }
+  if (corrupted != nullptr) *corrupted = touched;
+  return out;
+}
+
+}  // namespace mtlscope::ingest

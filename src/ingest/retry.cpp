@@ -1,0 +1,27 @@
+#include "mtlscope/ingest/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace mtlscope::ingest {
+
+RetryCounters& retry_counters() {
+  static RetryCounters counters;
+  return counters;
+}
+
+void reset_retry_counters() {
+  RetryCounters& counters = retry_counters();
+  counters.eintr_retries.store(0, std::memory_order_relaxed);
+  counters.short_reads.store(0, std::memory_order_relaxed);
+  counters.backoff_sleeps.store(0, std::memory_order_relaxed);
+}
+
+void backoff_sleep(int attempt) {
+  if (attempt < 0) attempt = 0;
+  if (attempt >= kMaxTransientRetries) attempt = kMaxTransientRetries - 1;
+  const auto delay = std::chrono::microseconds(100) * (1 << attempt);
+  std::this_thread::sleep_for(delay);
+}
+
+}  // namespace mtlscope::ingest

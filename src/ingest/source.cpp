@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "mtlscope/ingest/retry.hpp"
+
 namespace mtlscope::ingest {
 namespace {
 
@@ -50,7 +52,11 @@ class FileHandle {
 class MappedFile final : public Source {
  public:
   MappedFile(std::string name, FileHandle fd, void* map, std::size_t size)
-      : Source(std::move(name)), fd_(std::move(fd)), map_(map), size_(size) {
+      : Source(std::move(name)),
+        fd_(std::move(fd)),
+        map_(map),
+        size_(size),
+        live_size_(size) {
     if (map_ != nullptr) {
       ::madvise(map_, size_, MADV_SEQUENTIAL);
     }
@@ -63,9 +69,37 @@ class MappedFile final : public Source {
 
   std::string_view fetch(std::size_t offset, std::size_t len,
                          std::string& scratch) const override {
-    (void)scratch;
     if (offset >= size_) return {};
     len = std::min(len, size_ - offset);
+    // SIGBUS guard: touching mapped pages past the file's current end
+    // faults if the file shrank under us (log rotation, truncation).
+    // One fstat per fetch (one chunk ≈ 1 MiB, so the syscall is noise)
+    // detects the shrink; the affected range is then served by pread,
+    // which clamps at the real EOF instead of faulting. The detection
+    // races a truncation landing between the fstat and the copy — the
+    // window is documented best-effort (DESIGN §11).
+    std::size_t live = live_size_.load(std::memory_order_relaxed);
+    if (live == size_) {
+      struct stat st{};
+      if (::fstat(fd_.get(), &st) == 0 && st.st_size >= 0 &&
+          static_cast<std::size_t>(st.st_size) < size_) {
+        live = static_cast<std::size_t>(st.st_size);
+        live_size_.store(live, std::memory_order_relaxed);
+        note_truncation(live);
+      }
+    }
+    if (live < size_) {
+      if (offset >= live) return {};
+      len = std::min(len, live - offset);
+      scratch.resize(len);
+      const auto got = read_fully(
+          [this](char* dst, std::size_t n, std::size_t at) {
+            return ::pread(fd_.get(), dst, n, static_cast<off_t>(at));
+          },
+          scratch.data(), len, offset);
+      scratch.resize(got.bytes);
+      return {scratch.data(), got.bytes};
+    }
     return {static_cast<const char*>(map_) + offset, len};
   }
 
@@ -84,6 +118,9 @@ class MappedFile final : public Source {
   FileHandle fd_;
   void* map_;
   std::size_t size_;
+  /// Last fstat'd file size; sticks below size_ once a shrink is seen so
+  /// later fetches skip the mapping (and the fstat) entirely.
+  mutable std::atomic<std::size_t> live_size_;
 };
 
 /// pread-backed fallback: every fetch copies into the caller's scratch.
@@ -99,15 +136,15 @@ class BufferedFile final : public Source {
     if (offset >= size_) return {};
     len = std::min(len, size_ - offset);
     scratch.resize(len);
-    std::size_t got = 0;
-    while (got < len) {
-      const ssize_t n = ::pread(fd_.get(), scratch.data() + got, len - got,
-                                static_cast<off_t>(offset + got));
-      if (n <= 0) break;  // EOF/error: return the short read
-      got += static_cast<std::size_t>(n);
-    }
-    scratch.resize(got);
-    return {scratch.data(), got};
+    const auto got = read_fully(
+        [this](char* dst, std::size_t n, std::size_t at) {
+          return ::pread(fd_.get(), dst, n, static_cast<off_t>(at));
+        },
+        scratch.data(), len, offset);
+    // EOF before the stat'd size means the file shrank while streaming.
+    if (!got.error && got.bytes < len) note_truncation(offset + got.bytes);
+    scratch.resize(got.bytes);
+    return {scratch.data(), got.bytes};
   }
 
  private:
@@ -128,28 +165,35 @@ FileHandle spool_to_tempfile(int in_fd, std::size_t* spooled,
   std::size_t total = 0;
   char buf[1 << 16];
   while (true) {
-    const ssize_t n = ::read(in_fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
+    // read_fully owns the EINTR/short-read/backoff discipline (shared
+    // with the pread fetch path); a short result here means EOF or a
+    // hard error, never a transient hiccup.
+    const auto got = read_fully(
+        [in_fd](char* dst, std::size_t n, std::size_t) {
+          return ::read(in_fd, dst, n);
+        },
+        buf, sizeof(buf), total);
+    if (got.error) {
+      errno = got.err;
       set_error(error, name, total, "read failed: " + errno_string());
       std::fclose(tmp);
       ::close(tmp_fd);
       return FileHandle{};
     }
-    if (n == 0) break;
-    ssize_t written = 0;
-    while (written < n) {
-      const ssize_t w = ::write(tmp_fd, buf + written,
-                                static_cast<std::size_t>(n - written));
+    if (got.bytes == 0) break;
+    std::size_t written = 0;
+    while (written < got.bytes) {
+      const ssize_t w = ::write(tmp_fd, buf + written, got.bytes - written);
       if (w <= 0) {
         set_error(error, name, total, "spool write failed: " + errno_string());
         std::fclose(tmp);
         ::close(tmp_fd);
         return FileHandle{};
       }
-      written += w;
+      written += static_cast<std::size_t>(w);
     }
-    total += static_cast<std::size_t>(n);
+    total += got.bytes;
+    if (got.bytes < sizeof(buf)) break;  // EOF mid-buffer
   }
   std::fclose(tmp);  // tmp_fd keeps the (unlinked) inode alive
   *spooled = total;

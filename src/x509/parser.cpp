@@ -250,6 +250,12 @@ ParseResult parse_certificate(std::span<const std::uint8_t> der) {
     return parse_impl(der);
   } catch (const DerError& e) {
     return ParseError{e.what()};
+  } catch (const std::exception& e) {
+    // Hostile DER must yield a structured ParseError, never an exception
+    // escaping into (possibly multi-threaded) callers. DerError covers
+    // the grammar; this covers everything else the decode path can throw
+    // (length_error from pathological lengths, bad_alloc, ...).
+    return ParseError{std::string("unexpected parse failure: ") + e.what()};
   }
 }
 

@@ -10,6 +10,7 @@
 #include <istream>
 #include <sstream>
 
+#include "mtlscope/crypto/sha256.hpp"
 #include "mtlscope/zeek/log_io.hpp"
 
 namespace mtlscope::zeek {
@@ -276,6 +277,85 @@ bool parse_records(std::string_view body, const Plan& plan_in,
     return false;
   }
   return true;
+}
+
+/// The tolerant batch loop. Mirrors parse_records line walking exactly
+/// (CRLF tolerance, '#' comments, unterminated final record) but
+/// quarantines malformed rows instead of aborting, and — deliberately —
+/// never compiles a #fields line found inside the body: the strict path
+/// honours one only on the first chunk before any data row, which would
+/// make best-effort output depend on chunk boundaries (DESIGN §11).
+template <typename Plan, typename EmitFn>
+TolerantStats parse_records_tolerant(std::string_view body,
+                                     const Plan& plan,
+                                     std::vector<RowIssue>* issues,
+                                     std::size_t header_lines,
+                                     std::size_t base_offset,
+                                     const EmitFn& emit) {
+  TolerantStats stats;
+  const bool usable = plan.valid && plan.missing == nullptr;
+  std::string reject_reason;
+  if (!plan.valid) {
+    reject_reason = "data row before #fields header";
+  } else if (plan.missing != nullptr) {
+    reject_reason = missing_field_message(plan.missing);
+  }
+  const auto quarantine = [&](std::size_t line_no, std::size_t offset,
+                              std::string_view raw, std::string reason) {
+    ++stats.rows_bad;
+    if (issues == nullptr) return;
+    RowIssue& issue = issues->emplace_back();
+    issue.line = line_no;
+    issue.byte_offset = offset;
+    issue.raw_length = raw.size();
+    issue.reason = std::move(reason);
+    issue.digest = quarantine_digest(raw);
+  };
+
+  std::vector<std::string_view> fields(plan.columns);
+  std::size_t line_no = header_lines;
+  std::size_t row_index = 0;
+  bool saw_data_row = false;
+  const char* const base = body.data();
+  const char* p = base;
+  const char* const end = p + body.size();
+  while (p < end) {
+    const char* const nl =
+        static_cast<const char*>(std::memchr(p, '\n', end - p));
+    const char* eol = nl != nullptr ? nl : end;
+    ++line_no;
+    ++stats.lines;
+    if (eol > p && eol[-1] == '\r') --eol;  // CRLF tolerance
+    const std::string_view line(p, static_cast<std::size_t>(eol - p));
+    const std::size_t line_offset =
+        base_offset + static_cast<std::size_t>(p - base);
+    p = nl != nullptr ? nl + 1 : end;
+    if (line.empty()) continue;
+    if (line.front() == '#') continue;  // comment; never a mid-body #fields
+    saw_data_row = true;
+    if (!usable) {
+      quarantine(line_no, line_offset, line, reject_reason);
+      continue;
+    }
+    const std::size_t count = split_fields(line, fields.data(), fields.size());
+    if (count != plan.columns) {
+      quarantine(line_no, line_offset, line, "field count mismatch");
+      continue;
+    }
+    LogParseError row_error;
+    if (!emit(plan, fields.data(), row_index, &row_error)) {
+      quarantine(line_no, line_offset, line,
+                 row_error.message.empty() ? std::string("malformed row")
+                                           : std::move(row_error.message));
+      continue;
+    }
+    ++row_index;
+    ++stats.rows_ok;
+  }
+  if (!plan.valid && !saw_data_row) {
+    quarantine(0, base_offset, {}, "missing #fields header");
+  }
+  return stats;
 }
 
 // --- reference (row-materializing) path ------------------------------------
@@ -547,6 +627,64 @@ bool parse_x509_records(std::string_view body, const X509Plan& plan,
         return fill_x509_record(
             active, [fields](std::size_t slot) { return fields[slot]; },
             row_index, r, err);
+      });
+}
+
+// --- tolerant batch path -----------------------------------------------------
+
+std::string quarantine_digest(std::string_view raw) {
+  const auto digest = crypto::Sha256::hash(raw);
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(16);
+  for (std::size_t i = 0; i < 8; ++i) {  // 8 bytes -> 16 hex chars
+    out.push_back(kHex[digest[i] >> 4]);
+    out.push_back(kHex[digest[i] & 0xf]);
+  }
+  return out;
+}
+
+TolerantStats parse_ssl_records_tolerant(std::string_view body,
+                                         const SslPlan& plan,
+                                         std::vector<SslRecord>& out,
+                                         std::vector<RowIssue>* issues,
+                                         std::size_t header_lines,
+                                         std::size_t base_offset) {
+  out.reserve(out.size() + estimate_rows(body));
+  return parse_records_tolerant(
+      body, plan, issues, header_lines, base_offset,
+      [&out](const SslPlan& active, const std::string_view* fields,
+             std::size_t row_index, LogParseError* err) {
+        SslRecord& r = out.emplace_back();
+        if (fill_ssl_record(
+                active, [fields](std::size_t slot) { return fields[slot]; },
+                row_index, r, err)) {
+          return true;
+        }
+        out.pop_back();  // discard the partially filled record
+        return false;
+      });
+}
+
+TolerantStats parse_x509_records_tolerant(std::string_view body,
+                                          const X509Plan& plan,
+                                          std::vector<X509Record>& out,
+                                          std::vector<RowIssue>* issues,
+                                          std::size_t header_lines,
+                                          std::size_t base_offset) {
+  out.reserve(out.size() + estimate_rows(body));
+  return parse_records_tolerant(
+      body, plan, issues, header_lines, base_offset,
+      [&out](const X509Plan& active, const std::string_view* fields,
+             std::size_t row_index, LogParseError* err) {
+        X509Record& r = out.emplace_back();
+        if (fill_x509_record(
+                active, [fields](std::size_t slot) { return fields[slot]; },
+                row_index, r, err)) {
+          return true;
+        }
+        out.pop_back();
+        return false;
       });
 }
 

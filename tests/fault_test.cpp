@@ -1,0 +1,479 @@
+// Degradation suite for the best-effort pipeline (DESIGN §11): seeded
+// fault injection over the ingest layer and the quarantine/budget
+// machinery built on top of it. The load-bearing assertions:
+//
+//   * skip-mode results and the finalized ErrorLedger are identical for
+//     every thread count and chunk size over the same (dirty) bytes;
+//   * clean input leaves the ledger pristine, so skip mode and the
+//     default abort mode produce the same pipeline;
+//   * abort mode still fails with the deterministic smallest-offset
+//     error regardless of parallelism;
+//   * the error budget (--max-errors= / --max-error-rate=) converts a
+//     too-dirty skip run into a structured abort;
+//   * truncation-while-streaming salvages complete records and logs an
+//     I/O event; injected transient read failures are absorbed by the
+//     shared bounded-backoff retry discipline;
+//   * a hostile DER body degrades to the logged-fields fallback — no
+//     exception ever crosses the executor's threads.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/error_ledger.hpp"
+#include "mtlscope/core/executor.hpp"
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/ingest/fault.hpp"
+#include "mtlscope/ingest/retry.hpp"
+#include "mtlscope/ingest/source.hpp"
+#include "mtlscope/x509/parser.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+namespace mtlscope {
+namespace {
+
+namespace fs = std::filesystem;
+
+ingest::IngestOptions skip_options(std::size_t chunk_bytes = 1 << 20) {
+  ingest::IngestOptions options;
+  options.chunk_bytes = chunk_bytes;
+  options.errors.on_error = ingest::ErrorPolicy::Action::kSkip;
+  return options;
+}
+
+/// Scratch directory keyed by PID + test name so the default and
+/// sanitizer ctest trees never share files.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mtlscope_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    return path.string();
+  }
+
+  fs::path dir_;
+};
+
+std::string small_ssl_log() {
+  return "#separator \\x09\n"
+         "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p"
+         "\tversion\tserver_name\testablished\tcert_chain_fuids"
+         "\tclient_cert_chain_fuids\n"
+         "100.000000\tC1\t10.0.0.1\t1000\t10.0.0.2\t443\tTLSv12\thost.a"
+         "\tT\t(empty)\t(empty)\n"
+         "200.000000\tC2\t10.0.0.3\t1001\t10.0.0.4\t443\tTLSv13\thost.b"
+         "\tT\t(empty)\t(empty)\n"
+         "300.000000\tC3\t10.0.0.5\t1002\t10.0.0.6\t8443\t-\t-"
+         "\tF\t(empty)\t(empty)\n";
+}
+
+std::string x509_log_header() {
+  return "#separator \\x09\n"
+         "#fields\tfuid\tcertificate.version\tcertificate.serial"
+         "\tcertificate.subject\tcertificate.issuer"
+         "\tcertificate.not_valid_before\tcertificate.not_valid_after"
+         "\tcertificate.key_alg\tcertificate.key_length\tsan.dns"
+         "\tsan.email\tsan.uri\tsan.ip\tcert_der\n";
+}
+
+/// Generated trace rendered to log text — the realistic corpus the
+/// corruption property tests run over.
+struct Corpus {
+  std::string ssl;
+  std::string x509;
+};
+
+Corpus generated_corpus() {
+  gen::TraceGenerator generator(gen::paper_model(2'000, 1'000'000));
+  const auto dataset = generator.generate_dataset();
+  return {zeek::ssl_log_to_string(dataset.ssl()),
+          zeek::x509_log_to_string(dataset)};
+}
+
+void expect_same_ledger(const core::ErrorLedger& a,
+                        const core::ErrorLedger& b) {
+  EXPECT_EQ(a.quarantined(core::InputRole::kSsl),
+            b.quarantined(core::InputRole::kSsl));
+  EXPECT_EQ(a.quarantined(core::InputRole::kX509),
+            b.quarantined(core::InputRole::kX509));
+  EXPECT_EQ(a.rows_ok_total(), b.rows_ok_total());
+  EXPECT_EQ(a.io_events(), b.io_events());
+  EXPECT_EQ(a.samples_truncated(), b.samples_truncated());
+  ASSERT_EQ(a.entries().size(), b.entries().size());
+  for (std::size_t i = 0; i < a.entries().size(); ++i) {
+    const auto& ea = a.entries()[i];
+    const auto& eb = b.entries()[i];
+    EXPECT_EQ(ea.input, eb.input) << "entry " << i;
+    EXPECT_EQ(ea.byte_offset, eb.byte_offset) << "entry " << i;
+    EXPECT_EQ(ea.line, eb.line) << "entry " << i;
+    EXPECT_EQ(ea.raw_length, eb.raw_length) << "entry " << i;
+    EXPECT_EQ(ea.reason, eb.reason) << "entry " << i;
+    EXPECT_EQ(ea.digest, eb.digest) << "entry " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fault primitives themselves
+
+TEST(FaultPrimitives, ByteCorruptionIsPureAndRateBounded) {
+  for (const std::size_t offset : {0u, 1u, 63u, 4096u, 1u << 20}) {
+    EXPECT_FALSE(ingest::fault_corrupts_byte(7, 0.0, offset));
+    EXPECT_TRUE(ingest::fault_corrupts_byte(7, 1.0, offset));
+    EXPECT_EQ(ingest::fault_corrupts_byte(7, 0.25, offset),
+              ingest::fault_corrupts_byte(7, 0.25, offset));
+  }
+  // Different seeds disagree somewhere.
+  std::size_t disagreements = 0;
+  for (std::size_t offset = 0; offset < 4096; ++offset) {
+    if (ingest::fault_corrupts_byte(1, 0.5, offset) !=
+        ingest::fault_corrupts_byte(2, 0.5, offset)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0u);
+}
+
+TEST(FaultPrimitives, ByteCorruptionIsFetchSizeInvariant) {
+  const std::string text = small_ssl_log();
+  const ingest::MemorySource inner(text);
+  ingest::FaultPlan plan;
+  plan.seed = 42;
+  plan.corrupt_byte_rate = 0.05;
+  const ingest::FaultInjectingSource faulty(inner, plan);
+
+  std::string scratch;
+  const std::string whole(faulty.fetch(0, text.size(), scratch));
+  ASSERT_EQ(whole.size(), text.size());
+  // Reassembling from tiny fetches yields the same corrupted bytes…
+  std::string pieced;
+  for (std::size_t offset = 0; offset < text.size(); offset += 7) {
+    std::string s;
+    pieced += faulty.fetch(offset, 7, s);
+  }
+  EXPECT_EQ(pieced, whole);
+  // …and exactly the predicted positions differ from the original.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    EXPECT_EQ(whole[i] != text[i],
+              ingest::fault_corrupts_byte(plan.seed, plan.corrupt_byte_rate, i))
+        << "byte " << i;
+  }
+}
+
+TEST(FaultPrimitives, RowCorrupterPreservesFramingAndCounts) {
+  const std::string text = generated_corpus().ssl;
+  std::size_t corrupted = 0;
+  const std::string dirty = ingest::corrupt_log_rows(text, 9, 0.01, &corrupted);
+  EXPECT_GT(corrupted, 0u);
+  ASSERT_EQ(dirty.size(), text.size());
+  std::size_t differing_rows = 0;
+  std::size_t row_start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const bool eol = i == text.size() || text[i] == '\n';
+    if (!eol) continue;
+    if (i < text.size()) {
+      EXPECT_EQ(dirty[i], '\n') << "newline moved at byte " << i;
+    }
+    if (dirty.compare(row_start, i - row_start, text, row_start,
+                      i - row_start) != 0) {
+      ++differing_rows;
+      EXPECT_NE(text[row_start], '#') << "header row corrupted";
+    }
+    row_start = i + 1;
+  }
+  EXPECT_EQ(differing_rows, corrupted);
+  // Same seed → same bytes; different seed → different choice of rows.
+  EXPECT_EQ(dirty, ingest::corrupt_log_rows(text, 9, 0.01));
+  EXPECT_NE(dirty, ingest::corrupt_log_rows(text, 10, 0.01));
+}
+
+// ---------------------------------------------------------------------------
+// Skip-mode determinism (the satellite property test)
+
+TEST_F(FaultTest, SkipModeQuarantinesExactlyAndDeterministically) {
+  const Corpus clean = generated_corpus();
+  std::size_t ssl_corrupted = 0, x509_corrupted = 0;
+  const std::string dirty_ssl =
+      ingest::corrupt_log_rows(clean.ssl, 11, 0.01, &ssl_corrupted);
+  const std::string dirty_x509 =
+      ingest::corrupt_log_rows(clean.x509, 12, 0.005, &x509_corrupted);
+  ASSERT_GT(ssl_corrupted, 0u);
+  ASSERT_GT(x509_corrupted, 0u);
+
+  const auto config = core::PipelineConfig::campus_defaults();
+  core::PipelineExecutor clean_executor(config, 1);
+  const auto reference = clean_executor.run_logs(clean.ssl, clean.x509);
+  ASSERT_TRUE(reference.has_value());
+
+  std::optional<core::ErrorLedger> first_ledger;
+  for (const std::size_t threads : {1u, 2u, 4u, 7u}) {
+    core::PipelineExecutor executor(config, threads);
+    core::ErrorLedger ledger;
+    zeek::LogParseError error;
+    const auto run = executor.run_logs(dirty_ssl, dirty_x509, &error,
+                                       skip_options(), &ledger);
+    ASSERT_TRUE(run.has_value()) << "threads=" << threads << ": "
+                                 << error.message;
+    // Exact counts: every seeded-dirty row quarantined, nothing else.
+    EXPECT_EQ(ledger.quarantined(core::InputRole::kSsl), ssl_corrupted);
+    EXPECT_EQ(ledger.quarantined(core::InputRole::kX509), x509_corrupted);
+    EXPECT_EQ(run->totals().connections,
+              reference->totals().connections - ssl_corrupted);
+    for (const auto& entry : ledger.entries()) {
+      EXPECT_EQ(entry.reason, "field count mismatch");
+      EXPECT_EQ(entry.digest.size(), 16u);
+      EXPECT_GT(entry.line, 2u) << "header rows must never be quarantined";
+    }
+    if (!first_ledger) {
+      first_ledger.emplace(std::move(ledger));
+    } else {
+      expect_same_ledger(*first_ledger, ledger);
+    }
+  }
+}
+
+TEST_F(FaultTest, StreamingSkipModeMatchesInMemoryForAllConfigurations) {
+  const Corpus clean = generated_corpus();
+  std::size_t ssl_corrupted = 0;
+  const std::string dirty_ssl =
+      ingest::corrupt_log_rows(clean.ssl, 21, 0.01, &ssl_corrupted);
+  ASSERT_GT(ssl_corrupted, 0u);
+  const std::string ssl_path = write_file("ssl.log", dirty_ssl);
+  const std::string x509_path = write_file("x509.log", clean.x509);
+  const auto config = core::PipelineConfig::campus_defaults();
+
+  core::PipelineExecutor reference_executor(config, 1);
+  core::ErrorLedger reference_ledger;
+  const auto reference = reference_executor.run_logs(
+      dirty_ssl, clean.x509, nullptr, skip_options(), &reference_ledger);
+  ASSERT_TRUE(reference.has_value());
+
+  for (const std::size_t threads : {1u, 4u}) {
+    for (const std::size_t chunk_bytes :
+         {std::size_t{4} << 10, std::size_t{1} << 20}) {
+      core::PipelineExecutor executor(config, threads);
+      core::ErrorLedger ledger;
+      ingest::IngestError error;
+      const auto run = executor.run_log_files(
+          ssl_path, x509_path, &error, skip_options(chunk_bytes), &ledger);
+      ASSERT_TRUE(run.has_value())
+          << "threads=" << threads << " chunk=" << chunk_bytes << ": "
+          << error.to_string();
+      EXPECT_EQ(run->totals().connections, reference->totals().connections);
+      EXPECT_EQ(run->totals().mutual, reference->totals().mutual);
+      expect_same_ledger(reference_ledger, ledger);
+    }
+  }
+}
+
+TEST_F(FaultTest, CleanInputSkipModeLeavesLedgerPristine) {
+  const Corpus clean = generated_corpus();
+  const auto config = core::PipelineConfig::campus_defaults();
+
+  core::PipelineExecutor abort_executor(config, 2);
+  const auto abort_run = abort_executor.run_logs(clean.ssl, clean.x509);
+  ASSERT_TRUE(abort_run.has_value());
+
+  core::PipelineExecutor skip_executor(config, 2);
+  core::ErrorLedger ledger;
+  const auto skip_run = skip_executor.run_logs(clean.ssl, clean.x509, nullptr,
+                                               skip_options(), &ledger);
+  ASSERT_TRUE(skip_run.has_value());
+  EXPECT_TRUE(ledger.pristine());
+  EXPECT_GT(ledger.rows_ok_total(), 0u);
+  EXPECT_EQ(skip_run->totals().connections, abort_run->totals().connections);
+  EXPECT_EQ(skip_run->totals().mutual, abort_run->totals().mutual);
+  EXPECT_EQ(skip_run->certificates_sorted().size(),
+            abort_run->certificates_sorted().size());
+}
+
+// ---------------------------------------------------------------------------
+// Abort mode and the error budget
+
+TEST_F(FaultTest, AbortModeFailsWithSmallestOffsetForAnyParallelism) {
+  const Corpus clean = generated_corpus();
+  const std::string dirty_ssl = ingest::corrupt_log_rows(clean.ssl, 31, 0.01);
+  const std::string ssl_path = write_file("ssl.log", dirty_ssl);
+  const std::string x509_path = write_file("x509.log", clean.x509);
+  const auto config = core::PipelineConfig::campus_defaults();
+
+  std::optional<ingest::IngestError> first_error;
+  for (const std::size_t threads : {1u, 4u}) {
+    for (const std::size_t chunk_bytes :
+         {std::size_t{4} << 10, std::size_t{1} << 20}) {
+      core::PipelineExecutor executor(config, threads);
+      ingest::IngestOptions options;
+      options.chunk_bytes = chunk_bytes;
+      ingest::IngestError error;
+      const auto run =
+          executor.run_log_files(ssl_path, x509_path, &error, options);
+      ASSERT_FALSE(run.has_value())
+          << "threads=" << threads << " chunk=" << chunk_bytes;
+      ASSERT_FALSE(error.reason.empty());
+      if (!first_error) {
+        first_error = error;
+      } else {
+        EXPECT_EQ(error.file, first_error->file);
+        EXPECT_EQ(error.byte_offset, first_error->byte_offset);
+        EXPECT_EQ(error.reason, first_error->reason);
+      }
+    }
+  }
+}
+
+TEST_F(FaultTest, ErrorBudgetCountConvertsSkipIntoStructuredAbort) {
+  const Corpus clean = generated_corpus();
+  std::size_t corrupted = 0;
+  const std::string dirty_ssl =
+      ingest::corrupt_log_rows(clean.ssl, 41, 0.02, &corrupted);
+  ASSERT_GT(corrupted, 3u);
+  const auto config = core::PipelineConfig::campus_defaults();
+
+  core::PipelineExecutor executor(config, 2);
+  auto options = skip_options();
+  options.errors.max_errors = 2;
+  core::ErrorLedger ledger;
+  zeek::LogParseError error;
+  const auto run =
+      executor.run_logs(dirty_ssl, clean.x509, &error, options, &ledger);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.message.find("error budget exceeded"), std::string::npos)
+      << error.message;
+  EXPECT_NE(error.message.find("--max-errors=2"), std::string::npos)
+      << error.message;
+
+  // A budget at least as large as the dirt count lets the run complete.
+  options.errors.max_errors = corrupted;
+  core::PipelineExecutor roomy(config, 2);
+  core::ErrorLedger roomy_ledger;
+  EXPECT_TRUE(
+      roomy.run_logs(dirty_ssl, clean.x509, nullptr, options, &roomy_ledger)
+          .has_value());
+  EXPECT_EQ(roomy_ledger.quarantined(core::InputRole::kSsl), corrupted);
+}
+
+TEST_F(FaultTest, ErrorBudgetRateConvertsSkipIntoStructuredAbort) {
+  const Corpus clean = generated_corpus();
+  const std::string dirty_ssl = ingest::corrupt_log_rows(clean.ssl, 51, 0.05);
+  const auto config = core::PipelineConfig::campus_defaults();
+
+  core::PipelineExecutor executor(config, 2);
+  auto options = skip_options();
+  options.errors.max_error_rate = 0.0001;
+  zeek::LogParseError error;
+  const auto run = executor.run_logs(dirty_ssl, clean.x509, &error, options);
+  EXPECT_FALSE(run.has_value());
+  EXPECT_NE(error.message.find("error rate"), std::string::npos)
+      << error.message;
+  EXPECT_NE(error.message.find("--max-error-rate="), std::string::npos)
+      << error.message;
+}
+
+// ---------------------------------------------------------------------------
+// I/O degradation: truncation salvage + transient-failure retries
+
+TEST_F(FaultTest, TruncationSalvagesCompleteRecordsAndLogsIoEvent) {
+  const std::string ssl_text = small_ssl_log();
+  const std::string x509_text = x509_log_header();
+  // Cut mid-way through row C2: C1 must survive, the partial C2 row is
+  // quarantined, C3 is behind the truncation point and never seen.
+  const std::size_t c2 = ssl_text.find("200.000000");
+  ASSERT_NE(c2, std::string::npos);
+  ingest::FaultPlan plan;
+  plan.truncate_at = c2 + 20;
+
+  const ingest::MemorySource ssl_inner(ssl_text);
+  const ingest::FaultInjectingSource ssl_faulty(ssl_inner, plan);
+  const ingest::MemorySource x509_source(x509_text);
+
+  core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(), 2);
+  core::ErrorLedger ledger;
+  ingest::IngestError error;
+  const auto run = executor.run_sources(ssl_faulty, x509_source, &error,
+                                        skip_options(), &ledger);
+  ASSERT_TRUE(run.has_value()) << error.to_string();
+  EXPECT_EQ(run->totals().connections, 1u);
+  EXPECT_EQ(ledger.quarantined(core::InputRole::kSsl), 1u);
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].reason, "field count mismatch");
+  EXPECT_GE(ledger.io_events(), 1u);
+  ASSERT_FALSE(ledger.io_notes().empty());
+  EXPECT_NE(ledger.io_notes()[0].find("truncated"), std::string::npos);
+  EXPECT_TRUE(ssl_faulty.truncation_detected());
+}
+
+TEST_F(FaultTest, TransientReadFailuresAreAbsorbedByBoundedRetries) {
+  const std::string ssl_text = small_ssl_log();
+  const std::string x509_text = x509_log_header();
+  ingest::FaultPlan plan;
+  plan.fail_fetches = 3;
+
+  const ingest::MemorySource ssl_inner(ssl_text);
+  const ingest::FaultInjectingSource ssl_faulty(ssl_inner, plan);
+  const ingest::MemorySource x509_source(x509_text);
+
+  ingest::reset_retry_counters();
+  core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(), 2);
+  ingest::IngestError error;
+  const auto run = executor.run_sources(ssl_faulty, x509_source, &error);
+  ASSERT_TRUE(run.has_value()) << error.to_string();
+  // C1 and C2 are established connections; C3 is a rejected handshake.
+  EXPECT_EQ(run->totals().connections, 2u);
+  EXPECT_EQ(run->totals().rejected_handshakes, 1u);
+  EXPECT_EQ(ssl_faulty.failures_injected(), 3u);
+  EXPECT_GE(ingest::retry_counters().backoff_sleeps.load(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile certificate bodies (the DerError containment satellite)
+
+TEST_F(FaultTest, HostileDerDegradesToLoggedFieldsWithoutThrowing) {
+  // Malformed DER: SEQUENCE claiming a 4 GB body, then garbage.
+  const std::vector<std::uint8_t> hostile_der = {
+      0x30, 0x84, 0xff, 0xff, 0xff, 0xff, 0x02, 0x01, 0x00, 0x30};
+  const auto result = x509::parse_certificate(hostile_der);
+  EXPECT_EQ(x509::get_certificate(result), nullptr)
+      << "hostile DER must yield a structured parse error";
+
+  // The same bytes inside an otherwise well-formed x509 row must ride
+  // through the full pipeline (default abort mode!) via the
+  // logged-fields fallback — the row is valid TSV, only the DER is bad.
+  const std::string x509_text =
+      x509_log_header() + "Fh\t3\t0102\tCN=hostile.example"
+      "\tCN=Private Issuer,O=HostileOrg\t100.000000\t400.000000\trsa\t2048"
+      "\t(empty)\t(empty)\t(empty)\t(empty)\t" +
+      crypto::to_base64(hostile_der) + "\n";
+  const std::string ssl_text =
+      small_ssl_log().substr(0, small_ssl_log().find("100.000000")) +
+      "100.000000\tC1\t10.0.0.1\t1000\t10.0.0.2\t443\tTLSv12\thost.a"
+      "\tT\tFh\t(empty)\n";
+
+  core::PipelineExecutor executor(core::PipelineConfig::campus_defaults(), 2);
+  zeek::LogParseError error;
+  const auto run = executor.run_logs(ssl_text, x509_text, &error);
+  ASSERT_TRUE(run.has_value()) << error.message;
+  const auto certs = run->certificates_sorted();
+  ASSERT_EQ(certs.size(), 1u);
+  EXPECT_EQ(certs[0]->fuid, "Fh");
+  // Logged fields won: the issuer came from the row, not the DER.
+  EXPECT_EQ(certs[0]->issuer_org, "HostileOrg");
+}
+
+}  // namespace
+}  // namespace mtlscope
