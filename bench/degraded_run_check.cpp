@@ -162,6 +162,13 @@ int main(int argc, char** argv) {
                      combo);
         return 1;
       }
+      if (!contains(run.output, "\"reasons\"")) {
+        std::fprintf(stderr,
+                     "FAIL: skip-mode run %d lacks the per-reason "
+                     "quarantine breakdown\n",
+                     combo);
+        return 1;
+      }
       if (reference.empty()) {
         reference = run.output;
       } else if (run.output != reference) {

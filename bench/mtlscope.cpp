@@ -3,6 +3,8 @@
 //   mtlscope list
 //   mtlscope run table1 fig4 [--format=text|json|csv|tsv] [--out=DIR]
 //   mtlscope run --all --format=json
+//   mtlscope map --state-out=F --ssl-log=F --x509-log=F
+//   mtlscope reduce S1 S2 ... --run=table1,fig1 [--format=json]
 //
 // `run` groups the requested experiments by model key and configuration,
 // so one generated trace serves every compatible experiment (e.g. the
@@ -12,6 +14,13 @@
 // --force-buffered / --stable-output / --on-error= / --max-errors= /
 // --max-error-rate=) apply to every experiment in the invocation;
 // scales default to each experiment's calibrated values.
+//
+// `map` runs one pipeline pass over an input slice and writes the
+// complete shard state (pipeline, analyzers, ledger) to a versioned
+// state file; `reduce` merges state files from compatible slices and
+// reports any distributable experiments from the merged state,
+// byte-identical to a single-host `run` over the concatenated inputs
+// (DESIGN §12).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -20,7 +29,11 @@
 #include <vector>
 
 #include "mtlscope/core/result_doc.hpp"
+#include "mtlscope/core/shard_state.hpp"
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/crypto/sha256.hpp"
 #include "mtlscope/experiments/registry.hpp"
+#include "mtlscope/gen/generator.hpp"
 
 using namespace mtlscope;
 
@@ -31,13 +44,25 @@ int usage(const char* argv0) {
                "usage: %s list\n"
                "       %s run <experiment>... [--all] "
                "[--format=text|json|csv|tsv] [--out=DIR] [options]\n"
+               "       %s map --state-out=FILE "
+               "(--ssl-log=F --x509-log=F | --cert-scale=N --conn-scale=N) "
+               "[options]\n"
+               "       %s reduce <state-file>... (--run=NAME[,NAME...] | "
+               "--all) [--format=text|json|csv|tsv] [--out=DIR] [options]\n"
                "\n"
                "options (apply to every experiment in the run):\n"
                "  --cert-scale=N --conn-scale=N --seed=N --threads=N\n"
                "  --ssl-log=F --x509-log=F --chunk-mb=N --in-memory\n"
                "  --force-buffered --stable-output\n"
-               "  --on-error=abort|skip --max-errors=N --max-error-rate=F\n",
-               argv0, argv0);
+               "  --on-error=abort|skip --max-errors=N --max-error-rate=F\n"
+               "\n"
+               "reduce merges shard states written by map (same seed, "
+               "scales, and mode required) and reports the named "
+               "distributable experiments from the merged state; --all "
+               "selects every distributable experiment. --ssl-log=/"
+               "--x509-log= override the input paths shown in the report "
+               "(e.g. the unsliced originals).\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -97,6 +122,62 @@ std::string render_tables(const core::ResultDoc& doc, char sep) {
   return out;
 }
 
+/// Shared output tail of `run` and `reduce`: --out=DIR writes one file
+/// per experiment (or per table for csv/tsv); otherwise everything goes
+/// to stdout.
+int emit_docs(const std::vector<core::ResultDoc>& docs,
+              const std::string& format, const std::string& out_dir,
+              bool include_perf) {
+  const char sep = format == "tsv" ? '\t' : ',';
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    for (const auto& doc : docs) {
+      const std::filesystem::path base =
+          std::filesystem::path(out_dir) / doc.experiment;
+      bool ok = true;
+      if (format == "text") {
+        ok = write_file(base.string() + ".txt", core::render_text(doc));
+      } else if (format == "json") {
+        ok = write_file(base.string() + ".json",
+                        core::render_json_with_perf(doc, 2, include_perf));
+      } else {
+        // One file per table: <experiment>.<table-id>.csv/tsv.
+        for (const core::ResultTable* table : doc.tables()) {
+          const std::string path = base.string() + "." + table->id() +
+                                   (format == "tsv" ? ".tsv" : ".csv");
+          ok = write_file(path, core::render_csv(*table, sep)) && ok;
+        }
+      }
+      if (!ok) return 1;
+    }
+    return 0;
+  }
+
+  std::string out;
+  if (format == "json") {
+    out = render_json_envelope(docs, include_perf);
+  } else {
+    bool first = true;
+    for (const auto& doc : docs) {
+      if (format == "text") {
+        if (!first) out += "\n";
+        out += core::render_text(doc);
+      } else {
+        out += render_tables(doc, sep);
+      }
+      first = false;
+    }
+  }
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
 int run_run(int argc, char** argv) {
   experiments::RunOptions options;
   std::vector<std::string> names;
@@ -144,57 +225,227 @@ int run_run(int argc, char** argv) {
     std::fprintf(stderr, "%s (see `mtlscope list`)\n", e.what());
     return 2;
   }
+  return emit_docs(docs, format, out_dir,
+                   /*include_perf=*/!options.stable_output);
+}
 
-  const char sep = format == "tsv" ? '\t' : ',';
-  if (!out_dir.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(out_dir, ec);
-    if (ec) {
-      std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
-                   ec.message().c_str());
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+int run_map(int argc, char** argv) {
+  experiments::RunOptions options;
+  std::string state_out;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--state-out=", 12) == 0) {
+      state_out = arg + 12;
+    } else if (arg[0] == '-') {
+      if (!options.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "map takes no positional arguments: %s\n", arg);
+      return usage(argv[0]);
+    }
+  }
+  if (state_out.empty()) {
+    std::fprintf(stderr, "map needs --state-out=FILE\n");
+    return 2;
+  }
+  if (options.ssl_log.empty() != options.x509_log.empty()) {
+    std::fprintf(stderr, "file mode needs both --ssl-log= and --x509-log=\n");
+    return 2;
+  }
+
+  core::ShardState state;
+  auto config = core::PipelineConfig::campus_defaults();
+  if (options.file_mode()) {
+    // Foreign logs: no synthetic CT database applies (mirrors the
+    // harness), so the interception analysis stays disarmed and shard
+    // states merge without cross-slice confirmation effects.
+    core::PipelineExecutor executor(config, options.threads);
+    ingest::IngestError error;
+    auto folded = executor.fold_log_files(options.ssl_log, options.x509_log,
+                                          &error, options.ingest_options());
+    if (!folded) {
+      std::fprintf(stderr, "ingest failed: %s\n", error.to_string().c_str());
       return 1;
     }
-    for (const auto& doc : docs) {
-      const std::filesystem::path base =
-          std::filesystem::path(out_dir) / doc.experiment;
-      bool ok = true;
-      if (format == "text") {
-        ok = write_file(base.string() + ".txt", core::render_text(doc));
-      } else if (format == "json") {
-        ok = write_file(base.string() + ".json",
-                        core::render_json_with_perf(
-                            doc, 2, /*include_perf=*/!options.stable_output));
-      } else {
-        // One file per table: <experiment>.<table-id>.csv/tsv.
-        for (const core::ResultTable* table : doc.tables()) {
-          const std::string path = base.string() + "." + table->id() +
-                                   (format == "tsv" ? ".tsv" : ".csv");
-          ok = write_file(path, core::render_csv(*table, sep)) && ok;
-        }
-      }
-      if (!ok) return 1;
+    state = std::move(*folded);
+    state.meta.file_mode = true;
+    state.meta.ssl_log = options.ssl_log;
+    state.meta.x509_log = options.x509_log;
+    state.meta.parse_bytes = file_size_or_zero(options.ssl_log) +
+                             file_size_or_zero(options.x509_log);
+    state.meta.cert_scale = options.cert_scale_override.value_or(1.0);
+    state.meta.conn_scale = options.conn_scale_override.value_or(1.0);
+  } else {
+    // Synthetic slices make no sense at an accidental scale: require
+    // the scales explicitly rather than defaulting per-experiment.
+    if (!options.cert_scale_override || !options.conn_scale_override) {
+      std::fprintf(stderr,
+                   "synthetic map needs explicit --cert-scale= and "
+                   "--conn-scale= (or --ssl-log=/--x509-log= for file "
+                   "mode)\n");
+      return 2;
     }
-    return 0;
+    auto model = gen::paper_model(*options.cert_scale_override,
+                                  *options.conn_scale_override);
+    model.seed = options.seed;
+    gen::TraceGenerator generator(std::move(model));
+    config.ct = &generator.ct_database();
+    core::PipelineExecutor executor(config, options.threads);
+    state = executor.fold(generator.generate_dataset());
+    state.meta.cert_scale = *options.cert_scale_override;
+    state.meta.conn_scale = *options.conn_scale_override;
+  }
+  state.meta.seed = options.seed;
+
+  core::StateFileInfo info;
+  std::string error;
+  if (!core::save_shard_state(state_out, state, &info, &error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", state_out.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s: %llu bytes, format v%u, digest %.16s..., %llu "
+      "connections (%s)\n",
+      state_out.c_str(), static_cast<unsigned long long>(info.bytes),
+      info.format_version, info.digest_hex.c_str(),
+      static_cast<unsigned long long>(state.pipeline->totals().connections),
+      core::describe_meta(state.meta).c_str());
+  return 0;
+}
+
+int run_reduce(int argc, char** argv) {
+  experiments::RunOptions options;
+  std::vector<std::string> state_paths;
+  std::vector<std::string> names;
+  std::string format = "text";
+  std::string out_dir;
+  bool all = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--all") == 0) {
+      all = true;
+    } else if (std::strncmp(arg, "--run=", 6) == 0) {
+      std::string list = arg + 6;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!name.empty()) names.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--format=", 9) == 0) {
+      format = arg + 9;
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      out_dir = arg + 6;
+    } else if (arg[0] == '-') {
+      if (!options.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        return usage(argv[0]);
+      }
+    } else {
+      state_paths.emplace_back(arg);
+    }
+  }
+  if (format != "text" && format != "json" && format != "csv" &&
+      format != "tsv") {
+    std::fprintf(stderr, "unknown format: %s\n", format.c_str());
+    return 2;
+  }
+  if (state_paths.empty()) {
+    std::fprintf(stderr, "no state files to reduce\n");
+    return usage(argv[0]);
   }
 
-  std::string out;
-  if (format == "json") {
-    out = render_json_envelope(docs,
-                               /*include_perf=*/!options.stable_output);
-  } else {
-    bool first = true;
-    for (const auto& doc : docs) {
-      if (format == "text") {
-        if (!first) out += "\n";
-        out += core::render_text(doc);
-      } else {
-        out += render_tables(doc, sep);
-      }
-      first = false;
+  // Load and merge in argv order; refuse configuration mismatches with a
+  // deterministic message. Format-version mismatches are rejected inside
+  // parse_shard_state (hard error naming the version).
+  core::ShardState merged;
+  std::string digest_chain;  // payload digests, in merge order
+  bool have = false;
+  std::string first_path;
+  for (const auto& path : state_paths) {
+    core::StateFileInfo info;
+    std::string error;
+    auto state = core::load_shard_state(path, &info, &error);
+    if (!state) {
+      std::fprintf(stderr, "cannot load %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    digest_chain += info.digest_hex;
+    if (!have) {
+      merged = std::move(*state);
+      first_path = path;
+      have = true;
+      continue;
+    }
+    if (!core::compatible_meta(merged.meta, state->meta)) {
+      std::fprintf(stderr,
+                   "cannot reduce: incompatible shard states:\n"
+                   "  %s: %s\n"
+                   "  %s: %s\n",
+                   first_path.c_str(),
+                   core::describe_meta(merged.meta).c_str(), path.c_str(),
+                   core::describe_meta(state->meta).c_str());
+      return 2;
+    }
+    merged.merge(std::move(*state));
+  }
+  // Same post-pass steps a single-host run applies after its shard
+  // merge: both are idempotent, so single-file reduces are no-ops here.
+  merged.pipeline->finalize();
+  merged.ledger.finalize();
+
+  experiments::ReduceInfo reduce_info;
+  reduce_info.state_format_version = core::kStateFormatVersion;
+  reduce_info.state_digest =
+      crypto::to_hex(crypto::Sha256::hash(digest_chain)).substr(0, 16);
+
+  // The producing configuration labels the report; explicit --ssl-log=
+  // / --x509-log= override the (comma-joined) slice paths, e.g. with
+  // the unsliced originals a single-host run would name.
+  options.seed = merged.meta.seed;
+  if (!merged.meta.file_mode) {
+    options.cert_scale_override = merged.meta.cert_scale;
+    options.conn_scale_override = merged.meta.conn_scale;
+  } else if (options.ssl_log.empty()) {
+    options.ssl_log = merged.meta.ssl_log;
+    options.x509_log = merged.meta.x509_log;
+  }
+
+  if (all) {
+    const auto& registry = experiments::ExperimentRegistry::instance();
+    for (const auto& entry : registry.entries()) {
+      if (entry.make()->distributable()) names.emplace_back(entry.info.name);
     }
   }
-  std::fwrite(out.data(), 1, out.size(), stdout);
-  return 0;
+  if (names.empty()) {
+    std::fprintf(stderr, "no experiments requested (try --run= or --all)\n");
+    return usage(argv[0]);
+  }
+
+  std::vector<core::ResultDoc> docs;
+  try {
+    docs = experiments::run_reduced(names, std::move(merged), reduce_info,
+                                    options);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s (see `mtlscope list`)\n", e.what());
+    return 2;
+  }
+  return emit_docs(docs, format, out_dir,
+                   /*include_perf=*/!options.stable_output);
 }
 
 }  // namespace
@@ -203,6 +454,8 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   if (std::strcmp(argv[1], "list") == 0) return run_list();
   if (std::strcmp(argv[1], "run") == 0) return run_run(argc, argv);
+  if (std::strcmp(argv[1], "map") == 0) return run_map(argc, argv);
+  if (std::strcmp(argv[1], "reduce") == 0) return run_reduce(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);
   return usage(argv[0]);
 }

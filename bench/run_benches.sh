@@ -1,28 +1,35 @@
 #!/usr/bin/env sh
-# Runs the Zeek-parsing microbench and writes its google-benchmark JSON
-# to BENCH_parse.json in the repo root (committed so the README's
-# before/after numbers stay reproducible).
+# Runs the committed benches and writes their google-benchmark JSON to
+# the repo root (committed so the README's before/after numbers stay
+# reproducible): the Zeek-parsing microbench to BENCH_parse.json and the
+# shard-state serialization bench to BENCH_state.json.
 #
-#   bench/run_benches.sh [BUILD_DIR] [OUT_FILE]
+#   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT]
 #
-# BUILD_DIR defaults to ./build; OUT_FILE to ./BENCH_parse.json. Scale
-# the fixture down for a quick smoke run with
+# BUILD_DIR defaults to ./build; outputs to ./BENCH_parse.json and
+# ./BENCH_state.json. Scale the parse fixture down for a quick smoke run
+# with
 #   MTLSCOPE_PARSE_BENCH_CONN=2000000 bench/run_benches.sh
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
-out_file=${2:-"$repo_root/BENCH_parse.json"}
-bench_bin="$build_dir/bench/perf_zeek_parse"
+parse_out=${2:-"$repo_root/BENCH_parse.json"}
+state_out=${3:-"$repo_root/BENCH_state.json"}
 
-if [ ! -x "$bench_bin" ]; then
-  echo "error: $bench_bin not built (cmake --build $build_dir)" >&2
-  exit 1
-fi
+run_bench() {
+  bench_bin="$build_dir/bench/$1"
+  out_file=$2
+  if [ ! -x "$bench_bin" ]; then
+    echo "error: $bench_bin not built (cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  "$bench_bin" \
+    --benchmark_out="$out_file" \
+    --benchmark_out_format=json \
+    --benchmark_repetitions=1
+  echo "wrote $out_file"
+}
 
-"$bench_bin" \
-  --benchmark_out="$out_file" \
-  --benchmark_out_format=json \
-  --benchmark_repetitions=1
-
-echo "wrote $out_file"
+run_bench perf_zeek_parse "$parse_out"
+run_bench perf_state "$state_out"

@@ -22,6 +22,9 @@
 
 namespace mtlscope::core {
 
+class StateWriter;
+class StateReader;
+
 /// The uniform connection-analyzer shape: per-record accumulation plus
 /// shard-order merging. Every analyzer state below is built from counters,
 /// sets, and min/max watermarks, so merging shards in stream order
@@ -96,6 +99,12 @@ class PrevalenceAnalyzer {
   /// Months in chronological order.
   std::vector<MonthPoint> series() const;
 
+  /// Canonical shard-state encoding (core/shard_state.hpp): every
+  /// analyzer serializes its complete private state, so deserialize ∘
+  /// serialize is the identity and re-serialization is byte-identical.
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
+
  private:
   std::map<int, MonthPoint> months_;
 };
@@ -117,6 +126,9 @@ class ServicePortAnalyzer {
   /// Top-N ports for one (direction, mutual) quadrant.
   std::vector<PortShare> top(Direction direction, bool mutual,
                              std::size_t n = 5) const;
+
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   // quadrant index: direction*2 + mutual
@@ -142,6 +154,9 @@ class InboundAssociationAnalyzer {
   std::vector<Row> rows() const;
   std::uint64_t total_connections() const { return total_conns_; }
   std::uint64_t total_clients() const;
+
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   struct Acc {
@@ -181,6 +196,9 @@ class OutboundFlowAnalyzer {
   /// Takeaway: share of outbound client certificates lacking a valid
   /// issuer (paper: 37.84%). Certificate-level.
   static double missing_issuer_client_cert_pct(const Pipeline& pipeline);
+
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   std::map<std::string, std::uint64_t> sld_counts_;
@@ -230,6 +248,9 @@ class DummyIssuerAnalyzer {
   };
   const WeakParams& weak_params() const { return weak_; }
 
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
+
  private:
   struct Key {
     Direction direction;
@@ -267,6 +288,9 @@ class SerialCollisionAnalyzer {
 
   /// Clients involved in any collision, per direction.
   std::uint64_t involved_clients(Direction d) const;
+
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   static bool candidate(const CertFacts& facts);
@@ -310,6 +334,9 @@ class SharedCertAnalyzer {
     return same_conn_fuids_;
   }
 
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
+
  private:
   std::map<std::string, SameConnRow> same_conn_;  // key: sld|issuer
   std::array<std::uint64_t, 2> same_conn_conns_{};
@@ -341,6 +368,9 @@ class IncorrectDateAnalyzer {
   /// Rows where both endpoints of the same connection had incorrect
   /// dates (Table 12: idrive.com, SDS).
   std::vector<Row> both_ends_rows() const;
+
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   std::map<std::string, Row> rows_;

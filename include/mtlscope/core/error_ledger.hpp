@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,9 @@
 #include "mtlscope/ingest/error.hpp"
 
 namespace mtlscope::core {
+
+class StateWriter;
+class StateReader;
 
 /// Which logical input a quarantined record came from. Reports use the
 /// role name, never the file path, so output stays host-independent.
@@ -99,6 +103,12 @@ class ErrorLedger {
     return phase_counts_[static_cast<unsigned>(phase)];
   }
   std::uint64_t io_events() const { return io_events_; }
+  /// Exact quarantine counts per structured reason for one input role
+  /// (the per-reason breakdown of the data-quality block). Unlike the
+  /// sample list these never cap, and std::map keeps them sorted.
+  const std::map<std::string, std::uint64_t>& reasons(InputRole role) const {
+    return reason_counts_[static_cast<unsigned>(role)];
+  }
   const std::vector<QuarantinedRecord>& entries() const { return entries_; }
   const std::vector<std::string>& io_notes() const { return io_notes_; }
   bool samples_truncated() const { return samples_truncated_; }
@@ -110,10 +120,15 @@ class ErrorLedger {
   std::optional<std::string> budget_violation(
       const ingest::ErrorPolicy& policy) const;
 
+  /// Canonical shard-state encoding (core/shard_state.hpp).
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
+
  private:
   std::vector<QuarantinedRecord> entries_;
   std::vector<std::string> io_notes_;
   std::uint64_t quarantined_[kInputRoles] = {};
+  std::map<std::string, std::uint64_t> reason_counts_[kInputRoles];
   std::uint64_t rows_ok_[kInputRoles] = {};
   std::uint64_t phase_counts_[kLedgerPhases] = {};
   std::uint64_t io_events_ = 0;

@@ -49,6 +49,7 @@
 #include "mtlscope/core/analyzers.hpp"
 #include "mtlscope/core/error_ledger.hpp"
 #include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/core/shard_state.hpp"
 #include "mtlscope/ingest/chunker.hpp"
 #include "mtlscope/ingest/error.hpp"
 #include "mtlscope/ingest/source.hpp"
@@ -128,6 +129,20 @@ class PipelineExecutor {
                                       ErrorLedger* ledger = nullptr);
 
   const PipelineConfig& config() const;
+
+  /// Fold-to-state entries (mtlscope map / DESIGN §12): run the phases
+  /// with every standard analyzer attached and return the complete
+  /// serializable shard state — merged finalized pipeline, the eight
+  /// analyzer states, and the ledger. The caller fills `meta`. The
+  /// executor must not have caller-attached observers for these entries
+  /// (their state would be silently dropped).
+  ShardState fold(const zeek::Dataset& dataset);
+  ShardState fold(const std::vector<zeek::SslRecord>& ssl,
+                  const std::map<std::string, zeek::X509Record>& x509);
+  std::optional<ShardState> fold_log_files(
+      const std::string& ssl_path, const std::string& x509_path,
+      ingest::IngestError* error = nullptr,
+      const ingest::IngestOptions& options = {});
 
  private:
   /// K prepared-mode pipelines with per-shard and shared observers wired.

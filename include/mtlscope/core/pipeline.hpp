@@ -42,6 +42,8 @@ using gen::Direction;
 using gen::ServerAssociation;
 
 class Enricher;
+class StateWriter;
+class StateReader;
 
 /// Decoded, classified facts about one unique certificate, plus usage
 /// aggregates accumulated as connections stream through.
@@ -104,6 +106,11 @@ struct CertFacts {
   /// take min/max, subnet sets union, and the representative context
   /// fields keep the first non-empty value in merge order.
   void merge(const CertFacts& other);
+
+  /// Canonical shard-state encoding of every field above
+  /// (core/shard_state.hpp).
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 };
 
 /// One enriched connection, handed to registered observers.
@@ -237,6 +244,16 @@ class Pipeline {
   /// merged result exposes the full certificate population (zero-usage
   /// certificates included, as the streaming pipeline would).
   void backfill_certificates(const CertMap& base);
+
+  /// Canonical shard-state encoding (core/shard_state.hpp): registry,
+  /// totals, interception state, and reconciliation ledger — everything
+  /// merge() and the certificate analyses consume. Unordered maps emit
+  /// sorted by key, so re-serialization is byte-identical regardless of
+  /// hash-table iteration order. Observers and the prepared-mode shared
+  /// pointers are deliberately excluded; a deserialized pipeline is a
+  /// streaming-mode object.
+  void serialize(StateWriter& w) const;
+  void deserialize(StateReader& r);
 
  private:
   const CertFacts* find_base(const std::string& fuid) const;

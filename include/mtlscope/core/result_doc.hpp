@@ -130,6 +130,15 @@ struct QuarantineSample {
   std::string digest;  // sha256 hex prefix of the raw row
 };
 
+/// One row of the per-reason quarantine breakdown: exact count of rows
+/// quarantined for one (input role, structured reason) pair. Counts are
+/// never capped, and rows arrive sorted by (input, reason).
+struct QuarantineReason {
+  std::string input;  // "ssl" / "x509"
+  std::string reason;
+  std::uint64_t count = 0;
+};
+
 /// Quarantine totals of a best-effort run (DESIGN §11). `present` is
 /// true only when something was actually quarantined or degraded, so
 /// clean-input runs render identically in every error-policy mode.
@@ -140,6 +149,7 @@ struct DataQualityInfo {
   std::uint64_t ssl_quarantined = 0;
   std::uint64_t x509_quarantined = 0;
   std::uint64_t io_events = 0;
+  std::vector<QuarantineReason> reasons;  // exact per-reason breakdown
   std::vector<QuarantineSample> samples;  // capped; smallest offsets kept
   bool samples_truncated = false;
 
@@ -175,6 +185,13 @@ struct RunInfo {
   /// Bytes of log input parsed (ssl + x509 file sizes). 0 in synthetic
   /// mode, where records come from the generator, not a parser.
   std::uint64_t parse_bytes = 0;
+  /// Shard-state provenance of a reduced run (mtlscope reduce): the
+  /// state format version and a digest over the merged state files.
+  /// 0 / empty outside reduce mode. Volatile-envelope metadata (perf
+  /// object and non-stable text footer only, never canonical JSON) —
+  /// reduce output must stay byte-identical to the single-host run.
+  std::uint32_t state_format_version = 0;
+  std::string state_digest;
   /// Quarantine totals from a best-effort run. Canonical (unlike the
   /// perf envelope): rendered in JSON and in the text footer — even
   /// under --stable-output, since its fields are pure functions of the

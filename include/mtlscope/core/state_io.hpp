@@ -1,0 +1,75 @@
+// StateWriter / StateReader: the primitive encoding layer under the
+// versioned shard-state files (DESIGN §12). Fixed-width little-endian
+// integers, IEEE-754 doubles via bit_cast, and length-prefixed strings —
+// no varints, no padding, no host-endian leakage — so the same analyzer
+// state serializes to the same bytes on every machine and a re-serialized
+// deserialization is byte-identical to its source.
+//
+// StateReader is bounds-checked everywhere: any read past the end of the
+// buffer throws StateError. Section payloads are only handed to
+// deserialize() after the file-level SHA-256 trailer verified, so a
+// throwing reader indicates a framing bug, never silent corruption.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mtlscope::core {
+
+/// Structured failure while decoding a state buffer. Every malformed
+/// input — truncation, bad magic, unknown version, digest mismatch —
+/// surfaces as this exception (or as the error string of
+/// parse_shard_state), never as UB.
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends fixed-width little-endian fields to a growing byte buffer.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  void f64(double v);
+  /// u64 byte length followed by the raw bytes.
+  void str(std::string_view v);
+  void raw(const void* data, std::size_t size);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string take() && { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked little-endian reader over one in-memory buffer.
+class StateReader {
+ public:
+  explicit StateReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  double f64();
+  std::string str();
+  std::string_view bytes(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws unless the whole buffer was consumed — a section that leaves
+  /// trailing bytes was encoded by a different layout than it claims.
+  void expect_done(const char* section) const;
+
+ private:
+  const std::uint8_t* need(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mtlscope::core

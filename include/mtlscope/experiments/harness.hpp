@@ -12,6 +12,7 @@
 #include "mtlscope/core/analyzers.hpp"
 #include "mtlscope/core/executor.hpp"
 #include "mtlscope/core/pipeline.hpp"
+#include "mtlscope/core/shard_state.hpp"
 #include "mtlscope/experiments/options.hpp"
 #include "mtlscope/gen/generator.hpp"
 
@@ -22,6 +23,13 @@ class Harness {
   /// File-mode aware: when options.file_mode(), run() streams (or, with
   /// --in-memory, slurps) the given logs instead of generating a trace.
   Harness(gen::CampusModel model, const RunOptions& options);
+
+  /// Reduce mode (mtlscope reduce): wraps already-merged, finalized
+  /// shard state instead of executing a pipeline pass. pipeline() and
+  /// ledger() serve the merged state immediately; experiments read
+  /// analyzer results from analyzers() instead of attaching Sharded
+  /// instances. run() must not be called.
+  Harness(const RunOptions& options, core::ShardState state);
 
   /// The merged, finalized pipeline. Valid only after run().
   core::Pipeline& pipeline();
@@ -61,6 +69,12 @@ class Harness {
   }
   const RunOptions& options() const { return options_; }
 
+  /// True for a reduce-mode harness built from shard state.
+  bool reduced() const { return reduced_; }
+  /// The merged analyzer states (reduce mode only). Experiments copy the
+  /// analyzer they need, so several experiments can share one reduce.
+  const core::AnalyzerSet& analyzers() const;
+
  private:
   void run_files();
 
@@ -72,6 +86,8 @@ class Harness {
   std::size_t records_ = 0;
   std::uint64_t parse_bytes_ = 0;
   core::ErrorLedger ledger_;
+  bool reduced_ = false;
+  core::AnalyzerSet analyzers_;
 };
 
 /// Restricts a model to clusters whose name starts with any of the given

@@ -60,6 +60,12 @@ class Experiment {
     (void)options;
     (void)doc;
   }
+
+  /// True when report() can run from deserialized shard state (a
+  /// reduce-mode Harness): everything it reads is the merged pipeline,
+  /// the eight standard analyzers, or the ledger. Experiments with
+  /// ad-hoc shared observers or self-driving passes override to false.
+  virtual bool distributable() const { return !self_driving(); }
 };
 
 class ExperimentRegistry {
@@ -92,6 +98,26 @@ std::vector<core::ResultDoc> run_experiments(
 
 core::ResultDoc run_experiment(const std::string& name,
                                const RunOptions& base);
+
+/// Provenance of a reduce: surfaced as RunInfo::state_format_version /
+/// state_digest in the volatile perf envelope.
+struct ReduceInfo {
+  std::uint32_t state_format_version = 0;
+  /// SHA-256 hex prefix over the input state files' payload digests, in
+  /// merge order.
+  std::string state_digest;
+};
+
+/// Runs the named experiments against already-merged shard state (the
+/// `mtlscope reduce` backend). The state must be finalized (pipeline and
+/// ledger). Every experiment must be distributable(); throws
+/// std::invalid_argument otherwise, and for unknown names. The emitted
+/// docs are canonical-byte-identical to run_experiments() over the
+/// concatenated inputs of the map tasks.
+std::vector<core::ResultDoc> run_reduced(const std::vector<std::string>& names,
+                                         core::ShardState state,
+                                         const ReduceInfo& reduce_info,
+                                         const RunOptions& base);
 
 /// main() body for the repro_* shims: parse the shared flags, run the
 /// named experiment at its default scales, print the text rendering.

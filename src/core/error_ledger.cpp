@@ -45,6 +45,7 @@ const char* ledger_phase_name(LedgerPhase phase) {
 
 void ErrorLedger::quarantine(LedgerPhase phase, QuarantinedRecord record) {
   ++quarantined_[static_cast<unsigned>(record.input)];
+  ++reason_counts_[static_cast<unsigned>(record.input)][record.reason];
   ++phase_counts_[static_cast<unsigned>(phase)];
   if (stored_for_role(entries_, record.input) < kMaxStoredPerRole) {
     entries_.push_back(std::move(record));
@@ -79,6 +80,9 @@ void ErrorLedger::merge(ErrorLedger&& other) {
   }
   for (std::size_t i = 0; i < kInputRoles; ++i) {
     quarantined_[i] += other.quarantined_[i];
+    for (const auto& [reason, n] : other.reason_counts_[i]) {
+      reason_counts_[i][reason] += n;
+    }
     rows_ok_[i] += other.rows_ok_[i];
   }
   for (std::size_t i = 0; i < kLedgerPhases; ++i) {
@@ -126,6 +130,7 @@ void ErrorLedger::clear() {
   entries_.clear();
   io_notes_.clear();
   for (auto& c : quarantined_) c = 0;
+  for (auto& m : reason_counts_) m.clear();
   for (auto& c : rows_ok_) c = 0;
   for (auto& c : phase_counts_) c = 0;
   io_events_ = 0;

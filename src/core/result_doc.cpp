@@ -219,6 +219,13 @@ std::string render_data_quality_line(const DataQualityInfo& dq) {
                 static_cast<unsigned long long>(dq.io_events));
   }
   out += "]\n";
+  // Per-reason breakdown table: one line per (input, reason) with exact
+  // counts — unlike the sample list, never capped.
+  for (const auto& reason : dq.reasons) {
+    out += strf("  %-5s %-32s %llu\n", reason.input.c_str(),
+                reason.reason.c_str(),
+                static_cast<unsigned long long>(reason.count));
+  }
   return out;
 }
 
@@ -229,6 +236,10 @@ std::string render_footer(const ResultDoc& doc) {
     out += render_data_quality_line(doc.run.data_quality);
   }
   if (doc.run.stable_output) return out;
+  if (doc.run.state_format_version != 0) {
+    out += strf("\n[state: format v%u, digest %s]\n",
+                doc.run.state_format_version, doc.run.state_digest.c_str());
+  }
   if (doc.run.file_mode) {
     out += "\n";
   } else if (doc.run.gen_stats) {
@@ -511,6 +522,19 @@ std::string render_json_with_perf(const ResultDoc& doc, int indent,
     w.end_object();
     w.key("io_events");
     w.value_uint(dq.io_events);
+    w.key("reasons");
+    w.begin_array();
+    for (const auto& reason : dq.reasons) {
+      w.begin_object();
+      w.key("input");
+      w.value_string(reason.input);
+      w.key("reason");
+      w.value_string(reason.reason);
+      w.key("count");
+      w.value_uint(reason.count);
+      w.end_object();
+    }
+    w.end_array();
     w.key("samples");
     w.begin_array();
     for (const auto& sample : dq.samples) {
@@ -561,6 +585,12 @@ std::string render_json_with_perf(const ResultDoc& doc, int indent,
     w.value_uint(doc.run.parse_bytes);
     w.key("parse_bytes_per_second");
     w.value_double(doc.run.parse_bytes_per_second(), 0);
+    if (doc.run.state_format_version != 0) {
+      w.key("state_format_version");
+      w.value_uint(doc.run.state_format_version);
+      w.key("state_digest");
+      w.value_string(doc.run.state_digest);
+    }
     w.end_object();
   }
   w.key("blocks");

@@ -1,0 +1,1013 @@
+// Shard-state serialization (DESIGN §12). Every serialize/deserialize
+// member declared across analyzers.hpp / pipeline.hpp / error_ledger.hpp
+// is defined here, next to the container framing, so the full on-disk
+// layout is reviewable in one translation unit.
+#include "mtlscope/core/shard_state.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mtlscope/core/executor.hpp"
+#include "mtlscope/core/state_io.hpp"
+#include "mtlscope/crypto/encoding.hpp"
+#include "mtlscope/crypto/sha256.hpp"
+
+namespace mtlscope::core {
+
+namespace {
+
+// Section ids, in file order. The section table is part of the format:
+// renumbering or reordering requires a kStateFormatVersion bump.
+enum SectionId : std::uint32_t {
+  kSecMeta = 1,
+  kSecPipeline = 2,
+  kSecPrevalence = 3,
+  kSecServicePorts = 4,
+  kSecInboundAssoc = 5,
+  kSecOutboundFlows = 6,
+  kSecDummyIssuer = 7,
+  kSecSerialCollision = 8,
+  kSecSharedCert = 9,
+  kSecIncorrectDate = 10,
+  kSecLedger = 11,
+};
+constexpr std::uint32_t kSectionCount = 11;
+
+constexpr char kMagic[8] = {'M', 'T', 'L', 'S', 'S', 'T', 'A', 'T'};
+/// Stored little-endian; a big-endian writer would emit 0x04030201.
+constexpr std::uint32_t kEndianSentinel = 0x01020304;
+
+void write_str_set(StateWriter& w, const std::set<std::string>& s) {
+  w.u64(s.size());
+  for (const auto& v : s) w.str(v);
+}
+
+void read_str_set(StateReader& r, std::set<std::string>& s) {
+  s.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) s.insert(s.end(), r.str());
+}
+
+void write_u32_set(StateWriter& w, const std::set<std::uint32_t>& s) {
+  w.u64(s.size());
+  for (const std::uint32_t v : s) w.u32(v);
+}
+
+void read_u32_set(StateReader& r, std::set<std::uint32_t>& s) {
+  s.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) s.insert(s.end(), r.u32());
+}
+
+void write_totals(StateWriter& w, const Pipeline::Totals& t) {
+  w.u64(t.connections);
+  w.u64(t.established);
+  w.u64(t.rejected_handshakes);
+  w.u64(t.mutual);
+  w.u64(t.inbound);
+  w.u64(t.outbound);
+  w.u64(t.tls13);
+}
+
+void read_totals(StateReader& r, Pipeline::Totals& t) {
+  t.connections = r.u64();
+  t.established = r.u64();
+  t.rejected_handshakes = r.u64();
+  t.mutual = r.u64();
+  t.inbound = r.u64();
+  t.outbound = r.u64();
+  t.tls13 = r.u64();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CertFacts / Pipeline
+
+void CertFacts::serialize(StateWriter& w) const {
+  w.str(fuid);
+  w.i64(version);
+  w.i64(key_bits);
+  w.str(serial_hex);
+  w.str(subject_cn);
+  w.str(issuer_org);
+  w.str(issuer_cn);
+  w.str(issuer_dn);
+  w.i64(validity.not_before);
+  w.i64(validity.not_after);
+  w.u64(san_dns.size());
+  for (const auto& name : san_dns) w.str(name);
+  w.i64(san_email_count);
+  w.i64(san_uri_count);
+  w.i64(san_ip_count);
+  w.u8(static_cast<std::uint8_t>(issuer_class));
+  w.u8(static_cast<std::uint8_t>(issuer_category));
+  w.u8(campus_issuer ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(cn_type));
+  w.u64(san_dns_types.size());
+  for (const auto type : san_dns_types) {
+    w.u8(static_cast<std::uint8_t>(type));
+  }
+  w.u8(flagged_interception ? 1 : 0);
+  w.u8(used_as_server ? 1 : 0);
+  w.u8(used_as_client ? 1 : 0);
+  w.u8(used_in_mutual ? 1 : 0);
+  w.u8(seen_inbound ? 1 : 0);
+  w.u8(seen_outbound ? 1 : 0);
+  w.u8(seen_outbound_with_sni ? 1 : 0);
+  w.u8(client_use_while_expired ? 1 : 0);
+  w.u64(connection_count);
+  w.i64(first_seen);
+  w.i64(last_seen);
+  write_u32_set(w, server_subnets);
+  write_u32_set(w, client_subnets);
+  w.str(context_sld);
+  w.u8(static_cast<std::uint8_t>(context_assoc));
+}
+
+void CertFacts::deserialize(StateReader& r) {
+  fuid = r.str();
+  version = static_cast<int>(r.i64());
+  key_bits = static_cast<int>(r.i64());
+  serial_hex = r.str();
+  subject_cn = r.str();
+  issuer_org = r.str();
+  issuer_cn = r.str();
+  issuer_dn = r.str();
+  validity.not_before = r.i64();
+  validity.not_after = r.i64();
+  san_dns.clear();
+  const std::uint64_t n_san = r.u64();
+  san_dns.reserve(static_cast<std::size_t>(n_san));
+  for (std::uint64_t i = 0; i < n_san; ++i) san_dns.push_back(r.str());
+  san_email_count = static_cast<int>(r.i64());
+  san_uri_count = static_cast<int>(r.i64());
+  san_ip_count = static_cast<int>(r.i64());
+  issuer_class = static_cast<trust::IssuerClass>(r.u8());
+  issuer_category = static_cast<IssuerCategory>(r.u8());
+  campus_issuer = r.u8() != 0;
+  cn_type = static_cast<textclass::InfoType>(r.u8());
+  san_dns_types.clear();
+  const std::uint64_t n_types = r.u64();
+  san_dns_types.reserve(static_cast<std::size_t>(n_types));
+  for (std::uint64_t i = 0; i < n_types; ++i) {
+    san_dns_types.push_back(static_cast<textclass::InfoType>(r.u8()));
+  }
+  flagged_interception = r.u8() != 0;
+  used_as_server = r.u8() != 0;
+  used_as_client = r.u8() != 0;
+  used_in_mutual = r.u8() != 0;
+  seen_inbound = r.u8() != 0;
+  seen_outbound = r.u8() != 0;
+  seen_outbound_with_sni = r.u8() != 0;
+  client_use_while_expired = r.u8() != 0;
+  connection_count = r.u64();
+  first_seen = r.i64();
+  last_seen = r.i64();
+  read_u32_set(r, server_subnets);
+  read_u32_set(r, client_subnets);
+  context_sld = r.str();
+  context_assoc = static_cast<ServerAssociation>(r.u8());
+}
+
+void Pipeline::serialize(StateWriter& w) const {
+  write_totals(w, totals_);
+  w.u64(excluded_connections_);
+  // The registry is an unordered map: emit sorted by fuid so the bytes
+  // are independent of hash-table iteration order.
+  std::vector<const CertFacts*> sorted = certificates_sorted();
+  w.u64(sorted.size());
+  for (const CertFacts* facts : sorted) facts->serialize(w);
+  write_str_set(w, interception_issuers_);
+  w.u64(interception_candidates_.size());
+  for (const auto& [issuer, domains] : interception_candidates_) {
+    w.str(issuer);
+    write_str_set(w, domains);
+  }
+  std::vector<std::pair<std::string, const Totals*>> pending;
+  pending.reserve(pending_by_issuer_.size());
+  for (const auto& [issuer, totals] : pending_by_issuer_) {
+    pending.emplace_back(issuer, &totals);
+  }
+  std::sort(pending.begin(), pending.end());
+  w.u64(pending.size());
+  for (const auto& [issuer, totals] : pending) {
+    w.str(issuer);
+    write_totals(w, *totals);
+  }
+}
+
+void Pipeline::deserialize(StateReader& r) {
+  read_totals(r, totals_);
+  excluded_connections_ = static_cast<std::size_t>(r.u64());
+  certs_.clear();
+  const std::uint64_t n_certs = r.u64();
+  certs_.reserve(static_cast<std::size_t>(n_certs));
+  for (std::uint64_t i = 0; i < n_certs; ++i) {
+    CertFacts facts;
+    facts.deserialize(r);
+    std::string fuid = facts.fuid;
+    certs_.emplace(std::move(fuid), std::move(facts));
+  }
+  read_str_set(r, interception_issuers_);
+  interception_candidates_.clear();
+  const std::uint64_t n_candidates = r.u64();
+  for (std::uint64_t i = 0; i < n_candidates; ++i) {
+    std::string issuer = r.str();
+    read_str_set(r, interception_candidates_[std::move(issuer)]);
+  }
+  pending_by_issuer_.clear();
+  const std::uint64_t n_pending = r.u64();
+  for (std::uint64_t i = 0; i < n_pending; ++i) {
+    std::string issuer = r.str();
+    read_totals(r, pending_by_issuer_[std::move(issuer)]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ErrorLedger
+
+void ErrorLedger::serialize(StateWriter& w) const {
+  w.u64(entries_.size());
+  for (const auto& e : entries_) {
+    w.u8(static_cast<std::uint8_t>(e.input));
+    w.u64(e.byte_offset);
+    w.u64(e.line);
+    w.u64(e.raw_length);
+    w.str(e.reason);
+    w.str(e.digest);
+  }
+  w.u64(io_notes_.size());
+  for (const auto& note : io_notes_) w.str(note);
+  for (std::size_t i = 0; i < kInputRoles; ++i) w.u64(quarantined_[i]);
+  for (std::size_t i = 0; i < kInputRoles; ++i) {
+    w.u64(reason_counts_[i].size());
+    for (const auto& [reason, n] : reason_counts_[i]) {
+      w.str(reason);
+      w.u64(n);
+    }
+  }
+  for (std::size_t i = 0; i < kInputRoles; ++i) w.u64(rows_ok_[i]);
+  for (std::size_t i = 0; i < kLedgerPhases; ++i) w.u64(phase_counts_[i]);
+  w.u64(io_events_);
+  w.u8(samples_truncated_ ? 1 : 0);
+}
+
+void ErrorLedger::deserialize(StateReader& r) {
+  clear();
+  const std::uint64_t n_entries = r.u64();
+  entries_.reserve(static_cast<std::size_t>(n_entries));
+  for (std::uint64_t i = 0; i < n_entries; ++i) {
+    QuarantinedRecord e;
+    e.input = static_cast<InputRole>(r.u8());
+    e.byte_offset = static_cast<std::size_t>(r.u64());
+    e.line = static_cast<std::size_t>(r.u64());
+    e.raw_length = static_cast<std::size_t>(r.u64());
+    e.reason = r.str();
+    e.digest = r.str();
+    entries_.push_back(std::move(e));
+  }
+  const std::uint64_t n_notes = r.u64();
+  io_notes_.reserve(static_cast<std::size_t>(n_notes));
+  for (std::uint64_t i = 0; i < n_notes; ++i) io_notes_.push_back(r.str());
+  for (std::size_t i = 0; i < kInputRoles; ++i) quarantined_[i] = r.u64();
+  for (std::size_t i = 0; i < kInputRoles; ++i) {
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t j = 0; j < n; ++j) {
+      std::string reason = r.str();
+      reason_counts_[i][std::move(reason)] = r.u64();
+    }
+  }
+  for (std::size_t i = 0; i < kInputRoles; ++i) rows_ok_[i] = r.u64();
+  for (std::size_t i = 0; i < kLedgerPhases; ++i) phase_counts_[i] = r.u64();
+  io_events_ = r.u64();
+  samples_truncated_ = r.u8() != 0;
+}
+
+// ---------------------------------------------------------------------------
+// Connection analyzers
+
+void PrevalenceAnalyzer::serialize(StateWriter& w) const {
+  w.u64(months_.size());
+  for (const auto& [month, point] : months_) {
+    w.i64(month);
+    w.i64(point.month_index);
+    w.u64(point.total);
+    w.u64(point.mutual);
+    w.u64(point.mutual_inbound);
+    w.u64(point.mutual_outbound);
+  }
+}
+
+void PrevalenceAnalyzer::deserialize(StateReader& r) {
+  months_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int month = static_cast<int>(r.i64());
+    MonthPoint& point = months_[month];
+    point.month_index = static_cast<int>(r.i64());
+    point.total = r.u64();
+    point.mutual = r.u64();
+    point.mutual_inbound = r.u64();
+    point.mutual_outbound = r.u64();
+  }
+}
+
+void ServicePortAnalyzer::serialize(StateWriter& w) const {
+  for (const auto& quadrant : counts_) {
+    w.u64(quadrant.size());
+    for (const auto& [label, n] : quadrant) {
+      w.str(label);
+      w.u64(n);
+    }
+  }
+  for (const std::uint64_t total : totals_) w.u64(total);
+}
+
+void ServicePortAnalyzer::deserialize(StateReader& r) {
+  for (auto& quadrant : counts_) {
+    quadrant.clear();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::string label = r.str();
+      quadrant[std::move(label)] = r.u64();
+    }
+  }
+  for (auto& total : totals_) total = r.u64();
+}
+
+void InboundAssociationAnalyzer::serialize(StateWriter& w) const {
+  w.u64(acc_.size());
+  for (const auto& [assoc, acc] : acc_) {
+    w.u8(static_cast<std::uint8_t>(assoc));
+    w.u64(acc.connections);
+    write_u32_set(w, acc.clients);
+    w.u64(acc.clients_by_category.size());
+    for (const auto& [category, clients] : acc.clients_by_category) {
+      w.u8(static_cast<std::uint8_t>(category));
+      write_u32_set(w, clients);
+    }
+  }
+  w.u64(total_conns_);
+}
+
+void InboundAssociationAnalyzer::deserialize(StateReader& r) {
+  acc_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto assoc = static_cast<ServerAssociation>(r.u8());
+    Acc& acc = acc_[assoc];
+    acc.connections = r.u64();
+    read_u32_set(r, acc.clients);
+    const std::uint64_t n_cat = r.u64();
+    for (std::uint64_t j = 0; j < n_cat; ++j) {
+      const auto category = static_cast<IssuerCategory>(r.u8());
+      read_u32_set(r, acc.clients_by_category[category]);
+    }
+  }
+  total_conns_ = r.u64();
+}
+
+void OutboundFlowAnalyzer::serialize(StateWriter& w) const {
+  w.u64(sld_counts_.size());
+  for (const auto& [sld, n] : sld_counts_) {
+    w.str(sld);
+    w.u64(n);
+  }
+  w.u64(flows_.size());
+  for (const auto& [key, n] : flows_) {
+    w.str(std::get<0>(key));
+    w.i64(std::get<1>(key));
+    w.i64(std::get<2>(key));
+    w.u64(n);
+  }
+  w.u64(with_sni_);
+  w.u64(public_server_conns_);
+  w.u64(public_server_missing_client_);
+}
+
+void OutboundFlowAnalyzer::deserialize(StateReader& r) {
+  sld_counts_.clear();
+  const std::uint64_t n_slds = r.u64();
+  for (std::uint64_t i = 0; i < n_slds; ++i) {
+    std::string sld = r.str();
+    sld_counts_[std::move(sld)] = r.u64();
+  }
+  flows_.clear();
+  const std::uint64_t n_flows = r.u64();
+  for (std::uint64_t i = 0; i < n_flows; ++i) {
+    std::string tld = r.str();
+    const int server_class = static_cast<int>(r.i64());
+    const int client_category = static_cast<int>(r.i64());
+    flows_[std::make_tuple(std::move(tld), server_class, client_category)] =
+        r.u64();
+  }
+  with_sni_ = r.u64();
+  public_server_conns_ = r.u64();
+  public_server_missing_client_ = r.u64();
+}
+
+void DummyIssuerAnalyzer::serialize(StateWriter& w) const {
+  w.u64(rows_.size());
+  for (const auto& [key, row] : rows_) {
+    w.u8(static_cast<std::uint8_t>(key.direction));
+    w.u8(key.client_side ? 1 : 0);
+    w.str(key.dummy_org);
+    w.u8(static_cast<std::uint8_t>(row.direction));
+    w.u8(row.client_side ? 1 : 0);
+    w.str(row.dummy_org);
+    write_str_set(w, row.server_groups);
+    write_u32_set(w, row.clients);
+    w.u64(row.connections);
+  }
+  w.u64(both_.size());
+  for (const auto& [key, row] : both_) {
+    w.str(key);
+    w.str(row.sld);
+    w.str(row.client_org);
+    w.str(row.server_org);
+    write_u32_set(w, row.clients);
+    w.i64(row.first);
+    w.i64(row.last);
+  }
+  write_str_set(w, weak_.v1_certs);
+  w.u64(weak_.v1_tuples);
+  write_str_set(w, weak_.weak_key_certs);
+  w.u64(weak_.weak_key_tuples);
+  write_str_set(w, v1_tuple_set_);
+  write_str_set(w, weak_tuple_set_);
+}
+
+void DummyIssuerAnalyzer::deserialize(StateReader& r) {
+  rows_.clear();
+  const std::uint64_t n_rows = r.u64();
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    Key key;
+    key.direction = static_cast<Direction>(r.u8());
+    key.client_side = r.u8() != 0;
+    key.dummy_org = r.str();
+    Row& row = rows_[key];
+    row.direction = static_cast<Direction>(r.u8());
+    row.client_side = r.u8() != 0;
+    row.dummy_org = r.str();
+    read_str_set(r, row.server_groups);
+    read_u32_set(r, row.clients);
+    row.connections = r.u64();
+  }
+  both_.clear();
+  const std::uint64_t n_both = r.u64();
+  for (std::uint64_t i = 0; i < n_both; ++i) {
+    std::string key = r.str();
+    BothEndsRow& row = both_[std::move(key)];
+    row.sld = r.str();
+    row.client_org = r.str();
+    row.server_org = r.str();
+    read_u32_set(r, row.clients);
+    row.first = r.i64();
+    row.last = r.i64();
+  }
+  read_str_set(r, weak_.v1_certs);
+  weak_.v1_tuples = r.u64();
+  read_str_set(r, weak_.weak_key_certs);
+  weak_.weak_key_tuples = r.u64();
+  read_str_set(r, v1_tuple_set_);
+  read_str_set(r, weak_tuple_set_);
+}
+
+void SerialCollisionAnalyzer::serialize(StateWriter& w) const {
+  w.u64(groups_.size());
+  for (const auto& [key, group] : groups_) {
+    w.str(std::get<0>(key));
+    w.str(std::get<1>(key));
+    w.i64(std::get<2>(key));
+    w.str(group.issuer_org);
+    w.str(group.serial);
+    w.u8(static_cast<std::uint8_t>(group.direction));
+    write_str_set(w, group.server_certs);
+    write_str_set(w, group.client_certs);
+    write_u32_set(w, group.clients);
+    w.u64(group.connections);
+    w.u64(group.both_endpoint_connections);
+  }
+  for (const auto& clients : involved_clients_) write_u32_set(w, clients);
+}
+
+void SerialCollisionAnalyzer::deserialize(StateReader& r) {
+  groups_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string issuer = r.str();
+    std::string serial = r.str();
+    const int direction = static_cast<int>(r.i64());
+    Group& group =
+        groups_[std::make_tuple(std::move(issuer), std::move(serial),
+                                direction)];
+    group.issuer_org = r.str();
+    group.serial = r.str();
+    group.direction = static_cast<Direction>(r.u8());
+    read_str_set(r, group.server_certs);
+    read_str_set(r, group.client_certs);
+    read_u32_set(r, group.clients);
+    group.connections = r.u64();
+    group.both_endpoint_connections = r.u64();
+  }
+  for (auto& clients : involved_clients_) read_u32_set(r, clients);
+}
+
+void SharedCertAnalyzer::serialize(StateWriter& w) const {
+  w.u64(same_conn_.size());
+  for (const auto& [key, row] : same_conn_) {
+    w.str(key);
+    w.str(row.sld);
+    w.str(row.issuer);
+    w.u8(row.public_issuer ? 1 : 0);
+    write_u32_set(w, row.clients);
+    w.i64(row.first);
+    w.i64(row.last);
+    w.u64(row.connections);
+  }
+  for (const std::uint64_t conns : same_conn_conns_) w.u64(conns);
+  write_str_set(w, same_conn_fuids_);
+}
+
+void SharedCertAnalyzer::deserialize(StateReader& r) {
+  same_conn_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    SameConnRow& row = same_conn_[std::move(key)];
+    row.sld = r.str();
+    row.issuer = r.str();
+    row.public_issuer = r.u8() != 0;
+    read_u32_set(r, row.clients);
+    row.first = r.i64();
+    row.last = r.i64();
+    row.connections = r.u64();
+  }
+  for (auto& conns : same_conn_conns_) conns = r.u64();
+  read_str_set(r, same_conn_fuids_);
+}
+
+namespace {
+
+void write_date_row(StateWriter& w, const IncorrectDateAnalyzer::Row& row) {
+  w.str(row.sld);
+  w.u8(row.client_side ? 1 : 0);
+  w.str(row.issuer);
+  w.i64(row.not_before);
+  w.i64(row.not_after);
+  write_u32_set(w, row.clients);
+  w.i64(row.first);
+  w.i64(row.last);
+  write_str_set(w, row.certs);
+}
+
+void read_date_row(StateReader& r, IncorrectDateAnalyzer::Row& row) {
+  row.sld = r.str();
+  row.client_side = r.u8() != 0;
+  row.issuer = r.str();
+  row.not_before = r.i64();
+  row.not_after = r.i64();
+  read_u32_set(r, row.clients);
+  row.first = r.i64();
+  row.last = r.i64();
+  read_str_set(r, row.certs);
+}
+
+void write_date_map(StateWriter& w,
+                    const std::map<std::string, IncorrectDateAnalyzer::Row>& m) {
+  w.u64(m.size());
+  for (const auto& [key, row] : m) {
+    w.str(key);
+    write_date_row(w, row);
+  }
+}
+
+void read_date_map(StateReader& r,
+                   std::map<std::string, IncorrectDateAnalyzer::Row>& m) {
+  m.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = r.str();
+    read_date_row(r, m[std::move(key)]);
+  }
+}
+
+}  // namespace
+
+void IncorrectDateAnalyzer::serialize(StateWriter& w) const {
+  write_date_map(w, rows_);
+  write_date_map(w, both_);
+}
+
+void IncorrectDateAnalyzer::deserialize(StateReader& r) {
+  read_date_map(r, rows_);
+  read_date_map(r, both_);
+}
+
+// ---------------------------------------------------------------------------
+// AnalyzerSet / ShardState
+
+void AnalyzerSet::merge(AnalyzerSet&& other) {
+  prevalence.merge(std::move(other.prevalence));
+  service_ports.merge(std::move(other.service_ports));
+  inbound_assoc.merge(std::move(other.inbound_assoc));
+  outbound_flows.merge(std::move(other.outbound_flows));
+  dummy_issuers.merge(std::move(other.dummy_issuers));
+  serial_collisions.merge(std::move(other.serial_collisions));
+  shared_certs.merge(std::move(other.shared_certs));
+  incorrect_dates.merge(std::move(other.incorrect_dates));
+}
+
+std::string describe_meta(const ShardStateMeta& meta) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "mode=%s seed=%llu cert_scale=%g conn_scale=%g",
+                meta.file_mode ? "file" : "synthetic",
+                static_cast<unsigned long long>(meta.seed), meta.cert_scale,
+                meta.conn_scale);
+  return buf;
+}
+
+bool compatible_meta(const ShardStateMeta& a, const ShardStateMeta& b) {
+  return a.file_mode == b.file_mode && a.seed == b.seed &&
+         a.cert_scale == b.cert_scale && a.conn_scale == b.conn_scale;
+}
+
+void ShardState::merge(ShardState&& other) {
+  meta.parse_bytes += other.meta.parse_bytes;
+  const auto append_path = [](std::string& mine, std::string&& theirs) {
+    if (theirs.empty()) return;
+    if (!mine.empty()) mine += ",";
+    mine += std::move(theirs);
+  };
+  append_path(meta.ssl_log, std::move(other.meta.ssl_log));
+  append_path(meta.x509_log, std::move(other.meta.x509_log));
+  if (other.pipeline) {
+    if (pipeline) {
+      pipeline->merge(std::move(*other.pipeline));
+    } else {
+      pipeline = std::move(other.pipeline);
+    }
+  }
+  analyzers.merge(std::move(other.analyzers));
+  ledger.merge(std::move(other.ledger));
+}
+
+// ---------------------------------------------------------------------------
+// Container framing
+
+namespace {
+
+void serialize_meta(StateWriter& w, const ShardStateMeta& meta) {
+  w.u8(meta.file_mode ? 1 : 0);
+  w.u64(meta.seed);
+  w.f64(meta.cert_scale);
+  w.f64(meta.conn_scale);
+  w.str(meta.ssl_log);
+  w.str(meta.x509_log);
+  w.u64(meta.parse_bytes);
+}
+
+void deserialize_meta(StateReader& r, ShardStateMeta& meta) {
+  meta.file_mode = r.u8() != 0;
+  meta.seed = r.u64();
+  meta.cert_scale = r.f64();
+  meta.conn_scale = r.f64();
+  meta.ssl_log = r.str();
+  meta.x509_log = r.str();
+  meta.parse_bytes = r.u64();
+}
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSecMeta: return "meta";
+    case kSecPipeline: return "pipeline";
+    case kSecPrevalence: return "prevalence";
+    case kSecServicePorts: return "service_ports";
+    case kSecInboundAssoc: return "inbound_assoc";
+    case kSecOutboundFlows: return "outbound_flows";
+    case kSecDummyIssuer: return "dummy_issuer";
+    case kSecSerialCollision: return "serial_collision";
+    case kSecSharedCert: return "shared_cert";
+    case kSecIncorrectDate: return "incorrect_date";
+    case kSecLedger: return "ledger";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string serialize_shard_state(const ShardState& state) {
+  if (!state.pipeline) {
+    throw StateError("shard state has no pipeline to serialize");
+  }
+  StateWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kStateFormatVersion);
+  w.u32(kEndianSentinel);
+  w.u32(kSectionCount);
+
+  const auto section = [&w](std::uint32_t id, const auto& serializer) {
+    StateWriter payload;
+    serializer(payload);
+    w.u32(id);
+    w.u64(payload.buffer().size());
+    w.raw(payload.buffer().data(), payload.buffer().size());
+  };
+  section(kSecMeta,
+          [&](StateWriter& p) { serialize_meta(p, state.meta); });
+  section(kSecPipeline,
+          [&](StateWriter& p) { state.pipeline->serialize(p); });
+  section(kSecPrevalence,
+          [&](StateWriter& p) { state.analyzers.prevalence.serialize(p); });
+  section(kSecServicePorts,
+          [&](StateWriter& p) { state.analyzers.service_ports.serialize(p); });
+  section(kSecInboundAssoc,
+          [&](StateWriter& p) { state.analyzers.inbound_assoc.serialize(p); });
+  section(kSecOutboundFlows, [&](StateWriter& p) {
+    state.analyzers.outbound_flows.serialize(p);
+  });
+  section(kSecDummyIssuer,
+          [&](StateWriter& p) { state.analyzers.dummy_issuers.serialize(p); });
+  section(kSecSerialCollision, [&](StateWriter& p) {
+    state.analyzers.serial_collisions.serialize(p);
+  });
+  section(kSecSharedCert,
+          [&](StateWriter& p) { state.analyzers.shared_certs.serialize(p); });
+  section(kSecIncorrectDate, [&](StateWriter& p) {
+    state.analyzers.incorrect_dates.serialize(p);
+  });
+  section(kSecLedger,
+          [&](StateWriter& p) { state.ledger.serialize(p); });
+
+  std::string out = std::move(w).take();
+  const auto digest = crypto::Sha256::hash(out);
+  out.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  return out;
+}
+
+std::optional<ShardState> parse_shard_state(std::string_view data,
+                                            StateFileInfo* info,
+                                            std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+  };
+  constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4;  // magic + version
+  if (data.size() < kHeaderBytes) {
+    fail("truncated state file: " + std::to_string(data.size()) + " bytes");
+    return std::nullopt;
+  }
+  if (std::string_view(data.data(), sizeof(kMagic)) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    fail("bad magic: not a mtlscope state file");
+    return std::nullopt;
+  }
+  // Version gates everything else: a future-format file reports its
+  // version even when the rest of its layout is unreadable to us.
+  std::uint32_t version = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data[sizeof(kMagic) + i]))
+               << (8 * i);
+  }
+  if (version != kStateFormatVersion) {
+    fail("unsupported state format version " + std::to_string(version) +
+         " (expected " + std::to_string(kStateFormatVersion) + ")");
+    return std::nullopt;
+  }
+  if (data.size() < kHeaderBytes + crypto::Sha256::kDigestSize) {
+    fail("truncated state file: no room for the digest trailer");
+    return std::nullopt;
+  }
+  const std::size_t payload_size = data.size() - crypto::Sha256::kDigestSize;
+  const auto digest =
+      crypto::Sha256::hash(std::string_view(data.data(), payload_size));
+  if (std::string_view(reinterpret_cast<const char*>(digest.data()),
+                       digest.size()) !=
+      std::string_view(data.data() + payload_size,
+                       crypto::Sha256::kDigestSize)) {
+    fail("state digest mismatch: file corrupted or truncated");
+    return std::nullopt;
+  }
+
+  try {
+    StateReader r(std::string_view(data.data(), payload_size));
+    r.bytes(sizeof(kMagic));  // magic, verified above
+    r.u32();                  // version, verified above
+    if (r.u32() != kEndianSentinel) {
+      fail("bad endianness sentinel in state file");
+      return std::nullopt;
+    }
+    const std::uint32_t sections = r.u32();
+    ShardState state;
+    state.pipeline.emplace(PipelineConfig::campus_defaults());
+    bool seen[kSectionCount + 1] = {};
+    for (std::uint32_t i = 0; i < sections; ++i) {
+      const std::uint32_t id = r.u32();
+      const std::uint64_t len = r.u64();
+      StateReader section(r.bytes(static_cast<std::size_t>(len)));
+      if (id == 0 || id > kSectionCount) {
+        fail("unknown state section id " + std::to_string(id));
+        return std::nullopt;
+      }
+      if (seen[id]) {
+        fail(std::string("duplicate state section '") + section_name(id) +
+             "'");
+        return std::nullopt;
+      }
+      seen[id] = true;
+      switch (id) {
+        case kSecMeta:
+          deserialize_meta(section, state.meta);
+          break;
+        case kSecPipeline:
+          state.pipeline->deserialize(section);
+          break;
+        case kSecPrevalence:
+          state.analyzers.prevalence.deserialize(section);
+          break;
+        case kSecServicePorts:
+          state.analyzers.service_ports.deserialize(section);
+          break;
+        case kSecInboundAssoc:
+          state.analyzers.inbound_assoc.deserialize(section);
+          break;
+        case kSecOutboundFlows:
+          state.analyzers.outbound_flows.deserialize(section);
+          break;
+        case kSecDummyIssuer:
+          state.analyzers.dummy_issuers.deserialize(section);
+          break;
+        case kSecSerialCollision:
+          state.analyzers.serial_collisions.deserialize(section);
+          break;
+        case kSecSharedCert:
+          state.analyzers.shared_certs.deserialize(section);
+          break;
+        case kSecIncorrectDate:
+          state.analyzers.incorrect_dates.deserialize(section);
+          break;
+        case kSecLedger:
+          state.ledger.deserialize(section);
+          break;
+      }
+      section.expect_done(section_name(id));
+    }
+    for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+      if (!seen[id]) {
+        fail(std::string("missing state section '") + section_name(id) + "'");
+        return std::nullopt;
+      }
+    }
+    r.expect_done("container");
+    if (info != nullptr) {
+      info->format_version = version;
+      info->digest_hex = crypto::to_hex(digest);
+      info->bytes = data.size();
+    }
+    return state;
+  } catch (const StateError& e) {
+    fail(e.what());
+    return std::nullopt;
+  }
+}
+
+bool save_shard_state(const std::string& path, const ShardState& state,
+                      StateFileInfo* info, std::string* error) {
+  std::string bytes;
+  try {
+    bytes = serialize_shard_state(state);
+  } catch (const StateError& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "cannot write " + path;
+    return false;
+  }
+  if (info != nullptr) {
+    info->format_version = kStateFormatVersion;
+    info->digest_hex = crypto::to_hex(crypto::Sha256::hash(std::string_view(
+        bytes.data(), bytes.size() - crypto::Sha256::kDigestSize)));
+    info->bytes = bytes.size();
+  }
+  return true;
+}
+
+std::optional<ShardState> load_shard_state(const std::string& path,
+                                           StateFileInfo* info,
+                                           std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = std::move(buf).str();
+  return parse_shard_state(bytes, info, error);
+}
+
+// ---------------------------------------------------------------------------
+// Executor fold entries
+
+namespace {
+
+/// One Sharded wrapper per standard analyzer, attached together and
+/// merged together — the executor-side counterpart of AnalyzerSet.
+struct ShardedSet {
+  explicit ShardedSet(std::size_t shards)
+      : prevalence(shards),
+        service_ports(shards),
+        inbound_assoc(shards),
+        outbound_flows(shards),
+        dummy_issuers(shards),
+        serial_collisions(shards),
+        shared_certs(shards),
+        incorrect_dates(shards) {}
+
+  void attach(PipelineExecutor& executor) {
+    executor.attach(prevalence);
+    executor.attach(service_ports);
+    executor.attach(inbound_assoc);
+    executor.attach(outbound_flows);
+    executor.attach(dummy_issuers);
+    executor.attach(serial_collisions);
+    executor.attach(shared_certs);
+    executor.attach(incorrect_dates);
+  }
+
+  AnalyzerSet merged() && {
+    AnalyzerSet out;
+    out.prevalence = std::move(prevalence).merged();
+    out.service_ports = std::move(service_ports).merged();
+    out.inbound_assoc = std::move(inbound_assoc).merged();
+    out.outbound_flows = std::move(outbound_flows).merged();
+    out.dummy_issuers = std::move(dummy_issuers).merged();
+    out.serial_collisions = std::move(serial_collisions).merged();
+    out.shared_certs = std::move(shared_certs).merged();
+    out.incorrect_dates = std::move(incorrect_dates).merged();
+    return out;
+  }
+
+  Sharded<PrevalenceAnalyzer> prevalence;
+  Sharded<ServicePortAnalyzer> service_ports;
+  Sharded<InboundAssociationAnalyzer> inbound_assoc;
+  Sharded<OutboundFlowAnalyzer> outbound_flows;
+  Sharded<DummyIssuerAnalyzer> dummy_issuers;
+  Sharded<SerialCollisionAnalyzer> serial_collisions;
+  Sharded<SharedCertAnalyzer> shared_certs;
+  Sharded<IncorrectDateAnalyzer> incorrect_dates;
+};
+
+}  // namespace
+
+ShardState PipelineExecutor::fold(const zeek::Dataset& dataset) {
+  ShardedSet sharded(shard_count());
+  sharded.attach(*this);
+  ShardState state;
+  state.pipeline.emplace(run(dataset));
+  state.analyzers = std::move(sharded).merged();
+  factories_.clear();  // they reference the local ShardedSet
+  return state;
+}
+
+ShardState PipelineExecutor::fold(
+    const std::vector<zeek::SslRecord>& ssl,
+    const std::map<std::string, zeek::X509Record>& x509) {
+  ShardedSet sharded(shard_count());
+  sharded.attach(*this);
+  ShardState state;
+  state.pipeline.emplace(run(ssl, x509));
+  state.analyzers = std::move(sharded).merged();
+  factories_.clear();  // they reference the local ShardedSet
+  return state;
+}
+
+std::optional<ShardState> PipelineExecutor::fold_log_files(
+    const std::string& ssl_path, const std::string& x509_path,
+    ingest::IngestError* error, const ingest::IngestOptions& options) {
+  ShardedSet sharded(shard_count());
+  sharded.attach(*this);
+  ShardState state;
+  auto pipeline =
+      run_log_files(ssl_path, x509_path, error, options, &state.ledger);
+  factories_.clear();  // they reference the local ShardedSet
+  if (!pipeline) return std::nullopt;
+  state.pipeline = std::move(pipeline);
+  state.analyzers = std::move(sharded).merged();
+  return state;
+}
+
+}  // namespace mtlscope::core

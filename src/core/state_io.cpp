@@ -1,0 +1,86 @@
+#include "mtlscope/core/state_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mtlscope::core {
+
+namespace {
+
+template <typename T>
+void append_le(std::string& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+template <typename T>
+T read_le(const std::uint8_t* p) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void StateWriter::u8(std::uint8_t v) { buffer_ += static_cast<char>(v); }
+void StateWriter::u32(std::uint32_t v) { append_le(buffer_, v); }
+void StateWriter::u64(std::uint64_t v) { append_le(buffer_, v); }
+void StateWriter::i64(std::int64_t v) {
+  append_le(buffer_, static_cast<std::uint64_t>(v));
+}
+void StateWriter::f64(double v) {
+  append_le(buffer_, std::bit_cast<std::uint64_t>(v));
+}
+
+void StateWriter::str(std::string_view v) {
+  u64(v.size());
+  buffer_.append(v.data(), v.size());
+}
+
+void StateWriter::raw(const void* data, std::size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+const std::uint8_t* StateReader::need(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw StateError("truncated state buffer: need " + std::to_string(n) +
+                     " bytes at offset " + std::to_string(pos_) + ", have " +
+                     std::to_string(data_.size() - pos_));
+  }
+  const auto* p = reinterpret_cast<const std::uint8_t*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t StateReader::u8() { return *need(1); }
+std::uint32_t StateReader::u32() { return read_le<std::uint32_t>(need(4)); }
+std::uint64_t StateReader::u64() { return read_le<std::uint64_t>(need(8)); }
+std::int64_t StateReader::i64() {
+  return static_cast<std::int64_t>(u64());
+}
+double StateReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string StateReader::str() {
+  const std::uint64_t len = u64();
+  const auto* p = need(static_cast<std::size_t>(len));
+  return std::string(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(len));
+}
+
+std::string_view StateReader::bytes(std::size_t n) {
+  const auto* p = need(n);
+  return std::string_view(reinterpret_cast<const char*>(p), n);
+}
+
+void StateReader::expect_done(const char* section) const {
+  if (!done()) {
+    throw StateError(std::string("trailing bytes in state section '") +
+                     section + "': " + std::to_string(remaining()) +
+                     " unread");
+  }
+}
+
+}  // namespace mtlscope::core

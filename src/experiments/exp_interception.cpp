@@ -98,7 +98,8 @@ class Fig2 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    const auto flows = std::move(*flows_).merged();
+    const auto flows = run.reduced() ? run.analyzers().outbound_flows
+                                     : std::move(*flows_).merged();
 
     doc.add_line();
     doc.add_line("Top flows (TLD -> server class -> client category):");

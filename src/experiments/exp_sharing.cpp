@@ -41,8 +41,8 @@ class Table4 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto dummies = std::move(*dummies_).merged();
+    const auto dummies = run.reduced() ? run.analyzers().dummy_issuers
+                                       : std::move(*dummies_).merged();
 
     doc.add_line();
     doc.add_line("Table 4 — certificates with dummy issuers:");
@@ -157,8 +157,8 @@ class Table5 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto shared = std::move(*shared_).merged();
+    const auto shared = run.reduced() ? run.analyzers().shared_certs
+                                      : std::move(*shared_).merged();
 
     struct PaperRow {
       const char* sld;
@@ -253,7 +253,8 @@ class Table6 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    const auto shared = std::move(*shared_).merged();
+    const auto shared = run.reduced() ? run.analyzers().shared_certs
+                                      : std::move(*shared_).merged();
     const auto q = shared.subnet_quantiles(run.pipeline());
 
     doc.add_line();
@@ -320,8 +321,8 @@ class Serials final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto serials = std::move(*serials_).merged();
+    const auto serials = run.reduced() ? run.analyzers().serial_collisions
+                                       : std::move(*serials_).merged();
     const auto groups = serials.collision_groups();
 
     auto& table = doc.add_table(
@@ -415,8 +416,8 @@ class Fig3 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto dates = std::move(*dates_).merged();
+    const auto dates = run.reduced() ? run.analyzers().incorrect_dates
+                                     : std::move(*dates_).merged();
 
     auto& table = doc.add_table(
         "incorrect_dates", {{"SLD", ColumnType::kString},

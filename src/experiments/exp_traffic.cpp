@@ -36,8 +36,8 @@ class Table2 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    auto ports = std::move(*ports_).merged();
+    const auto ports = run.reduced() ? run.analyzers().service_ports
+                                     : std::move(*ports_).merged();
 
     add_quadrant(doc, ports, "inbound_mutual", core::Direction::kInbound,
                  true,
@@ -119,8 +119,8 @@ class Table3 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto assoc = std::move(*assoc_).merged();
+    const auto assoc = run.reduced() ? run.analyzers().inbound_assoc
+                                     : std::move(*assoc_).merged();
 
     struct PaperRow {
       core::ServerAssociation assoc;
@@ -245,8 +245,8 @@ class Fig1 final : public Experiment {
   }
 
   void report(Harness& run, core::ResultDoc& doc) override {
-    (void)run;
-    const auto prevalence = std::move(*prevalence_).merged();
+    const auto prevalence = run.reduced() ? run.analyzers().prevalence
+                                          : std::move(*prevalence_).merged();
     const auto series = prevalence.series();
 
     auto& table = doc.add_table(
@@ -310,6 +310,10 @@ class DatasetStats final : public Experiment {
         "Section 3.3: dataset statistics and limitations", 2'000, 50'000};
     return kInfo;
   }
+
+  // The §3.3 statistics come from an ad-hoc shared observer whose counts
+  // are not part of the serialized shard state.
+  bool distributable() const override { return false; }
 
   void prepare_model(gen::CampusModel& model) const override {
     // The cross-sharing clusters are a Table-6 instrument with

@@ -44,6 +44,32 @@ Harness::Harness(gen::CampusModel model, const RunOptions& options)
       options_(options),
       executor_(make_config(generator_, options_), options_.threads) {}
 
+Harness::Harness(const RunOptions& options, core::ShardState state)
+    : generator_(gen::CampusModel{}),
+      options_(options),
+      executor_(make_config(generator_, options_), options_.threads),
+      reduced_(true) {
+  if (!state.pipeline) {
+    std::fprintf(stderr, "reduce harness: shard state has no pipeline\n");
+    std::exit(1);
+  }
+  pipeline_.emplace(std::move(*state.pipeline));
+  analyzers_ = std::move(state.analyzers);
+  ledger_ = std::move(state.ledger);
+  records_ = static_cast<std::size_t>(pipeline_->totals().connections);
+  parse_bytes_ = state.meta.parse_bytes;
+}
+
+const core::AnalyzerSet& Harness::analyzers() const {
+  if (!reduced_) {
+    std::fprintf(stderr,
+                 "Harness::analyzers() is only valid in reduce mode; "
+                 "attach Sharded analyzers instead\n");
+    std::abort();
+  }
+  return analyzers_;
+}
+
 core::Pipeline& Harness::pipeline() {
   if (!pipeline_) {
     std::fprintf(stderr,
@@ -59,6 +85,10 @@ void Harness::add_observer(core::Pipeline::Observer observer) {
 }
 
 void Harness::run() {
+  if (reduced_) {
+    std::fprintf(stderr, "Harness::run() called on a reduce-mode harness\n");
+    std::abort();
+  }
   if (options_.file_mode()) {
     run_files();
     return;

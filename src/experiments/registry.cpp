@@ -96,6 +96,15 @@ void fill_data_quality(core::RunInfo& run, const core::ErrorLedger& ledger,
   dq.ssl_quarantined = ledger.quarantined(core::InputRole::kSsl);
   dq.x509_quarantined = ledger.quarantined(core::InputRole::kX509);
   dq.io_events = ledger.io_events();
+  // Per-reason breakdown: exact counts per (role, structured reason),
+  // roles in enum order, reasons sorted (std::map iteration).
+  for (std::size_t role = 0; role < core::kInputRoles; ++role) {
+    const auto input = static_cast<core::InputRole>(role);
+    for (const auto& [reason, count] : ledger.reasons(input)) {
+      dq.reasons.push_back(core::QuarantineReason{
+          core::input_role_name(input), reason, count});
+    }
+  }
   constexpr std::size_t kMaxSamples = 8;
   const auto& entries = ledger.entries();
   const std::size_t take = std::min(entries.size(), kMaxSamples);
@@ -215,6 +224,56 @@ core::ResultDoc run_experiment(const std::string& name,
                                const RunOptions& base) {
   auto docs = run_experiments({name}, base);
   return std::move(docs.front());
+}
+
+std::vector<core::ResultDoc> run_reduced(const std::vector<std::string>& names,
+                                         core::ShardState state,
+                                         const ReduceInfo& reduce_info,
+                                         const RunOptions& base) {
+  const auto& registry = ExperimentRegistry::instance();
+  std::vector<Item> items;
+  items.reserve(names.size());
+  for (const auto& name : names) {
+    const auto* entry = registry.find(name);
+    if (entry == nullptr) {
+      throw std::invalid_argument("unknown experiment: " + name);
+    }
+    Item item;
+    item.entry = entry;
+    item.exp = entry->make();
+    if (!item.exp->distributable()) {
+      throw std::invalid_argument(
+          "experiment not distributable from shard state: " + name);
+    }
+    item.options =
+        base.resolved(entry->info.cert_scale, entry->info.conn_scale);
+    item.group = "reduce";
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) return {};
+
+  // One reduce-mode harness serves every experiment, mirroring the
+  // single shared "file" pass of run_experiments: the lead item's
+  // resolved options label every doc, so the canonical config block
+  // matches the single-host run over the same inputs.
+  Harness harness(items.front().options, std::move(state));
+  for (auto& item : items) {
+    init_doc(item, harness.shard_count());
+    core::RunInfo& run = item.doc.run;
+    run.present = true;
+    run.records = harness.records_processed();
+    run.wall_seconds = harness.wall_seconds();
+    run.parse_bytes = harness.parse_bytes();
+    run.state_format_version = reduce_info.state_format_version;
+    run.state_digest = reduce_info.state_digest;
+    fill_data_quality(run, harness.ledger(), item.options);
+    item.exp->report(harness, item.doc);
+  }
+
+  std::vector<core::ResultDoc> docs;
+  docs.reserve(items.size());
+  for (auto& item : items) docs.push_back(std::move(item.doc));
+  return docs;
 }
 
 int repro_main(const std::string& name, int argc, char** argv) {

@@ -1,0 +1,295 @@
+// Shard-state serialization (DESIGN §12): round-trips must be lossless
+// and canonical (state → bytes → state → bytes is byte-identical), and
+// every malformed input — flipped bytes, truncation at any prefix, bad
+// magic, unknown versions or section ids — must fail with a structured
+// error, never UB.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "mtlscope/core/executor.hpp"
+#include "mtlscope/core/shard_state.hpp"
+#include "mtlscope/core/state_io.hpp"
+#include "mtlscope/crypto/sha256.hpp"
+#include "mtlscope/gen/generator.hpp"
+
+namespace mtlscope {
+namespace {
+
+/// Small enough for every-prefix truncation sweeps, big enough to
+/// populate every analyzer section.
+core::ShardState folded_state(std::size_t threads = 2) {
+  auto model = gen::paper_model(2'000, 600'000);
+  model.background_connections = 5'000;
+  model.seed = 7;
+  gen::TraceGenerator generator(std::move(model));
+  auto config = core::PipelineConfig::campus_defaults();
+  config.ct = &generator.ct_database();
+  core::PipelineExecutor executor(config, threads);
+  auto state = executor.fold(generator.generate_dataset());
+  state.meta.seed = 7;
+  state.meta.cert_scale = 2'000;
+  state.meta.conn_scale = 600'000;
+  return state;
+}
+
+core::ShardState empty_state() {
+  core::ShardState state;
+  state.pipeline.emplace(core::PipelineConfig::campus_defaults());
+  return state;
+}
+
+/// Recomputes the SHA-256 trailer after an intentional mutation, so the
+/// parser reaches the section under test instead of the digest check.
+std::string refresh_digest(std::string data) {
+  const std::size_t payload = data.size() - crypto::Sha256::kDigestSize;
+  const auto digest =
+      crypto::Sha256::hash(std::string_view(data.data(), payload));
+  for (std::size_t i = 0; i < digest.size(); ++i) {
+    data[payload + i] = static_cast<char>(digest[i]);
+  }
+  return data;
+}
+
+TEST(StateIo, PrimitivesRoundTrip) {
+  core::StateWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  w.i64(-42);
+  w.f64(3.5);
+  w.str(std::string_view("hello\0world", 11));  // embedded NUL survives
+  const std::string bytes = std::move(w).take();
+
+  core::StateReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f64(), 3.5);
+  EXPECT_EQ(r.str(), std::string("hello\0world", 11));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(StateIo, ReaderOverrunThrowsStructuredError) {
+  core::StateWriter w;
+  w.u32(1);
+  const std::string bytes = std::move(w).take();
+  core::StateReader r(bytes);
+  r.u32();
+  EXPECT_THROW(r.u64(), core::StateError);
+  core::StateReader r2(bytes);
+  EXPECT_THROW(r2.str(), core::StateError);  // length prefix overruns
+}
+
+TEST(ShardState, PopulatedRoundTripIsLosslessAndCanonical) {
+  const auto state = folded_state();
+  const std::string bytes = core::serialize_shard_state(state);
+
+  core::StateFileInfo info;
+  std::string error;
+  auto parsed = core::parse_shard_state(bytes, &info, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(info.format_version, core::kStateFormatVersion);
+  EXPECT_EQ(info.bytes, bytes.size());
+  EXPECT_EQ(info.digest_hex.size(), 64u);
+
+  // Lossless: spot-check every section's content.
+  EXPECT_EQ(parsed->meta.seed, state.meta.seed);
+  EXPECT_EQ(parsed->meta.cert_scale, state.meta.cert_scale);
+  ASSERT_TRUE(parsed->pipeline.has_value());
+  EXPECT_EQ(parsed->pipeline->totals().connections,
+            state.pipeline->totals().connections);
+  EXPECT_EQ(parsed->pipeline->totals().mutual, state.pipeline->totals().mutual);
+  EXPECT_EQ(parsed->pipeline->certificates().size(),
+            state.pipeline->certificates().size());
+  EXPECT_EQ(parsed->analyzers.prevalence.series().size(),
+            state.analyzers.prevalence.series().size());
+  EXPECT_EQ(parsed->analyzers.service_ports
+                .top(core::Direction::kInbound, true)
+                .size(),
+            state.analyzers.service_ports.top(core::Direction::kInbound, true)
+                .size());
+  EXPECT_EQ(parsed->analyzers.dummy_issuers.rows().size(),
+            state.analyzers.dummy_issuers.rows().size());
+  EXPECT_EQ(parsed->analyzers.serial_collisions.collision_groups().size(),
+            state.analyzers.serial_collisions.collision_groups().size());
+
+  // Canonical: re-serialization is byte-identical.
+  EXPECT_EQ(core::serialize_shard_state(*parsed), bytes);
+}
+
+TEST(ShardState, SerializationIsThreadCountInvariant) {
+  const std::string one = core::serialize_shard_state(folded_state(1));
+  const std::string four = core::serialize_shard_state(folded_state(4));
+  EXPECT_EQ(one, four);
+}
+
+TEST(ShardState, EmptyPipelineRoundTrips) {
+  const auto state = empty_state();
+  const std::string bytes = core::serialize_shard_state(state);
+  std::string error;
+  auto parsed = core::parse_shard_state(bytes, nullptr, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->pipeline->totals().connections, 0u);
+  EXPECT_EQ(core::serialize_shard_state(*parsed), bytes);
+}
+
+TEST(ShardState, LedgerReasonsRoundTrip) {
+  auto state = empty_state();
+  state.ledger.quarantine(
+      core::LedgerPhase::kUpgrades,
+      core::QuarantinedRecord{core::InputRole::kSsl, 10, 2, 5,
+                              "bad column count", "abcd"});
+  state.ledger.quarantine(
+      core::LedgerPhase::kUpgrades,
+      core::QuarantinedRecord{core::InputRole::kSsl, 20, 3, 5,
+                              "bad column count", "ef01"});
+  state.ledger.quarantine(
+      core::LedgerPhase::kRegistry,
+      core::QuarantinedRecord{core::InputRole::kX509, 30, 4, 5,
+                              "bad timestamp", "2345"});
+  state.ledger.count_rows_ok(core::InputRole::kSsl, 100);
+  state.ledger.finalize();
+
+  const std::string bytes = core::serialize_shard_state(state);
+  std::string error;
+  auto parsed = core::parse_shard_state(bytes, nullptr, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto& ssl = parsed->ledger.reasons(core::InputRole::kSsl);
+  ASSERT_EQ(ssl.size(), 1u);
+  EXPECT_EQ(ssl.at("bad column count"), 2u);
+  EXPECT_EQ(parsed->ledger.reasons(core::InputRole::kX509).at("bad timestamp"),
+            1u);
+  EXPECT_EQ(parsed->ledger.rows_ok_total(), 100u);
+  EXPECT_EQ(parsed->ledger.entries().size(), 3u);
+  EXPECT_EQ(core::serialize_shard_state(*parsed), bytes);
+}
+
+TEST(ShardState, FlippedByteFailsDigestCheck) {
+  const std::string bytes = core::serialize_shard_state(empty_state());
+  // Flip one payload byte past the fixed header.
+  std::string corrupt = bytes;
+  corrupt[24] = static_cast<char>(corrupt[24] ^ 0x40);
+  std::string error;
+  EXPECT_FALSE(core::parse_shard_state(corrupt, nullptr, &error).has_value());
+  EXPECT_NE(error.find("digest mismatch"), std::string::npos) << error;
+}
+
+TEST(ShardState, EveryTruncationPrefixFailsCleanly) {
+  const std::string bytes = core::serialize_shard_state(empty_state());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    const auto parsed = core::parse_shard_state(
+        std::string_view(bytes.data(), len), nullptr, &error);
+    EXPECT_FALSE(parsed.has_value()) << "prefix length " << len;
+    EXPECT_FALSE(error.empty()) << "prefix length " << len;
+  }
+}
+
+TEST(ShardState, BadMagicIsReported) {
+  std::string bytes = core::serialize_shard_state(empty_state());
+  bytes[0] = 'X';
+  std::string error;
+  EXPECT_FALSE(core::parse_shard_state(bytes, nullptr, &error).has_value());
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST(ShardState, UnknownVersionIsReportedEvenWithValidDigest) {
+  std::string bytes = core::serialize_shard_state(empty_state());
+  bytes[8] = 2;  // little-endian u32 version right after the magic
+  // With the digest refreshed the version check must still win...
+  std::string error;
+  EXPECT_FALSE(
+      core::parse_shard_state(refresh_digest(bytes), nullptr, &error)
+          .has_value());
+  EXPECT_NE(error.find("unsupported state format version 2"),
+            std::string::npos)
+      << error;
+  // ...and with a stale digest the version is still what gets reported,
+  // so a v2 producer's files always name the real problem.
+  error.clear();
+  EXPECT_FALSE(core::parse_shard_state(bytes, nullptr, &error).has_value());
+  EXPECT_NE(error.find("unsupported state format version 2"),
+            std::string::npos)
+      << error;
+}
+
+TEST(ShardState, UnknownSectionIdIsReported) {
+  std::string bytes = core::serialize_shard_state(empty_state());
+  // Section table starts after magic(8) + version(4) + endian(4) +
+  // count(4); the first section id is a little-endian u32 at offset 20.
+  bytes[20] = 99;
+  std::string error;
+  EXPECT_FALSE(
+      core::parse_shard_state(refresh_digest(bytes), nullptr, &error)
+          .has_value());
+  EXPECT_NE(error.find("unknown state section id"), std::string::npos)
+      << error;
+}
+
+TEST(ShardState, MetaCompatibilityGatesReduce) {
+  core::ShardStateMeta a;
+  a.seed = 1;
+  a.cert_scale = 100;
+  a.conn_scale = 50'000;
+  core::ShardStateMeta b = a;
+  EXPECT_TRUE(core::compatible_meta(a, b));
+  b.ssl_log = "other-slice.log";  // paths legitimately differ
+  EXPECT_TRUE(core::compatible_meta(a, b));
+  b.seed = 2;
+  EXPECT_FALSE(core::compatible_meta(a, b));
+  b = a;
+  b.cert_scale = 200;
+  EXPECT_FALSE(core::compatible_meta(a, b));
+  b = a;
+  b.file_mode = true;
+  EXPECT_FALSE(core::compatible_meta(a, b));
+
+  EXPECT_EQ(core::describe_meta(a),
+            "mode=synthetic seed=1 cert_scale=100 conn_scale=50000");
+  EXPECT_EQ(core::describe_meta(b),
+            "mode=file seed=1 cert_scale=100 conn_scale=50000");
+}
+
+TEST(ShardState, MergeAccumulatesAndStaysCanonical) {
+  auto whole = folded_state();
+  auto a = folded_state();
+  auto b = empty_state();
+  b.meta = a.meta;
+  a.merge(std::move(b));
+  a.pipeline->finalize();
+  a.ledger.finalize();
+  // Merging an empty compatible shard is an identity on the serialized
+  // canonical form.
+  EXPECT_EQ(core::serialize_shard_state(a), core::serialize_shard_state(whole));
+}
+
+TEST(ShardState, SaveLoadRoundTripsThroughDisk) {
+  const auto state = folded_state();
+  const std::string path = ::testing::TempDir() + "/mtlscope_state_test.state";
+  core::StateFileInfo saved;
+  std::string error;
+  ASSERT_TRUE(core::save_shard_state(path, state, &saved, &error)) << error;
+  core::StateFileInfo loaded;
+  auto back = core::load_shard_state(path, &loaded, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(saved.digest_hex, loaded.digest_hex);
+  EXPECT_EQ(saved.bytes, loaded.bytes);
+  EXPECT_EQ(core::serialize_shard_state(*back),
+            core::serialize_shard_state(state));
+  std::remove(path.c_str());
+}
+
+TEST(ShardState, LoadMissingFileReportsError) {
+  std::string error;
+  EXPECT_FALSE(core::load_shard_state("/nonexistent/mtlscope.state", nullptr,
+                                      &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace mtlscope
