@@ -34,6 +34,8 @@
 #include "mtlscope/crypto/sha256.hpp"
 #include "mtlscope/experiments/registry.hpp"
 #include "mtlscope/gen/generator.hpp"
+#include "mtlscope/watch/daemon.hpp"
+#include "mtlscope/watch/scheduler.hpp"
 
 using namespace mtlscope;
 
@@ -49,6 +51,11 @@ int usage(const char* argv0) {
                "[options]\n"
                "       %s reduce <state-file>... (--run=NAME[,NAME...] | "
                "--all) [--format=text|json|csv|tsv] [--out=DIR] [options]\n"
+               "       %s watch --ssl-log=F --x509-log=F --out-dir=DIR "
+               "(--run=NAME[,NAME...] | --all) [--window=hour|day|week|SECS] "
+               "[--rollup=N] [--poll-ms=N] [--checkpoint-dir=DIR] "
+               "[--checkpoint-every=SECS] [--exit-idle-ms=N] "
+               "[--report-ssl-log=F --report-x509-log=F] [options]\n"
                "\n"
                "options (apply to every experiment in the run):\n"
                "  --cert-scale=N --conn-scale=N --seed=N --threads=N\n"
@@ -61,8 +68,16 @@ int usage(const char* argv0) {
                "distributable experiments from the merged state; --all "
                "selects every distributable experiment. --ssl-log=/"
                "--x509-log= override the input paths shown in the report "
-               "(e.g. the unsliced originals).\n",
-               argv0, argv0, argv0, argv0);
+               "(e.g. the unsliced originals).\n"
+               "\n"
+               "watch tails growing (and rotating) Zeek logs, folds complete "
+               "records into windowed analyzer state, and publishes "
+               "window-<start>.json / rollup-<start>.json / cumulative.json "
+               "into --out-dir atomically. --checkpoint-dir= enables "
+               "SIGTERM/crash resume; SIGUSR1 prints a status line; "
+               "--exit-idle-ms=N drains and exits once the logs stop "
+               "growing.\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -87,26 +102,6 @@ bool write_file(const std::filesystem::path& path,
     return false;
   }
   return true;
-}
-
-/// Stdout JSON: one envelope holding every requested experiment, each
-/// document compact on its own line. include_perf adds the volatile
-/// "perf" counters per document; --stable-output turns it off so the
-/// envelope stays canonical for golden comparisons.
-std::string render_json_envelope(const std::vector<core::ResultDoc>& docs,
-                                 bool include_perf) {
-  std::string out = "{\n  \"experiments\": [\n";
-  bool first = true;
-  for (const auto& doc : docs) {
-    if (!first) out += ",\n";
-    first = false;
-    std::string body = core::render_json_with_perf(doc, 0, include_perf);
-    if (!body.empty() && body.back() == '\n') body.pop_back();
-    out += "    ";
-    out += body;
-  }
-  out += "\n  ]\n}\n";
-  return out;
 }
 
 std::string render_tables(const core::ResultDoc& doc, char sep) {
@@ -161,7 +156,7 @@ int emit_docs(const std::vector<core::ResultDoc>& docs,
 
   std::string out;
   if (format == "json") {
-    out = render_json_envelope(docs, include_perf);
+    out = core::render_json_envelope(docs, include_perf);
   } else {
     bool first = true;
     for (const auto& doc : docs) {
@@ -448,6 +443,112 @@ int run_reduce(int argc, char** argv) {
                    /*include_perf=*/!options.stable_output);
 }
 
+int run_watch_cmd(int argc, char** argv) {
+  watch::WatchOptions options;
+  bool all = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--all") == 0) {
+      all = true;
+    } else if (std::strncmp(arg, "--run=", 6) == 0) {
+      std::string list = arg + 6;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (!name.empty()) options.experiments.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (std::strncmp(arg, "--out-dir=", 10) == 0) {
+      options.out_dir = arg + 10;
+    } else if (std::strncmp(arg, "--checkpoint-dir=", 17) == 0) {
+      options.checkpoint_dir = arg + 17;
+    } else if (std::strncmp(arg, "--window=", 9) == 0) {
+      options.window_seconds = watch::parse_window_spec(arg + 9);
+      if (options.window_seconds <= 0) {
+        std::fprintf(stderr, "bad --window= (hour|day|week|SECS): %s\n",
+                     arg + 9);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--rollup=", 9) == 0) {
+      options.rollup_windows =
+          static_cast<std::uint32_t>(std::strtoul(arg + 9, nullptr, 10));
+      if (options.rollup_windows == 0) {
+        std::fprintf(stderr, "bad --rollup= (windows per roll-up): %s\n",
+                     arg + 9);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--poll-ms=", 10) == 0) {
+      options.poll_ms = std::atoi(arg + 10);
+      if (options.poll_ms <= 0) {
+        std::fprintf(stderr, "bad --poll-ms=: %s\n", arg + 10);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
+      options.checkpoint_every_s = std::atof(arg + 19);
+    } else if (std::strncmp(arg, "--exit-idle-ms=", 15) == 0) {
+      options.exit_idle_ms = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--report-ssl-log=", 17) == 0) {
+      options.report_ssl_log = arg + 17;
+    } else if (std::strncmp(arg, "--report-x509-log=", 18) == 0) {
+      options.report_x509_log = arg + 18;
+    } else if (arg[0] == '-') {
+      if (!options.run.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "watch takes no positional arguments: %s\n", arg);
+      return usage(argv[0]);
+    }
+  }
+  if (options.run.ssl_log.empty() || options.run.x509_log.empty()) {
+    std::fprintf(stderr, "watch needs both --ssl-log= and --x509-log=\n");
+    return 2;
+  }
+  if (options.out_dir.empty()) {
+    std::fprintf(stderr, "watch needs --out-dir=DIR\n");
+    return 2;
+  }
+  if (options.report_ssl_log.empty() != options.report_x509_log.empty()) {
+    std::fprintf(stderr,
+                 "--report-ssl-log= and --report-x509-log= go together\n");
+    return 2;
+  }
+  if (all) {
+    const auto& registry = experiments::ExperimentRegistry::instance();
+    for (const auto& entry : registry.entries()) {
+      if (entry.make()->distributable())
+        options.experiments.emplace_back(entry.info.name);
+    }
+  }
+  if (options.experiments.empty()) {
+    std::fprintf(stderr, "no experiments requested (try --run= or --all)\n");
+    return usage(argv[0]);
+  }
+  // Watch folds shard states across windows, so like reduce it can only
+  // serve distributable experiments; reject the rest up front.
+  const auto& registry = experiments::ExperimentRegistry::instance();
+  for (const auto& name : options.experiments) {
+    const auto* entry = registry.find(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown experiment: %s (see `mtlscope list`)\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!entry->make()->distributable()) {
+      std::fprintf(stderr, "experiment %s is not distributable; watch "
+                           "cannot serve it\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+  return watch::run_watch(options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -456,6 +557,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "run") == 0) return run_run(argc, argv);
   if (std::strcmp(argv[1], "map") == 0) return run_map(argc, argv);
   if (std::strcmp(argv[1], "reduce") == 0) return run_reduce(argc, argv);
+  if (std::strcmp(argv[1], "watch") == 0) return run_watch_cmd(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);
   return usage(argv[0]);
 }

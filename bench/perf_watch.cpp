@@ -1,0 +1,150 @@
+// Microbenchmarks for the watch subsystem (DESIGN §13): tail-follow
+// throughput over a growing log (poll + line assembly + tolerant parse)
+// and the cost of a checkpoint cycle — the serialize/parse price paid
+// per --checkpoint-every interval, and per poll at --checkpoint-every=0.
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/result_doc.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/watch/checkpoint.hpp"
+#include "mtlscope/watch/record_tail.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Synthetic ssl log split into header + body, the feed corpus.
+struct Corpus {
+  std::string header;
+  std::string body;
+  std::size_t rows = 0;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    gen::TraceGenerator generator(gen::paper_model(2'000, 200'000));
+    const auto dataset = generator.generate_dataset();
+    const std::string text = zeek::ssl_log_to_string(dataset.ssl());
+    Corpus out;
+    std::size_t pos = 0;
+    while (pos < text.size() && text[pos] == '#') {
+      pos = text.find('\n', pos) + 1;
+    }
+    out.header = text.substr(0, pos);
+    out.body = text.substr(pos);
+    for (const char ch : out.body) out.rows += ch == '\n';
+    return out;
+  }();
+  return c;
+}
+
+std::string scratch_path(const char* name) {
+  return (fs::temp_directory_path() /
+          ("mtlscope_perf_watch_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+/// Tail a file that grows by `chunk` bytes per poll: the steady-state
+/// daemon loop (pread + carry assembly + tolerant parse into records).
+void BM_TailFollowParse(benchmark::State& state) {
+  const auto& c = corpus();
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  const std::string path = scratch_path("tail.log");
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << c.header;
+    }
+    watch::SslTail tail(path);
+    (void)tail.poll();  // consume the header
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    state.ResumeTiming();
+
+    std::size_t fed = 0, records = 0;
+    while (fed < c.body.size()) {
+      const std::size_t n = std::min(chunk, c.body.size() - fed);
+      out.write(c.body.data() + fed, static_cast<std::streamsize>(n));
+      out.flush();
+      fed += n;
+      records += tail.poll().records.size();
+    }
+    records += tail.drain().records.size();
+    benchmark::DoNotOptimize(records);
+    bytes = fed;
+  }
+  ::unlink(path.c_str());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["rows"] = static_cast<double>(c.rows);
+}
+BENCHMARK(BM_TailFollowParse)
+    ->Arg(64 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+watch::WatchCheckpoint make_checkpoint() {
+  const auto& c = corpus();
+  const std::string path = scratch_path("ckpt_feed.log");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << c.header << c.body;
+  }
+  watch::SslTail tail(path);
+  watch::WatchCheckpoint ckpt;
+  ckpt.window_seconds = 7 * 24 * 3600;
+  ckpt.rollup_windows = 4;
+  ckpt.experiments = {"table1", "fig1", "serials"};
+  ckpt.seed = 20240504;
+  // A heavily loaded open window: every parsed row still buffered.
+  ckpt.current_rows = tail.drain().records;
+  ckpt.have_watermark = true;
+  ckpt.ssl_records_seen = ckpt.current_rows.size();
+  ckpt.ssl_tail = tail.source().position();
+  ::unlink(path.c_str());
+  return ckpt;
+}
+
+/// Serialize cost of one checkpoint write (the --checkpoint-every=0
+/// per-poll worst case runs exactly this plus one atomic rename).
+void BM_CheckpointSerialize(benchmark::State& state) {
+  const auto ckpt = make_checkpoint();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = watch::serialize_watch_checkpoint(ckpt);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_CheckpointSerialize)->Unit(benchmark::kMillisecond);
+
+/// Parse + digest-verify cost of a resume.
+void BM_CheckpointParse(benchmark::State& state) {
+  const std::string bytes =
+      watch::serialize_watch_checkpoint(make_checkpoint());
+  for (auto _ : state) {
+    auto parsed = watch::parse_watch_checkpoint(bytes);
+    benchmark::DoNotOptimize(parsed->ssl_records_seen);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+  state.counters["checkpoint_bytes"] = static_cast<double>(bytes.size());
+}
+BENCHMARK(BM_CheckpointParse)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
 # Runs the committed benches and writes their google-benchmark JSON to
 # the repo root (committed so the README's before/after numbers stay
-# reproducible): the Zeek-parsing microbench to BENCH_parse.json and the
-# shard-state serialization bench to BENCH_state.json.
+# reproducible): the Zeek-parsing microbench to BENCH_parse.json, the
+# shard-state serialization bench to BENCH_state.json, and the watch
+# tail/checkpoint bench to BENCH_watch.json.
 #
-#   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT]
+#   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT] [WATCH_OUT]
 #
-# BUILD_DIR defaults to ./build; outputs to ./BENCH_parse.json and
-# ./BENCH_state.json. Scale the parse fixture down for a quick smoke run
-# with
+# BUILD_DIR defaults to ./build; outputs to ./BENCH_parse.json,
+# ./BENCH_state.json, and ./BENCH_watch.json. Scale the parse fixture
+# down for a quick smoke run with
 #   MTLSCOPE_PARSE_BENCH_CONN=2000000 bench/run_benches.sh
 set -eu
 
@@ -16,6 +17,7 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 parse_out=${2:-"$repo_root/BENCH_parse.json"}
 state_out=${3:-"$repo_root/BENCH_state.json"}
+watch_out=${4:-"$repo_root/BENCH_watch.json"}
 
 run_bench() {
   bench_bin="$build_dir/bench/$1"
@@ -33,3 +35,4 @@ run_bench() {
 
 run_bench perf_zeek_parse "$parse_out"
 run_bench perf_state "$state_out"
+run_bench perf_watch "$watch_out"

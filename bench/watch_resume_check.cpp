@@ -1,0 +1,401 @@
+// watch_resume_check: end-to-end teeth for the watch daemon (DESIGN
+// §13). Over the ~100 MB ingest fixture (time-sorted so windows close
+// progressively), it runs `mtlscope watch` three ways and byte-compares:
+//
+//   1. a batch reference: `mtlscope run` over the final logs;
+//   2. run A — the daemon fed incrementally with a rename rotation and
+//      a late writer on the rotated-out segment, different thread count
+//      and poll cadence from run B;
+//   3. run B — fed incrementally with checkpointing, SIGKILLed mid-run,
+//      then resumed to completion.
+//
+// Asserts: A's and B's cumulative.json are byte-identical to the batch
+// reference, and every window-*.json / rollup-*.json file agrees
+// between A and B (poll cadence, thread count, rotation, and a crash
+// must all be invisible in the published bytes).
+//
+// Usage: watch_resume_check --fixture-dir=DIR --mtlscope=PATH
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kExperiments = "table1,fig1,serials";
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return std::move(out).str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+}
+
+void append_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << text;
+}
+
+void split_log(const std::string& text, std::string* header,
+               std::vector<std::string>* rows) {
+  std::size_t pos = 0;
+  bool in_header = true;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size() - 1;
+    const std::string line = text.substr(pos, eol - pos + 1);
+    pos = eol + 1;
+    if (in_header && !line.empty() && line[0] == '#') {
+      *header += line;
+    } else {
+      in_header = false;
+      rows->push_back(line);
+    }
+  }
+}
+
+/// Starts a child process with stdout+stderr captured; returns its pid.
+pid_t spawn_child(const std::string& binary,
+                  const std::vector<std::string>& args,
+                  const std::string& capture_path) {
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return -1;
+  }
+  if (pid == 0) {
+    const int fd =
+        open(capture_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0 || dup2(fd, STDERR_FILENO) < 0) {
+      _exit(127);
+    }
+    close(fd);
+    execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_child(pid_t pid) {
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+bool wait_for_file(const std::string& path, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 50) {
+    if (fs::exists(path)) return true;
+    ::usleep(50 * 1000);
+  }
+  return fs::exists(path);
+}
+
+struct Feeder {
+  std::string header;
+  std::vector<std::string> rows;
+  std::string path;
+  std::size_t next = 0;
+
+  /// Begins a new stream: fresh header, feed restarts at row 0.
+  void start() {
+    write_file(path, header);
+    next = 0;
+  }
+  /// Begins a new segment of the SAME stream (post-rotation): fresh
+  /// header at `path`, but the feed continues where it left off.
+  void reopen() { write_file(path, header); }
+  /// Appends the next `n` rows in one write.
+  void feed(std::size_t n) {
+    std::string block;
+    const std::size_t end = std::min(next + n, rows.size());
+    for (; next < end; ++next) block += rows[next];
+    append_file(path, block);
+  }
+  bool done() const { return next >= rows.size(); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fixture_dir, mtlscope;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fixture-dir=", 14) == 0) {
+      fixture_dir = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--mtlscope=", 11) == 0) {
+      mtlscope = argv[i] + 11;
+    }
+  }
+  if (fixture_dir.empty() || mtlscope.empty()) {
+    std::fprintf(stderr, "usage: %s --fixture-dir=DIR --mtlscope=PATH\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const fs::path dir = fixture_dir;
+  const std::string x509_log = (dir / "x509.log").string();
+  if (!fs::exists((dir / "ssl.log")) || !fs::exists(x509_log)) {
+    std::fprintf(stderr,
+                 "fixture logs missing under %s (run ingest_fixture)\n",
+                 fixture_dir.c_str());
+    return 2;
+  }
+
+  // Time-sort the fixture's ssl rows so the record stream advances the
+  // watermark monotonically and windows close throughout the feed (the
+  // raw fixture is heavily ts-unordered, which would park most rows in
+  // the late buffer until drain — legal, but it would not exercise
+  // mid-stream window state under the kill).
+  Feeder feeder;
+  split_log(slurp((dir / "ssl.log").string()), &feeder.header, &feeder.rows);
+  if (feeder.rows.size() < 1000) {
+    std::fprintf(stderr, "fixture ssl.log implausibly small: %zu rows\n",
+                 feeder.rows.size());
+    return 2;
+  }
+  std::stable_sort(feeder.rows.begin(), feeder.rows.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return std::atof(a.c_str()) < std::atof(b.c_str());
+                   });
+  const std::string sorted_ssl = (dir / "wr_sorted_ssl.log").string();
+  {
+    std::string text = feeder.header;
+    for (const auto& row : feeder.rows) text += row;
+    write_file(sorted_ssl, text);
+  }
+
+  // Batch reference over the final sorted logs.
+  const std::string reference_path = (dir / "wr_batch.json").string();
+  {
+    ::unlink(reference_path.c_str());
+    std::vector<std::string> args = {"run",
+                                     "--format=json",
+                                     "--stable-output",
+                                     "--threads=2",
+                                     "--ssl-log=" + sorted_ssl,
+                                     "--x509-log=" + x509_log,
+                                     "table1",
+                                     "fig1",
+                                     "serials"};
+    const pid_t pid = spawn_child(mtlscope, args, reference_path);
+    if (pid < 0 || wait_child(pid) != 0) {
+      std::fprintf(stderr, "FAIL: batch reference run failed\n");
+      return 1;
+    }
+  }
+  const std::string reference = slurp(reference_path);
+  std::printf("batch reference: %zu bytes over %zu sorted rows\n",
+              reference.size(), feeder.rows.size());
+
+  const auto watch_args = [&](const std::string& feed_path,
+                              const std::string& out_dir,
+                              const std::string& ckpt_dir,
+                              const char* threads, const char* poll_ms,
+                              bool idle_exit) {
+    std::vector<std::string> args = {"watch",
+                                     "--ssl-log=" + feed_path,
+                                     "--x509-log=" + x509_log,
+                                     "--out-dir=" + out_dir,
+                                     "--run=" + std::string(kExperiments),
+                                     "--window=week",
+                                     "--rollup=4",
+                                     "--stable-output",
+                                     "--report-ssl-log=" + sorted_ssl,
+                                     "--report-x509-log=" + x509_log,
+                                     threads,
+                                     poll_ms};
+    if (!ckpt_dir.empty()) {
+      args.push_back("--checkpoint-dir=" + ckpt_dir);
+      args.push_back("--checkpoint-every=0");
+    }
+    if (idle_exit) args.push_back("--exit-idle-ms=5000");
+    return args;
+  };
+
+  const std::size_t chunk = feeder.rows.size() / 16 + 1;
+
+  // --- run A: incremental feed with a rename rotation + late writer ---
+  const std::string out_a = (dir / "wr_out_a").string();
+  const std::string ckpt_a = (dir / "wr_ckpt_a").string();
+  const std::string feed_a = (dir / "wr_feed_a.log").string();
+  fs::remove_all(out_a);
+  fs::remove_all(ckpt_a);
+  ::unlink((feed_a + ".1").c_str());
+  feeder.path = feed_a;
+  feeder.start();
+  feeder.feed(chunk);
+  {
+    const pid_t pid =
+        spawn_child(mtlscope,
+                    watch_args(feed_a, out_a, ckpt_a, "--threads=2",
+                               "--poll-ms=25", /*idle_exit=*/true),
+                    (dir / "wr_watch_a.txt").string());
+    if (pid < 0) return 1;
+    // checkpoint-every=0 writes after the first progressing poll: its
+    // appearance proves the daemon holds the original inode before we
+    // rotate it away.
+    if (!wait_for_file(ckpt_a + "/watch.ckpt", 60'000)) {
+      std::fprintf(stderr, "FAIL: run A never checkpointed\n");
+      ::kill(pid, SIGKILL);
+      return 1;
+    }
+    for (int i = 0; i < 3 && !feeder.done(); ++i) feeder.feed(chunk);
+    ::usleep(100 * 1000);
+
+    // Rename rotation: the old segment keeps receiving a late flush
+    // before the writer moves to the fresh file.
+    fs::rename(feed_a, feed_a + ".1");
+    feeder.path = feed_a + ".1";
+    feeder.feed(1000);  // late writer on the rotated-out inode
+    feeder.path = feed_a;
+    feeder.reopen();  // fresh header, new inode, stream continues
+    while (!feeder.done()) {
+      feeder.feed(chunk);
+      ::usleep(50 * 1000);
+    }
+    const int code = wait_child(pid);
+    if (code != 0) {
+      std::fprintf(stderr, "FAIL: run A exited %d\n%s\n", code,
+                   slurp((dir / "wr_watch_a.txt").string()).c_str());
+      return 1;
+    }
+  }
+  if (slurp(out_a + "/cumulative.json") != reference) {
+    std::fprintf(stderr,
+                 "FAIL: run A cumulative.json differs from batch run — "
+                 "see %s\n",
+                 (out_a + "/cumulative.json").c_str());
+    return 1;
+  }
+  std::printf("run A (rotated, threads=2): cumulative byte-identical to "
+              "batch\n");
+
+  // --- run B: incremental feed, SIGKILL mid-run, resume ---
+  const std::string out_b = (dir / "wr_out_b").string();
+  const std::string ckpt_b = (dir / "wr_ckpt_b").string();
+  const std::string feed_b = (dir / "wr_feed_b.log").string();
+  fs::remove_all(out_b);
+  fs::remove_all(ckpt_b);
+  feeder.path = feed_b;
+  feeder.start();
+  feeder.feed(chunk);
+  {
+    const pid_t pid =
+        spawn_child(mtlscope,
+                    watch_args(feed_b, out_b, ckpt_b, "--threads=1",
+                               "--poll-ms=10", /*idle_exit=*/false),
+                    (dir / "wr_watch_b.txt").string());
+    if (pid < 0) return 1;
+    if (!wait_for_file(ckpt_b + "/watch.ckpt", 60'000)) {
+      std::fprintf(stderr, "FAIL: run B never checkpointed\n");
+      ::kill(pid, SIGKILL);
+      return 1;
+    }
+    // Feed roughly half, give the daemon time to checkpoint progress,
+    // then kill it dead — no signal handler runs for SIGKILL.
+    for (int i = 0; i < 7 && !feeder.done(); ++i) {
+      feeder.feed(chunk);
+      ::usleep(50 * 1000);
+    }
+    ::usleep(500 * 1000);
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGKILL) {
+      std::fprintf(stderr, "FAIL: run B was not killed as intended\n");
+      return 1;
+    }
+  }
+  // The log keeps growing while the daemon is down.
+  while (!feeder.done()) feeder.feed(chunk);
+  {
+    const pid_t pid =
+        spawn_child(mtlscope,
+                    watch_args(feed_b, out_b, ckpt_b, "--threads=1",
+                               "--poll-ms=10", /*idle_exit=*/true),
+                    (dir / "wr_watch_b.txt").string());
+    if (pid < 0) return 1;
+    const int code = wait_child(pid);
+    if (code != 0) {
+      std::fprintf(stderr, "FAIL: run B resume exited %d\n%s\n", code,
+                   slurp((dir / "wr_watch_b.txt").string()).c_str());
+      return 1;
+    }
+  }
+  if (slurp(out_b + "/cumulative.json") != reference) {
+    std::fprintf(stderr,
+                 "FAIL: run B cumulative.json differs from batch run — "
+                 "see %s\n",
+                 (out_b + "/cumulative.json").c_str());
+    return 1;
+  }
+  std::printf("run B (SIGKILL + resume, threads=1): cumulative "
+              "byte-identical to batch\n");
+
+  // --- A vs B: every published window/roll-up file must agree ---
+  std::vector<std::string> names_a;
+  for (const auto& entry : fs::directory_iterator(out_a)) {
+    names_a.push_back(entry.path().filename().string());
+  }
+  std::sort(names_a.begin(), names_a.end());
+  std::size_t compared = 0;
+  for (const auto& name : names_a) {
+    const std::string a = out_a + "/" + name;
+    const std::string b = out_b + "/" + name;
+    if (!fs::exists(b)) {
+      std::fprintf(stderr, "FAIL: run B never published %s\n", name.c_str());
+      return 1;
+    }
+    if (slurp(a) != slurp(b)) {
+      std::fprintf(stderr, "FAIL: %s differs between run A and run B\n",
+                   name.c_str());
+      return 1;
+    }
+    ++compared;
+  }
+  std::size_t count_b = 0;
+  for (const auto& entry : fs::directory_iterator(out_b)) {
+    (void)entry;
+    ++count_b;
+  }
+  if (count_b != names_a.size()) {
+    std::fprintf(stderr, "FAIL: run B published %zu files, run A %zu\n",
+                 count_b, names_a.size());
+    return 1;
+  }
+  std::printf("%zu published files byte-identical between A and B\n",
+              compared);
+
+  // Tidy the large intermediates; keep the outputs for debugging.
+  std::error_code ec;
+  ::unlink(feed_a.c_str());
+  ::unlink((feed_a + ".1").c_str());
+  ::unlink(feed_b.c_str());
+  ::unlink(sorted_ssl.c_str());
+  fs::remove_all(ckpt_a, ec);
+  fs::remove_all(ckpt_b, ec);
+  std::printf("PASS\n");
+  return 0;
+}

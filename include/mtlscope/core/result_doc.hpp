@@ -252,6 +252,13 @@ std::string render_json_with_perf(const ResultDoc& doc, int indent,
                                   bool include_perf);
 /// One table as CSV (sep ',', RFC-style quoting) or TSV (sep '\t').
 std::string render_csv(const ResultTable& table, char sep = ',');
+/// The multi-document JSON envelope (`{"experiments": [...]}`) shared
+/// by `mtlscope run --format=json`, `mtlscope reduce`, and the watch
+/// daemon's published window/cumulative files — one rendering, so a
+/// watch cumulative document byte-compares against a batch run's
+/// stdout. include_perf as in render_json_with_perf.
+std::string render_json_envelope(const std::vector<ResultDoc>& docs,
+                                 bool include_perf);
 
 /// JSON string escaping (exposed for the emitters and tests).
 std::string json_escape(const std::string& s);

@@ -1,0 +1,52 @@
+// The `mtlscope watch` daemon shell (DESIGN §13): owns the two typed
+// tails, drives the WindowScheduler, publishes emissions into --out-dir
+// via write-to-temp + atomic rename, checkpoints on a cadence and on
+// SIGINT/SIGTERM, prints a status line on SIGUSR1, and (optionally)
+// exits cleanly once the logs stop growing (--exit-idle-ms, the
+// batch-equivalence and test harness mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mtlscope/experiments/options.hpp"
+
+namespace mtlscope::watch {
+
+struct WatchOptions {
+  /// Shared pipeline flags; ssl_log/x509_log are the *tailed* paths.
+  experiments::RunOptions run;
+  /// Experiments each emission reports (must all be distributable).
+  std::vector<std::string> experiments;
+  /// Window/roll-up published file directory (required).
+  std::string out_dir;
+  /// Checkpoint directory; empty disables checkpoint/restore.
+  std::string checkpoint_dir;
+  std::int64_t window_seconds = 3600;
+  std::uint32_t rollup_windows = 24;
+  /// Poll interval; inotify (Linux) wakes the loop early on change.
+  int poll_ms = 200;
+  /// Seconds between checkpoints; 0 checkpoints after every poll that
+  /// made progress.
+  double checkpoint_every_s = 30;
+  /// Exit 0 after this long with no log growth and nothing held
+  /// (drain + final publication + final checkpoint). 0 = run until
+  /// signalled.
+  int exit_idle_ms = 0;
+  /// Report-label overrides (RunInfo paths), mirroring `mtlscope
+  /// reduce --ssl-log=`: a watch over rotated segments labels its
+  /// documents with the logical log the segments came from.
+  std::string report_ssl_log;
+  std::string report_x509_log;
+  /// Polls with zero x509 growth before a held record is force-released
+  /// (missing-certificate liveness).
+  int missing_cert_grace_polls = 50;
+};
+
+/// Runs the daemon loop until SIGINT/SIGTERM (checkpoint + exit 0) or
+/// idle exit (drain + publish + checkpoint + exit 0). Returns a
+/// process exit code.
+int run_watch(const WatchOptions& options);
+
+}  // namespace mtlscope::watch

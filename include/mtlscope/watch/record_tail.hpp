@@ -1,0 +1,121 @@
+// Typed tails: TailSource batches parsed into SslRecord / X509Record
+// rows with the PR 4 compiled-plan tolerant parsers. The plan compiles
+// once per file incarnation (append-only files never recompile; a
+// truncate or rotation recompiles from the new incarnation's header).
+//
+// RowIssues come back rewritten to ABSOLUTE file coordinates — the
+// tolerant parser reports lines relative to its batch, and the tail
+// knows how many body lines preceded the batch — which is what keeps
+// ErrorLedger entries identical whether the file was read in one batch
+// pass, tailed poll-by-poll, or resumed mid-file from a checkpoint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mtlscope/watch/tail.hpp"
+#include "mtlscope/zeek/parse_plan.hpp"
+#include "mtlscope/zeek/records.hpp"
+
+namespace mtlscope::watch {
+
+/// Parsed result of one poll over a typed tail.
+template <typename Record>
+struct TailRows {
+  std::vector<Record> records;
+  /// line / byte_offset are absolute in the current file incarnation.
+  std::vector<zeek::RowIssue> issues;
+  std::uint64_t rows_ok = 0;
+};
+
+namespace detail {
+
+struct SslTraits {
+  using Record = zeek::SslRecord;
+  using Plan = zeek::SslPlan;
+  static Plan compile(const zeek::ColumnPlan& columns) {
+    return Plan::compile(columns);
+  }
+  static zeek::TolerantStats parse(std::string_view body, const Plan& plan,
+                                   std::vector<Record>& out,
+                                   std::vector<zeek::RowIssue>* issues,
+                                   std::size_t header_lines,
+                                   std::size_t base_offset) {
+    return zeek::parse_ssl_records_tolerant(body, plan, out, issues,
+                                            header_lines, base_offset);
+  }
+};
+
+struct X509Traits {
+  using Record = zeek::X509Record;
+  using Plan = zeek::X509Plan;
+  static Plan compile(const zeek::ColumnPlan& columns) {
+    return Plan::compile(columns);
+  }
+  static zeek::TolerantStats parse(std::string_view body, const Plan& plan,
+                                   std::vector<Record>& out,
+                                   std::vector<zeek::RowIssue>* issues,
+                                   std::size_t header_lines,
+                                   std::size_t base_offset) {
+    return zeek::parse_x509_records_tolerant(body, plan, out, issues,
+                                             header_lines, base_offset);
+  }
+};
+
+}  // namespace detail
+
+template <typename Traits>
+class RecordTail {
+ public:
+  using Record = typename Traits::Record;
+
+  explicit RecordTail(std::string path) : tail_(std::move(path)) {}
+
+  /// One poll: follow the file, parse every complete new row.
+  TailRows<Record> poll() { return parse_batches(tail_.poll()); }
+
+  /// Shutdown/idle drain: also flushes a trailing unterminated line as
+  /// a final record (the batch parsers accept a final row sans newline).
+  TailRows<Record> drain() {
+    auto batches = tail_.poll();
+    if (auto carry = tail_.flush_carry()) batches.push_back(std::move(*carry));
+    return parse_batches(std::move(batches));
+  }
+
+  TailSource& source() { return tail_; }
+  const TailSource& source() const { return tail_; }
+
+ private:
+  TailRows<Record> parse_batches(std::vector<TailBatch> batches) {
+    TailRows<Record> out;
+    for (const TailBatch& batch : batches) {
+      if (batch.incarnation_start) {
+        // Batches within one poll are oldest-first and a new
+        // incarnation's first batch is flagged, so an old incarnation's
+        // final flush still parses with the old plan while the start
+        // batch compiles from the new header (header_text() already
+        // holds it — body batches only exist once the header is done).
+        plan_ = Traits::compile(
+            zeek::ColumnPlan::from_header(tail_.header_text()));
+      }
+      std::vector<zeek::RowIssue> issues;
+      const auto stats =
+          Traits::parse(batch.body, plan_, out.records, &issues,
+                        batch.header_lines, batch.base_offset);
+      out.rows_ok += stats.rows_ok;
+      for (auto& issue : issues) {
+        issue.line += batch.body_lines_before;
+        out.issues.push_back(std::move(issue));
+      }
+    }
+    return out;
+  }
+
+  TailSource tail_;
+  typename Traits::Plan plan_{};
+};
+
+using SslTail = RecordTail<detail::SslTraits>;
+using X509Tail = RecordTail<detail::X509Traits>;
+
+}  // namespace mtlscope::watch

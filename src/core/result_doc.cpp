@@ -677,4 +677,20 @@ std::string render_csv(const ResultTable& table, char sep) {
   return out;
 }
 
+std::string render_json_envelope(const std::vector<ResultDoc>& docs,
+                                 bool include_perf) {
+  std::string out = "{\n  \"experiments\": [\n";
+  bool first = true;
+  for (const auto& doc : docs) {
+    if (!first) out += ",\n";
+    first = false;
+    std::string body = render_json_with_perf(doc, 0, include_perf);
+    if (!body.empty() && body.back() == '\n') body.pop_back();
+    out += "    ";
+    out += body;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
 }  // namespace mtlscope::core

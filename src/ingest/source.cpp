@@ -23,6 +23,43 @@ void set_error(IngestError* error, const std::string& file,
 
 std::string errno_string() { return std::strerror(errno); }
 
+/// Best-effort readahead: while the caller parses [offset, offset+len),
+/// ask the kernel to start paging in the next chunk-sized region so a
+/// sequential pass overlaps I/O with parsing. Advisory only — absent
+/// kernel support (or past EOF) it is a no-op, never an error.
+void advise_next_chunk_fd(int fd, std::size_t offset, std::size_t len,
+                          std::size_t file_size) {
+#if defined(POSIX_FADV_WILLNEED)
+  const std::size_t next = offset + len;
+  if (len == 0 || next >= file_size) return;
+  const std::size_t ahead = std::min(len, file_size - next);
+  ::posix_fadvise(fd, static_cast<off_t>(next), static_cast<off_t>(ahead),
+                  POSIX_FADV_WILLNEED);
+#else
+  (void)fd;
+  (void)offset;
+  (void)len;
+  (void)file_size;
+#endif
+}
+
+void advise_next_chunk_map(void* map, std::size_t offset, std::size_t len,
+                           std::size_t map_size) {
+#if defined(MADV_WILLNEED)
+  const std::size_t next = offset + len;
+  if (len == 0 || next >= map_size) return;
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t begin = next / page * page;
+  const std::size_t ahead = std::min(len, map_size - begin);
+  ::madvise(static_cast<char*>(map) + begin, ahead, MADV_WILLNEED);
+#else
+  (void)map;
+  (void)offset;
+  (void)len;
+  (void)map_size;
+#endif
+}
+
 /// RAII fd.
 class FileHandle {
  public:
@@ -100,6 +137,7 @@ class MappedFile final : public Source {
       scratch.resize(got.bytes);
       return {scratch.data(), got.bytes};
     }
+    advise_next_chunk_map(map_, offset, len, size_);
     return {static_cast<const char*>(map_) + offset, len};
   }
 
@@ -135,6 +173,7 @@ class BufferedFile final : public Source {
                          std::string& scratch) const override {
     if (offset >= size_) return {};
     len = std::min(len, size_ - offset);
+    advise_next_chunk_fd(fd_.get(), offset, len, size_);
     scratch.resize(len);
     const auto got = read_fully(
         [this](char* dst, std::size_t n, std::size_t at) {

@@ -1,0 +1,387 @@
+#include "mtlscope/watch/checkpoint.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "mtlscope/crypto/sha256.hpp"
+
+namespace mtlscope::watch {
+namespace {
+
+using core::StateReader;
+using core::StateWriter;
+
+// Section ids, in file order. Mirrors the shard-state container's table
+// discipline (DESIGN §12): the set is closed per version, unknown /
+// duplicate / missing ids are hard errors.
+constexpr std::uint32_t kSecConfig = 1;
+constexpr std::uint32_t kSecSslTail = 2;
+constexpr std::uint32_t kSecX509Tail = 3;
+constexpr std::uint32_t kSecScheduler = 4;
+constexpr std::uint32_t kSecCumulative = 5;
+constexpr std::uint32_t kSecRollup = 6;
+constexpr std::uint32_t kSecLedger = 7;
+constexpr std::uint32_t kSecX509Seen = 8;
+constexpr std::uint32_t kSecSslBuffers = 9;
+constexpr std::uint32_t kSectionCount = 9;
+
+constexpr char kMagic[8] = {'M', 'T', 'L', 'S', 'W', 'T', 'C', 'H'};
+constexpr std::uint32_t kEndianSentinel = 0x01020304;
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSecConfig: return "config";
+    case kSecSslTail: return "ssl_tail";
+    case kSecX509Tail: return "x509_tail";
+    case kSecScheduler: return "scheduler";
+    case kSecCumulative: return "cumulative";
+    case kSecRollup: return "rollup";
+    case kSecLedger: return "ledger";
+    case kSecX509Seen: return "x509_seen";
+    case kSecSslBuffers: return "ssl_buffers";
+  }
+  return "unknown";
+}
+
+void serialize_strings(StateWriter& w, const std::vector<std::string>& v) {
+  w.u64(v.size());
+  for (const auto& s : v) w.str(s);
+}
+
+std::vector<std::string> parse_strings(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(r.str());
+  return out;
+}
+
+void serialize_position(StateWriter& w, const TailPosition& p) {
+  w.u64(p.inode);
+  w.u64(p.offset);
+  w.u64(p.body_lines);
+  w.str(p.header_text);
+  w.u64(p.header_lines);
+  w.u8(p.header_done ? 1 : 0);
+  w.str(p.carry);
+}
+
+TailPosition parse_position(StateReader& r) {
+  TailPosition p;
+  p.inode = r.u64();
+  p.offset = r.u64();
+  p.body_lines = r.u64();
+  p.header_text = r.str();
+  p.header_lines = r.u64();
+  p.header_done = r.u8() != 0;
+  p.carry = r.str();
+  return p;
+}
+
+void serialize_ssl_rows(StateWriter& w,
+                        const std::vector<zeek::SslRecord>& rows) {
+  w.u64(rows.size());
+  for (const auto& row : rows) serialize_ssl_record(w, row);
+}
+
+std::vector<zeek::SslRecord> parse_ssl_rows(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  std::vector<zeek::SslRecord> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(parse_ssl_record(r));
+  return out;
+}
+
+}  // namespace
+
+void serialize_ssl_record(StateWriter& w, const zeek::SslRecord& r) {
+  w.i64(r.ts);
+  w.str(r.uid);
+  w.str(r.orig_h);
+  w.u32(r.orig_p);
+  w.str(r.resp_h);
+  w.u32(r.resp_p);
+  w.str(r.version);
+  w.str(r.server_name);
+  w.u8(r.established ? 1 : 0);
+  serialize_strings(w, r.cert_chain_fuids);
+  serialize_strings(w, r.client_cert_chain_fuids);
+}
+
+zeek::SslRecord parse_ssl_record(StateReader& r) {
+  zeek::SslRecord rec;
+  rec.ts = r.i64();
+  rec.uid = r.str();
+  rec.orig_h = r.str();
+  rec.orig_p = static_cast<std::uint16_t>(r.u32());
+  rec.resp_h = r.str();
+  rec.resp_p = static_cast<std::uint16_t>(r.u32());
+  rec.version = r.str();
+  rec.server_name = r.str();
+  rec.established = r.u8() != 0;
+  rec.cert_chain_fuids = parse_strings(r);
+  rec.client_cert_chain_fuids = parse_strings(r);
+  return rec;
+}
+
+void serialize_x509_record(StateWriter& w, const zeek::X509Record& r) {
+  w.str(r.fuid);
+  w.i64(r.version);
+  w.str(r.serial);
+  w.str(r.subject);
+  w.str(r.issuer);
+  w.i64(r.not_valid_before);
+  w.i64(r.not_valid_after);
+  w.str(r.key_alg);
+  w.i64(r.key_length);
+  serialize_strings(w, r.san_dns);
+  serialize_strings(w, r.san_email);
+  serialize_strings(w, r.san_uri);
+  serialize_strings(w, r.san_ip);
+  w.str(r.cert_der_base64);
+}
+
+zeek::X509Record parse_x509_record(StateReader& r) {
+  zeek::X509Record rec;
+  rec.fuid = r.str();
+  rec.version = static_cast<int>(r.i64());
+  rec.serial = r.str();
+  rec.subject = r.str();
+  rec.issuer = r.str();
+  rec.not_valid_before = r.i64();
+  rec.not_valid_after = r.i64();
+  rec.key_alg = r.str();
+  rec.key_length = static_cast<int>(r.i64());
+  rec.san_dns = parse_strings(r);
+  rec.san_email = parse_strings(r);
+  rec.san_uri = parse_strings(r);
+  rec.san_ip = parse_strings(r);
+  rec.cert_der_base64 = r.str();
+  return rec;
+}
+
+std::string serialize_watch_checkpoint(const WatchCheckpoint& ckpt) {
+  StateWriter w;
+  w.raw(kMagic, sizeof(kMagic));
+  w.u32(kWatchFormatVersion);
+  w.u32(kEndianSentinel);
+  w.u32(kSectionCount);
+
+  const auto section = [&w](std::uint32_t id, const auto& serializer) {
+    StateWriter payload;
+    serializer(payload);
+    w.u32(id);
+    w.u64(payload.buffer().size());
+    w.raw(payload.buffer().data(), payload.buffer().size());
+  };
+  section(kSecConfig, [&](StateWriter& p) {
+    p.i64(ckpt.window_seconds);
+    p.u32(ckpt.rollup_windows);
+    serialize_strings(p, ckpt.experiments);
+    p.u64(ckpt.seed);
+  });
+  section(kSecSslTail,
+          [&](StateWriter& p) { serialize_position(p, ckpt.ssl_tail); });
+  section(kSecX509Tail,
+          [&](StateWriter& p) { serialize_position(p, ckpt.x509_tail); });
+  section(kSecScheduler, [&](StateWriter& p) {
+    p.u8(ckpt.have_watermark ? 1 : 0);
+    p.i64(ckpt.watermark_bucket);
+    p.i64(ckpt.watermark_ts);
+    p.i64(ckpt.rollup_bucket);
+    p.u64(ckpt.ssl_records_seen);
+    p.u64(ckpt.windows_emitted);
+    p.u64(ckpt.rollups_emitted);
+  });
+  section(kSecCumulative,
+          [&](StateWriter& p) { p.str(ckpt.cumulative_blob); });
+  section(kSecRollup, [&](StateWriter& p) { p.str(ckpt.rollup_blob); });
+  section(kSecLedger, [&](StateWriter& p) { ckpt.ledger.serialize(p); });
+  section(kSecX509Seen, [&](StateWriter& p) {
+    p.u64(ckpt.x509_seen.size());
+    for (const auto& row : ckpt.x509_seen) serialize_x509_record(p, row);
+  });
+  section(kSecSslBuffers, [&](StateWriter& p) {
+    serialize_ssl_rows(p, ckpt.current_rows);
+    serialize_ssl_rows(p, ckpt.pending_rows);
+    serialize_ssl_rows(p, ckpt.late_rows);
+  });
+
+  std::string out = std::move(w).take();
+  const auto digest = crypto::Sha256::hash(out);
+  out.append(reinterpret_cast<const char*>(digest.data()), digest.size());
+  return out;
+}
+
+std::optional<WatchCheckpoint> parse_watch_checkpoint(std::string_view data,
+                                                      std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+  };
+  constexpr std::size_t kHeaderBytes = sizeof(kMagic) + 4;
+  if (data.size() < kHeaderBytes) {
+    fail("truncated checkpoint: " + std::to_string(data.size()) + " bytes");
+    return std::nullopt;
+  }
+  if (std::string_view(data.data(), sizeof(kMagic)) !=
+      std::string_view(kMagic, sizeof(kMagic))) {
+    fail("bad magic: not a mtlscope watch checkpoint");
+    return std::nullopt;
+  }
+  std::uint32_t version = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(
+                   static_cast<unsigned char>(data[sizeof(kMagic) + i]))
+               << (8 * i);
+  }
+  if (version != kWatchFormatVersion) {
+    fail("unsupported watch checkpoint version " + std::to_string(version) +
+         " (expected " + std::to_string(kWatchFormatVersion) + ")");
+    return std::nullopt;
+  }
+  if (data.size() < kHeaderBytes + crypto::Sha256::kDigestSize) {
+    fail("truncated checkpoint: no room for the digest trailer");
+    return std::nullopt;
+  }
+  const std::size_t payload_size = data.size() - crypto::Sha256::kDigestSize;
+  const auto digest =
+      crypto::Sha256::hash(std::string_view(data.data(), payload_size));
+  if (std::string_view(reinterpret_cast<const char*>(digest.data()),
+                       digest.size()) !=
+      std::string_view(data.data() + payload_size,
+                       crypto::Sha256::kDigestSize)) {
+    fail("checkpoint digest mismatch: file corrupted or truncated");
+    return std::nullopt;
+  }
+
+  try {
+    StateReader r(std::string_view(data.data(), payload_size));
+    r.bytes(sizeof(kMagic));
+    r.u32();  // version, verified above
+    if (r.u32() != kEndianSentinel) {
+      fail("bad endianness sentinel in checkpoint");
+      return std::nullopt;
+    }
+    const std::uint32_t sections = r.u32();
+    WatchCheckpoint ckpt;
+    bool seen[kSectionCount + 1] = {};
+    for (std::uint32_t i = 0; i < sections; ++i) {
+      const std::uint32_t id = r.u32();
+      const std::uint64_t len = r.u64();
+      StateReader section(r.bytes(static_cast<std::size_t>(len)));
+      if (id == 0 || id > kSectionCount) {
+        fail("unknown checkpoint section id " + std::to_string(id));
+        return std::nullopt;
+      }
+      if (seen[id]) {
+        fail(std::string("duplicate checkpoint section '") +
+             section_name(id) + "'");
+        return std::nullopt;
+      }
+      seen[id] = true;
+      switch (id) {
+        case kSecConfig:
+          ckpt.window_seconds = section.i64();
+          ckpt.rollup_windows = section.u32();
+          ckpt.experiments = parse_strings(section);
+          ckpt.seed = section.u64();
+          break;
+        case kSecSslTail:
+          ckpt.ssl_tail = parse_position(section);
+          break;
+        case kSecX509Tail:
+          ckpt.x509_tail = parse_position(section);
+          break;
+        case kSecScheduler:
+          ckpt.have_watermark = section.u8() != 0;
+          ckpt.watermark_bucket = section.i64();
+          ckpt.watermark_ts = section.i64();
+          ckpt.rollup_bucket = section.i64();
+          ckpt.ssl_records_seen = section.u64();
+          ckpt.windows_emitted = section.u64();
+          ckpt.rollups_emitted = section.u64();
+          break;
+        case kSecCumulative:
+          ckpt.cumulative_blob = section.str();
+          break;
+        case kSecRollup:
+          ckpt.rollup_blob = section.str();
+          break;
+        case kSecLedger:
+          ckpt.ledger.deserialize(section);
+          break;
+        case kSecX509Seen: {
+          const std::uint64_t n = section.u64();
+          ckpt.x509_seen.reserve(static_cast<std::size_t>(n));
+          for (std::uint64_t j = 0; j < n; ++j) {
+            ckpt.x509_seen.push_back(parse_x509_record(section));
+          }
+          break;
+        }
+        case kSecSslBuffers:
+          ckpt.current_rows = parse_ssl_rows(section);
+          ckpt.pending_rows = parse_ssl_rows(section);
+          ckpt.late_rows = parse_ssl_rows(section);
+          break;
+      }
+      section.expect_done(section_name(id));
+    }
+    for (std::uint32_t id = 1; id <= kSectionCount; ++id) {
+      if (!seen[id]) {
+        fail(std::string("missing checkpoint section '") + section_name(id) +
+             "'");
+        return std::nullopt;
+      }
+    }
+    r.expect_done("checkpoint container");
+    return ckpt;
+  } catch (const core::StateError& e) {
+    fail(e.what());
+    return std::nullopt;
+  }
+}
+
+bool save_watch_checkpoint(const std::string& path,
+                           const WatchCheckpoint& ckpt, std::string* error) {
+  const std::string bytes = serialize_watch_checkpoint(ckpt);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + ": " + ec.message();
+    }
+    return false;
+  }
+  return true;
+}
+
+std::optional<WatchCheckpoint> load_watch_checkpoint(const std::string& path,
+                                                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    if (error != nullptr) *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  const std::string data = buf.str();
+  return parse_watch_checkpoint(data, error);
+}
+
+}  // namespace mtlscope::watch

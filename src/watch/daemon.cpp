@@ -1,0 +1,346 @@
+#include "mtlscope/watch/daemon.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#ifdef __linux__
+#include <poll.h>
+#include <sys/inotify.h>
+#include <unistd.h>
+#endif
+
+#include "mtlscope/watch/checkpoint.hpp"
+#include "mtlscope/watch/record_tail.hpp"
+#include "mtlscope/watch/scheduler.hpp"
+
+namespace mtlscope::watch {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_status = 0;
+
+void on_stop(int) { g_stop = 1; }
+void on_status(int) { g_status = 1; }
+
+void install_signals() {
+  struct sigaction sa{};
+  sa.sa_handler = on_stop;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  struct sigaction st{};
+  st.sa_handler = on_status;
+  ::sigemptyset(&st.sa_mask);
+  st.sa_flags = SA_RESTART;
+  ::sigaction(SIGUSR1, &st, nullptr);
+}
+
+/// Atomic publication: a reader never sees a half-written document.
+bool publish(const std::filesystem::path& dir, const std::string& name,
+             const std::string& content) {
+  const std::filesystem::path tmp = dir / (".tmp." + name);
+  const std::filesystem::path dst = dir / name;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "watch: cannot write %s\n", tmp.string().c_str());
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, dst, ec);
+  if (ec) {
+    std::fprintf(stderr, "watch: cannot publish %s: %s\n",
+                 dst.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::string emission_file_name(const Emission& emission) {
+  char buf[64];
+  switch (emission.kind) {
+    case Emission::Kind::kWindow:
+      std::snprintf(buf, sizeof(buf), "window-%012lld.json",
+                    static_cast<long long>(emission.start_ts));
+      return buf;
+    case Emission::Kind::kRollup:
+      std::snprintf(buf, sizeof(buf), "rollup-%012lld.json",
+                    static_cast<long long>(emission.start_ts));
+      return buf;
+    case Emission::Kind::kCumulative:
+      return "cumulative.json";
+  }
+  return "unknown.json";
+}
+
+/// inotify-or-poll: on Linux, watch the log directories so an append
+/// wakes the loop immediately; elsewhere (or when inotify fails), plain
+/// sleep until the next poll tick.
+class ChangeWaiter {
+ public:
+  ChangeWaiter(const std::string& ssl_path, const std::string& x509_path) {
+#ifdef __linux__
+    fd_ = ::inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+    if (fd_ < 0) return;
+    const auto add_parent = [this](const std::string& path) {
+      const auto dir =
+          std::filesystem::path(path).parent_path();
+      const std::string watch = dir.empty() ? "." : dir.string();
+      ::inotify_add_watch(fd_, watch.c_str(),
+                          IN_MODIFY | IN_CREATE | IN_MOVED_TO |
+                              IN_MOVED_FROM | IN_DELETE);
+    };
+    add_parent(ssl_path);
+    add_parent(x509_path);
+#else
+    (void)ssl_path;
+    (void)x509_path;
+#endif
+  }
+
+  ~ChangeWaiter() {
+#ifdef __linux__
+    if (fd_ >= 0) ::close(fd_);
+#endif
+  }
+
+  void wait(int timeout_ms) {
+#ifdef __linux__
+    if (fd_ >= 0) {
+      struct pollfd pfd{fd_, POLLIN, 0};
+      const int n = ::poll(&pfd, 1, timeout_ms);
+      if (n > 0 && (pfd.revents & POLLIN) != 0) {
+        // Drain the queue; the tail poll discovers what changed.
+        char buf[4096];
+        while (::read(fd_, buf, sizeof(buf)) > 0) {
+        }
+      }
+      return;
+    }
+#endif
+    std::this_thread::sleep_for(std::chrono::milliseconds(timeout_ms));
+  }
+
+ private:
+#ifdef __linux__
+  int fd_ = -1;
+#endif
+};
+
+}  // namespace
+
+int run_watch(const WatchOptions& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "watch: cannot create %s: %s\n",
+                 options.out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  std::string checkpoint_path;
+  if (!options.checkpoint_dir.empty()) {
+    std::filesystem::create_directories(options.checkpoint_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "watch: cannot create %s: %s\n",
+                   options.checkpoint_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    checkpoint_path =
+        (std::filesystem::path(options.checkpoint_dir) / "watch.ckpt")
+            .string();
+  }
+
+  WatchConfig config;
+  config.window_seconds = options.window_seconds;
+  config.rollup_windows = options.rollup_windows;
+  config.experiments = options.experiments;
+  config.run = options.run;
+  // The documents label the logical logs, not the tailed segment paths,
+  // when the caller says so (mirrors `mtlscope reduce --ssl-log=`).
+  if (!options.report_ssl_log.empty()) {
+    config.run.ssl_log = options.report_ssl_log;
+    config.run.x509_log = options.report_x509_log;
+  }
+
+  const std::filesystem::path out_dir(options.out_dir);
+  WindowScheduler scheduler(
+      config, [&out_dir](const Emission& emission) {
+        publish(out_dir, emission_file_name(emission), emission.envelope);
+      });
+
+  SslTail ssl_tail(options.run.ssl_log);
+  X509Tail x509_tail(options.run.x509_log);
+
+  // Resume: a readable, configuration-compatible checkpoint restores
+  // scheduler and tail positions; an unreadable one is reported and the
+  // watch starts fresh (re-reading the logs, not guessing).
+  if (!checkpoint_path.empty() &&
+      std::filesystem::exists(checkpoint_path)) {
+    std::string error;
+    auto ckpt = load_watch_checkpoint(checkpoint_path, &error);
+    if (!ckpt) {
+      std::fprintf(stderr, "watch: ignoring checkpoint: %s\n",
+                   error.c_str());
+    } else if (!scheduler.restore(*ckpt, &error)) {
+      std::fprintf(stderr, "watch: cannot resume: %s\n", error.c_str());
+      return 2;
+    } else {
+      if (!ssl_tail.source().restore(ckpt->ssl_tail)) {
+        std::fprintf(stderr,
+                     "watch: ssl log changed while down; re-reading %s\n",
+                     options.run.ssl_log.c_str());
+      }
+      if (!x509_tail.source().restore(ckpt->x509_tail)) {
+        std::fprintf(stderr,
+                     "watch: x509 log changed while down; re-reading %s\n",
+                     options.run.x509_log.c_str());
+      }
+    }
+  }
+
+  install_signals();
+  ChangeWaiter waiter(options.run.ssl_log, options.run.x509_log);
+
+  using Clock = std::chrono::steady_clock;
+  const auto started = Clock::now();
+  auto last_checkpoint = Clock::now();
+  auto last_progress = Clock::now();
+  bool dirty = false;  // progress since the last checkpoint
+  int x509_quiet_polls = 0;
+
+  const auto write_checkpoint = [&]() -> bool {
+    if (checkpoint_path.empty()) return true;
+    WatchCheckpoint ckpt;
+    scheduler.save(ckpt);
+    ckpt.ssl_tail = ssl_tail.source().position();
+    ckpt.x509_tail = x509_tail.source().position();
+    std::string error;
+    if (!save_watch_checkpoint(checkpoint_path, ckpt, &error)) {
+      std::fprintf(stderr, "watch: checkpoint failed: %s\n", error.c_str());
+      return false;
+    }
+    dirty = false;
+    last_checkpoint = Clock::now();
+    return true;
+  };
+
+  const auto print_status = [&]() {
+    const auto s = scheduler.status();
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - started).count();
+    const auto& ssl_ev = ssl_tail.source().events();
+    const auto& x509_ev = x509_tail.source().events();
+    std::fprintf(
+        stderr,
+        "watch: %llu ssl + %llu x509 records (%.0f rec/s), %llu open "
+        "windows, %llu emitted (%llu rollups), held %llu, late %llu, "
+        "quarantined %llu, rotations %llu, truncations %llu\n",
+        static_cast<unsigned long long>(s.ssl_records),
+        static_cast<unsigned long long>(s.x509_records),
+        secs > 0 ? static_cast<double>(s.ssl_records) / secs : 0.0,
+        static_cast<unsigned long long>(s.open_windows),
+        static_cast<unsigned long long>(s.windows_emitted),
+        static_cast<unsigned long long>(s.rollups_emitted),
+        static_cast<unsigned long long>(s.held),
+        static_cast<unsigned long long>(s.late),
+        static_cast<unsigned long long>(s.quarantined),
+        static_cast<unsigned long long>(ssl_ev.rotations +
+                                        x509_ev.rotations),
+        static_cast<unsigned long long>(ssl_ev.truncations +
+                                        x509_ev.truncations));
+  };
+
+  while (g_stop == 0) {
+    // x509 first: certificates precede the connections that cite them
+    // (Zeek writes both at the handshake event), which keeps the hold
+    // queue short.
+    auto x509_rows = x509_tail.poll();
+    const bool x509_progress = x509_tail.source().made_progress();
+    scheduler.note_issues(core::InputRole::kX509,
+                          core::LedgerPhase::kRegistry, x509_rows.issues,
+                          x509_rows.rows_ok);
+    scheduler.add_x509(std::move(x509_rows.records));
+
+    auto ssl_rows = ssl_tail.poll();
+    const bool ssl_progress = ssl_tail.source().made_progress();
+    scheduler.note_issues(core::InputRole::kSsl,
+                          core::LedgerPhase::kUpgrades, ssl_rows.issues,
+                          ssl_rows.rows_ok);
+    scheduler.add_ssl(std::move(ssl_rows.records));
+
+    // Missing-certificate liveness: a held head record whose x509 row
+    // never arrives (the log genuinely lacks it) is released once the
+    // x509 tail has been quiet long enough.
+    if (scheduler.held() > 0 && !x509_progress) {
+      if (++x509_quiet_polls >= options.missing_cert_grace_polls) {
+        scheduler.force_release();
+        x509_quiet_polls = 0;
+      }
+    } else {
+      x509_quiet_polls = 0;
+    }
+
+    const bool progress = ssl_progress || x509_progress;
+    if (progress) {
+      last_progress = Clock::now();
+      dirty = true;
+    }
+
+    if (g_status != 0) {
+      g_status = 0;
+      print_status();
+    }
+
+    if (dirty && !checkpoint_path.empty()) {
+      const double since = std::chrono::duration<double>(
+                               Clock::now() - last_checkpoint)
+                               .count();
+      if (options.checkpoint_every_s <= 0 ||
+          since >= options.checkpoint_every_s) {
+        write_checkpoint();
+      }
+    }
+
+    if (options.exit_idle_ms > 0 && !progress && scheduler.held() == 0) {
+      const double idle_ms = std::chrono::duration<double, std::milli>(
+                                 Clock::now() - last_progress)
+                                 .count();
+      if (idle_ms >= options.exit_idle_ms) break;
+    }
+
+    if (!progress) waiter.wait(options.poll_ms);
+  }
+
+  if (g_stop != 0) {
+    // Signalled: checkpoint and leave. No drain — open windows stay
+    // open so the resumed daemon continues exactly where this one
+    // stopped; final documents are the idle-exit path's job.
+    write_checkpoint();
+    return 0;
+  }
+
+  // Idle exit: flush trailing partial lines as final records, drain the
+  // scheduler (close windows, late + completion folds, final cumulative
+  // publication), and leave a post-drain checkpoint.
+  auto ssl_rows = ssl_tail.drain();
+  scheduler.note_issues(core::InputRole::kSsl, core::LedgerPhase::kUpgrades,
+                        ssl_rows.issues, ssl_rows.rows_ok);
+  auto x509_rows = x509_tail.drain();
+  scheduler.note_issues(core::InputRole::kX509, core::LedgerPhase::kRegistry,
+                        x509_rows.issues, x509_rows.rows_ok);
+  scheduler.add_x509(std::move(x509_rows.records));
+  scheduler.add_ssl(std::move(ssl_rows.records));
+  scheduler.drain();
+  write_checkpoint();
+  print_status();
+  return 0;
+}
+
+}  // namespace mtlscope::watch

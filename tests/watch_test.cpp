@@ -1,0 +1,623 @@
+// Watch subsystem suite (DESIGN §13). The load-bearing assertions:
+//
+//   * TailSource follows an appended file with absolute byte/line
+//     provenance, completes a partial trailing line on a later poll,
+//     and survives both rotation shapes — copytruncate (same inode,
+//     shrink-in-place) and rename rotation with a late writer still
+//     flushing the old fd — delivering every row exactly once;
+//   * RowIssue coordinates from a tailed parse are absolute in the
+//     file, identical whether the file was read in one pass, tailed in
+//     pieces, or resumed mid-file from a checkpointed position (the
+//     satellite ledger regression);
+//   * WindowScheduler emissions are a pure function of the record
+//     stream — the same rows fed in any batch splitting yield
+//     byte-identical window, roll-up, and cumulative documents — and
+//     the cumulative document equals a batch `run` over the same logs;
+//   * a checkpoint round-trips exactly, rejects corruption and version
+//     skew, refuses a configuration-fingerprint mismatch, and a
+//     restored scheduler finishes byte-identically to one that was
+//     never interrupted.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mtlscope/core/result_doc.hpp"
+#include "mtlscope/experiments/registry.hpp"
+#include "mtlscope/gen/generator.hpp"
+#include "mtlscope/watch/checkpoint.hpp"
+#include "mtlscope/watch/record_tail.hpp"
+#include "mtlscope/watch/scheduler.hpp"
+#include "mtlscope/watch/tail.hpp"
+#include "mtlscope/zeek/log_io.hpp"
+
+namespace mtlscope {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kSslHeader =
+    "#separator \\x09\n"
+    "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p"
+    "\tversion\tserver_name\testablished\tcert_chain_fuids"
+    "\tclient_cert_chain_fuids\n";
+
+std::string ssl_row(double ts, const std::string& uid,
+                    const std::string& chain = "(empty)") {
+  return core::strf("%.6f\t%s\t10.0.0.1\t1000\t10.0.0.2\t443\tTLSv12\thost"
+                    "\tT\t%s\t(empty)\n",
+                    ts, uid.c_str(), chain.c_str());
+}
+
+/// Scratch directory keyed by PID + test name so the default and
+/// sanitizer ctest trees never share files.
+class WatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mtlscope_watch_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string write_file(const std::string& name, const std::string& text) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    return path.string();
+  }
+
+  void append_file(const std::string& path, const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << text;
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// TailSource lifecycle
+
+TEST_F(WatchTest, AppendGrowthKeepsAbsoluteProvenance) {
+  const std::string path = write_file(
+      "ssl.log", std::string(kSslHeader) + ssl_row(100, "C1") +
+                     ssl_row(200, "C2"));
+  watch::TailSource tail(path);
+
+  auto batches = tail.poll();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_TRUE(batches[0].incarnation_start);
+  EXPECT_EQ(batches[0].base_offset, std::string(kSslHeader).size());
+  EXPECT_EQ(batches[0].body_lines_before, 0u);
+  EXPECT_EQ(batches[0].header_lines, 2u);
+  EXPECT_EQ(batches[0].body, ssl_row(100, "C1") + ssl_row(200, "C2"));
+  EXPECT_TRUE(tail.made_progress());
+
+  // Nothing new: no batches, no progress.
+  EXPECT_TRUE(tail.poll().empty());
+  EXPECT_FALSE(tail.made_progress());
+
+  const std::size_t before =
+      std::string(kSslHeader).size() + 2 * ssl_row(100, "C1").size();
+  append_file(path, ssl_row(300, "C3"));
+  batches = tail.poll();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_FALSE(batches[0].incarnation_start);
+  EXPECT_EQ(batches[0].base_offset, before);
+  EXPECT_EQ(batches[0].body_lines_before, 2u);
+  EXPECT_EQ(batches[0].body, ssl_row(300, "C3"));
+  EXPECT_EQ(tail.events().bytes_read, before + ssl_row(300, "C3").size());
+}
+
+TEST_F(WatchTest, PartialLineCompletesOnLaterPoll) {
+  const std::string row = ssl_row(100, "C1");
+  const std::string path = write_file("ssl.log", kSslHeader);
+  watch::SslTail tail(path);
+  EXPECT_EQ(tail.poll().records.size(), 0u);
+
+  // First half of a row, no newline: carried, not parsed.
+  append_file(path, row.substr(0, 20));
+  auto rows = tail.poll();
+  EXPECT_EQ(rows.records.size(), 0u);
+  EXPECT_EQ(rows.issues.size(), 0u);
+
+  // The rest arrives: exactly one record, no quarantine.
+  append_file(path, row.substr(20));
+  rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C1");
+  EXPECT_EQ(rows.issues.size(), 0u);
+}
+
+TEST_F(WatchTest, DrainFlushesUnterminatedFinalRow) {
+  const std::string row = ssl_row(100, "C1");
+  const std::string path =
+      write_file("ssl.log",
+                 std::string(kSslHeader) + row.substr(0, row.size() - 1));
+  watch::SslTail tail(path);
+  EXPECT_EQ(tail.poll().records.size(), 0u);  // no newline yet
+  auto rows = tail.drain();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C1");
+}
+
+TEST_F(WatchTest, CopytruncateRestartsAtZero) {
+  const std::string path = write_file(
+      "ssl.log", std::string(kSslHeader) + ssl_row(100, "C1") +
+                     ssl_row(110, "C2") + ssl_row(120, "C3"));
+  watch::SslTail tail(path);
+  auto rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 3u);
+
+  // logrotate copytruncate: same inode, size drops below the consumed
+  // offset, fresh header.
+  write_file("ssl.log", std::string(kSslHeader) + ssl_row(200, "C4"));
+  rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C4");
+  EXPECT_EQ(tail.source().events().truncations, 1u);
+  EXPECT_EQ(tail.source().events().rotations, 0u);
+  // Provenance restarted with the new incarnation.
+  EXPECT_EQ(tail.source().position().body_lines, 1u);
+
+  // Growth after the truncation follows normally.
+  append_file(path, ssl_row(210, "C5"));
+  rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C5");
+  EXPECT_EQ(tail.source().position().body_lines, 2u);
+}
+
+TEST_F(WatchTest, RenameRotationDrainsLateWriterFirst) {
+  const std::string path = write_file(
+      "ssl.log", std::string(kSslHeader) + ssl_row(100, "C1"));
+  watch::SslTail tail(path);
+  ASSERT_EQ(tail.poll().records.size(), 1u);
+
+  // Rotate: the old inode moves away and a late writer appends one more
+  // row to it — including a final line with no newline.
+  fs::rename(path, path + ".1");
+  append_file(path + ".1", ssl_row(150, "C2"));
+  const std::string partial = ssl_row(160, "C3");
+  append_file(path + ".1", partial.substr(0, partial.size() - 1));
+  write_file("ssl.log", std::string(kSslHeader) + ssl_row(200, "C4"));
+
+  // Poll 1: old fd still had growth — drained first, no switch yet.
+  auto rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C2");
+  EXPECT_EQ(tail.source().events().rotations, 0u);
+
+  // Poll 2: old fd quiet — flush its unterminated tail as a record,
+  // switch to the new inode, read its content. Every row exactly once.
+  rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 2u);
+  EXPECT_EQ(rows.records[0].uid, "C3");
+  EXPECT_EQ(rows.records[1].uid, "C4");
+  EXPECT_EQ(tail.source().events().rotations, 1u);
+
+  // The new incarnation keeps flowing.
+  append_file(path, ssl_row(300, "C5"));
+  rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C5");
+}
+
+TEST_F(WatchTest, RotationRecompilesPlanFromNewHeader) {
+  // The rotated-in file permutes its columns; rows parse correctly only
+  // if the plan recompiled from the new incarnation's header.
+  const std::string path = write_file(
+      "ssl.log", std::string(kSslHeader) + ssl_row(100, "C1"));
+  watch::SslTail tail(path);
+  ASSERT_EQ(tail.poll().records.size(), 1u);
+
+  fs::rename(path, path + ".1");
+  write_file("ssl.log",
+             "#separator \\x09\n"
+             "#fields\tuid\tts\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\n"
+             "C9\t500.000000\t10.0.0.1\t1000\t10.0.0.2\t443\n");
+  // The old fd is already quiet, so one poll both switches inodes and
+  // consumes the new incarnation.
+  auto rows = tail.poll();
+  ASSERT_EQ(rows.records.size(), 1u);
+  EXPECT_EQ(rows.records[0].uid, "C9");
+  EXPECT_DOUBLE_EQ(rows.records[0].ts, 500.0);
+}
+
+// ---------------------------------------------------------------------------
+// Absolute issue coordinates across a checkpoint resume (satellite fix)
+
+TEST_F(WatchTest, IssueCoordinatesAbsoluteAcrossResume) {
+  // Two malformed rows, one before and one after the resume point.
+  const std::string content = std::string(kSslHeader) + ssl_row(100, "C1") +
+                              "not\ta\tvalid\trow\n" + ssl_row(200, "C2") +
+                              ssl_row(300, "C3") + "also\tbad\n" +
+                              ssl_row(400, "C4");
+  const std::string path = write_file("full.log", content);
+
+  // Reference: one uninterrupted tailed read.
+  watch::SslTail full(path);
+  const auto all = full.drain();
+  ASSERT_EQ(all.issues.size(), 2u);
+
+  // Resumed read: tail the first half, checkpoint the position, re-open
+  // a fresh tail from it over the grown file.
+  const std::size_t split = content.size() / 2;
+  const std::string grown = write_file("grown.log", content.substr(0, split));
+  watch::SslTail first(grown);
+  auto part = first.poll();
+  const watch::TailPosition position = first.source().position();
+
+  append_file(grown, content.substr(split));
+  watch::SslTail resumed(grown);
+  ASSERT_TRUE(resumed.source().restore(position));
+  const auto rest = resumed.drain();
+
+  std::vector<zeek::RowIssue> combined = part.issues;
+  combined.insert(combined.end(), rest.issues.begin(), rest.issues.end());
+  ASSERT_EQ(combined.size(), all.issues.size());
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    EXPECT_EQ(combined[i].line, all.issues[i].line) << "issue " << i;
+    EXPECT_EQ(combined[i].byte_offset, all.issues[i].byte_offset)
+        << "issue " << i;
+    EXPECT_EQ(combined[i].digest, all.issues[i].digest) << "issue " << i;
+  }
+  // And the records match too (every row exactly once).
+  std::size_t total = part.records.size() + rest.records.size();
+  EXPECT_EQ(total, all.records.size());
+}
+
+TEST_F(WatchTest, RestoreRefusesRotatedOrShrunkFile) {
+  const std::string path = write_file(
+      "ssl.log", std::string(kSslHeader) + ssl_row(100, "C1"));
+  watch::TailSource tail(path);
+  tail.poll();
+  watch::TailPosition position = tail.position();
+
+  // Different inode at the path: restart from 0, not the stored offset.
+  fs::rename(path, path + ".old");
+  write_file("ssl.log", std::string(kSslHeader) + ssl_row(200, "C2"));
+  watch::TailSource rotated(path);
+  EXPECT_FALSE(rotated.restore(position));
+  auto batches = rotated.poll();
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].body, ssl_row(200, "C2"));
+
+  // Same inode but shorter than the stored offset: also restart.
+  position.offset += 1 << 20;
+  watch::TailSource shrunk(path);
+  EXPECT_FALSE(shrunk.restore(position));
+}
+
+// ---------------------------------------------------------------------------
+// WindowScheduler determinism and batch identity
+
+struct Captured {
+  std::vector<watch::Emission> emissions;
+  watch::EmitFn fn() {
+    return [this](const watch::Emission& e) { emissions.push_back(e); };
+  }
+};
+
+/// Synthetic logs rendered to files: the generator's ssl stream is
+/// time-ordered, so windows close progressively. The records are read
+/// back through the typed tails, so the scheduler sees exactly what a
+/// watch over these files would see.
+struct LogPair {
+  std::string ssl_path, x509_path;
+  std::vector<zeek::SslRecord> ssl;
+  std::vector<zeek::X509Record> x509;
+};
+
+class WatchSchedulerTest : public WatchTest {
+ public:
+  std::string ssl_path(const std::string& text) {
+    return write_file("ssl.log", text);
+  }
+  std::string x509_path(const std::string& text) {
+    return write_file("x509.log", text);
+  }
+
+  watch::WatchConfig scheduler_config(const std::string& ssl,
+                                      const std::string& x509,
+                                      std::int64_t window_seconds) {
+    watch::WatchConfig config;
+    config.window_seconds = window_seconds;
+    config.rollup_windows = 4;
+    config.experiments = {"table1", "fig1"};
+    config.run.ssl_log = ssl;
+    config.run.x509_log = x509;
+    config.run.stable_output = true;
+    config.run.threads = 1;
+    return config;
+  }
+
+  LogPair generated_logs(double cert_scale, double conn_scale) {
+    gen::TraceGenerator generator(gen::paper_model(cert_scale, conn_scale));
+    const auto dataset = generator.generate_dataset();
+    LogPair out;
+    out.ssl_path = ssl_path(zeek::ssl_log_to_string(dataset.ssl()));
+    out.x509_path = x509_path(zeek::x509_log_to_string(dataset));
+    // Polls cap at kMaxReadPerPoll, so loop until the backlog is gone
+    // before the final drain (exactly the daemon's catch-up behaviour).
+    watch::SslTail ssl_tail(out.ssl_path);
+    do {
+      auto rows = ssl_tail.poll();
+      out.ssl.insert(out.ssl.end(), rows.records.begin(), rows.records.end());
+    } while (ssl_tail.source().made_progress());
+    watch::X509Tail x509_tail(out.x509_path);
+    do {
+      auto rows = x509_tail.poll();
+      out.x509.insert(out.x509.end(), rows.records.begin(),
+                      rows.records.end());
+    } while (x509_tail.source().made_progress());
+    return out;
+  }
+};
+
+/// Feeds the rows in `ssl_batch` / `x509_batch` sized slices, x509
+/// slightly ahead (the daemon polls x509 first). No drain.
+void feed_no_drain(watch::WindowScheduler& scheduler, const LogPair& logs,
+                   std::size_t ssl_batch, std::size_t x509_batch,
+                   std::size_t* fed_ssl = nullptr,
+                   std::size_t* fed_x509 = nullptr) {
+  std::size_t si = 0, xi = 0;
+  while (si < logs.ssl.size() || xi < logs.x509.size()) {
+    if (xi < logs.x509.size()) {
+      const std::size_t n = std::min(x509_batch, logs.x509.size() - xi);
+      scheduler.add_x509({logs.x509.begin() + xi, logs.x509.begin() + xi + n});
+      xi += n;
+    }
+    if (si < logs.ssl.size()) {
+      const std::size_t n = std::min(ssl_batch, logs.ssl.size() - si);
+      scheduler.add_ssl({logs.ssl.begin() + si, logs.ssl.begin() + si + n});
+      si += n;
+    }
+  }
+  if (fed_ssl != nullptr) *fed_ssl = si;
+  if (fed_x509 != nullptr) *fed_x509 = xi;
+}
+
+void feed(watch::WindowScheduler& scheduler, const LogPair& logs,
+          std::size_t ssl_batch, std::size_t x509_batch) {
+  feed_no_drain(scheduler, logs, ssl_batch, x509_batch);
+  scheduler.drain();
+}
+
+TEST_F(WatchSchedulerTest, EmissionsIndependentOfBatchSplitting) {
+  const LogPair logs = generated_logs(8'000, 800'000);
+  ASSERT_GT(logs.ssl.size(), 100u);
+  const auto config =
+      scheduler_config(logs.ssl_path, logs.x509_path, 7 * 24 * 3600);
+
+  Captured a, b, c;
+  {
+    watch::WindowScheduler s(config, a.fn());
+    feed(s, logs, logs.ssl.size(), logs.x509.size());  // one big batch
+  }
+  {
+    watch::WindowScheduler s(config, b.fn());
+    feed(s, logs, 7, 3);  // dribble
+  }
+  {
+    watch::WindowScheduler s(config, c.fn());
+    feed(s, logs, 1, 1);  // record-at-a-time
+  }
+
+  ASSERT_EQ(a.emissions.size(), b.emissions.size());
+  ASSERT_EQ(a.emissions.size(), c.emissions.size());
+  ASSERT_GT(a.emissions.size(), 2u);  // at least one window + cumulative
+  for (std::size_t i = 0; i < a.emissions.size(); ++i) {
+    EXPECT_EQ(a.emissions[i].kind, b.emissions[i].kind) << i;
+    EXPECT_EQ(a.emissions[i].start_ts, b.emissions[i].start_ts) << i;
+    EXPECT_EQ(a.emissions[i].envelope, b.emissions[i].envelope) << i;
+    EXPECT_EQ(a.emissions[i].envelope, c.emissions[i].envelope) << i;
+  }
+}
+
+TEST_F(WatchSchedulerTest, CumulativeMatchesBatchRun) {
+  const LogPair logs = generated_logs(4'000, 400'000);
+  const auto config =
+      scheduler_config(logs.ssl_path, logs.x509_path, 7 * 24 * 3600);
+
+  Captured captured;
+  watch::WindowScheduler scheduler(config, captured.fn());
+  feed(scheduler, logs, 11, 5);
+
+  ASSERT_FALSE(captured.emissions.empty());
+  const auto& last = captured.emissions.back();
+  ASSERT_EQ(last.kind, watch::Emission::Kind::kCumulative);
+
+  const auto docs =
+      experiments::run_experiments(config.experiments, config.run);
+  const std::string batch = core::render_json_envelope(docs, false);
+  EXPECT_EQ(last.envelope, batch);
+}
+
+TEST_F(WatchSchedulerTest, HeldRecordsReleaseWhenCertificatesArrive) {
+  const std::string ssl = ssl_path(std::string(kSslHeader));
+  const std::string x509 = x509_path("");
+  auto config = scheduler_config(ssl, x509, 3600);
+
+  Captured captured;
+  watch::WindowScheduler scheduler(config, captured.fn());
+
+  // A record citing a cert that has not arrived is held...
+  zeek::SslRecord record;
+  record.ts = 100;
+  record.uid = "C1";
+  record.cert_chain_fuids = {"Fmissing"};
+  scheduler.add_ssl({record});
+  EXPECT_EQ(scheduler.held(), 1u);
+
+  // ...and a later record queues strictly behind it, even without deps.
+  zeek::SslRecord record2;
+  record2.ts = 101;
+  record2.uid = "C2";
+  scheduler.add_ssl({record2});
+  EXPECT_EQ(scheduler.held(), 2u);
+
+  // The certificate arrives: both release in stream order.
+  zeek::X509Record cert;
+  cert.fuid = "Fmissing";
+  scheduler.add_x509({cert});
+  EXPECT_EQ(scheduler.held(), 0u);
+  EXPECT_EQ(scheduler.status().ssl_records, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint format
+
+TEST_F(WatchSchedulerTest, CheckpointRoundTripsExactly) {
+  const LogPair logs = generated_logs(8'000, 800'000);
+  const auto config =
+      scheduler_config(logs.ssl_path, logs.x509_path, 7 * 24 * 3600);
+
+  Captured captured;
+  watch::WindowScheduler scheduler(config, captured.fn());
+  // Feed half the stream so there is a live watermark, open windows,
+  // and (likely) cumulative state.
+  LogPair half = logs;
+  half.ssl.resize(logs.ssl.size() / 2);
+  std::size_t si = 0;
+  scheduler.add_x509(std::vector<zeek::X509Record>(logs.x509));
+  while (si < half.ssl.size()) {
+    const std::size_t n = std::min<std::size_t>(13, half.ssl.size() - si);
+    scheduler.add_ssl({half.ssl.begin() + si, half.ssl.begin() + si + n});
+    si += n;
+  }
+
+  watch::WatchCheckpoint ckpt;
+  scheduler.save(ckpt);
+  ckpt.ssl_tail.inode = 42;
+  ckpt.ssl_tail.offset = 1234;
+  ckpt.ssl_tail.carry = "partial\tline";
+  const std::string bytes = watch::serialize_watch_checkpoint(ckpt);
+
+  std::string error;
+  auto parsed = watch::parse_watch_checkpoint(bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // Exact round trip: re-serializing the parse reproduces the bytes.
+  EXPECT_EQ(watch::serialize_watch_checkpoint(*parsed), bytes);
+  EXPECT_EQ(parsed->ssl_tail.inode, 42u);
+  EXPECT_EQ(parsed->ssl_tail.carry, "partial\tline");
+  EXPECT_EQ(parsed->ssl_records_seen, half.ssl.size());
+
+  // Every corrupted byte is caught (digest trailer).
+  std::string corrupt = bytes;
+  corrupt[corrupt.size() / 2] ^= 0x20;
+  EXPECT_FALSE(watch::parse_watch_checkpoint(corrupt, &error).has_value());
+  EXPECT_FALSE(error.empty());
+
+  // Truncation is a structured error, not a crash.
+  EXPECT_FALSE(watch::parse_watch_checkpoint(
+                   std::string_view(bytes).substr(0, bytes.size() / 3), &error)
+                   .has_value());
+
+  // Version skew hard-rejects (bytes 8..11 hold the format version).
+  std::string skewed = bytes;
+  skewed[8] = static_cast<char>(watch::kWatchFormatVersion + 1);
+  EXPECT_FALSE(watch::parse_watch_checkpoint(skewed, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST_F(WatchSchedulerTest, RestoreRefusesConfigMismatch) {
+  const std::string ssl = ssl_path(std::string(kSslHeader));
+  const std::string x509 = x509_path("");
+  const auto config = scheduler_config(ssl, x509, 3600);
+
+  Captured captured;
+  watch::WindowScheduler scheduler(config, captured.fn());
+  watch::WatchCheckpoint ckpt;
+  scheduler.save(ckpt);
+
+  // Same config restores fine.
+  watch::WindowScheduler same(config, captured.fn());
+  std::string error;
+  EXPECT_TRUE(same.restore(ckpt, &error)) << error;
+
+  // Different window geometry / experiments / seed are refused.
+  auto other = scheduler_config(ssl, x509, 7200);
+  watch::WindowScheduler wrong_window(other, captured.fn());
+  EXPECT_FALSE(wrong_window.restore(ckpt, &error));
+  EXPECT_FALSE(error.empty());
+
+  auto fewer = config;
+  fewer.experiments = {"table1"};
+  watch::WindowScheduler wrong_experiments(fewer, captured.fn());
+  EXPECT_FALSE(wrong_experiments.restore(ckpt, &error));
+
+  auto reseeded = config;
+  reseeded.run.seed = 7;
+  watch::WindowScheduler wrong_seed(reseeded, captured.fn());
+  EXPECT_FALSE(wrong_seed.restore(ckpt, &error));
+}
+
+TEST_F(WatchSchedulerTest, RestoredSchedulerFinishesIdentically) {
+  const LogPair logs = generated_logs(8'000, 800'000);
+  const auto config =
+      scheduler_config(logs.ssl_path, logs.x509_path, 7 * 24 * 3600);
+
+  // Reference: uninterrupted run.
+  Captured reference;
+  {
+    watch::WindowScheduler s(config, reference.fn());
+    feed(s, logs, 9, 4);
+  }
+
+  // Interrupted run: feed 60%, checkpoint, throw the scheduler away,
+  // restore into a fresh one, feed the rest.
+  Captured resumed;
+  watch::WatchCheckpoint ckpt;
+  std::size_t fed_ssl = 0, fed_x509 = 0;
+  {
+    watch::WindowScheduler s(config, resumed.fn());
+    LogPair part = logs;
+    part.ssl.resize(logs.ssl.size() * 6 / 10);
+    part.x509.resize(logs.x509.size() * 6 / 10);
+    feed_no_drain(s, part, 9, 4, &fed_ssl, &fed_x509);
+    s.save(ckpt);
+  }
+  {
+    watch::WindowScheduler s(config, resumed.fn());
+    std::string error;
+    ASSERT_TRUE(s.restore(ckpt, &error)) << error;
+    LogPair rest;
+    rest.ssl.assign(logs.ssl.begin() + fed_ssl, logs.ssl.end());
+    rest.x509.assign(logs.x509.begin() + fed_x509, logs.x509.end());
+    feed(s, rest, 9, 4);
+  }
+
+  // The resumed run must re-emit nothing extra and end byte-identical:
+  // compare the emission streams.
+  ASSERT_EQ(reference.emissions.size(), resumed.emissions.size());
+  for (std::size_t i = 0; i < reference.emissions.size(); ++i) {
+    EXPECT_EQ(reference.emissions[i].envelope, resumed.emissions[i].envelope)
+        << "emission " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// parse_window_spec
+
+TEST(WatchSpecTest, ParseWindowSpec) {
+  EXPECT_EQ(watch::parse_window_spec("hour"), 3600);
+  EXPECT_EQ(watch::parse_window_spec("day"), 24 * 3600);
+  EXPECT_EQ(watch::parse_window_spec("week"), 7 * 24 * 3600);
+  EXPECT_EQ(watch::parse_window_spec("900"), 900);
+  EXPECT_EQ(watch::parse_window_spec("0"), 0);
+  EXPECT_EQ(watch::parse_window_spec("-5"), 0);
+  EXPECT_EQ(watch::parse_window_spec("fortnight"), 0);
+  EXPECT_EQ(watch::parse_window_spec(""), 0);
+}
+
+}  // namespace
+}  // namespace mtlscope
