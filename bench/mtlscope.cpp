@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "mtlscope/colfmt/container.hpp"
+#include "mtlscope/colfmt/convert.hpp"
 #include "mtlscope/core/result_doc.hpp"
 #include "mtlscope/core/shard_state.hpp"
 #include "mtlscope/crypto/encoding.hpp"
@@ -51,6 +53,9 @@ int usage(const char* argv0) {
                "[options]\n"
                "       %s reduce <state-file>... (--run=NAME[,NAME...] | "
                "--all) [--format=text|json|csv|tsv] [--out=DIR] [options]\n"
+               "       %s compact --ssl-log=F --x509-log=F --out=FILE "
+               "[--verify] [--block-rows=N] [--dict-mb=N] [options]\n"
+               "       %s compact --verify --out=FILE\n"
                "       %s watch --ssl-log=F --x509-log=F --out-dir=DIR "
                "(--run=NAME[,NAME...] | --all) [--window=hour|day|week|SECS] "
                "[--rollup=N] [--poll-ms=N] [--checkpoint-dir=DIR] "
@@ -59,9 +64,17 @@ int usage(const char* argv0) {
                "\n"
                "options (apply to every experiment in the run):\n"
                "  --cert-scale=N --conn-scale=N --seed=N --threads=N\n"
-               "  --ssl-log=F --x509-log=F --chunk-mb=N --in-memory\n"
-               "  --force-buffered --stable-output\n"
+               "  --ssl-log=F --x509-log=F --format=auto|zeek|compact\n"
+               "  --chunk-mb=N --in-memory --force-buffered --stable-output\n"
                "  --on-error=abort|skip --max-errors=N --max-error-rate=F\n"
+               "\n"
+               "compact converts a TSV log pair into one columnar .mtlc "
+               "container (DESIGN §14); run/map/watch accept the container "
+               "via --ssl-log= alone (--format=auto detects it by magic) "
+               "and report byte-identically to the TSV pair. --verify "
+               "re-expands the container and field-compares every record "
+               "(and the quarantined-row counts) against a fresh TSV "
+               "parse, exiting non-zero on any divergence.\n"
                "\n"
                "reduce merges shard states written by map (same seed, "
                "scales, and mode required) and reports the named "
@@ -77,7 +90,7 @@ int usage(const char* argv0) {
                "SIGTERM/crash resume; SIGUSR1 prints a status line; "
                "--exit-idle-ms=N drains and exits once the logs stop "
                "growing.\n",
-               argv0, argv0, argv0, argv0, argv0);
+               argv0, argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -184,7 +197,16 @@ int run_run(int argc, char** argv) {
     if (std::strcmp(arg, "--all") == 0) {
       all = true;
     } else if (std::strncmp(arg, "--format=", 9) == 0) {
-      format = arg + 9;
+      // Output formats first; other values are input formats
+      // (auto|zeek|compact) and belong to the shared options.
+      const char* value = arg + 9;
+      if (std::strcmp(value, "text") == 0 || std::strcmp(value, "json") == 0 ||
+          std::strcmp(value, "csv") == 0 || std::strcmp(value, "tsv") == 0) {
+        format = value;
+      } else if (!options.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown format: %s\n", value);
+        return 2;
+      }
     } else if (std::strncmp(arg, "--out=", 6) == 0) {
       out_dir = arg + 6;
     } else if (arg[0] == '-') {
@@ -196,8 +218,11 @@ int run_run(int argc, char** argv) {
       names.emplace_back(arg);
     }
   }
-  if (options.ssl_log.empty() != options.x509_log.empty()) {
-    std::fprintf(stderr, "file mode needs both --ssl-log= and --x509-log=\n");
+  if (options.ssl_log.empty() != options.x509_log.empty() &&
+      !options.compact_input()) {
+    std::fprintf(stderr,
+                 "file mode needs both --ssl-log= and --x509-log= "
+                 "(a compact container via --ssl-log= alone works)\n");
     return 2;
   }
   if (format != "text" && format != "json" && format != "csv" &&
@@ -251,14 +276,45 @@ int run_map(int argc, char** argv) {
     std::fprintf(stderr, "map needs --state-out=FILE\n");
     return 2;
   }
-  if (options.ssl_log.empty() != options.x509_log.empty()) {
-    std::fprintf(stderr, "file mode needs both --ssl-log= and --x509-log=\n");
+  if (options.ssl_log.empty() != options.x509_log.empty() &&
+      !options.compact_input()) {
+    std::fprintf(stderr,
+                 "file mode needs both --ssl-log= and --x509-log= "
+                 "(a compact container via --ssl-log= alone works)\n");
     return 2;
   }
 
   core::ShardState state;
   auto config = core::PipelineConfig::campus_defaults();
-  if (options.file_mode()) {
+  if (options.file_mode() && options.compact_input()) {
+    // Compact container: decode blocks in parallel and fold. The state
+    // meta carries the original TSV labels and byte sizes from the
+    // container, so the shard state merges and reports byte-identically
+    // to a map over the TSV pair.
+    std::string open_error;
+    const auto reader =
+        colfmt::ContainerReader::open(options.ssl_log, &open_error);
+    if (!reader) {
+      std::fprintf(stderr, "ingest failed: %s\n", open_error.c_str());
+      return 1;
+    }
+    core::PipelineExecutor executor(config, options.threads);
+    ingest::IngestError error;
+    auto folded =
+        executor.fold_container(*reader, &error, options.ingest_options());
+    if (!folded) {
+      std::fprintf(stderr, "ingest failed: %s\n", error.to_string().c_str());
+      return 1;
+    }
+    state = std::move(*folded);
+    state.meta.file_mode = true;
+    state.meta.ssl_log = reader->meta().ssl_path;
+    state.meta.x509_log = reader->meta().x509_path;
+    state.meta.parse_bytes =
+        reader->meta().ssl_bytes + reader->meta().x509_bytes;
+    state.meta.cert_scale = options.cert_scale_override.value_or(1.0);
+    state.meta.conn_scale = options.conn_scale_override.value_or(1.0);
+  } else if (options.file_mode()) {
     // Foreign logs: no synthetic CT database applies (mirrors the
     // harness), so the interception analysis stays disarmed and shard
     // states merge without cross-slice confirmation effects.
@@ -443,6 +499,99 @@ int run_reduce(int argc, char** argv) {
                    /*include_perf=*/!options.stable_output);
 }
 
+int run_compact(int argc, char** argv) {
+  experiments::RunOptions options;
+  colfmt::WriterOptions writer;
+  std::string out;
+  bool verify = false;
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--out=", 6) == 0) {
+      out = arg + 6;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      verify = true;
+    } else if (std::strncmp(arg, "--block-rows=", 13) == 0) {
+      writer.block_rows = static_cast<std::uint32_t>(std::atoll(arg + 13));
+      if (writer.block_rows == 0) {
+        std::fprintf(stderr, "bad --block-rows=: %s\n", arg + 13);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--dict-mb=", 10) == 0) {
+      const double mb = std::atof(arg + 10);
+      if (mb <= 0) {
+        std::fprintf(stderr, "bad --dict-mb=: %s\n", arg + 10);
+        return 2;
+      }
+      writer.dict_bytes = static_cast<std::size_t>(mb * 1024.0 * 1024.0);
+    } else if (arg[0] == '-') {
+      if (!options.parse_flag(arg)) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg);
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "compact takes no positional arguments: %s\n", arg);
+      return usage(argv[0]);
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "compact needs --out=FILE\n");
+    return 2;
+  }
+  const bool convert = !options.ssl_log.empty() || !options.x509_log.empty();
+  if (convert && (options.ssl_log.empty() || options.x509_log.empty())) {
+    std::fprintf(stderr, "compact needs both --ssl-log= and --x509-log=\n");
+    return 2;
+  }
+  if (!convert && !verify) {
+    std::fprintf(stderr,
+                 "compact without --ssl-log=/--x509-log= needs --verify "
+                 "(verify-only mode)\n");
+    return 2;
+  }
+
+  if (convert) {
+    colfmt::CompactRequest request;
+    request.ssl_path = options.ssl_log;
+    request.x509_path = options.x509_log;
+    request.out_path = out;
+    request.writer = writer;
+    request.errors = options.errors;
+    request.chunk_bytes = options.chunk_bytes();
+    colfmt::CompactStats stats;
+    std::string error;
+    if (!colfmt::compact_logs(request, &stats, &error)) {
+      std::fprintf(stderr, "compact failed: %s\n", error.c_str());
+      return 1;
+    }
+    const std::uint64_t in_bytes = file_size_or_zero(options.ssl_log) +
+                                   file_size_or_zero(options.x509_log);
+    const std::uint64_t out_bytes = file_size_or_zero(out);
+    std::printf(
+        "wrote %s: %llu ssl rows, %llu x509 rows, %llu blocks, %llu "
+        "quarantined; %llu -> %llu bytes (%.2fx)\n",
+        out.c_str(), static_cast<unsigned long long>(stats.ssl_rows),
+        static_cast<unsigned long long>(stats.x509_rows),
+        static_cast<unsigned long long>(stats.blocks),
+        static_cast<unsigned long long>(stats.quarantined),
+        static_cast<unsigned long long>(in_bytes),
+        static_cast<unsigned long long>(out_bytes),
+        out_bytes == 0 ? 0.0
+                       : static_cast<double>(in_bytes) /
+                             static_cast<double>(out_bytes));
+  }
+  if (verify) {
+    std::string report;
+    std::string error;
+    if (!colfmt::verify_container(out, &report, &error,
+                                  options.chunk_bytes())) {
+      std::fprintf(stderr, "verify failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s: %s\n", out.c_str(), report.c_str());
+  }
+  return 0;
+}
+
 int run_watch_cmd(int argc, char** argv) {
   watch::WatchOptions options;
   bool all = false;
@@ -505,8 +654,11 @@ int run_watch_cmd(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (options.run.ssl_log.empty() || options.run.x509_log.empty()) {
-    std::fprintf(stderr, "watch needs both --ssl-log= and --x509-log=\n");
+  if (options.run.ssl_log.empty() ||
+      (options.run.x509_log.empty() && !options.run.compact_input())) {
+    std::fprintf(stderr,
+                 "watch needs both --ssl-log= and --x509-log= "
+                 "(a compact container via --ssl-log= alone works)\n");
     return 2;
   }
   if (options.out_dir.empty()) {
@@ -556,6 +708,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "list") == 0) return run_list();
   if (std::strcmp(argv[1], "run") == 0) return run_run(argc, argv);
   if (std::strcmp(argv[1], "map") == 0) return run_map(argc, argv);
+  if (std::strcmp(argv[1], "compact") == 0) return run_compact(argc, argv);
   if (std::strcmp(argv[1], "reduce") == 0) return run_reduce(argc, argv);
   if (std::strcmp(argv[1], "watch") == 0) return run_watch_cmd(argc, argv);
   std::fprintf(stderr, "unknown command: %s\n", argv[1]);

@@ -152,6 +152,7 @@ void BM_SslTokenizeOnly(benchmark::State& state) {
   std::string_view fields[32];
   std::string storage;
   std::size_t checksum = 0;
+  std::size_t records = 0;
   for (auto _ : state) {
     const char* p = text.data() + body_begin;
     const char* const end = text.data() + text.size();
@@ -162,6 +163,7 @@ void BM_SslTokenizeOnly(benchmark::State& state) {
       const std::string_view line(p, static_cast<std::size_t>(eol - p));
       p = nl != nullptr ? nl + 1 : end;
       if (line.empty() || line.front() == '#') continue;
+      ++records;
       const std::size_t count = zeek::split_fields(line, fields, 32);
       for (std::size_t i = 0; i < count && i < 32; ++i) {
         checksum += zeek::decode_field(fields[i], storage).size();
@@ -169,6 +171,7 @@ void BM_SslTokenizeOnly(benchmark::State& state) {
     }
     benchmark::DoNotOptimize(checksum);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
   state.SetBytesProcessed(static_cast<std::int64_t>(
       (text.size() - body_begin) * state.iterations()));
 }

@@ -2,15 +2,18 @@
 # Runs the committed benches and writes their google-benchmark JSON to
 # the repo root (committed so the README's before/after numbers stay
 # reproducible): the Zeek-parsing microbench to BENCH_parse.json, the
-# shard-state serialization bench to BENCH_state.json, and the watch
-# tail/checkpoint bench to BENCH_watch.json.
+# shard-state serialization bench to BENCH_state.json, the watch
+# tail/checkpoint bench to BENCH_watch.json, and the compact-container
+# ingest bench to BENCH_compact.json.
 #
-#   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT] [WATCH_OUT]
+#   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT] [WATCH_OUT] \
+#                        [COMPACT_OUT]
 #
 # BUILD_DIR defaults to ./build; outputs to ./BENCH_parse.json,
-# ./BENCH_state.json, and ./BENCH_watch.json. Scale the parse fixture
-# down for a quick smoke run with
-#   MTLSCOPE_PARSE_BENCH_CONN=2000000 bench/run_benches.sh
+# ./BENCH_state.json, ./BENCH_watch.json, and ./BENCH_compact.json.
+# Scale the parse/compact fixtures down for a quick smoke run with
+#   MTLSCOPE_PARSE_BENCH_CONN=2000000 MTLSCOPE_COMPACT_BENCH_CONN=2000000 \
+#     bench/run_benches.sh
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -18,6 +21,7 @@ build_dir=${1:-"$repo_root/build"}
 parse_out=${2:-"$repo_root/BENCH_parse.json"}
 state_out=${3:-"$repo_root/BENCH_state.json"}
 watch_out=${4:-"$repo_root/BENCH_watch.json"}
+compact_out=${5:-"$repo_root/BENCH_compact.json"}
 
 run_bench() {
   bench_bin="$build_dir/bench/$1"
@@ -36,3 +40,4 @@ run_bench() {
 run_bench perf_zeek_parse "$parse_out"
 run_bench perf_state "$state_out"
 run_bench perf_watch "$watch_out"
+run_bench perf_compact "$compact_out"

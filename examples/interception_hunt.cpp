@@ -113,7 +113,7 @@ int main() {
 
   bool internal_flagged = false;
   for (const auto& issuer : pipeline.interception_issuers()) {
-    if (issuer.find("Quickstart") != std::string::npos) {
+    if (issuer.view().find("Quickstart") != std::string_view::npos) {
       internal_flagged = true;
     }
   }

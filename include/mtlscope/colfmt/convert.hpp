@@ -1,0 +1,56 @@
+// TSV → compact-container conversion and re-expansion verification
+// (DESIGN §14). `compact_logs` streams a Zeek ssl.log/x509.log pair
+// through the same tolerant chunked parse a run uses — identical issue
+// coordinates, reasons, and digests — into a ContainerWriter, recording
+// the parse's ErrorLedger inside the container so a compact run reports
+// the exact data-quality block of the TSV run it mirrors.
+// `verify_container` is the independent check behind
+// `mtlscope compact --verify`: re-expand every block, field-compare the
+// reconstructed records against a fresh tolerant TSV parse (including
+// quarantined-row counts), and fail loudly on any divergence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mtlscope/colfmt/container.hpp"
+#include "mtlscope/ingest/error.hpp"
+
+namespace mtlscope::colfmt {
+
+struct CompactRequest {
+  std::string ssl_path;
+  std::string x509_path;
+  std::string out_path;
+  WriterOptions writer;
+  /// Abort-vs-skip for malformed TSV rows, same semantics as a run:
+  /// abort fails the conversion on the first bad row; skip quarantines
+  /// into the container's ledger frame (budget still enforced).
+  ingest::ErrorPolicy errors;
+  std::size_t chunk_bytes = std::size_t{1} << 20;
+};
+
+struct CompactStats {
+  std::uint64_t ssl_rows = 0;
+  std::uint64_t x509_rows = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t blocks = 0;
+};
+
+/// Converts the TSV pair into a container at `out_path`. Returns false
+/// with `error` filled (and the partial output removed) on unreadable
+/// inputs, abort-mode parse failures, or an exceeded error budget.
+bool compact_logs(const CompactRequest& request, CompactStats* stats,
+                  std::string* error);
+
+/// Re-expands `container_path` and byte-compares every reconstructed
+/// record — field by field, stream order — against a fresh tolerant
+/// parse of the TSV pair named in the container's meta frame, and the
+/// container ledger's quarantined-row counts against the fresh parse's.
+/// On success `report` (when non-null) gets a one-line summary; on any
+/// divergence returns false with `error` naming the first mismatch.
+bool verify_container(const std::string& container_path, std::string* report,
+                      std::string* error,
+                      std::size_t chunk_bytes = std::size_t{1} << 20);
+
+}  // namespace mtlscope::colfmt

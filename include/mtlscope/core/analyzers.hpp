@@ -241,9 +241,9 @@ class DummyIssuerAnalyzer {
   /// §5.1.1: dummy-issuer client certs with X.509 version 1 and with
   /// 1024-bit keys, with their unique connection-tuple counts.
   struct WeakParams {
-    std::set<std::string> v1_certs;
+    Pipeline::StrSet v1_certs;
     std::uint64_t v1_tuples = 0;
-    std::set<std::string> weak_key_certs;
+    Pipeline::StrSet weak_key_certs;
     std::uint64_t weak_key_tuples = 0;
   };
   const WeakParams& weak_params() const { return weak_; }
@@ -277,8 +277,8 @@ class SerialCollisionAnalyzer {
     std::string issuer_org;  // or issuer CN when org missing
     std::string serial;
     Direction direction;
-    std::set<std::string> server_certs;
-    std::set<std::string> client_certs;
+    Pipeline::StrSet server_certs;
+    Pipeline::StrSet client_certs;
     std::set<std::uint32_t> clients;
     std::uint64_t connections = 0;
     std::uint64_t both_endpoint_connections = 0;  // collisions on both sides
@@ -330,7 +330,7 @@ class SharedCertAnalyzer {
   /// connections (same-connection-shared certs excluded).
   SubnetQuantiles subnet_quantiles(const Pipeline& pipeline) const;
 
-  const std::set<std::string>& same_conn_fuids() const {
+  const Pipeline::StrSet& same_conn_fuids() const {
     return same_conn_fuids_;
   }
 
@@ -340,7 +340,7 @@ class SharedCertAnalyzer {
  private:
   std::map<std::string, SameConnRow> same_conn_;  // key: sld|issuer
   std::array<std::uint64_t, 2> same_conn_conns_{};
-  std::set<std::string> same_conn_fuids_;
+  Pipeline::StrSet same_conn_fuids_;
 };
 
 // ---------------------------------------------------------------------------
@@ -358,7 +358,7 @@ class IncorrectDateAnalyzer {
     util::UnixSeconds not_before = 0, not_after = 0;
     std::set<std::uint32_t> clients;
     util::UnixSeconds first = 0, last = 0;
-    std::set<std::string> certs;
+    Pipeline::StrSet certs;
     double duration_days() const {
       return static_cast<double>(last - first) / 86'400.0;
     }

@@ -32,7 +32,7 @@ class Enricher {
   /// matching (§4.2 fuzzy matching), which is expensive, while distinct
   /// issuers number in the hundreds against millions of certificates.
   IssuerCategory categorize_cached(const x509::DistinguishedName& issuer,
-                                   const std::string& issuer_dn,
+                                   std::string_view issuer_dn,
                                    bool is_public) const;
 
   Direction infer_direction(const zeek::SslRecord& record) const;

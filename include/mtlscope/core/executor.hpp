@@ -55,6 +55,10 @@
 #include "mtlscope/ingest/source.hpp"
 #include "mtlscope/zeek/log_io.hpp"
 
+namespace mtlscope::colfmt {
+class ContainerReader;
+}
+
 namespace mtlscope::core {
 
 class PipelineExecutor {
@@ -96,7 +100,7 @@ class PipelineExecutor {
   /// finalized pipeline.
   Pipeline run(const zeek::Dataset& dataset);
   Pipeline run(const std::vector<zeek::SslRecord>& ssl,
-               const std::map<std::string, zeek::X509Record>& x509);
+               const zeek::Dataset::X509Map& x509);
 
   /// In-memory log-text entry: wraps both strings in MemorySources and
   /// runs the streaming engine over them (zero extra copies of the text).
@@ -128,6 +132,20 @@ class PipelineExecutor {
                                       const ingest::IngestOptions& options = {},
                                       ErrorLedger* ledger = nullptr);
 
+  /// Compact-container entry (DESIGN §14): decodes the container's
+  /// blocks in parallel (each block carries its own dictionary, so K
+  /// workers decode K blocks independently), rebuilds the exact record
+  /// streams, and runs the in-memory phases over them — byte-identical
+  /// to a TSV run over the logs the container was converted from, for
+  /// any thread count. The conversion-time ledger stored in the
+  /// container is restored: abort mode fails on the first quarantined
+  /// row (as the TSV run would); skip mode re-checks the error budget
+  /// and hands the ledger to `ledger`.
+  std::optional<Pipeline> run_container(
+      const colfmt::ContainerReader& reader,
+      ingest::IngestError* error = nullptr,
+      const ingest::IngestOptions& options = {}, ErrorLedger* ledger = nullptr);
+
   const PipelineConfig& config() const;
 
   /// Fold-to-state entries (mtlscope map / DESIGN §12): run the phases
@@ -138,9 +156,13 @@ class PipelineExecutor {
   /// (their state would be silently dropped).
   ShardState fold(const zeek::Dataset& dataset);
   ShardState fold(const std::vector<zeek::SslRecord>& ssl,
-                  const std::map<std::string, zeek::X509Record>& x509);
+                  const zeek::Dataset::X509Map& x509);
   std::optional<ShardState> fold_log_files(
       const std::string& ssl_path, const std::string& x509_path,
+      ingest::IngestError* error = nullptr,
+      const ingest::IngestOptions& options = {});
+  std::optional<ShardState> fold_container(
+      const colfmt::ContainerReader& reader,
       ingest::IngestError* error = nullptr,
       const ingest::IngestOptions& options = {});
 

@@ -46,19 +46,24 @@ class StateWriter;
 class StateReader;
 
 /// Decoded, classified facts about one unique certificate, plus usage
-/// aggregates accumulated as connections stream through.
+/// aggregates accumulated as connections stream through. String fields
+/// are interned handles (DESIGN §14): a campus population shares a few
+/// hundred distinct issuers across millions of certificates, so facts
+/// carry pointers into the arena instead of per-certificate copies.
+/// Serialization writes the bytes, never arena identities, so state
+/// files and checkpoints are unchanged by the interning.
 struct CertFacts {
   // Parsed fields.
-  std::string fuid;
+  colfmt::Str fuid;
   int version = 3;
   int key_bits = 0;
-  std::string serial_hex;
-  std::string subject_cn;
-  std::string issuer_org;
-  std::string issuer_cn;
-  std::string issuer_dn;
+  colfmt::Str serial_hex;
+  colfmt::Str subject_cn;
+  colfmt::Str issuer_org;
+  colfmt::Str issuer_cn;
+  colfmt::Str issuer_dn;
   x509::Validity validity;
-  std::vector<std::string> san_dns;
+  std::vector<colfmt::Str> san_dns;
   int san_email_count = 0;
   int san_uri_count = 0;
   int san_ip_count = 0;
@@ -89,7 +94,7 @@ struct CertFacts {
   std::set<std::uint32_t> server_subnets;
   std::set<std::uint32_t> client_subnets;
   /// Representative context: first SLD / server association observed.
-  std::string context_sld;
+  colfmt::Str context_sld;
   ServerAssociation context_assoc = ServerAssociation::kNone;
 
   bool has_cn() const { return !subject_cn.empty(); }
@@ -153,9 +158,15 @@ struct PipelineConfig {
 
 class Pipeline {
  public:
-  /// Hot-path registry: fuid-keyed hash map. Analyzers that need ordered
-  /// iteration sort at result time (see certificates_sorted()).
-  using CertMap = std::unordered_map<std::string, CertFacts>;
+  /// Hot-path registry: fuid-keyed hash map with transparent lookup, so
+  /// chain fuids probe without materializing a key. Analyzers that need
+  /// ordered iteration sort at result time (see certificates_sorted()).
+  using CertMap = std::unordered_map<colfmt::Str, CertFacts, colfmt::StrHash,
+                                     colfmt::StrEq>;
+  /// Byte-ordered set of interned strings (issuer DNs, SLDs): iterates
+  /// in the same order as a std::set<std::string>, so serialization and
+  /// result determinism are unchanged by the interning.
+  using StrSet = std::set<colfmt::Str, colfmt::StrLess>;
 
   /// Streaming mode: the pipeline owns its enrichment core and discovers
   /// interception issuers as the stream progresses.
@@ -170,7 +181,7 @@ class Pipeline {
     std::shared_ptr<const CertMap> base_certificates;
     /// Interception issuers confirmed over the whole stream; exclusion in
     /// prepared mode is a frozen-set membership test.
-    std::shared_ptr<const std::set<std::string>> interception_issuers;
+    std::shared_ptr<const StrSet> interception_issuers;
   };
   /// Prepared (shard) mode: enrichment state is shared and immutable;
   /// this pipeline only accumulates shard-local usage and analyzer input.
@@ -214,7 +225,7 @@ class Pipeline {
   std::vector<const CertFacts*> certificates_sorted() const;
 
   // Interception-filter results (§3.2.1).
-  const std::set<std::string>& interception_issuers() const {
+  const StrSet& interception_issuers() const {
     return interception_issuers_;
   }
   std::size_t interception_excluded_connections() const {
@@ -237,7 +248,7 @@ class Pipeline {
 
   /// Executor hooks (also used by the merge tests): install the
   /// whole-stream interception state on the merged result.
-  void set_interception_issuers(std::set<std::string> issuers) {
+  void set_interception_issuers(StrSet issuers) {
     interception_issuers_ = std::move(issuers);
   }
   /// Copies base-registry entries this pipeline never touched, so the
@@ -256,26 +267,27 @@ class Pipeline {
   void deserialize(StateReader& r);
 
  private:
-  const CertFacts* find_base(const std::string& fuid) const;
-  CertFacts* local_cert(const std::string& fuid);
+  const CertFacts* find_base(const colfmt::Str& fuid) const;
+  CertFacts* local_cert(const colfmt::Str& fuid);
 
   std::shared_ptr<const Enricher> enricher_;
   // Prepared-mode shared state (null in streaming mode).
   std::shared_ptr<const CertMap> base_certs_;
-  std::shared_ptr<const std::set<std::string>> frozen_issuers_;
+  std::shared_ptr<const StrSet> frozen_issuers_;
   bool prepared_ = false;
 
   std::vector<Observer> observers_;
   CertMap certs_;
-  std::set<std::string> interception_issuers_;
+  StrSet interception_issuers_;
   /// Candidate interception issuers: CT-mismatching issuer → distinct
   /// SLDs observed. Confirmed once the issuer re-signs enough different
   /// domains (the stand-in for the paper's manual investigation).
-  std::map<std::string, std::set<std::string>> interception_candidates_;
+  std::map<colfmt::Str, StrSet, colfmt::StrLess> interception_candidates_;
   /// Streaming-mode reconciliation ledger: Totals contributions of counted
   /// connections, per server-leaf issuer DN, so finalize() can un-count
   /// connections of issuers confirmed after they streamed past.
-  std::unordered_map<std::string, Totals> pending_by_issuer_;
+  std::unordered_map<colfmt::Str, Totals, colfmt::StrHash, colfmt::StrEq>
+      pending_by_issuer_;
   std::size_t excluded_connections_ = 0;
   Totals totals_;
 };

@@ -30,13 +30,17 @@ class CtDatabase {
   bool issuer_matches(std::string_view domain,
                       const x509::DistinguishedName& issuer) const;
 
+  /// Issuer DN strings recorded for a domain, transparently probeable
+  /// (string_view or interned Str) without materializing a key.
+  using IssuerSet = std::set<std::string, std::less<>>;
+
   /// Recorded issuer DN strings for a domain; nullptr if unknown.
-  const std::set<std::string>* issuers_for(std::string_view domain) const;
+  const IssuerSet* issuers_for(std::string_view domain) const;
 
   std::size_t domain_count() const { return by_domain_.size(); }
 
  private:
-  std::map<std::string, std::set<std::string>, std::less<>> by_domain_;
+  std::map<std::string, IssuerSet, std::less<>> by_domain_;
 };
 
 }  // namespace mtlscope::ctlog

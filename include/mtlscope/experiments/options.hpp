@@ -13,6 +13,13 @@
 namespace mtlscope::experiments {
 
 struct RunOptions {
+  /// Input container format for file mode (--format=auto|zeek|compact).
+  /// kAuto probes --ssl-log= for the compact-container magic; kZeek
+  /// forces the TSV parse; kCompact requires a container. A compact
+  /// input carries both halves of the log pair, so --x509-log= is not
+  /// required (and is ignored) for it.
+  enum class InputFormat { kAuto, kZeek, kCompact };
+
   /// Concrete scales the harness runs at; filled by resolved().
   double cert_scale = 1;
   double conn_scale = 1;
@@ -30,6 +37,7 @@ struct RunOptions {
   /// a synthetic trace. No CT database is attached in file mode.
   std::string ssl_log;
   std::string x509_log;
+  InputFormat format = InputFormat::kAuto;
   /// Streaming chunk size in MiB; fractions work (--chunk-mb=0.0625 is
   /// 64 KiB). Results are byte-identical for every value.
   double chunk_mb = 1.0;
@@ -49,6 +57,9 @@ struct RunOptions {
   ingest::ErrorPolicy errors;
 
   bool file_mode() const { return !ssl_log.empty(); }
+  /// True when --ssl-log= names a compact container (forced by
+  /// --format=compact, or detected by magic under --format=auto).
+  bool compact_input() const;
   std::size_t chunk_bytes() const;
   ingest::IngestOptions ingest_options() const;
 

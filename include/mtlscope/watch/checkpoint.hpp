@@ -34,7 +34,8 @@
 namespace mtlscope::watch {
 
 /// Bump on any layout change; readers hard-reject other versions.
-inline constexpr std::uint32_t kWatchFormatVersion = 1;
+/// v2: x509 rows store raw DER bytes instead of base64 text (DESIGN §14).
+inline constexpr std::uint32_t kWatchFormatVersion = 2;
 
 struct WatchCheckpoint {
   // --- configuration fingerprint (resume refuses a mismatch) ---

@@ -133,7 +133,7 @@ class WindowScheduler {
   /// Folds rows paired with the x509 rows their chains reference.
   core::ShardState fold_rows(const std::vector<zeek::SslRecord>& rows);
   core::ShardState fold_map(const std::vector<zeek::SslRecord>& rows,
-                            std::map<std::string, zeek::X509Record> x509);
+                            zeek::Dataset::X509Map x509);
   void fill_meta(core::ShardState& state) const;
   void emit_state(Emission::Kind kind, std::int64_t start_ts,
                   core::ShardState state);
@@ -144,7 +144,8 @@ class WindowScheduler {
 
   // x509 arrival state: first-seen rows in order plus a fuid index.
   std::vector<zeek::X509Record> x509_seen_;
-  std::unordered_map<std::string, std::size_t> x509_index_;
+  std::unordered_map<colfmt::Str, std::size_t, colfmt::StrHash, colfmt::StrEq>
+      x509_index_;
 
   // Stream-order hold queue (front blocks everything behind it).
   std::vector<zeek::SslRecord> pending_;

@@ -1,6 +1,12 @@
 // Zeek-schema records: ssl.log and x509.log rows, and the in-memory
 // Dataset that joins them by certificate file id (fuid) — the same join
 // the paper performs (§3.1).
+//
+// Repeated values (addresses, versions, SNIs, fuids, DNs, DER blobs)
+// are interned `colfmt::Str` handles into the global string/cert arenas
+// (DESIGN §14): a million-row log stores each distinct issuer or chain
+// fuid once, and copying a record copies pointers, not heap strings.
+// Only `uid` — unique per row — stays an owned std::string.
 #pragma once
 
 #include <cstdint>
@@ -8,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mtlscope/colfmt/arena.hpp"
 #include "mtlscope/tls/connection.hpp"
 #include "mtlscope/util/time.hpp"
 
@@ -16,16 +23,16 @@ namespace mtlscope::zeek {
 /// One ssl.log row. Field names follow Zeek's SSL::Info.
 struct SslRecord {
   util::UnixSeconds ts = 0;
-  std::string uid;
-  std::string orig_h;  // client address
+  std::string uid;      // unique per row: owned, never interned
+  colfmt::Str orig_h;   // client address
   std::uint16_t orig_p = 0;
-  std::string resp_h;  // server address
+  colfmt::Str resp_h;   // server address
   std::uint16_t resp_p = 0;
-  std::string version;      // "TLSv12"; empty → unset
-  std::string server_name;  // SNI; empty → unset
+  colfmt::Str version;      // "TLSv12"; empty → unset
+  colfmt::Str server_name;  // SNI; empty → unset
   bool established = false;
-  std::vector<std::string> cert_chain_fuids;         // server chain
-  std::vector<std::string> client_cert_chain_fuids;  // client chain
+  colfmt::StrVec cert_chain_fuids;         // server chain
+  colfmt::StrVec client_cert_chain_fuids;  // client chain
 
   bool is_mutual() const {
     return !cert_chain_fuids.empty() && !client_cert_chain_fuids.empty();
@@ -36,20 +43,24 @@ struct SslRecord {
 /// DER (as Zeek can be configured to do), which lets the analysis
 /// pipeline re-parse certificates rather than trusting the log fields.
 struct X509Record {
-  std::string fuid;
+  colfmt::Str fuid;
   int version = 0;
-  std::string serial;   // upper-case hex
-  std::string subject;  // DN string form
-  std::string issuer;
+  colfmt::Str serial;   // upper-case hex
+  colfmt::Str subject;  // DN string form
+  colfmt::Str issuer;
   util::UnixSeconds not_valid_before = 0;
   util::UnixSeconds not_valid_after = 0;
-  std::string key_alg;
+  colfmt::Str key_alg;
   int key_length = 0;
-  std::vector<std::string> san_dns;
-  std::vector<std::string> san_email;
-  std::vector<std::string> san_uri;
-  std::vector<std::string> san_ip;
-  std::string cert_der_base64;
+  colfmt::StrVec san_dns;
+  colfmt::StrVec san_email;
+  colfmt::StrVec san_uri;
+  colfmt::StrVec san_ip;
+  /// Raw DER bytes, interned in the CertArena (TSV logs carry base64;
+  /// the parser decodes once at ingest, the writer re-encodes). Empty
+  /// when the log had no cert_der column or the value was undecodable —
+  /// enrichment then falls back to the logged fields, as before.
+  colfmt::Str cert_der;
 };
 
 /// Computes Zeek-style file id for a certificate ("F" + 17 hex chars of
@@ -63,15 +74,18 @@ X509Record to_x509_record(const x509::Certificate& cert);
 /// An ssl.log + x509.log pair over the same capture window.
 class Dataset {
  public:
+  /// Byte-ordered (StrLess), so iteration matches the old string-keyed map.
+  using X509Map = std::map<colfmt::Str, X509Record, colfmt::StrLess>;
+
   /// Appends a connection: one ssl row plus x509 rows for any not-yet-seen
   /// certificates.
   void add_connection(const tls::TlsConnection& conn);
 
   const std::vector<SslRecord>& ssl() const { return ssl_; }
   std::vector<SslRecord>& ssl() { return ssl_; }
-  const std::map<std::string, X509Record>& x509() const { return x509_; }
+  const X509Map& x509() const { return x509_; }
 
-  const X509Record* find_certificate(const std::string& fuid) const;
+  const X509Record* find_certificate(std::string_view fuid) const;
   void add_x509(X509Record record);
   void add_ssl(SslRecord record) { ssl_.push_back(std::move(record)); }
 
@@ -80,7 +94,7 @@ class Dataset {
 
  private:
   std::vector<SslRecord> ssl_;
-  std::map<std::string, X509Record> x509_;
+  X509Map x509_;
 };
 
 }  // namespace mtlscope::zeek

@@ -1,0 +1,302 @@
+#include "mtlscope/colfmt/convert.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "mtlscope/core/error_ledger.hpp"
+#include "mtlscope/ingest/chunker.hpp"
+#include "mtlscope/ingest/source.hpp"
+#include "mtlscope/zeek/parse_plan.hpp"
+
+namespace mtlscope::colfmt {
+
+namespace {
+
+struct SslTraits {
+  using Record = zeek::SslRecord;
+  using Plan = zeek::SslPlan;
+  static constexpr core::InputRole kRole = core::InputRole::kSsl;
+  /// Phase B — the ssl chain-upgrade pass is the authoritative ssl parse.
+  static constexpr core::LedgerPhase kPhase = core::LedgerPhase::kUpgrades;
+  static Plan compile(const zeek::ColumnPlan& columns) {
+    return zeek::SslPlan::compile(columns);
+  }
+  static zeek::TolerantStats parse(std::string_view body, const Plan& plan,
+                                   std::vector<Record>& out,
+                                   std::vector<zeek::RowIssue>* issues,
+                                   std::size_t header_lines,
+                                   std::size_t base_offset) {
+    return zeek::parse_ssl_records_tolerant(body, plan, out, issues,
+                                            header_lines, base_offset);
+  }
+};
+
+struct X509Traits {
+  using Record = zeek::X509Record;
+  using Plan = zeek::X509Plan;
+  static constexpr core::InputRole kRole = core::InputRole::kX509;
+  /// Phase A — the x509 registry build is the authoritative x509 parse.
+  static constexpr core::LedgerPhase kPhase = core::LedgerPhase::kRegistry;
+  static Plan compile(const zeek::ColumnPlan& columns) {
+    return zeek::X509Plan::compile(columns);
+  }
+  static zeek::TolerantStats parse(std::string_view body, const Plan& plan,
+                                   std::vector<Record>& out,
+                                   std::vector<zeek::RowIssue>* issues,
+                                   std::size_t header_lines,
+                                   std::size_t base_offset) {
+    return zeek::parse_x509_records_tolerant(body, plan, out, issues,
+                                             header_lines, base_offset);
+  }
+};
+
+/// Tolerant chunked parse of one whole log — the conversion-side twin of
+/// the executor's streaming pass: RecordChunker for bounded RSS, line
+/// numbers offset by the header plus every prior chunk's line count, and
+/// byte offsets anchored at each chunk's absolute position, so issue
+/// coordinates match a run over the same file exactly. After each chunk
+/// `drain` (when set) consumes and clears `out`, keeping memory O(chunk)
+/// instead of O(file).
+template <typename Traits>
+bool parse_whole_log(
+    const std::string& path, const ingest::ErrorPolicy& policy,
+    std::size_t chunk_bytes, std::vector<typename Traits::Record>& out,
+    core::ErrorLedger& ledger, std::uint64_t* file_bytes, std::string* error,
+    const std::function<void(std::vector<typename Traits::Record>&)>& drain =
+        {}) {
+  ingest::IngestError open_error;
+  const auto source = ingest::open_source(path, &open_error);
+  if (source == nullptr) {
+    if (error != nullptr) *error = open_error.to_string();
+    return false;
+  }
+  if (file_bytes != nullptr) *file_bytes = source->size();
+  const ingest::LogLayout layout = ingest::detect_log_layout(*source);
+  const auto plan =
+      Traits::compile(zeek::ColumnPlan::from_header(layout.header));
+  std::size_t lines_so_far = static_cast<std::size_t>(
+      std::count(layout.header.begin(), layout.header.end(), '\n'));
+
+  ingest::RecordChunker chunker(*source, chunk_bytes, layout.body_begin,
+                                source->size());
+  ingest::Chunk chunk;
+  std::vector<zeek::RowIssue> issues;
+  while (chunker.next(chunk)) {
+    issues.clear();
+    const zeek::TolerantStats stats = Traits::parse(
+        chunk.data, plan, out, &issues, lines_so_far, chunk.offset);
+    lines_so_far += stats.lines;
+    ledger.count_rows_ok(Traits::kRole, stats.rows_ok);
+    if (!issues.empty()) {
+      if (!policy.skip()) {
+        const zeek::RowIssue& first = issues.front();
+        if (error != nullptr) {
+          *error = path + " @ byte " + std::to_string(first.byte_offset) +
+                   ": " + first.reason;
+        }
+        return false;
+      }
+      for (zeek::RowIssue& issue : issues) {
+        ledger.quarantine(
+            Traits::kPhase,
+            core::QuarantinedRecord{Traits::kRole, issue.byte_offset,
+                                    issue.line, issue.raw_length,
+                                    std::move(issue.reason),
+                                    std::move(issue.digest)});
+      }
+      if (const auto violation = ledger.budget_violation(policy)) {
+        if (error != nullptr) *error = path + ": " + *violation;
+        return false;
+      }
+    }
+    if (drain) drain(out);
+    source->release(chunk.offset, chunk.data.size());
+  }
+  return true;
+}
+
+bool records_equal(const zeek::SslRecord& a, const zeek::SslRecord& b) {
+  return a.ts == b.ts && a.uid == b.uid && a.orig_h == b.orig_h &&
+         a.orig_p == b.orig_p && a.resp_h == b.resp_h &&
+         a.resp_p == b.resp_p && a.version == b.version &&
+         a.server_name == b.server_name && a.established == b.established &&
+         a.cert_chain_fuids == b.cert_chain_fuids &&
+         a.client_cert_chain_fuids == b.client_cert_chain_fuids;
+}
+
+bool records_equal(const zeek::X509Record& a, const zeek::X509Record& b) {
+  return a.fuid == b.fuid && a.version == b.version && a.serial == b.serial &&
+         a.subject == b.subject && a.issuer == b.issuer &&
+         a.not_valid_before == b.not_valid_before &&
+         a.not_valid_after == b.not_valid_after && a.key_alg == b.key_alg &&
+         a.key_length == b.key_length && a.san_dns == b.san_dns &&
+         a.san_email == b.san_email && a.san_uri == b.san_uri &&
+         a.san_ip == b.san_ip && a.cert_der == b.cert_der;
+}
+
+template <typename Record>
+bool compare_streams(const char* role, const std::vector<Record>& decoded,
+                     const std::vector<Record>& reparsed,
+                     std::string* error) {
+  if (decoded.size() != reparsed.size()) {
+    if (error != nullptr) {
+      *error = std::string(role) + " row count mismatch: container has " +
+               std::to_string(decoded.size()) + ", TSV reparse has " +
+               std::to_string(reparsed.size());
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < decoded.size(); ++i) {
+    if (!records_equal(decoded[i], reparsed[i])) {
+      if (error != nullptr) {
+        *error = std::string(role) + " row " + std::to_string(i) +
+                 " diverges between container and TSV reparse";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool compact_logs(const CompactRequest& request, CompactStats* stats,
+                  std::string* error) {
+  ContainerWriter writer(request.out_path, request.writer);
+  if (!writer.ok()) {
+    if (error != nullptr) *error = writer.error();
+    return false;
+  }
+
+  core::ErrorLedger ledger;
+  ContainerMeta meta;
+  meta.ssl_path = request.ssl_path;
+  meta.x509_path = request.x509_path;
+
+  // x509 first, ssl second — the same A-then-B order a run parses in, so
+  // abort-mode conversion fails on the same record a run would.
+  std::vector<zeek::X509Record> x509_pending;
+  std::vector<zeek::SslRecord> ssl_pending;
+  const bool ok =
+      parse_whole_log<X509Traits>(
+          request.x509_path, request.errors, request.chunk_bytes,
+          x509_pending, ledger, &meta.x509_bytes, error,
+          [&writer](std::vector<zeek::X509Record>& rows) {
+            for (const auto& row : rows) writer.add_x509(row);
+            rows.clear();
+          }) &&
+      parse_whole_log<SslTraits>(
+          request.ssl_path, request.errors, request.chunk_bytes, ssl_pending,
+          ledger, &meta.ssl_bytes, error,
+          [&writer](std::vector<zeek::SslRecord>& rows) {
+            for (const auto& row : rows) writer.add_ssl(row);
+            rows.clear();
+          });
+  if (!ok) {
+    std::remove(request.out_path.c_str());
+    return false;
+  }
+
+  ledger.finalize();
+  meta.ssl_rows = writer.ssl_rows();
+  meta.x509_rows = writer.x509_rows();
+  writer.set_meta(meta);
+  writer.set_ledger(ledger);
+  std::string finish_error;
+  if (!writer.finish(&finish_error)) {
+    if (error != nullptr) *error = finish_error;
+    std::remove(request.out_path.c_str());
+    return false;
+  }
+  if (stats != nullptr) {
+    stats->ssl_rows = writer.ssl_rows();
+    stats->x509_rows = writer.x509_rows();
+    stats->quarantined = ledger.quarantined_total();
+    stats->blocks = writer.blocks_written();
+  }
+  return true;
+}
+
+bool verify_container(const std::string& container_path, std::string* report,
+                      std::string* error, std::size_t chunk_bytes) {
+  const auto reader = ContainerReader::open(container_path, error);
+  if (!reader) return false;
+
+  std::vector<zeek::SslRecord> decoded_ssl;
+  std::vector<zeek::X509Record> decoded_x509;
+  try {
+    for (const FrameRef& block : reader->x509_blocks()) {
+      auto rows = reader->decode_x509_block(block);
+      decoded_x509.insert(decoded_x509.end(),
+                          std::make_move_iterator(rows.begin()),
+                          std::make_move_iterator(rows.end()));
+    }
+    for (const FrameRef& block : reader->ssl_blocks()) {
+      auto rows = reader->decode_ssl_block(block);
+      decoded_ssl.insert(decoded_ssl.end(),
+                         std::make_move_iterator(rows.begin()),
+                         std::make_move_iterator(rows.end()));
+    }
+  } catch (const core::StateError& e) {
+    if (error != nullptr) {
+      *error = container_path + ": block decode failed: " + e.what();
+    }
+    return false;
+  }
+  if (decoded_ssl.size() != reader->meta().ssl_rows ||
+      decoded_x509.size() != reader->meta().x509_rows) {
+    if (error != nullptr) {
+      *error = container_path + ": meta row totals disagree with blocks";
+    }
+    return false;
+  }
+
+  // Fresh tolerant parse of the original TSV pair — always skip mode, so
+  // the comparison covers the quarantine behaviour too.
+  ingest::ErrorPolicy tolerant;
+  tolerant.on_error = ingest::ErrorPolicy::Action::kSkip;
+  core::ErrorLedger fresh;
+  std::vector<zeek::X509Record> reparsed_x509;
+  std::vector<zeek::SslRecord> reparsed_ssl;
+  if (!parse_whole_log<X509Traits>(reader->meta().x509_path, tolerant,
+                                   chunk_bytes, reparsed_x509, fresh, nullptr,
+                                   error) ||
+      !parse_whole_log<SslTraits>(reader->meta().ssl_path, tolerant,
+                                  chunk_bytes, reparsed_ssl, fresh, nullptr,
+                                  error)) {
+    return false;
+  }
+  fresh.finalize();
+
+  if (!compare_streams("x509", decoded_x509, reparsed_x509, error) ||
+      !compare_streams("ssl", decoded_ssl, reparsed_ssl, error)) {
+    return false;
+  }
+  const core::ErrorLedger stored = reader->ledger();
+  for (const core::InputRole role :
+       {core::InputRole::kSsl, core::InputRole::kX509}) {
+    if (stored.quarantined(role) != fresh.quarantined(role)) {
+      if (error != nullptr) {
+        *error = std::string(core::input_role_name(role)) +
+                 " quarantined-row count mismatch: container ledger has " +
+                 std::to_string(stored.quarantined(role)) +
+                 ", TSV reparse has " +
+                 std::to_string(fresh.quarantined(role));
+      }
+      return false;
+    }
+  }
+
+  if (report != nullptr) {
+    *report = "verified " + std::to_string(decoded_ssl.size()) +
+              " ssl rows, " + std::to_string(decoded_x509.size()) +
+              " x509 rows, " + std::to_string(stored.quarantined_total()) +
+              " quarantined rows against " + reader->meta().ssl_path +
+              " + " + reader->meta().x509_path;
+  }
+  return true;
+}
+
+}  // namespace mtlscope::colfmt

@@ -133,8 +133,9 @@ ExpiredCertResult analyze_expired(const Pipeline& pipeline) {
       r.outbound.push_back(point);
       if (point.days_expired_at_first_use >= 700) {
         ++r.outbound_over_1000d;
-        if (facts.issuer_org.find("Apple") != std::string::npos ||
-            facts.issuer_org.find("Microsoft") != std::string::npos) {
+        if (facts.issuer_org.view().find("Apple") != std::string_view::npos ||
+            facts.issuer_org.view().find("Microsoft") !=
+                std::string_view::npos) {
           ++r.outbound_over_1000d_apple_ms;
         }
       }
@@ -253,7 +254,12 @@ RenewalResult analyze_renewals(const Pipeline& pipeline) {
     if (!facts.has_cn() || facts.flagged_interception) continue;
     if (facts.connection_count == 0) continue;
     if (facts.validity.dates_incorrect()) continue;
-    chains[facts.issuer_dn + "|" + facts.subject_cn].push_back(
+    std::string chain_key;
+    chain_key.reserve(facts.issuer_dn.size() + 1 + facts.subject_cn.size());
+    chain_key += facts.issuer_dn.view();
+    chain_key += '|';
+    chain_key += facts.subject_cn.view();
+    chains[std::move(chain_key)].push_back(
         {facts.validity.not_before, facts.validity.not_after});
   }
 
@@ -391,8 +397,12 @@ UnidentifiedResult analyze_unidentified(const Pipeline& pipeline) {
     // distinctive issuer (Azure Sphere, Apple device CA, campus CAs, or
     // any issuer CN carrying a random-looking discriminator).
     if (facts.campus_issuer) return true;
-    if (facts.issuer_cn.find("Azure Sphere") != std::string::npos) return true;
-    if (facts.issuer_cn.find("Apple iPhone Device") != std::string::npos) {
+    if (facts.issuer_cn.view().find("Azure Sphere") !=
+        std::string_view::npos) {
+      return true;
+    }
+    if (facts.issuer_cn.view().find("Apple iPhone Device") !=
+        std::string_view::npos) {
       return true;
     }
     return false;

@@ -19,8 +19,8 @@ std::uint32_t client_key(const EnrichedConnection& conn) {
 }
 
 std::string issuer_label(const CertFacts& facts) {
-  if (!facts.issuer_org.empty()) return facts.issuer_org;
-  if (!facts.issuer_cn.empty()) return facts.issuer_cn;
+  if (!facts.issuer_org.empty()) return facts.issuer_org.str();
+  if (!facts.issuer_cn.empty()) return facts.issuer_cn.str();
   return "(missing)";
 }
 
@@ -324,10 +324,16 @@ void DummyIssuerAnalyzer::observe(const EnrichedConnection& conn) {
 
   // §5.1.1 weak parameters (client side only, as the paper reports).
   if (client_dummy) {
-    const std::string tuple = conn.ssl->orig_h + "|" +
-                              conn.client_leaf->fuid + "|" +
-                              conn.ssl->resp_h + "|" +
-                              (conn.server_leaf ? conn.server_leaf->fuid : "");
+    std::string tuple;
+    tuple.reserve(conn.ssl->orig_h.size() + conn.client_leaf->fuid.size() +
+                  conn.ssl->resp_h.size() + 20 + 3);
+    tuple += conn.ssl->orig_h.view();
+    tuple += '|';
+    tuple += conn.client_leaf->fuid.view();
+    tuple += '|';
+    tuple += conn.ssl->resp_h.view();
+    tuple += '|';
+    if (conn.server_leaf != nullptr) tuple += conn.server_leaf->fuid.view();
     if (conn.client_leaf->version == 1) {
       weak_.v1_certs.insert(conn.client_leaf->fuid);
       if (v1_tuple_set_.insert(tuple).second) ++weak_.v1_tuples;
@@ -415,11 +421,12 @@ void SerialCollisionAnalyzer::observe(const EnrichedConnection& conn) {
 
   const std::uint32_t client = client_key(conn);
   const auto record = [&](const CertFacts& facts, bool as_server) {
-    const auto key = std::make_tuple(issuer_label(facts), facts.serial_hex,
+    const auto key = std::make_tuple(issuer_label(facts),
+                                     facts.serial_hex.str(),
                                      static_cast<int>(conn.direction));
     auto& group = groups_[key];
     group.issuer_org = issuer_label(facts);
-    group.serial = facts.serial_hex;
+    group.serial = facts.serial_hex.str();
     group.direction = conn.direction;
     (as_server ? group.server_certs : group.client_certs).insert(facts.fuid);
     group.clients.insert(client);

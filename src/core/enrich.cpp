@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <mutex>
+#include <span>
 
 #include "mtlscope/crypto/encoding.hpp"
 #include "mtlscope/textclass/domain.hpp"
@@ -15,11 +16,14 @@ Enricher::Enricher(PipelineConfig config)
       categorizer_(config_.dummy_issuer_orgs) {}
 
 IssuerCategory Enricher::categorize_cached(
-    const x509::DistinguishedName& issuer, const std::string& issuer_dn,
+    const x509::DistinguishedName& issuer, std::string_view issuer_dn,
     bool is_public) const {
   // The public/private split is part of the key: Table 13's shared certs
   // can surface the same DN string under either classification.
-  const std::string key = (is_public ? "P|" : "p|") + issuer_dn;
+  std::string key;
+  key.reserve(2 + issuer_dn.size());
+  key += is_public ? "P|" : "p|";
+  key += issuer_dn;
   {
     std::shared_lock lock(cache_mutex_);
     const auto it = category_cache_.find(key);
@@ -40,21 +44,24 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
   // throw out of here: make_facts runs on executor worker threads, where
   // an escaped exception is std::terminate.
   bool parsed = false;
-  if (!record.cert_der_base64.empty()) try {
-    if (const auto der = crypto::from_base64(record.cert_der_base64)) {
-      const auto result = x509::parse_certificate(*der);
+  if (!record.cert_der.empty()) try {
+    const std::span<const std::uint8_t> der(
+        reinterpret_cast<const std::uint8_t*>(record.cert_der.data()),
+        record.cert_der.size());
+    {
+      const auto result = x509::parse_certificate(der);
       if (const auto* cert = x509::get_certificate(result)) {
         facts.version = cert->version;
         facts.key_bits = static_cast<int>(cert->key_bits());
         facts.serial_hex = cert->serial_hex();
         if (const auto cn = cert->subject.common_name()) {
-          facts.subject_cn = std::string(*cn);
+          facts.subject_cn = *cn;
         }
         if (const auto org = cert->issuer.organization()) {
-          facts.issuer_org = std::string(*org);
+          facts.issuer_org = *org;
         }
         if (const auto cn = cert->issuer.common_name()) {
-          facts.issuer_cn = std::string(*cn);
+          facts.issuer_cn = *cn;
         }
         facts.issuer_dn = cert->issuer.to_string();
         facts.validity = cert->validity;
@@ -102,15 +109,15 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
     const auto issuer = x509::DistinguishedName::from_string(record.issuer);
     if (subject) {
       if (const auto cn = subject->common_name()) {
-        facts.subject_cn = std::string(*cn);
+        facts.subject_cn = *cn;
       }
     }
     if (issuer) {
       if (const auto org = issuer->organization()) {
-        facts.issuer_org = std::string(*org);
+        facts.issuer_org = *org;
       }
       if (const auto cn = issuer->common_name()) {
-        facts.issuer_cn = std::string(*cn);
+        facts.issuer_cn = *cn;
       }
       facts.issuer_dn = issuer->to_string();
       facts.issuer_class = trust_.is_trusted_issuer(*issuer)
@@ -124,7 +131,7 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
       facts.issuer_category = IssuerCategory::kPrivateMissingIssuer;
     }
     facts.validity = {record.not_valid_before, record.not_valid_after};
-    facts.san_dns = record.san_dns;
+    facts.san_dns.assign(record.san_dns.begin(), record.san_dns.end());
     facts.san_email_count = static_cast<int>(record.san_email.size());
     facts.san_uri_count = static_cast<int>(record.san_uri.size());
     facts.san_ip_count = static_cast<int>(record.san_ip.size());
@@ -188,7 +195,7 @@ EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
   conn.ts = record.ts;
   conn.established = record.established;
   conn.direction = infer_direction(record);
-  conn.sni = record.server_name;
+  conn.sni = record.server_name.str();
   conn.server_leaf = server_leaf;
   conn.client_leaf = client_leaf;
   conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
@@ -199,11 +206,11 @@ EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
     for (const CertFacts* leaf : {server_leaf, client_leaf}) {
       if (leaf == nullptr) continue;
       if (!leaf->san_dns.empty()) {
-        conn.resolved_host = leaf->san_dns.front();
+        conn.resolved_host = leaf->san_dns.front().str();
         break;
       }
       if (leaf->cn_type == textclass::InfoType::kDomain) {
-        conn.resolved_host = leaf->subject_cn;
+        conn.resolved_host = leaf->subject_cn.str();
         break;
       }
     }

@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "mtlscope/colfmt/container.hpp"
 #include "mtlscope/core/enrich.hpp"
 #include "mtlscope/ingest/chunk_queue.hpp"
 #include "mtlscope/zeek/parse_plan.hpp"
@@ -31,7 +32,7 @@ void parallel_ranges(std::size_t n, std::size_t k, const Fn& fn) {
 }
 
 const CertFacts* find_facts(const Pipeline::CertMap& certs,
-                            const std::vector<std::string>& fuids) {
+                            const colfmt::StrVec& fuids) {
   if (fuids.empty()) return nullptr;
   const auto it = certs.find(fuids.front());
   return it == certs.end() ? nullptr : &it->second;
@@ -42,7 +43,7 @@ const CertFacts* find_facts(const Pipeline::CertMap& certs,
 /// through later connections, so callers apply this serially in stream
 /// order.
 void upgrade_chain(Pipeline::CertMap& base,
-                   const std::vector<std::string>& fuids) {
+                   const colfmt::StrVec& fuids) {
   if (fuids.size() < 2) return;  // no intermediates to inherit from
   const auto leaf_it = base.find(fuids.front());
   if (leaf_it == base.end() ||
@@ -67,7 +68,10 @@ void apply_upgrades(Pipeline::CertMap& base, const zeek::SslRecord& record) {
 }
 
 /// Phase C candidate collection: issuer DN → distinct CT-mismatching SLDs.
-using CandidateMap = std::map<std::string, std::set<std::string>>;
+/// Byte-ordered on interned keys, so merge folds iterate identically to
+/// the old string-keyed map.
+using CandidateMap =
+    std::map<colfmt::Str, Pipeline::StrSet, colfmt::StrLess>;
 
 void note_interception_candidate(const PipelineConfig& config,
                                  const Enricher& enricher,
@@ -86,14 +90,15 @@ void note_interception_candidate(const PipelineConfig& config,
       enricher.enrich(record, server_leaf, client_leaf);
   if (conn.sld.empty() || !config.ct->has_domain(conn.sld)) return;
   const auto* issuers = config.ct->issuers_for(conn.sld);
-  if (issuers != nullptr && !issuers->contains(server_leaf->issuer_dn)) {
+  if (issuers != nullptr &&
+      !issuers->contains(server_leaf->issuer_dn.view())) {
     candidates[server_leaf->issuer_dn].insert(conn.sld);
   }
 }
 
-std::set<std::string> confirm_issuers(const CandidateMap& merged,
-                                      std::size_t threshold) {
-  std::set<std::string> confirmed;
+Pipeline::StrSet confirm_issuers(const CandidateMap& merged,
+                                 std::size_t threshold) {
+  Pipeline::StrSet confirmed;
   for (const auto& [issuer, domains] : merged) {
     if (domains.size() >= threshold) confirmed.insert(issuer);
   }
@@ -239,9 +244,8 @@ Pipeline PipelineExecutor::run(const zeek::Dataset& dataset) {
   return run(dataset.ssl(), dataset.x509());
 }
 
-Pipeline PipelineExecutor::run(
-    const std::vector<zeek::SslRecord>& ssl,
-    const std::map<std::string, zeek::X509Record>& x509) {
+Pipeline PipelineExecutor::run(const std::vector<zeek::SslRecord>& ssl,
+                               const zeek::Dataset::X509Map& x509) {
   const auto enricher = std::make_shared<const Enricher>(config_);
   const std::size_t k = threads_;
 
@@ -265,8 +269,8 @@ Pipeline PipelineExecutor::run(
                     });
     for (auto& chunk : built) {
       for (auto& facts : chunk) {
-        std::string fuid = facts.fuid;
-        base->emplace(std::move(fuid), std::move(facts));
+        const colfmt::Str fuid = facts.fuid;
+        base->emplace(fuid, std::move(facts));
       }
     }
   }
@@ -282,7 +286,7 @@ Pipeline PipelineExecutor::run(
   // Shard-local candidate maps merge by set union; confirmation compares
   // the union against the threshold, so the confirmed set is exactly the
   // set a serial stream (in any order) would eventually confirm.
-  auto confirmed = std::make_shared<std::set<std::string>>();
+  auto confirmed = std::make_shared<Pipeline::StrSet>();
   if (config_.ct != nullptr) {
     std::vector<CandidateMap> local(k);
     parallel_ranges(ssl.size(), k,
@@ -399,8 +403,8 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
       },
       [&](FactsChunk&& r) {
         for (auto& f : r.facts) {
-          std::string fuid = f.fuid;
-          base->emplace(std::move(fuid), std::move(f));
+          const colfmt::Str fuid = f.fuid;
+          base->emplace(fuid, std::move(f));
         }
         if (skip) {
           led->count_rows_ok(InputRole::kX509, r.stats.rows_ok);
@@ -493,7 +497,7 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
   // --- Phase C (streaming): chunk-local candidate maps, set-union fold
   // (order-independent), threshold once at the end. Re-streams ssl; the
   // registry is complete and read-only from here on. ---
-  auto confirmed = std::make_shared<std::set<std::string>>();
+  auto confirmed = std::make_shared<Pipeline::StrSet>();
   if (ok && config_.ct != nullptr) {
     struct CandidateChunk {
       CandidateMap candidates;
@@ -629,6 +633,151 @@ std::optional<Pipeline> PipelineExecutor::run_log_files(
     return std::nullopt;
   }
   return run_sources(*ssl, *x509, error, options, ledger);
+}
+
+namespace {
+
+/// Decodes every block of the container into the record shapes the
+/// in-memory entries take: the ssl stream concatenated in block order,
+/// and the x509 rows folded into a first-fuid-wins map in stream order
+/// (exactly what Dataset::add_x509 produces from the TSV parse).
+/// Blocks decode in parallel — each carries its own dictionary — and a
+/// decode failure reports the smallest-index failing block.
+bool decode_container_records(const colfmt::ContainerReader& reader,
+                              std::size_t k,
+                              std::vector<zeek::SslRecord>& ssl,
+                              zeek::Dataset::X509Map& x509,
+                              ingest::IngestError* error) {
+  std::mutex error_mutex;
+  std::size_t error_block = SIZE_MAX;
+  std::string error_reason;
+  const auto note_error = [&](std::size_t block, const char* what) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (block < error_block) {
+      error_block = block;
+      error_reason = what;
+    }
+  };
+
+  const auto& x509_blocks = reader.x509_blocks();
+  const auto& ssl_blocks = reader.ssl_blocks();
+  std::vector<std::vector<zeek::X509Record>> x509_rows(x509_blocks.size());
+  std::vector<std::vector<zeek::SslRecord>> ssl_rows(ssl_blocks.size());
+  const std::size_t total = x509_blocks.size() + ssl_blocks.size();
+  parallel_ranges(total, k,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      try {
+                        if (i < x509_blocks.size()) {
+                          x509_rows[i] =
+                              reader.decode_x509_block(x509_blocks[i]);
+                        } else {
+                          const std::size_t j = i - x509_blocks.size();
+                          ssl_rows[j] = reader.decode_ssl_block(ssl_blocks[j]);
+                        }
+                      } catch (const StateError& e) {
+                        note_error(i, e.what());
+                      }
+                    }
+                  });
+  if (error_block != SIZE_MAX) {
+    if (error != nullptr) {
+      error->file = reader.path();
+      error->byte_offset = 0;
+      error->reason = "container block decode failed: " + error_reason;
+    }
+    return false;
+  }
+
+  for (auto& rows : x509_rows) {
+    for (auto& record : rows) {
+      const colfmt::Str fuid = record.fuid;
+      x509.emplace(fuid, std::move(record));
+    }
+  }
+  std::size_t ssl_total = 0;
+  for (const auto& rows : ssl_rows) ssl_total += rows.size();
+  ssl.reserve(ssl_total);
+  for (auto& rows : ssl_rows) {
+    for (auto& record : rows) ssl.push_back(std::move(record));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Pipeline> PipelineExecutor::run_container(
+    const colfmt::ContainerReader& reader, ingest::IngestError* error,
+    const ingest::IngestOptions& options, ErrorLedger* ledger) {
+  // Policy gate on the conversion-time ledger, mirroring what a TSV run
+  // over the original logs would do with the same rows.
+  ErrorLedger restored = reader.ledger();
+  if (!restored.pristine()) {
+    if (!options.errors.skip()) {
+      // Abort mode fails on the first quarantined row of the
+      // first-parsed input (x509 — phase A — before ssl), with the
+      // row's original TSV coordinates.
+      const QuarantinedRecord* first = nullptr;
+      for (const auto& entry : restored.entries()) {
+        if (entry.input == InputRole::kX509) {
+          first = &entry;
+          break;
+        }
+      }
+      if (first == nullptr && !restored.entries().empty()) {
+        first = &restored.entries().front();
+      }
+      if (error != nullptr) {
+        if (first != nullptr) {
+          error->file = first->input == InputRole::kX509
+                            ? reader.meta().x509_path
+                            : reader.meta().ssl_path;
+          error->byte_offset = first->byte_offset;
+          error->reason = first->reason;
+        } else {
+          error->file = reader.path();
+          error->reason = "container records I/O degradation events";
+        }
+      }
+      return std::nullopt;
+    }
+    if (const auto violation = restored.budget_violation(options.errors)) {
+      if (error != nullptr) {
+        error->file = reader.path();
+        error->reason = *violation;
+      }
+      return std::nullopt;
+    }
+  }
+
+  std::vector<zeek::SslRecord> ssl;
+  zeek::Dataset::X509Map x509;
+  if (!decode_container_records(reader, threads_, ssl, x509, error)) {
+    return std::nullopt;
+  }
+  auto result = run(ssl, x509);
+  if (ledger != nullptr) {
+    // Hand out exactly the ledger a TSV run over the original logs would
+    // have produced (shard state serializes every field, so map states
+    // from compact and TSV inputs must match byte-for-byte). Abort mode
+    // never accounts — run_sources only counts under skip — so a clean
+    // abort run carries an empty ledger. Skip mode carries the
+    // conversion counts (phases A/B: rows_ok + quarantine) plus the
+    // re-parse tolerations phases C/D would have counted over the same
+    // bad rows.
+    ErrorLedger out;
+    if (options.errors.skip()) {
+      const std::uint64_t ssl_bad = restored.quarantined(InputRole::kSsl);
+      out = std::move(restored);
+      if (config_.ct != nullptr) {
+        out.count_phase(LedgerPhase::kInterception, ssl_bad);
+      }
+      out.count_phase(LedgerPhase::kShardRun, ssl_bad);
+    }
+    out.finalize();
+    *ledger = std::move(out);
+  }
+  return result;
 }
 
 std::optional<Pipeline> PipelineExecutor::run_logs(

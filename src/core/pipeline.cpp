@@ -83,13 +83,13 @@ void Pipeline::add_certificate(const zeek::X509Record& record) {
   certs_.emplace(record.fuid, enricher_->make_facts(record));
 }
 
-const CertFacts* Pipeline::find_base(const std::string& fuid) const {
+const CertFacts* Pipeline::find_base(const colfmt::Str& fuid) const {
   if (base_certs_ == nullptr) return nullptr;
   const auto it = base_certs_->find(fuid);
   return it == base_certs_->end() ? nullptr : &it->second;
 }
 
-CertFacts* Pipeline::local_cert(const std::string& fuid) {
+CertFacts* Pipeline::local_cert(const colfmt::Str& fuid) {
   const auto it = certs_.find(fuid);
   if (it != certs_.end()) return &it->second;
   if (prepared_) {
@@ -111,7 +111,7 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
     return;
   }
 
-  const auto find_cert = [this](const std::vector<std::string>& fuids)
+  const auto find_cert = [this](const colfmt::StrVec& fuids)
       -> CertFacts* {
     if (fuids.empty()) return nullptr;
     return local_cert(fuids.front());
@@ -125,7 +125,7 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
   // prepared mode the executor applied this over the whole stream already.
   if (!prepared_) {
     const auto upgrade_by_chain =
-        [this](CertFacts* leaf, const std::vector<std::string>& fuids) {
+        [this](CertFacts* leaf, const colfmt::StrVec& fuids) {
           if (leaf == nullptr ||
               leaf->issuer_class == trust::IssuerClass::kPublic) {
             return;
@@ -161,7 +161,8 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
         server_leaf->issuer_class == trust::IssuerClass::kPrivate &&
         !conn.sld.empty() && config().ct->has_domain(conn.sld)) {
       const auto* issuers = config().ct->issuers_for(conn.sld);
-      if (issuers != nullptr && !issuers->contains(server_leaf->issuer_dn)) {
+      if (issuers != nullptr &&
+          !issuers->contains(server_leaf->issuer_dn.view())) {
         // CT disagrees about this domain's issuer. One-off disagreements
         // happen legitimately (shared or misconfigured certs on popular
         // domains); an issuer re-signing several *different* CT-logged
@@ -252,11 +253,15 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
 void Pipeline::feed(const tls::TlsConnection& conn) {
   for (const auto& cert : conn.server_chain) {
     const std::string fuid = zeek::fuid_of(cert);
-    if (!certs_.contains(fuid)) add_certificate(zeek::to_x509_record(cert));
+    if (!certs_.contains(std::string_view(fuid))) {
+      add_certificate(zeek::to_x509_record(cert));
+    }
   }
   for (const auto& cert : conn.client_chain) {
     const std::string fuid = zeek::fuid_of(cert);
-    if (!certs_.contains(fuid)) add_certificate(zeek::to_x509_record(cert));
+    if (!certs_.contains(std::string_view(fuid))) {
+      add_certificate(zeek::to_x509_record(cert));
+    }
   }
   zeek::SslRecord record;
   record.ts = conn.timestamp;

@@ -55,6 +55,22 @@ void read_str_set(StateReader& r, std::set<std::string>& s) {
   for (std::uint64_t i = 0; i < n; ++i) s.insert(s.end(), r.str());
 }
 
+// Interned-string sets serialize byte-identically to std::string sets:
+// same byte order (StrLess), same length-prefixed values. Reading
+// re-interns into the arena of the running process.
+void write_str_set(StateWriter& w, const Pipeline::StrSet& s) {
+  w.u64(s.size());
+  for (const auto& v : s) w.str(v);
+}
+
+void read_str_set(StateReader& r, Pipeline::StrSet& s) {
+  s.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.insert(s.end(), colfmt::Str(r.str()));
+  }
+}
+
 void write_u32_set(StateWriter& w, const std::set<std::uint32_t>& s) {
   w.u64(s.size());
   for (const std::uint32_t v : s) w.u32(v);
@@ -191,12 +207,13 @@ void Pipeline::serialize(StateWriter& w) const {
     w.str(issuer);
     write_str_set(w, domains);
   }
-  std::vector<std::pair<std::string, const Totals*>> pending;
+  std::vector<std::pair<colfmt::Str, const Totals*>> pending;
   pending.reserve(pending_by_issuer_.size());
   for (const auto& [issuer, totals] : pending_by_issuer_) {
     pending.emplace_back(issuer, &totals);
   }
-  std::sort(pending.begin(), pending.end());
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   w.u64(pending.size());
   for (const auto& [issuer, totals] : pending) {
     w.str(issuer);
@@ -213,21 +230,21 @@ void Pipeline::deserialize(StateReader& r) {
   for (std::uint64_t i = 0; i < n_certs; ++i) {
     CertFacts facts;
     facts.deserialize(r);
-    std::string fuid = facts.fuid;
-    certs_.emplace(std::move(fuid), std::move(facts));
+    const colfmt::Str fuid = facts.fuid;
+    certs_.emplace(fuid, std::move(facts));
   }
   read_str_set(r, interception_issuers_);
   interception_candidates_.clear();
   const std::uint64_t n_candidates = r.u64();
   for (std::uint64_t i = 0; i < n_candidates; ++i) {
-    std::string issuer = r.str();
-    read_str_set(r, interception_candidates_[std::move(issuer)]);
+    const colfmt::Str issuer(r.str());
+    read_str_set(r, interception_candidates_[issuer]);
   }
   pending_by_issuer_.clear();
   const std::uint64_t n_pending = r.u64();
   for (std::uint64_t i = 0; i < n_pending; ++i) {
-    std::string issuer = r.str();
-    read_totals(r, pending_by_issuer_[std::move(issuer)]);
+    const colfmt::Str issuer(r.str());
+    read_totals(r, pending_by_issuer_[issuer]);
   }
 }
 
@@ -983,9 +1000,8 @@ ShardState PipelineExecutor::fold(const zeek::Dataset& dataset) {
   return state;
 }
 
-ShardState PipelineExecutor::fold(
-    const std::vector<zeek::SslRecord>& ssl,
-    const std::map<std::string, zeek::X509Record>& x509) {
+ShardState PipelineExecutor::fold(const std::vector<zeek::SslRecord>& ssl,
+                                  const zeek::Dataset::X509Map& x509) {
   ShardedSet sharded(shard_count());
   sharded.attach(*this);
   ShardState state;
@@ -1003,6 +1019,20 @@ std::optional<ShardState> PipelineExecutor::fold_log_files(
   ShardState state;
   auto pipeline =
       run_log_files(ssl_path, x509_path, error, options, &state.ledger);
+  factories_.clear();  // they reference the local ShardedSet
+  if (!pipeline) return std::nullopt;
+  state.pipeline = std::move(pipeline);
+  state.analyzers = std::move(sharded).merged();
+  return state;
+}
+
+std::optional<ShardState> PipelineExecutor::fold_container(
+    const colfmt::ContainerReader& reader, ingest::IngestError* error,
+    const ingest::IngestOptions& options) {
+  ShardedSet sharded(shard_count());
+  sharded.attach(*this);
+  ShardState state;
+  auto pipeline = run_container(reader, error, options, &state.ledger);
   factories_.clear();  // they reference the local ShardedSet
   if (!pipeline) return std::nullopt;
   state.pipeline = std::move(pipeline);

@@ -6,8 +6,7 @@ void CtDatabase::log_certificate(std::string_view domain,
                                  const x509::DistinguishedName& issuer) {
   auto it = by_domain_.find(domain);
   if (it == by_domain_.end()) {
-    it = by_domain_.emplace(std::string(domain), std::set<std::string>{})
-             .first;
+    it = by_domain_.emplace(std::string(domain), IssuerSet{}).first;
   }
   it->second.insert(issuer.to_string());
 }
@@ -23,7 +22,7 @@ bool CtDatabase::issuer_matches(std::string_view domain,
   return it->second.contains(issuer.to_string());
 }
 
-const std::set<std::string>* CtDatabase::issuers_for(
+const CtDatabase::IssuerSet* CtDatabase::issuers_for(
     std::string_view domain) const {
   const auto it = by_domain_.find(domain);
   if (it == by_domain_.end()) return nullptr;

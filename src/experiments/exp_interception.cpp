@@ -69,7 +69,8 @@ class Interception final : public Experiment {
     // CAs must survive the filter.
     bool campus_flagged = false;
     for (const auto& issuer : pipeline.interception_issuers()) {
-      if (issuer.find("Blue Ridge University") != std::string::npos) {
+      if (issuer.view().find("Blue Ridge University") !=
+          std::string_view::npos) {
         campus_flagged = true;
       }
     }
@@ -301,14 +302,15 @@ class AblationInterception final : public Experiment {
         // The model's proxy CAs carry inspection-flavoured names;
         // anything else flagged is a false positive (dummy issuers,
         // one-off certs).
-        const bool proxy = issuer.find("Prox") != std::string::npos ||
-                           issuer.find("Inspect") != std::string::npos ||
-                           issuer.find("Intercept") != std::string::npos ||
-                           issuer.find("MITM") != std::string::npos ||
-                           issuer.find("Gateway") != std::string::npos ||
-                           issuer.find("Shield") != std::string::npos ||
-                           issuer.find("Filter") != std::string::npos ||
-                           issuer.find("ZTrust") != std::string::npos;
+        const std::string_view name = issuer.view();
+        const bool proxy = name.find("Prox") != std::string_view::npos ||
+                           name.find("Inspect") != std::string_view::npos ||
+                           name.find("Intercept") != std::string_view::npos ||
+                           name.find("MITM") != std::string_view::npos ||
+                           name.find("Gateway") != std::string_view::npos ||
+                           name.find("Shield") != std::string_view::npos ||
+                           name.find("Filter") != std::string_view::npos ||
+                           name.find("ZTrust") != std::string_view::npos;
         if (proxy) {
           ++true_proxies;
         } else {

@@ -449,9 +449,10 @@ class DatasetStats final : public Experiment {
   }
 
  private:
-  std::set<std::string> server_ips_, client_ips_;
-  std::set<std::string> tls13_server_ips_, tls13_client_ips_;
-  std::set<std::string> external_server_ips_, cloud_security_server_ips_;
+  using IpSet = std::set<colfmt::Str, colfmt::StrLess>;
+  IpSet server_ips_, client_ips_;
+  IpSet tls13_server_ips_, tls13_client_ips_;
+  IpSet external_server_ips_, cloud_security_server_ips_;
   std::uint64_t inbound_mutual_ = 0, inbound_device_mgmt_ = 0,
                 inbound_health_ = 0;
   std::uint64_t outbound_mutual_ = 0, outbound_email_ = 0;

@@ -4,7 +4,22 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "mtlscope/colfmt/container.hpp"
+
 namespace mtlscope::experiments {
+
+bool RunOptions::compact_input() const {
+  if (!file_mode()) return false;
+  switch (format) {
+    case InputFormat::kCompact:
+      return true;
+    case InputFormat::kZeek:
+      return false;
+    case InputFormat::kAuto:
+      return colfmt::is_container_file(ssl_log);
+  }
+  return false;
+}
 
 std::size_t RunOptions::chunk_bytes() const {
   const double bytes = chunk_mb * 1024.0 * 1024.0;
@@ -41,6 +56,20 @@ bool RunOptions::parse_flag(const char* arg) {
     ssl_log = arg + 10;
   } else if (std::strncmp(arg, "--x509-log=", 11) == 0) {
     x509_log = arg + 11;
+  } else if (std::strncmp(arg, "--format=", 9) == 0) {
+    // Input format only; run/reduce consume their output --format=
+    // values (text|json|csv|tsv) before delegating here, so the two
+    // flag namespaces never collide.
+    const char* value = arg + 9;
+    if (std::strcmp(value, "auto") == 0) {
+      format = InputFormat::kAuto;
+    } else if (std::strcmp(value, "zeek") == 0) {
+      format = InputFormat::kZeek;
+    } else if (std::strcmp(value, "compact") == 0) {
+      format = InputFormat::kCompact;
+    } else {
+      return false;  // not an input format; callers may layer their own
+    }
   } else if (std::strncmp(arg, "--chunk-mb=", 11) == 0) {
     chunk_mb = std::atof(arg + 11);
   } else if (std::strcmp(arg, "--in-memory") == 0) {
@@ -74,9 +103,14 @@ RunOptions RunOptions::parse(int argc, char** argv) {
   RunOptions options;
   for (int i = 1; i < argc; ++i) options.parse_flag(argv[i]);
   if (options.ssl_log.empty() != options.x509_log.empty()) {
-    std::fprintf(stderr,
-                 "file mode needs both --ssl-log= and --x509-log=\n");
-    std::exit(2);
+    // A compact container carries both halves, so --ssl-log= alone is
+    // complete when it names (or is forced to be) a container.
+    if (options.ssl_log.empty() || !options.compact_input()) {
+      std::fprintf(stderr,
+                   "file mode needs both --ssl-log= and --x509-log= "
+                   "(a compact container via --ssl-log= alone works)\n");
+      std::exit(2);
+    }
   }
   return options;
 }

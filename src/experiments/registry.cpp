@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "experiments_internal.hpp"
+#include "mtlscope/colfmt/container.hpp"
 
 namespace mtlscope::experiments {
 
@@ -119,15 +120,20 @@ void fill_data_quality(core::RunInfo& run, const core::ErrorLedger& ledger,
       ledger.samples_truncated() || entries.size() > take;
 }
 
-void init_doc(Item& item, std::size_t threads_resolved) {
+/// `ssl_label`/`x509_label` name the inputs in the config block. For a
+/// compact-container input they are the TSV pair from the container's
+/// meta frame, so the doc matches the TSV run byte-for-byte; otherwise
+/// they equal the option paths.
+void init_doc(Item& item, std::size_t threads_resolved,
+              const std::string& ssl_label, const std::string& x509_label) {
   const ExperimentInfo& info = item.entry->info;
   item.doc.experiment = info.name;
   item.doc.anchor = info.anchor;
   item.doc.title = info.title;
   core::RunInfo& run = item.doc.run;
   run.file_mode = item.options.file_mode();
-  run.ssl_log = item.options.ssl_log;
-  run.x509_log = item.options.x509_log;
+  run.ssl_log = ssl_label;
+  run.x509_log = x509_label;
   run.cert_scale = item.options.cert_scale;
   run.conn_scale = item.options.conn_scale;
   run.seed = item.options.seed;
@@ -142,6 +148,16 @@ void init_doc(Item& item, std::size_t threads_resolved) {
 std::vector<core::ResultDoc> run_experiments(
     const std::vector<std::string>& names, const RunOptions& base) {
   const auto& registry = ExperimentRegistry::instance();
+  // Input labels for every doc's config block, resolved once: a compact
+  // container reports the TSV pair it was converted from.
+  std::string ssl_label = base.ssl_log;
+  std::string x509_label = base.x509_log;
+  if (base.compact_input()) {
+    if (const auto meta = colfmt::read_container_meta(base.ssl_log)) {
+      ssl_label = meta->ssl_path;
+      x509_label = meta->x509_path;
+    }
+  }
   std::vector<Item> items;
   items.reserve(names.size());
   for (std::size_t i = 0; i < names.size(); ++i) {
@@ -183,7 +199,8 @@ std::vector<core::ResultDoc> run_experiments(
     Item& lead = items[i];
     if (lead.exp->self_driving()) {
       init_doc(lead,
-               core::PipelineExecutor::resolve_threads(lead.options.threads));
+               core::PipelineExecutor::resolve_threads(lead.options.threads),
+               ssl_label, x509_label);
       lead.exp->run_self(lead.options, lead.doc);
       continue;
     }
@@ -196,7 +213,7 @@ std::vector<core::ResultDoc> run_experiments(
     harness.run();
     for (const std::size_t j : group) {
       Item& item = items[j];
-      init_doc(item, harness.shard_count());
+      init_doc(item, harness.shard_count(), ssl_label, x509_label);
       core::RunInfo& run = item.doc.run;
       run.present = true;
       if (!item.options.file_mode()) {
@@ -258,7 +275,8 @@ std::vector<core::ResultDoc> run_reduced(const std::vector<std::string>& names,
   // matches the single-host run over the same inputs.
   Harness harness(items.front().options, std::move(state));
   for (auto& item : items) {
-    init_doc(item, harness.shard_count());
+    init_doc(item, harness.shard_count(), item.options.ssl_log,
+             item.options.x509_log);
     core::RunInfo& run = item.doc.run;
     run.present = true;
     run.records = harness.records_processed();

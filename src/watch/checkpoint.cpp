@@ -58,6 +58,21 @@ std::vector<std::string> parse_strings(StateReader& r) {
   return out;
 }
 
+// Interned-string vectors share the wire format of plain string vectors
+// (the bytes are written, never arena identities); reading re-interns.
+void serialize_strings(StateWriter& w, const colfmt::StrVec& v) {
+  w.u64(v.size());
+  for (const auto& s : v) w.str(s);
+}
+
+colfmt::StrVec parse_interned_strings(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  colfmt::StrVec out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) out.emplace_back(r.str());
+  return out;
+}
+
 void serialize_position(StateWriter& w, const TailPosition& p) {
   w.u64(p.inode);
   w.u64(p.offset);
@@ -121,8 +136,8 @@ zeek::SslRecord parse_ssl_record(StateReader& r) {
   rec.version = r.str();
   rec.server_name = r.str();
   rec.established = r.u8() != 0;
-  rec.cert_chain_fuids = parse_strings(r);
-  rec.client_cert_chain_fuids = parse_strings(r);
+  rec.cert_chain_fuids = parse_interned_strings(r);
+  rec.client_cert_chain_fuids = parse_interned_strings(r);
   return rec;
 }
 
@@ -140,7 +155,9 @@ void serialize_x509_record(StateWriter& w, const zeek::X509Record& r) {
   serialize_strings(w, r.san_email);
   serialize_strings(w, r.san_uri);
   serialize_strings(w, r.san_ip);
-  w.str(r.cert_der_base64);
+  // Raw DER bytes (records carry decoded DER since DESIGN §14); the
+  // length-prefixed str framing is binary-safe.
+  w.str(r.cert_der);
 }
 
 zeek::X509Record parse_x509_record(StateReader& r) {
@@ -154,11 +171,11 @@ zeek::X509Record parse_x509_record(StateReader& r) {
   rec.not_valid_after = r.i64();
   rec.key_alg = r.str();
   rec.key_length = static_cast<int>(r.i64());
-  rec.san_dns = parse_strings(r);
-  rec.san_email = parse_strings(r);
-  rec.san_uri = parse_strings(r);
-  rec.san_ip = parse_strings(r);
-  rec.cert_der_base64 = r.str();
+  rec.san_dns = parse_interned_strings(r);
+  rec.san_email = parse_interned_strings(r);
+  rec.san_uri = parse_interned_strings(r);
+  rec.san_ip = parse_interned_strings(r);
+  rec.cert_der = colfmt::CertArena::global().intern(r.str());
   return rec;
 }
 

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #ifdef __linux__
@@ -14,6 +15,7 @@
 #endif
 
 #include "mtlscope/watch/checkpoint.hpp"
+#include "mtlscope/watch/container_tail.hpp"
 #include "mtlscope/watch/record_tail.hpp"
 #include "mtlscope/watch/scheduler.hpp"
 
@@ -134,6 +136,155 @@ class ChangeWaiter {
 #endif
 };
 
+/// One poll/drain step feeding the scheduler. Two implementations: the
+/// Zeek pair of line tails, and the compact-container frame tail
+/// (--format=compact / a `.mtlc` path), so the daemon loop is written
+/// once.
+class Feeder {
+ public:
+  virtual ~Feeder() = default;
+  struct Progress {
+    bool ssl = false;
+    /// Certificate-side progress drives the missing-certificate grace
+    /// counter (a held record releases once this stays false).
+    bool x509 = false;
+  };
+  /// Polls the input(s) once, feeding rows and issues into `scheduler`.
+  virtual Progress poll(WindowScheduler& scheduler) = 0;
+  /// Final flush at idle exit (trailing partial lines become records).
+  virtual void drain(WindowScheduler& scheduler) = 0;
+  virtual void save(WatchCheckpoint& ckpt) const = 0;
+  virtual void restore(const WatchCheckpoint& ckpt) = 0;
+  /// Summed lifecycle counters for the status line.
+  virtual TailEvents events() const = 0;
+};
+
+class ZeekFeeder final : public Feeder {
+ public:
+  ZeekFeeder(const std::string& ssl_path, const std::string& x509_path)
+      : ssl_(ssl_path), x509_(x509_path) {}
+
+  Progress poll(WindowScheduler& scheduler) override {
+    // x509 first: certificates precede the connections that cite them
+    // (Zeek writes both at the handshake event), which keeps the hold
+    // queue short.
+    auto x509_rows = x509_.poll();
+    Progress progress;
+    progress.x509 = x509_.source().made_progress();
+    scheduler.note_issues(core::InputRole::kX509,
+                          core::LedgerPhase::kRegistry, x509_rows.issues,
+                          x509_rows.rows_ok);
+    scheduler.add_x509(std::move(x509_rows.records));
+
+    auto ssl_rows = ssl_.poll();
+    progress.ssl = ssl_.source().made_progress();
+    scheduler.note_issues(core::InputRole::kSsl,
+                          core::LedgerPhase::kUpgrades, ssl_rows.issues,
+                          ssl_rows.rows_ok);
+    scheduler.add_ssl(std::move(ssl_rows.records));
+    return progress;
+  }
+
+  void drain(WindowScheduler& scheduler) override {
+    auto ssl_rows = ssl_.drain();
+    scheduler.note_issues(core::InputRole::kSsl,
+                          core::LedgerPhase::kUpgrades, ssl_rows.issues,
+                          ssl_rows.rows_ok);
+    auto x509_rows = x509_.drain();
+    scheduler.note_issues(core::InputRole::kX509,
+                          core::LedgerPhase::kRegistry, x509_rows.issues,
+                          x509_rows.rows_ok);
+    scheduler.add_x509(std::move(x509_rows.records));
+    scheduler.add_ssl(std::move(ssl_rows.records));
+  }
+
+  void save(WatchCheckpoint& ckpt) const override {
+    ckpt.ssl_tail = ssl_.source().position();
+    ckpt.x509_tail = x509_.source().position();
+  }
+
+  void restore(const WatchCheckpoint& ckpt) override {
+    if (!ssl_.source().restore(ckpt.ssl_tail)) {
+      std::fprintf(stderr,
+                   "watch: ssl log changed while down; re-reading %s\n",
+                   ssl_.source().path().c_str());
+    }
+    if (!x509_.source().restore(ckpt.x509_tail)) {
+      std::fprintf(stderr,
+                   "watch: x509 log changed while down; re-reading %s\n",
+                   x509_.source().path().c_str());
+    }
+  }
+
+  TailEvents events() const override {
+    const TailEvents& a = ssl_.source().events();
+    const TailEvents& b = x509_.source().events();
+    TailEvents sum;
+    sum.polls = a.polls + b.polls;
+    sum.truncations = a.truncations + b.truncations;
+    sum.rotations = a.rotations + b.rotations;
+    sum.bytes_read = a.bytes_read + b.bytes_read;
+    return sum;
+  }
+
+ private:
+  SslTail ssl_;
+  X509Tail x509_;
+};
+
+class CompactFeeder final : public Feeder {
+ public:
+  explicit CompactFeeder(const std::string& path) : tail_(path) {}
+
+  Progress poll(WindowScheduler& scheduler) override {
+    auto rows = tail_.poll();
+    if (!rows.error.empty()) {
+      std::fprintf(stderr, "watch: %s\n", rows.error.c_str());
+    }
+    Progress progress;
+    progress.ssl = tail_.made_progress();
+    // The grace counter watches certificate rows specifically: a
+    // container stream that keeps growing with ssl blocks only must
+    // still release held records eventually.
+    progress.x509 = !rows.x509.empty();
+    // Container rows were validated at conversion time; the poll has no
+    // quarantine, only the ok counts.
+    scheduler.note_issues(core::InputRole::kX509,
+                          core::LedgerPhase::kRegistry, {},
+                          rows.x509.size());
+    scheduler.add_x509(std::move(rows.x509));
+    scheduler.note_issues(core::InputRole::kSsl,
+                          core::LedgerPhase::kUpgrades, {}, rows.ssl.size());
+    scheduler.add_ssl(std::move(rows.ssl));
+    return progress;
+  }
+
+  void drain(WindowScheduler& scheduler) override {
+    // Frames are atomic units: a trailing partial frame is a torn
+    // writer, never salvageable like a partial text line. One final
+    // poll picks up anything complete.
+    poll(scheduler);
+  }
+
+  void save(WatchCheckpoint& ckpt) const override {
+    ckpt.ssl_tail = tail_.position();
+    ckpt.x509_tail = TailPosition{};
+  }
+
+  void restore(const WatchCheckpoint& ckpt) override {
+    if (!tail_.restore(ckpt.ssl_tail)) {
+      std::fprintf(stderr,
+                   "watch: container changed while down; re-reading %s\n",
+                   tail_.path().c_str());
+    }
+  }
+
+  TailEvents events() const override { return tail_.events(); }
+
+ private:
+  ContainerTail tail_;
+};
+
 }  // namespace
 
 int run_watch(const WatchOptions& options) {
@@ -164,9 +315,19 @@ int run_watch(const WatchOptions& options) {
   config.run = options.run;
   // The documents label the logical logs, not the tailed segment paths,
   // when the caller says so (mirrors `mtlscope reduce --ssl-log=`).
+  const bool compact = options.run.compact_input();
   if (!options.report_ssl_log.empty()) {
     config.run.ssl_log = options.report_ssl_log;
     config.run.x509_log = options.report_x509_log;
+  } else if (compact) {
+    // A finished container carries its TSV provenance; label the
+    // documents with it so they match the batch run over those logs. A
+    // still-growing container has no meta frame yet and keeps the
+    // container path as its label.
+    if (const auto meta = colfmt::read_container_meta(options.run.ssl_log)) {
+      config.run.ssl_log = meta->ssl_path;
+      config.run.x509_log = meta->x509_path;
+    }
   }
 
   const std::filesystem::path out_dir(options.out_dir);
@@ -175,8 +336,13 @@ int run_watch(const WatchOptions& options) {
         publish(out_dir, emission_file_name(emission), emission.envelope);
       });
 
-  SslTail ssl_tail(options.run.ssl_log);
-  X509Tail x509_tail(options.run.x509_log);
+  std::unique_ptr<Feeder> feeder;
+  if (compact) {
+    feeder = std::make_unique<CompactFeeder>(options.run.ssl_log);
+  } else {
+    feeder = std::make_unique<ZeekFeeder>(options.run.ssl_log,
+                                          options.run.x509_log);
+  }
 
   // Resume: a readable, configuration-compatible checkpoint restores
   // scheduler and tail positions; an unreadable one is reported and the
@@ -192,21 +358,13 @@ int run_watch(const WatchOptions& options) {
       std::fprintf(stderr, "watch: cannot resume: %s\n", error.c_str());
       return 2;
     } else {
-      if (!ssl_tail.source().restore(ckpt->ssl_tail)) {
-        std::fprintf(stderr,
-                     "watch: ssl log changed while down; re-reading %s\n",
-                     options.run.ssl_log.c_str());
-      }
-      if (!x509_tail.source().restore(ckpt->x509_tail)) {
-        std::fprintf(stderr,
-                     "watch: x509 log changed while down; re-reading %s\n",
-                     options.run.x509_log.c_str());
-      }
+      feeder->restore(*ckpt);
     }
   }
 
   install_signals();
-  ChangeWaiter waiter(options.run.ssl_log, options.run.x509_log);
+  ChangeWaiter waiter(options.run.ssl_log,
+                      compact ? options.run.ssl_log : options.run.x509_log);
 
   using Clock = std::chrono::steady_clock;
   const auto started = Clock::now();
@@ -219,8 +377,7 @@ int run_watch(const WatchOptions& options) {
     if (checkpoint_path.empty()) return true;
     WatchCheckpoint ckpt;
     scheduler.save(ckpt);
-    ckpt.ssl_tail = ssl_tail.source().position();
-    ckpt.x509_tail = x509_tail.source().position();
+    feeder->save(ckpt);
     std::string error;
     if (!save_watch_checkpoint(checkpoint_path, ckpt, &error)) {
       std::fprintf(stderr, "watch: checkpoint failed: %s\n", error.c_str());
@@ -235,8 +392,7 @@ int run_watch(const WatchOptions& options) {
     const auto s = scheduler.status();
     const double secs =
         std::chrono::duration<double>(Clock::now() - started).count();
-    const auto& ssl_ev = ssl_tail.source().events();
-    const auto& x509_ev = x509_tail.source().events();
+    const TailEvents ev = feeder->events();
     std::fprintf(
         stderr,
         "watch: %llu ssl + %llu x509 records (%.0f rec/s), %llu open "
@@ -251,34 +407,17 @@ int run_watch(const WatchOptions& options) {
         static_cast<unsigned long long>(s.held),
         static_cast<unsigned long long>(s.late),
         static_cast<unsigned long long>(s.quarantined),
-        static_cast<unsigned long long>(ssl_ev.rotations +
-                                        x509_ev.rotations),
-        static_cast<unsigned long long>(ssl_ev.truncations +
-                                        x509_ev.truncations));
+        static_cast<unsigned long long>(ev.rotations),
+        static_cast<unsigned long long>(ev.truncations));
   };
 
   while (g_stop == 0) {
-    // x509 first: certificates precede the connections that cite them
-    // (Zeek writes both at the handshake event), which keeps the hold
-    // queue short.
-    auto x509_rows = x509_tail.poll();
-    const bool x509_progress = x509_tail.source().made_progress();
-    scheduler.note_issues(core::InputRole::kX509,
-                          core::LedgerPhase::kRegistry, x509_rows.issues,
-                          x509_rows.rows_ok);
-    scheduler.add_x509(std::move(x509_rows.records));
-
-    auto ssl_rows = ssl_tail.poll();
-    const bool ssl_progress = ssl_tail.source().made_progress();
-    scheduler.note_issues(core::InputRole::kSsl,
-                          core::LedgerPhase::kUpgrades, ssl_rows.issues,
-                          ssl_rows.rows_ok);
-    scheduler.add_ssl(std::move(ssl_rows.records));
+    const Feeder::Progress polled = feeder->poll(scheduler);
 
     // Missing-certificate liveness: a held head record whose x509 row
     // never arrives (the log genuinely lacks it) is released once the
-    // x509 tail has been quiet long enough.
-    if (scheduler.held() > 0 && !x509_progress) {
+    // x509 side has been quiet long enough.
+    if (scheduler.held() > 0 && !polled.x509) {
       if (++x509_quiet_polls >= options.missing_cert_grace_polls) {
         scheduler.force_release();
         x509_quiet_polls = 0;
@@ -287,7 +426,7 @@ int run_watch(const WatchOptions& options) {
       x509_quiet_polls = 0;
     }
 
-    const bool progress = ssl_progress || x509_progress;
+    const bool progress = polled.ssl || polled.x509;
     if (progress) {
       last_progress = Clock::now();
       dirty = true;
@@ -329,14 +468,7 @@ int run_watch(const WatchOptions& options) {
   // Idle exit: flush trailing partial lines as final records, drain the
   // scheduler (close windows, late + completion folds, final cumulative
   // publication), and leave a post-drain checkpoint.
-  auto ssl_rows = ssl_tail.drain();
-  scheduler.note_issues(core::InputRole::kSsl, core::LedgerPhase::kUpgrades,
-                        ssl_rows.issues, ssl_rows.rows_ok);
-  auto x509_rows = x509_tail.drain();
-  scheduler.note_issues(core::InputRole::kX509, core::LedgerPhase::kRegistry,
-                        x509_rows.issues, x509_rows.rows_ok);
-  scheduler.add_x509(std::move(x509_rows.records));
-  scheduler.add_ssl(std::move(ssl_rows.records));
+  feeder->drain(scheduler);
   scheduler.drain();
   write_checkpoint();
   print_status();

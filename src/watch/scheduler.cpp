@@ -49,7 +49,7 @@ void WindowScheduler::add_x509(std::vector<zeek::X509Record> rows) {
 }
 
 bool WindowScheduler::certs_ready(const zeek::SslRecord& record) const {
-  const auto known = [this](const std::string& fuid) {
+  const auto known = [this](const colfmt::Str& fuid) {
     return x509_index_.count(fuid) != 0;
   };
   return std::all_of(record.cert_chain_fuids.begin(),
@@ -131,9 +131,9 @@ core::ShardState WindowScheduler::fold_rows(
   // Pair the batch with exactly the x509 rows its chains reference —
   // the only rows phases A/B/D can touch for these records, so the fold
   // equals an `mtlscope map` slice paired with the full log.
-  std::map<std::string, zeek::X509Record> x509;
+  zeek::Dataset::X509Map x509;
   for (const auto& row : rows) {
-    const auto take = [&](const std::vector<std::string>& fuids) {
+    const auto take = [&](const colfmt::StrVec& fuids) {
       for (const auto& fuid : fuids) {
         const auto it = x509_index_.find(fuid);
         if (it != x509_index_.end()) {
@@ -148,8 +148,7 @@ core::ShardState WindowScheduler::fold_rows(
 }
 
 core::ShardState WindowScheduler::fold_map(
-    const std::vector<zeek::SslRecord>& rows,
-    std::map<std::string, zeek::X509Record> x509) {
+    const std::vector<zeek::SslRecord>& rows, zeek::Dataset::X509Map x509) {
   // Mirrors `mtlscope map` in file mode: campus defaults, no CT
   // database, so window states merge without cross-slice confirmation
   // effects.
@@ -253,7 +252,7 @@ void WindowScheduler::drain() {
   // Completion fold: certificates the x509 log carried but no chain
   // ever referenced. The batch registry holds them (phase A reads the
   // whole log), so cumulative state must too.
-  std::map<std::string, zeek::X509Record> missing;
+  zeek::Dataset::X509Map missing;
   for (const auto& row : x509_seen_) {
     if (!cumulative_ || !cumulative_->pipeline->certificates().contains(
                             row.fuid)) {

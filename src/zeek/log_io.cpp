@@ -5,8 +5,10 @@
 #include "mtlscope/zeek/log_io.hpp"
 
 #include <ostream>
+#include <span>
 #include <sstream>
 
+#include "mtlscope/crypto/encoding.hpp"
 #include "mtlscope/ingest/chunker.hpp"
 
 namespace mtlscope::zeek {
@@ -44,7 +46,7 @@ std::string format_scalar(std::string_view v) {
   return escape_field(v, false);
 }
 
-std::string format_vector(const std::vector<std::string>& values) {
+std::string format_vector(const colfmt::StrVec& values) {
   if (values.empty()) return std::string(kEmptySet);
   std::string out;
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -109,7 +111,10 @@ void write_x509_log(std::ostream& out, const Dataset& dataset) {
         << format_vector(r.san_dns) << kSep << format_vector(r.san_email)
         << kSep << format_vector(r.san_uri) << kSep
         << format_vector(r.san_ip) << kSep
-        << format_scalar(r.cert_der_base64) << "\n";
+        << format_scalar(crypto::to_base64(std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(r.cert_der.data()),
+               r.cert_der.size())))
+        << "\n";
   }
 }
 

@@ -10,6 +10,8 @@
 #include <istream>
 #include <sstream>
 
+#include "mtlscope/colfmt/arena.hpp"
+#include "mtlscope/crypto/encoding.hpp"
 #include "mtlscope/crypto/sha256.hpp"
 #include "mtlscope/zeek/log_io.hpp"
 
@@ -63,31 +65,65 @@ void decode_scalar_into(std::string_view raw, std::string& out) {
   unescape_into(raw, out);
 }
 
+/// Scalar decode into an interned handle: "-" clears, an escape-free
+/// value interns the raw bytes directly, escapes unescape through a
+/// per-thread scratch first (no allocation in steady state).
+void decode_scalar_into(std::string_view raw, colfmt::Str& out) {
+  if (raw == kUnset) {
+    out = colfmt::Str();
+    return;
+  }
+  if (raw.find('\\') == std::string_view::npos) {
+    out = colfmt::StringArena::global().intern(raw);
+    return;
+  }
+  thread_local std::string scratch;
+  unescape_into(raw, scratch);
+  out = colfmt::StringArena::global().intern(scratch);
+}
+
 /// Set/vector decode: comma-split the raw value (escaped commas arrive
 /// as \x2c, so the raw split is exact), then scalar-decode each element.
-void decode_vector_into(std::string_view raw, std::vector<std::string>& out) {
+void decode_vector_into(std::string_view raw, colfmt::StrVec& out) {
   out.clear();
   if (raw == kUnset || raw == kEmptySet || raw.empty()) return;
-  // One exact reserve beats letting push-back growth move the elements
-  // (the common chains have 2-4 fuids, every one a heap string).
   const std::size_t parts =
       1 + static_cast<std::size_t>(
               std::count(raw.begin(), raw.end(), ','));
   if (out.capacity() < parts) out.reserve(parts);
+  thread_local std::string scratch;
   std::size_t pos = 0;
   while (true) {
     const std::size_t next = raw.find(',', pos);
     const std::string_view part =
         next == std::string_view::npos ? raw.substr(pos)
                                        : raw.substr(pos, next - pos);
-    out.emplace_back();
     if (part.find('\\') == std::string_view::npos) {
-      out.back().assign(part.data(), part.size());
+      out.push_back(colfmt::StringArena::global().intern(part));
     } else {
-      unescape_into(part, out.back());
+      unescape_into(part, scratch);
+      out.push_back(colfmt::StringArena::global().intern(scratch));
     }
     if (next == std::string_view::npos) break;
     pos = next + 1;
+  }
+}
+
+/// DER decode: TSV carries base64 (possibly TSV-escaped); decode once
+/// here and intern the raw bytes in the CertArena. An undecodable value
+/// yields an empty blob — the row stays OK and enrichment falls back to
+/// the logged fields, exactly as the old lazy decode in make_facts did.
+void decode_der_into(std::string_view raw, colfmt::Str& out) {
+  if (raw == kUnset || raw.empty()) {
+    out = colfmt::Str();
+    return;
+  }
+  thread_local std::string scratch;
+  const std::string_view b64 = decode_field(raw, scratch);
+  if (const auto der = crypto::from_base64(b64)) {
+    out = colfmt::CertArena::global().intern(der->data(), der->size());
+  } else {
+    out = colfmt::Str();
   }
 }
 
@@ -211,7 +247,7 @@ bool fill_x509_record(const X509Plan& plan, const FieldAt& at,
   }
   if (plan.san_ip != kNoColumn) decode_vector_into(at(plan.san_ip), r.san_ip);
   if (plan.cert_der != kNoColumn) {
-    decode_scalar_into(at(plan.cert_der), r.cert_der_base64);
+    decode_der_into(at(plan.cert_der), r.cert_der);
   }
   return true;
 }

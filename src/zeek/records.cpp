@@ -40,7 +40,8 @@ X509Record to_x509_record(const x509::Certificate& cert) {
         break;
     }
   }
-  rec.cert_der_base64 = crypto::to_base64(cert.der);
+  rec.cert_der =
+      colfmt::CertArena::global().intern(cert.der.data(), cert.der.size());
   return rec;
 }
 
@@ -56,19 +57,19 @@ void Dataset::add_connection(const tls::TlsConnection& conn) {
   rec.server_name = conn.sni;
   rec.established = conn.established;
   for (const auto& cert : conn.server_chain) {
-    const std::string fuid = fuid_of(cert);
+    const colfmt::Str fuid(fuid_of(cert));
     rec.cert_chain_fuids.push_back(fuid);
     if (!x509_.contains(fuid)) x509_.emplace(fuid, to_x509_record(cert));
   }
   for (const auto& cert : conn.client_chain) {
-    const std::string fuid = fuid_of(cert);
+    const colfmt::Str fuid(fuid_of(cert));
     rec.client_cert_chain_fuids.push_back(fuid);
     if (!x509_.contains(fuid)) x509_.emplace(fuid, to_x509_record(cert));
   }
   ssl_.push_back(std::move(rec));
 }
 
-const X509Record* Dataset::find_certificate(const std::string& fuid) const {
+const X509Record* Dataset::find_certificate(std::string_view fuid) const {
   const auto it = x509_.find(fuid);
   return it == x509_.end() ? nullptr : &it->second;
 }

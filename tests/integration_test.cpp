@@ -96,7 +96,7 @@ TEST_F(IntegrationTest, LogRoundTripPreservesEverything) {
     ASSERT_NE(round_tripped, nullptr) << fuid;
     EXPECT_EQ(round_tripped->subject, original.subject);
     EXPECT_EQ(round_tripped->serial, original.serial);
-    EXPECT_EQ(round_tripped->cert_der_base64, original.cert_der_base64);
+    EXPECT_EQ(round_tripped->cert_der, original.cert_der);
   }
 }
 
@@ -165,7 +165,8 @@ TEST_F(IntegrationTest, InterceptionFilteredOut) {
   EXPECT_GT(pipeline_->interception_excluded_connections(), 0u);
   // None of the flagged issuers is a campus CA.
   for (const auto& issuer : pipeline_->interception_issuers()) {
-    EXPECT_EQ(issuer.find("Blue Ridge University"), std::string::npos);
+    EXPECT_EQ(issuer.view().find("Blue Ridge University"),
+              std::string_view::npos);
   }
 }
 

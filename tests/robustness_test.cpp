@@ -78,7 +78,7 @@ TEST(ZeekRobustness, X509MissingDerFallsBackToFields) {
   ASSERT_TRUE(parsed.has_value());
   ASSERT_EQ(parsed->size(), 1u);
   EXPECT_EQ((*parsed)[0].serial, "0A");
-  EXPECT_TRUE((*parsed)[0].cert_der_base64.empty());
+  EXPECT_TRUE((*parsed)[0].cert_der.empty());
 }
 
 // --- DER reader fuzz ----------------------------------------------------------

@@ -143,7 +143,7 @@ TEST(ZeekRecords, X509RecordFields) {
   EXPECT_EQ(rec.not_valid_after, cert.validity.not_after);
   ASSERT_EQ(rec.san_dns.size(), 1u);
   EXPECT_EQ(rec.san_dns[0], "record-check.example.com");
-  EXPECT_FALSE(rec.cert_der_base64.empty());
+  EXPECT_FALSE(rec.cert_der.empty());
 }
 
 TEST(ZeekDataset, DedupsCertificates) {
@@ -225,7 +225,7 @@ TEST(ZeekLogIo, X509RoundTrip) {
     EXPECT_EQ(rec.not_valid_before, original->not_valid_before);
     EXPECT_EQ(rec.not_valid_after, original->not_valid_after);
     EXPECT_EQ(rec.san_dns, original->san_dns);
-    EXPECT_EQ(rec.cert_der_base64, original->cert_der_base64);
+    EXPECT_EQ(rec.cert_der, original->cert_der);
   }
 }
 
@@ -250,7 +250,8 @@ TEST(ZeekLogIo, EscapesCommasInSetValues) {
   const auto parsed = zeek::parse_x509_log(in);
   ASSERT_TRUE(parsed.has_value());
   ASSERT_EQ(parsed->size(), 1u);
-  EXPECT_EQ((*parsed)[0].san_dns, (std::vector<std::string>{"a,b", "plain"}));
+  EXPECT_EQ((*parsed)[0].san_dns,
+            (std::vector<colfmt::Str>{"a,b", "plain"}));
 }
 
 TEST(ZeekLogIo, ParseRejectsMissingHeader) {

@@ -78,7 +78,7 @@ void expect_equal(const zeek::X509Record& a, const zeek::X509Record& b,
   EXPECT_EQ(a.san_email, b.san_email) << "row " << row;
   EXPECT_EQ(a.san_uri, b.san_uri) << "row " << row;
   EXPECT_EQ(a.san_ip, b.san_ip) << "row " << row;
-  EXPECT_EQ(a.cert_der_base64, b.cert_der_base64) << "row " << row;
+  EXPECT_EQ(a.cert_der, b.cert_der) << "row " << row;
 }
 
 enum class FieldKind { kTime, kPort, kCount, kScalar, kBool, kVector };
@@ -296,7 +296,7 @@ TEST(ZeekParseSemantics, EscapesUnsetAndEmptyDecodeExactly) {
   EXPECT_EQ(r0.version, "");               // "-" is unset
   EXPECT_TRUE(r0.established);
   EXPECT_EQ(r0.cert_chain_fuids,
-            (std::vector<std::string>{"F1", "F,mid", "F\\slash"}));
+            (std::vector<colfmt::Str>{"F1", "F,mid", "F\\slash"}));
   EXPECT_TRUE(r0.client_cert_chain_fuids.empty());
   const auto& r1 = (*parsed)[1];
   EXPECT_EQ(r1.resp_p, 0);                  // "-" port parses as 0
@@ -304,7 +304,7 @@ TEST(ZeekParseSemantics, EscapesUnsetAndEmptyDecodeExactly) {
   EXPECT_FALSE(r1.established);
   EXPECT_TRUE(r1.cert_chain_fuids.empty());
   EXPECT_EQ(r1.client_cert_chain_fuids,
-            (std::vector<std::string>{"lone\\backslash"}));
+            (std::vector<colfmt::Str>{"lone\\backslash"}));
 }
 
 TEST(ZeekParseSemantics, DataRowBeforeHeaderFailsBothPaths) {
