@@ -1,0 +1,175 @@
+// columnar_scan_check: end-to-end teeth for the zero-materialization
+// columnar scan (DESIGN §15). Converts the ~100 MB fixture pair to a
+// container, then asserts:
+//
+//   1. `mtlscope run --all --format=json --stable-output` over the
+//      container is byte-identical between --scan=columnar and
+//      --scan=rows, at --threads=1 and --threads=4;
+//   2. the perf envelope (non-stable output) reports which scan ran:
+//      "columnar" under --scan=columnar (and under the default auto),
+//      "rows" under --scan=rows.
+//
+// Usage: columnar_scan_check --fixture-dir=DIR --mtlscope=PATH
+#include <sys/wait.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct RunResult {
+  std::string output;
+  int exit_code = -1;
+};
+
+RunResult run_child(const std::string& binary,
+                    const std::vector<std::string>& args,
+                    const std::string& capture_path) {
+  RunResult result;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(binary.c_str()));
+  for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return result;
+  }
+  if (pid == 0) {
+    const int fd = open(capture_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+    if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0) _exit(127);
+    close(fd);
+    execv(binary.c_str(), argv.data());
+    _exit(127);
+  }
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    return result;
+  }
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+
+  std::ifstream in(capture_path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  result.output = std::move(text).str();
+  return result;
+}
+
+bool contains(const std::string& haystack, const char* needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fixture_dir, mtlscope;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fixture-dir=", 14) == 0) {
+      fixture_dir = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--mtlscope=", 11) == 0) {
+      mtlscope = argv[i] + 11;
+    }
+  }
+  if (fixture_dir.empty() || mtlscope.empty()) {
+    std::fprintf(stderr, "usage: %s --fixture-dir=DIR --mtlscope=PATH\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const std::filesystem::path dir = fixture_dir;
+  const std::string ssl_log = (dir / "ssl.log").string();
+  const std::string x509_log = (dir / "x509.log").string();
+  if (!std::filesystem::exists(ssl_log) ||
+      !std::filesystem::exists(x509_log)) {
+    std::fprintf(stderr, "fixture logs missing under %s (run ingest_fixture)\n",
+                 fixture_dir.c_str());
+    return 2;
+  }
+
+  const std::string container = (dir / "scan_parity.mtlc").string();
+  {
+    const auto run = run_child(
+        mtlscope,
+        {"compact", "--ssl-log=" + ssl_log, "--x509-log=" + x509_log,
+         "--out=" + container},
+        (dir / "scan_compact.out").string());
+    if (run.exit_code != 0) {
+      std::fprintf(stderr, "FAIL: compact exited %d\n", run.exit_code);
+      return 1;
+    }
+  }
+
+  // 1. Canonical JSON must not depend on the scan strategy or threads.
+  std::string reference;
+  int combo = 0;
+  for (const char* threads : {"--threads=1", "--threads=4"}) {
+    for (const char* scan : {"--scan=columnar", "--scan=rows"}) {
+      const auto run = run_child(
+          mtlscope,
+          {"run", "--all", "--format=json", "--stable-output", threads, scan,
+           "--ssl-log=" + container},
+          (dir / ("scan_run_" + std::to_string(combo) + ".json")).string());
+      if (run.exit_code != 0) {
+        std::fprintf(stderr, "FAIL: scan parity run %d exited %d\n", combo,
+                     run.exit_code);
+        return 1;
+      }
+      if (reference.empty()) {
+        reference = run.output;
+      } else if (run.output != reference) {
+        std::fprintf(stderr,
+                     "FAIL: scan parity run %d (%s %s) differs from run 0 "
+                     "(%zu vs %zu bytes)\n",
+                     combo, threads, scan, run.output.size(),
+                     reference.size());
+        return 1;
+      }
+      ++combo;
+    }
+  }
+  std::printf("scan parity: %d runs byte-identical (%zu bytes each)\n",
+              combo, reference.size());
+
+  // 2. The perf envelope names the scan that actually ran.
+  const struct {
+    const char* flag;
+    const char* expect;
+  } probes[] = {
+      {"--scan=columnar", "\"scan\":\"columnar\""},
+      {"--scan=auto", "\"scan\":\"columnar\""},
+      {"--scan=rows", "\"scan\":\"rows\""},
+  };
+  for (const auto& probe : probes) {
+    const auto run = run_child(
+        mtlscope,
+        {"run", "table1", "--format=json", probe.flag,
+         "--ssl-log=" + container},
+        (dir / "scan_envelope.json").string());
+    if (run.exit_code != 0) {
+      std::fprintf(stderr, "FAIL: envelope run (%s) exited %d\n", probe.flag,
+                   run.exit_code);
+      return 1;
+    }
+    if (!contains(run.output, probe.expect)) {
+      std::fprintf(stderr, "FAIL: %s envelope does not report %s\n",
+                   probe.flag, probe.expect);
+      return 1;
+    }
+  }
+  std::printf("perf envelope reports the scan choice for "
+              "columnar/auto/rows\n");
+
+  std::printf("PASS\n");
+  return 0;
+}

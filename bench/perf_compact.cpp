@@ -190,7 +190,7 @@ void BM_CompactDecodeAll(benchmark::State& state) {
       for (std::size_t i = next.fetch_add(1); i < blocks.size();
            i = next.fetch_add(1)) {
         const auto& block = *blocks[i];
-        if (block.kind == colfmt::FrameKind::kSslBlock) {
+        if (block.kind != colfmt::FrameKind::kX509Block) {
           auto rows = reader->decode_ssl_block(block);
           local += rows.size();
           benchmark::DoNotOptimize(rows.data());

@@ -3,17 +3,19 @@
 # the repo root (committed so the README's before/after numbers stay
 # reproducible): the Zeek-parsing microbench to BENCH_parse.json, the
 # shard-state serialization bench to BENCH_state.json, the watch
-# tail/checkpoint bench to BENCH_watch.json, and the compact-container
-# ingest bench to BENCH_compact.json.
+# tail/checkpoint bench to BENCH_watch.json, the compact-container
+# ingest bench to BENCH_compact.json, and the enrichment-memoization /
+# scan-strategy bench to BENCH_enrich.json.
 #
 #   bench/run_benches.sh [BUILD_DIR] [PARSE_OUT] [STATE_OUT] [WATCH_OUT] \
-#                        [COMPACT_OUT]
+#                        [COMPACT_OUT] [ENRICH_OUT]
 #
 # BUILD_DIR defaults to ./build; outputs to ./BENCH_parse.json,
-# ./BENCH_state.json, ./BENCH_watch.json, and ./BENCH_compact.json.
-# Scale the parse/compact fixtures down for a quick smoke run with
+# ./BENCH_state.json, ./BENCH_watch.json, ./BENCH_compact.json, and
+# ./BENCH_enrich.json.
+# Scale the parse/compact/enrich fixtures down for a quick smoke run with
 #   MTLSCOPE_PARSE_BENCH_CONN=2000000 MTLSCOPE_COMPACT_BENCH_CONN=2000000 \
-#     bench/run_benches.sh
+#     MTLSCOPE_ENRICH_BENCH_CONN=2000000 bench/run_benches.sh
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -22,6 +24,7 @@ parse_out=${2:-"$repo_root/BENCH_parse.json"}
 state_out=${3:-"$repo_root/BENCH_state.json"}
 watch_out=${4:-"$repo_root/BENCH_watch.json"}
 compact_out=${5:-"$repo_root/BENCH_compact.json"}
+enrich_out=${6:-"$repo_root/BENCH_enrich.json"}
 
 run_bench() {
   bench_bin="$build_dir/bench/$1"
@@ -41,3 +44,4 @@ run_bench perf_zeek_parse "$parse_out"
 run_bench perf_state "$state_out"
 run_bench perf_watch "$watch_out"
 run_bench perf_compact "$compact_out"
+run_bench perf_enrich "$enrich_out"

@@ -72,10 +72,14 @@ void split_log(const std::string& text, std::string* header,
   }
 }
 
-/// Starts a child process with stdout+stderr captured; returns its pid.
+/// Starts a child process with stdout captured; returns its pid. stderr
+/// joins the capture unless `stderr_path` names its own file — runs
+/// whose capture is byte-compared must keep the streams apart (stderr
+/// carries advisory notes, e.g. the --threads clamp on small machines).
 pid_t spawn_child(const std::string& binary,
                   const std::vector<std::string>& args,
-                  const std::string& capture_path) {
+                  const std::string& capture_path,
+                  const std::string& stderr_path = {}) {
   std::vector<char*> argv;
   argv.push_back(const_cast<char*>(binary.c_str()));
   for (const auto& arg : args) argv.push_back(const_cast<char*>(arg.c_str()));
@@ -89,10 +93,15 @@ pid_t spawn_child(const std::string& binary,
   if (pid == 0) {
     const int fd =
         open(capture_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0 || dup2(fd, STDERR_FILENO) < 0) {
-      _exit(127);
+    if (fd < 0 || dup2(fd, STDOUT_FILENO) < 0) _exit(127);
+    int err_fd = fd;
+    if (!stderr_path.empty()) {
+      err_fd = open(stderr_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (err_fd < 0) _exit(127);
     }
+    if (dup2(err_fd, STDERR_FILENO) < 0) _exit(127);
     close(fd);
+    if (err_fd != fd) close(err_fd);
     execv(binary.c_str(), argv.data());
     _exit(127);
   }
@@ -199,7 +208,8 @@ int main(int argc, char** argv) {
                                      "table1",
                                      "fig1",
                                      "serials"};
-    const pid_t pid = spawn_child(mtlscope, args, reference_path);
+    const pid_t pid = spawn_child(mtlscope, args, reference_path,
+                                  reference_path + ".stderr");
     if (pid < 0 || wait_child(pid) != 0) {
       std::fprintf(stderr, "FAIL: batch reference run failed\n");
       return 1;

@@ -10,14 +10,24 @@
 //   header  : magic "MTLSCOMP" | u32 version | u32 endian sentinel |
 //             u32 flags | u32 reserved                      (24 bytes)
 //   frames  : { u32 kind, u32 reserved, u64 payload_len, payload }
-//             kind 1 meta       — original TSV paths, row/byte totals
-//             kind 2 ssl block  — columnar ssl rows (see container.cpp)
+//             kind 1 meta      — original TSV paths, row/byte totals
+//             kind 2 ssl block — columnar ssl rows (see container.cpp)
 //             kind 3 x509 block — columnar x509 rows
-//             kind 4 ledger     — serialized core::ErrorLedger of the
-//                                 tolerant conversion parse
-//             kind 5 footer     — frame index (kind, offset, length,
-//                                 rows per frame) + 32-byte SHA-256 over
-//                                 every byte before the footer frame
+//             kind 4 ledger    — serialized core::ErrorLedger of the
+//                                tolerant conversion parse
+//             kind 5 footer    — frame index (kind, offset, length,
+//                                rows per frame) + 32-byte SHA-256 over
+//                                every byte before the footer frame
+//             kind 6 ssl delta block — kind 2 with the ts column
+//                                delta-encoded as zigzag varints and
+//                                byte-length prefixes on the variable-
+//                                width columns (minor version 1; see
+//                                container.cpp for the exact layout)
+//
+// Minor versioning: the header `flags` word carries the writer's minor
+// format level. Frame kinds are additive — a version-0 reader never sees
+// kind 6 because version-0 files contain none, and this reader accepts
+// both kinds, so version-0 files keep decoding unchanged.
 //
 // The footer's per-block row counts and byte offsets give a reader
 // exact chunk parallelism: each block decodes independently (its
@@ -48,9 +58,15 @@
 
 namespace mtlscope::colfmt {
 
+class SslBlockScan;
+struct SslScanColumns;
+
 inline constexpr char kContainerMagic[8] = {'M', 'T', 'L', 'S',
                                             'C', 'O', 'M', 'P'};
 inline constexpr std::uint32_t kContainerVersion = 1;
+/// Written into the header `flags` word. Bumped to 1 with the delta ssl
+/// block (kind 6); readers ignore it and dispatch on frame kinds.
+inline constexpr std::uint32_t kContainerMinorVersion = 1;
 /// Stored little-endian; a big-endian writer would emit 0x04030201.
 inline constexpr std::uint32_t kContainerEndian = 0x01020304;
 inline constexpr std::size_t kContainerHeaderBytes = 24;
@@ -62,6 +78,9 @@ enum class FrameKind : std::uint32_t {
   kX509Block = 3,
   kLedger = 4,
   kFooter = 5,
+  /// Minor-version-1 ssl block: delta/varint ts + length-prefixed
+  /// variable-width columns (skippable without walking them).
+  kSslBlockDelta = 6,
 };
 
 /// Provenance of the container: the TSV pair it was converted from.
@@ -178,6 +197,12 @@ class ContainerReader {
   std::vector<zeek::SslRecord> decode_ssl_block(const FrameRef& block) const;
   std::vector<zeek::X509Record> decode_x509_block(const FrameRef& block) const;
 
+  /// Opens a zero-materialization scan over one ssl block (scan.hpp):
+  /// per-column cursors straight over the mapped payload, no record
+  /// vector. Same validation and thread-safety as decode_ssl_block.
+  SslBlockScan scan_ssl_block(const FrameRef& block,
+                              const SslScanColumns& columns) const;
+
  private:
   ContainerReader() = default;
   std::string_view payload(const FrameRef& frame) const;
@@ -199,7 +224,7 @@ class ContainerReader {
 /// exists). `payload` is the frame body sans the 16-byte frame header.
 /// Throw core::StateError on malformed bytes.
 std::vector<zeek::SslRecord> decode_ssl_block_payload(
-    std::string_view payload);
+    std::string_view payload, FrameKind kind = FrameKind::kSslBlock);
 std::vector<zeek::X509Record> decode_x509_block_payload(
     std::string_view payload);
 

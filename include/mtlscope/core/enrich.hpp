@@ -4,6 +4,8 @@
 // construction, and issuer categorization behind a thread-safe memo.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -13,10 +15,10 @@
 
 namespace mtlscope::core {
 
-/// Every method is safe to call concurrently: the only mutable state is
-/// the issuer-category memo, which is guarded by a shared mutex (and whose
-/// entries are pure functions of the key, so racing shards compute
-/// identical values).
+/// Every method is safe to call concurrently: the mutable state is the
+/// issuer-category memo and the certificate-facts memo, both guarded by
+/// shared mutexes (and whose entries are pure functions of the key, so
+/// racing shards compute identical values).
 class Enricher {
  public:
   explicit Enricher(PipelineConfig config);
@@ -26,6 +28,13 @@ class Enricher {
 
   /// Builds the decoded + classified half of a CertFacts (usage aggregates
   /// stay zero). Prefers re-parsing the DER over the logged fields.
+  ///
+  /// DER-backed rows are memoized per distinct certificate (DESIGN §15):
+  /// the DER is an interned arena handle, so the cache keys on its stable
+  /// data pointer and each unique certificate is parsed + classified once
+  /// per run, with only the per-row fuid patched onto cache hits. Rows
+  /// whose DER fails to parse fall back to the logged fields and are
+  /// never cached (the fallback depends on more than the key bytes).
   CertFacts make_facts(const zeek::X509Record& record) const;
 
   /// Issuer-DN → category memo: categorization includes gazetteer cosine
@@ -40,6 +49,14 @@ class Enricher {
                               const std::string& sld) const;
   bool is_university_address(const net::IpAddress& addr) const;
 
+  /// Memoized host classification: SLD/TLD extraction + association rule
+  /// scan, computed once per distinct host string in `cache`.
+  const HostFacts& host_facts(colfmt::Str host, EnrichCache& cache) const;
+
+  /// Memoized endpoint-address classification: parse, university-subnet
+  /// membership, /24 key, and client identity key.
+  const AddrFacts& addr_facts(colfmt::Str addr, EnrichCache& cache) const;
+
   /// Fills the record-derived fields of an EnrichedConnection: direction,
   /// SNI, resolved host (§4.2 fallback through the leaves' SAN/CN), SLD,
   /// TLD, association, and the mutual flag. Usage accounting and observer
@@ -48,12 +65,44 @@ class Enricher {
                             const CertFacts* server_leaf,
                             const CertFacts* client_leaf) const;
 
+  /// Memoized variant: identical result, but host and address work is
+  /// resolved through the shard-local cache.
+  EnrichedConnection enrich(const zeek::SslRecord& record,
+                            const CertFacts* server_leaf,
+                            const CertFacts* client_leaf,
+                            EnrichCache& cache) const;
+
+  struct FactsCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t unique = 0;  // distinct DER blobs cached
+  };
+  FactsCacheStats facts_cache_stats() const;
+
  private:
+  /// The uncached body of make_facts. Sets *parsed_from_der when the
+  /// result came entirely from the DER bytes (i.e. is cacheable).
+  CertFacts compute_facts(const zeek::X509Record& record,
+                          bool* parsed_from_der) const;
+
   PipelineConfig config_;
   trust::TrustEvaluator trust_;
   IssuerCategorizer categorizer_;
   mutable std::shared_mutex cache_mutex_;
   mutable std::unordered_map<std::string, IssuerCategory> category_cache_;
+
+  /// Sharded certificate-facts memo, keyed on the interned DER pointer
+  /// (CertArena handles are pointer-stable and deduplicated, so pointer
+  /// identity is byte identity). Sharding keeps phase-A workers from
+  /// serializing on one mutex.
+  static constexpr std::size_t kFactsShards = 8;
+  struct FactsShard {
+    mutable std::shared_mutex mutex;
+    std::unordered_map<const char*, CertFacts> map;
+  };
+  mutable std::array<FactsShard, kFactsShards> facts_cache_;
+  mutable std::atomic<std::uint64_t> facts_hits_{0};
+  mutable std::atomic<std::uint64_t> facts_misses_{0};
 };
 
 }  // namespace mtlscope::core

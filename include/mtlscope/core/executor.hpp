@@ -61,6 +61,21 @@ class ContainerReader;
 
 namespace mtlscope::core {
 
+/// Input-scan strategy for container runs (DESIGN §15):
+///  * kRows     — decode every block into record vectors, then run the
+///                in-memory phases (the historical path);
+///  * kColumnar — zero-materialization: phase B/D walk the packed block
+///                columns in place through colfmt::SslBlockScan, feeding
+///                one reused record per row and pruning columns the
+///                pipeline never reads (uid);
+///  * kAuto     — columnar when eligible, rows otherwise.
+/// The columnar path requires no CT database (phase C re-streams full
+/// records); a forced kColumnar run with CT configured falls back to
+/// rows. Results are byte-identical across modes by construction: both
+/// feed the same records through the same phases in the same stream
+/// order, partitioned contiguously.
+enum class ScanMode { kAuto, kRows, kColumnar };
+
 class PipelineExecutor {
  public:
   using Observer = Pipeline::Observer;
@@ -148,6 +163,24 @@ class PipelineExecutor {
 
   const PipelineConfig& config() const;
 
+  void set_scan_mode(ScanMode mode) { scan_mode_ = mode; }
+  ScanMode scan_mode() const { return scan_mode_; }
+
+  /// Cache effectiveness and scan choice of the most recent completed
+  /// run — the JSON perf envelope's `enrich` block. `facts_*` count the
+  /// Enricher's DER-keyed certificate memo; `enrich_*` sum the per-shard
+  /// host/address memos (EnrichCache) after the shard merge.
+  struct RunStats {
+    const char* scan = "rows";  ///< which scan drove phase D
+    std::uint64_t facts_hits = 0;
+    std::uint64_t facts_misses = 0;
+    std::uint64_t facts_unique = 0;
+    std::uint64_t enrich_hits = 0;
+    std::uint64_t enrich_misses = 0;
+    std::uint64_t enrich_unique = 0;
+  };
+  const RunStats& last_run_stats() const { return stats_; }
+
   /// Fold-to-state entries (mtlscope map / DESIGN §12): run the phases
   /// with every standard analyzer attached and return the complete
   /// serializable shard state — merged finalized pipeline, the eight
@@ -170,11 +203,22 @@ class PipelineExecutor {
   /// K prepared-mode pipelines with per-shard and shared observers wired.
   std::vector<Pipeline> make_shards(const Pipeline::Prepared& prepared);
 
+  /// The zero-materialization container path (DESIGN §15): phase A
+  /// decodes x509 blocks in parallel; phases B and D scan the ssl blocks
+  /// column-direct, never materializing the record vectors.
+  std::optional<Pipeline> run_container_columnar(
+      const colfmt::ContainerReader& reader, ingest::IngestError* error);
+
+  void note_run_stats(const Enricher& enricher, const Pipeline& merged,
+                      const char* scan);
+
   PipelineConfig config_;
   std::size_t threads_;
   std::vector<ObserverFactory> factories_;
   std::vector<Observer> shared_observers_;
   std::mutex shared_mutex_;
+  ScanMode scan_mode_ = ScanMode::kAuto;
+  RunStats stats_;
 };
 
 }  // namespace mtlscope::core

@@ -118,7 +118,48 @@ struct CertFacts {
   void deserialize(StateReader& r);
 };
 
-/// One enriched connection, handed to registered observers.
+/// Memoized facts about one distinct resolved host: registrable domain,
+/// public suffix, and the direction-independent association lookup.
+/// Pure function of the host bytes and the pipeline configuration.
+struct HostFacts {
+  colfmt::Str sld;  // registrable domain, or ""
+  colfmt::Str tld;  // public suffix, or ""
+  /// associate(host, sld); the enriched connection applies this only to
+  /// inbound traffic.
+  ServerAssociation assoc = ServerAssociation::kUnknown;
+};
+
+/// Memoized facts about one distinct endpoint address string. Pure
+/// function of the address bytes and the configured subnets.
+struct AddrFacts {
+  bool is_v4 = false;       // parsed as IPv4 (subnet is meaningful)
+  bool university = false;  // inside a configured university subnet
+  std::uint32_t subnet = 0;      // /24 key (Table 6), v4 only
+  std::uint32_t client_key = 0;  // analyzer client id (v4 value / v6 hash)
+};
+
+/// Per-shard enrichment memo (DESIGN §15). Keys are interned `Str` data
+/// pointers — the arena stores each distinct byte sequence exactly once,
+/// so pointer identity is value identity and lookups skip hashing the
+/// bytes. NOT thread-safe: each shard pipeline owns one, so the hot path
+/// takes no locks; values are pure functions of the key bytes, so shard
+/// caches agree wherever they overlap and results stay byte-identical
+/// across thread counts.
+struct EnrichCache {
+  std::unordered_map<const char*, HostFacts> hosts;
+  std::unordered_map<const char*, AddrFacts> addrs;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Unique keys folded in from merged-away shard caches.
+  std::uint64_t retired_unique = 0;
+  std::uint64_t unique() const {
+    return retired_unique + hosts.size() + addrs.size();
+  }
+};
+
+/// One enriched connection, handed to registered observers. The string
+/// fields are interned handles — copied by pointer, classified once per
+/// distinct value via EnrichCache.
 struct EnrichedConnection {
   const zeek::SslRecord* ssl = nullptr;
   util::UnixSeconds ts = 0;
@@ -127,11 +168,14 @@ struct EnrichedConnection {
   bool mutual = false;
   const CertFacts* server_leaf = nullptr;  // null when absent (TLS 1.3 …)
   const CertFacts* client_leaf = nullptr;
-  std::string sni;          // raw SNI (may be empty)
-  std::string resolved_host;  // SNI, or CN/SAN fallback (§4.2)
-  std::string sld;          // registrable domain of resolved_host, or ""
-  std::string tld;          // public suffix, or ""
+  colfmt::Str sni;            // raw SNI (may be empty)
+  colfmt::Str resolved_host;  // SNI, or CN/SAN fallback (§4.2)
+  colfmt::Str sld;            // registrable domain of resolved_host, or ""
+  colfmt::Str tld;            // public suffix, or ""
   ServerAssociation assoc = ServerAssociation::kNone;
+  /// Memoized client identity key (AddrFacts::client_key of orig_h); 0
+  /// when unset — consumers fall back to parsing the address.
+  std::uint32_t client_key = 0;
 };
 
 struct PipelineConfig {
@@ -246,6 +290,10 @@ class Pipeline {
   const PipelineConfig& config() const;
   const Enricher& enricher() const { return *enricher_; }
 
+  /// The per-shard enrichment memo (hit/miss/unique counters for the perf
+  /// envelope; merge() folds the counters of merged-away shards in here).
+  const EnrichCache& enrich_cache() const { return cache_; }
+
   /// Executor hooks (also used by the merge tests): install the
   /// whole-stream interception state on the merged result.
   void set_interception_issuers(StrSet issuers) {
@@ -290,6 +338,10 @@ class Pipeline {
       pending_by_issuer_;
   std::size_t excluded_connections_ = 0;
   Totals totals_;
+  /// Shard-local enrichment memo: add_connection resolves hosts and
+  /// endpoint addresses through it, so per-row work scales with unique
+  /// values instead of rows (DESIGN §15).
+  EnrichCache cache_;
 };
 
 }  // namespace mtlscope::core

@@ -197,6 +197,18 @@ struct RunInfo {
   /// under --stable-output, since its fields are pure functions of the
   /// input bytes.
   DataQualityInfo data_quality;
+  /// Enrichment-cache effectiveness and scan choice (DESIGN §15).
+  /// Volatile (perf envelope only, suppressed by --stable-output): the
+  /// counters depend on thread count and shard boundaries even though
+  /// the results never do. `scan` is empty when no executor run backed
+  /// this doc (reduce mode, self-driving experiments).
+  std::string scan;  // "columnar" or "rows"
+  std::uint64_t facts_cache_hits = 0;
+  std::uint64_t facts_cache_misses = 0;
+  std::uint64_t facts_cache_unique = 0;
+  std::uint64_t enrich_cache_hits = 0;
+  std::uint64_t enrich_cache_misses = 0;
+  std::uint64_t enrich_cache_unique = 0;
 
   double records_per_second() const {
     return wall_seconds <= 0

@@ -2,7 +2,7 @@
 // — the part of the format the footer digest certifies — live entirely
 // in this translation unit:
 //
-// ssl block (StateWriter primitives, columnar):
+// ssl block, kind 2 (StateWriter primitives, columnar):
 //   u32 rows | u32 dict_count | dict_count × str |
 //   rows × i64 ts | rows × str uid |
 //   rows × u32 orig_h id | rows × u32 orig_p |
@@ -11,6 +11,16 @@
 //   ceil(rows/8) × u8 established bitset |
 //   rows × u32 chain count, Σcount × u32 chain fuid ids |
 //   rows × u32 client chain count, Σcount × u32 ids
+//
+// ssl delta block, kind 6 (minor version 1; what this writer emits):
+//   u32 rows | u32 dict_count | dict_count × str |
+//   u64 ts_bytes | zigzag-varint ts deltas (prev starts at 0) |
+//   u64 uid_bytes | rows × str uid |
+//   ... remainder identical to kind 2 from orig_h on
+// Timestamps are near-monotonic in capture order, so the deltas are
+// small and the varints shrink the ts column ~4×. The u64 byte-length
+// prefixes on the two variable-width spans let a column-pruning scan
+// skip them in O(1) instead of walking every length prefix.
 //
 // x509 block:
 //   u32 rows | u32 dict_count | dict_count × str |
@@ -29,10 +39,11 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <bit>
 #include <cstring>
 #include <unordered_map>
 #include <utility>
+
+#include "mtlscope/colfmt/wire.hpp"
 
 namespace mtlscope::colfmt {
 
@@ -40,48 +51,14 @@ namespace {
 
 using core::StateReader;
 using core::StateWriter;
-
-void put_u32(std::string& out, std::uint32_t v) {
-  out.push_back(static_cast<char>(v & 0xff));
-  out.push_back(static_cast<char>((v >> 8) & 0xff));
-  out.push_back(static_cast<char>((v >> 16) & 0xff));
-  out.push_back(static_cast<char>((v >> 24) & 0xff));
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-std::uint32_t get_u32(const char* p) {
-  std::uint32_t v = 0;
-  std::memcpy(&v, p, sizeof(v));
-  if constexpr (std::endian::native == std::endian::big) {
-    v = __builtin_bswap32(v);
-  }
-  return v;
-}
-
-std::uint64_t get_u64(const char* p) {
-  std::uint64_t v = 0;
-  std::memcpy(&v, p, sizeof(v));
-  if constexpr (std::endian::native == std::endian::big) {
-    v = __builtin_bswap64(v);
-  }
-  return v;
-}
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_u32;
+using wire::put_u64;
 
 bool valid_kind(std::uint32_t kind) {
   return kind >= 1 &&
-         kind <= static_cast<std::uint32_t>(FrameKind::kFooter);
-}
-
-/// Length-prefixed view read: the zero-copy counterpart of
-/// StateReader::str() (which copies). Decoded strings intern by view.
-std::string_view read_view(StateReader& r) {
-  const std::uint64_t len = r.u64();
-  return r.bytes(static_cast<std::size_t>(len));
+         kind <= static_cast<std::uint32_t>(FrameKind::kSslBlockDelta);
 }
 
 }  // namespace
@@ -141,8 +118,8 @@ ContainerWriter::ContainerWriter(const std::string& path,
   header.append(kContainerMagic, sizeof(kContainerMagic));
   put_u32(header, kContainerVersion);
   put_u32(header, kContainerEndian);
-  put_u32(header, 0);  // flags
-  put_u32(header, 0);  // reserved
+  put_u32(header, kContainerMinorVersion);  // flags = minor format level
+  put_u32(header, 0);                       // reserved
   digest_->update(header);
   ok_ = true;
   std::size_t done = 0;
@@ -227,11 +204,21 @@ void write_san_column(
 void ContainerWriter::flush_block(Block& block, FrameKind kind) {
   if (block.rows() == 0) return;
   StateWriter w;
-  if (kind == FrameKind::kSslBlock) {
+  if (kind == FrameKind::kSslBlockDelta) {
     const auto& rows = block.ssl;
     w.u32(static_cast<std::uint32_t>(rows.size()));
     write_dict(w, block.entries);
-    for (const auto& r : rows) w.i64(r.ts);
+    std::string ts_col;
+    std::int64_t prev = 0;
+    for (const auto& r : rows) {
+      wire::put_zigzag(ts_col, r.ts - prev);
+      prev = r.ts;
+    }
+    w.u64(ts_col.size());
+    w.raw(ts_col.data(), ts_col.size());
+    std::uint64_t uid_bytes = 0;
+    for (const auto& r : rows) uid_bytes += 8 + r.uid.size();
+    w.u64(uid_bytes);
     for (const auto& r : rows) w.str(r.uid);
     for (const auto& r : rows) w.u32(block.ids.at(r.orig_h));
     for (const auto& r : rows) w.u32(r.orig_p);
@@ -293,7 +280,7 @@ void ContainerWriter::add_ssl(const zeek::SslRecord& record) {
   if (block.rows() > 0 &&
       (block.rows() >= options_.block_rows ||
        block.dict_bytes + incoming > options_.dict_bytes)) {
-    flush_block(block, FrameKind::kSslBlock);
+    flush_block(block, FrameKind::kSslBlockDelta);
   }
   block.id(record.orig_h);
   block.id(record.resp_h);
@@ -343,7 +330,7 @@ bool ContainerWriter::finish(std::string* error) {
   if (finished_) return ok_;
   finished_ = true;
   flush_block(*x509_block_, FrameKind::kX509Block);
-  flush_block(*ssl_block_, FrameKind::kSslBlock);
+  flush_block(*ssl_block_, FrameKind::kSslBlockDelta);
 
   StateWriter meta;
   meta.str(meta_.ssl_path);
@@ -520,6 +507,7 @@ std::optional<ContainerReader> ContainerReader::open(const std::string& path,
         break;
       }
       case FrameKind::kSslBlock:
+      case FrameKind::kSslBlockDelta:
         reader.ssl_blocks_.push_back(f);
         break;
       case FrameKind::kX509Block:
@@ -555,64 +543,20 @@ core::ErrorLedger ContainerReader::ledger() const {
 
 namespace {
 
-/// Inline little-endian cursor for the hot block decoders. StateReader's
-/// out-of-line per-value calls cost more than the loads themselves at
-/// millions of rows per second; this is the same wire layout with every
-/// read inlined, throwing the same core::StateError on underflow.
-struct Cursor {
-  const char* p;
-  const char* end;
-
-  explicit Cursor(std::string_view data)
-      : p(data.data()), end(data.data() + data.size()) {}
-
-  const char* need(std::size_t n) {
-    if (static_cast<std::size_t>(end - p) < n) {
-      throw core::StateError("truncated block payload");
-    }
-    const char* q = p;
-    p += n;
-    return q;
-  }
-  std::uint8_t u8() { return static_cast<std::uint8_t>(*need(1)); }
-  std::uint32_t u32() { return get_u32(need(4)); }
-  std::uint64_t u64() { return get_u64(need(8)); }
-  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
-  std::string_view view() {
-    const std::uint64_t len = u64();
-    const char* q = need(static_cast<std::size_t>(len));
-    return std::string_view(q, static_cast<std::size_t>(len));
-  }
-  void expect_done(const char* section) const {
-    if (p != end) {
-      throw core::StateError(std::string("trailing bytes in '") + section +
-                             "': " + std::to_string(end - p) + " unread");
-    }
-  }
-};
-
-std::vector<Str> read_dict(Cursor& c) {
-  const std::uint32_t count = c.u32();
-  std::vector<Str> dict;
-  dict.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    dict.push_back(Str(c.view()));
-  }
-  return dict;
-}
-
-const Str& dict_at(const std::vector<Str>& dict, std::uint32_t id) {
-  if (id >= dict.size()) {
-    throw core::StateError("dictionary id out of range");
-  }
-  return dict[id];
-}
+// The block cursor and column-carving helpers live in wire.hpp, shared
+// with the zero-materialization scan (scan.cpp).
+using wire::Cursor;
+using wire::carve;
+using wire::carve_strs;
+using wire::count_sum;
+using wire::dict_at;
+using wire::read_dict;
 
 }  // namespace
 
 std::vector<zeek::SslRecord> ContainerReader::decode_ssl_block(
     const FrameRef& block) const {
-  return decode_ssl_block_payload(payload(block));
+  return decode_ssl_block_payload(payload(block), block.kind);
 }
 
 std::vector<zeek::X509Record> ContainerReader::decode_x509_block(
@@ -629,36 +573,24 @@ std::vector<zeek::X509Record> ContainerReader::decode_x509_block(
 // is cache-hot, and the column cursors advance sequentially so the
 // prefetcher keeps all payload streams fed.
 
-/// Sub-cursor over the next `bytes` of `c` (bounds-checked here, so the
-/// row loop's fixed-width reads can never underflow their column).
-Cursor carve(Cursor& c, std::size_t bytes) {
-  const char* start = c.need(bytes);
-  return Cursor(std::string_view(start, bytes));
-}
-
-/// Sub-cursor over the next `rows` length-prefixed strings.
-Cursor carve_strs(Cursor& c, std::uint32_t rows) {
-  Cursor column = c;
-  for (std::uint32_t i = 0; i < rows; ++i) c.view();
-  column.end = c.p;
-  return column;
-}
-
-/// Total entries across a count column (cursor taken by value).
-std::uint64_t count_sum(Cursor counts, std::uint32_t rows) {
-  std::uint64_t total = 0;
-  for (std::uint32_t i = 0; i < rows; ++i) total += counts.u32();
-  return total;
-}
-
 std::vector<zeek::SslRecord> decode_ssl_block_payload(
-    std::string_view payload) {
+    std::string_view payload, FrameKind kind) {
   Cursor c(payload);
   const std::uint32_t rows = c.u32();
   const std::vector<Str> dict = read_dict(c);
+  const bool delta = kind == FrameKind::kSslBlockDelta;
 
-  Cursor ts = carve(c, std::size_t{8} * rows);
-  Cursor uid = carve_strs(c, rows);
+  Cursor ts(std::string_view{});
+  Cursor uid(std::string_view{});
+  if (delta) {
+    const std::uint64_t ts_bytes = c.u64();
+    ts = carve(c, static_cast<std::size_t>(ts_bytes));
+    const std::uint64_t uid_bytes = c.u64();
+    uid = carve(c, static_cast<std::size_t>(uid_bytes));
+  } else {
+    ts = carve(c, std::size_t{8} * rows);
+    uid = carve_strs(c, rows);
+  }
   Cursor orig_h = carve(c, std::size_t{4} * rows);
   Cursor orig_p = carve(c, std::size_t{4} * rows);
   Cursor resp_h = carve(c, std::size_t{4} * rows);
@@ -678,9 +610,10 @@ std::vector<zeek::SslRecord> decode_ssl_block_payload(
   std::vector<zeek::SslRecord> out;
   out.reserve(rows);
   std::uint8_t bits = 0;
+  std::int64_t prev_ts = 0;
   for (std::uint32_t i = 0; i < rows; ++i) {
     zeek::SslRecord& rec = out.emplace_back();
-    rec.ts = ts.i64();
+    rec.ts = delta ? (prev_ts += ts.zigzag()) : ts.i64();
     const std::string_view uid_bytes = uid.view();
     rec.uid.assign(uid_bytes.data(), uid_bytes.size());
     rec.orig_h = dict_at(dict, orig_h.u32());
@@ -699,6 +632,12 @@ std::vector<zeek::SslRecord> decode_ssl_block_payload(
     for (Str& fuid : rec.client_cert_chain_fuids) {
       fuid = dict_at(dict, chain2_ids.u32());
     }
+  }
+  if (delta) {
+    // The byte-length prefixes must cover their spans exactly, or a
+    // pruning scan that trusts them would diverge from this decode.
+    ts.expect_done("ssl ts column");
+    uid.expect_done("ssl uid column");
   }
   return out;
 }

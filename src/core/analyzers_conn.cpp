@@ -10,6 +10,9 @@ namespace {
 /// Client identity key: the IPv4 address (the paper's "number of client
 /// IPs" estimate). IPv6 addresses hash into the same space.
 std::uint32_t client_key(const EnrichedConnection& conn) {
+  // The pipeline's enrichment memo resolves this per unique address; the
+  // parse below is the fallback for hand-built test connections.
+  if (conn.client_key != 0) return conn.client_key;
   const auto addr = net::IpAddress::parse(conn.ssl->orig_h);
   if (!addr) return 0;
   if (addr->is_v4()) return addr->v4_value();
@@ -194,10 +197,10 @@ void OutboundFlowAnalyzer::observe(const EnrichedConnection& conn) {
   if (conn.direction != Direction::kOutbound || !conn.mutual) return;
   if (conn.sni.empty()) return;  // Fig 2: flows with a valid SNI only
   ++with_sni_;
-  if (!conn.sld.empty()) ++sld_counts_[conn.sld];
+  if (!conn.sld.empty()) ++sld_counts_[conn.sld.str()];
   if (conn.server_leaf == nullptr || conn.client_leaf == nullptr) return;
   const auto key = std::make_tuple(
-      conn.tld.empty() ? "(none)" : conn.tld,
+      conn.tld.empty() ? std::string("(none)") : conn.tld.str(),
       static_cast<int>(conn.server_leaf->issuer_class),
       static_cast<int>(conn.client_leaf->issuer_category));
   ++flows_[key];
@@ -296,9 +299,10 @@ void DummyIssuerAnalyzer::observe(const EnrichedConnection& conn) {
     row.client_side = client_side;
     row.dummy_org = key.dummy_org;
     // Inbound groups servers by SLD, outbound by TLD (Table 4 caption).
-    const std::string group = conn.direction == Direction::kInbound
-                                  ? (conn.sld.empty() ? "(missing)" : conn.sld)
-                                  : (conn.tld.empty() ? "(missing)" : conn.tld);
+    const std::string group =
+        conn.direction == Direction::kInbound
+            ? (conn.sld.empty() ? std::string("(missing)") : conn.sld.str())
+            : (conn.tld.empty() ? std::string("(missing)") : conn.tld.str());
     row.server_groups.insert(group);
     row.clients.insert(client);
     ++row.connections;
@@ -307,7 +311,7 @@ void DummyIssuerAnalyzer::observe(const EnrichedConnection& conn) {
   if (server_dummy) record(false, *conn.server_leaf);
 
   if (client_dummy && server_dummy) {
-    const std::string key = conn.sld + "|" +
+    const std::string key = conn.sld.str() + "|" +
                             issuer_label(*conn.client_leaf) + "|" +
                             issuer_label(*conn.server_leaf);
     auto& row = both_[key];
@@ -507,7 +511,7 @@ void SharedCertAnalyzer::observe(const EnrichedConnection& conn) {
   const std::string key = std::string(conn.direction == Direction::kInbound
                                           ? "in|"
                                           : "out|") +
-                          conn.sld + "|" + issuer;
+                          conn.sld.str() + "|" + issuer;
   auto& row = same_conn_[key];
   if (row.connections == 0) {
     row.sld = conn.sld;
@@ -601,7 +605,7 @@ void IncorrectDateAnalyzer::observe(const EnrichedConnection& conn) {
   const std::uint32_t client = client_key(conn);
   const auto record = [&](std::map<std::string, Row>& sink,
                           const CertFacts& facts, bool client_side) {
-    const std::string key = conn.sld + "|" + issuer_label(facts) + "|" +
+    const std::string key = conn.sld.str() + "|" + issuer_label(facts) + "|" +
                             (client_side ? "C" : "S") + "|" +
                             std::to_string(facts.validity.not_before);
     auto& row = sink[key];

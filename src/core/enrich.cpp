@@ -36,6 +36,53 @@ IssuerCategory Enricher::categorize_cached(
 }
 
 CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
+  if (record.cert_der.empty()) {
+    return compute_facts(record, nullptr);
+  }
+  // The DER handle is interned (CertArena): equal bytes share one stable
+  // pointer, so the pointer is the cache key. Values are pure functions
+  // of the DER bytes + configuration — racing shards compute identical
+  // entries, keeping results byte-identical for any thread count.
+  const char* key = record.cert_der.data();
+  FactsShard& shard = facts_cache_[
+      (reinterpret_cast<std::uintptr_t>(key) >> 4) % kFactsShards];
+  {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      facts_hits_.fetch_add(1, std::memory_order_relaxed);
+      CertFacts facts = it->second;
+      facts.fuid = record.fuid;  // the only per-row field
+      return facts;
+    }
+  }
+  facts_misses_.fetch_add(1, std::memory_order_relaxed);
+  bool parsed_from_der = false;
+  CertFacts facts = compute_facts(record, &parsed_from_der);
+  if (parsed_from_der) {
+    // Only DER-derived results are cacheable; the logged-fields fallback
+    // depends on per-row fields beyond the key bytes.
+    CertFacts cached = facts;
+    cached.fuid = colfmt::Str();
+    std::unique_lock lock(shard.mutex);
+    shard.map.emplace(key, std::move(cached));
+  }
+  return facts;
+}
+
+Enricher::FactsCacheStats Enricher::facts_cache_stats() const {
+  FactsCacheStats stats;
+  stats.hits = facts_hits_.load(std::memory_order_relaxed);
+  stats.misses = facts_misses_.load(std::memory_order_relaxed);
+  for (const FactsShard& shard : facts_cache_) {
+    std::shared_lock lock(shard.mutex);
+    stats.unique += shard.map.size();
+  }
+  return stats;
+}
+
+CertFacts Enricher::compute_facts(const zeek::X509Record& record,
+                                  bool* parsed_from_der) const {
   CertFacts facts;
   facts.fuid = record.fuid;
 
@@ -152,6 +199,7 @@ CertFacts Enricher::make_facts(const zeek::X509Record& record) const {
   for (const auto& value : facts.san_dns) {
     facts.san_dns_types.push_back(textclass::classify_value(value, ctx));
   }
+  if (parsed_from_der != nullptr) *parsed_from_der = parsed;
   return facts;
 }
 
@@ -187,6 +235,72 @@ ServerAssociation Enricher::associate(const std::string& host,
   return ServerAssociation::kUnknown;
 }
 
+namespace {
+
+/// Analyzer client identity key: the IPv4 value, or an FNV-1a hash of
+/// the IPv6 bytes — must match the parse fallback in analyzers_conn.cpp
+/// so memoized and unmemoized paths agree byte for byte.
+std::uint32_t client_key_of(const net::IpAddress& addr) {
+  if (addr.is_v4()) return addr.v4_value();
+  std::uint32_t h = 0x811c9dc5;
+  for (const auto b : addr.v6_bytes()) h = (h ^ b) * 0x01000193;
+  return h;
+}
+
+/// Host resolution (§4.2): SNI first, then SAN DNS / CN of the leaves.
+colfmt::Str resolve_host(const zeek::SslRecord& record,
+                         const CertFacts* server_leaf,
+                         const CertFacts* client_leaf) {
+  if (!record.server_name.empty()) return record.server_name;
+  for (const CertFacts* leaf : {server_leaf, client_leaf}) {
+    if (leaf == nullptr) continue;
+    if (!leaf->san_dns.empty()) return leaf->san_dns.front();
+    if (leaf->cn_type == textclass::InfoType::kDomain) {
+      return leaf->subject_cn;
+    }
+  }
+  return colfmt::Str();
+}
+
+}  // namespace
+
+const HostFacts& Enricher::host_facts(colfmt::Str host,
+                                      EnrichCache& cache) const {
+  const auto [it, inserted] = cache.hosts.try_emplace(host.data());
+  if (!inserted) {
+    ++cache.hits;
+    return it->second;
+  }
+  ++cache.misses;
+  HostFacts& facts = it->second;
+  const std::string host_str = host.str();
+  const std::string sld = textclass::sld_of(host_str);
+  facts.sld = colfmt::Str(sld);
+  facts.tld = colfmt::Str(textclass::tld_of(host_str));
+  facts.assoc = associate(host_str, sld);
+  return facts;
+}
+
+const AddrFacts& Enricher::addr_facts(colfmt::Str addr,
+                                      EnrichCache& cache) const {
+  const auto [it, inserted] = cache.addrs.try_emplace(addr.data());
+  if (!inserted) {
+    ++cache.hits;
+    return it->second;
+  }
+  ++cache.misses;
+  AddrFacts& facts = it->second;
+  const auto parsed = net::IpAddress::parse(addr);
+  if (!parsed) return facts;
+  facts.university = is_university_address(*parsed);
+  if (parsed->is_v4()) {
+    facts.is_v4 = true;
+    facts.subnet = parsed->v4_value() & 0xffffff00u;
+  }
+  facts.client_key = client_key_of(*parsed);
+  return facts;
+}
+
 EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
                                     const CertFacts* server_leaf,
                                     const CertFacts* client_leaf) const {
@@ -195,30 +309,46 @@ EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
   conn.ts = record.ts;
   conn.established = record.established;
   conn.direction = infer_direction(record);
-  conn.sni = record.server_name.str();
+  if (const auto orig = net::IpAddress::parse(record.orig_h)) {
+    conn.client_key = client_key_of(*orig);
+  }
+  conn.sni = record.server_name;
   conn.server_leaf = server_leaf;
   conn.client_leaf = client_leaf;
   conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
 
-  // Host resolution (§4.2): SNI first, then SAN DNS / CN of the leaves.
-  conn.resolved_host = conn.sni;
-  if (conn.resolved_host.empty()) {
-    for (const CertFacts* leaf : {server_leaf, client_leaf}) {
-      if (leaf == nullptr) continue;
-      if (!leaf->san_dns.empty()) {
-        conn.resolved_host = leaf->san_dns.front().str();
-        break;
-      }
-      if (leaf->cn_type == textclass::InfoType::kDomain) {
-        conn.resolved_host = leaf->subject_cn.str();
-        break;
-      }
-    }
-  }
-  conn.sld = textclass::sld_of(conn.resolved_host);
-  conn.tld = textclass::tld_of(conn.resolved_host);
+  conn.resolved_host = resolve_host(record, server_leaf, client_leaf);
+  conn.sld = colfmt::Str(textclass::sld_of(conn.resolved_host));
+  conn.tld = colfmt::Str(textclass::tld_of(conn.resolved_host));
   conn.assoc = conn.direction == Direction::kInbound
-                   ? associate(conn.resolved_host, conn.sld)
+                   ? associate(conn.resolved_host.str(), conn.sld.str())
+                   : ServerAssociation::kNone;
+  return conn;
+}
+
+EnrichedConnection Enricher::enrich(const zeek::SslRecord& record,
+                                    const CertFacts* server_leaf,
+                                    const CertFacts* client_leaf,
+                                    EnrichCache& cache) const {
+  EnrichedConnection conn;
+  conn.ssl = &record;
+  conn.ts = record.ts;
+  conn.established = record.established;
+  conn.direction = addr_facts(record.resp_h, cache).university
+                       ? Direction::kInbound
+                       : Direction::kOutbound;
+  conn.client_key = addr_facts(record.orig_h, cache).client_key;
+  conn.sni = record.server_name;
+  conn.server_leaf = server_leaf;
+  conn.client_leaf = client_leaf;
+  conn.mutual = server_leaf != nullptr && client_leaf != nullptr;
+
+  conn.resolved_host = resolve_host(record, server_leaf, client_leaf);
+  const HostFacts& host = host_facts(conn.resolved_host, cache);
+  conn.sld = host.sld;
+  conn.tld = host.tld;
+  conn.assoc = conn.direction == Direction::kInbound
+                   ? host.assoc
                    : ServerAssociation::kNone;
   return conn;
 }

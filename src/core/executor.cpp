@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "mtlscope/colfmt/container.hpp"
+#include "mtlscope/colfmt/scan.hpp"
 #include "mtlscope/core/enrich.hpp"
 #include "mtlscope/ingest/chunk_queue.hpp"
 #include "mtlscope/zeek/parse_plan.hpp"
@@ -221,6 +222,15 @@ void PipelineExecutor::add_shared_observer(Observer observer) {
 
 const PipelineConfig& PipelineExecutor::config() const { return config_; }
 
+void PipelineExecutor::note_run_stats(const Enricher& enricher,
+                                      const Pipeline& merged,
+                                      const char* scan) {
+  const auto facts = enricher.facts_cache_stats();
+  const EnrichCache& cache = merged.enrich_cache();
+  stats_ = RunStats{scan,        facts.hits,   facts.misses, facts.unique,
+                    cache.hits,  cache.misses, cache.unique()};
+}
+
 std::vector<Pipeline> PipelineExecutor::make_shards(
     const Pipeline::Prepared& prepared) {
   std::vector<Pipeline> shards;
@@ -324,6 +334,7 @@ Pipeline PipelineExecutor::run(const std::vector<zeek::SslRecord>& ssl,
   result.set_interception_issuers(*confirmed);
   result.backfill_certificates(*base);
   result.finalize();
+  note_run_stats(*enricher, result, "rows");
   return result;
 }
 
@@ -602,6 +613,7 @@ std::optional<Pipeline> PipelineExecutor::run_sources(
       merged.set_interception_issuers(*confirmed);
       merged.backfill_certificates(*base);
       merged.finalize();
+      note_run_stats(*enricher, merged, "rows");
       result.emplace(std::move(merged));
     }
   }
@@ -750,12 +762,25 @@ std::optional<Pipeline> PipelineExecutor::run_container(
     }
   }
 
-  std::vector<zeek::SslRecord> ssl;
-  zeek::Dataset::X509Map x509;
-  if (!decode_container_records(reader, threads_, ssl, x509, error)) {
-    return std::nullopt;
+  // Scan-mode dispatch: auto takes the columnar path whenever it is
+  // eligible (no CT database — phase C needs full records); an explicit
+  // kColumnar with CT configured falls back to rows rather than running
+  // a different phase C.
+  const bool columnar = config_.ct == nullptr &&
+                        (scan_mode_ == ScanMode::kColumnar ||
+                         scan_mode_ == ScanMode::kAuto);
+  std::optional<Pipeline> result;
+  if (columnar) {
+    result = run_container_columnar(reader, error);
+    if (!result) return std::nullopt;
+  } else {
+    std::vector<zeek::SslRecord> ssl;
+    zeek::Dataset::X509Map x509;
+    if (!decode_container_records(reader, threads_, ssl, x509, error)) {
+      return std::nullopt;
+    }
+    result = run(ssl, x509);
   }
-  auto result = run(ssl, x509);
   if (ledger != nullptr) {
     // Hand out exactly the ledger a TSV run over the original logs would
     // have produced (shard state serializes every field, so map states
@@ -776,6 +801,141 @@ std::optional<Pipeline> PipelineExecutor::run_container(
     }
     out.finalize();
     *ledger = std::move(out);
+  }
+  return result;
+}
+
+std::optional<Pipeline> PipelineExecutor::run_container_columnar(
+    const colfmt::ContainerReader& reader, ingest::IngestError* error) {
+  const auto enricher = std::make_shared<const Enricher>(config_);
+  const std::size_t k = threads_;
+  const auto& x509_blocks = reader.x509_blocks();
+  const auto& ssl_blocks = reader.ssl_blocks();
+
+  // Smallest-index failing block wins, as in decode_container_records.
+  std::mutex error_mutex;
+  std::size_t error_block = SIZE_MAX;
+  std::string error_reason;
+  const auto note_error = [&](std::size_t block, const char* what) {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    if (block < error_block) {
+      error_block = block;
+      error_reason = what;
+    }
+  };
+  const auto failed = [&] {
+    const std::lock_guard<std::mutex> lock(error_mutex);
+    return error_block != SIZE_MAX;
+  };
+
+  // --- Phase A: x509 blocks decode + facts in parallel, then fold
+  // first-fuid-wins in block (= stream) order. Certificates are the
+  // deduplicated side of the join, so this side keeps the materializing
+  // decoder; the Enricher's DER-keyed memo already collapses the work
+  // per distinct certificate. ---
+  auto base = std::make_shared<Pipeline::CertMap>();
+  {
+    std::vector<std::vector<CertFacts>> built(x509_blocks.size());
+    parallel_ranges(
+        x509_blocks.size(), k,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            try {
+              const auto rows = reader.decode_x509_block(x509_blocks[i]);
+              auto& out = built[i];
+              out.reserve(rows.size());
+              for (const auto& record : rows) {
+                out.push_back(enricher->make_facts(record));
+              }
+            } catch (const std::exception& e) {
+              note_error(i, e.what());
+            }
+          }
+        });
+    if (!failed()) {
+      std::size_t total = 0;
+      for (const auto& chunk : built) total += chunk.size();
+      base->reserve(total);
+      for (auto& chunk : built) {
+        for (auto& facts : chunk) {
+          const colfmt::Str fuid = facts.fuid;
+          base->emplace(fuid, std::move(facts));
+        }
+      }
+    }
+  }
+
+  // --- Phase B: serial column scan in stream order. Chain upgrades only
+  // read the established flag and the chain fuids, so every other column
+  // is pruned (kind-6 blocks skip the ts/uid spans in O(1)). ---
+  if (!failed()) {
+    colfmt::SslScanColumns needs;
+    needs.ts = false;
+    needs.uid = false;
+    needs.endpoints = false;
+    needs.version = false;
+    needs.server_name = false;
+    zeek::SslRecord rec;
+    for (std::size_t i = 0; i < ssl_blocks.size(); ++i) {
+      try {
+        auto scan = reader.scan_ssl_block(ssl_blocks[i], needs);
+        while (!scan.done()) {
+          scan.next(rec);
+          apply_upgrades(*base, rec);
+        }
+      } catch (const StateError& e) {
+        note_error(x509_blocks.size() + i, e.what());
+        break;
+      }
+    }
+  }
+
+  // --- Phases D + E: contiguous block ranges, one per shard; each row
+  // is served into ONE reused record (uid pruned and left empty — no
+  // enrichment rule or analyzer reads it) and fed straight to the shard
+  // pipeline, whose EnrichCache folds the per-row host/address work down
+  // to pointer-keyed lookups. Block boundaries are a contiguous stream
+  // partition, so the shard-order merge is byte-identical to the row
+  // path for any thread count. ---
+  std::optional<Pipeline> result;
+  if (!failed()) {
+    auto confirmed = std::make_shared<Pipeline::StrSet>();
+    const Pipeline::Prepared prepared{enricher, base, confirmed};
+    std::vector<Pipeline> shards = make_shards(prepared);
+    parallel_ranges(
+        ssl_blocks.size(), k,
+        [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          Pipeline& pipeline = shards[shard];
+          zeek::SslRecord rec;
+          for (std::size_t i = begin; i < end; ++i) {
+            try {
+              auto scan = reader.scan_ssl_block(
+                  ssl_blocks[i], colfmt::SslScanColumns::pipeline());
+              while (!scan.done()) {
+                scan.next(rec);
+                pipeline.add_connection(rec);
+              }
+            } catch (const StateError& e) {
+              note_error(x509_blocks.size() + i, e.what());
+              return;
+            }
+          }
+        });
+    if (!failed()) {
+      Pipeline merged(prepared);
+      for (auto& shard : shards) merged.merge(std::move(shard));
+      merged.set_interception_issuers(*confirmed);
+      merged.backfill_certificates(*base);
+      merged.finalize();
+      note_run_stats(*enricher, merged, "columnar");
+      result.emplace(std::move(merged));
+    }
+  }
+
+  if (!result && error != nullptr) {
+    error->file = reader.path();
+    error->byte_offset = 0;
+    error->reason = "container block decode failed: " + error_reason;
   }
   return result;
 }

@@ -144,7 +144,8 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
     upgrade_by_chain(client_leaf, record.client_cert_chain_fuids);
   }
 
-  EnrichedConnection conn = enricher_->enrich(record, server_leaf, client_leaf);
+  EnrichedConnection conn =
+      enricher_->enrich(record, server_leaf, client_leaf, cache_);
 
   // Interception filter (§3.2.1): server leaf with an untrusted issuer
   // whose SNI domain has a *different* issuer on record in CT.
@@ -228,11 +229,11 @@ void Pipeline::add_connection(const zeek::SslRecord& record) {
         !conn.sni.empty()) {
       facts->seen_outbound_with_sni = true;
     }
-    const auto endpoint = net::IpAddress::parse(
-        as_server ? record.resp_h : record.orig_h);
-    if (endpoint && endpoint->is_v4()) {
-      const std::uint32_t key = endpoint->v4_value() & 0xffffff00u;
-      (as_server ? facts->server_subnets : facts->client_subnets).insert(key);
+    const AddrFacts& endpoint = enricher_->addr_facts(
+        as_server ? record.resp_h : record.orig_h, cache_);
+    if (endpoint.is_v4) {
+      (as_server ? facts->server_subnets : facts->client_subnets)
+          .insert(endpoint.subnet);
     }
     if (facts->context_sld.empty() && !conn.sld.empty()) {
       facts->context_sld = conn.sld;
@@ -340,6 +341,11 @@ void Pipeline::merge(Pipeline&& other) {
     mine.outbound += pending.outbound;
     mine.tls13 += pending.tls13;
   }
+
+  // Cache bookkeeping only — the entries themselves stay shard-local.
+  cache_.hits += other.cache_.hits;
+  cache_.misses += other.cache_.misses;
+  cache_.retired_unique += other.cache_.unique();
 }
 
 void Pipeline::backfill_certificates(const CertMap& base) {

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "mtlscope/colfmt/container.hpp"
 
@@ -52,6 +53,29 @@ bool RunOptions::parse_flag(const char* arg) {
     seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
   } else if (std::strncmp(arg, "--threads=", 10) == 0) {
     threads = static_cast<std::size_t>(std::atoll(arg + 10));
+    // More shards than cores only adds contention and memory; clamp to
+    // the machine (results are byte-identical for every thread count).
+    const std::size_t hw = std::thread::hardware_concurrency();
+    if (hw != 0 && threads > hw) {
+      std::fprintf(stderr,
+                   "note: --threads=%zu exceeds this machine's %zu "
+                   "hardware threads; running with %zu\n",
+                   threads, hw, hw);
+      threads = hw;
+    }
+  } else if (std::strncmp(arg, "--scan=", 7) == 0) {
+    const char* value = arg + 7;
+    if (std::strcmp(value, "auto") == 0) {
+      scan = ScanMode::kAuto;
+    } else if (std::strcmp(value, "rows") == 0) {
+      scan = ScanMode::kRows;
+    } else if (std::strcmp(value, "columnar") == 0) {
+      scan = ScanMode::kColumnar;
+    } else {
+      std::fprintf(stderr, "--scan= takes auto, rows, or columnar, got %s\n",
+                   value);
+      std::exit(2);
+    }
   } else if (std::strncmp(arg, "--ssl-log=", 10) == 0) {
     ssl_log = arg + 10;
   } else if (std::strncmp(arg, "--x509-log=", 11) == 0) {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
-#include <map>
+#include <cstdint>
 #include <set>
 #include <string>
 #include <vector>
@@ -84,32 +84,89 @@ bool is_personal_name(std::string_view s) {
   return false;
 }
 
-double trigram_cosine(std::string_view a, std::string_view b) {
-  const auto grams = [](std::string_view s) {
-    std::map<std::string, double> out;
-    const std::string padded = "  " + to_lower(s) + "  ";
-    for (std::size_t i = 0; i + 3 <= padded.size(); ++i) {
-      out[padded.substr(i, 3)] += 1.0;
+namespace {
+
+/// Trigram multiset of the padded lowered string as a sorted
+/// (packed-key, count) vector plus the vector's Euclidean norm. Keys
+/// pack the three bytes big-endian-unsigned, so their numeric order is
+/// exactly the memcmp order std::map<std::string> iterated in — the
+/// accumulation order below reproduces the original map-based cosine
+/// bit for bit.
+struct GramProfile {
+  std::vector<std::pair<std::uint32_t, double>> grams;
+  double norm = 0.0;
+};
+
+GramProfile gram_profile(std::string_view s) {
+  GramProfile out;
+  const std::string padded = "  " + to_lower(s) + "  ";
+  if (padded.size() < 3) return out;
+  std::vector<std::uint32_t> keys;
+  keys.reserve(padded.size() - 2);
+  for (std::size_t i = 0; i + 3 <= padded.size(); ++i) {
+    keys.push_back((static_cast<std::uint32_t>(
+                        static_cast<unsigned char>(padded[i]))
+                    << 16) |
+                   (static_cast<std::uint32_t>(
+                        static_cast<unsigned char>(padded[i + 1]))
+                    << 8) |
+                   static_cast<std::uint32_t>(
+                       static_cast<unsigned char>(padded[i + 2])));
+  }
+  std::sort(keys.begin(), keys.end());
+  out.grams.reserve(keys.size());
+  for (std::size_t i = 0; i < keys.size();) {
+    std::size_t j = i + 1;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    out.grams.emplace_back(keys[i], static_cast<double>(j - i));
+    i = j;
+  }
+  double sum = 0.0;
+  for (const auto& [key, v] : out.grams) sum += v * v;
+  out.norm = std::sqrt(sum);
+  return out;
+}
+
+double profile_cosine(const GramProfile& a, const GramProfile& b) {
+  if (a.grams.empty() || b.grams.empty()) return 0.0;
+  double dot = 0.0;
+  std::size_t j = 0;
+  for (const auto& [key, v] : a.grams) {
+    while (j < b.grams.size() && b.grams[j].first < key) ++j;
+    if (j < b.grams.size() && b.grams[j].first == key) {
+      dot += v * b.grams[j].second;
+    }
+  }
+  return dot / (a.norm * b.norm);
+}
+
+/// Company gazetteer profiles, computed once; index order matches
+/// lexicon::company_names() so the best-of scan visits companies in the
+/// original order.
+const std::vector<GramProfile>& company_profiles() {
+  static const std::vector<GramProfile> profiles = [] {
+    std::vector<GramProfile> out;
+    const auto companies = lexicon::company_names();
+    out.reserve(companies.size());
+    for (const auto& company : companies) {
+      out.push_back(gram_profile(company));
     }
     return out;
-  };
-  const auto ga = grams(a);
-  const auto gb = grams(b);
-  if (ga.empty() || gb.empty()) return 0.0;
-  double dot = 0, na = 0, nb = 0;
-  for (const auto& [g, v] : ga) {
-    na += v * v;
-    const auto it = gb.find(g);
-    if (it != gb.end()) dot += v * it->second;
-  }
-  for (const auto& [g, v] : gb) nb += v * v;
-  return dot / (std::sqrt(na) * std::sqrt(nb));
+  }();
+  return profiles;
+}
+
+}  // namespace
+
+double trigram_cosine(std::string_view a, std::string_view b) {
+  return profile_cosine(gram_profile(a), gram_profile(b));
 }
 
 double best_company_similarity(std::string_view s) {
+  const GramProfile query = gram_profile(s);
   double best = 0.0;
-  for (const auto& company : lexicon::company_names()) {
-    best = std::max(best, trigram_cosine(s, company));
+  for (const auto& company : company_profiles()) {
+    best = std::max(best, profile_cosine(query, company));
     if (best >= 1.0) break;
   }
   return best;

@@ -112,7 +112,9 @@ void ContainerTail::consume(std::string_view bytes, PollRows& out) {
     const char* p = pos_.carry.data() + i;
     const std::uint32_t kind = get_u32(p);
     const std::uint64_t len = get_u64(p + 8);
-    if (kind < 1 || kind > 5 || len > kMaxFramePayload) {
+    if (kind < 1 ||
+        kind > static_cast<std::uint32_t>(colfmt::FrameKind::kSslBlockDelta) ||
+        len > kMaxFramePayload) {
       fail(path_ + ": malformed frame at byte " +
            std::to_string(pos_.offset + i));
       break;
@@ -122,8 +124,10 @@ void ContainerTail::consume(std::string_view bytes, PollRows& out) {
                                    static_cast<std::size_t>(len));
     try {
       switch (static_cast<colfmt::FrameKind>(kind)) {
-        case colfmt::FrameKind::kSslBlock: {
-          auto rows = colfmt::decode_ssl_block_payload(payload);
+        case colfmt::FrameKind::kSslBlock:
+        case colfmt::FrameKind::kSslBlockDelta: {
+          auto rows = colfmt::decode_ssl_block_payload(
+              payload, static_cast<colfmt::FrameKind>(kind));
           out.ssl.insert(out.ssl.end(),
                          std::make_move_iterator(rows.begin()),
                          std::make_move_iterator(rows.end()));
