@@ -36,6 +36,7 @@
 #include "mtlscope/crypto/sha256.hpp"
 #include "mtlscope/experiments/registry.hpp"
 #include "mtlscope/gen/generator.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/watch/daemon.hpp"
 #include "mtlscope/watch/scheduler.hpp"
 
@@ -59,7 +60,8 @@ int usage(const char* argv0) {
                "       %s watch --ssl-log=F --x509-log=F --out-dir=DIR "
                "(--run=NAME[,NAME...] | --all) [--window=hour|day|week|SECS] "
                "[--rollup=N] [--poll-ms=N] [--checkpoint-dir=DIR] "
-               "[--checkpoint-every=SECS] [--exit-idle-ms=N] "
+               "[--checkpoint-every=SECS] [--checkpoint-keep=N] "
+               "[--exit-idle-ms=N] "
                "[--report-ssl-log=F --report-x509-log=F] [options]\n"
                "\n"
                "options (apply to every experiment in the run):\n"
@@ -86,8 +88,11 @@ int usage(const char* argv0) {
                "watch tails growing (and rotating) Zeek logs, folds complete "
                "records into windowed analyzer state, and publishes "
                "window-<start>.json / rollup-<start>.json / cumulative.json "
-               "into --out-dir atomically. --checkpoint-dir= enables "
-               "SIGTERM/crash resume; SIGUSR1 prints a status line; "
+               "into --out-dir atomically (write + fsync + rename + "
+               "directory fsync). --checkpoint-dir= enables SIGTERM/crash "
+               "resume; the last --checkpoint-keep=N (default 3) checkpoint "
+               "generations are retained and resume restores the newest "
+               "one whose digest verifies. SIGUSR1 prints a status line; "
                "--exit-idle-ms=N drains and exits once the logs stop "
                "growing.\n",
                argv0, argv0, argv0, argv0, argv0, argv0, argv0);
@@ -106,12 +111,13 @@ int run_list() {
 
 bool write_file(const std::filesystem::path& path,
                 const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  out.write(content.data(),
-            static_cast<std::streamsize>(content.size()));
-  out.close();
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+  // Durable atomic publication (DESIGN §16): a crash mid-run never
+  // leaves a torn report where --out pointed a consumer.
+  const auto result =
+      ingest::atomic_publish_file(path.string(), content, "cli.out");
+  if (!result.ok) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.string().c_str(),
+                 result.message.c_str());
     return false;
   }
   return true;
@@ -648,6 +654,14 @@ int run_watch_cmd(int argc, char** argv) {
       }
     } else if (std::strncmp(arg, "--checkpoint-every=", 19) == 0) {
       options.checkpoint_every_s = std::atof(arg + 19);
+    } else if (std::strncmp(arg, "--checkpoint-keep=", 18) == 0) {
+      options.checkpoint_keep =
+          static_cast<std::uint32_t>(std::strtoul(arg + 18, nullptr, 10));
+      if (options.checkpoint_keep == 0) {
+        std::fprintf(stderr, "bad --checkpoint-keep= (generations >= 1): %s\n",
+                     arg + 18);
+        return 2;
+      }
     } else if (std::strncmp(arg, "--exit-idle-ms=", 15) == 0) {
       options.exit_idle_ms = std::atoi(arg + 15);
     } else if (std::strncmp(arg, "--report-ssl-log=", 17) == 0) {

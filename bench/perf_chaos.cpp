@@ -1,0 +1,126 @@
+// Microbenchmarks for the durable write path (DESIGN §16): the cost of
+// the crash-consistency machinery itself — write_fully over a real fd,
+// the full atomic publish cycle (tmp + fsync + rename + dir fsync),
+// and a checkpoint-generation save/load round trip. These bound the
+// overhead --checkpoint-every=0 and per-emission publishing add to the
+// watch loop, and the FaultVfs pass-through cost when no plan is armed.
+#include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "mtlscope/ingest/durable_io.hpp"
+#include "mtlscope/watch/checkpoint.hpp"
+
+using namespace mtlscope;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir() {
+  static const std::string dir = [] {
+    const std::string d =
+        (fs::temp_directory_path() /
+         ("mtlscope_perf_chaos_" + std::to_string(::getpid())))
+            .string();
+    fs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string payload(std::size_t bytes) {
+  std::string out;
+  out.reserve(bytes);
+  while (out.size() < bytes) out += "mtlscope durable payload line\n";
+  out.resize(bytes);
+  return out;
+}
+
+/// write_fully over an O_TRUNC'd scratch file: the raw retry-loop cost
+/// per publication, dominated by the kernel write itself. The FaultVfs
+/// hook is on this path; with no plan armed it is one relaxed load.
+void BM_WriteFully(benchmark::State& state) {
+  const std::string body = payload(static_cast<std::size_t>(state.range(0)));
+  const std::string path = scratch_dir() + "/write_fully.bin";
+  for (auto _ : state) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    const auto r = ingest::write_fully_fd(fd, body, path);
+    ::close(fd);
+    if (!r.ok) state.SkipWithError(r.message.c_str());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+  ::unlink(path.c_str());
+}
+BENCHMARK(BM_WriteFully)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+/// The full durable publication: tmp sibling + fsync(file) + rename +
+/// fsync(parent dir). This is what every emission and checkpoint pays;
+/// the two fsyncs dominate on real disks.
+void BM_AtomicPublish(benchmark::State& state) {
+  const std::string body = payload(static_cast<std::size_t>(state.range(0)));
+  const std::string dst = scratch_dir() + "/publish.json";
+  for (auto _ : state) {
+    const auto r = ingest::atomic_publish_file(dst, body, "perf.publish");
+    if (!r.ok) state.SkipWithError(r.message.c_str());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+  ::unlink(dst.c_str());
+}
+BENCHMARK(BM_AtomicPublish)->Arg(4 << 10)->Arg(256 << 10);
+
+watch::WatchCheckpoint sample_checkpoint() {
+  watch::WatchCheckpoint ckpt;
+  ckpt.seed = 1234;
+  ckpt.window_seconds = 604800;
+  ckpt.rollup_windows = 4;
+  ckpt.ssl_records_seen = 1'000'000;
+  ckpt.windows_emitted = 52;
+  ckpt.rollups_emitted = 13;
+  return ckpt;
+}
+
+/// One checkpoint generation written through the store: serialize +
+/// atomic publish + prune. The per-poll price at --checkpoint-every=0.
+void BM_CheckpointSave(benchmark::State& state) {
+  const std::string dir = scratch_dir() + "/ckpt_save";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  watch::CheckpointStore store(dir, /*keep=*/3);
+  const auto ckpt = sample_checkpoint();
+  for (auto _ : state) {
+    const auto r = store.save(ckpt);
+    if (!r.ok) state.SkipWithError(r.message.c_str());
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointSave);
+
+/// Newest-first verified load: the resume price, including the SHA-256
+/// trailer check over the checkpoint bytes.
+void BM_CheckpointLoad(benchmark::State& state) {
+  const std::string dir = scratch_dir() + "/ckpt_load";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  watch::CheckpointStore store(dir, /*keep=*/3);
+  for (int i = 0; i < 3; ++i) (void)store.save(sample_checkpoint());
+  for (auto _ : state) {
+    std::string error;
+    std::uint64_t generation = 0;
+    std::uint32_t skipped = 0;
+    watch::CheckpointStore reader(dir, /*keep=*/3);
+    const auto loaded = reader.load(&error, &generation, &skipped);
+    if (!loaded.has_value()) state.SkipWithError(error.c_str());
+    benchmark::DoNotOptimize(generation);
+  }
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointLoad);
+
+}  // namespace

@@ -122,6 +122,26 @@ bool wait_for_file(const std::string& path, int timeout_ms) {
   return fs::exists(path);
 }
 
+/// The daemon writes generation files (watch.ckpt.<gen>); any one of
+/// them (or a legacy un-suffixed watch.ckpt) counts as "checkpointed".
+bool has_checkpoint(const std::string& dir) {
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind("watch.ckpt", 0) == 0) return true;
+  }
+  return false;
+}
+
+bool wait_for_checkpoint(const std::string& dir, int timeout_ms) {
+  for (int waited = 0; waited < timeout_ms; waited += 50) {
+    if (has_checkpoint(dir)) return true;
+    ::usleep(50 * 1000);
+  }
+  return has_checkpoint(dir);
+}
+
 struct Feeder {
   std::string header;
   std::vector<std::string> rows;
@@ -266,7 +286,7 @@ int main(int argc, char** argv) {
     // checkpoint-every=0 writes after the first progressing poll: its
     // appearance proves the daemon holds the original inode before we
     // rotate it away.
-    if (!wait_for_file(ckpt_a + "/watch.ckpt", 60'000)) {
+    if (!wait_for_checkpoint(ckpt_a, 60'000)) {
       std::fprintf(stderr, "FAIL: run A never checkpointed\n");
       ::kill(pid, SIGKILL);
       return 1;
@@ -318,7 +338,7 @@ int main(int argc, char** argv) {
                                "--poll-ms=10", /*idle_exit=*/false),
                     (dir / "wr_watch_b.txt").string());
     if (pid < 0) return 1;
-    if (!wait_for_file(ckpt_b + "/watch.ckpt", 60'000)) {
+    if (!wait_for_checkpoint(ckpt_b, 60'000)) {
       std::fprintf(stderr, "FAIL: run B never checkpointed\n");
       ::kill(pid, SIGKILL);
       return 1;

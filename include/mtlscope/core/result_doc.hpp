@@ -209,6 +209,21 @@ struct RunInfo {
   std::uint64_t enrich_cache_hits = 0;
   std::uint64_t enrich_cache_misses = 0;
   std::uint64_t enrich_cache_unique = 0;
+  /// Write-path durability counters (DESIGN §16): transient retries,
+  /// fsync calls, atomic publications, checkpoint generations, and
+  /// degraded-mode episodes, snapshotted from the process-global
+  /// WriteRetryCounters when the doc is filled. Volatile (perf envelope
+  /// only, suppressed by --stable-output): the counts depend on signal
+  /// timing and disk behaviour, never on the analyzed records.
+  bool durability_present = false;
+  std::uint64_t write_retries = 0;   // eintr + short writes + backoffs
+  std::uint64_t write_failures = 0;  // hard failures (all classes)
+  std::uint64_t fsyncs = 0;
+  std::uint64_t dir_fsyncs = 0;
+  std::uint64_t atomic_publishes = 0;
+  std::uint64_t ckpt_gens_written = 0;
+  std::uint64_t ckpt_gens_restored = 0;
+  std::uint64_t degraded_episodes = 0;
 
   double records_per_second() const {
     return wall_seconds <= 0

@@ -1,0 +1,291 @@
+// Crash-consistent write path (DESIGN §16) — the write-side mirror of
+// retry.hpp. Every writer in the tree (container frames, shard-state
+// files, watch checkpoints, the daemon's published JSON, the stdin
+// spool, the CLI's --out files) funnels through these helpers, so one
+// translation unit owns the whole durability policy:
+//
+//   * EINTR          — retry immediately, unbounded (same discipline as
+//                      read_fully; a signal storm only slows the write).
+//   * short write    — continue at the new offset (pipes and full-ish
+//                      filesystems short-write routinely).
+//   * EAGAIN         — bounded exponential backoff (kMaxTransientRetries
+//                      sleeps, ~100 µs doubling), then a hard error.
+//   * hard errors    — classified: ENOSPC/EDQUOT → kNoSpace (the
+//                      degraded-mode trigger), EIO → kIo, rest → kOther.
+//
+// Atomic publication (`atomic_publish_file`) is the only sanctioned way
+// to replace a file: write to a dot-prefixed temp sibling, fsync the
+// file, rename over the destination, fsync the parent directory. A
+// reader therefore never observes a half-written artifact, and a power
+// loss after success cannot roll the rename back. Each stage passes a
+// labeled crash-point (`<site>.after_write` / `.after_fsync` /
+// `.after_rename`) so the chaos harness can kill the process at every
+// boundary and prove resume-equals-uninterrupted — and, conversely,
+// prove that no publication site bypasses this path (a site whose
+// labels never fire under MTLSCOPE_CRASH_AT is a site that skipped it).
+//
+// FaultVfs is the seeded write-side fault injector. It is a pure
+// function of its configuration and the call ordinals — no clocks, no
+// randomness — so every schedule replays exactly. Configuration comes
+// from the environment (child processes under the chaos harness):
+//
+//   MTLSCOPE_FAIL_WRITE=K[:enospc|eio][:M]   fail hooked writes K..K+M-1
+//                                            (1-based ordinals) with the
+//                                            given errno (default enospc,
+//                                            M default 1) — an ENOSPC
+//                                            storm is one variable
+//   MTLSCOPE_TEAR_RENAME=K[:SUBSTR]          on the K-th hooked rename
+//                                            whose destination contains
+//                                            SUBSTR (all renames when
+//                                            omitted): rename, truncate
+//                                            the destination to half its
+//                                            bytes, _exit(171) — a torn
+//                                            rename on a non-atomic
+//                                            filesystem under power loss
+//   MTLSCOPE_CRASH_AT=LABEL:N                _exit(170) on the N-th hit
+//                                            of crash_point(LABEL)
+//
+// or from the in-process plan API (unit tests): fault_write_at(ordinal,
+// fault) schedules an errno failure, an EINTR, or a short write for one
+// specific hooked-write ordinal.
+//
+// Every retry, fsync, publication, checkpoint generation, and degraded
+// episode bumps a global WriteRetryCounters so the perf envelope (and
+// the SIGUSR1 status line) can report durability work; like the enrich
+// block, the counters are volatile and suppressed by --stable-output.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mtlscope/ingest/retry.hpp"
+
+namespace mtlscope::ingest {
+
+// ---------------------------------------------------------------------------
+// Errno classification
+
+enum class WriteClass {
+  kOk = 0,
+  kNoSpace,  ///< ENOSPC / EDQUOT — degraded mode, not a crash loop
+  kIo,       ///< EIO — media error; retrying may or may not help
+  kOther,    ///< everything else (EBADF, EROFS, ...)
+};
+
+WriteClass classify_errno(int err);
+const char* write_class_name(WriteClass cls);
+
+// ---------------------------------------------------------------------------
+// Global durability counters
+
+struct WriteRetryCounters {
+  std::atomic<std::uint64_t> eintr_retries{0};
+  std::atomic<std::uint64_t> short_writes{0};
+  std::atomic<std::uint64_t> backoff_sleeps{0};
+  std::atomic<std::uint64_t> write_failures{0};   ///< hard errors, any class
+  std::atomic<std::uint64_t> enospc_failures{0};  ///< kNoSpace subset
+  std::atomic<std::uint64_t> fsyncs{0};
+  std::atomic<std::uint64_t> dir_fsyncs{0};
+  std::atomic<std::uint64_t> atomic_publishes{0};  ///< successful publishes
+  std::atomic<std::uint64_t> checkpoint_gens_written{0};
+  std::atomic<std::uint64_t> checkpoint_gens_restored{0};
+  std::atomic<std::uint64_t> degraded_episodes{0};
+};
+
+/// Process-wide counters; cheap relaxed increments from any thread.
+WriteRetryCounters& write_retry_counters();
+/// Zeroes the counters (tests only — not synchronized with readers).
+void reset_write_retry_counters();
+
+// ---------------------------------------------------------------------------
+// write_fully — the template mirror of read_fully
+
+struct WriteOutcome {
+  std::size_t bytes = 0;  // total bytes accepted from buf
+  bool error = false;     // a non-transient errno stopped the write early
+  int err = 0;            // that errno (0 when !error)
+};
+
+/// Drives `op(src, len, offset)` — a pwrite/write-shaped callable
+/// returning ssize_t with errno set on -1 — until `len` bytes are
+/// accepted or a hard error. `offset` advances with the bytes written;
+/// stream-oriented ops simply ignore it. A zero return (possible on
+/// some devices) is treated as a transient with bounded backoff.
+template <typename Op>
+WriteOutcome write_fully(const Op& op, const char* buf, std::size_t len,
+                         std::size_t offset) {
+  WriteRetryCounters& counters = write_retry_counters();
+  WriteOutcome out;
+  int transient = 0;
+  while (out.bytes < len) {
+    const ssize_t n = op(buf + out.bytes, len - out.bytes, offset + out.bytes);
+    if (n > 0) {
+      out.bytes += static_cast<std::size_t>(n);
+      if (out.bytes < len) {
+        counters.short_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      transient = 0;
+      continue;
+    }
+    if (n == 0) {
+      if (transient < kMaxTransientRetries) {
+        counters.backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+        backoff_sleep(transient++);
+        continue;
+      }
+      out.error = true;
+      out.err = EIO;  // a device that accepts nothing is effectively dead
+      break;
+    }
+    if (errno == EINTR) {
+      counters.eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+        transient < kMaxTransientRetries) {
+      counters.backoff_sleeps.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(transient++);
+      continue;
+    }
+    out.error = true;
+    out.err = errno;
+    break;
+  }
+  if (out.error) {
+    counters.write_failures.fetch_add(1, std::memory_order_relaxed);
+    if (classify_errno(out.err) == WriteClass::kNoSpace) {
+      counters.enospc_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structured results for the fd-level helpers
+
+struct WriteResult {
+  bool ok = true;
+  WriteClass cls = WriteClass::kOk;
+  int err = 0;          ///< errno of the failure (0 on success)
+  std::string message;  ///< human-readable, includes the classification
+  explicit operator bool() const { return ok; }
+};
+
+/// Builds a failed WriteResult: classification from `err`, message
+/// "<what>: <class> (<strerror>)".
+WriteResult write_error(const std::string& what, int err);
+
+/// write_fully over the FaultVfs write hook for a plain fd.
+WriteResult write_fully_fd(int fd, std::string_view data,
+                           const std::string& label);
+
+/// fsync with EINTR retry; EINVAL (fd with no sync semantics, e.g. a
+/// pipe in tests) is treated as success. Counts into `fsyncs`.
+WriteResult fsync_retry(int fd, const std::string& label);
+
+/// Opens the parent directory of `path` and fsyncs it, making a
+/// completed rename durable against power loss. Counts into `dir_fsyncs`.
+WriteResult fsync_parent_dir(const std::string& path);
+
+/// The temp sibling `atomic_publish_file` writes before renaming:
+/// ".<name>.tmp" next to `dst` — dot-prefixed so directory globs and
+/// tailing readers never pick it up.
+std::string publish_tmp_path(const std::string& dst);
+
+/// Renames an already-written-and-fsynced `tmp` over `dst` and fsyncs
+/// the parent directory. Crash-points: `<site>.after_fsync` before the
+/// rename, `<site>.after_rename` after it. For writers that stream into
+/// their temp file themselves (the container converter); everyone else
+/// wants atomic_publish_file.
+WriteResult durable_rename(const std::string& tmp, const std::string& dst,
+                           const std::string& site);
+
+/// The full crash-consistent publication pipeline: write `contents` to
+/// publish_tmp_path(dst) via write_fully, fsync the file, rename over
+/// `dst`, fsync the parent directory. Crash-points `<site>.after_write`,
+/// `<site>.after_fsync`, `<site>.after_rename`. On failure the temp file
+/// is removed and `dst` still holds its previous bytes.
+WriteResult atomic_publish_file(const std::string& dst,
+                                std::string_view contents,
+                                const std::string& site);
+
+// ---------------------------------------------------------------------------
+// FaultVfs — seeded, deterministic write-side fault injection
+
+struct WriteFault {
+  enum class Kind {
+    kErrno,  ///< fail the write with `err`
+    kEintr,  ///< fail the write with EINTR (retried, counted)
+    kShort,  ///< accept only half the requested bytes (at least 1)
+  };
+  Kind kind = Kind::kErrno;
+  int err = ENOSPC;
+};
+
+/// Process-global injection hook. Inactive (the default) it is a single
+/// relaxed atomic load in front of the real syscall. Activated either
+/// by the MTLSCOPE_* environment variables (parsed once, at first use —
+/// the chaos harness configures child processes this way) or by the
+/// in-process plan API (unit tests). All ordinals are 1-based and count
+/// only hooked calls, so a schedule is a pure function of the plan.
+class FaultVfs {
+ public:
+  static FaultVfs& instance();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // --- in-process plan API (tests) ---
+  /// Schedules `fault` for the ordinal-th hooked write.
+  void fault_write_at(std::uint64_t ordinal, WriteFault fault);
+  /// Schedules an errno failure for writes ordinal..ordinal+count-1.
+  void fail_write_range(std::uint64_t ordinal, std::uint64_t count, int err);
+  /// Clears every plan entry and resets the call ordinals.
+  void clear();
+
+  // --- hooks ---
+  ssize_t write(int fd, const void* buf, std::size_t n);
+  /// rename(2) with tear injection; false + *err on failure.
+  bool rename(const std::string& from, const std::string& to, int* err);
+  /// Labeled crash boundary; _exit(170) when the configured label
+  /// reaches its hit count. Free function crash_point() forwards here.
+  void hit_crash_point(const std::string& label);
+
+  std::uint64_t writes_seen() const {
+    return write_ordinal_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t renames_seen() const {
+    return rename_ordinal_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  FaultVfs();
+  ssize_t faulted_write(int fd, const void* buf, std::size_t n,
+                        std::uint64_t ordinal);
+  bool torn_rename(const std::string& from, const std::string& to, int* err);
+
+  std::atomic<bool> active_{false};
+  std::atomic<std::uint64_t> write_ordinal_{0};
+  std::atomic<std::uint64_t> rename_ordinal_{0};
+  struct Plan;
+  Plan* plan_;  // leaked singleton member; FaultVfs lives forever
+};
+
+/// Crash boundary marker. A no-op (one relaxed load) unless a
+/// MTLSCOPE_CRASH_AT schedule is armed.
+inline void crash_point(const std::string& label) {
+  FaultVfs& vfs = FaultVfs::instance();
+  if (vfs.active()) vfs.hit_crash_point(label);
+}
+
+/// Exit codes the injector uses so harnesses can tell a scheduled kill
+/// from a genuine failure.
+inline constexpr int kCrashPointExitCode = 170;
+inline constexpr int kTornRenameExitCode = 171;
+
+}  // namespace mtlscope::ingest

@@ -28,6 +28,7 @@
 
 #include "mtlscope/core/error_ledger.hpp"
 #include "mtlscope/core/state_io.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/watch/tail.hpp"
 #include "mtlscope/zeek/records.hpp"
 
@@ -81,12 +82,61 @@ std::string serialize_watch_checkpoint(const WatchCheckpoint& ckpt);
 std::optional<WatchCheckpoint> parse_watch_checkpoint(
     std::string_view data, std::string* error = nullptr);
 
-/// Atomic file wrappers: write-to-temp + rename, so a crash mid-write
-/// never leaves a half checkpoint where the next start would find it.
-bool save_watch_checkpoint(const std::string& path,
-                           const WatchCheckpoint& ckpt,
-                           std::string* error = nullptr);
+/// Atomic durable file wrappers (DESIGN §16): write-to-temp + fsync +
+/// rename + parent-directory fsync, so a crash mid-write never leaves a
+/// half checkpoint where the next start would find it, and a completed
+/// save survives power loss. The result carries the ENOSPC/EIO
+/// classification the daemon's degraded mode dispatches on.
+ingest::WriteResult save_watch_checkpoint(const std::string& path,
+                                          const WatchCheckpoint& ckpt);
 std::optional<WatchCheckpoint> load_watch_checkpoint(
     const std::string& path, std::string* error = nullptr);
+
+/// Checkpoint generations (DESIGN §16): the daemon keeps the last
+/// `keep` checkpoints as `watch.ckpt.<gen>` instead of rewriting one
+/// file. save() writes the next generation atomically and prunes the
+/// oldest; load() walks newest→oldest and restores the first file whose
+/// SHA-256 trailer verifies, so a torn newest checkpoint degrades to
+/// generation N-1 rather than a cold re-read. A legacy un-suffixed
+/// `watch.ckpt` (pre-generation daemons) reads as generation 0.
+class CheckpointStore {
+ public:
+  static constexpr const char* kBaseName = "watch.ckpt";
+
+  explicit CheckpointStore(std::string dir, std::uint32_t keep = 3);
+
+  const std::string& dir() const { return dir_; }
+  std::uint32_t keep() const { return keep_; }
+  /// Generation the next save() will write (last on disk + 1).
+  std::uint64_t next_generation() const { return next_generation_; }
+  bool has_any() const;
+
+  /// Serializes and atomically publishes generation next_generation(),
+  /// then prunes generations beyond `keep`. On failure nothing is
+  /// pruned and the generation number is not consumed (the retry
+  /// rewrites the same generation).
+  ingest::WriteResult save(const WatchCheckpoint& ckpt);
+
+  /// Newest→oldest walk; the first checkpoint that parses (digest OK)
+  /// wins. `generation` receives its number, `skipped` the count of
+  /// newer unreadable generations stepped over. nullopt with `error`
+  /// describing the newest failure when every generation is bad.
+  std::optional<WatchCheckpoint> load(std::string* error = nullptr,
+                                      std::uint64_t* generation = nullptr,
+                                      std::uint32_t* skipped = nullptr);
+
+  /// All generations on disk, ascending: (generation, absolute path).
+  /// The legacy un-suffixed file appears as generation 0.
+  static std::vector<std::pair<std::uint64_t, std::string>> list(
+      const std::string& dir);
+
+ private:
+  std::string path_for(std::uint64_t generation) const;
+  void prune();
+
+  std::string dir_;
+  std::uint32_t keep_;
+  std::uint64_t next_generation_ = 1;
+};
 
 }  // namespace mtlscope::watch

@@ -6,7 +6,9 @@
 // batch-equivalence and test harness mode).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,10 @@ struct WatchOptions {
   /// Seconds between checkpoints; 0 checkpoints after every poll that
   /// made progress.
   double checkpoint_every_s = 30;
+  /// Checkpoint generations retained on disk (`watch.ckpt.<gen>`,
+  /// DESIGN §16); resume walks newest→oldest and restores the first
+  /// generation whose digest verifies. Clamped to at least 1.
+  std::uint32_t checkpoint_keep = 3;
   /// Exit 0 after this long with no log growth and nothing held
   /// (drain + final publication + final checkpoint). 0 = run until
   /// signalled.
@@ -42,6 +48,41 @@ struct WatchOptions {
   /// Polls with zero x509 growth before a held record is force-released
   /// (missing-certificate liveness).
   int missing_cert_grace_polls = 50;
+};
+
+/// Durable emission publisher with deterministic degraded mode
+/// (DESIGN §16). Every document goes through write-to-temp + fsync +
+/// rename + parent-dir fsync; when the disk fills (ENOSPC/EDQUOT) the
+/// last-good published files are retained untouched and the failed
+/// document is queued (latest content per name wins). The daemon calls
+/// retry_pending() once per poll loop — the poll cadence is the retry
+/// backoff — and an OK→failing transition counts one degraded episode
+/// in the global durability counters.
+class DurablePublisher {
+ public:
+  explicit DurablePublisher(std::string dir);
+
+  /// Atomically publishes `dir/name`; on failure queues the content for
+  /// retry_pending() and returns false.
+  bool publish(const std::string& name, const std::string& content);
+
+  /// Retries every queued publication in name order; stops at the first
+  /// failure (still degraded). Returns true once the queue is empty.
+  bool retry_pending();
+
+  std::size_t pending() const { return pending_.size(); }
+  bool degraded() const { return degraded_; }
+  /// Episodes observed by this publisher (the global counter aggregates
+  /// across publishers and the checkpoint path).
+  std::uint64_t degraded_episodes() const { return episodes_; }
+
+ private:
+  void note_failure(const std::string& name, const std::string& message);
+
+  std::string dir_;
+  std::map<std::string, std::string> pending_;
+  bool degraded_ = false;
+  std::uint64_t episodes_ = 0;
 };
 
 /// Runs the daemon loop until SIGINT/SIGTERM (checkpoint + exit 0) or

@@ -44,6 +44,7 @@
 #include <utility>
 
 #include "mtlscope/colfmt/wire.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 
 namespace mtlscope::colfmt {
 
@@ -122,16 +123,15 @@ ContainerWriter::ContainerWriter(const std::string& path,
   put_u32(header, 0);                       // reserved
   digest_->update(header);
   ok_ = true;
-  std::size_t done = 0;
-  while (done < header.size()) {
-    const ssize_t n =
-        ::write(fd_, header.data() + done, header.size() - done);
-    if (n <= 0) {
-      ok_ = false;
-      error_ = "short write to " + path_;
-      return;
-    }
-    done += static_cast<std::size_t>(n);
+  // write_fully owns the EINTR / short-write / backoff discipline (and
+  // routes through the FaultVfs hook, so the chaos harness covers this
+  // writer); a failure here is a classified hard error, never a silent
+  // offset corruption.
+  const auto put = ingest::write_fully_fd(fd_, header, path_);
+  if (!put.ok) {
+    ok_ = false;
+    error_ = put.message;
+    return;
   }
   offset_ = header.size();
 }
@@ -153,16 +153,11 @@ void ContainerWriter::write_frame(FrameKind kind, std::string_view payload,
     digest_->update(payload);
   }
   for (std::string_view part : {std::string_view(header), payload}) {
-    std::size_t done = 0;
-    while (done < part.size()) {
-      const ssize_t n =
-          ::write(fd_, part.data() + done, part.size() - done);
-      if (n <= 0) {
-        ok_ = false;
-        error_ = "short write to " + path_;
-        return;
-      }
-      done += static_cast<std::size_t>(n);
+    const auto put = ingest::write_fully_fd(fd_, part, path_);
+    if (!put.ok) {
+      ok_ = false;
+      error_ = put.message;
+      return;
     }
   }
   offset_ += header.size() + payload.size();
@@ -359,9 +354,12 @@ bool ContainerWriter::finish(std::string* error) {
   footer.raw(digest.data(), digest.size());
   write_frame(FrameKind::kFooter, footer.buffer(), 0);
 
-  if (ok_ && ::fsync(fd_) != 0) {
-    ok_ = false;
-    error_ = "fsync failed for " + path_;
+  if (ok_) {
+    const auto synced = ingest::fsync_retry(fd_, path_);
+    if (!synced.ok) {
+      ok_ = false;
+      error_ = synced.message;
+    }
   }
   if (::close(fd_) != 0 && ok_) {
     ok_ = false;

@@ -7,6 +7,7 @@
 
 #include "mtlscope/core/error_ledger.hpp"
 #include "mtlscope/ingest/chunker.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/ingest/source.hpp"
 #include "mtlscope/zeek/parse_plan.hpp"
 
@@ -164,9 +165,16 @@ bool compare_streams(const char* role, const std::vector<Record>& decoded,
 
 bool compact_logs(const CompactRequest& request, CompactStats* stats,
                   std::string* error) {
-  ContainerWriter writer(request.out_path, request.writer);
+  // The container streams into a dot-prefixed temp sibling and only
+  // renames over the destination after finish() fsyncs the frames — an
+  // aborted or crashed conversion never leaves a half container at the
+  // published path (and a power loss after success cannot tear it:
+  // durable_rename fsyncs the parent directory too).
+  const std::string tmp_path = ingest::publish_tmp_path(request.out_path);
+  ContainerWriter writer(tmp_path, request.writer);
   if (!writer.ok()) {
     if (error != nullptr) *error = writer.error();
+    std::remove(tmp_path.c_str());
     return false;
   }
 
@@ -195,7 +203,7 @@ bool compact_logs(const CompactRequest& request, CompactStats* stats,
             rows.clear();
           });
   if (!ok) {
-    std::remove(request.out_path.c_str());
+    std::remove(tmp_path.c_str());
     return false;
   }
 
@@ -207,7 +215,14 @@ bool compact_logs(const CompactRequest& request, CompactStats* stats,
   std::string finish_error;
   if (!writer.finish(&finish_error)) {
     if (error != nullptr) *error = finish_error;
-    std::remove(request.out_path.c_str());
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  const auto published =
+      ingest::durable_rename(tmp_path, request.out_path, "compact.finish");
+  if (!published.ok) {
+    if (error != nullptr) *error = published.message;
+    std::remove(tmp_path.c_str());
     return false;
   }
   if (stats != nullptr) {

@@ -607,6 +607,30 @@ std::string render_json_with_perf(const ResultDoc& doc, int indent,
       w.value_uint(doc.run.enrich_cache_unique);
       w.end_object();
     }
+    if (doc.run.durability_present) {
+      // Write-path durability counters (DESIGN §16). Volatile: retry
+      // and fsync counts depend on signal timing and disk behaviour,
+      // never on the analyzed records.
+      w.key("durability");
+      w.begin_object();
+      w.key("write_retries");
+      w.value_uint(doc.run.write_retries);
+      w.key("write_failures");
+      w.value_uint(doc.run.write_failures);
+      w.key("fsyncs");
+      w.value_uint(doc.run.fsyncs);
+      w.key("dir_fsyncs");
+      w.value_uint(doc.run.dir_fsyncs);
+      w.key("atomic_publishes");
+      w.value_uint(doc.run.atomic_publishes);
+      w.key("checkpoint_gens_written");
+      w.value_uint(doc.run.ckpt_gens_written);
+      w.key("checkpoint_gens_restored");
+      w.value_uint(doc.run.ckpt_gens_restored);
+      w.key("degraded_episodes");
+      w.value_uint(doc.run.degraded_episodes);
+      w.end_object();
+    }
     if (doc.run.state_format_version != 0) {
       w.key("state_format_version");
       w.value_uint(doc.run.state_format_version);

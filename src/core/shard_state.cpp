@@ -18,6 +18,7 @@
 #include "mtlscope/core/state_io.hpp"
 #include "mtlscope/crypto/encoding.hpp"
 #include "mtlscope/crypto/sha256.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 
 namespace mtlscope::core {
 
@@ -906,11 +907,12 @@ bool save_shard_state(const std::string& path, const ShardState& state,
     if (error != nullptr) *error = e.what();
     return false;
   }
-  std::ofstream out(path, std::ios::binary);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.close();
-  if (!out) {
-    if (error != nullptr) *error = "cannot write " + path;
+  // Atomic, durable publication (DESIGN §16): tmp + fsync + rename +
+  // parent-directory fsync, so a reduce never opens a torn state file
+  // and a completed map survives power loss.
+  const auto published = ingest::atomic_publish_file(path, bytes, "state.save");
+  if (!published.ok) {
+    if (error != nullptr) *error = published.message;
     return false;
   }
   if (info != nullptr) {

@@ -7,6 +7,7 @@
 
 #include "experiments_internal.hpp"
 #include "mtlscope/colfmt/container.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 
 namespace mtlscope::experiments {
 
@@ -118,6 +119,26 @@ void fill_data_quality(core::RunInfo& run, const core::ErrorLedger& ledger,
   }
   dq.samples_truncated =
       ledger.samples_truncated() || entries.size() > take;
+}
+
+/// Snapshots the process-global write-path durability counters
+/// (DESIGN §16) into the doc's volatile perf fields. Always present on
+/// executor-backed docs; --stable-output suppresses the rendering.
+void fill_durability(core::RunInfo& run) {
+  const auto& wc = ingest::write_retry_counters();
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  run.durability_present = true;
+  run.write_retries = get(wc.eintr_retries) + get(wc.short_writes) +
+                      get(wc.backoff_sleeps);
+  run.write_failures = get(wc.write_failures);
+  run.fsyncs = get(wc.fsyncs);
+  run.dir_fsyncs = get(wc.dir_fsyncs);
+  run.atomic_publishes = get(wc.atomic_publishes);
+  run.ckpt_gens_written = get(wc.checkpoint_gens_written);
+  run.ckpt_gens_restored = get(wc.checkpoint_gens_restored);
+  run.degraded_episodes = get(wc.degraded_episodes);
 }
 
 /// `ssl_label`/`x509_label` name the inputs in the config block. For a
@@ -235,6 +256,7 @@ std::vector<core::ResultDoc> run_experiments(
       run.enrich_cache_misses = scan_stats.enrich_misses;
       run.enrich_cache_unique = scan_stats.enrich_unique;
       fill_data_quality(run, harness.ledger(), item.options);
+      fill_durability(run);
       item.exp->report(harness, item.doc);
     }
   }
@@ -293,6 +315,7 @@ std::vector<core::ResultDoc> run_reduced(const std::vector<std::string>& names,
     run.state_format_version = reduce_info.state_format_version;
     run.state_digest = reduce_info.state_digest;
     fill_data_quality(run, harness.ledger(), item.options);
+    fill_durability(run);
     item.exp->report(harness, item.doc);
   }
 

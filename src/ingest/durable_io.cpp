@@ -1,0 +1,422 @@
+#include "mtlscope/ingest/durable_io.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace mtlscope::ingest {
+
+// ---------------------------------------------------------------------------
+// Classification
+
+WriteClass classify_errno(int err) {
+  switch (err) {
+    case 0:
+      return WriteClass::kOk;
+    case ENOSPC:
+#ifdef EDQUOT
+    case EDQUOT:
+#endif
+      return WriteClass::kNoSpace;
+    case EIO:
+      return WriteClass::kIo;
+    default:
+      return WriteClass::kOther;
+  }
+}
+
+const char* write_class_name(WriteClass cls) {
+  switch (cls) {
+    case WriteClass::kOk:
+      return "ok";
+    case WriteClass::kNoSpace:
+      return "no-space";
+    case WriteClass::kIo:
+      return "io-error";
+    case WriteClass::kOther:
+      return "error";
+  }
+  return "error";
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+
+WriteRetryCounters& write_retry_counters() {
+  static WriteRetryCounters counters;
+  return counters;
+}
+
+void reset_write_retry_counters() {
+  WriteRetryCounters& c = write_retry_counters();
+  for (std::atomic<std::uint64_t>* field :
+       {&c.eintr_retries, &c.short_writes, &c.backoff_sleeps,
+        &c.write_failures, &c.enospc_failures, &c.fsyncs, &c.dir_fsyncs,
+        &c.atomic_publishes, &c.checkpoint_gens_written,
+        &c.checkpoint_gens_restored, &c.degraded_episodes}) {
+    field->store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fd-level helpers
+
+WriteResult write_error(const std::string& what, int err) {
+  WriteResult r;
+  r.ok = false;
+  r.err = err;
+  r.cls = classify_errno(err);
+  r.message = what + ": " + write_class_name(r.cls) + " (" +
+              std::strerror(err) + ")";
+  return r;
+}
+
+WriteResult write_fully_fd(int fd, std::string_view data,
+                           const std::string& label) {
+  FaultVfs& vfs = FaultVfs::instance();
+  const auto out = write_fully(
+      [&vfs, fd](const char* src, std::size_t n, std::size_t) {
+        return vfs.write(fd, src, n);
+      },
+      data.data(), data.size(), 0);
+  if (out.error) return write_error("cannot write " + label, out.err);
+  return WriteResult{};
+}
+
+WriteResult fsync_retry(int fd, const std::string& label) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) {
+      write_retry_counters().eintr_retries.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    // EINVAL/EROFS-style: the fd has no sync semantics (pipe, some
+    // tmpfs configurations). Not a durability failure we can act on.
+    if (errno == EINVAL) break;
+    return write_error("cannot fsync " + label, errno);
+  }
+  write_retry_counters().fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return WriteResult{};
+}
+
+WriteResult fsync_parent_dir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return write_error("cannot open directory " + dir, errno);
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) {
+      write_retry_counters().eintr_retries.fetch_add(
+          1, std::memory_order_relaxed);
+      continue;
+    }
+    if (errno == EINVAL) break;  // filesystem without directory sync
+    const int err = errno;
+    ::close(fd);
+    return write_error("cannot fsync directory " + dir, err);
+  }
+  ::close(fd);
+  write_retry_counters().dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return WriteResult{};
+}
+
+std::string publish_tmp_path(const std::string& dst) {
+  const std::filesystem::path path(dst);
+  const std::filesystem::path tmp_name =
+      "." + path.filename().string() + ".tmp";
+  return (path.parent_path() / tmp_name).string();
+}
+
+WriteResult durable_rename(const std::string& tmp, const std::string& dst,
+                           const std::string& site) {
+  crash_point(site + ".after_fsync");
+  int err = 0;
+  if (!FaultVfs::instance().rename(tmp, dst, &err)) {
+    WriteResult r = write_error("cannot rename " + tmp + " to " + dst, err);
+    write_retry_counters().write_failures.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    if (r.cls == WriteClass::kNoSpace) {
+      write_retry_counters().enospc_failures.fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return r;
+  }
+  crash_point(site + ".after_rename");
+  WriteResult r = fsync_parent_dir(dst);
+  if (!r.ok) return r;
+  write_retry_counters().atomic_publishes.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  return WriteResult{};
+}
+
+WriteResult atomic_publish_file(const std::string& dst,
+                                std::string_view contents,
+                                const std::string& site) {
+  const std::string tmp = publish_tmp_path(dst);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return write_error("cannot create " + tmp, errno);
+  WriteResult r = write_fully_fd(fd, contents, tmp);
+  if (!r.ok) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return r;
+  }
+  crash_point(site + ".after_write");
+  r = fsync_retry(fd, tmp);
+  if (::close(fd) != 0 && r.ok) r = write_error("cannot close " + tmp, errno);
+  if (!r.ok) {
+    ::unlink(tmp.c_str());
+    return r;
+  }
+  r = durable_rename(tmp, dst, site);
+  if (!r.ok) ::unlink(tmp.c_str());
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// FaultVfs
+
+struct FaultVfs::Plan {
+  std::mutex mu;
+  // write ordinal (1-based) → fault; covers both the plan API and the
+  // MTLSCOPE_FAIL_WRITE storm (expanded into entries at parse time
+  // would be unbounded, so the storm keeps its own range).
+  std::map<std::uint64_t, WriteFault> write_faults;
+  std::uint64_t storm_from = 0;  // 0 = no storm
+  std::uint64_t storm_count = 0;
+  int storm_err = ENOSPC;
+  // torn rename
+  std::uint64_t tear_at = 0;  // 0 = disabled; counts matching renames
+  std::string tear_substr;
+  std::atomic<std::uint64_t> tear_matches{0};
+  // crash point
+  std::string crash_label;
+  std::uint64_t crash_n = 0;
+  std::map<std::string, std::uint64_t> crash_hits;
+
+  bool any() const {
+    return !write_faults.empty() || storm_count != 0 || tear_at != 0 ||
+           !crash_label.empty();
+  }
+};
+
+namespace {
+
+/// "K[:enospc|eio][:M]" → (from, err, count). Returns false on malformed
+/// input (injection silently disabled — a chaos driver always verifies
+/// the schedule fired, so a typo cannot pass as a green run).
+bool parse_fail_write(const char* spec, std::uint64_t* from, int* err,
+                      std::uint64_t* count) {
+  char* end = nullptr;
+  const unsigned long long k = std::strtoull(spec, &end, 10);
+  if (end == spec || k == 0) return false;
+  *from = k;
+  *err = ENOSPC;
+  *count = 1;
+  if (*end == '\0') return true;
+  if (*end != ':') return false;
+  const char* rest = end + 1;
+  if (std::strncmp(rest, "enospc", 6) == 0) {
+    *err = ENOSPC;
+    rest += 6;
+  } else if (std::strncmp(rest, "eio", 3) == 0) {
+    *err = EIO;
+    rest += 3;
+  }
+  if (*rest == '\0') return true;
+  if (*rest != ':') return false;
+  const unsigned long long m = std::strtoull(rest + 1, &end, 10);
+  if (end == rest + 1 || m == 0) return false;
+  *count = m;
+  return true;
+}
+
+}  // namespace
+
+FaultVfs::FaultVfs() : plan_(new Plan) {
+  bool armed = false;
+  if (const char* spec = std::getenv("MTLSCOPE_FAIL_WRITE")) {
+    std::uint64_t from = 0, count = 0;
+    int err = ENOSPC;
+    if (parse_fail_write(spec, &from, &err, &count)) {
+      plan_->storm_from = from;
+      plan_->storm_count = count;
+      plan_->storm_err = err;
+      armed = true;
+    }
+  }
+  if (const char* spec = std::getenv("MTLSCOPE_TEAR_RENAME")) {
+    char* end = nullptr;
+    const unsigned long long k = std::strtoull(spec, &end, 10);
+    if (end != spec && k > 0) {
+      plan_->tear_at = k;
+      if (*end == ':') plan_->tear_substr = end + 1;
+      armed = true;
+    }
+  }
+  if (const char* spec = std::getenv("MTLSCOPE_CRASH_AT")) {
+    const char* colon = std::strrchr(spec, ':');
+    if (colon != nullptr && colon != spec) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(colon + 1, &end, 10);
+      if (end != colon + 1 && *end == '\0' && n > 0) {
+        plan_->crash_label.assign(spec, colon - spec);
+        plan_->crash_n = n;
+        armed = true;
+      }
+    }
+  }
+  if (armed) active_.store(true, std::memory_order_relaxed);
+}
+
+FaultVfs& FaultVfs::instance() {
+  static FaultVfs vfs;
+  return vfs;
+}
+
+void FaultVfs::fault_write_at(std::uint64_t ordinal, WriteFault fault) {
+  std::lock_guard<std::mutex> lock(plan_->mu);
+  plan_->write_faults[ordinal] = fault;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultVfs::fail_write_range(std::uint64_t ordinal, std::uint64_t count,
+                                int err) {
+  std::lock_guard<std::mutex> lock(plan_->mu);
+  plan_->storm_from = ordinal;
+  plan_->storm_count = count;
+  plan_->storm_err = err;
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void FaultVfs::clear() {
+  std::lock_guard<std::mutex> lock(plan_->mu);
+  plan_->write_faults.clear();
+  plan_->storm_from = 0;
+  plan_->storm_count = 0;
+  plan_->tear_at = 0;
+  plan_->tear_substr.clear();
+  plan_->tear_matches.store(0, std::memory_order_relaxed);
+  plan_->crash_label.clear();
+  plan_->crash_n = 0;
+  plan_->crash_hits.clear();
+  write_ordinal_.store(0, std::memory_order_relaxed);
+  rename_ordinal_.store(0, std::memory_order_relaxed);
+  active_.store(false, std::memory_order_relaxed);
+}
+
+ssize_t FaultVfs::faulted_write(int fd, const void* buf, std::size_t n,
+                                std::uint64_t ordinal) {
+  WriteFault fault;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(plan_->mu);
+    const auto it = plan_->write_faults.find(ordinal);
+    if (it != plan_->write_faults.end()) {
+      fault = it->second;
+      have = true;
+    } else if (plan_->storm_count != 0 && ordinal >= plan_->storm_from &&
+               ordinal < plan_->storm_from + plan_->storm_count) {
+      fault.kind = WriteFault::Kind::kErrno;
+      fault.err = plan_->storm_err;
+      have = true;
+    }
+  }
+  if (!have) return ::write(fd, buf, n);
+  switch (fault.kind) {
+    case WriteFault::Kind::kErrno:
+      errno = fault.err;
+      return -1;
+    case WriteFault::Kind::kEintr:
+      errno = EINTR;
+      return -1;
+    case WriteFault::Kind::kShort: {
+      const std::size_t half = n > 1 ? n / 2 : 1;
+      return ::write(fd, buf, half);
+    }
+  }
+  errno = EIO;
+  return -1;
+}
+
+ssize_t FaultVfs::write(int fd, const void* buf, std::size_t n) {
+  if (!active()) return ::write(fd, buf, n);
+  const std::uint64_t ordinal =
+      write_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return faulted_write(fd, buf, n, ordinal);
+}
+
+bool FaultVfs::torn_rename(const std::string& from, const std::string& to,
+                           int* err) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (err != nullptr) *err = errno;
+    return false;
+  }
+  // The rename happened but "power was lost" before the filesystem made
+  // it durable: model the worst legal outcome on a non-atomic
+  // filesystem — the destination exists with only a prefix of its bytes.
+  struct stat st{};
+  if (::stat(to.c_str(), &st) == 0 && st.st_size > 0) {
+    (void)!::truncate(to.c_str(), st.st_size / 2);
+  }
+  std::fprintf(stderr, "faultvfs: torn rename of %s; exiting %d\n",
+               to.c_str(), kTornRenameExitCode);
+  std::fflush(stderr);
+  ::_exit(kTornRenameExitCode);
+}
+
+bool FaultVfs::rename(const std::string& from, const std::string& to,
+                      int* err) {
+  if (!active()) {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      if (err != nullptr) *err = errno;
+      return false;
+    }
+    return true;
+  }
+  rename_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  bool tear = false;
+  {
+    std::lock_guard<std::mutex> lock(plan_->mu);
+    if (plan_->tear_at != 0 &&
+        (plan_->tear_substr.empty() ||
+         to.find(plan_->tear_substr) != std::string::npos)) {
+      const std::uint64_t match =
+          plan_->tear_matches.fetch_add(1, std::memory_order_relaxed) + 1;
+      tear = match == plan_->tear_at;
+    }
+  }
+  if (tear) return torn_rename(from, to, err);
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    if (err != nullptr) *err = errno;
+    return false;
+  }
+  return true;
+}
+
+void FaultVfs::hit_crash_point(const std::string& label) {
+  bool crash = false;
+  {
+    std::lock_guard<std::mutex> lock(plan_->mu);
+    if (plan_->crash_label.empty() || plan_->crash_label != label) return;
+    const std::uint64_t hits = ++plan_->crash_hits[label];
+    crash = hits == plan_->crash_n;
+  }
+  if (crash) {
+    std::fprintf(stderr, "faultvfs: crash point %s; exiting %d\n",
+                 label.c_str(), kCrashPointExitCode);
+    std::fflush(stderr);
+    ::_exit(kCrashPointExitCode);
+  }
+}
+
+}  // namespace mtlscope::ingest

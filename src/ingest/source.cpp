@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/ingest/retry.hpp"
 
 namespace mtlscope::ingest {
@@ -220,16 +221,17 @@ FileHandle spool_to_tempfile(int in_fd, std::size_t* spooled,
       return FileHandle{};
     }
     if (got.bytes == 0) break;
-    std::size_t written = 0;
-    while (written < got.bytes) {
-      const ssize_t w = ::write(tmp_fd, buf + written, got.bytes - written);
-      if (w <= 0) {
-        set_error(error, name, total, "spool write failed: " + errno_string());
-        std::fclose(tmp);
-        ::close(tmp_fd);
-        return FileHandle{};
-      }
-      written += static_cast<std::size_t>(w);
+    // write_fully mirrors the read-side discipline (EINTR retry, short
+    // writes continued, bounded EAGAIN backoff) and classifies the hard
+    // error — a full disk surfaces as a structured message, not a
+    // truncated spool.
+    const auto put =
+        write_fully_fd(tmp_fd, std::string_view(buf, got.bytes), "spool");
+    if (!put.ok) {
+      set_error(error, name, total, "spool write failed: " + put.message);
+      std::fclose(tmp);
+      ::close(tmp_fd);
+      return FileHandle{};
     }
     total += got.bytes;
     if (got.bytes < sizeof(buf)) break;  // EOF mid-buffer

@@ -1,6 +1,9 @@
 #include "mtlscope/watch/checkpoint.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -360,28 +363,10 @@ std::optional<WatchCheckpoint> parse_watch_checkpoint(std::string_view data,
   }
 }
 
-bool save_watch_checkpoint(const std::string& path,
-                           const WatchCheckpoint& ckpt, std::string* error) {
+ingest::WriteResult save_watch_checkpoint(const std::string& path,
+                                          const WatchCheckpoint& ckpt) {
   const std::string bytes = serialize_watch_checkpoint(ckpt);
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    out.close();
-    if (!out) {
-      if (error != nullptr) *error = "cannot write " + tmp;
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    if (error != nullptr) {
-      *error = "cannot rename " + tmp + ": " + ec.message();
-    }
-    return false;
-  }
-  return true;
+  return ingest::atomic_publish_file(path, bytes, "watch.checkpoint");
 }
 
 std::optional<WatchCheckpoint> load_watch_checkpoint(const std::string& path,
@@ -399,6 +384,106 @@ std::optional<WatchCheckpoint> load_watch_checkpoint(const std::string& path,
   }
   const std::string data = buf.str();
   return parse_watch_checkpoint(data, error);
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::uint32_t keep)
+    : dir_(std::move(dir)), keep_(keep == 0 ? 1 : keep) {
+  std::uint64_t max_gen = 0;
+  bool any = false;
+  for (const auto& [gen, path] : list(dir_)) {
+    (void)path;
+    any = true;
+    max_gen = std::max(max_gen, gen);
+  }
+  next_generation_ = any ? max_gen + 1 : 1;
+}
+
+std::string CheckpointStore::path_for(std::uint64_t generation) const {
+  return (std::filesystem::path(dir_) /
+          (std::string(kBaseName) + "." + std::to_string(generation)))
+      .string();
+}
+
+bool CheckpointStore::has_any() const { return !list(dir_).empty(); }
+
+std::vector<std::pair<std::uint64_t, std::string>> CheckpointStore::list(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name == kBaseName) {
+      // Legacy single-file layout from pre-generation daemons.
+      out.emplace_back(0, it->path().string());
+      continue;
+    }
+    const std::string prefix = std::string(kBaseName) + ".";
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // watch.ckpt.tmp-style strays are not generations
+    }
+    errno = 0;
+    char* endp = nullptr;
+    const unsigned long long gen = std::strtoull(suffix.c_str(), &endp, 10);
+    if (errno != 0 || endp == nullptr || *endp != '\0') continue;
+    out.emplace_back(static_cast<std::uint64_t>(gen), it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ingest::WriteResult CheckpointStore::save(const WatchCheckpoint& ckpt) {
+  const std::string bytes = serialize_watch_checkpoint(ckpt);
+  const auto result = ingest::atomic_publish_file(
+      path_for(next_generation_), bytes, "watch.checkpoint");
+  if (!result.ok) return result;  // generation not consumed; retry rewrites it
+  ++next_generation_;
+  ingest::write_retry_counters().checkpoint_gens_written.fetch_add(
+      1, std::memory_order_relaxed);
+  prune();
+  return result;
+}
+
+void CheckpointStore::prune() {
+  auto gens = list(dir_);
+  if (gens.size() <= keep_) return;
+  const std::size_t drop = gens.size() - keep_;
+  for (std::size_t i = 0; i < drop; ++i) {
+    std::error_code ec;
+    std::filesystem::remove(gens[i].second, ec);  // best effort
+  }
+}
+
+std::optional<WatchCheckpoint> CheckpointStore::load(std::string* error,
+                                                     std::uint64_t* generation,
+                                                     std::uint32_t* skipped) {
+  auto gens = list(dir_);
+  std::string newest_error;
+  std::uint32_t stepped_over = 0;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    std::string gen_error;
+    auto ckpt = load_watch_checkpoint(it->second, &gen_error);
+    if (ckpt.has_value()) {
+      if (generation != nullptr) *generation = it->first;
+      if (skipped != nullptr) *skipped = stepped_over;
+      ingest::write_retry_counters().checkpoint_gens_restored.fetch_add(
+          1, std::memory_order_relaxed);
+      return ckpt;
+    }
+    if (newest_error.empty()) newest_error = std::move(gen_error);
+    ++stepped_over;
+  }
+  if (error != nullptr) {
+    *error = gens.empty() ? "no checkpoint generations in " + dir_
+                          : newest_error;
+  }
+  if (skipped != nullptr) *skipped = stepped_over;
+  return std::nullopt;
 }
 
 }  // namespace mtlscope::watch

@@ -4,8 +4,8 @@
 #include <cstdio>
 #include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <memory>
+#include <optional>
 #include <thread>
 
 #ifdef __linux__
@@ -14,6 +14,7 @@
 #include <unistd.h>
 #endif
 
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/watch/checkpoint.hpp"
 #include "mtlscope/watch/container_tail.hpp"
 #include "mtlscope/watch/record_tail.hpp"
@@ -39,30 +40,6 @@ void install_signals() {
   ::sigemptyset(&st.sa_mask);
   st.sa_flags = SA_RESTART;
   ::sigaction(SIGUSR1, &st, nullptr);
-}
-
-/// Atomic publication: a reader never sees a half-written document.
-bool publish(const std::filesystem::path& dir, const std::string& name,
-             const std::string& content) {
-  const std::filesystem::path tmp = dir / (".tmp." + name);
-  const std::filesystem::path dst = dir / name;
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.close();
-    if (!out) {
-      std::fprintf(stderr, "watch: cannot write %s\n", tmp.string().c_str());
-      return false;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, dst, ec);
-  if (ec) {
-    std::fprintf(stderr, "watch: cannot publish %s: %s\n",
-                 dst.string().c_str(), ec.message().c_str());
-    return false;
-  }
-  return true;
 }
 
 std::string emission_file_name(const Emission& emission) {
@@ -287,6 +264,54 @@ class CompactFeeder final : public Feeder {
 
 }  // namespace
 
+DurablePublisher::DurablePublisher(std::string dir) : dir_(std::move(dir)) {}
+
+void DurablePublisher::note_failure(const std::string& name,
+                                    const std::string& message) {
+  if (!degraded_) {
+    degraded_ = true;
+    ++episodes_;
+    ingest::write_retry_counters().degraded_episodes.fetch_add(
+        1, std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "watch: degraded: cannot publish %s: %s (last-good outputs "
+                 "retained; retrying each poll)\n",
+                 name.c_str(), message.c_str());
+  }
+}
+
+bool DurablePublisher::publish(const std::string& name,
+                               const std::string& content) {
+  const std::string dst = (std::filesystem::path(dir_) / name).string();
+  const auto result =
+      ingest::atomic_publish_file(dst, content, "watch.publish");
+  if (result.ok) {
+    pending_.erase(name);
+    return true;
+  }
+  note_failure(name, result.message);
+  // Latest content wins: a newer cumulative.json supersedes the queued
+  // one rather than queueing behind it.
+  pending_[name] = content;
+  return false;
+}
+
+bool DurablePublisher::retry_pending() {
+  while (!pending_.empty()) {
+    auto it = pending_.begin();
+    const std::string dst = (std::filesystem::path(dir_) / it->first).string();
+    const auto result =
+        ingest::atomic_publish_file(dst, it->second, "watch.publish");
+    if (!result.ok) return false;  // still degraded; next poll retries
+    pending_.erase(it);
+  }
+  if (degraded_) {
+    degraded_ = false;
+    std::fprintf(stderr, "watch: recovered: pending publications flushed\n");
+  }
+  return true;
+}
+
 int run_watch(const WatchOptions& options) {
   std::error_code ec;
   std::filesystem::create_directories(options.out_dir, ec);
@@ -295,7 +320,7 @@ int run_watch(const WatchOptions& options) {
                  options.out_dir.c_str(), ec.message().c_str());
     return 1;
   }
-  std::string checkpoint_path;
+  std::optional<CheckpointStore> store;
   if (!options.checkpoint_dir.empty()) {
     std::filesystem::create_directories(options.checkpoint_dir, ec);
     if (ec) {
@@ -303,9 +328,7 @@ int run_watch(const WatchOptions& options) {
                    options.checkpoint_dir.c_str(), ec.message().c_str());
       return 1;
     }
-    checkpoint_path =
-        (std::filesystem::path(options.checkpoint_dir) / "watch.ckpt")
-            .string();
+    store.emplace(options.checkpoint_dir, options.checkpoint_keep);
   }
 
   WatchConfig config;
@@ -330,10 +353,10 @@ int run_watch(const WatchOptions& options) {
     }
   }
 
-  const std::filesystem::path out_dir(options.out_dir);
+  DurablePublisher publisher(options.out_dir);
   WindowScheduler scheduler(
-      config, [&out_dir](const Emission& emission) {
-        publish(out_dir, emission_file_name(emission), emission.envelope);
+      config, [&publisher](const Emission& emission) {
+        publisher.publish(emission_file_name(emission), emission.envelope);
       });
 
   std::unique_ptr<Feeder> feeder;
@@ -344,13 +367,16 @@ int run_watch(const WatchOptions& options) {
                                           options.run.x509_log);
   }
 
-  // Resume: a readable, configuration-compatible checkpoint restores
-  // scheduler and tail positions; an unreadable one is reported and the
-  // watch starts fresh (re-reading the logs, not guessing).
-  if (!checkpoint_path.empty() &&
-      std::filesystem::exists(checkpoint_path)) {
+  // Resume: walk the checkpoint generations newest→oldest and restore
+  // the first one whose digest verifies (a torn newest generation
+  // degrades to N-1, not a cold re-read). Only when every generation is
+  // unreadable does the watch start fresh (re-reading the logs, not
+  // guessing); a configuration mismatch is still a hard refusal.
+  if (store && store->has_any()) {
     std::string error;
-    auto ckpt = load_watch_checkpoint(checkpoint_path, &error);
+    std::uint64_t generation = 0;
+    std::uint32_t skipped = 0;
+    auto ckpt = store->load(&error, &generation, &skipped);
     if (!ckpt) {
       std::fprintf(stderr, "watch: ignoring checkpoint: %s\n",
                    error.c_str());
@@ -359,6 +385,10 @@ int run_watch(const WatchOptions& options) {
       return 2;
     } else {
       feeder->restore(*ckpt);
+      std::fprintf(stderr,
+                   "watch: restored checkpoint generation %llu "
+                   "(skipped %u torn)\n",
+                   static_cast<unsigned long long>(generation), skipped);
     }
   }
 
@@ -371,17 +401,35 @@ int run_watch(const WatchOptions& options) {
   auto last_checkpoint = Clock::now();
   auto last_progress = Clock::now();
   bool dirty = false;  // progress since the last checkpoint
+  bool ckpt_failing = false;  // degraded: retry every poll, not cadence
   int x509_quiet_polls = 0;
 
   const auto write_checkpoint = [&]() -> bool {
-    if (checkpoint_path.empty()) return true;
+    if (!store) return true;
     WatchCheckpoint ckpt;
     scheduler.save(ckpt);
     feeder->save(ckpt);
-    std::string error;
-    if (!save_watch_checkpoint(checkpoint_path, ckpt, &error)) {
-      std::fprintf(stderr, "watch: checkpoint failed: %s\n", error.c_str());
+    const auto saved = store->save(ckpt);
+    if (!saved.ok) {
+      // Degraded mode: the last-good generations stay on disk, the same
+      // generation number is retried every poll (the poll interval is
+      // the backoff), and the OK→failing transition counts one episode.
+      if (!ckpt_failing) {
+        ckpt_failing = true;
+        ingest::write_retry_counters().degraded_episodes.fetch_add(
+            1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "watch: degraded: checkpoint failed: %s "
+                     "(retrying each poll)\n",
+                     saved.message.c_str());
+      }
       return false;
+    }
+    if (ckpt_failing) {
+      ckpt_failing = false;
+      std::fprintf(
+          stderr, "watch: recovered: checkpoint generation %llu written\n",
+          static_cast<unsigned long long>(store->next_generation() - 1));
     }
     dirty = false;
     last_checkpoint = Clock::now();
@@ -393,11 +441,15 @@ int run_watch(const WatchOptions& options) {
     const double secs =
         std::chrono::duration<double>(Clock::now() - started).count();
     const TailEvents ev = feeder->events();
+    const auto& wc = ingest::write_retry_counters();
     std::fprintf(
         stderr,
         "watch: %llu ssl + %llu x509 records (%.0f rec/s), %llu open "
         "windows, %llu emitted (%llu rollups), held %llu, late %llu, "
-        "quarantined %llu, rotations %llu, truncations %llu\n",
+        "quarantined %llu, rotations %llu, truncations %llu | durability: "
+        "%llu write retries, %llu fsyncs, %llu publishes, ckpt gens "
+        "%llu written / %llu restored, %llu degraded episodes, %llu "
+        "pending%s\n",
         static_cast<unsigned long long>(s.ssl_records),
         static_cast<unsigned long long>(s.x509_records),
         secs > 0 ? static_cast<double>(s.ssl_records) / secs : 0.0,
@@ -408,10 +460,31 @@ int run_watch(const WatchOptions& options) {
         static_cast<unsigned long long>(s.late),
         static_cast<unsigned long long>(s.quarantined),
         static_cast<unsigned long long>(ev.rotations),
-        static_cast<unsigned long long>(ev.truncations));
+        static_cast<unsigned long long>(ev.truncations),
+        static_cast<unsigned long long>(
+            wc.eintr_retries.load(std::memory_order_relaxed) +
+            wc.short_writes.load(std::memory_order_relaxed) +
+            wc.backoff_sleeps.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            wc.fsyncs.load(std::memory_order_relaxed) +
+            wc.dir_fsyncs.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            wc.atomic_publishes.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            wc.checkpoint_gens_written.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            wc.checkpoint_gens_restored.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            wc.degraded_episodes.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(publisher.pending()),
+        publisher.degraded() || ckpt_failing ? " [DEGRADED]" : "");
   };
 
   while (g_stop == 0) {
+    // Degraded-mode drain: queued publications retry once per loop; the
+    // poll interval below is the deterministic backoff.
+    publisher.retry_pending();
+
     const Feeder::Progress polled = feeder->poll(scheduler);
 
     // Missing-certificate liveness: a held head record whose x509 row
@@ -437,11 +510,11 @@ int run_watch(const WatchOptions& options) {
       print_status();
     }
 
-    if (dirty && !checkpoint_path.empty()) {
+    if (dirty && store) {
       const double since = std::chrono::duration<double>(
                                Clock::now() - last_checkpoint)
                                .count();
-      if (options.checkpoint_every_s <= 0 ||
+      if (ckpt_failing || options.checkpoint_every_s <= 0 ||
           since >= options.checkpoint_every_s) {
         write_checkpoint();
       }
@@ -458,18 +531,22 @@ int run_watch(const WatchOptions& options) {
   }
 
   if (g_stop != 0) {
-    // Signalled: checkpoint and leave. No drain — open windows stay
-    // open so the resumed daemon continues exactly where this one
-    // stopped; final documents are the idle-exit path's job.
+    // Signalled: flush pending publications, checkpoint, and leave. No
+    // drain — open windows stay open so the resumed daemon continues
+    // exactly where this one stopped; final documents are the idle-exit
+    // path's job.
+    publisher.retry_pending();
     write_checkpoint();
     return 0;
   }
 
   // Idle exit: flush trailing partial lines as final records, drain the
   // scheduler (close windows, late + completion folds, final cumulative
-  // publication), and leave a post-drain checkpoint.
+  // publication), flush anything still queued, and leave a post-drain
+  // checkpoint.
   feeder->drain(scheduler);
   scheduler.drain();
+  publisher.retry_pending();
   write_checkpoint();
   print_status();
   return 0;

@@ -16,7 +16,13 @@
 //   * a checkpoint round-trips exactly, rejects corruption and version
 //     skew, refuses a configuration-fingerprint mismatch, and a
 //     restored scheduler finishes byte-identically to one that was
-//     never interrupted.
+//     never interrupted;
+//   * the generation store (DESIGN §16) prunes to --checkpoint-keep,
+//     restores the newest verifiable generation (a torn newest file
+//     degrades to N-1, not a cold re-read), and still reads the legacy
+//     un-suffixed layout; checkpoint saves and emission publishes under
+//     injected ENOSPC return classified errors, retain the last-good
+//     bytes, and count exactly one degraded episode per outage.
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -29,7 +35,9 @@
 #include "mtlscope/core/result_doc.hpp"
 #include "mtlscope/experiments/registry.hpp"
 #include "mtlscope/gen/generator.hpp"
+#include "mtlscope/ingest/durable_io.hpp"
 #include "mtlscope/watch/checkpoint.hpp"
+#include "mtlscope/watch/daemon.hpp"
 #include "mtlscope/watch/record_tail.hpp"
 #include "mtlscope/watch/scheduler.hpp"
 #include "mtlscope/watch/tail.hpp"
@@ -602,6 +610,157 @@ TEST_F(WatchSchedulerTest, RestoredSchedulerFinishesIdentically) {
   for (std::size_t i = 0; i < reference.emissions.size(); ++i) {
     EXPECT_EQ(reference.emissions[i].envelope, resumed.emissions[i].envelope)
         << "emission " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durable checkpoint store + degraded publication (DESIGN §16)
+
+watch::WatchCheckpoint tagged_checkpoint(std::uint64_t tag) {
+  watch::WatchCheckpoint ckpt;
+  ckpt.seed = tag;  // distinguishes generations after a restore
+  ckpt.ssl_records_seen = tag;
+  return ckpt;
+}
+
+TEST_F(WatchTest, CheckpointStoreWritesGenerationsAndPrunes) {
+  watch::CheckpointStore store(dir_.string(), 3);
+  EXPECT_FALSE(store.has_any());
+  EXPECT_EQ(store.next_generation(), 1u);
+  for (std::uint64_t g = 1; g <= 5; ++g) {
+    const auto saved = store.save(tagged_checkpoint(g));
+    ASSERT_TRUE(saved.ok) << saved.message;
+  }
+  // Only the newest 3 generations survive the prune.
+  const auto gens = watch::CheckpointStore::list(dir_.string());
+  ASSERT_EQ(gens.size(), 3u);
+  EXPECT_EQ(gens.front().first, 3u);
+  EXPECT_EQ(gens.back().first, 5u);
+  EXPECT_EQ(store.next_generation(), 6u);
+
+  std::uint64_t generation = 0;
+  std::uint32_t skipped = 0;
+  std::string error;
+  auto loaded = store.load(&error, &generation, &skipped);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(generation, 5u);
+  EXPECT_EQ(skipped, 0u);
+  EXPECT_EQ(loaded->seed, 5u);
+}
+
+TEST_F(WatchTest, CheckpointStoreTornNewestRestoresPrevious) {
+  watch::CheckpointStore store(dir_.string(), 3);
+  for (std::uint64_t g = 1; g <= 3; ++g) {
+    ASSERT_TRUE(store.save(tagged_checkpoint(g)).ok);
+  }
+  // Tear generation 3 the way a torn rename would: keep a prefix only.
+  const std::string newest = (dir_ / "watch.ckpt.3").string();
+  const std::string bytes = [&] {
+    std::ifstream in(newest, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }();
+  ASSERT_GT(bytes.size(), 2u);
+  std::ofstream(newest, std::ios::binary | std::ios::trunc)
+      << bytes.substr(0, bytes.size() / 2);
+
+  std::uint64_t generation = 0;
+  std::uint32_t skipped = 0;
+  std::string error;
+  watch::CheckpointStore reopened(dir_.string(), 3);
+  auto loaded = reopened.load(&error, &generation, &skipped);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(generation, 2u);  // degraded to N-1, not a cold re-read
+  EXPECT_EQ(skipped, 1u);
+  EXPECT_EQ(loaded->seed, 2u);
+  // The torn file still occupied its generation number: the next save
+  // moves past it rather than silently rewriting a bad slot readers may
+  // have seen.
+  EXPECT_EQ(reopened.next_generation(), 4u);
+}
+
+TEST_F(WatchTest, CheckpointStoreReadsLegacyUnsuffixedFile) {
+  const auto saved = watch::save_watch_checkpoint(
+      (dir_ / "watch.ckpt").string(), tagged_checkpoint(9));
+  ASSERT_TRUE(saved.ok) << saved.message;
+  watch::CheckpointStore store(dir_.string(), 3);
+  EXPECT_TRUE(store.has_any());
+  EXPECT_EQ(store.next_generation(), 1u);  // legacy file is generation 0
+  std::uint64_t generation = 99;
+  auto loaded = store.load(nullptr, &generation, nullptr);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(generation, 0u);
+  EXPECT_EQ(loaded->seed, 9u);
+}
+
+TEST_F(WatchTest, CheckpointStoreAllGenerationsBadReportsNewestError) {
+  watch::CheckpointStore store(dir_.string(), 2);
+  ASSERT_TRUE(store.save(tagged_checkpoint(1)).ok);
+  std::ofstream((dir_ / "watch.ckpt.1").string(),
+                std::ios::binary | std::ios::trunc)
+      << "garbage";
+  std::string error;
+  std::uint32_t skipped = 0;
+  EXPECT_FALSE(store.load(&error, nullptr, &skipped).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST_F(WatchTest, SaveWatchCheckpointClassifiesEnospc) {
+  ingest::FaultVfs::instance().clear();
+  ingest::reset_write_retry_counters();
+  ingest::FaultVfs::instance().fail_write_range(1, 1000, ENOSPC);
+  const auto saved = watch::save_watch_checkpoint(
+      (dir_ / "watch.ckpt").string(), tagged_checkpoint(1));
+  ingest::FaultVfs::instance().clear();
+  EXPECT_FALSE(saved.ok);
+  EXPECT_EQ(saved.cls, ingest::WriteClass::kNoSpace);
+  EXPECT_EQ(saved.err, ENOSPC);
+  EXPECT_NE(saved.message.find("no-space"), std::string::npos)
+      << saved.message;
+  EXPECT_FALSE(fs::exists(dir_ / "watch.ckpt"));
+  EXPECT_GE(
+      ingest::write_retry_counters().enospc_failures.load(), 1u);
+}
+
+TEST_F(WatchTest, DurablePublisherDegradedModeCountsEpisodesAndRecovers) {
+  ingest::FaultVfs::instance().clear();
+  ingest::reset_write_retry_counters();
+  watch::DurablePublisher publisher(dir_.string());
+  ASSERT_TRUE(publisher.publish("cumulative.json", "v1"));
+  EXPECT_FALSE(publisher.degraded());
+
+  // Disk fills: the publish fails, the last-good file survives, exactly
+  // one episode is counted no matter how many publishes fail.
+  ingest::FaultVfs::instance().fail_write_range(1, 1'000'000, ENOSPC);
+  EXPECT_FALSE(publisher.publish("cumulative.json", "v2"));
+  EXPECT_FALSE(publisher.publish("window-000000000000.json", "w1"));
+  EXPECT_FALSE(publisher.retry_pending());
+  EXPECT_TRUE(publisher.degraded());
+  EXPECT_EQ(publisher.pending(), 2u);
+  EXPECT_EQ(publisher.degraded_episodes(), 1u);
+  EXPECT_EQ(ingest::write_retry_counters().degraded_episodes.load(), 1u);
+  {
+    std::ifstream in(dir_ / "cumulative.json", std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, "v1");  // last-good output retained
+  }
+
+  // A newer version supersedes the queued one (latest wins), then the
+  // disk clears and retry_pending flushes everything.
+  EXPECT_FALSE(publisher.publish("cumulative.json", "v3"));
+  EXPECT_EQ(publisher.pending(), 2u);
+  ingest::FaultVfs::instance().clear();
+  EXPECT_TRUE(publisher.retry_pending());
+  EXPECT_FALSE(publisher.degraded());
+  EXPECT_EQ(publisher.pending(), 0u);
+  EXPECT_EQ(publisher.degraded_episodes(), 1u);
+  {
+    std::ifstream in(dir_ / "cumulative.json", std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text, "v3");
   }
 }
 
